@@ -1,0 +1,120 @@
+// Command dna extracts and inspects JIT DNA.
+//
+//	dna extract [-bugs CVE,...] [-threshold N] script.js   # print DNA as JSON
+//	dna diff a.json b.json                                  # compare two dumps
+//	dna passes                                              # list pipeline passes
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/jitbull/jitbull"
+	"github.com/jitbull/jitbull/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dna:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: dna extract|diff|passes ...")
+	}
+	switch args[0] {
+	case "extract":
+		return cmdExtract(args[1:])
+	case "diff":
+		return cmdDiff(args[1:])
+	case "passes":
+		for i, name := range jitbull.PassNames() {
+			fmt.Printf("%2d  %s\n", i+1, name)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func cmdExtract(args []string) error {
+	fs := flag.NewFlagSet("extract", flag.ContinueOnError)
+	bugsFlag := fs.String("bugs", "", "comma-separated CVE ids to activate during compilation")
+	threshold := fs.Int("threshold", 0, "Ion compilation threshold")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("extract: one script expected")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	bugs := jitbull.BugSet{}
+	for _, c := range strings.Split(*bugsFlag, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			bugs[c] = true
+		}
+	}
+	vdc, err := jitbull.Fingerprint("(extract)", string(src), bugs, *threshold)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(vdc.DNAs, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+func cmdDiff(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("diff: two DNA dump files expected")
+	}
+	a, err := loadDump(args[0])
+	if err != nil {
+		return err
+	}
+	b, err := loadDump(args[1])
+	if err != nil {
+		return err
+	}
+	for _, da := range a {
+		for _, db := range b {
+			var passNames []string
+			for p := range da.Passes {
+				if _, ok := db.Passes[p]; ok {
+					passNames = append(passNames, p)
+				}
+			}
+			sort.Strings(passNames)
+			for _, p := range passNames {
+				if core.SimilarDeltas(da.Passes[p], db.Passes[p], core.DefaultRatio, core.DefaultThr) {
+					fmt.Printf("MATCH %s(%s) ~ %s(%s) at pass %s\n",
+						args[0], da.FuncName, args[1], db.FuncName, p)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func loadDump(path string) ([]core.DNA, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var dnas []core.DNA
+	if err := json.Unmarshal(data, &dnas); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return dnas, nil
+}

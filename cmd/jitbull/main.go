@@ -1,0 +1,172 @@
+// Command jitbull runs nanojs scripts on the simulated tiered engine, with
+// optional injected vulnerabilities (a simulated vulnerability window) and
+// optional JITBULL protection from a VDC DNA database.
+//
+// Examples:
+//
+//	jitbull run script.js
+//	jitbull run -bugs CVE-2019-17026 exploit.js          # vulnerable engine
+//	jitbull fingerprint -cve CVE-2019-17026 -db db.json poc.js
+//	jitbull run -bugs CVE-2019-17026 -db db.json exploit.js  # protected
+//	jitbull vulns                                        # list built-in CVEs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/jitbull/jitbull"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "jitbull:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "run":
+		return cmdRun(args[1:])
+	case "fingerprint":
+		return cmdFingerprint(args[1:])
+	case "vulns":
+		return cmdVulns()
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  jitbull run [-nojit] [-threshold N] [-bugs CVE,...] [-db file] [-stats] script.js
+  jitbull fingerprint -cve CVE-... [-bugs CVE,...] [-threshold N] -db file script.js
+  jitbull vulns`)
+}
+
+func parseBugs(list string) jitbull.BugSet {
+	bugs := jitbull.BugSet{}
+	for _, c := range strings.Split(list, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			bugs[c] = true
+		}
+	}
+	return bugs
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	noJIT := fs.Bool("nojit", false, "disable the JIT (interpreter only)")
+	threshold := fs.Int("threshold", 0, "Ion compilation threshold (default 1500)")
+	bugsFlag := fs.String("bugs", "", "comma-separated CVE ids of injected bugs to activate")
+	dbPath := fs.String("db", "", "VDC DNA database to protect with")
+	stats := fs.Bool("stats", false, "print engine statistics after the run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("run: exactly one script expected")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	eng, err := jitbull.New(string(src), jitbull.Config{
+		DisableJIT:   *noJIT,
+		IonThreshold: *threshold,
+		Bugs:         parseBugs(*bugsFlag),
+		Out:          os.Stdout,
+	})
+	if err != nil {
+		return err
+	}
+	var det *jitbull.Detector
+	if *dbPath != "" {
+		db, err := jitbull.LoadDatabase(*dbPath)
+		if err != nil {
+			return err
+		}
+		det = jitbull.Protect(eng, db)
+	}
+	_, runErr := eng.Run()
+	switch {
+	case jitbull.IsHijack(runErr):
+		fmt.Fprintf(os.Stderr, "!! PAYLOAD EXECUTED: %v\n", runErr)
+	case jitbull.IsCrash(runErr):
+		fmt.Fprintf(os.Stderr, "!! ENGINE CRASH: %v\n", runErr)
+	case runErr != nil:
+		fmt.Fprintf(os.Stderr, "script error: %v\n", runErr)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "stats: %+v\n", eng.Stats)
+		if det != nil && len(det.Matches) > 0 {
+			fmt.Fprintf(os.Stderr, "jitbull matches:\n")
+			for _, m := range det.Matches {
+				fmt.Fprintf(os.Stderr, "  %s (VDC fn %s) matched pass %s\n", m.CVE, m.VDCFunc, m.Pass)
+			}
+		}
+	}
+	if runErr != nil && !jitbull.IsHijack(runErr) && !jitbull.IsCrash(runErr) {
+		return nil // script-level errors already reported
+	}
+	return nil
+}
+
+func cmdFingerprint(args []string) error {
+	fs := flag.NewFlagSet("fingerprint", flag.ContinueOnError)
+	cve := fs.String("cve", "", "CVE identifier for the fingerprint")
+	bugsFlag := fs.String("bugs", "", "injected bugs active during extraction (defaults to the CVE itself)")
+	threshold := fs.Int("threshold", 0, "Ion compilation threshold")
+	dbPath := fs.String("db", "", "database file to create or update")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *cve == "" || *dbPath == "" || fs.NArg() != 1 {
+		return fmt.Errorf("fingerprint: need -cve, -db and one script")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	bugs := parseBugs(*bugsFlag)
+	if len(bugs) == 0 {
+		bugs = jitbull.BugSet{*cve: true}
+	}
+	vdc, err := jitbull.Fingerprint(*cve, string(src), bugs, *threshold)
+	if err != nil {
+		return err
+	}
+	db := &jitbull.Database{}
+	if _, statErr := os.Stat(*dbPath); statErr == nil {
+		if db, err = jitbull.LoadDatabase(*dbPath); err != nil {
+			return err
+		}
+	}
+	db.Add(vdc)
+	if err := db.Save(*dbPath); err != nil {
+		return err
+	}
+	fmt.Printf("fingerprinted %s (%d JITed functions) into %s (%d VDCs total)\n",
+		*cve, len(vdc.DNAs), *dbPath, db.Size())
+	return nil
+}
+
+func cmdVulns() error {
+	fmt.Println("Implemented vulnerabilities (injectable with -bugs):")
+	for _, v := range jitbull.Vulnerabilities() {
+		fmt.Printf("  %-16s %-10s CVSS %.1f  %-8s window %s..%s  host pass %s\n",
+			v.CVE, v.Engine, v.CVSS, v.Outcome, v.Reported, v.Patched, v.HostPass)
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+// Fuzzer feed — the paper's §IV-A observation that "VDCs do not need to
+// originate from human experts; one way to use JITBULL is to feed the
+// output of JIT fuzzers directly to its database".
+//
+// This example plays a miniature JIT fuzzer: it mutates a seed script's
+// numeric parameters, runs each mutant on the vulnerable engine, and the
+// moment a mutant *crashes* the engine it is fingerprinted straight into
+// the JITBULL database. A later, unrelated exploit of the same bug is then
+// neutralized — no human analysis in the loop.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/jitbull/jitbull"
+)
+
+// seed is a plausible fuzzer corpus entry: two arrays, index arithmetic.
+// The %IDX% hole is where the fuzzer plugs mutated indexes.
+const seed = `
+function probe(a, b, idx) {
+  var t = b[idx + 1] + b[idx + 2];
+  var u = a[idx] + a[idx + 3];
+  var s = a[idx] + a[idx + 3];
+  return t + u - s;
+}
+var big = new Array(30000);
+var small = new Array(8);
+var acc = 0;
+for (var i = 0; i < 2000; i++) { acc += probe(small, big, 3); }
+acc += probe(small, big, %IDX%);
+`
+
+func mutant(idx int) string {
+	return strings.Replace(seed, "%IDX%", fmt.Sprint(idx), 1)
+}
+
+func main() {
+	// The engine is inside the CVE-2019-9810 vulnerability window.
+	vuln, err := jitbull.VulnerabilityByID("CVE-2019-9810")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bugs := vuln.Bug()
+
+	db := &jitbull.Database{}
+	fmt.Println("fuzzing (mutating the probe index)...")
+	crashes := 0
+	for round, idx := range []int{1, 2, 4, 3000, 25000} {
+		eng, err := jitbull.New(mutant(idx), jitbull.Config{Bugs: bugs})
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, runErr := eng.Run()
+		status := "ok"
+		if jitbull.IsCrash(runErr) {
+			status = "CRASH — fingerprinting into the DB"
+			crashes++
+			vdc, ferr := jitbull.Fingerprint(fmt.Sprintf("FUZZ-%04d", round), mutant(idx), bugs, 0)
+			if ferr != nil {
+				log.Fatal(ferr)
+			}
+			db.Add(vdc)
+		}
+		fmt.Printf("  mutant idx=%-6d -> %s\n", idx, status)
+	}
+	if crashes == 0 {
+		log.Fatal("fuzzer found no crash; expected at least one")
+	}
+	fmt.Printf("\ndatabase now holds %d fuzzer-produced fingerprint(s)\n\n", db.Size())
+
+	// A human-written exploit for the same root bug arrives later…
+	fmt.Println("running the real CVE-2019-9810 exploit against the protected engine...")
+	protected, err := jitbull.New(vuln.Demonstrator, jitbull.Config{Bugs: bugs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	det := jitbull.Protect(protected, db)
+	_, runErr := protected.Run()
+	if jitbull.IsCrash(runErr) || jitbull.IsHijack(runErr) {
+		log.Fatalf("exploit got through: %v", runErr)
+	}
+	fmt.Println("  exploit NEUTRALIZED by the fuzzer-sourced fingerprint")
+	passSet := map[string]bool{}
+	for _, m := range det.Matches {
+		passSet[m.Pass] = true
+	}
+	for p := range passSet {
+		fmt.Printf("  matched pass: %s\n", p)
+	}
+
+	// Control: without protection the same exploit crashes the engine.
+	unprotected, err := jitbull.New(vuln.Demonstrator, jitbull.Config{Bugs: bugs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, runErr := unprotected.Run(); !jitbull.IsCrash(runErr) {
+		log.Fatalf("control run should crash, got %v", runErr)
+	}
+	fmt.Println("  (control: the same exploit crashes an unprotected engine)")
+}

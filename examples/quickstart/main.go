@@ -1,0 +1,56 @@
+// Quickstart: run a nanojs script on the tiered engine and watch a hot
+// function get JIT-compiled, then protect the engine with an (empty)
+// JITBULL database — which, per the paper's §V, costs nothing until a
+// vulnerability fingerprint is installed.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/jitbull/jitbull"
+)
+
+const script = `
+function dot(a, b, n) {
+  var s = 0;
+  for (var i = 0; i < n; i++) {
+    s = s + a[i] * b[i];
+  }
+  return s;
+}
+
+var xs = new Array(64);
+var ys = new Array(64);
+for (var i = 0; i < 64; i++) {
+  xs[i] = i * 0.5;
+  ys[i] = 64 - i;
+}
+
+var result = 0;
+for (var round = 0; round < 2000; round++) {
+  result = dot(xs, ys, 64);
+}
+print("dot product:", result);
+`
+
+func main() {
+	eng, err := jitbull.New(script, jitbull.Config{Out: os.Stdout})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Install JITBULL with an empty database: Active() is false, so the
+	// engine takes no IR snapshots at all — zero overhead.
+	db := &jitbull.Database{}
+	jitbull.Protect(eng, db)
+
+	if _, err := eng.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nengine stats: %+v\n", eng.Stats)
+	fmt.Println("`dot` was Ion-compiled after 1500 calls (the paper's §II threshold)")
+	fmt.Println("optimization pipeline:", len(jitbull.PassNames()), "passes")
+}

@@ -1,0 +1,83 @@
+// Vulnerability window walkthrough — the paper's full story on one CVE:
+//
+//  1. A vulnerable engine (CVE-2019-17026 unpatched) runs the public
+//     exploit: the payload executes (control-flow hijack).
+//  2. The maintainer fingerprints the demonstrator code (JIT DNA).
+//  3. Users install the fingerprint; JITBULL disables the matched passes
+//     per function, and a *variant* of the exploit (renamed by a
+//     Terser-like mangler) is neutralized while the engine keeps JITing.
+//  4. The patch ships: the fingerprint is removed, overhead returns to 0.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/jitbull/jitbull"
+)
+
+func main() {
+	vuln, err := jitbull.VulnerabilityByID("CVE-2019-17026")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== %s (%s, CVSS %.1f) ==\n", vuln.CVE, vuln.Engine, vuln.CVSS)
+	fmt.Printf("window: %s -> %s (%d days)\n\n", vuln.Reported, vuln.Patched, vuln.Window())
+
+	// Step 0: the vulnerability window opens — the engine has the bug.
+	bugs := vuln.Bug()
+
+	// Step 1: the public exploit against the unprotected vulnerable engine.
+	fmt.Println("[1] running the public PoC on the unprotected vulnerable engine...")
+	eng, err := jitbull.New(vuln.Demonstrator, jitbull.Config{Bugs: bugs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, runErr := eng.Run()
+	if jitbull.IsHijack(runErr) {
+		fmt.Printf("    PAYLOAD EXECUTED: %v\n\n", runErr)
+	} else {
+		log.Fatalf("expected the exploit to fire, got %v", runErr)
+	}
+
+	// Step 2: the maintainer fingerprints the demonstrator code.
+	fmt.Println("[2] extracting the demonstrator's JIT DNA (maintainer side)...")
+	vdc, err := jitbull.Fingerprint(vuln.CVE, vuln.Demonstrator, bugs, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("    fingerprinted %d JITed function(s)\n\n", len(vdc.DNAs))
+
+	// Step 3: users install the fingerprint; an attacker ships a variant.
+	fmt.Println("[3] attacker ships a renamed/mangled variant; engine is protected...")
+	variant, err := jitbull.RenameVariant(vuln.Demonstrator)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := &jitbull.Database{}
+	db.Add(vdc)
+	protected, err := jitbull.New(variant, jitbull.Config{Bugs: bugs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	det := jitbull.Protect(protected, db)
+	_, runErr = protected.Run()
+	if jitbull.IsHijack(runErr) || jitbull.IsCrash(runErr) {
+		log.Fatalf("JITBULL missed the variant: %v", runErr)
+	}
+	fmt.Println("    variant NEUTRALIZED; matched optimization passes:")
+	seen := map[string]bool{}
+	for _, m := range det.Matches {
+		if !seen[m.Pass] {
+			seen[m.Pass] = true
+			fmt.Printf("      - %s (similar to %s's function %s)\n", m.Pass, m.CVE, m.VDCFunc)
+		}
+	}
+	fmt.Printf("    engine stats: %d JITed, %d with passes disabled, %d forced to interpreter\n\n",
+		protected.Stats.NrJIT, protected.Stats.NrDisJIT, protected.Stats.NrNoJIT)
+
+	// Step 4: patch day — remove the fingerprint.
+	fmt.Println("[4] patch applied: fingerprint removed; JITBULL cost back to zero.")
+	db.Remove(vuln.CVE)
+	fmt.Printf("    database size: %d\n", db.Size())
+}

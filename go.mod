@@ -1,0 +1,3 @@
+module github.com/jitbull/jitbull
+
+go 1.22

@@ -1,0 +1,376 @@
+// Package ast defines the abstract syntax tree of the nanojs language.
+package ast
+
+import (
+	"strings"
+
+	"github.com/jitbull/jitbull/internal/token"
+)
+
+// Node is the common interface of all AST nodes.
+type Node interface {
+	Pos() token.Pos
+}
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Program is a whole parsed script: a sequence of top-level statements,
+// including function declarations.
+type Program struct {
+	Stmts []Stmt
+}
+
+// Funcs returns the top-level function declarations of the program in source
+// order.
+func (p *Program) Funcs() []*FuncDecl {
+	var fns []*FuncDecl
+	for _, s := range p.Stmts {
+		if fd, ok := s.(*FuncDecl); ok {
+			fns = append(fns, fd)
+		}
+	}
+	return fns
+}
+
+// ---- Expressions ----
+
+// NumberLit is a numeric literal; Value holds the parsed float64.
+type NumberLit struct {
+	ValuePos token.Pos
+	Value    float64
+	Raw      string
+}
+
+// StringLit is a string literal (unescaped value).
+type StringLit struct {
+	ValuePos token.Pos
+	Value    string
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	ValuePos token.Pos
+	Value    bool
+}
+
+// NullLit is the null literal.
+type NullLit struct{ ValuePos token.Pos }
+
+// UndefinedLit is the undefined literal.
+type UndefinedLit struct{ ValuePos token.Pos }
+
+// Ident is a variable or function reference.
+type Ident struct {
+	NamePos token.Pos
+	Name    string
+}
+
+// ArrayLit is an array literal [a, b, c].
+type ArrayLit struct {
+	Lbrack token.Pos
+	Elems  []Expr
+}
+
+// NewArray is `new Array(n)`.
+type NewArray struct {
+	NewPos token.Pos
+	Len    Expr
+}
+
+// IndexExpr is arr[i].
+type IndexExpr struct {
+	X     Expr
+	Index Expr
+}
+
+// MemberExpr is x.name (property read, e.g. arr.length, Math.PI).
+type MemberExpr struct {
+	X    Expr
+	Name string
+}
+
+// CallExpr is callee(args...). Callee is an Ident (global function call) or a
+// MemberExpr (builtin method such as arr.push(v) or Math.sqrt(x)).
+type CallExpr struct {
+	Callee Expr
+	Args   []Expr
+}
+
+// UnaryExpr is op X for prefix -, !, ~, typeof.
+type UnaryExpr struct {
+	OpPos token.Pos
+	Op    token.Kind
+	X     Expr
+}
+
+// BinaryExpr is X op Y for arithmetic, comparison and bitwise operators.
+type BinaryExpr struct {
+	X  Expr
+	Op token.Kind
+	Y  Expr
+}
+
+// LogicalExpr is X && Y or X || Y (short-circuiting).
+type LogicalExpr struct {
+	X  Expr
+	Op token.Kind
+	Y  Expr
+}
+
+// CondExpr is cond ? then : else.
+type CondExpr struct {
+	Cond Expr
+	Then Expr
+	Else Expr
+}
+
+// AssignExpr is target op= value, where Op is token.Assign or a compound
+// assignment. Target is an Ident, IndexExpr, or MemberExpr (arr.length).
+type AssignExpr struct {
+	Target Expr
+	Op     token.Kind
+	Value  Expr
+}
+
+// UpdateExpr is ++x, --x, x++ or x-- on an Ident or IndexExpr.
+type UpdateExpr struct {
+	OpPos  token.Pos
+	Op     token.Kind // PlusPlus or MinusMinus
+	Prefix bool
+	Target Expr
+}
+
+func (x *NumberLit) Pos() token.Pos    { return x.ValuePos }
+func (x *StringLit) Pos() token.Pos    { return x.ValuePos }
+func (x *BoolLit) Pos() token.Pos      { return x.ValuePos }
+func (x *NullLit) Pos() token.Pos      { return x.ValuePos }
+func (x *UndefinedLit) Pos() token.Pos { return x.ValuePos }
+func (x *Ident) Pos() token.Pos        { return x.NamePos }
+func (x *ArrayLit) Pos() token.Pos     { return x.Lbrack }
+func (x *NewArray) Pos() token.Pos     { return x.NewPos }
+func (x *IndexExpr) Pos() token.Pos    { return x.X.Pos() }
+func (x *MemberExpr) Pos() token.Pos   { return x.X.Pos() }
+func (x *CallExpr) Pos() token.Pos     { return x.Callee.Pos() }
+func (x *UnaryExpr) Pos() token.Pos    { return x.OpPos }
+func (x *BinaryExpr) Pos() token.Pos   { return x.X.Pos() }
+func (x *LogicalExpr) Pos() token.Pos  { return x.X.Pos() }
+func (x *CondExpr) Pos() token.Pos     { return x.Cond.Pos() }
+func (x *AssignExpr) Pos() token.Pos   { return x.Target.Pos() }
+func (x *UpdateExpr) Pos() token.Pos   { return x.OpPos }
+
+func (*NumberLit) exprNode()    {}
+func (*StringLit) exprNode()    {}
+func (*BoolLit) exprNode()      {}
+func (*NullLit) exprNode()      {}
+func (*UndefinedLit) exprNode() {}
+func (*Ident) exprNode()        {}
+func (*ArrayLit) exprNode()     {}
+func (*NewArray) exprNode()     {}
+func (*IndexExpr) exprNode()    {}
+func (*MemberExpr) exprNode()   {}
+func (*CallExpr) exprNode()     {}
+func (*UnaryExpr) exprNode()    {}
+func (*BinaryExpr) exprNode()   {}
+func (*LogicalExpr) exprNode()  {}
+func (*CondExpr) exprNode()     {}
+func (*AssignExpr) exprNode()   {}
+func (*UpdateExpr) exprNode()   {}
+
+// ---- Statements ----
+
+// VarDecl declares one or more variables: `var x = 1, y;`. Kind is Var, Let
+// or Const (nanojs treats all three as function-scoped variables).
+type VarDecl struct {
+	DeclPos token.Pos
+	Kind    token.Kind
+	Names   []string
+	Inits   []Expr // parallel to Names; nil entries mean undefined
+}
+
+// ExprStmt is an expression evaluated for its side effects.
+type ExprStmt struct {
+	X Expr
+}
+
+// BlockStmt is { ... }.
+type BlockStmt struct {
+	Lbrace token.Pos
+	Stmts  []Stmt
+}
+
+// IfStmt is if (cond) then [else else].
+type IfStmt struct {
+	IfPos token.Pos
+	Cond  Expr
+	Then  Stmt
+	Else  Stmt // may be nil
+}
+
+// WhileStmt is while (cond) body.
+type WhileStmt struct {
+	WhilePos token.Pos
+	Cond     Expr
+	Body     Stmt
+}
+
+// DoWhileStmt is do body while (cond);.
+type DoWhileStmt struct {
+	DoPos token.Pos
+	Body  Stmt
+	Cond  Expr
+}
+
+// ForStmt is for (init; cond; post) body. Any of the three clauses may be
+// nil.
+type ForStmt struct {
+	ForPos token.Pos
+	Init   Stmt // VarDecl or ExprStmt, or nil
+	Cond   Expr // or nil (infinite)
+	Post   Expr // or nil
+	Body   Stmt
+}
+
+// BreakStmt is break;.
+type BreakStmt struct{ BreakPos token.Pos }
+
+// ContinueStmt is continue;.
+type ContinueStmt struct{ ContinuePos token.Pos }
+
+// ReturnStmt is return [expr];.
+type ReturnStmt struct {
+	ReturnPos token.Pos
+	Value     Expr // may be nil
+}
+
+// FuncDecl is a top-level function declaration.
+type FuncDecl struct {
+	FuncPos token.Pos
+	Name    string
+	Params  []string
+	Body    *BlockStmt
+}
+
+func (s *VarDecl) Pos() token.Pos      { return s.DeclPos }
+func (s *ExprStmt) Pos() token.Pos     { return s.X.Pos() }
+func (s *BlockStmt) Pos() token.Pos    { return s.Lbrace }
+func (s *IfStmt) Pos() token.Pos       { return s.IfPos }
+func (s *WhileStmt) Pos() token.Pos    { return s.WhilePos }
+func (s *DoWhileStmt) Pos() token.Pos  { return s.DoPos }
+func (s *ForStmt) Pos() token.Pos      { return s.ForPos }
+func (s *BreakStmt) Pos() token.Pos    { return s.BreakPos }
+func (s *ContinueStmt) Pos() token.Pos { return s.ContinuePos }
+func (s *ReturnStmt) Pos() token.Pos   { return s.ReturnPos }
+func (s *FuncDecl) Pos() token.Pos     { return s.FuncPos }
+
+func (*VarDecl) stmtNode()      {}
+func (*ExprStmt) stmtNode()     {}
+func (*BlockStmt) stmtNode()    {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*DoWhileStmt) stmtNode()  {}
+func (*ForStmt) stmtNode()      {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode()   {}
+func (*FuncDecl) stmtNode()     {}
+
+// Walk calls fn for node and every child node, pre-order. If fn returns
+// false, children of node are not visited.
+func Walk(node Node, fn func(Node) bool) {
+	if node == nil || !fn(node) {
+		return
+	}
+	switch n := node.(type) {
+	case *Program:
+		for _, s := range n.Stmts {
+			Walk(s, fn)
+		}
+	case *ArrayLit:
+		for _, e := range n.Elems {
+			Walk(e, fn)
+		}
+	case *NewArray:
+		Walk(n.Len, fn)
+	case *IndexExpr:
+		Walk(n.X, fn)
+		Walk(n.Index, fn)
+	case *MemberExpr:
+		Walk(n.X, fn)
+	case *CallExpr:
+		Walk(n.Callee, fn)
+		for _, a := range n.Args {
+			Walk(a, fn)
+		}
+	case *UnaryExpr:
+		Walk(n.X, fn)
+	case *BinaryExpr:
+		Walk(n.X, fn)
+		Walk(n.Y, fn)
+	case *LogicalExpr:
+		Walk(n.X, fn)
+		Walk(n.Y, fn)
+	case *CondExpr:
+		Walk(n.Cond, fn)
+		Walk(n.Then, fn)
+		Walk(n.Else, fn)
+	case *AssignExpr:
+		Walk(n.Target, fn)
+		Walk(n.Value, fn)
+	case *UpdateExpr:
+		Walk(n.Target, fn)
+	case *VarDecl:
+		for _, e := range n.Inits {
+			if e != nil {
+				Walk(e, fn)
+			}
+		}
+	case *ExprStmt:
+		Walk(n.X, fn)
+	case *BlockStmt:
+		for _, s := range n.Stmts {
+			Walk(s, fn)
+		}
+	case *IfStmt:
+		Walk(n.Cond, fn)
+		Walk(n.Then, fn)
+		Walk(n.Else, fn)
+	case *WhileStmt:
+		Walk(n.Cond, fn)
+		Walk(n.Body, fn)
+	case *DoWhileStmt:
+		Walk(n.Body, fn)
+		Walk(n.Cond, fn)
+	case *ForStmt:
+		Walk(n.Init, fn)
+		Walk(n.Cond, fn)
+		Walk(n.Post, fn)
+		Walk(n.Body, fn)
+	case *ReturnStmt:
+		Walk(n.Value, fn)
+	case *FuncDecl:
+		Walk(n.Body, fn)
+	}
+}
+
+// (Program satisfies Node so it can be Walked.)
+func (p *Program) Pos() token.Pos { return token.Pos{Line: 1, Col: 1} }
+
+// FuncNames returns a comma-separated list of the program's top-level
+// function names, useful in diagnostics.
+func (p *Program) FuncNames() string {
+	var names []string
+	for _, f := range p.Funcs() {
+		names = append(names, f.Name)
+	}
+	return strings.Join(names, ",")
+}

@@ -1,0 +1,435 @@
+package ast
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/jitbull/jitbull/internal/token"
+)
+
+// PrintConfig controls source rendering.
+type PrintConfig struct {
+	// Minify drops all optional whitespace and newlines.
+	Minify bool
+	// Rename maps identifier names (variables, parameters, functions) to
+	// replacement names. Missing entries keep their original name.
+	Rename map[string]string
+}
+
+// Print renders the program back to nanojs source.
+func Print(prog *Program, cfg PrintConfig) string {
+	var sb strings.Builder
+	p := &printer{w: &sb, cfg: cfg}
+	for i, s := range prog.Stmts {
+		p.stmt(s, 0)
+		if !cfg.Minify && i < len(prog.Stmts)-1 {
+			p.ws("\n")
+		}
+	}
+	return sb.String()
+}
+
+type printer struct {
+	w    io.Writer
+	cfg  PrintConfig
+	last byte
+}
+
+func (p *printer) emit(s string) {
+	if s == "" {
+		return
+	}
+	io.WriteString(p.w, s)
+	p.last = s[len(s)-1]
+}
+
+func (p *printer) emitf(f string, a ...any) {
+	out := fmt.Sprintf(f, a...)
+	p.emit(out)
+}
+
+// emitOp emits an operator, inserting a space when gluing it to the
+// previous byte would form a different token (e.g. `y++ + ++y` must not
+// minify to `y+++++y`).
+func (p *printer) emitOp(s string) {
+	if len(s) > 0 && (p.last == '+' || p.last == '-') && s[0] == p.last {
+		p.emit(" ")
+	}
+	p.emit(s)
+}
+
+// ws emits whitespace only when not minifying.
+func (p *printer) ws(s string) {
+	if !p.cfg.Minify {
+		p.emit(s)
+	}
+}
+
+func (p *printer) indent(n int) {
+	if !p.cfg.Minify {
+		p.emit(strings.Repeat("  ", n))
+	}
+}
+
+func (p *printer) name(n string) string {
+	if r, ok := p.cfg.Rename[n]; ok {
+		return r
+	}
+	return n
+}
+
+func (p *printer) stmt(s Stmt, depth int) {
+	switch s := s.(type) {
+	case *VarDecl:
+		p.indent(depth)
+		p.emit(s.Kind.String())
+		p.emit(" ")
+		for i, name := range s.Names {
+			if i > 0 {
+				p.emit(",")
+				p.ws(" ")
+			}
+			p.emit(p.name(name))
+			if s.Inits[i] != nil {
+				p.ws(" ")
+				p.emit("=")
+				p.ws(" ")
+				p.expr(s.Inits[i], precLowest)
+			}
+		}
+		p.emit(";")
+		p.ws("\n")
+	case *ExprStmt:
+		p.indent(depth)
+		p.expr(s.X, precLowest)
+		p.emit(";")
+		p.ws("\n")
+	case *BlockStmt:
+		p.indent(depth)
+		p.emit("{")
+		p.ws("\n")
+		for _, st := range s.Stmts {
+			p.stmt(st, depth+1)
+		}
+		p.indent(depth)
+		p.emit("}")
+		p.ws("\n")
+	case *IfStmt:
+		p.indent(depth)
+		p.emit("if")
+		p.ws(" ")
+		p.emit("(")
+		p.expr(s.Cond, precLowest)
+		p.emit(")")
+		p.blockOrStmt(s.Then, depth)
+		if s.Else != nil {
+			p.indent(depth)
+			p.emit("else")
+			if _, isIf := s.Else.(*IfStmt); isIf && p.cfg.Minify {
+				p.emit(" ")
+			}
+			p.blockOrStmt(s.Else, depth)
+		}
+	case *WhileStmt:
+		p.indent(depth)
+		p.emit("while")
+		p.ws(" ")
+		p.emit("(")
+		p.expr(s.Cond, precLowest)
+		p.emit(")")
+		p.blockOrStmt(s.Body, depth)
+	case *DoWhileStmt:
+		p.indent(depth)
+		p.emit("do")
+		p.blockOrStmt(s.Body, depth)
+		p.indent(depth)
+		p.emit("while")
+		p.ws(" ")
+		p.emit("(")
+		p.expr(s.Cond, precLowest)
+		p.emit(");")
+		p.ws("\n")
+	case *ForStmt:
+		p.indent(depth)
+		p.emit("for")
+		p.ws(" ")
+		p.emit("(")
+		if s.Init != nil {
+			p.inlineInit(s.Init)
+		}
+		p.emit(";")
+		if s.Cond != nil {
+			p.ws(" ")
+			p.expr(s.Cond, precLowest)
+		}
+		p.emit(";")
+		if s.Post != nil {
+			p.ws(" ")
+			p.expr(s.Post, precLowest)
+		}
+		p.emit(")")
+		p.blockOrStmt(s.Body, depth)
+	case *BreakStmt:
+		p.indent(depth)
+		p.emit("break;")
+		p.ws("\n")
+	case *ContinueStmt:
+		p.indent(depth)
+		p.emit("continue;")
+		p.ws("\n")
+	case *ReturnStmt:
+		p.indent(depth)
+		p.emit("return")
+		if s.Value != nil {
+			p.emit(" ")
+			p.expr(s.Value, precLowest)
+		}
+		p.emit(";")
+		p.ws("\n")
+	case *FuncDecl:
+		p.indent(depth)
+		p.emit("function ")
+		p.emit(p.name(s.Name))
+		p.emit("(")
+		for i, param := range s.Params {
+			if i > 0 {
+				p.emit(",")
+				p.ws(" ")
+			}
+			p.emit(p.name(param))
+		}
+		p.emit(")")
+		p.blockOrStmt(s.Body, depth)
+	}
+}
+
+// inlineInit prints a for-init clause without trailing semicolon/newline.
+func (p *printer) inlineInit(s Stmt) {
+	switch s := s.(type) {
+	case *VarDecl:
+		p.emit(s.Kind.String())
+		p.emit(" ")
+		for i, name := range s.Names {
+			if i > 0 {
+				p.emit(",")
+				p.ws(" ")
+			}
+			p.emit(p.name(name))
+			if s.Inits[i] != nil {
+				p.ws(" ")
+				p.emit("=")
+				p.ws(" ")
+				p.expr(s.Inits[i], precLowest)
+			}
+		}
+	case *ExprStmt:
+		p.expr(s.X, precLowest)
+	}
+}
+
+func (p *printer) blockOrStmt(s Stmt, depth int) {
+	if blk, ok := s.(*BlockStmt); ok {
+		p.ws(" ")
+		p.emit("{")
+		p.ws("\n")
+		for _, st := range blk.Stmts {
+			p.stmt(st, depth+1)
+		}
+		p.indent(depth)
+		p.emit("}")
+		p.ws("\n")
+		return
+	}
+	if p.cfg.Minify {
+		p.stmt(s, 0)
+		return
+	}
+	p.emit("\n")
+	p.stmt(s, depth+1)
+}
+
+// Operator precedence levels for parenthesization (higher binds tighter).
+const (
+	precLowest = iota
+	precAssign
+	precCond
+	precOr
+	precAnd
+	precBitOr
+	precBitXor
+	precBitAnd
+	precEq
+	precRel
+	precShift
+	precAdd
+	precMul
+	precPow
+	precUnary
+	precPostfix
+)
+
+func binPrec(op token.Kind) int {
+	switch op {
+	case token.Pipe:
+		return precBitOr
+	case token.Caret:
+		return precBitXor
+	case token.Amp:
+		return precBitAnd
+	case token.Eq, token.NotEq, token.StrictEq, token.StrictNe:
+		return precEq
+	case token.Lt, token.Gt, token.Le, token.Ge:
+		return precRel
+	case token.Shl, token.Shr, token.Ushr:
+		return precShift
+	case token.Plus, token.Minus:
+		return precAdd
+	case token.Star, token.Slash, token.Percent:
+		return precMul
+	case token.StarStar:
+		return precPow
+	default:
+		return precLowest
+	}
+}
+
+func (p *printer) expr(x Expr, parentPrec int) {
+	prec := exprPrec(x)
+	if prec < parentPrec {
+		p.emit("(")
+		defer p.emit(")")
+	}
+	switch x := x.(type) {
+	case *NumberLit:
+		if x.Raw != "" {
+			p.emit(x.Raw)
+		} else {
+			p.emitf("%v", x.Value)
+		}
+	case *StringLit:
+		p.emitf("%q", x.Value)
+	case *BoolLit:
+		if x.Value {
+			p.emit("true")
+		} else {
+			p.emit("false")
+		}
+	case *NullLit:
+		p.emit("null")
+	case *UndefinedLit:
+		p.emit("undefined")
+	case *Ident:
+		p.emit(p.name(x.Name))
+	case *ArrayLit:
+		p.emit("[")
+		for i, e := range x.Elems {
+			if i > 0 {
+				p.emit(",")
+				p.ws(" ")
+			}
+			p.expr(e, precAssign)
+		}
+		p.emit("]")
+	case *NewArray:
+		p.emit("new Array(")
+		p.expr(x.Len, precLowest)
+		p.emit(")")
+	case *IndexExpr:
+		p.expr(x.X, precPostfix)
+		p.emit("[")
+		p.expr(x.Index, precLowest)
+		p.emit("]")
+	case *MemberExpr:
+		p.expr(x.X, precPostfix)
+		p.emit(".")
+		p.emit(x.Name)
+	case *CallExpr:
+		p.expr(x.Callee, precPostfix)
+		p.emit("(")
+		for i, a := range x.Args {
+			if i > 0 {
+				p.emit(",")
+				p.ws(" ")
+			}
+			p.expr(a, precAssign)
+		}
+		p.emit(")")
+	case *UnaryExpr:
+		p.emitOp(x.Op.String())
+		if x.Op == token.Typeof {
+			p.emit(" ")
+		}
+		p.expr(x.X, precUnary)
+	case *BinaryExpr:
+		bp := binPrec(x.Op)
+		// Left-associative operators need parens around a same-precedence
+		// right child; the right-associative ** needs them around a
+		// same-precedence left child instead.
+		lp, rp := bp, bp+1
+		if x.Op == token.StarStar {
+			lp, rp = bp+1, bp
+		}
+		p.expr(x.X, lp)
+		p.ws(" ")
+		p.emitOp(x.Op.String())
+		p.ws(" ")
+		p.expr(x.Y, rp)
+	case *LogicalExpr:
+		bp := precAnd
+		if x.Op == token.PipePipe {
+			bp = precOr
+		}
+		p.expr(x.X, bp)
+		p.ws(" ")
+		p.emitOp(x.Op.String())
+		p.ws(" ")
+		p.expr(x.Y, bp+1)
+	case *CondExpr:
+		p.expr(x.Cond, precOr)
+		p.ws(" ")
+		p.emit("?")
+		p.ws(" ")
+		p.expr(x.Then, precAssign)
+		p.ws(" ")
+		p.emit(":")
+		p.ws(" ")
+		p.expr(x.Else, precAssign)
+	case *AssignExpr:
+		p.expr(x.Target, precPostfix)
+		p.ws(" ")
+		p.emit(x.Op.String())
+		p.ws(" ")
+		p.expr(x.Value, precAssign)
+	case *UpdateExpr:
+		if x.Prefix {
+			p.emitOp(x.Op.String())
+			p.expr(x.Target, precUnary)
+		} else {
+			p.expr(x.Target, precPostfix)
+			p.emitOp(x.Op.String())
+		}
+	}
+}
+
+func exprPrec(x Expr) int {
+	switch x := x.(type) {
+	case *BinaryExpr:
+		return binPrec(x.Op)
+	case *LogicalExpr:
+		if x.Op == token.PipePipe {
+			return precOr
+		}
+		return precAnd
+	case *CondExpr:
+		return precCond
+	case *AssignExpr:
+		return precAssign
+	case *UnaryExpr:
+		return precUnary
+	case *UpdateExpr:
+		return precPostfix
+	default:
+		return precPostfix + 1
+	}
+}

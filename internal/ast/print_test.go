@@ -1,0 +1,144 @@
+package ast_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/ast"
+	"github.com/jitbull/jitbull/internal/compiler"
+	"github.com/jitbull/jitbull/internal/heap"
+	"github.com/jitbull/jitbull/internal/interp"
+	"github.com/jitbull/jitbull/internal/parser"
+)
+
+// evalResult interprets src and returns the printed output (sources end
+// with print(...)).
+func evalResult(t *testing.T, src string) string {
+	t.Helper()
+	prog, err := compiler.Compile(src)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	var out strings.Builder
+	vm := interp.New(prog, heap.New(0), &out)
+	if _, err := vm.Run(); err != nil {
+		t.Fatalf("run %q: %v", src, err)
+	}
+	return out.String()
+}
+
+// roundTrip prints the parsed program and checks the output still parses
+// and evaluates identically.
+func roundTrip(t *testing.T, src string, minify bool) {
+	t.Helper()
+	prog := parser.MustParse(src)
+	printed := ast.Print(prog, ast.PrintConfig{Minify: minify})
+	if _, err := parser.Parse(printed); err != nil {
+		t.Fatalf("printed source does not parse: %v\n%s", err, printed)
+	}
+	if got, want := evalResult(t, printed), evalResult(t, src); got != want {
+		t.Fatalf("round-trip changed semantics (minify=%v):\nsrc: %s\nout: %s\nwant %q got %q",
+			minify, src, printed, want, got)
+	}
+}
+
+// TestPrinterPrecedence covers the parenthesization decisions: each case
+// evaluates an expression whose tree shape must survive printing.
+func TestPrinterPrecedence(t *testing.T) {
+	cases := []string{
+		"print((1 + 2) * 3);",
+		"print(1 + 2 * 3);",
+		"print(10 - (4 - 3));",
+		"print((10 - 4) - 3);",
+		"print(2 ** 3 ** 2);",
+		"print((2 ** 3) ** 2);",
+		"print(-(1 + 2));",
+		"print((1 < 2) == true);",
+		"print(1 & (3 == 3 ? 1 : 0));",
+		"print((1 | 2) & 3);",
+		"print(1 | (2 & 3));",
+		"print(8 >> (1 + 1));",
+		"print((8 >> 1) + 1);",
+		"print((1 && 0) || 1);",
+		"print(1 && (0 || 1));",
+		"print(!(1 < 2));",
+		"print(~(5 | 2));",
+		"print((1 ? 2 : 3) ? 4 : 5);",
+		"print(typeof (1 + 2));",
+		"var a = [1, 2]; print(a[1 + 0] * 2);",
+		"var x = 5; x += 2 * 3; print(x);",
+		"var y = 1; print(y++ + ++y);",
+		"print((2 % 3) * 4);",
+		"print(2 % (3 * 4));",
+	}
+	for _, src := range cases {
+		roundTrip(t, src, false)
+		roundTrip(t, src, true)
+	}
+}
+
+func TestPrinterStatements(t *testing.T) {
+	srcs := []string{
+		`
+function f(n) {
+  var s = 0;
+  for (var i = 0; i < n; i++) {
+    if (i % 2 == 0) { continue; }
+    if (i > 7) { break; }
+    s += i;
+  }
+  do { s--; } while (s > 10);
+  while (s < 20) { s = s + 3; }
+  return s;
+}
+print(f(12));`,
+		`
+var a = new Array(4);
+a[0] = 1; a.length = 2; a.push(9);
+print(a.length, a[0], a.pop());`,
+		`
+function g(x) {
+  if (x < 0) { return -x; }
+  else if (x == 0) { return 100; }
+  else { return x; }
+}
+print(g(-5) + g(0) + g(5));`,
+		`
+var s = "he\"llo\n";
+print(s.length, s.charCodeAt(0), String.fromCharCode(33));`,
+		"var e; print(e === undefined, null == undefined, typeof null);",
+	}
+	for _, src := range srcs {
+		roundTrip(t, src, false)
+		roundTrip(t, src, true)
+	}
+}
+
+func TestPrinterRenameConsistency(t *testing.T) {
+	src := "function f(a) { var b = a + 1; return b; } print(f(2));"
+	prog := parser.MustParse(src)
+	out := ast.Print(prog, ast.PrintConfig{Rename: map[string]string{
+		"f": "q", "a": "r", "b": "s",
+	}})
+	for _, want := range []string{"function q(r)", "var s = r + 1", "return s", "print(q(2))"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rename output missing %q:\n%s", want, out)
+		}
+	}
+	if got := evalResult(t, out); got != "3\n" {
+		t.Fatalf("renamed program output = %q", got)
+	}
+}
+
+func TestWalkSkipsChildrenWhenFalse(t *testing.T) {
+	prog := parser.MustParse("function f(a) { return a + g(a); } ")
+	count := 0
+	ast.Walk(prog, func(n ast.Node) bool {
+		count++
+		_, isFn := n.(*ast.FuncDecl)
+		return !isFn // do not descend into the function
+	})
+	if count != 2 { // Program + FuncDecl
+		t.Fatalf("visited %d nodes, want 2", count)
+	}
+}

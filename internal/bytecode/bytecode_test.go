@@ -1,0 +1,67 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/value"
+)
+
+func TestOpStrings(t *testing.T) {
+	known := map[Op]string{
+		OpConst:       "const",
+		OpCall:        "call",
+		OpGetElem:     "getelem",
+		OpSetLength:   "setlength",
+		OpJumpIfFalse: "jumpiffalse",
+	}
+	for op, want := range known {
+		if got := op.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", op, got, want)
+		}
+	}
+	if s := Op(250).String(); !strings.Contains(s, "250") {
+		t.Errorf("unknown op string = %q", s)
+	}
+}
+
+func TestBuiltinStrings(t *testing.T) {
+	if BMathSqrt.String() != "Math.sqrt" || BArrayPush.String() != "push" {
+		t.Error("builtin names wrong")
+	}
+	if s := Builtin(999).String(); !strings.Contains(s, "999") {
+		t.Errorf("unknown builtin string = %q", s)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	fn := &Function{
+		Name:      "demo",
+		NumParams: 1,
+		NumLocals: 2,
+		Consts:    []value.Value{value.Num(3.5), value.Str("hi")},
+		Code: []Instr{
+			{Op: OpConst, A: 0},
+			{Op: OpLoadLocal, A: 0},
+			{Op: OpAdd},
+			{Op: OpCall, A: 2, B: 1},
+			{Op: OpCallBuiltin, A: int32(BMathSqrt), B: 1},
+			{Op: OpJumpIfFalse, A: 7},
+			{Op: OpReturn},
+			{Op: OpReturnUndef},
+		},
+	}
+	text := fn.Disassemble()
+	for _, want := range []string{"function demo", "const", "3.5", "fn=2 argc=1", "Math.sqrt argc=1", "jumpiffalse  7"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestProgramMain(t *testing.T) {
+	p := &Program{Funcs: []*Function{{Name: "(main)"}, {Name: "f"}}}
+	if p.Main().Name != "(main)" {
+		t.Fatal("Main() must return Funcs[0]")
+	}
+}

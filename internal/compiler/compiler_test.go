@@ -1,0 +1,166 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/bytecode"
+)
+
+func compileOK(t *testing.T, src string) *bytecode.Program {
+	t.Helper()
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return p
+}
+
+func TestFunctionIndexing(t *testing.T) {
+	p := compileOK(t, "function a() {} function b() {} a(); b();")
+	if len(p.Funcs) != 3 {
+		t.Fatalf("funcs = %d, want 3 (main + 2)", len(p.Funcs))
+	}
+	if p.FuncByName["a"] != 1 || p.FuncByName["b"] != 2 {
+		t.Fatalf("indexes: %v", p.FuncByName)
+	}
+	if p.Main().Name != "(main)" {
+		t.Fatal("main missing")
+	}
+}
+
+func TestGlobalSlots(t *testing.T) {
+	p := compileOK(t, "var x = 1; var y = 2; z = 3;")
+	want := map[string]bool{"x": true, "y": true, "z": true}
+	for _, n := range p.GlobalNames {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing globals %v in %v", want, p.GlobalNames)
+	}
+}
+
+func TestLocalsAndParams(t *testing.T) {
+	p := compileOK(t, "function f(a, b) { var c = a; var d = b; return c + d; }")
+	f := p.Funcs[1]
+	if f.NumParams != 2 {
+		t.Fatalf("params = %d", f.NumParams)
+	}
+	if f.NumLocals != 4 {
+		t.Fatalf("locals = %d, want 4", f.NumLocals)
+	}
+}
+
+func TestHoisting(t *testing.T) {
+	// `var` in nested blocks is function-scoped.
+	p := compileOK(t, "function f(c) { if (c) { var inner = 1; } return inner; }")
+	f := p.Funcs[1]
+	if f.NumLocals != 2 {
+		t.Fatalf("locals = %d, want 2 (c + inner)", f.NumLocals)
+	}
+	// The read of `inner` must be a local load, not a global one.
+	for _, in := range f.Code {
+		if in.Op == bytecode.OpLoadGlobal {
+			t.Fatal("hoisted var compiled as global")
+		}
+	}
+}
+
+func TestConstPoolDedup(t *testing.T) {
+	p := compileOK(t, "function f() { return 7 + 7 + 7; }")
+	f := p.Funcs[1]
+	if len(f.Consts) != 1 {
+		t.Fatalf("consts = %d, want 1 (deduped)", len(f.Consts))
+	}
+}
+
+func TestStatementModeAvoidsDupPop(t *testing.T) {
+	// `x = 1;` as a statement should not emit Dup (expression-value mode).
+	p := compileOK(t, "function f() { var x = 0; x = 1; x += 2; }")
+	f := p.Funcs[1]
+	for _, in := range f.Code {
+		if in.Op == bytecode.OpDup {
+			t.Fatalf("statement-mode assignment emitted dup:\n%s", f.Disassemble())
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{"nope();", "undeclared function"},
+		{"function f() {} var g = f;", "not first-class"},
+		{"break;", "break outside loop"},
+		{"continue;", "continue outside loop"},
+		{"function f() { function g() {} }", "nested function"},
+		{"function f() {} function f() {}", "duplicate function"},
+		{"var x = Math.nothere(1);", "unknown Math function"},
+		{"var x = [1].bogus();", `unknown method "bogus"`},
+		{"var x = ({}).length;", ""}, // parse error is fine too
+	}
+	for _, tt := range tests {
+		_, err := Compile(tt.src)
+		if err == nil {
+			t.Errorf("%q: expected error", tt.src)
+			continue
+		}
+		if tt.want != "" && !strings.Contains(err.Error(), tt.want) {
+			t.Errorf("%q: error %q does not mention %q", tt.src, err, tt.want)
+		}
+	}
+}
+
+func TestBuiltinResolution(t *testing.T) {
+	p := compileOK(t, `
+var a = [1];
+a.push(2);
+a.pop();
+print("x");
+var c = "s".charCodeAt(0);
+var f = Math.floor(1.5);
+var addr = __addrof(a);
+`)
+	var builtins []bytecode.Builtin
+	for _, in := range p.Main().Code {
+		if in.Op == bytecode.OpCallBuiltin {
+			builtins = append(builtins, bytecode.Builtin(in.A))
+		}
+	}
+	want := []bytecode.Builtin{
+		bytecode.BArrayPush, bytecode.BArrayPop, bytecode.BPrint,
+		bytecode.BCharCodeAt, bytecode.BMathFloor, bytecode.BAddrOf,
+	}
+	if len(builtins) != len(want) {
+		t.Fatalf("builtins = %v, want %v", builtins, want)
+	}
+	for i := range want {
+		if builtins[i] != want[i] {
+			t.Errorf("builtin %d = %v, want %v", i, builtins[i], want[i])
+		}
+	}
+}
+
+func TestLoopJumpTargetsInRange(t *testing.T) {
+	p := compileOK(t, `
+function f(n) {
+  var s = 0;
+  for (var i = 0; i < n; i++) {
+    if (i == 2) { continue; }
+    if (i == 5) { break; }
+    while (s < 10) { s++; }
+    do { s--; } while (s > 5);
+  }
+  return s;
+}`)
+	f := p.Funcs[1]
+	for pc, in := range f.Code {
+		switch in.Op {
+		case bytecode.OpJump, bytecode.OpJumpIfFalse, bytecode.OpJumpIfTrue:
+			if in.A < 0 || int(in.A) > len(f.Code) {
+				t.Fatalf("pc %d: jump target %d out of range", pc, in.A)
+			}
+		}
+	}
+}

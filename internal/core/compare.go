@@ -1,0 +1,168 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/jitbull/jitbull/internal/engine"
+	"github.com/jitbull/jitbull/internal/mir"
+	"github.com/jitbull/jitbull/internal/passes"
+)
+
+// CompareChains implements the COMPARECHAINS function of Algorithm 2: two
+// sub-chain sets are similar when the number of chains in common reaches
+// both the absolute threshold Thr and the fraction Ratio of the maximum
+// possible (the smaller set's size). Inputs must be sorted sets (as
+// produced by the extractor).
+func CompareChains(a, b []string, ratio float64, thr int) bool {
+	maxEq := len(a)
+	if len(b) < maxEq {
+		maxEq = len(b)
+	}
+	if maxEq == 0 {
+		return false
+	}
+	eq := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			eq++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return eq >= thr && float64(eq) >= ratio*float64(maxEq)
+}
+
+// SimilarDeltas reports whether Δ_i^f ≈ Δ_i^f' — either the removed or
+// the added sub-chain sets are similar (Algorithm 2, lines 14-16).
+func SimilarDeltas(a, b Delta, ratio float64, thr int) bool {
+	return CompareChains(a.Removed, b.Removed, ratio, thr) ||
+		CompareChains(a.Added, b.Added, ratio, thr)
+}
+
+// Match records one DNA similarity found during a compilation.
+type Match struct {
+	CVE     string
+	VDCFunc string
+	Pass    string
+}
+
+// Detector is the Δ comparator plus go/no-go policy. It implements
+// engine.Policy: install it with Engine.SetPolicy. With an empty database
+// Active reports false and the engine skips all snapshotting (zero
+// overhead, as §V requires).
+type Detector struct {
+	DB    *Database
+	Thr   int
+	Ratio float64
+
+	// Matches accumulates every similarity found (for evaluation runs).
+	Matches []Match
+}
+
+// NewDetector creates a detector over db with the paper's default
+// threshold (3) and ratio (50%).
+func NewDetector(db *Database) *Detector {
+	return &Detector{DB: db, Thr: DefaultThr, Ratio: DefaultRatio}
+}
+
+var _ engine.Policy = (*Detector)(nil)
+
+// Active implements engine.Policy.
+func (d *Detector) Active() bool { return d.DB != nil && d.DB.Size() > 0 }
+
+// BeginCompile implements engine.Policy: it returns an observer that
+// extracts the function's DNA pass by pass, and a finish function that
+// compares it against every VDC DNA in the database and produces the
+// go/no-go decision.
+func (d *Detector) BeginCompile(fnName string) (passes.Observer, func() engine.CompileDecision) {
+	dna := DNA{FuncName: fnName, Passes: map[string]Delta{}}
+	var de deltaExtractor
+	obs := func(_ int, passName string, before, after *mir.Snapshot) {
+		if before == nil || after == nil {
+			return // pass skipped (already disabled)
+		}
+		delta := de.delta(before, after)
+		if !delta.Empty() {
+			dna.Passes[passName] = delta
+		}
+	}
+	finish := func() engine.CompileDecision {
+		disSet := map[string]bool{}
+		for _, vdc := range d.DB.VDCs {
+			for _, vdna := range vdc.DNAs {
+				for passName, vdelta := range vdna.Passes {
+					fdelta, ok := dna.Passes[passName]
+					if !ok {
+						continue
+					}
+					if SimilarDeltas(fdelta, vdelta, d.Ratio, d.Thr) {
+						if !disSet[passName] {
+							disSet[passName] = true
+						}
+						d.Matches = append(d.Matches, Match{CVE: vdc.CVE, VDCFunc: vdna.FuncName, Pass: passName})
+					}
+				}
+			}
+		}
+		if len(disSet) == 0 {
+			return engine.CompileDecision{}
+		}
+		names := make([]string, 0, len(disSet))
+		noJIT := false
+		for name := range disSet {
+			if !passes.Disableable(name) {
+				noJIT = true
+			}
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		if noJIT {
+			// Scenario 3: a matched pass cannot be disabled — disable the
+			// JIT for this function entirely (conservative approach, §IV-C).
+			return engine.CompileDecision{NoJIT: true, DisabledPasses: names}
+		}
+		return engine.CompileDecision{DisabledPasses: names}
+	}
+	return obs, finish
+}
+
+// Recorder implements engine.Policy in record-only mode: it extracts the
+// DNA of every function the engine compiles without ever vetoing a
+// compilation. It is how VDC fingerprints are produced (step 1 of the
+// paper's workflow): run the demonstrator code on the vulnerable engine
+// with a Recorder installed, then store the collected DNAs in the
+// database.
+type Recorder struct {
+	DNAs []DNA
+}
+
+var _ engine.Policy = (*Recorder)(nil)
+
+// Active implements engine.Policy.
+func (r *Recorder) Active() bool { return true }
+
+// BeginCompile implements engine.Policy.
+func (r *Recorder) BeginCompile(fnName string) (passes.Observer, func() engine.CompileDecision) {
+	dna := DNA{FuncName: fnName, Passes: map[string]Delta{}}
+	var de deltaExtractor
+	obs := func(_ int, passName string, before, after *mir.Snapshot) {
+		if before == nil || after == nil {
+			return
+		}
+		delta := de.delta(before, after)
+		if !delta.Empty() {
+			dna.Passes[passName] = delta
+		}
+	}
+	finish := func() engine.CompileDecision {
+		r.DNAs = append(r.DNAs, dna)
+		return engine.CompileDecision{}
+	}
+	return obs, finish
+}

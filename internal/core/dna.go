@@ -1,0 +1,121 @@
+// Package core implements JITBULL, the paper's contribution: extraction of
+// "JIT DNA" — the per-pass effects of the optimization pipeline on a JITed
+// function's IR (Algorithm 1) — and comparison of a running function's DNA
+// against the DNA of known vulnerability demonstrator codes (Algorithm 2),
+// driving a go/no-go policy that disables matched optimization passes (or,
+// when a matched pass is mandatory, JIT compilation of that function).
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Default comparator settings from §IV-E of the paper: at least Thr
+// sub-chains in common, and at least Ratio of the maximum possible.
+const (
+	DefaultThr   = 3
+	DefaultRatio = 0.5
+)
+
+// Delta is Δ_i^f: the effect of optimization pass i on function f's IR,
+// expressed as the sets of removed (δ⁻) and added (δ⁺) dependency
+// sub-chains. Chains are rendered as opcode sequences joined by "→" (the
+// IDs are renumbered between passes, so content — not numbering — is what
+// identifies a chain).
+type Delta struct {
+	Removed []string `json:"removed,omitempty"`
+	Added   []string `json:"added,omitempty"`
+}
+
+// Empty reports whether the pass had no observable effect.
+func (d Delta) Empty() bool { return len(d.Removed) == 0 && len(d.Added) == 0 }
+
+// DNA is Δ^f = (Δ_1^f ... Δ_n^f) for one JITed function. Passes with an
+// empty delta are omitted (they can never reach the comparison threshold).
+type DNA struct {
+	FuncName string           `json:"func"`
+	Passes   map[string]Delta `json:"passes"`
+}
+
+// VDC is the stored fingerprint of one vulnerability demonstrator code:
+// the DNA of every function the demonstrator got JIT-compiled.
+type VDC struct {
+	CVE  string `json:"cve"`
+	DNAs []DNA  `json:"dnas"`
+}
+
+// Database is the JITBULL VDC DNA database. Entries are installed when a
+// vulnerability is reported and removed when its patch ships.
+type Database struct {
+	VDCs []VDC `json:"vdcs"`
+}
+
+// Add installs (or replaces) the fingerprint for a CVE.
+func (db *Database) Add(v VDC) {
+	db.Remove(v.CVE)
+	db.VDCs = append(db.VDCs, v)
+}
+
+// Remove deletes the fingerprint for a CVE (the patch was applied).
+// It reports whether an entry was present.
+func (db *Database) Remove(cve string) bool {
+	for i, v := range db.VDCs {
+		if v.CVE == cve {
+			db.VDCs = append(db.VDCs[:i], db.VDCs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Size returns the number of installed VDC fingerprints.
+func (db *Database) Size() int { return len(db.VDCs) }
+
+// CVEs lists the installed CVE identifiers in order.
+func (db *Database) CVEs() []string {
+	out := make([]string, len(db.VDCs))
+	for i, v := range db.VDCs {
+		out[i] = v.CVE
+	}
+	return out
+}
+
+// MarshalJSON renders the database deterministically.
+func (db *Database) Save(path string) error {
+	data, err := json.MarshalIndent(db, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal DNA database: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadDatabase reads a database written by Save.
+func LoadDatabase(path string) (*Database, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var db Database
+	if err := json.Unmarshal(data, &db); err != nil {
+		return nil, fmt.Errorf("parse DNA database %s: %w", path, err)
+	}
+	return &db, nil
+}
+
+// sortedSet sorts and dedups a chain list in place, returning it.
+func sortedSet(chains []string) []string {
+	if len(chains) == 0 {
+		return nil
+	}
+	sort.Strings(chains)
+	out := chains[:1]
+	for _, c := range chains[1:] {
+		if c != out[len(out)-1] {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/jitbull/jitbull/internal/mir"
+)
+
+// Resource caps for the Δ extractor. Pathological graphs (deep diamonds)
+// can have exponentially many root→leaf paths; extraction truncates
+// deterministically instead of blowing up.
+const (
+	maxChains    = 4096
+	maxChainLen  = 48
+	maxPairCands = 512
+)
+
+// chainSep joins opcode names into a chain string.
+const chainSep = "→"
+
+// ExtractDelta implements Algorithm 1: build the instruction dependency
+// graphs of IR_{i-1} and IR_i, enumerate their root→leaf dependency
+// chains, and compute the removed (δ⁻) and added (δ⁺) sub-chains.
+func ExtractDelta(before, after *mir.Snapshot) Delta {
+	pre := chainsOf(before)
+	post := chainsOf(after)
+	removed, added := diffChainSets(pre, post)
+	return Delta{Removed: removed, Added: added}
+}
+
+// deltaExtractor memoizes the chain multiset of the most recent snapshot:
+// consecutive passes share IR snapshots (pass i's "after" is pass i+1's
+// "before"), so each snapshot's chains are computed exactly once per
+// compilation.
+type deltaExtractor struct {
+	lastSnap   *mir.Snapshot
+	lastChains []string
+}
+
+func (de *deltaExtractor) delta(before, after *mir.Snapshot) Delta {
+	if snapshotsEqual(before, after) {
+		// The pass changed nothing: empty delta, and the memo (if any)
+		// stays valid for the new snapshot pointer.
+		if de.lastSnap == before {
+			de.lastSnap = after
+		}
+		return Delta{}
+	}
+	var pre []string
+	if before == de.lastSnap && before != nil {
+		pre = de.lastChains
+	} else {
+		pre = chainsOf(before)
+	}
+	post := chainsOf(after)
+	de.lastSnap, de.lastChains = after, post
+	removed, added := diffChainSets(pre, post)
+	return Delta{Removed: removed, Added: added}
+}
+
+// snapshotsEqual reports whether two snapshots are structurally identical
+// up to instruction renumbering-free equality (same order, opcodes and
+// operand references).
+func snapshotsEqual(a, b *mir.Snapshot) bool {
+	if len(a.Instrs) != len(b.Instrs) {
+		return false
+	}
+	for i := range a.Instrs {
+		x, y := &a.Instrs[i], &b.Instrs[i]
+		if x.ID != y.ID || x.Opcode != y.Opcode || len(x.Operands) != len(y.Operands) {
+			return false
+		}
+		for j := range x.Operands {
+			if x.Operands[j] != y.Operands[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// depGraph is the dependency-graph form of one IR snapshot (BuildGraph in
+// Algorithm 1): for every instruction with operands, edges point from the
+// instruction to each operand ("dependency"); roots are instructions that
+// are not a dependency of any other instruction.
+type depGraph struct {
+	ops   []string // opcode by node index
+	deps  [][]int  // node -> dependency node indexes
+	roots []int
+}
+
+func buildGraph(s *mir.Snapshot) depGraph {
+	idToIdx := make(map[int]int, len(s.Instrs))
+	for i, in := range s.Instrs {
+		idToIdx[in.ID] = i
+	}
+	g := depGraph{
+		ops:  make([]string, len(s.Instrs)),
+		deps: make([][]int, len(s.Instrs)),
+	}
+	inGraph := make([]bool, len(s.Instrs))
+	isRoot := make([]bool, len(s.Instrs))
+	for i, in := range s.Instrs {
+		g.ops[i] = in.Opcode
+		if len(in.Operands) == 0 {
+			continue
+		}
+		if !inGraph[i] {
+			inGraph[i] = true
+			isRoot[i] = true
+		}
+		for _, opID := range in.Operands {
+			j, ok := idToIdx[opID]
+			if !ok {
+				continue
+			}
+			if isRoot[j] {
+				isRoot[j] = false
+			}
+			inGraph[j] = true
+			g.deps[i] = append(g.deps[i], j)
+		}
+	}
+	for i := range s.Instrs {
+		if inGraph[i] && isRoot[i] {
+			g.roots = append(g.roots, i)
+		}
+	}
+	return g
+}
+
+// chainsOf returns the dependency chains (as opcode-sequence strings) of
+// the snapshot — MakeChains over every root. The result is a sorted
+// multiset: two different instruction paths with the same opcode sequence
+// yield two entries, so duplicate-elimination by later passes stays
+// observable.
+func chainsOf(s *mir.Snapshot) []string {
+	g := buildGraph(s)
+	var out []string
+	var path []string
+	onPath := map[int]bool{}
+	var walk func(n int)
+	walk = func(n int) {
+		if len(out) >= maxChains {
+			return
+		}
+		if onPath[n] || len(path) >= maxChainLen {
+			// Cycle (phi back edge) or depth cap: terminate the chain here.
+			out = append(out, strings.Join(path, chainSep))
+			return
+		}
+		path = append(path, g.ops[n])
+		onPath[n] = true
+		if len(g.deps[n]) == 0 {
+			out = append(out, strings.Join(path, chainSep))
+		} else {
+			for _, d := range g.deps[n] {
+				walk(d)
+			}
+		}
+		onPath[n] = false
+		path = path[:len(path)-1]
+	}
+	for _, r := range g.roots {
+		walk(r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// diffChainSets computes δ⁻ and δ⁺ between the pre- and post-pass chain
+// collections. Chains whose multiplicity did not change cancel; a chain
+// whose count dropped (classic CSE of a duplicate) is emitted whole into
+// δ⁻ (and symmetrically for δ⁺); each remaining brand-new/brand-gone
+// chain is aligned with its best-matching counterpart and the differing
+// runs (anchored on an adjacent common element, as in the paper's worked
+// example) are emitted.
+func diffChainSets(pre, post []string) (removed, added []string) {
+	preCount := map[string]int{}
+	for _, c := range pre {
+		preCount[c]++
+	}
+	postCount := map[string]int{}
+	for _, c := range post {
+		postCount[c]++
+	}
+	var p, q []string
+	for _, c := range pre {
+		if postCount[c] == 0 {
+			p = append(p, c)
+		}
+	}
+	for _, c := range post {
+		if preCount[c] == 0 {
+			q = append(q, c)
+		}
+	}
+	// Multiplicity drops/rises for chains present on both sides.
+	seen := map[string]bool{}
+	for c, n := range preCount {
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		m := postCount[c]
+		if m == 0 {
+			continue // handled by the alignment path
+		}
+		if n > m {
+			removed = append(removed, c)
+		} else if m > n {
+			added = append(added, c)
+		}
+	}
+	if len(p) > maxPairCands {
+		p = p[:maxPairCands]
+	}
+	if len(q) > maxPairCands {
+		q = q[:maxPairCands]
+	}
+
+	usedQ := make([]bool, len(q))
+	for _, pc := range p {
+		pt := strings.Split(pc, chainSep)
+		bestScore, bestIdx := 0, -1
+		for qi, qc := range q {
+			score := lcsLen(pt, strings.Split(qc, chainSep))
+			if score > bestScore {
+				bestScore, bestIdx = score, qi
+			}
+		}
+		if bestIdx < 0 {
+			removed = append(removed, pc)
+			continue
+		}
+		usedQ[bestIdx] = true
+		qt := strings.Split(q[bestIdx], chainSep)
+		rem, add := alignDiff(pt, qt)
+		removed = append(removed, rem...)
+		added = append(added, add...)
+	}
+	for qi, qc := range q {
+		if !usedQ[qi] {
+			added = append(added, qc)
+		}
+	}
+	return sortedSet(removed), sortedSet(added)
+}
+
+// lcsLen is the longest-common-subsequence length of two token sequences.
+func lcsLen(a, b []string) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// alignDiff aligns two chains on their LCS and returns the removed runs of
+// a and added runs of b, each anchored with the adjacent common element:
+// for a = A→B→C→D and b = B→C→E it returns removed {A→B, C→D} and added
+// {C→E}, matching §IV-D's example.
+func alignDiff(a, b []string) (removed, added []string) {
+	keepA, keepB := lcsMask(a, b)
+	removed = runsWithAnchors(a, keepA)
+	added = runsWithAnchors(b, keepB)
+	return removed, added
+}
+
+// lcsMask marks the elements of a and b that belong to one LCS.
+func lcsMask(a, b []string) (maskA, maskB []bool) {
+	la, lb := len(a), len(b)
+	dp := make([][]int16, la+1)
+	for i := range dp {
+		dp[i] = make([]int16, lb+1)
+	}
+	for i := 1; i <= la; i++ {
+		for j := 1; j <= lb; j++ {
+			if a[i-1] == b[j-1] {
+				dp[i][j] = dp[i-1][j-1] + 1
+			} else if dp[i-1][j] >= dp[i][j-1] {
+				dp[i][j] = dp[i-1][j]
+			} else {
+				dp[i][j] = dp[i][j-1]
+			}
+		}
+	}
+	maskA = make([]bool, la)
+	maskB = make([]bool, lb)
+	for i, j := la, lb; i > 0 && j > 0; {
+		switch {
+		case a[i-1] == b[j-1]:
+			maskA[i-1], maskB[j-1] = true, true
+			i--
+			j--
+		case dp[i-1][j] >= dp[i][j-1]:
+			i--
+		default:
+			j--
+		}
+	}
+	return maskA, maskB
+}
+
+// runsWithAnchors extracts each maximal run of non-kept elements, extended
+// with the adjacent kept element on each side when present.
+func runsWithAnchors(seq []string, kept []bool) []string {
+	var out []string
+	i := 0
+	for i < len(seq) {
+		if kept[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < len(seq) && !kept[j] {
+			j++
+		}
+		start, end := i, j // run [i, j)
+		if start > 0 {
+			start-- // include preceding kept anchor
+		}
+		if end < len(seq) {
+			end++ // include following kept anchor
+		}
+		out = append(out, strings.Join(seq[start:end], chainSep))
+		i = j
+	}
+	return out
+}

@@ -1,0 +1,449 @@
+// Package engine implements the tiered nanojs runtime: profiling
+// interpreter → baseline → optimizing JIT, mirroring SpiderMonkey's
+// structure from the paper's Figure 1. The engine owns invocation
+// counters and thresholds (baseline at 100 calls, Ion at 1500 as in §II),
+// type-feedback profiling, the OptimizeMIR pipeline with its
+// SUCCESS/FAILURE + Recompile protocol (§V), bailouts, and the JITBULL
+// policy hook.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/jitbull/jitbull/internal/ast"
+	"github.com/jitbull/jitbull/internal/bytecode"
+	"github.com/jitbull/jitbull/internal/compiler"
+	"github.com/jitbull/jitbull/internal/heap"
+	"github.com/jitbull/jitbull/internal/interp"
+	"github.com/jitbull/jitbull/internal/lir"
+	"github.com/jitbull/jitbull/internal/mirbuild"
+	"github.com/jitbull/jitbull/internal/native"
+	"github.com/jitbull/jitbull/internal/parser"
+	"github.com/jitbull/jitbull/internal/passes"
+	"github.com/jitbull/jitbull/internal/regalloc"
+	"github.com/jitbull/jitbull/internal/value"
+)
+
+// Default tier thresholds, as described in the paper's §II for
+// SpiderMonkey.
+const (
+	DefaultBaselineThreshold = 100
+	DefaultIonThreshold      = 1500
+
+	// maxBailoutsBeforeBlacklist is how many guard failures a compiled
+	// function tolerates before the engine gives up optimizing it.
+	maxBailoutsBeforeBlacklist = 32
+)
+
+// HijackError reports a control-flow hijack: a function's JIT code pointer
+// was overwritten (the exploit payload "executed").
+type HijackError struct {
+	FuncIndex int
+	FuncName  string
+}
+
+// Error implements the error interface.
+func (e *HijackError) Error() string {
+	return fmt.Sprintf("control-flow hijack: code pointer of %s (fn #%d) overwritten — payload executed", e.FuncName, e.FuncIndex)
+}
+
+// CompileDecision is the JITBULL go/no-go verdict for one compilation.
+type CompileDecision struct {
+	// DisabledPasses lists dangerous passes to disable for this function.
+	DisabledPasses []string
+	// NoJIT forces interpreter-only execution (scenario 3 of §V: a matched
+	// pass is mandatory).
+	NoJIT bool
+}
+
+// Policy is the JITBULL hook (implemented by internal/core). When Active
+// returns false (empty VDC database) the engine takes no snapshots at all.
+type Policy interface {
+	Active() bool
+	// BeginCompile returns an observer to install on the pass pipeline and
+	// a finish function producing the decision.
+	BeginCompile(fnName string) (passes.Observer, func() CompileDecision)
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	BaselineThreshold int
+	IonThreshold      int
+	Bugs              passes.BugSet
+	DisableJIT        bool // NoJIT mode: interpreter only
+	HeapCells         int
+	MaxSteps          int64 // combined interp+native step budget (0 = default)
+	Out               io.Writer
+}
+
+// Stats are the per-run counters the paper's Figure 4 reports.
+type Stats struct {
+	NrJIT      int // functions Ion-compiled (JIT-eligible and hot)
+	NrDisJIT   int // of those, compiled with >= 1 pass disabled by JITBULL
+	NrNoJIT    int // of those, forced to interpreter-only by JITBULL
+	Bailouts   int
+	Compiles   int
+	Recompiles int
+	InterpOnly int // hot but not JIT-eligible (outside the JIT subset)
+}
+
+type tier int
+
+const (
+	tierInterp tier = iota
+	tierBaseline
+	tierIon
+)
+
+type fnState struct {
+	fd   *ast.FuncDecl
+	fn   *bytecode.Function
+	tier tier
+
+	calls int
+
+	// Type feedback.
+	paramTypes []value.Type
+	paramBad   []bool
+	retType    value.Type
+	retBad     bool
+
+	code           *lir.Code
+	noJIT          bool // blacklisted (unsupported, scenario 3, or too many bailouts)
+	jitEligible    bool // mirbuild succeeded at least once
+	disabledPasses map[string]bool
+	bailouts       int
+	counted        bool // already counted in Stats.NrJIT
+}
+
+// Engine is a tiered nanojs runtime instance. It is not safe for
+// concurrent use.
+type Engine struct {
+	Prog  *bytecode.Program
+	VM    *interp.VM
+	arena *heap.Arena
+	cfg   Config
+
+	fns    []*fnState
+	policy Policy
+	pool   native.Pool
+
+	Stats    Stats
+	hijacked *HijackError
+}
+
+var _ interp.Dispatcher = (*Engine)(nil)
+var _ native.Hooks = (*Engine)(nil)
+
+// New parses, compiles and prepares src for execution.
+func New(src string, cfg Config) (*Engine, error) {
+	astProg, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := compiler.CompileProgram(astProg)
+	if err != nil {
+		return nil, err
+	}
+	prog.Source = src
+	return NewFromProgram(prog, astProg, cfg)
+}
+
+// NewFromProgram builds an engine over already-compiled code.
+func NewFromProgram(prog *bytecode.Program, astProg *ast.Program, cfg Config) (*Engine, error) {
+	if cfg.BaselineThreshold <= 0 {
+		cfg.BaselineThreshold = DefaultBaselineThreshold
+	}
+	if cfg.IonThreshold <= 0 {
+		cfg.IonThreshold = DefaultIonThreshold
+	}
+	arena := heap.New(cfg.HeapCells)
+	vm := interp.New(prog, arena, cfg.Out)
+	if cfg.MaxSteps > 0 {
+		vm.MaxSteps = cfg.MaxSteps
+	}
+	e := &Engine{Prog: prog, VM: vm, arena: arena, cfg: cfg}
+	vm.Dispatch = e
+
+	byName := map[string]*ast.FuncDecl{}
+	for _, fd := range astProg.Funcs() {
+		byName[fd.Name] = fd
+	}
+	e.fns = make([]*fnState, len(prog.Funcs))
+	for i, fn := range prog.Funcs {
+		st := &fnState{fn: fn, fd: byName[fn.Name]}
+		st.paramTypes = make([]value.Type, fn.NumParams)
+		st.paramBad = make([]bool, fn.NumParams)
+		e.fns[i] = st
+	}
+	return e, nil
+}
+
+// SetPolicy installs the JITBULL policy hook (nil removes it).
+func (e *Engine) SetPolicy(p Policy) { e.policy = p }
+
+// Arena returns the shared heap.
+func (e *Engine) Arena() *heap.Arena { return e.arena }
+
+// Hijacked returns the recorded control-flow hijack, if any.
+func (e *Engine) Hijacked() *HijackError { return e.hijacked }
+
+// GlobalGet implements native.Hooks.
+func (e *Engine) GlobalGet(slot int) value.Value { return e.VM.Globals[slot] }
+
+// GlobalSet implements native.Hooks.
+func (e *Engine) GlobalSet(slot int, v value.Value) { e.VM.Globals[slot] = v }
+
+// Random implements native.Hooks.
+func (e *Engine) Random() float64 { return e.VM.Random() }
+
+// Run executes the program's top-level code.
+func (e *Engine) Run() (value.Value, error) {
+	return e.VM.Exec(e.Prog.Main(), nil)
+}
+
+// Global returns the value of a named global variable (undefined when the
+// name does not exist).
+func (e *Engine) Global(name string) value.Value {
+	for i, n := range e.Prog.GlobalNames {
+		if n == name {
+			return e.VM.Globals[i]
+		}
+	}
+	return value.Undef()
+}
+
+// CallFunction implements the dispatcher: every nanojs call funnels
+// through here, where tiering decisions are made.
+func (e *Engine) CallFunction(idx int, args []value.Value) (value.Value, error) {
+	if idx < 0 || idx >= len(e.fns) {
+		return value.Undef(), &interp.RuntimeError{Msg: fmt.Sprintf("unknown function index %d", idx)}
+	}
+	st := e.fns[idx]
+
+	// Control-flow integrity: calling through an overwritten JIT code
+	// pointer means the attacker's payload runs instead of the function.
+	if !e.arena.CodePointerOK(idx) {
+		h := &HijackError{FuncIndex: idx, FuncName: st.fn.Name}
+		if e.hijacked == nil {
+			e.hijacked = h
+		}
+		return value.Undef(), h
+	}
+
+	st.calls++
+	if e.cfg.DisableJIT || st.fd == nil {
+		return e.VM.Exec(st.fn, args)
+	}
+
+	if st.code == nil {
+		e.profile(st, args)
+	}
+	if st.code == nil && !st.noJIT && st.calls >= e.cfg.IonThreshold {
+		e.compile(idx, st)
+	}
+	if st.tier == tierInterp && st.calls >= e.cfg.BaselineThreshold {
+		st.tier = tierBaseline
+	}
+
+	if st.code != nil {
+		budget := e.VM.MaxSteps - e.VM.Steps()
+		res, status, err := native.Exec(st.code, args, e, budget, &e.pool)
+		e.VM.AddSteps(res.Steps)
+		if err != nil {
+			return value.Undef(), err
+		}
+		if status == native.StatusOK {
+			e.observeReturn(st, res.Value())
+			return res.Value(), nil
+		}
+		// Bailout: fall back to the interpreter for this call.
+		e.Stats.Bailouts++
+		st.bailouts++
+		if st.bailouts >= maxBailoutsBeforeBlacklist {
+			st.code = nil
+			st.noJIT = true
+		}
+	}
+
+	v, err := e.VM.Exec(st.fn, args)
+	if err == nil {
+		e.observeReturn(st, v)
+	}
+	return v, err
+}
+
+// profile records argument type feedback for a not-yet-compiled function.
+func (e *Engine) profile(st *fnState, args []value.Value) {
+	for i := 0; i < len(st.paramTypes); i++ {
+		var t value.Type
+		if i < len(args) {
+			t = args[i].Type()
+		}
+		switch {
+		case st.paramTypes[i] == value.Undefined && st.calls == 1:
+			st.paramTypes[i] = t
+		case st.paramTypes[i] == t:
+		case st.paramTypes[i] == value.Boolean && t == value.Number,
+			st.paramTypes[i] == value.Number && t == value.Boolean:
+			st.paramTypes[i] = value.Number
+		default:
+			st.paramBad[i] = true
+		}
+	}
+}
+
+func (e *Engine) observeReturn(st *fnState, v value.Value) {
+	if st.code != nil {
+		return // feedback only matters before compilation
+	}
+	t := v.Type()
+	switch {
+	case st.retType == value.Undefined:
+		st.retType = t
+	case st.retType == t:
+	case st.retType == value.Number && (t == value.Boolean || t == value.Undefined),
+		(st.retType == value.Boolean || st.retType == value.Undefined) && t == value.Number:
+		st.retType = value.Number
+	default:
+		st.retBad = true
+	}
+}
+
+// compile attempts Ion compilation of function idx, applying the JITBULL
+// policy when installed. It implements the three scenarios of §V.
+func (e *Engine) compile(idx int, st *fnState) {
+	types := make([]value.Type, len(st.paramTypes))
+	copy(types, st.paramTypes)
+	for i, bad := range st.paramBad {
+		if bad {
+			types[i] = value.String // poisoned: mirbuild rejects it
+		}
+	}
+	opts := mirbuild.Options{
+		ParamTypes: types,
+		GlobalType: func(slot int) value.Type { return e.VM.Globals[slot].Type() },
+		ReturnType: func(fnIdx int) value.Type {
+			target := e.fns[fnIdx]
+			if target.retBad {
+				return value.String // poisoned
+			}
+			if target.retType == value.Undefined {
+				return value.Number // undefined flows as NaN
+			}
+			return target.retType
+		},
+	}
+
+	build := func() (*lir.Code, bool) {
+		g, err := mirbuild.Build(e.Prog, st.fd, opts)
+		if err != nil {
+			return nil, false
+		}
+		st.jitEligible = true
+		var obs passes.Observer
+		var finish func() CompileDecision
+		if e.policy != nil && e.policy.Active() {
+			obs, finish = e.policy.BeginCompile(st.fn.Name)
+		}
+		if err := passes.Run(g, e.cfg.Bugs, st.disabledPasses, obs); err != nil {
+			return nil, false
+		}
+		e.Stats.Compiles++
+		if finish != nil {
+			decision := finish()
+			if decision.NoJIT {
+				// Scenario 3: a matched pass is mandatory — OptimizeMIR
+				// returns FAILURE with Recompile=false.
+				if !st.counted {
+					st.counted = true
+					e.Stats.NrJIT++
+				}
+				e.Stats.NrNoJIT++
+				st.noJIT = true
+				return nil, false
+			}
+			if len(decision.DisabledPasses) > 0 {
+				// Scenario 2: FAILURE with Recompile=true — retry with the
+				// dangerous passes disabled.
+				if st.disabledPasses == nil {
+					st.disabledPasses = map[string]bool{}
+				}
+				grew := false
+				for _, name := range decision.DisabledPasses {
+					if !st.disabledPasses[name] {
+						st.disabledPasses[name] = true
+						grew = true
+					}
+				}
+				if grew {
+					if !st.counted {
+						st.counted = true
+						e.Stats.NrJIT++
+					}
+					e.Stats.NrDisJIT++
+					e.Stats.Recompiles++
+					g2, err := mirbuild.Build(e.Prog, st.fd, opts)
+					if err != nil {
+						return nil, false
+					}
+					if err := passes.Run(g2, e.cfg.Bugs, st.disabledPasses, nil); err != nil {
+						return nil, false
+					}
+					g = g2
+				}
+			}
+		}
+		code, err := lir.Lower(g)
+		if err != nil {
+			return nil, false
+		}
+		regalloc.Allocate(code)
+		return code, true
+	}
+
+	code, ok := build()
+	if !ok {
+		if !st.noJIT {
+			if st.jitEligible {
+				// Pipeline failed unexpectedly; stay on the interpreter.
+				st.noJIT = true
+			} else {
+				st.noJIT = true
+				e.Stats.InterpOnly++
+			}
+		}
+		return
+	}
+	if !st.counted {
+		st.counted = true
+		e.Stats.NrJIT++
+	}
+	st.code = code
+	st.tier = tierIon
+}
+
+// RunScript is a convenience: build an engine for src, run it, and return
+// the engine for inspection.
+func RunScript(src string, cfg Config) (*Engine, value.Value, error) {
+	e, err := New(src, cfg)
+	if err != nil {
+		return nil, value.Undef(), err
+	}
+	v, err := e.Run()
+	return e, v, err
+}
+
+// IsCrash reports whether err is a simulated segfault.
+func IsCrash(err error) bool {
+	var c *heap.CrashError
+	return errors.As(err, &c)
+}
+
+// IsHijack reports whether err is a control-flow hijack.
+func IsHijack(err error) bool {
+	var h *HijackError
+	return errors.As(err, &h)
+}

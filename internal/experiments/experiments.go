@@ -1,0 +1,388 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§VI): the §VI-B security matrix, Figure 4 (false-positive
+// rates), Figure 5 (execution times for NoJIT / JIT / JITBULL with 0, 1
+// and 4 VDCs), Figure 6 (scalability from 1 to 8 VDCs), plus the Table I
+// survey and the §III-C vulnerability-window statistics.
+//
+// See EXPERIMENTS.md for paper-vs-measured results.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/jitbull/jitbull/internal/core"
+	"github.com/jitbull/jitbull/internal/engine"
+	"github.com/jitbull/jitbull/internal/octane"
+	"github.com/jitbull/jitbull/internal/passes"
+	"github.com/jitbull/jitbull/internal/variants"
+	"github.com/jitbull/jitbull/internal/vulndb"
+)
+
+// Config parameterizes the experiment harness.
+type Config struct {
+	// IonThreshold for benchmark runs. The paper's engine uses 1500; the
+	// corpus analogues are sized so a lower threshold (default 100) gives
+	// the same steady-state tier mix in far less wall time.
+	IonThreshold int
+	// Repeats per timing measurement (minimum is reported).
+	Repeats int
+	// Scale multiplies the benchmarks' outer-loop iteration counts for
+	// timing experiments, amortizing one-time compilation exactly as the
+	// multi-second real Octane runs do.
+	Scale int
+}
+
+// Defaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.IonThreshold <= 0 {
+		c.IonThreshold = 100
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 3
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	return c
+}
+
+// dbBugs returns the bug set matching a database: during a vulnerability
+// window the engine *has* the unpatched bugs whose VDCs are installed.
+func dbBugs(cves []string) passes.BugSet {
+	bugs := passes.BugSet{}
+	for _, c := range cves {
+		bugs[c] = true
+	}
+	return bugs
+}
+
+// BuildDB fingerprints the first n implemented vulnerabilities
+// (CVE-2019-17026 first, as the paper's #1 case).
+func BuildDB(n int, thr int) (*core.Database, passes.BugSet, error) {
+	all := vulndb.All()
+	if n > len(all) {
+		n = len(all)
+	}
+	db, err := vulndb.BuildDatabase(all[:n], thr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return db, dbBugs(db.CVEs()), nil
+}
+
+// ---- §VI-B security matrix ----
+
+// SecurityRow is one (CVE, variant) cell of the paper's detection matrix.
+type SecurityRow struct {
+	CVE                  string
+	Variant              string
+	ExploitedUnprotected bool
+	NeutralizedByJITBULL bool
+	MatchedPasses        []string
+}
+
+// SecurityMatrix reproduces §VI-B: for each primary CVE, generate the four
+// variants and test them against a database holding only the original
+// demonstrator's DNA. The paper reports 100% detection.
+func SecurityMatrix(cfg Config) ([]SecurityRow, error) {
+	cfg = cfg.withDefaults()
+	var rows []SecurityRow
+	for _, v := range vulndb.Primary() {
+		vdc, err := vulndb.ExtractVDC(v, cfg.IonThreshold)
+		if err != nil {
+			return nil, err
+		}
+		db := &core.Database{}
+		db.Add(vdc)
+		renamed, err := variants.Rename(v.Demonstrator)
+		if err != nil {
+			return nil, err
+		}
+		minified, err := variants.Minify(v.Demonstrator)
+		if err != nil {
+			return nil, err
+		}
+		set := []struct{ name, src string }{
+			{"rename", renamed},
+			{"minify", minified},
+			{"reorder", v.ReorderVariant},
+			{"split", v.SplitVariant},
+		}
+		for _, variant := range set {
+			un := vulndb.Run(variant.src, v.Bug(), nil, cfg.IonThreshold)
+			prot := vulndb.Run(variant.src, v.Bug(), db, cfg.IonThreshold)
+			rows = append(rows, SecurityRow{
+				CVE:                  v.CVE,
+				Variant:              variant.name,
+				ExploitedUnprotected: un.Exploited(),
+				NeutralizedByJITBULL: !prot.Exploited() && len(prot.Matches) > 0,
+				MatchedPasses:        prot.MatchedPasses(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// DetectionRate returns detected/total over the matrix.
+func DetectionRate(rows []SecurityRow) (detected, total int) {
+	for _, r := range rows {
+		total++
+		if r.ExploitedUnprotected && r.NeutralizedByJITBULL {
+			detected++
+		}
+	}
+	return detected, total
+}
+
+// ---- Figure 4: false positives ----
+
+// FPRow is one benchmark bar of Figure 4.
+type FPRow struct {
+	Benchmark  string
+	NrJIT      int
+	NrDisJIT   int
+	NrNoJIT    int
+	PctSafe    float64
+	PctPassDis float64
+	PctNoJIT   float64
+}
+
+// FalsePositives reproduces Figure 4: run the (benign) Octane corpus on an
+// engine in a vulnerability window with dbSize VDC fingerprints installed,
+// and report the proportion of JITed functions JITBULL wrongly considered
+// dangerous.
+func FalsePositives(dbSize int, cfg Config) ([]FPRow, error) {
+	cfg = cfg.withDefaults()
+	db, bugs, err := BuildDB(dbSize, cfg.IonThreshold)
+	if err != nil {
+		return nil, err
+	}
+	var rows []FPRow
+	for _, b := range octane.Suite() {
+		e, err := engine.New(b.Source(cfg.Scale), engine.Config{IonThreshold: cfg.IonThreshold, Bugs: bugs})
+		if err != nil {
+			return nil, err
+		}
+		e.SetPolicy(core.NewDetector(db))
+		if _, err := e.Run(); err != nil {
+			return nil, fmt.Errorf("%s under #%d: %w", b.Name, dbSize, err)
+		}
+		row := FPRow{
+			Benchmark: b.Name,
+			NrJIT:     e.Stats.NrJIT,
+			NrDisJIT:  e.Stats.NrDisJIT,
+			NrNoJIT:   e.Stats.NrNoJIT,
+		}
+		if row.NrJIT > 0 {
+			row.PctPassDis = 100 * float64(row.NrDisJIT) / float64(row.NrJIT)
+			row.PctNoJIT = 100 * float64(row.NrNoJIT) / float64(row.NrJIT)
+			row.PctSafe = 100 - row.PctPassDis - row.PctNoJIT
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ---- Figure 5: execution times ----
+
+// PerfRow is one benchmark group of Figure 5: execution times under the
+// five configurations.
+type PerfRow struct {
+	Benchmark string
+	NoJIT     time.Duration
+	JIT       time.Duration
+	JB0       time.Duration // JITBULL installed, empty DB
+	JB1       time.Duration // 1 VDC
+	JB4       time.Duration // 4 VDCs
+}
+
+// Overhead returns (t/base - 1) as a percentage.
+func Overhead(t, base time.Duration) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (float64(t)/float64(base) - 1)
+}
+
+// timeRun measures the best-of-Repeats wall time for one configuration.
+func timeRun(src string, cfgE engine.Config, db *core.Database, repeats int) (time.Duration, error) {
+	best := time.Duration(0)
+	for i := 0; i < repeats; i++ {
+		e, err := engine.New(src, cfgE)
+		if err != nil {
+			return 0, err
+		}
+		if db != nil {
+			e.SetPolicy(core.NewDetector(db))
+		}
+		start := time.Now()
+		if _, err := e.Run(); err != nil {
+			return 0, err
+		}
+		d := time.Since(start)
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// Performance reproduces Figure 5 over the given benchmarks (nil means the
+// whole corpus including the two micro-benchmarks).
+func Performance(benches []octane.Benchmark, cfg Config) ([]PerfRow, error) {
+	cfg = cfg.withDefaults()
+	if benches == nil {
+		benches = octane.All()
+	}
+	db1, bugs1, err := BuildDB(1, cfg.IonThreshold)
+	if err != nil {
+		return nil, err
+	}
+	db4, bugs4, err := BuildDB(4, cfg.IonThreshold)
+	if err != nil {
+		return nil, err
+	}
+	emptyDB := &core.Database{}
+	var rows []PerfRow
+	for _, b := range benches {
+		row := PerfRow{Benchmark: b.Name}
+		if row.NoJIT, err = timeRun(b.Source(cfg.Scale), engine.Config{DisableJIT: true}, nil, cfg.Repeats); err != nil {
+			return nil, fmt.Errorf("%s NoJIT: %w", b.Name, err)
+		}
+		base := engine.Config{IonThreshold: cfg.IonThreshold}
+		if row.JIT, err = timeRun(b.Source(cfg.Scale), base, nil, cfg.Repeats); err != nil {
+			return nil, fmt.Errorf("%s JIT: %w", b.Name, err)
+		}
+		if row.JB0, err = timeRun(b.Source(cfg.Scale), base, emptyDB, cfg.Repeats); err != nil {
+			return nil, fmt.Errorf("%s JB#0: %w", b.Name, err)
+		}
+		cfg1 := engine.Config{IonThreshold: cfg.IonThreshold, Bugs: bugs1}
+		if row.JB1, err = timeRun(b.Source(cfg.Scale), cfg1, db1, cfg.Repeats); err != nil {
+			return nil, fmt.Errorf("%s JB#1: %w", b.Name, err)
+		}
+		cfg4 := engine.Config{IonThreshold: cfg.IonThreshold, Bugs: bugs4}
+		if row.JB4, err = timeRun(b.Source(cfg.Scale), cfg4, db4, cfg.Repeats); err != nil {
+			return nil, fmt.Errorf("%s JB#4: %w", b.Name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ---- Figure 6: scalability ----
+
+// ScaleRow is one benchmark series of Figure 6: execution time with #1..#8
+// VDCs installed.
+type ScaleRow struct {
+	Benchmark string
+	JIT       time.Duration
+	Times     []time.Duration // index i => i+1 VDCs
+}
+
+// Scalability reproduces Figure 6 over the given benchmarks (nil = suite).
+func Scalability(benches []octane.Benchmark, maxVDCs int, cfg Config) ([]ScaleRow, error) {
+	cfg = cfg.withDefaults()
+	if benches == nil {
+		benches = octane.Suite()
+	}
+	if maxVDCs <= 0 || maxVDCs > len(vulndb.All()) {
+		maxVDCs = len(vulndb.All())
+	}
+	type dbCfg struct {
+		db   *core.Database
+		bugs passes.BugSet
+	}
+	dbs := make([]dbCfg, maxVDCs)
+	for n := 1; n <= maxVDCs; n++ {
+		db, bugs, err := BuildDB(n, cfg.IonThreshold)
+		if err != nil {
+			return nil, err
+		}
+		dbs[n-1] = dbCfg{db: db, bugs: bugs}
+	}
+	var rows []ScaleRow
+	for _, b := range benches {
+		row := ScaleRow{Benchmark: b.Name, Times: make([]time.Duration, maxVDCs)}
+		var err error
+		if row.JIT, err = timeRun(b.Source(cfg.Scale), engine.Config{IonThreshold: cfg.IonThreshold}, nil, cfg.Repeats); err != nil {
+			return nil, err
+		}
+		for n := 1; n <= maxVDCs; n++ {
+			t, err := timeRun(b.Source(cfg.Scale),
+				engine.Config{IonThreshold: cfg.IonThreshold, Bugs: dbs[n-1].bugs},
+				dbs[n-1].db, cfg.Repeats)
+			if err != nil {
+				return nil, fmt.Errorf("%s #%d: %w", b.Name, n, err)
+			}
+			row.Times[n-1] = t
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ---- Tables and reports ----
+
+// TableI renders the vulnerability survey in the paper's Table I format
+// (VDC-available entries marked with *).
+func TableI() string {
+	var sb strings.Builder
+	sb.WriteString("Table I: vulnerabilities in the JIT engines of V8, SpiderMonkey and Chakra (2015-2021)\n")
+	sb.WriteString("(* = demonstrator code or write-up available; these are bold in the paper)\n\n")
+	byTarget := map[string][]vulndb.CatalogEntry{}
+	var order []string
+	for _, e := range vulndb.Catalog() {
+		if _, ok := byTarget[e.Target]; !ok {
+			order = append(order, e.Target)
+		}
+		byTarget[e.Target] = append(byTarget[e.Target], e)
+	}
+	for _, target := range order {
+		fmt.Fprintf(&sb, "%-12s", target)
+		for i, e := range byTarget[target] {
+			if i > 0 && i%3 == 0 {
+				sb.WriteString("\n            ")
+			}
+			mark := " "
+			if e.HasVDC {
+				mark = "*"
+			}
+			fmt.Fprintf(&sb, " %s%s", e.CVE, mark)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// TableII reports the execution environment, the reproduction's equivalent
+// of the paper's hardware table.
+func TableII() string {
+	var sb strings.Builder
+	sb.WriteString("Table II: execution environment (reproduction)\n\n")
+	fmt.Fprintf(&sb, "  %-10s %s/%s\n", "Platform", runtime.GOOS, runtime.GOARCH)
+	fmt.Fprintf(&sb, "  %-10s %d logical CPUs\n", "CPU", runtime.NumCPU())
+	fmt.Fprintf(&sb, "  %-10s %s\n", "Runtime", runtime.Version())
+	fmt.Fprintf(&sb, "  %-10s simulated tiered engine (interp -> baseline -> ion)\n", "Engine")
+	return sb.String()
+}
+
+// WindowReport renders the §III-C / §VI-D vulnerability-window analysis.
+func WindowReport() string {
+	var sb strings.Builder
+	sb.WriteString("Vulnerability windows (report date -> patch availability):\n\n")
+	vulns := vulndb.All()
+	sort.Slice(vulns, func(i, j int) bool { return vulns[i].Reported < vulns[j].Reported })
+	for _, v := range vulns {
+		fmt.Fprintf(&sb, "  %-16s %s -> %s  (%2d days, %s via %s)\n",
+			v.CVE, v.Reported, v.Patched, v.Window(), v.Outcome, v.HostPass)
+	}
+	fmt.Fprintf(&sb, "\n  average window: %.1f days (paper: ~9 days)\n", vulndb.AverageWindowDays())
+	n, cves := vulndb.MaxOverlap(2019)
+	sort.Strings(cves)
+	fmt.Fprintf(&sb, "  max simultaneous windows in 2019: %d (%s) (paper: 2)\n", n, strings.Join(cves, ", "))
+	return sb.String()
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/jitbull/jitbull/internal/octane"
+)
+
+var fastCfg = Config{IonThreshold: 40, Repeats: 1}
+
+func TestSecurityMatrix100Percent(t *testing.T) {
+	rows, err := SecurityMatrix(Config{IonThreshold: 300, Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 {
+		t.Fatalf("matrix rows = %d, want 16 (4 CVEs x 4 variants)", len(rows))
+	}
+	detected, total := DetectionRate(rows)
+	if detected != total {
+		t.Fatalf("detection rate %d/%d, paper reports 100%%:\n%s",
+			detected, total, RenderSecurityMatrix(rows))
+	}
+}
+
+func TestFalsePositivesShapeMatchesFig4(t *testing.T) {
+	rows1, err := FalsePositives(1, fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper, DB #1: pass-disable rate 0-5%% for most benchmarks, and the
+	// JIT engine is never completely disabled.
+	var ts1 float64
+	for _, r := range rows1 {
+		if r.PctNoJIT != 0 {
+			t.Errorf("#1: %s has %%NoJIT = %.1f, paper reports 0", r.Benchmark, r.PctNoJIT)
+		}
+		if r.Benchmark == "TypeScript" {
+			ts1 = r.PctPassDis
+		}
+	}
+	// Paper: only TypeScript shows similarity with CVE-2019-17026 at #1.
+	if ts1 == 0 {
+		t.Errorf("#1: TypeScript should show a (small) similarity with CVE-2019-17026")
+	}
+
+	rows4, err := FalsePositives(4, fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper, DB #4: rates grow (10-65%% depending on benchmark); at least
+	// the aggregate must not shrink.
+	var sum1, sum4 float64
+	for i := range rows4 {
+		sum1 += rows1[i].PctPassDis
+		sum4 += rows4[i].PctPassDis
+	}
+	if sum4 < sum1 {
+		t.Errorf("FP rate should not shrink with more VDCs: #1 total %.1f vs #4 total %.1f", sum1, sum4)
+	}
+	t.Logf("\n%s\n%s", RenderFalsePositives(1, rows1), RenderFalsePositives(4, rows4))
+}
+
+func TestPerformanceShapeMatchesFig5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	rows, err := Performance(nil, Config{IonThreshold: 40, Repeats: 2, Scale: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// NoJIT must be substantially slower than JIT on every benchmark.
+		if r.NoJIT <= r.JIT {
+			t.Errorf("%s: NoJIT (%v) not slower than JIT (%v)", r.Benchmark, r.NoJIT, r.JIT)
+		}
+		// JITBULL with an empty DB must be near-free (within noise).
+		if ovh := Overhead(r.JB0, r.JIT); ovh > 30 {
+			t.Errorf("%s: JB#0 overhead %.1f%%, paper reports ~0", r.Benchmark, ovh)
+		}
+		// Protected runs must stay far below NoJIT.
+		if r.JB4 >= r.NoJIT {
+			t.Errorf("%s: JB#4 (%v) not faster than NoJIT (%v)", r.Benchmark, r.JB4, r.NoJIT)
+		}
+	}
+	t.Logf("\n%s", RenderPerformance(rows))
+}
+
+func TestScalabilityShapeMatchesFig6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	benches := pick(t, "Splay", "TypeScript")
+	rows, err := Scalability(benches, 8, Config{IonThreshold: 40, Repeats: 2, Scale: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if len(r.Times) != 8 {
+			t.Fatalf("%s: %d series points, want 8", r.Benchmark, len(r.Times))
+		}
+		// The protected run should never collapse to NoJIT-like times:
+		// sanity-bound the #8 overhead.
+		if r.Times[7] > r.JIT*8 {
+			t.Errorf("%s: #8 time %v looks like a JIT collapse (JIT %v)", r.Benchmark, r.Times[7], r.JIT)
+		}
+	}
+	t.Logf("\n%s", RenderScalability(rows))
+}
+
+func TestTablesRender(t *testing.T) {
+	t1 := TableI()
+	for _, want := range []string{"TurboFan", "IonMonkey", "Chakra JIT", "CVE-2019-17026*"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table I missing %q:\n%s", want, t1)
+		}
+	}
+	t2 := TableII()
+	if !strings.Contains(t2, "Runtime") {
+		t.Errorf("Table II malformed:\n%s", t2)
+	}
+	w := WindowReport()
+	if !strings.Contains(w, "average window") || !strings.Contains(w, "CVE-2019-11707") {
+		t.Errorf("window report malformed:\n%s", w)
+	}
+}
+
+func TestOverheadHelper(t *testing.T) {
+	if o := Overhead(150*time.Millisecond, 100*time.Millisecond); o < 49.9 || o > 50.1 {
+		t.Errorf("Overhead = %v, want 50", o)
+	}
+	if o := Overhead(time.Second, 0); o != 0 {
+		t.Errorf("Overhead with zero base = %v", o)
+	}
+}
+
+func pick(t *testing.T, names ...string) []octane.Benchmark {
+	t.Helper()
+	var out []octane.Benchmark
+	for _, n := range names {
+		b, err := octane.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func TestThresholdAblationTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep experiment")
+	}
+	rows, err := ThresholdAblation(Config{IonThreshold: 300, Repeats: 1, Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var atPaper, loosest, strictest *AblationRow
+	for i := range rows {
+		switch {
+		case rows[i].Thr == 3 && rows[i].Ratio == 0.5:
+			atPaper = &rows[i]
+		case rows[i].Thr == 1:
+			loosest = &rows[i]
+		case rows[i].Thr == 6:
+			strictest = &rows[i]
+		}
+	}
+	if atPaper == nil || loosest == nil || strictest == nil {
+		t.Fatal("sweep rows missing")
+	}
+	if atPaper.Detected != atPaper.DetectTotal {
+		t.Fatalf("paper setting must keep 100%% detection: %+v", atPaper)
+	}
+	if strictest.Detected >= atPaper.Detected && strictest.Thr > atPaper.Thr {
+		// Stricter settings should (weakly) lose detections.
+		if strictest.Detected > atPaper.Detected {
+			t.Fatalf("stricter setting detected more: %+v vs %+v", strictest, atPaper)
+		}
+	}
+	if loosest.FlaggedPct < atPaper.FlaggedPct {
+		t.Fatalf("loosest setting should flag at least as much: %+v vs %+v", loosest, atPaper)
+	}
+	t.Logf("\n%s", RenderAblation(rows))
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// RenderSecurityMatrix formats the §VI-B matrix as text.
+func RenderSecurityMatrix(rows []SecurityRow) string {
+	var sb strings.Builder
+	sb.WriteString("Security evaluation (§VI-B): variants vs single-VDC database\n\n")
+	fmt.Fprintf(&sb, "  %-16s %-8s %-10s %-12s %s\n", "CVE", "variant", "exploits?", "neutralized?", "matched passes")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-16s %-8s %-10v %-12v %s\n",
+			r.CVE, r.Variant, r.ExploitedUnprotected, r.NeutralizedByJITBULL,
+			strings.Join(r.MatchedPasses, ","))
+	}
+	d, tot := DetectionRate(rows)
+	fmt.Fprintf(&sb, "\n  detection rate: %d/%d (paper: 100%%)\n", d, tot)
+	return sb.String()
+}
+
+// RenderFalsePositives formats one Figure 4 series.
+func RenderFalsePositives(dbSize int, rows []FPRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 4 (false positives), #%d VDC(s) in DB:\n\n", dbSize)
+	fmt.Fprintf(&sb, "  %-14s %6s %9s %8s %9s %9s %8s\n",
+		"benchmark", "NrJIT", "NrDisJIT", "NrNoJIT", "%Safe", "%PassDis", "%NoJIT")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-14s %6d %9d %8d %8.1f%% %8.1f%% %7.1f%%\n",
+			r.Benchmark, r.NrJIT, r.NrDisJIT, r.NrNoJIT, r.PctSafe, r.PctPassDis, r.PctNoJIT)
+	}
+	return sb.String()
+}
+
+// RenderPerformance formats Figure 5.
+func RenderPerformance(rows []PerfRow) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 5 (execution times): NoJIT vs JIT vs JITBULL #0/#1/#4\n\n")
+	fmt.Fprintf(&sb, "  %-14s %10s %10s %10s %10s %10s | %9s %8s %8s %8s\n",
+		"benchmark", "NoJIT", "JIT", "JB#0", "JB#1", "JB#4",
+		"NoJIT ovh", "JB#0 ovh", "JB#1 ovh", "JB#4 ovh")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-14s %10s %10s %10s %10s %10s | %8.0f%% %+7.1f%% %+7.1f%% %+7.1f%%\n",
+			r.Benchmark, fmtDur(r.NoJIT), fmtDur(r.JIT), fmtDur(r.JB0), fmtDur(r.JB1), fmtDur(r.JB4),
+			Overhead(r.NoJIT, r.JIT), Overhead(r.JB0, r.JIT), Overhead(r.JB1, r.JIT), Overhead(r.JB4, r.JIT))
+	}
+	sb.WriteString("\n  (paper: NoJIT 136%-3700% slower; JITBULL overhead 0% at #0, 1%-20% at #1-#4)\n")
+	return sb.String()
+}
+
+// RenderScalability formats Figure 6.
+func RenderScalability(rows []ScaleRow) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 6 (scalability): overhead vs JIT with #1..#8 VDCs\n\n")
+	if len(rows) == 0 {
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "  %-14s", "benchmark")
+	for i := range rows[0].Times {
+		fmt.Fprintf(&sb, " %7s", fmt.Sprintf("#%d", i+1))
+	}
+	sb.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-14s", r.Benchmark)
+		for _, t := range r.Times {
+			fmt.Fprintf(&sb, " %+6.1f%%", Overhead(t, r.JIT))
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("\n  (paper: max 22% at #8 (TypeScript), min 5% (Splay); stabilizes beyond #4)\n")
+	return sb.String()
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}

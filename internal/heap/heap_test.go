@@ -1,0 +1,361 @@
+package heap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAndAccess(t *testing.T) {
+	a := New(1024)
+	h, err := a.Alloc(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := a.Length(h); n != 4 {
+		t.Fatalf("length = %d, want 4", n)
+	}
+	if c, _ := a.Capacity(h); c != 4 {
+		t.Fatalf("capacity = %d, want 4", c)
+	}
+	if err := a.Set(h, 2, 3.5); err != nil {
+		t.Fatal(err)
+	}
+	v, present, crash := a.Get(h, 2)
+	if crash != nil || !present || v != 3.5 {
+		t.Fatalf("Get = %v %v %v", v, present, crash)
+	}
+}
+
+func TestHolesReadAsAbsent(t *testing.T) {
+	a := New(1024)
+	h, _ := a.Alloc(4)
+	if _, present, _ := a.Get(h, 10); present {
+		t.Error("read past length should be a hole")
+	}
+	if _, present, _ := a.Get(h, -1); present {
+		t.Error("negative index should be a hole")
+	}
+}
+
+func TestAdjacentAllocation(t *testing.T) {
+	a := New(1024)
+	h1, _ := a.Alloc(8)
+	h2, _ := a.Alloc(8)
+	e1, _ := a.Elems(h1)
+	e2, _ := a.Elems(h2)
+	// h2's header must sit immediately after h1's payload.
+	if e2 != e1+8+2 {
+		t.Fatalf("arrays not adjacent: elems %d and %d", e1, e2)
+	}
+}
+
+func TestRawOOBWriteCorruptsNeighbourLength(t *testing.T) {
+	a := New(1024)
+	h1, _ := a.Alloc(8)
+	h2, _ := a.Alloc(8)
+	e1, _ := a.Elems(h1)
+	// Simulate a JITed store whose bounds check was wrongly eliminated:
+	// index 8 lands exactly on h2's length header.
+	if crash := a.RawStore(e1+8, 1e9); crash != nil {
+		t.Fatalf("in-heap raw store must not crash: %v", crash)
+	}
+	if n, _ := a.Length(h2); n != 1e9 {
+		t.Fatalf("neighbour length = %d, want corrupted 1e9", n)
+	}
+}
+
+func TestCorruptedLengthGivesReadPrimitive(t *testing.T) {
+	a := New(1024)
+	h1, _ := a.Alloc(8)
+	h2, _ := a.Alloc(8)
+	a.Set(h2, 0, 77)
+	e1, _ := a.Elems(h1)
+	e2, _ := a.Elems(h2)
+	a.RawStore(e1+8, 1e9) // corrupt h2.length... wait, e1+8 is h2's header
+	_ = e2
+	// h2's length is now huge; interpreter-style Get trusts it, so h1 can't
+	// but h2 can read far beyond its capacity — i.e. an arena read primitive.
+	if n, _ := a.Length(h2); n != 1e9 {
+		t.Fatal("setup failed")
+	}
+	v, present, crash := a.Get(h2, 0)
+	if crash != nil || !present || v != 77 {
+		t.Fatalf("sanity read failed: %v %v %v", v, present, crash)
+	}
+	// Reading within the mapped heap but outside h2's real capacity works.
+	if _, present, crash := a.Get(h2, 100); a.Top() > e2+100 && (crash != nil || !present) {
+		t.Fatalf("read primitive blocked: present=%v crash=%v", present, crash)
+	}
+}
+
+func TestUnmappedAccessCrashes(t *testing.T) {
+	a := New(256)
+	h, _ := a.Alloc(4)
+	e, _ := a.Elems(h)
+	// Far beyond the allocation top, inside the unmapped gap.
+	if crash := a.RawStore(e+200, 1); crash == nil {
+		t.Fatal("store into unmapped gap must crash")
+	}
+	if a.Crashed() == nil {
+		t.Fatal("crash must be recorded")
+	}
+	if _, crash := a.RawLoad(-5); crash == nil {
+		t.Fatal("negative address must crash")
+	}
+}
+
+func TestCodeRegionIntegrity(t *testing.T) {
+	a := New(256)
+	if a.CodeIntegrityViolation() != -1 {
+		t.Fatal("fresh arena must have intact code region")
+	}
+	if !a.CodePointerOK(3) {
+		t.Fatal("code pointer 3 must start intact")
+	}
+	// The code region is mapped: a precise OOB write can reach it (W^X
+	// violation through the corrupted-array primitive).
+	if crash := a.RawStore(a.CodeBase()+3, 123); crash != nil {
+		t.Fatalf("write to code region: %v", crash)
+	}
+	if a.CodePointerOK(3) {
+		t.Fatal("overwrite must be detected")
+	}
+	if a.CodeIntegrityViolation() != 3 {
+		t.Fatalf("violation index = %d, want 3", a.CodeIntegrityViolation())
+	}
+}
+
+func TestShrinkReclaimsTail(t *testing.T) {
+	a := New(1024)
+	h, _ := a.Alloc(12)
+	if err := a.SetLength(h, 4); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := a.Length(h); n != 4 {
+		t.Fatalf("length = %d", n)
+	}
+	if c, _ := a.Capacity(h); c != 4 {
+		t.Fatalf("capacity = %d, want shrunk to 4", c)
+	}
+	// The shrunken array was the top allocation, so its reclaimed tail
+	// folds back into bump space (no tracked free block)...
+	if a.FreeBlocks() != 0 {
+		t.Fatalf("free blocks = %d, want 0 (tail folded into bump space)", a.FreeBlocks())
+	}
+	// ...and a following allocation still lands right inside the reclaimed
+	// tail, adjacent to the shrunken array — the heap-grooming step of the
+	// exploit chain.
+	e, _ := a.Elems(h)
+	h2, _ := a.Alloc(4)
+	e2, _ := a.Elems(h2)
+	if e2 != e+4+2 {
+		t.Fatalf("groomed alloc at %d, want %d (inside reclaimed tail)", e2, e+4+2)
+	}
+}
+
+func TestShrinkOfInteriorArrayTracksFreeBlock(t *testing.T) {
+	a := New(1024)
+	h, _ := a.Alloc(12)
+	if _, err := a.Alloc(4); err != nil { // pin the top so the tail cannot fold
+		t.Fatal(err)
+	}
+	if err := a.SetLength(h, 4); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreeBlocks() != 1 {
+		t.Fatalf("free blocks = %d, want 1", a.FreeBlocks())
+	}
+	e, _ := a.Elems(h)
+	h2, _ := a.Alloc(6)
+	e2, _ := a.Elems(h2)
+	if e2 != e+4+2 {
+		t.Fatalf("groomed alloc at %d, want %d (inside reclaimed tail)", e2, e+4+2)
+	}
+}
+
+func TestFreeListCoalesces(t *testing.T) {
+	a := New(1 << 12)
+	h1, _ := a.Alloc(20)
+	h2, _ := a.Alloc(20)
+	if _, err := a.Alloc(2); err != nil { // pin the top
+		t.Fatal(err)
+	}
+	a.SetLength(h2, 2) // frees 18 cells
+	a.SetLength(h1, 2) // frees 18 cells adjacent (after h1's new tail)... separate blocks
+	// Churn: repeated grow/shrink must not leak arena space to
+	// fragmentation.
+	before := a.Top()
+	for i := 0; i < 200; i++ {
+		a.SetLength(h1, 40) // grow (realloc)
+		a.SetLength(h1, 2)  // shrink
+	}
+	if a.Top() > before+200 {
+		t.Fatalf("fragmentation leak: top grew from %d to %d", before, a.Top())
+	}
+}
+
+func TestShrinkTooSmallTailKeepsCapacity(t *testing.T) {
+	a := New(1024)
+	h, _ := a.Alloc(5)
+	a.SetLength(h, 4) // tail of 1 cell is below minFreeCells
+	if c, _ := a.Capacity(h); c != 5 {
+		t.Fatalf("capacity = %d, want unchanged 5", c)
+	}
+	if n, _ := a.Length(h); n != 4 {
+		t.Fatalf("length = %d, want 4", n)
+	}
+}
+
+func TestGrowWithinCapacityAfterShrinkViaSetLength(t *testing.T) {
+	a := New(1024)
+	h, _ := a.Alloc(8)
+	a.Set(h, 5, 42)
+	a.SetLength(h, 10) // grow within... capacity is 8, so this reallocates
+	if n, _ := a.Length(h); n != 10 {
+		t.Fatalf("length = %d", n)
+	}
+	v, present, _ := a.Get(h, 5)
+	if !present || v != 42 {
+		t.Fatalf("element lost across growth: %v %v", v, present)
+	}
+	if v, present, _ := a.Get(h, 9); !present || v != 0 {
+		t.Fatalf("new slot should read as 0 (initialized), got %v %v", v, present)
+	}
+}
+
+func TestSetBeyondCapacityGrows(t *testing.T) {
+	a := New(1024)
+	h, _ := a.Alloc(2)
+	if err := a.Set(h, 10, 7); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := a.Length(h); n != 11 {
+		t.Fatalf("length = %d, want 11", n)
+	}
+	if v, present, _ := a.Get(h, 10); !present || v != 7 {
+		t.Fatalf("grown element: %v %v", v, present)
+	}
+}
+
+func TestSetBetweenLengthAndCapacityExtends(t *testing.T) {
+	a := New(1024)
+	h, _ := a.Alloc(8)
+	a.SetLength(h, 2) // tail reclaimed? 8-2=6 >= 3 so capacity shrinks to 2
+	h2, _ := a.Alloc(2)
+	_ = h2
+	// Fresh array with capacity > length via push-driven growth.
+	h3, _ := a.Alloc(0)
+	a.Push(h3, 1) // capacity grows to >= 4
+	c, _ := a.Capacity(h3)
+	if c < 4 {
+		t.Fatalf("capacity after push = %d", c)
+	}
+	a.Set(h3, 2, 9) // within capacity, beyond length
+	if n, _ := a.Length(h3); n != 3 {
+		t.Fatalf("length = %d, want 3", n)
+	}
+}
+
+func TestPushPop(t *testing.T) {
+	a := New(1024)
+	h, _ := a.Alloc(0)
+	for i := 0; i < 10; i++ {
+		if _, err := a.Push(h, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := a.Length(h); n != 10 {
+		t.Fatalf("length = %d", n)
+	}
+	for i := 9; i >= 0; i-- {
+		v, ok := a.Pop(h)
+		if !ok || v != float64(i) {
+			t.Fatalf("pop %d: %v %v", i, v, ok)
+		}
+	}
+	if _, ok := a.Pop(h); ok {
+		t.Fatal("pop of empty array should report not-ok")
+	}
+}
+
+func TestOOM(t *testing.T) {
+	a := New(64)
+	if _, err := a.Alloc(1000); err == nil {
+		t.Fatal("expected OOM")
+	}
+	// The arena must still work after a failed allocation.
+	h, err := a.Alloc(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Set(h, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	a := New(256)
+	h, _ := a.Alloc(4)
+	a.RawStore(a.CodeBase()+1, 0) // corrupt code region
+	_ = h
+	a.Reset()
+	if a.Top() != 0 || a.HandleCount() != 0 || a.CodeIntegrityViolation() != -1 {
+		t.Fatal("Reset must restore a pristine arena")
+	}
+}
+
+func TestFirstFitReusesFreedBlocks(t *testing.T) {
+	a := New(1 << 10)
+	h1, _ := a.Alloc(20)
+	if _, err := a.Alloc(2); err != nil { // pin the top so the tail stays a tracked block
+		t.Fatal(err)
+	}
+	topAfter := a.Top()
+	a.SetLength(h1, 2) // frees 18 cells into the free list
+	h2, _ := a.Alloc(10)
+	if a.Top() != topAfter {
+		t.Fatalf("allocation should have been served from the free list")
+	}
+	e1, _ := a.Elems(h1)
+	e2, _ := a.Elems(h2)
+	if e2 != e1+2+2 {
+		t.Fatalf("h2 at %d, want carved at %d", e2, e1+4)
+	}
+}
+
+func TestPropertyGetSetRoundTrip(t *testing.T) {
+	a := New(1 << 14)
+	h, err := a.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(idx uint8, v float64) bool {
+		i := int(idx) % 64
+		if err := a.Set(h, i, v); err != nil {
+			return false
+		}
+		got, present, crash := a.Get(h, i)
+		return crash == nil && present && (got == v || (got != got && v != v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyLengthNeverNegative(t *testing.T) {
+	a := New(1 << 14)
+	h, _ := a.Alloc(16)
+	f := func(n uint16) bool {
+		if err := a.SetLength(h, int(n%200)); err != nil {
+			return false
+		}
+		got, _ := a.Length(h)
+		return got == int(n%200)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if err := a.SetLength(h, -1); err == nil {
+		t.Error("negative length must be rejected")
+	}
+}

@@ -1,0 +1,400 @@
+// Package lexer implements the scanner for the nanojs language.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/jitbull/jitbull/internal/token"
+)
+
+// Error is a lexical error with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("lex %s: %s", e.Pos, e.Msg) }
+
+// Lexer scans a nanojs source string into tokens.
+type Lexer struct {
+	src  string
+	off  int // byte offset of the next unread byte
+	line int
+	col  int
+	errs []*Error
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors accumulated so far.
+func (l *Lexer) Errors() []*Error { return l.errs }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peekAt(n int) byte {
+	if l.off+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+n]
+}
+
+func (l *Lexer) advance() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func (l *Lexer) skipSpaceAndComments() {
+	for {
+		switch c := l.peek(); {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peekAt(1) == '/':
+			for l.peek() != 0 && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekAt(1) == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.peek() != 0 {
+				if l.peek() == '*' && l.peekAt(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token. At end of input it returns an EOF token
+// forever.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	c := l.peek()
+	switch {
+	case c == 0:
+		return token.Token{Kind: token.EOF, Pos: pos}
+	case isIdentStart(c):
+		return l.scanIdent(pos)
+	case isDigit(c) || (c == '.' && isDigit(l.peekAt(1))):
+		return l.scanNumber(pos)
+	case c == '"' || c == '\'':
+		return l.scanString(pos)
+	default:
+		return l.scanOperator(pos)
+	}
+}
+
+// All scans the entire input and returns every token including the final EOF.
+func (l *Lexer) All() []token.Token {
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}
+
+func (l *Lexer) scanIdent(pos token.Pos) token.Token {
+	start := l.off
+	for isIdentPart(l.peek()) {
+		l.advance()
+	}
+	lit := l.src[start:l.off]
+	return token.Token{Kind: token.LookupIdent(lit), Literal: lit, Pos: pos}
+}
+
+func (l *Lexer) scanNumber(pos token.Pos) token.Token {
+	start := l.off
+	if l.peek() == '0' && (l.peekAt(1) == 'x' || l.peekAt(1) == 'X') {
+		l.advance()
+		l.advance()
+		if !isHexDigit(l.peek()) {
+			l.errorf(pos, "malformed hex literal")
+		}
+		for isHexDigit(l.peek()) {
+			l.advance()
+		}
+		return token.Token{Kind: token.Number, Literal: l.src[start:l.off], Pos: pos}
+	}
+	for isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' {
+		l.advance()
+		for isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		save := l.off
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if !isDigit(l.peek()) {
+			// Not an exponent after all (e.g. "1e" followed by ident); this
+			// is an error in nanojs rather than a property access.
+			l.errorf(pos, "malformed exponent in number literal")
+			l.off = save
+		} else {
+			for isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+	}
+	lit := l.src[start:l.off]
+	if isIdentStart(l.peek()) {
+		l.errorf(pos, "identifier starts immediately after numeric literal")
+	}
+	return token.Token{Kind: token.Number, Literal: lit, Pos: pos}
+}
+
+func (l *Lexer) scanString(pos token.Pos) token.Token {
+	quote := l.advance()
+	var sb strings.Builder
+	for {
+		c := l.peek()
+		if c == 0 || c == '\n' {
+			l.errorf(pos, "unterminated string literal")
+			break
+		}
+		l.advance()
+		if c == quote {
+			break
+		}
+		if c != '\\' {
+			sb.WriteByte(c)
+			continue
+		}
+		esc := l.advance()
+		switch esc {
+		case 'n':
+			sb.WriteByte('\n')
+		case 't':
+			sb.WriteByte('\t')
+		case 'r':
+			sb.WriteByte('\r')
+		case '\\':
+			sb.WriteByte('\\')
+		case '\'':
+			sb.WriteByte('\'')
+		case '"':
+			sb.WriteByte('"')
+		case '0':
+			sb.WriteByte(0)
+		case 'x':
+			hi, lo := l.advance(), l.advance()
+			if !isHexDigit(hi) || !isHexDigit(lo) {
+				l.errorf(pos, "malformed \\x escape")
+				continue
+			}
+			sb.WriteByte(hexVal(hi)<<4 | hexVal(lo))
+		default:
+			l.errorf(pos, "unknown escape \\%c", esc)
+		}
+	}
+	return token.Token{Kind: token.String, Literal: sb.String(), Pos: pos}
+}
+
+func hexVal(c byte) byte {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0'
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10
+	default:
+		return c - 'A' + 10
+	}
+}
+
+// scanOperator scans punctuation and operator tokens using maximal munch.
+func (l *Lexer) scanOperator(pos token.Pos) token.Token {
+	mk := func(k token.Kind, n int) token.Token {
+		lit := l.src[l.off : l.off+n]
+		for i := 0; i < n; i++ {
+			l.advance()
+		}
+		return token.Token{Kind: k, Literal: lit, Pos: pos}
+	}
+	c, c1, c2, c3 := l.peek(), l.peekAt(1), l.peekAt(2), l.peekAt(3)
+	switch c {
+	case '+':
+		switch c1 {
+		case '+':
+			return mk(token.PlusPlus, 2)
+		case '=':
+			return mk(token.PlusAssign, 2)
+		}
+		return mk(token.Plus, 1)
+	case '-':
+		switch c1 {
+		case '-':
+			return mk(token.MinusMinus, 2)
+		case '=':
+			return mk(token.MinusAssign, 2)
+		}
+		return mk(token.Minus, 1)
+	case '*':
+		if c1 == '*' && c2 == '=' {
+			return mk(token.StarStarAssign, 3)
+		}
+		if c1 == '*' {
+			return mk(token.StarStar, 2)
+		}
+		if c1 == '=' {
+			return mk(token.StarAssign, 2)
+		}
+		return mk(token.Star, 1)
+	case '/':
+		if c1 == '=' {
+			return mk(token.SlashAssign, 2)
+		}
+		return mk(token.Slash, 1)
+	case '%':
+		if c1 == '=' {
+			return mk(token.PercentAssign, 2)
+		}
+		return mk(token.Percent, 1)
+	case '=':
+		if c1 == '=' && c2 == '=' {
+			return mk(token.StrictEq, 3)
+		}
+		if c1 == '=' {
+			return mk(token.Eq, 2)
+		}
+		return mk(token.Assign, 1)
+	case '!':
+		if c1 == '=' && c2 == '=' {
+			return mk(token.StrictNe, 3)
+		}
+		if c1 == '=' {
+			return mk(token.NotEq, 2)
+		}
+		return mk(token.Bang, 1)
+	case '<':
+		if c1 == '<' && c2 == '=' {
+			return mk(token.ShlAssign, 3)
+		}
+		if c1 == '<' {
+			return mk(token.Shl, 2)
+		}
+		if c1 == '=' {
+			return mk(token.Le, 2)
+		}
+		return mk(token.Lt, 1)
+	case '>':
+		if c1 == '>' && c2 == '>' && c3 == '=' {
+			return mk(token.UshrAssign, 4)
+		}
+		if c1 == '>' && c2 == '>' {
+			return mk(token.Ushr, 3)
+		}
+		if c1 == '>' && c2 == '=' {
+			return mk(token.ShrAssign, 3)
+		}
+		if c1 == '>' {
+			return mk(token.Shr, 2)
+		}
+		if c1 == '=' {
+			return mk(token.Ge, 2)
+		}
+		return mk(token.Gt, 1)
+	case '&':
+		if c1 == '&' {
+			return mk(token.AmpAmp, 2)
+		}
+		if c1 == '=' {
+			return mk(token.AmpAssign, 2)
+		}
+		return mk(token.Amp, 1)
+	case '|':
+		if c1 == '|' {
+			return mk(token.PipePipe, 2)
+		}
+		if c1 == '=' {
+			return mk(token.PipeAssign, 2)
+		}
+		return mk(token.Pipe, 1)
+	case '^':
+		if c1 == '=' {
+			return mk(token.CaretAssign, 2)
+		}
+		return mk(token.Caret, 1)
+	case '~':
+		return mk(token.Tilde, 1)
+	case '?':
+		return mk(token.Question, 1)
+	case ':':
+		return mk(token.Colon, 1)
+	case ',':
+		return mk(token.Comma, 1)
+	case ';':
+		return mk(token.Semicolon, 1)
+	case '.':
+		return mk(token.Dot, 1)
+	case '(':
+		return mk(token.LParen, 1)
+	case ')':
+		return mk(token.RParen, 1)
+	case '{':
+		return mk(token.LBrace, 1)
+	case '}':
+		return mk(token.RBrace, 1)
+	case '[':
+		return mk(token.LBracket, 1)
+	case ']':
+		return mk(token.RBracket, 1)
+	default:
+		l.errorf(pos, "unexpected character %q", c)
+		l.advance()
+		return token.Token{Kind: token.Illegal, Literal: string(c), Pos: pos}
+	}
+}

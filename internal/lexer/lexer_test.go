@@ -1,0 +1,216 @@
+package lexer
+
+import (
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	l := New(src)
+	var ks []token.Kind
+	for _, tok := range l.All() {
+		ks = append(ks, tok.Kind)
+	}
+	if errs := l.Errors(); len(errs) > 0 {
+		t.Fatalf("unexpected lex errors for %q: %v", src, errs)
+	}
+	return ks
+}
+
+func TestBasicTokens(t *testing.T) {
+	tests := []struct {
+		src  string
+		want []token.Kind
+	}{
+		{"", []token.Kind{token.EOF}},
+		{"x", []token.Kind{token.Ident, token.EOF}},
+		{"42", []token.Kind{token.Number, token.EOF}},
+		{"x + y", []token.Kind{token.Ident, token.Plus, token.Ident, token.EOF}},
+		{"a[i] = 3;", []token.Kind{token.Ident, token.LBracket, token.Ident, token.RBracket, token.Assign, token.Number, token.Semicolon, token.EOF}},
+		{"a.length", []token.Kind{token.Ident, token.Dot, token.Ident, token.EOF}},
+		{"function f() {}", []token.Kind{token.Function, token.Ident, token.LParen, token.RParen, token.LBrace, token.RBrace, token.EOF}},
+	}
+	for _, tt := range tests {
+		got := kinds(t, tt.src)
+		if len(got) != len(tt.want) {
+			t.Fatalf("%q: got %v, want %v", tt.src, got, tt.want)
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("%q token %d: got %v, want %v", tt.src, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestOperatorsMaximalMunch(t *testing.T) {
+	tests := []struct {
+		src  string
+		want token.Kind
+	}{
+		{"==", token.Eq},
+		{"===", token.StrictEq},
+		{"!=", token.NotEq},
+		{"!==", token.StrictNe},
+		{"<<", token.Shl},
+		{">>", token.Shr},
+		{">>>", token.Ushr},
+		{">>>=", token.UshrAssign},
+		{">>=", token.ShrAssign},
+		{"<<=", token.ShlAssign},
+		{"<=", token.Le},
+		{">=", token.Ge},
+		{"&&", token.AmpAmp},
+		{"||", token.PipePipe},
+		{"++", token.PlusPlus},
+		{"--", token.MinusMinus},
+		{"+=", token.PlusAssign},
+		{"-=", token.MinusAssign},
+		{"*=", token.StarAssign},
+		{"/=", token.SlashAssign},
+		{"%=", token.PercentAssign},
+		{"&=", token.AmpAssign},
+		{"|=", token.PipeAssign},
+		{"^=", token.CaretAssign},
+		{"**", token.StarStar},
+		{"~", token.Tilde},
+		{"?", token.Question},
+	}
+	for _, tt := range tests {
+		l := New(tt.src)
+		got := l.Next()
+		if got.Kind != tt.want {
+			t.Errorf("%q: got %v, want %v", tt.src, got.Kind, tt.want)
+		}
+		if eof := l.Next(); eof.Kind != token.EOF {
+			t.Errorf("%q: expected single token then EOF, got trailing %v", tt.src, eof)
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	tests := []struct {
+		src string
+		lit string
+	}{
+		{"0", "0"},
+		{"123", "123"},
+		{"3.25", "3.25"},
+		{"0.5", "0.5"},
+		{".5", ".5"},
+		{"1e9", "1e9"},
+		{"1.5e-3", "1.5e-3"},
+		{"2E+4", "2E+4"},
+		{"0x1f", "0x1f"},
+		{"0xFF", "0xFF"},
+	}
+	for _, tt := range tests {
+		l := New(tt.src)
+		tok := l.Next()
+		if tok.Kind != token.Number || tok.Literal != tt.lit {
+			t.Errorf("%q: got %v %q, want Number %q", tt.src, tok.Kind, tok.Literal, tt.lit)
+		}
+		if len(l.Errors()) != 0 {
+			t.Errorf("%q: unexpected errors %v", tt.src, l.Errors())
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{`"hello"`, "hello"},
+		{`'world'`, "world"},
+		{`"a\nb"`, "a\nb"},
+		{`"tab\there"`, "tab\there"},
+		{`"q\"uote"`, `q"uote`},
+		{`'\x41'`, "A"},
+		{`"back\\slash"`, `back\slash`},
+	}
+	for _, tt := range tests {
+		l := New(tt.src)
+		tok := l.Next()
+		if tok.Kind != token.String || tok.Literal != tt.want {
+			t.Errorf("%s: got %v %q, want String %q", tt.src, tok.Kind, tok.Literal, tt.want)
+		}
+		if len(l.Errors()) != 0 {
+			t.Errorf("%s: unexpected errors %v", tt.src, l.Errors())
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+// line comment
+x /* block
+comment */ y
+`
+	got := kinds(t, src)
+	want := []token.Kind{token.Ident, token.Ident, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestKeywords(t *testing.T) {
+	src := "function var let const if else while do for break continue return true false null undefined new typeof"
+	want := []token.Kind{
+		token.Function, token.Var, token.Let, token.Const, token.If, token.Else,
+		token.While, token.Do, token.For, token.Break, token.Continue,
+		token.Return, token.True, token.False, token.Null, token.Undefined,
+		token.New, token.Typeof, token.EOF,
+	}
+	got := kinds(t, src)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	l := New("a\n  b")
+	a := l.Next()
+	b := l.Next()
+	if a.Pos.Line != 1 || a.Pos.Col != 1 {
+		t.Errorf("a at %v, want 1:1", a.Pos)
+	}
+	if b.Pos.Line != 2 || b.Pos.Col != 3 {
+		t.Errorf("b at %v, want 2:3", b.Pos)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	tests := []string{
+		`"unterminated`,
+		"@",
+		"/* unterminated",
+		`"bad \q escape"`,
+	}
+	for _, src := range tests {
+		l := New(src)
+		l.All()
+		if len(l.Errors()) == 0 {
+			t.Errorf("%q: expected lex error, got none", src)
+		}
+	}
+}
+
+func TestErrorStringsMentionPosition(t *testing.T) {
+	l := New("\n  @")
+	l.All()
+	errs := l.Errors()
+	if len(errs) != 1 {
+		t.Fatalf("want 1 error, got %v", errs)
+	}
+	if got := errs[0].Error(); got == "" || errs[0].Pos.Line != 2 {
+		t.Errorf("error %q should carry line 2, got pos %v", got, errs[0].Pos)
+	}
+}

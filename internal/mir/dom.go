@@ -1,0 +1,144 @@
+package mir
+
+// BuildDominators computes the dominator tree using the Cooper-Harvey-
+// Kennedy iterative algorithm, then numbers the tree for O(1) Dominates
+// queries, and recomputes loop depths from back edges.
+func (g *Graph) BuildDominators() {
+	rpo := g.ReversePostorder()
+	index := make(map[*Block]int, len(rpo))
+	for i, b := range rpo {
+		index[b] = i
+		b.idom = nil
+	}
+	if len(rpo) == 0 {
+		return
+	}
+	entry := rpo[0]
+	entry.idom = entry
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range rpo[1:] {
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if p.idom == nil {
+					continue // not yet processed or unreachable
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom, index)
+				}
+			}
+			if newIdom != nil && b.idom != newIdom {
+				b.idom = newIdom
+				changed = true
+			}
+		}
+	}
+	entry.idom = nil
+
+	// Number the dominator tree with a DFS interval labeling.
+	children := make(map[*Block][]*Block, len(rpo))
+	for _, b := range rpo[1:] {
+		children[b.idom] = append(children[b.idom], b)
+	}
+	num := 0
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		b.domNum = num
+		num++
+		for _, c := range children[b] {
+			dfs(c)
+		}
+		b.domLast = num - 1
+	}
+	dfs(entry)
+
+	g.computeLoopDepths(rpo)
+}
+
+func intersect(a, b *Block, index map[*Block]int) *Block {
+	for a != b {
+		for index[a] > index[b] {
+			a = a.idom
+		}
+		for index[b] > index[a] {
+			b = b.idom
+		}
+	}
+	return a
+}
+
+// computeLoopDepths finds natural loops (back edges to a dominating header)
+// and sets LoopDepth to the nesting level of each block.
+func (g *Graph) computeLoopDepths(rpo []*Block) {
+	for _, b := range rpo {
+		b.LoopDepth = 0
+	}
+	for _, b := range rpo {
+		for _, s := range b.Succs {
+			if s.Dominates(b) {
+				// back edge b -> s; collect the natural loop of header s.
+				for _, lb := range naturalLoop(s, b) {
+					lb.LoopDepth++
+				}
+			}
+		}
+	}
+}
+
+// naturalLoop returns the blocks of the natural loop with the given header
+// and back-edge source (header included).
+func naturalLoop(header, backEdgeSrc *Block) []*Block {
+	body := map[*Block]bool{header: true}
+	stack := []*Block{backEdgeSrc}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if body[b] {
+			continue
+		}
+		body[b] = true
+		stack = append(stack, b.Preds...)
+	}
+	out := make([]*Block, 0, len(body))
+	for b := range body {
+		out = append(out, b)
+	}
+	return out
+}
+
+// LoopBodies returns, for each natural loop, its header and member set.
+// Valid after BuildDominators.
+func (g *Graph) LoopBodies() []Loop {
+	var loops []Loop
+	byHeader := map[*Block]int{}
+	for _, b := range g.ReversePostorder() {
+		for _, s := range b.Succs {
+			if !s.Dominates(b) {
+				continue
+			}
+			idx, ok := byHeader[s]
+			if !ok {
+				idx = len(loops)
+				byHeader[s] = idx
+				loops = append(loops, Loop{Header: s, Body: map[*Block]bool{}})
+			}
+			for _, lb := range naturalLoop(s, b) {
+				loops[idx].Body[lb] = true
+			}
+		}
+	}
+	return loops
+}
+
+// Loop is a natural loop: its header block and the set of member blocks
+// (header included).
+type Loop struct {
+	Header *Block
+	Body   map[*Block]bool
+}
+
+// Contains reports whether the loop body includes b.
+func (l Loop) Contains(b *Block) bool { return l.Body[b] }

@@ -1,0 +1,224 @@
+package mir
+
+import (
+	"strings"
+	"testing"
+)
+
+// diamond builds entry -> (left|right) -> join -> ret.
+func diamond() (*Graph, *Block, *Block, *Block, *Block) {
+	g := NewGraph("d", 0, 0)
+	entry := g.NewBlock()
+	left := g.NewBlock()
+	right := g.NewBlock()
+	join := g.NewBlock()
+	c := g.NewInstr(OpConstant, TypeDouble)
+	entry.Append(c)
+	entry.Append(g.NewInstr(OpTest, TypeNone, c))
+	AddEdge(entry, left)
+	AddEdge(entry, right)
+	left.Append(g.NewInstr(OpGoto, TypeNone))
+	AddEdge(left, join)
+	right.Append(g.NewInstr(OpGoto, TypeNone))
+	AddEdge(right, join)
+	join.Append(g.NewInstr(OpReturnUndef, TypeNone))
+	return g, entry, left, right, join
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	g, entry, left, right, join := diamond()
+	g.BuildDominators()
+	if !entry.Dominates(join) || !entry.Dominates(left) || !entry.Dominates(right) {
+		t.Fatal("entry must dominate everything")
+	}
+	if left.Dominates(join) || right.Dominates(join) {
+		t.Fatal("branch arms must not dominate the join")
+	}
+	if join.Idom() != entry {
+		t.Fatalf("idom(join) = %v, want entry", join.Idom())
+	}
+	if !join.Dominates(join) {
+		t.Fatal("dominance is reflexive")
+	}
+}
+
+func TestLoopDetection(t *testing.T) {
+	g := NewGraph("l", 0, 0)
+	entry := g.NewBlock()
+	header := g.NewBlock()
+	body := g.NewBlock()
+	exit := g.NewBlock()
+	c := g.NewInstr(OpConstant, TypeDouble)
+	entry.Append(c)
+	entry.Append(g.NewInstr(OpGoto, TypeNone))
+	AddEdge(entry, header)
+	header.Append(g.NewInstr(OpTest, TypeNone, c))
+	AddEdge(header, body)
+	AddEdge(header, exit)
+	body.Append(g.NewInstr(OpGoto, TypeNone))
+	AddEdge(body, header)
+	exit.Append(g.NewInstr(OpReturnUndef, TypeNone))
+	g.BuildDominators()
+
+	if header.LoopDepth != 1 || body.LoopDepth != 1 {
+		t.Fatalf("loop depths: header=%d body=%d, want 1/1", header.LoopDepth, body.LoopDepth)
+	}
+	if entry.LoopDepth != 0 || exit.LoopDepth != 0 {
+		t.Fatal("non-loop blocks must have depth 0")
+	}
+	loops := g.LoopBodies()
+	if len(loops) != 1 || loops[0].Header != header || !loops[0].Contains(body) || loops[0].Contains(exit) {
+		t.Fatalf("LoopBodies = %+v", loops)
+	}
+}
+
+func TestVerifyCatchesBrokenGraphs(t *testing.T) {
+	// Missing control instruction.
+	g := NewGraph("bad", 0, 0)
+	b := g.NewBlock()
+	b.Append(g.NewInstr(OpConstant, TypeDouble))
+	if errs := g.Verify(); len(errs) == 0 {
+		t.Fatal("missing control not caught")
+	}
+
+	// Goto with two successors.
+	g2, entry, left, _, _ := diamond()
+	entry.Instrs[len(entry.Instrs)-1].Op = OpGoto
+	_ = left
+	if errs := g2.Verify(); len(errs) == 0 {
+		t.Fatal("goto with 2 successors not caught")
+	}
+
+	// Phi input count mismatch.
+	g3, _, _, _, join := diamond()
+	phi := g3.NewInstr(OpPhi, TypeDouble)
+	phi.Operands = []*Instr{g3.Blocks[0].Instrs[0]} // 1 input, 2 preds
+	join.AddPhi(phi)
+	if errs := g3.Verify(); len(errs) == 0 {
+		t.Fatal("phi arity mismatch not caught")
+	}
+}
+
+func TestRemoveDeadAndReplaceUses(t *testing.T) {
+	g := NewGraph("r", 0, 0)
+	b := g.NewBlock()
+	c1 := g.NewInstr(OpConstant, TypeDouble)
+	c1.Num = 1
+	c2 := g.NewInstr(OpConstant, TypeDouble)
+	c2.Num = 1
+	add := g.NewInstr(OpAdd, TypeDouble, c1, c2)
+	ret := g.NewInstr(OpReturn, TypeNone, add)
+	b.Append(c1)
+	b.Append(c2)
+	b.Append(add)
+	b.Append(ret)
+
+	g.ReplaceUses(c2, c1)
+	if add.Operands[1] != c1 {
+		t.Fatal("ReplaceUses did not rewrite the operand")
+	}
+	c2.Dead = true
+	g.RemoveDead()
+	if len(b.Instrs) != 3 {
+		t.Fatalf("RemoveDead left %d instrs", len(b.Instrs))
+	}
+	if errs := g.Verify(); len(errs) != 0 {
+		t.Fatalf("graph invalid after dead removal: %v", errs)
+	}
+}
+
+func TestRenumberAndString(t *testing.T) {
+	g, _, _, _, _ := diamond()
+	g.Renumber()
+	dump := g.String()
+	for _, want := range []string{"block0", "test", "goto", "returnundef"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+	if g.InstrCount() != 5 {
+		t.Fatalf("InstrCount = %d, want 5", g.InstrCount())
+	}
+}
+
+func TestSnapshotOpcodeDetail(t *testing.T) {
+	g := NewGraph("s", 0, 1)
+	b := g.NewBlock()
+	p := g.NewInstr(OpParameter, TypeValue)
+	p.Aux = 0
+	c := g.NewInstr(OpConstant, TypeDouble)
+	c.Num = 4
+	cmp := g.NewInstr(OpCompare, TypeBoolean, p, c)
+	cmp.Aux = int(CmpLt)
+	ret := g.NewInstr(OpReturn, TypeNone, cmp)
+	for _, in := range []*Instr{p, c, cmp, ret} {
+		b.Append(in)
+	}
+	snap := g.Snap()
+	var ops []string
+	for _, si := range snap.Instrs {
+		ops = append(ops, si.Opcode)
+	}
+	joined := strings.Join(ops, " ")
+	for _, want := range []string{"parameter#0", "constant(4)", "compare<"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("snapshot opcodes missing %q: %v", want, ops)
+		}
+	}
+}
+
+func TestPruneUnreachable(t *testing.T) {
+	g, _, _, _, _ := diamond()
+	orphan := g.NewBlock()
+	orphan.Append(g.NewInstr(OpReturnUndef, TypeNone))
+	g.PruneUnreachable()
+	for _, b := range g.Blocks {
+		if b == orphan {
+			t.Fatal("unreachable block survived")
+		}
+	}
+}
+
+func TestInsertBeforeControl(t *testing.T) {
+	g := NewGraph("i", 0, 0)
+	b := g.NewBlock()
+	b.Append(g.NewInstr(OpReturnUndef, TypeNone))
+	c := g.NewInstr(OpConstant, TypeDouble)
+	b.InsertBeforeControl(c)
+	if b.Instrs[0] != c || b.Instrs[1].Op != OpReturnUndef {
+		t.Fatalf("wrong order: %v then %v", b.Instrs[0].Op, b.Instrs[1].Op)
+	}
+}
+
+func TestNestedLoopDepths(t *testing.T) {
+	// entry -> h1 -> h2 -> b2 -> h2(back) ; h2 -> l1latch -> h1(back); h1 -> exit
+	g := NewGraph("n", 0, 0)
+	entry := g.NewBlock()
+	h1 := g.NewBlock()
+	h2 := g.NewBlock()
+	b2 := g.NewBlock()
+	latch1 := g.NewBlock()
+	exit := g.NewBlock()
+	c := g.NewInstr(OpConstant, TypeDouble)
+	entry.Append(c)
+	entry.Append(g.NewInstr(OpGoto, TypeNone))
+	AddEdge(entry, h1)
+	h1.Append(g.NewInstr(OpTest, TypeNone, c))
+	AddEdge(h1, h2)
+	AddEdge(h1, exit)
+	h2.Append(g.NewInstr(OpTest, TypeNone, c))
+	AddEdge(h2, b2)
+	AddEdge(h2, latch1)
+	b2.Append(g.NewInstr(OpGoto, TypeNone))
+	AddEdge(b2, h2)
+	latch1.Append(g.NewInstr(OpGoto, TypeNone))
+	AddEdge(latch1, h1)
+	exit.Append(g.NewInstr(OpReturnUndef, TypeNone))
+	g.BuildDominators()
+	if h1.LoopDepth != 1 {
+		t.Errorf("h1 depth = %d, want 1", h1.LoopDepth)
+	}
+	if h2.LoopDepth != 2 || b2.LoopDepth != 2 {
+		t.Errorf("inner loop depths: h2=%d b2=%d, want 2/2", h2.LoopDepth, b2.LoopDepth)
+	}
+}

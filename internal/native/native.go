@@ -1,0 +1,441 @@
+// Package native executes LIR code — the "machine code" tier of the
+// simulated engine. It runs over unboxed float64 registers and the shared
+// heap arena. Guards (unbox, bounds checks, ...) bail out to the caller,
+// which re-executes the call in the interpreter; raw memory operations
+// whose guards were (possibly wrongly) eliminated go straight to the
+// arena, where an unmapped access is a simulated segfault.
+package native
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/jitbull/jitbull/internal/bytecode"
+	"github.com/jitbull/jitbull/internal/heap"
+	"github.com/jitbull/jitbull/internal/lir"
+	"github.com/jitbull/jitbull/internal/value"
+)
+
+// Tag is the runtime type tag carried alongside boxed registers
+// (parameters, global loads, call results).
+type Tag uint8
+
+// Register tags.
+const (
+	TagOther Tag = iota
+	TagNumber
+	TagBoolean
+	TagObject
+	TagUndefined
+)
+
+// Status reports how a native execution ended.
+type Status int
+
+// Execution outcomes. StatusBail means a guard failed: the caller must
+// re-execute the call in the interpreter.
+const (
+	StatusOK Status = iota
+	StatusBail
+)
+
+// ResultKind tags the returned value.
+type ResultKind int
+
+// Result kinds.
+const (
+	ResUndef ResultKind = iota
+	ResNum
+	ResObject
+)
+
+// Result is the value returned by a native execution. Steps reports the
+// number of LIR ops executed, for the caller's budget accounting.
+type Result struct {
+	Kind  ResultKind
+	Val   float64
+	Steps int64
+}
+
+// Value boxes the result.
+func (r Result) Value() value.Value {
+	switch r.Kind {
+	case ResNum:
+		return value.Num(r.Val)
+	case ResObject:
+		return value.ArrayRef(int32(r.Val))
+	default:
+		return value.Undef()
+	}
+}
+
+// Hooks is the runtime interface native code calls back into; the engine
+// implements it.
+type Hooks interface {
+	// Arena is the shared heap.
+	Arena() *heap.Arena
+	// GlobalGet/GlobalSet access global variable slots.
+	GlobalGet(slot int) value.Value
+	GlobalSet(slot int, v value.Value)
+	// CallFunction dispatches a nanojs call (through engine tiering).
+	CallFunction(fnIdx int, args []value.Value) (value.Value, error)
+	// Random is the deterministic script RNG.
+	Random() float64
+}
+
+// BudgetError is returned when native execution exceeds its op budget.
+type BudgetError struct{ Fn string }
+
+// Error implements the error interface.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("native op budget exhausted in %s", e.Fn)
+}
+
+// Pool recycles native frames (register files) and call-argument space
+// across executions. Calls nest strictly, so the argument area is a LIFO
+// arena. A nil Pool falls back to per-call allocation.
+type Pool struct {
+	floats [][]float64
+	tags   [][]Tag
+	args   []value.Value
+}
+
+func (p *Pool) getRegs(n int) ([]float64, []Tag) {
+	if p != nil {
+		for len(p.floats) > 0 {
+			f := p.floats[len(p.floats)-1]
+			t := p.tags[len(p.tags)-1]
+			p.floats = p.floats[:len(p.floats)-1]
+			p.tags = p.tags[:len(p.tags)-1]
+			if cap(f) >= n && cap(t) >= n {
+				return f[:n], t[:n]
+			}
+		}
+	}
+	return make([]float64, n), make([]Tag, n)
+}
+
+func (p *Pool) putRegs(f []float64, t []Tag) {
+	if p != nil && len(p.floats) < 64 {
+		p.floats = append(p.floats, f[:0])
+		p.tags = append(p.tags, t[:0])
+	}
+}
+
+// Exec runs code with the given arguments. maxOps bounds the number of LIR
+// ops executed (0 means a large default). pool may be nil.
+func Exec(code *lir.Code, args []value.Value, h Hooks, maxOps int64, pool *Pool) (res Result, status Status, err error) {
+	if maxOps <= 0 {
+		maxOps = 1 << 40
+	}
+	regs, tags := pool.getRegs(code.NumRegs)
+	defer pool.putRegs(regs, tags)
+	for i := 0; i < code.NumParams; i++ {
+		var v value.Value
+		if i < len(args) {
+			v = args[i]
+		}
+		switch v.Type() {
+		case value.Number:
+			regs[i], tags[i] = v.AsNumber(), TagNumber
+		case value.Boolean:
+			regs[i], tags[i] = v.AsNumber(), TagBoolean
+		case value.Array:
+			regs[i], tags[i] = float64(v.Handle()), TagObject
+		case value.Undefined:
+			regs[i], tags[i] = math.NaN(), TagUndefined
+		default:
+			regs[i], tags[i] = math.NaN(), TagOther
+		}
+	}
+
+	arena := h.Arena()
+	truthy := func(v float64) bool { return v != 0 && v == v }
+	var steps int64
+	defer func() { res.Steps = steps }()
+
+	for pc := 0; pc < len(code.Ops); pc++ {
+		steps++
+		if steps > maxOps {
+			return Result{}, StatusOK, &BudgetError{Fn: code.Name}
+		}
+		op := &code.Ops[pc]
+		switch op.Kind {
+		case lir.KNop:
+		case lir.KConst:
+			regs[op.Dst] = op.Imm
+		case lir.KMove, lir.KMoveTag:
+			regs[op.Dst] = regs[op.A]
+			if op.Kind == lir.KMoveTag {
+				tags[op.Dst] = tags[op.A]
+			}
+		case lir.KAdd:
+			regs[op.Dst] = regs[op.A] + regs[op.B]
+		case lir.KSub:
+			regs[op.Dst] = regs[op.A] - regs[op.B]
+		case lir.KMul:
+			regs[op.Dst] = regs[op.A] * regs[op.B]
+		case lir.KDiv:
+			regs[op.Dst] = regs[op.A] / regs[op.B]
+		case lir.KMod:
+			regs[op.Dst] = value.Mod(regs[op.A], regs[op.B])
+		case lir.KPow:
+			regs[op.Dst] = math.Pow(regs[op.A], regs[op.B])
+		case lir.KBitAnd:
+			regs[op.Dst] = float64(value.ToInt32(regs[op.A]) & value.ToInt32(regs[op.B]))
+		case lir.KBitOr:
+			regs[op.Dst] = float64(value.ToInt32(regs[op.A]) | value.ToInt32(regs[op.B]))
+		case lir.KBitXor:
+			regs[op.Dst] = float64(value.ToInt32(regs[op.A]) ^ value.ToInt32(regs[op.B]))
+		case lir.KShl:
+			regs[op.Dst] = float64(value.ToInt32(regs[op.A]) << (value.ToUint32(regs[op.B]) & 31))
+		case lir.KShr:
+			regs[op.Dst] = float64(value.ToInt32(regs[op.A]) >> (value.ToUint32(regs[op.B]) & 31))
+		case lir.KUshr:
+			regs[op.Dst] = float64(value.ToUint32(regs[op.A]) >> (value.ToUint32(regs[op.B]) & 31))
+		case lir.KNeg:
+			regs[op.Dst] = -regs[op.A]
+		case lir.KNot:
+			if truthy(regs[op.A]) {
+				regs[op.Dst] = 0
+			} else {
+				regs[op.Dst] = 1
+			}
+		case lir.KCmp:
+			a, b := regs[op.A], regs[op.B]
+			var res bool
+			switch int(op.Aux) {
+			case 1: // CmpLt
+				res = a < b
+			case 2:
+				res = a <= b
+			case 3:
+				res = a > b
+			case 4:
+				res = a >= b
+			case 5:
+				res = a == b
+			case 6:
+				res = a != b
+			}
+			if res {
+				regs[op.Dst] = 1
+			} else {
+				regs[op.Dst] = 0
+			}
+		case lir.KMath:
+			regs[op.Dst] = mathFunc(bytecode.Builtin(op.Aux), regs[op.A], regs[op.B], h)
+		case lir.KJump:
+			pc = int(op.Target) - 1
+		case lir.KBranchFalse:
+			if !truthy(regs[op.A]) {
+				pc = int(op.Target) - 1
+			}
+		case lir.KUnbox, lir.KGuardType:
+			tag := tags[op.A]
+			if op.Aux == 1 {
+				if tag != TagObject {
+					return Result{}, StatusBail, nil
+				}
+			} else {
+				if tag != TagNumber && tag != TagBoolean {
+					return Result{}, StatusBail, nil
+				}
+			}
+			regs[op.Dst] = regs[op.A]
+			tags[op.Dst] = tag
+		case lir.KElemsHandle:
+			elems, ok := arena.Elems(int32(regs[op.A]))
+			if !ok {
+				return Result{}, StatusBail, nil
+			}
+			regs[op.Dst] = float64(elems)
+		case lir.KElemsRaw:
+			// Type-confused path (unbox guard eliminated): the raw bits are
+			// consumed as an object reference. For a genuine array the bits
+			// *are* the reference, so well-typed callers are unaffected;
+			// for an attacker-supplied number this is a wild pointer
+			// dereference — a segfault.
+			h := int64(math.Trunc(regs[op.A]))
+			elems, ok := arena.Elems(int32(h))
+			if !ok || regs[op.A] != math.Trunc(regs[op.A]) {
+				_, crash := arena.RawLoad(int(h))
+				if crash != nil {
+					return Result{}, StatusOK, crash
+				}
+				// The forged reference happens to alias mapped memory:
+				// consume it as an elements address (still corruptible).
+				regs[op.Dst] = math.Trunc(regs[op.A])
+				break
+			}
+			regs[op.Dst] = float64(elems)
+		case lir.KInitLen:
+			v, crash := arena.LengthAt(int(regs[op.A]))
+			if crash != nil {
+				return Result{}, StatusOK, crash
+			}
+			regs[op.Dst] = v
+		case lir.KBoundsCheck:
+			idx, length := regs[op.A], regs[op.B]
+			if !(idx >= 0 && idx < length && idx == math.Trunc(idx)) {
+				return Result{}, StatusBail, nil
+			}
+		case lir.KLoadElem:
+			addr := int(regs[op.A]) + int(regs[op.B]) + int(op.Aux)
+			v, crash := arena.RawLoad(addr)
+			if crash != nil {
+				return Result{}, StatusOK, crash
+			}
+			regs[op.Dst] = v
+		case lir.KStoreElem:
+			addr := int(regs[op.A]) + int(regs[op.B]) + int(op.Aux)
+			if crash := arena.RawStore(addr, regs[op.C]); crash != nil {
+				return Result{}, StatusOK, crash
+			}
+		case lir.KSetLen:
+			n := regs[op.B]
+			if n < 0 || n != math.Trunc(n) || n > float64(math.MaxInt32) {
+				return Result{}, StatusBail, nil
+			}
+			if err := arena.SetLength(int32(regs[op.A]), int(n)); err != nil {
+				return Result{}, StatusOK, err
+			}
+		case lir.KPush:
+			n, err := arena.Push(int32(regs[op.A]), regs[op.B])
+			if err != nil {
+				return Result{}, StatusOK, err
+			}
+			regs[op.Dst] = float64(n)
+		case lir.KPop:
+			v, ok := arena.Pop(int32(regs[op.A]))
+			if !ok {
+				return Result{}, StatusBail, nil
+			}
+			regs[op.Dst] = v
+		case lir.KNewArr:
+			n := regs[op.A]
+			if n < 0 || n != math.Trunc(n) || n > float64(math.MaxInt32) {
+				return Result{}, StatusBail, nil
+			}
+			hnd, err := arena.Alloc(int(n))
+			if err != nil {
+				return Result{}, StatusOK, err
+			}
+			regs[op.Dst] = float64(hnd)
+		case lir.KAddrOf:
+			elems, ok := arena.Elems(int32(regs[op.A]))
+			if !ok {
+				return Result{}, StatusBail, nil
+			}
+			regs[op.Dst] = float64(elems)
+		case lir.KCodeBase:
+			regs[op.Dst] = float64(arena.CodeBase())
+		case lir.KLoadGlobal:
+			v := h.GlobalGet(int(op.Aux))
+			switch v.Type() {
+			case value.Number:
+				regs[op.Dst], tags[op.Dst] = v.AsNumber(), TagNumber
+			case value.Boolean:
+				regs[op.Dst], tags[op.Dst] = v.AsNumber(), TagBoolean
+			case value.Array:
+				regs[op.Dst], tags[op.Dst] = float64(v.Handle()), TagObject
+			default:
+				regs[op.Dst], tags[op.Dst] = math.NaN(), TagOther
+			}
+		case lir.KStoreGlobalNum:
+			h.GlobalSet(int(op.Aux), value.Num(regs[op.A]))
+		case lir.KStoreGlobalObj:
+			h.GlobalSet(int(op.Aux), value.ArrayRef(int32(regs[op.A])))
+		case lir.KCall:
+			argRegs := code.ArgLists[op.A]
+			var callArgs []value.Value
+			base := -1
+			if pool != nil {
+				base = len(pool.args)
+				for range argRegs {
+					pool.args = append(pool.args, value.Value{})
+				}
+				callArgs = pool.args[base : base+len(argRegs)]
+			} else {
+				callArgs = make([]value.Value, len(argRegs))
+			}
+			for i, ar := range argRegs {
+				if op.C&(1<<i) != 0 {
+					callArgs[i] = value.ArrayRef(int32(regs[ar]))
+				} else {
+					callArgs[i] = value.Num(regs[ar])
+				}
+			}
+			res, err := h.CallFunction(int(op.Aux), callArgs)
+			if base >= 0 {
+				pool.args = pool.args[:base]
+			}
+			if err != nil {
+				return Result{}, StatusOK, err
+			}
+			if op.B == 1 { // expect object
+				if !res.IsArray() {
+					return Result{}, StatusBail, nil
+				}
+				regs[op.Dst], tags[op.Dst] = float64(res.Handle()), TagObject
+			} else {
+				switch res.Type() {
+				case value.Number, value.Boolean:
+					regs[op.Dst], tags[op.Dst] = res.ToNumber(), TagNumber
+				case value.Undefined:
+					regs[op.Dst], tags[op.Dst] = math.NaN(), TagNumber
+				default:
+					return Result{}, StatusBail, nil
+				}
+			}
+		case lir.KRetNum:
+			return Result{Kind: ResNum, Val: regs[op.A]}, StatusOK, nil
+		case lir.KRetObj:
+			return Result{Kind: ResObject, Val: regs[op.A]}, StatusOK, nil
+		case lir.KRetUndef:
+			return Result{Kind: ResUndef}, StatusOK, nil
+		default:
+			return Result{}, StatusOK, fmt.Errorf("native: unknown op %s", op.Kind)
+		}
+	}
+	return Result{Kind: ResUndef}, StatusOK, nil
+}
+
+func mathFunc(b bytecode.Builtin, a, c float64, h Hooks) float64 {
+	switch b {
+	case bytecode.BMathAbs:
+		return math.Abs(a)
+	case bytecode.BMathFloor:
+		return math.Floor(a)
+	case bytecode.BMathCeil:
+		return math.Ceil(a)
+	case bytecode.BMathRound:
+		return math.Floor(a + 0.5)
+	case bytecode.BMathSqrt:
+		return math.Sqrt(a)
+	case bytecode.BMathMin:
+		return math.Min(a, c)
+	case bytecode.BMathMax:
+		return math.Max(a, c)
+	case bytecode.BMathPow:
+		return math.Pow(a, c)
+	case bytecode.BMathSin:
+		return math.Sin(a)
+	case bytecode.BMathCos:
+		return math.Cos(a)
+	case bytecode.BMathTan:
+		return math.Tan(a)
+	case bytecode.BMathAtan:
+		return math.Atan(a)
+	case bytecode.BMathAtan2:
+		return math.Atan2(a, c)
+	case bytecode.BMathExp:
+		return math.Exp(a)
+	case bytecode.BMathLog:
+		return math.Log(a)
+	case bytecode.BMathRandom:
+		return h.Random()
+	default:
+		return math.NaN()
+	}
+}

@@ -1,0 +1,223 @@
+package native
+
+import (
+	"math"
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/lir"
+	"github.com/jitbull/jitbull/internal/value"
+)
+
+// run1 executes a tiny op sequence returning register `ret`.
+func run1(t *testing.T, h Hooks, numParams int, args []value.Value, ops ...lir.Op) Result {
+	t.Helper()
+	max := int32(numParams)
+	for _, op := range ops {
+		for _, r := range []int32{op.Dst, op.A, op.B, op.C} {
+			if r+1 > max {
+				max = r + 1
+			}
+		}
+	}
+	code := &lir.Code{Name: "t", NumParams: numParams, NumRegs: int(max), Ops: ops}
+	res, status, err := Exec(code, args, h, 0, nil)
+	if err != nil {
+		t.Fatalf("exec: %v", err)
+	}
+	if status != StatusOK {
+		t.Fatalf("unexpected bail")
+	}
+	return res
+}
+
+func TestOpArithmeticKinds(t *testing.T) {
+	h := newStub()
+	cases := []struct {
+		kind lir.Kind
+		a, b float64
+		want float64
+	}{
+		{lir.KSub, 7, 3, 4},
+		{lir.KDiv, 9, 2, 4.5},
+		{lir.KMod, -7, 3, -1},
+		{lir.KPow, 2, 10, 1024},
+		{lir.KBitAnd, 12, 10, 8},
+		{lir.KBitOr, 12, 10, 14},
+		{lir.KBitXor, 12, 10, 6},
+		{lir.KShl, 1, 10, 1024},
+		{lir.KShr, -8, 1, -4},
+		{lir.KUshr, -1, 28, 15},
+	}
+	for _, c := range cases {
+		res := run1(t, h, 0, nil,
+			lir.Op{Kind: lir.KConst, Dst: 0, Imm: c.a},
+			lir.Op{Kind: lir.KConst, Dst: 1, Imm: c.b},
+			lir.Op{Kind: c.kind, Dst: 2, A: 0, B: 1},
+			lir.Op{Kind: lir.KRetNum, A: 2},
+		)
+		if res.Val != c.want {
+			t.Errorf("%v(%v, %v) = %v, want %v", c.kind, c.a, c.b, res.Val, c.want)
+		}
+	}
+}
+
+func TestOpUnaryKinds(t *testing.T) {
+	h := newStub()
+	if res := run1(t, h, 0, nil,
+		lir.Op{Kind: lir.KConst, Dst: 0, Imm: 5},
+		lir.Op{Kind: lir.KNeg, Dst: 1, A: 0},
+		lir.Op{Kind: lir.KRetNum, A: 1},
+	); res.Val != -5 {
+		t.Errorf("neg = %v", res.Val)
+	}
+	if res := run1(t, h, 0, nil,
+		lir.Op{Kind: lir.KConst, Dst: 0, Imm: math.NaN()},
+		lir.Op{Kind: lir.KNot, Dst: 1, A: 0},
+		lir.Op{Kind: lir.KRetNum, A: 1},
+	); res.Val != 1 {
+		t.Errorf("!NaN = %v, want 1 (NaN is falsy)", res.Val)
+	}
+}
+
+func TestOpCmpKinds(t *testing.T) {
+	h := newStub()
+	// aux: 1 <, 2 <=, 3 >, 4 >=, 5 ==, 6 !=
+	cases := []struct {
+		aux  int32
+		a, b float64
+		want float64
+	}{
+		{1, 1, 2, 1}, {1, 2, 2, 0},
+		{2, 2, 2, 1}, {2, 3, 2, 0},
+		{3, 3, 2, 1}, {3, 2, 2, 0},
+		{4, 2, 2, 1}, {4, 1, 2, 0},
+		{5, 2, 2, 1}, {5, 1, 2, 0},
+		{6, 1, 2, 1}, {6, 2, 2, 0},
+	}
+	for _, c := range cases {
+		res := run1(t, h, 0, nil,
+			lir.Op{Kind: lir.KConst, Dst: 0, Imm: c.a},
+			lir.Op{Kind: lir.KConst, Dst: 1, Imm: c.b},
+			lir.Op{Kind: lir.KCmp, Dst: 2, A: 0, B: 1, Aux: c.aux},
+			lir.Op{Kind: lir.KRetNum, A: 2},
+		)
+		if res.Val != c.want {
+			t.Errorf("cmp aux=%d (%v,%v) = %v, want %v", c.aux, c.a, c.b, res.Val, c.want)
+		}
+	}
+}
+
+func TestOpArrayLifecycle(t *testing.T) {
+	h := newStub()
+	// new Array(3); push 7; setlen 5; addrof; return length via pop count.
+	res := run1(t, h, 0, nil,
+		lir.Op{Kind: lir.KConst, Dst: 0, Imm: 3},
+		lir.Op{Kind: lir.KNewArr, Dst: 1, A: 0},
+		lir.Op{Kind: lir.KConst, Dst: 2, Imm: 7},
+		lir.Op{Kind: lir.KPush, Dst: 3, A: 1, B: 2}, // -> new length 4
+		lir.Op{Kind: lir.KConst, Dst: 4, Imm: 6},
+		lir.Op{Kind: lir.KSetLen, A: 1, B: 4},
+		lir.Op{Kind: lir.KPop, Dst: 5, A: 1}, // pops the zero-fill at index 5
+		lir.Op{Kind: lir.KAddrOf, Dst: 6, A: 1},
+		lir.Op{Kind: lir.KCodeBase, Dst: 7},
+		// result: pushlen*1000 + pop + (codebase > addrof)
+		lir.Op{Kind: lir.KConst, Dst: 8, Imm: 1000},
+		lir.Op{Kind: lir.KMul, Dst: 8, A: 3, B: 8},
+		lir.Op{Kind: lir.KAdd, Dst: 8, A: 8, B: 5},
+		lir.Op{Kind: lir.KCmp, Dst: 9, A: 7, B: 6, Aux: 3},
+		lir.Op{Kind: lir.KAdd, Dst: 8, A: 8, B: 9},
+		lir.Op{Kind: lir.KRetNum, A: 8},
+	)
+	if res.Val != 4*1000+0+1 {
+		t.Fatalf("lifecycle checksum = %v, want 4001", res.Val)
+	}
+}
+
+func TestOpSetLenInvalidBails(t *testing.T) {
+	h := newStub()
+	arr, _ := h.arena.Alloc(4)
+	code := &lir.Code{
+		Name: "badlen", NumParams: 2, NumRegs: 3,
+		Ops: []lir.Op{
+			{Kind: lir.KUnbox, Dst: 1, A: 0, Aux: 1},
+			{Kind: lir.KUnbox, Dst: 2, A: 1},
+			{Kind: lir.KSetLen, A: 1, B: 2},
+			{Kind: lir.KRetUndef},
+		},
+	}
+	for _, bad := range []float64{-1, 2.5, math.NaN(), 1e18} {
+		_, status, err := Exec(code, []value.Value{value.ArrayRef(arr), value.Num(bad)}, h, 0, nil)
+		if err != nil || status != StatusBail {
+			t.Fatalf("setlen(%v): want bail, got status=%v err=%v", bad, status, err)
+		}
+	}
+}
+
+func TestOpNewArrInvalidBails(t *testing.T) {
+	h := newStub()
+	code := &lir.Code{
+		Name: "badnew", NumParams: 1, NumRegs: 3,
+		Ops: []lir.Op{
+			{Kind: lir.KUnbox, Dst: 1, A: 0},
+			{Kind: lir.KNewArr, Dst: 2, A: 1},
+			{Kind: lir.KRetNum, A: 2},
+		},
+	}
+	for _, bad := range []float64{-3, 0.5, math.NaN()} {
+		_, status, err := Exec(code, []value.Value{value.Num(bad)}, h, 0, nil)
+		if err != nil || status != StatusBail {
+			t.Fatalf("new Array(%v): want bail, got status=%v err=%v", bad, status, err)
+		}
+	}
+}
+
+func TestOpStoreGlobalObj(t *testing.T) {
+	h := newStub()
+	arr, _ := h.arena.Alloc(2)
+	run1(t, h, 1, []value.Value{value.ArrayRef(arr)},
+		lir.Op{Kind: lir.KUnbox, Dst: 1, A: 0, Aux: 1},
+		lir.Op{Kind: lir.KStoreGlobalObj, A: 1, Aux: 5},
+		lir.Op{Kind: lir.KRetUndef},
+	)
+	if !h.globals[5].IsArray() || h.globals[5].Handle() != arr {
+		t.Fatalf("global = %v", h.globals[5])
+	}
+}
+
+func TestOpRetObjAndUndef(t *testing.T) {
+	h := newStub()
+	arr, _ := h.arena.Alloc(2)
+	res := run1(t, h, 1, []value.Value{value.ArrayRef(arr)},
+		lir.Op{Kind: lir.KUnbox, Dst: 1, A: 0, Aux: 1},
+		lir.Op{Kind: lir.KRetObj, A: 1},
+	)
+	if res.Kind != ResObject || int32(res.Val) != arr {
+		t.Fatalf("retobj = %+v", res)
+	}
+	res = run1(t, h, 0, nil, lir.Op{Kind: lir.KRetUndef})
+	if res.Kind != ResUndef {
+		t.Fatalf("retundef = %+v", res)
+	}
+	// Falling off the end returns undefined too.
+	res = run1(t, h, 0, nil, lir.Op{Kind: lir.KNop})
+	if res.Kind != ResUndef {
+		t.Fatalf("implicit return = %+v", res)
+	}
+}
+
+func TestOpGuardTypeOtherTagBails(t *testing.T) {
+	h := newStub()
+	h.globals[0] = value.Str("boo")
+	code := &lir.Code{
+		Name: "g", NumRegs: 2,
+		Ops: []lir.Op{
+			{Kind: lir.KLoadGlobal, Dst: 0, Aux: 0},
+			{Kind: lir.KGuardType, Dst: 1, A: 0},
+			{Kind: lir.KRetNum, A: 1},
+		},
+	}
+	_, status, err := Exec(code, nil, h, 0, nil)
+	if err != nil || status != StatusBail {
+		t.Fatalf("string global must bail the numeric guard: %v %v", status, err)
+	}
+}

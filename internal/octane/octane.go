@@ -1,0 +1,1186 @@
+// Package octane provides the benign benchmark corpus of the evaluation:
+// nanojs analogues of the Octane suite programs the paper reports on
+// (Richards, DeltaBlue, Crypto, RayTrace, Splay, NavierStokes, PdfJS,
+// Box2D, TypeScript, Gbemu, CodeLoad), plus the two micro-benchmarks of
+// §VI-A (Microbench1: arithmetic in a for loop; Microbench2: array size
+// manipulation).
+//
+// Each analogue preserves the traits that matter to the evaluation: the
+// rough number and shape of hot (JIT-compiled) functions, the array/loop
+// idioms that exercise GVN/LICM/range analysis/bounds check elimination,
+// and a deterministic checksum in the global `result` so every tier
+// configuration can be cross-checked. Absolute scores are not comparable
+// to real Octane; relative shapes are what the reproduction targets.
+package octane
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one corpus program. Sources are templates whose outer-loop
+// iteration count scales linearly, so timing experiments can amortize
+// one-time compilation costs exactly as the real Octane harness does
+// (seconds of steady state per program).
+type Benchmark struct {
+	Name string
+	tmpl string
+	// BaseIters is the outer-loop count at scale 1 (sized for fast tests).
+	BaseIters int
+	// ExpectJITs is a loose lower bound on hot functions when run with a
+	// low Ion threshold, used by sanity tests.
+	ExpectJITs int
+}
+
+// Source renders the program with its outer loop scaled by the given
+// factor (values below 1 mean 1).
+func (b Benchmark) Source(scale int) string {
+	if scale < 1 {
+		scale = 1
+	}
+	return strings.Replace(b.tmpl, "%ITERS%", strconv.Itoa(b.BaseIters*scale), 1)
+}
+
+// Suite returns the Octane-analogue corpus in the order the paper's
+// figures list them.
+func Suite() []Benchmark {
+	return []Benchmark{
+		{Name: "Richards", tmpl: richards, BaseIters: 60, ExpectJITs: 5},
+		{Name: "DeltaBlue", tmpl: deltablue, BaseIters: 220, ExpectJITs: 5},
+		{Name: "Crypto", tmpl: crypto, BaseIters: 150, ExpectJITs: 5},
+		{Name: "RayTrace", tmpl: raytrace, BaseIters: 12, ExpectJITs: 3},
+		{Name: "Splay", tmpl: splay, BaseIters: 300, ExpectJITs: 4},
+		{Name: "NavierStokes", tmpl: navierstokes, BaseIters: 40, ExpectJITs: 5},
+		{Name: "PdfJS", tmpl: pdfjs, BaseIters: 70, ExpectJITs: 5},
+		{Name: "Box2D", tmpl: box2d, BaseIters: 220, ExpectJITs: 3},
+		{Name: "TypeScript", tmpl: typescript, BaseIters: 55, ExpectJITs: 6},
+		{Name: "Gbemu", tmpl: gbemu, BaseIters: 40, ExpectJITs: 4},
+		{Name: "EarleyBoyer", tmpl: earleyboyer, BaseIters: 70, ExpectJITs: 4},
+		{Name: "Zlib", tmpl: zlib, BaseIters: 35, ExpectJITs: 3},
+		{Name: "CodeLoad", tmpl: codeload, BaseIters: 260, ExpectJITs: 3},
+	}
+}
+
+// Microbenches returns the two micro-benchmarks of §VI-A.
+func Microbenches() []Benchmark {
+	return []Benchmark{
+		{Name: "Microbench1", tmpl: microbench1, BaseIters: 600, ExpectJITs: 1},
+		{Name: "Microbench2", tmpl: microbench2, BaseIters: 600, ExpectJITs: 1},
+	}
+}
+
+// All returns Suite plus Microbenches.
+func All() []Benchmark {
+	return append(Suite(), Microbenches()...)
+}
+
+// ByName returns the named benchmark.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("octane: unknown benchmark %q", name)
+}
+
+// Microbench1 (§VI-A): "performs an arithmetic operation on variables
+// within a for loop".
+const microbench1 = `
+function kernel(n, seed) {
+  var x = seed;
+  var y = 0;
+  for (var i = 0; i < n; i++) {
+    x = (x * 48271 + 12345) % 2147483647;
+    y = y + (x % 97) - (x % 31);
+  }
+  return y;
+}
+var result = 0;
+for (var r = 0; r < %ITERS%; r++) {
+  result = result + kernel(220, r + 1);
+}
+`
+
+// Microbench2 (§VI-A): "does the same but manipulates the size of an
+// array".
+const microbench2 = `
+function churn(a, n) {
+  var s = 0;
+  for (var i = 0; i < n; i++) {
+    a.push(i * 3 - 1);
+  }
+  for (var j = 0; j < n; j++) {
+    s = s + a.pop();
+  }
+  a.length = 4;
+  a.length = 16;
+  for (var k = 0; k < a.length; k++) {
+    s = s + a[k];
+  }
+  return s;
+}
+var buf = new Array(16);
+var result = 0;
+for (var r = 0; r < %ITERS%; r++) {
+  result = result + churn(buf, 40);
+}
+`
+
+// Richards: task scheduler kernel. Queues and task control blocks live in
+// flat arrays; the scheduler repeatedly picks the highest-priority ready
+// task and runs its handler.
+const richards = `
+var NTASKS = 6;
+var state = new Array(6);
+var pri = new Array(6);
+var workQ = new Array(6);
+var qhead = new Array(6);
+var qtail = new Array(6);
+var held = new Array(6);
+var totalWork = 0;
+
+function resetTasks() {
+  for (var i = 0; i < NTASKS; i++) {
+    state[i] = 1;
+    pri[i] = (i * 7) % 11 + 1;
+    qhead[i] = 0;
+    qtail[i] = 0;
+    held[i] = 0;
+  }
+  totalWork = 0;
+}
+
+function enqueue(task, pkt) {
+  var base = task * 16;
+  workQ[base + (qtail[task] % 16)] = pkt;
+  qtail[task] = qtail[task] + 1;
+  state[task] = 1;
+}
+
+function dequeue(task) {
+  if (qhead[task] >= qtail[task]) { return -1; }
+  var base = task * 16;
+  var pkt = workQ[base + (qhead[task] % 16)];
+  qhead[task] = qhead[task] + 1;
+  return pkt;
+}
+
+function pickTask() {
+  var best = -1;
+  var bestPri = -1;
+  for (var i = 0; i < NTASKS; i++) {
+    if (state[i] == 1 && held[i] == 0 && pri[i] > bestPri) {
+      bestPri = pri[i];
+      best = i;
+    }
+  }
+  return best;
+}
+
+function runHandler(task, pkt) {
+  var work = 0;
+  for (var i = 0; i < 12; i++) {
+    work = work + ((pkt + i) * pri[task]) % 13;
+  }
+  totalWork = totalWork + work;
+  if (pkt % 3 == 0) {
+    enqueue((task + 1) % NTASKS, pkt + 1);
+  }
+  if (pkt % 5 == 0) {
+    held[(task + 2) % NTASKS] = 0;
+  }
+  return work;
+}
+
+function schedule(rounds) {
+  var executed = 0;
+  for (var r = 0; r < rounds; r++) {
+    var t = pickTask();
+    if (t < 0) {
+      for (var i = 0; i < NTASKS; i++) { enqueue(i, r + i); }
+      continue;
+    }
+    var pkt = dequeue(t);
+    if (pkt < 0) {
+      state[t] = 0;
+      continue;
+    }
+    executed = executed + runHandler(t, pkt);
+  }
+  return executed;
+}
+
+workQ = new Array(96);
+var result = 0;
+for (var iter = 0; iter < %ITERS%; iter++) {
+  resetTasks();
+  for (var i = 0; i < NTASKS; i++) { enqueue(i, i * 2 + 1); }
+  result = result + schedule(260) % 100000;
+}
+`
+
+// DeltaBlue: one-way dataflow constraint solver. Constraints relate
+// variable slots; a planner walks them in topological rounds and enforces
+// the strongest satisfied constraints.
+const deltablue = `
+var NV = 24;
+var NC = 24;
+var val = new Array(24);
+var stay = new Array(24);
+var cSrc = new Array(24);
+var cDst = new Array(24);
+var cOff = new Array(24);
+var cStrength = new Array(24);
+var cEnabled = new Array(24);
+
+function initGraph(seed) {
+  for (var i = 0; i < NV; i++) {
+    val[i] = (seed + i * 3) % 50;
+    stay[i] = (i % 4 == 0) ? 1 : 0;
+  }
+  for (var c = 0; c < NC; c++) {
+    cSrc[c] = c % NV;
+    cDst[c] = (c + 7) % NV;
+    cOff[c] = (c * 5) % 9 - 4;
+    cStrength[c] = (c * 13) % 7 + 1;
+    cEnabled[c] = 1;
+  }
+}
+
+function enforce(c) {
+  if (cEnabled[c] == 0) { return 0; }
+  var s = cSrc[c];
+  var d = cDst[c];
+  if (stay[d] == 1) { return 0; }
+  var nv = val[s] + cOff[c];
+  if (val[d] == nv) { return 0; }
+  val[d] = nv;
+  return 1;
+}
+
+function weakest() {
+  var w = -1;
+  var ws = 99;
+  for (var c = 0; c < NC; c++) {
+    if (cEnabled[c] == 1 && cStrength[c] < ws) {
+      ws = cStrength[c];
+      w = c;
+    }
+  }
+  return w;
+}
+
+function propagate(limit) {
+  var changed = 1;
+  var rounds = 0;
+  while (changed == 1 && rounds < limit) {
+    changed = 0;
+    for (var c = 0; c < NC; c++) {
+      if (enforce(c) == 1) { changed = 1; }
+    }
+    rounds++;
+  }
+  return rounds;
+}
+
+function perturb(k) {
+  var c = weakest();
+  if (c >= 0 && k % 4 == 0) { cEnabled[c] = 0; }
+  if (k % 4 == 2 && c >= 0) { cEnabled[c] = 1; }
+  val[k % NV] = val[k % NV] + k % 7;
+}
+
+function checksum() {
+  var h = 0;
+  for (var i = 0; i < NV; i++) {
+    h = (h * 31 + val[i]) % 1000003;
+  }
+  return h;
+}
+
+var result = 0;
+for (var iter = 0; iter < %ITERS%; iter++) {
+  initGraph(iter);
+  perturb(iter);
+  propagate(12);
+  perturb(iter + 1);
+  propagate(12);
+  result = (result + checksum()) % 1000003;
+}
+`
+
+// Crypto: modular arithmetic kernels (modexp, Montgomery-ish folding,
+// digest mixing) over 26-bit integers.
+const crypto = `
+function mulmod(a, b, m) {
+  var hi = Math.floor(a / 4096);
+  var lo = a % 4096;
+  return ((hi * b) % m * 4096 % m + lo * b) % m;
+}
+
+function powmod(base, e, m) {
+  var acc = 1;
+  var b = base % m;
+  var k = e;
+  while (k > 0) {
+    if (k % 2 == 1) {
+      acc = mulmod(acc, b, m);
+    }
+    b = mulmod(b, b, m);
+    k = Math.floor(k / 2);
+  }
+  return acc;
+}
+
+function mix(h, x) {
+  h = (h ^ x) & 67108863;
+  h = (h * 33 + 1) % 67108864;
+  h = (h ^ (h >> 7)) & 67108863;
+  return h;
+}
+
+function digest(data, n) {
+  var h = 5381;
+  for (var i = 0; i < n; i++) {
+    h = mix(h, data[i]);
+  }
+  return h;
+}
+
+function fill(data, n, seed) {
+  var x = seed;
+  for (var i = 0; i < n; i++) {
+    x = (x * 48271) % 2147483647;
+    data[i] = x % 65536;
+  }
+  return x;
+}
+
+function roundtrip(msg, mod) {
+  var cipher = powmod(msg, 17, mod);
+  var plain = powmod(cipher, 157, mod);
+  return plain;
+}
+
+var buf = new Array(64);
+var result = 0;
+for (var iter = 0; iter < %ITERS%; iter++) {
+  fill(buf, 64, iter + 3);
+  var h = digest(buf, 64);
+  var m = 3337;
+  result = (result + roundtrip(h % m, m) + h % 977) % 9999991;
+}
+`
+
+// RayTrace: sphere intersection over flat coordinate arrays, shading with
+// dot products, one bounce.
+const raytrace = `
+var NS = 6;
+var sx = new Array(6);
+var sy = new Array(6);
+var sz = new Array(6);
+var sr = new Array(6);
+var shade = new Array(6);
+
+function setupScene() {
+  for (var i = 0; i < NS; i++) {
+    sx[i] = (i * 37) % 17 - 8;
+    sy[i] = (i * 53) % 13 - 6;
+    sz[i] = 12 + (i * 29) % 9;
+    sr[i] = 1.5 + (i % 3);
+    shade[i] = 0.2 + 0.1 * i;
+  }
+}
+
+function hitSphere(ox, oy, oz, dx, dy, dz, s) {
+  var cx = sx[s] - ox;
+  var cy = sy[s] - oy;
+  var cz = sz[s] - oz;
+  var proj = cx * dx + cy * dy + cz * dz;
+  if (proj < 0) { return -1; }
+  var d2 = cx * cx + cy * cy + cz * cz - proj * proj;
+  var r2 = sr[s] * sr[s];
+  if (d2 > r2) { return -1; }
+  return proj - Math.sqrt(r2 - d2);
+}
+
+function traceRay(ox, oy, oz, dx, dy, dz) {
+  var bestT = 1e9;
+  var best = -1;
+  for (var s = 0; s < NS; s++) {
+    var t = hitSphere(ox, oy, oz, dx, dy, dz, s);
+    if (t >= 0 && t < bestT) {
+      bestT = t;
+      best = s;
+    }
+  }
+  if (best < 0) { return 0; }
+  var px = ox + dx * bestT;
+  var py = oy + dy * bestT;
+  var pz = oz + dz * bestT;
+  var nx = (px - sx[best]) / sr[best];
+  var ny = (py - sy[best]) / sr[best];
+  var nz = (pz - sz[best]) / sr[best];
+  var light = nx * 0.57 + ny * 0.57 + nz * 0.57;
+  if (light < 0) { light = 0; }
+  return shade[best] + light * 0.8;
+}
+
+function renderRow(y, w, acc) {
+  for (var x = 0; x < w; x++) {
+    var dx = (x - w / 2) / w;
+    var dy = (y - 12) / 24;
+    var dz = 1;
+    var norm = Math.sqrt(dx * dx + dy * dy + dz * dz);
+    acc = acc + traceRay(0, 0, 0, dx / norm, dy / norm, dz / norm);
+  }
+  return acc;
+}
+
+setupScene();
+var result = 0;
+for (var frame = 0; frame < %ITERS%; frame++) {
+  var acc = 0;
+  for (var y = 0; y < 24; y++) {
+    acc = renderRow(y, 32, acc);
+  }
+  result = result + Math.floor(acc);
+  sx[frame % NS] = sx[frame % NS] + 0.25;
+}
+`
+
+// Splay: splay tree over parallel node-pool arrays (keys, left, right),
+// with zig-zig/zig-zag rotations and periodic insert/delete churn. Heavy
+// duplicate array accesses — the FP-prone idiom of Figure 4.
+const splay = `
+var CAP = 256;
+var key = new Array(256);
+var left = new Array(256);
+var right = new Array(256);
+var freeTop = 0;
+var root = -1;
+
+function initPool() {
+  for (var i = 0; i < CAP; i++) {
+    key[i] = 0;
+    left[i] = i + 1;
+    right[i] = -1;
+  }
+  left[CAP - 1] = -1;
+  freeTop = 0;
+  root = -1;
+}
+
+function alloc(k) {
+  if (freeTop < 0) { return -1; }
+  var n = freeTop;
+  freeTop = left[n];
+  key[n] = k;
+  left[n] = -1;
+  right[n] = -1;
+  return n;
+}
+
+function rotateRight(n) {
+  var l = left[n];
+  left[n] = right[l];
+  right[l] = n;
+  return l;
+}
+
+function rotateLeft(n) {
+  var r = right[n];
+  right[n] = left[r];
+  left[r] = n;
+  return r;
+}
+
+function splayTo(n, k) {
+  if (n < 0) { return n; }
+  var guard = 0;
+  while (guard < 64) {
+    guard++;
+    if (k < key[n]) {
+      if (left[n] < 0) { break; }
+      if (k < key[left[n]]) {
+        n = rotateRight(n);
+        if (left[n] < 0) { break; }
+      }
+      n = rotateRight(n);
+    } else if (k > key[n]) {
+      if (right[n] < 0) { break; }
+      if (k > key[right[n]]) {
+        n = rotateLeft(n);
+        if (right[n] < 0) { break; }
+      }
+      n = rotateLeft(n);
+    } else {
+      break;
+    }
+  }
+  return n;
+}
+
+function insert(k) {
+  root = splayTo(root, k);
+  if (root >= 0 && key[root] == k) { return root; }
+  var n = alloc(k);
+  if (n < 0) { return root; }
+  if (root < 0) {
+    root = n;
+    return n;
+  }
+  if (k < key[root]) {
+    left[n] = left[root];
+    right[n] = root;
+    left[root] = -1;
+  } else {
+    right[n] = right[root];
+    left[n] = root;
+    right[root] = -1;
+  }
+  root = n;
+  return n;
+}
+
+function lookup(k) {
+  root = splayTo(root, k);
+  if (root >= 0 && key[root] == k) { return 1; }
+  return 0;
+}
+
+function treeSum(n, depth) {
+  if (n < 0 || depth > 40) { return 0; }
+  return key[n] + treeSum(left[n], depth + 1) + treeSum(right[n], depth + 1);
+}
+
+initPool();
+var result = 0;
+var x = 7;
+for (var iter = 0; iter < %ITERS%; iter++) {
+  x = (x * 48271 + 12345) % 2147483647;
+  insert(x % 1000);
+  x = (x * 48271 + 12345) % 2147483647;
+  result = result + lookup(x % 1000);
+  if (iter % 50 == 49) {
+    result = (result + treeSum(root, 0)) % 1000003;
+  }
+}
+`
+
+// NavierStokes: 2D fluid solver core — Gauss-Seidel relaxation and
+// advection over a flat grid, the real benchmark's lin_solve/advect shape.
+const navierstokes = `
+var N = 14;
+var SZ = 256;
+var u = new Array(256);
+var v = new Array(256);
+var dens = new Array(256);
+var tmp = new Array(256);
+
+function IX(i, j) { return i + (N + 2) * j; }
+
+function addSource(x, amount) {
+  for (var i = 0; i < SZ; i++) {
+    x[i] = x[i] + amount * ((i % 7) - 3) * 0.01;
+  }
+}
+
+function setBnd(x) {
+  for (var i = 1; i <= N; i++) {
+    x[IX(0, i)] = x[IX(1, i)];
+    x[IX(N + 1, i)] = x[IX(N, i)];
+    x[IX(i, 0)] = x[IX(i, 1)];
+    x[IX(i, N + 1)] = x[IX(i, N)];
+  }
+}
+
+function linSolve(x, x0, a, c) {
+  for (var k = 0; k < 6; k++) {
+    for (var j = 1; j <= N; j++) {
+      for (var i = 1; i <= N; i++) {
+        x[IX(i, j)] = (x0[IX(i, j)] + a * (x[IX(i - 1, j)] + x[IX(i + 1, j)] + x[IX(i, j - 1)] + x[IX(i, j + 1)])) / c;
+      }
+    }
+    setBnd(x);
+  }
+}
+
+function advect(d, d0, uu, vv, dt) {
+  var dt0 = dt * N;
+  for (var j = 1; j <= N; j++) {
+    for (var i = 1; i <= N; i++) {
+      var fx = i - dt0 * uu[IX(i, j)];
+      var fy = j - dt0 * vv[IX(i, j)];
+      if (fx < 0.5) { fx = 0.5; }
+      if (fx > N + 0.5) { fx = N + 0.5; }
+      if (fy < 0.5) { fy = 0.5; }
+      if (fy > N + 0.5) { fy = N + 0.5; }
+      var i0 = Math.floor(fx);
+      var j0 = Math.floor(fy);
+      var s1 = fx - i0;
+      var t1 = fy - j0;
+      d[IX(i, j)] = (1 - s1) * ((1 - t1) * d0[IX(i0, j0)] + t1 * d0[IX(i0, j0 + 1)])
+                  + s1 * ((1 - t1) * d0[IX(i0 + 1, j0)] + t1 * d0[IX(i0 + 1, j0 + 1)]);
+    }
+  }
+  setBnd(d);
+}
+
+function gridSum(x) {
+  var s = 0;
+  for (var i = 0; i < SZ; i++) { s = s + x[i]; }
+  return s;
+}
+
+function step(dt) {
+  addSource(dens, 1);
+  addSource(u, 0.5);
+  addSource(v, 0.25);
+  linSolve(tmp, dens, 0.4, 2.6);
+  advect(dens, tmp, u, v, dt);
+  linSolve(u, v, 0.2, 1.8);
+}
+
+for (var i = 0; i < SZ; i++) {
+  u[i] = 0; v[i] = 0; dens[i] = (i % 11) * 0.1; tmp[i] = 0;
+}
+var result = 0;
+for (var frame = 0; frame < %ITERS%; frame++) {
+  step(0.08);
+  result = result + Math.floor(gridSum(dens)) % 10007;
+}
+`
+
+// PdfJS: stream decoding analogue — bit-reader over a byte array, a tiny
+// prefix-code decoder, predictor reconstruction, page assembly.
+const pdfjs = `
+var stream = new Array(512);
+var out = new Array(512);
+var bitPos = 0;
+
+function fillStream(seed) {
+  var x = seed;
+  for (var i = 0; i < 512; i++) {
+    x = (x * 48271 + 1) % 2147483647;
+    stream[i] = x % 256;
+  }
+  bitPos = 0;
+}
+
+function readBit() {
+  var byteIdx = bitPos >> 3;
+  var bit = (stream[byteIdx % 512] >> (bitPos & 7)) & 1;
+  bitPos = bitPos + 1;
+  return bit;
+}
+
+function readBits(n) {
+  var v = 0;
+  for (var i = 0; i < n; i++) {
+    v = v * 2 + readBit();
+  }
+  return v;
+}
+
+function decodeSymbol() {
+  if (readBit() == 0) { return readBits(3); }
+  if (readBit() == 0) { return 8 + readBits(4); }
+  return 24 + readBits(6);
+}
+
+function predictor(row, n) {
+  var prev = 0;
+  for (var i = 0; i < n; i++) {
+    out[row * 32 + i] = (out[row * 32 + i] + prev) % 256;
+    prev = out[row * 32 + i];
+  }
+  return prev;
+}
+
+function decodePage(n) {
+  var count = 0;
+  for (var i = 0; i < n; i++) {
+    out[i % 512] = decodeSymbol();
+    count = count + 1;
+  }
+  var h = 0;
+  for (var row = 0; row < 16; row++) {
+    h = (h + predictor(row, 32)) % 65521;
+  }
+  return h;
+}
+
+function pageChecksum() {
+  var h = 1;
+  for (var i = 0; i < 512; i++) {
+    h = (h + out[i]) % 65521;
+  }
+  return h;
+}
+
+var result = 0;
+for (var page = 0; page < %ITERS%; page++) {
+  fillStream(page * 7 + 1);
+  result = (result + decodePage(300) + pageChecksum()) % 9999999;
+}
+`
+
+// Box2D: rigid-body physics analogue: integrate bodies, broad-phase pair
+// scan, impulse resolution, friction — all over parallel arrays.
+const box2d = `
+var NB = 20;
+var px = new Array(20);
+var py = new Array(20);
+var vx = new Array(20);
+var vy = new Array(20);
+var rad = new Array(20);
+var invMass = new Array(20);
+
+function initWorld() {
+  for (var i = 0; i < NB; i++) {
+    px[i] = (i % 5) * 4 + 1;
+    py[i] = Math.floor(i / 5) * 4 + 1;
+    vx[i] = ((i * 13) % 7 - 3) * 0.4;
+    vy[i] = ((i * 17) % 5 - 2) * 0.4;
+    rad[i] = 0.8 + (i % 3) * 0.2;
+    invMass[i] = 1 / (1 + (i % 4));
+  }
+}
+
+function integrate(dt) {
+  for (var i = 0; i < NB; i++) {
+    vy[i] = vy[i] - 9.8 * dt * 0.1;
+    px[i] = px[i] + vx[i] * dt;
+    py[i] = py[i] + vy[i] * dt;
+    if (py[i] < rad[i]) {
+      py[i] = rad[i];
+      vy[i] = -vy[i] * 0.6;
+    }
+    if (px[i] < rad[i] || px[i] > 20 - rad[i]) {
+      vx[i] = -vx[i] * 0.9;
+      if (px[i] < rad[i]) { px[i] = rad[i]; }
+      else { px[i] = 20 - rad[i]; }
+    }
+  }
+}
+
+function collide(i, j, dt) {
+  var dx = px[j] - px[i];
+  var dy = py[j] - py[i];
+  var d2 = dx * dx + dy * dy;
+  var rsum = rad[i] + rad[j];
+  if (d2 >= rsum * rsum || d2 == 0) { return 0; }
+  var d = Math.sqrt(d2);
+  var nx = dx / d;
+  var ny = dy / d;
+  var rvx = vx[j] - vx[i];
+  var rvy = vy[j] - vy[i];
+  var vn = rvx * nx + rvy * ny;
+  if (vn > 0) { return 0; }
+  var imp = -1.6 * vn / (invMass[i] + invMass[j]);
+  vx[i] = vx[i] - imp * invMass[i] * nx;
+  vy[i] = vy[i] - imp * invMass[i] * ny;
+  vx[j] = vx[j] + imp * invMass[j] * nx;
+  vy[j] = vy[j] + imp * invMass[j] * ny;
+  return 1;
+}
+
+function broadphase(dt) {
+  var hits = 0;
+  for (var i = 0; i < NB; i++) {
+    for (var j = i + 1; j < NB; j++) {
+      hits = hits + collide(i, j, dt);
+    }
+  }
+  return hits;
+}
+
+function energy() {
+  var e = 0;
+  for (var i = 0; i < NB; i++) {
+    e = e + (vx[i] * vx[i] + vy[i] * vy[i]) / (2 * invMass[i]);
+  }
+  return e;
+}
+
+initWorld();
+var result = 0;
+for (var step = 0; step < %ITERS%; step++) {
+  integrate(0.016);
+  result = result + broadphase(0.016);
+  if (step % 20 == 0) {
+    result = result + Math.floor(energy());
+  }
+}
+`
+
+// TypeScript: compiler front-end analogue: a tokenizer over a char-code
+// array, a Pratt-ish expression folder, a symbol interner and an emitter.
+// checkpointScan deliberately shares the double-read two-array idiom the
+// CVE-2019-17026 PoC uses — the paper observes exactly one Octane program
+// (TypeScript) showing similarity with that VDC's DNA at database size 1.
+const typescript = `
+var src = new Array(600);
+var toks = new Array(600);
+var tvals = new Array(600);
+var symtab = new Array(64);
+var ntoks = 0;
+
+function genSource(seed) {
+  var x = seed;
+  for (var i = 0; i < 600; i++) {
+    x = (x * 48271) % 2147483647;
+    var c = x % 40;
+    if (c < 10) { src[i] = 48 + c; }
+    else if (c < 36) { src[i] = 97 + (c - 10); }
+    else if (c == 36) { src[i] = 43; }
+    else if (c == 37) { src[i] = 42; }
+    else if (c == 38) { src[i] = 40; }
+    else { src[i] = 41; }
+  }
+}
+
+function isDigit(c) { return c >= 48 && c <= 57 ? 1 : 0; }
+function isAlpha(c) { return c >= 97 && c <= 122 ? 1 : 0; }
+
+function tokenize(n) {
+  ntoks = 0;
+  var i = 0;
+  while (i < n) {
+    var c = src[i];
+    if (isDigit(c) == 1) {
+      var num = 0;
+      while (i < n && isDigit(src[i]) == 1) {
+        num = num * 10 + (src[i] - 48);
+        i++;
+      }
+      toks[ntoks] = 1;
+      tvals[ntoks] = num;
+      ntoks++;
+    } else if (isAlpha(c) == 1) {
+      var h = 0;
+      while (i < n && isAlpha(src[i]) == 1) {
+        h = (h * 31 + src[i]) % 1024;
+        i++;
+      }
+      toks[ntoks] = 2;
+      tvals[ntoks] = h;
+      ntoks++;
+    } else {
+      toks[ntoks] = 3;
+      tvals[ntoks] = c;
+      ntoks++;
+      i++;
+    }
+  }
+  return ntoks;
+}
+
+function intern(h) {
+  var slot = h % 64;
+  var probes = 0;
+  while (probes < 64) {
+    if (symtab[slot] == 0) {
+      symtab[slot] = h + 1;
+      return slot;
+    }
+    if (symtab[slot] == h + 1) { return slot; }
+    slot = (slot + 1) % 64;
+    probes++;
+  }
+  return 0;
+}
+
+function foldExprs(n) {
+  var acc = 0;
+  var depth = 0;
+  for (var i = 0; i < n; i++) {
+    if (toks[i] == 1) { acc = acc + tvals[i] * (depth + 1); }
+    else if (toks[i] == 2) { acc = acc + intern(tvals[i]); }
+    else if (tvals[i] == 40) { depth++; }
+    else if (tvals[i] == 41 && depth > 0) { depth--; }
+  }
+  return acc;
+}
+
+function checkpointScan(cur, snap, idx) {
+  var probe = snap[idx * 2] + snap[idx + 3];
+  cur[idx] = probe * 2;
+  cur[idx + 1] = probe * 0 + idx;
+  var verify = cur[idx] + cur[idx + 1];
+  return probe + verify;
+}
+
+function emit(n) {
+  var bytes = 0;
+  for (var i = 0; i < n; i++) {
+    bytes = bytes + (toks[i] * 4 + 1);
+  }
+  return bytes;
+}
+
+var snapshots = new Array(64);
+var cursor = new Array(16);
+for (var i = 0; i < 64; i++) { snapshots[i] = i * 3; }
+for (var i = 0; i < 64; i++) { symtab[i % 64] = 0; }
+var result = 0;
+for (var pass = 0; pass < %ITERS%; pass++) {
+  genSource(pass + 11);
+  var n = tokenize(600);
+  result = (result + foldExprs(n) + emit(n)) % 99999989;
+  result = result + checkpointScan(cursor, snapshots, pass % 6) % 97;
+}
+`
+
+// Gbemu: CPU-emulator analogue: fetch/decode/execute dispatch over a
+// memory array with 8-bit registers.
+const gbemu = `
+var mem = new Array(1024);
+var regA = 0;
+var regB = 0;
+var regC = 0;
+var pc = 0;
+var cycles = 0;
+
+function loadRom(seed) {
+  var x = seed;
+  for (var i = 0; i < 1024; i++) {
+    x = (x * 48271 + 7) % 2147483647;
+    mem[i] = x % 256;
+  }
+  pc = 0;
+  regA = 1;
+  regB = 2;
+  regC = 3;
+  cycles = 0;
+}
+
+function fetch() {
+  var op = mem[pc % 1024];
+  pc = pc + 1;
+  return op;
+}
+
+function aluAdd(x, y) { return (x + y) % 256; }
+function aluXor(x, y) { return (x ^ y) & 255; }
+
+function execOne() {
+  var op = fetch();
+  var kind = op % 8;
+  if (kind == 0) { regA = aluAdd(regA, regB); cycles = cycles + 1; }
+  else if (kind == 1) { regB = aluAdd(regB, regC); cycles = cycles + 1; }
+  else if (kind == 2) { regC = aluXor(regC, regA); cycles = cycles + 1; }
+  else if (kind == 3) { regA = mem[(regB * 4 + regC) % 1024]; cycles = cycles + 2; }
+  else if (kind == 4) { mem[(regA * 4 + regB) % 1024] = regC; cycles = cycles + 2; }
+  else if (kind == 5) { pc = (pc + regA) % 1024; cycles = cycles + 3; }
+  else if (kind == 6) { regA = aluXor(regA, op); cycles = cycles + 1; }
+  else { regC = aluAdd(regC, op); cycles = cycles + 1; }
+  return cycles;
+}
+
+function runFrame(budget) {
+  var start = cycles;
+  while (cycles - start < budget) {
+    execOne();
+  }
+  return regA * 65536 + regB * 256 + regC;
+}
+
+var result = 0;
+for (var frame = 0; frame < %ITERS%; frame++) {
+  loadRom(frame + 5);
+  result = (result + runFrame(500)) % 16777213;
+}
+`
+
+// CodeLoad: many small functions each called a handful of times —
+// compilation churn rather than steady-state loops.
+const codeload = `
+function h01(x) { return x * 3 + 1; }
+function h02(x) { return x * 5 - 2; }
+function h03(x) { return (x << 1) ^ 9; }
+function h04(x) { return x % 17 + 4; }
+function h05(x) { return x * x % 101; }
+function h06(x) { return (x >> 2) + 7; }
+function h07(x) { return (x | 5) - (x & 3); }
+function h08(x) { return x * 11 % 31; }
+function h09(x) { return Math.floor(x / 3) + 2; }
+function h10(x) { return Math.abs(x - 50); }
+function dispatch(k, x) {
+  if (k == 0) { return h01(x); }
+  if (k == 1) { return h02(x); }
+  if (k == 2) { return h03(x); }
+  if (k == 3) { return h04(x); }
+  if (k == 4) { return h05(x); }
+  if (k == 5) { return h06(x); }
+  if (k == 6) { return h07(x); }
+  if (k == 7) { return h08(x); }
+  if (k == 8) { return h09(x); }
+  return h10(x);
+}
+function moduleInit(seed, n) {
+  var s = 0;
+  for (var i = 0; i < n; i++) {
+    s = s + dispatch((seed + i) % 10, seed * 7 + i);
+  }
+  return s;
+}
+var result = 0;
+for (var m = 0; m < %ITERS%; m++) {
+  result = (result + moduleInit(m, 24)) % 1000033;
+}
+`
+
+// EarleyBoyer: chart-parser analogue — an Earley-style recognizer over a
+// small grammar encoded in parallel arrays, plus a Boyer-style term
+// rewriting loop over an array-encoded term pool.
+const earleyboyer = `
+var ruleLhs = new Array(12);
+var ruleRhsA = new Array(12);
+var ruleRhsB = new Array(12);
+var chart = new Array(512);
+var chartLen = 0;
+var terms = new Array(256);
+
+function initGrammar() {
+  for (var r = 0; r < 12; r++) {
+    ruleLhs[r] = r % 5;
+    ruleRhsA[r] = (r * 3) % 5;
+    ruleRhsB[r] = (r * 7 + 1) % 5;
+  }
+}
+
+function addItem(state, origin, dot) {
+  var key = state * 4096 + origin * 64 + dot;
+  for (var i = 0; i < chartLen; i++) {
+    if (chart[i] == key) { return 0; }
+  }
+  if (chartLen < 512) {
+    chart[chartLen] = key;
+    chartLen = chartLen + 1;
+    return 1;
+  }
+  return 0;
+}
+
+function recognize(seed, n) {
+  chartLen = 0;
+  var added = addItem(0, 0, 0);
+  var tok = seed;
+  for (var pos = 0; pos < n; pos++) {
+    tok = (tok * 48271 + 11) % 2147483647;
+    var sym = tok % 5;
+    var before = chartLen;
+    for (var i = 0; i < before; i++) {
+      var it = chart[i];
+      var state = Math.floor(it / 4096);
+      for (var r = 0; r < 12; r++) {
+        if (ruleLhs[r] == state && ruleRhsA[r] == sym) {
+          added = added + addItem(ruleRhsB[r], pos % 64, 1);
+        }
+      }
+    }
+  }
+  return chartLen + added;
+}
+
+function rewriteTerm(i) {
+  var v = terms[i];
+  if (v % 3 == 0) { return Math.floor(v / 3); }
+  if (v % 3 == 1) { return v * 2 + 1; }
+  return v - 1;
+}
+
+function boyerPass(n) {
+  var changed = 0;
+  for (var i = 0; i < n; i++) {
+    var nv = rewriteTerm(i);
+    if (nv != terms[i]) {
+      terms[i] = nv % 4096;
+      changed = changed + 1;
+    }
+  }
+  return changed;
+}
+
+initGrammar();
+for (var i = 0; i < 256; i++) { terms[i] = (i * 37 + 11) % 4096; }
+var result = 0;
+for (var iter = 0; iter < %ITERS%; iter++) {
+  result = (result + recognize(iter + 1, 24)) % 999983;
+  result = (result + boyerPass(256)) % 999983;
+}
+`
+
+// Zlib: LZ77-style compression analogue — hash-chained longest-match
+// search over a byte array, then a bit-packing emit loop.
+const zlib = `
+var input = new Array(1024);
+var head = new Array(256);
+var output = new Array(2048);
+var outLen = 0;
+
+function fillInput(seed) {
+  var x = seed;
+  for (var i = 0; i < 1024; i++) {
+    x = (x * 48271 + 3) % 2147483647;
+    input[i] = (x % 23) + 97;
+  }
+}
+
+function hash2(i) {
+  return (input[i] * 31 + input[(i + 1) % 1024]) % 256;
+}
+
+function matchLen(a, b, limit) {
+  var l = 0;
+  while (l < limit && input[(a + l) % 1024] == input[(b + l) % 1024]) {
+    l = l + 1;
+  }
+  return l;
+}
+
+function emit(code) {
+  if (outLen < 2048) {
+    output[outLen] = code % 65536;
+    outLen = outLen + 1;
+  }
+  return outLen;
+}
+
+function deflateBlock(n) {
+  outLen = 0;
+  for (var i = 0; i < 256; i++) { head[i] = -1; }
+  var i = 0;
+  while (i < n) {
+    var h = hash2(i);
+    var cand = head[h];
+    head[h] = i;
+    var best = 0;
+    if (cand >= 0 && cand < i) {
+      best = matchLen(cand, i, 16);
+    }
+    if (best >= 3) {
+      emit(32768 + (i - cand) * 32 + best);
+      i = i + best;
+    } else {
+      emit(input[i]);
+      i = i + 1;
+    }
+  }
+  var h2 = 1;
+  for (var k = 0; k < outLen; k++) {
+    h2 = (h2 * 31 + output[k]) % 65521;
+  }
+  return h2;
+}
+
+var result = 0;
+for (var block = 0; block < %ITERS%; block++) {
+  fillInput(block + 17);
+  result = (result + deflateBlock(700)) % 9999991;
+}
+`

@@ -1,0 +1,321 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/ast"
+	"github.com/jitbull/jitbull/internal/token"
+)
+
+func parseOne(t *testing.T, src string) ast.Stmt {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	if len(prog.Stmts) != 1 {
+		t.Fatalf("Parse(%q): want 1 stmt, got %d", src, len(prog.Stmts))
+	}
+	return prog.Stmts[0]
+}
+
+func parseExpr(t *testing.T, src string) ast.Expr {
+	t.Helper()
+	s := parseOne(t, src+";")
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		t.Fatalf("Parse(%q): want ExprStmt, got %T", src, s)
+	}
+	return es.X
+}
+
+func TestFunctionDecl(t *testing.T) {
+	s := parseOne(t, "function add(a, b) { return a + b; }")
+	fd, ok := s.(*ast.FuncDecl)
+	if !ok {
+		t.Fatalf("want FuncDecl, got %T", s)
+	}
+	if fd.Name != "add" {
+		t.Errorf("name = %q, want add", fd.Name)
+	}
+	if len(fd.Params) != 2 || fd.Params[0] != "a" || fd.Params[1] != "b" {
+		t.Errorf("params = %v", fd.Params)
+	}
+	if len(fd.Body.Stmts) != 1 {
+		t.Errorf("body stmts = %d, want 1", len(fd.Body.Stmts))
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	// a + b * c must parse as a + (b * c)
+	x := parseExpr(t, "a + b * c")
+	add, ok := x.(*ast.BinaryExpr)
+	if !ok || add.Op != token.Plus {
+		t.Fatalf("want +, got %T", x)
+	}
+	mul, ok := add.Y.(*ast.BinaryExpr)
+	if !ok || mul.Op != token.Star {
+		t.Fatalf("rhs: want *, got %T", add.Y)
+	}
+}
+
+func TestPrecedenceBitwiseVsCompare(t *testing.T) {
+	// a & b == c parses as a & (b == c) in JS.
+	x := parseExpr(t, "a & b == c")
+	and, ok := x.(*ast.BinaryExpr)
+	if !ok || and.Op != token.Amp {
+		t.Fatalf("want &, got %v", x)
+	}
+	if eq, ok := and.Y.(*ast.BinaryExpr); !ok || eq.Op != token.Eq {
+		t.Fatalf("rhs: want ==, got %T", and.Y)
+	}
+}
+
+func TestRightAssociativePow(t *testing.T) {
+	x := parseExpr(t, "a ** b ** c")
+	outer := x.(*ast.BinaryExpr)
+	if _, ok := outer.Y.(*ast.BinaryExpr); !ok {
+		t.Fatalf("** should be right-associative")
+	}
+}
+
+func TestAssignChain(t *testing.T) {
+	x := parseExpr(t, "a = b = 3")
+	outer, ok := x.(*ast.AssignExpr)
+	if !ok {
+		t.Fatalf("want AssignExpr, got %T", x)
+	}
+	if _, ok := outer.Value.(*ast.AssignExpr); !ok {
+		t.Fatalf("assignment should be right-associative")
+	}
+}
+
+func TestCompoundAssign(t *testing.T) {
+	x := parseExpr(t, "a[i] += 2")
+	a, ok := x.(*ast.AssignExpr)
+	if !ok || a.Op != token.PlusAssign {
+		t.Fatalf("want +=, got %v", x)
+	}
+	if _, ok := a.Target.(*ast.IndexExpr); !ok {
+		t.Fatalf("target: want IndexExpr, got %T", a.Target)
+	}
+}
+
+func TestLengthAssignment(t *testing.T) {
+	x := parseExpr(t, "arr.length = 4")
+	a, ok := x.(*ast.AssignExpr)
+	if !ok {
+		t.Fatalf("want AssignExpr, got %T", x)
+	}
+	m, ok := a.Target.(*ast.MemberExpr)
+	if !ok || m.Name != "length" {
+		t.Fatalf("target: want .length member, got %#v", a.Target)
+	}
+}
+
+func TestCallsAndMembers(t *testing.T) {
+	x := parseExpr(t, "Math.sqrt(a[i] + 1)")
+	call, ok := x.(*ast.CallExpr)
+	if !ok {
+		t.Fatalf("want CallExpr, got %T", x)
+	}
+	m, ok := call.Callee.(*ast.MemberExpr)
+	if !ok || m.Name != "sqrt" {
+		t.Fatalf("callee: want Math.sqrt member, got %#v", call.Callee)
+	}
+	if len(call.Args) != 1 {
+		t.Fatalf("args = %d, want 1", len(call.Args))
+	}
+}
+
+func TestNewArray(t *testing.T) {
+	x := parseExpr(t, "new Array(16)")
+	na, ok := x.(*ast.NewArray)
+	if !ok {
+		t.Fatalf("want NewArray, got %T", x)
+	}
+	n, ok := na.Len.(*ast.NumberLit)
+	if !ok || n.Value != 16 {
+		t.Fatalf("len: got %#v", na.Len)
+	}
+}
+
+func TestArrayLiteral(t *testing.T) {
+	x := parseExpr(t, "[1, 2, 3]")
+	arr, ok := x.(*ast.ArrayLit)
+	if !ok || len(arr.Elems) != 3 {
+		t.Fatalf("want 3-element ArrayLit, got %#v", x)
+	}
+}
+
+func TestUpdateExprs(t *testing.T) {
+	pre := parseExpr(t, "++i")
+	if u, ok := pre.(*ast.UpdateExpr); !ok || !u.Prefix || u.Op != token.PlusPlus {
+		t.Fatalf("++i: got %#v", pre)
+	}
+	post := parseExpr(t, "i--")
+	if u, ok := post.(*ast.UpdateExpr); !ok || u.Prefix || u.Op != token.MinusMinus {
+		t.Fatalf("i--: got %#v", post)
+	}
+}
+
+func TestConditionalExpr(t *testing.T) {
+	x := parseExpr(t, "a < b ? a : b")
+	if _, ok := x.(*ast.CondExpr); !ok {
+		t.Fatalf("want CondExpr, got %T", x)
+	}
+}
+
+func TestLogicalShortCircuit(t *testing.T) {
+	x := parseExpr(t, "a && b || c")
+	or, ok := x.(*ast.LogicalExpr)
+	if !ok || or.Op != token.PipePipe {
+		t.Fatalf("want || at top, got %#v", x)
+	}
+	if and, ok := or.X.(*ast.LogicalExpr); !ok || and.Op != token.AmpAmp {
+		t.Fatalf("lhs: want &&, got %T", or.X)
+	}
+}
+
+func TestForLoopForms(t *testing.T) {
+	tests := []string{
+		"for (var i = 0; i < 10; i++) { x = x + i; }",
+		"for (i = 0; i < 10; i = i + 1) x = i;",
+		"for (;;) { break; }",
+		"for (; i < 3;) i++;",
+	}
+	for _, src := range tests {
+		s := parseOne(t, src)
+		if _, ok := s.(*ast.ForStmt); !ok {
+			t.Errorf("%q: want ForStmt, got %T", src, s)
+		}
+	}
+}
+
+func TestWhileAndDoWhile(t *testing.T) {
+	if _, ok := parseOne(t, "while (x) x--;").(*ast.WhileStmt); !ok {
+		t.Errorf("while: wrong node type")
+	}
+	if _, ok := parseOne(t, "do { x--; } while (x);").(*ast.DoWhileStmt); !ok {
+		t.Errorf("do-while: wrong node type")
+	}
+}
+
+func TestIfElseChain(t *testing.T) {
+	s := parseOne(t, "if (a) b = 1; else if (c) b = 2; else b = 3;")
+	ifs, ok := s.(*ast.IfStmt)
+	if !ok {
+		t.Fatalf("want IfStmt, got %T", s)
+	}
+	if _, ok := ifs.Else.(*ast.IfStmt); !ok {
+		t.Fatalf("else: want nested IfStmt, got %T", ifs.Else)
+	}
+}
+
+func TestVarDeclMulti(t *testing.T) {
+	s := parseOne(t, "var a = 1, b, c = 3;")
+	d, ok := s.(*ast.VarDecl)
+	if !ok {
+		t.Fatalf("want VarDecl, got %T", s)
+	}
+	if len(d.Names) != 3 || d.Names[1] != "b" {
+		t.Fatalf("names = %v", d.Names)
+	}
+	if d.Inits[1] != nil {
+		t.Fatalf("b should have nil init")
+	}
+}
+
+func TestSemicolonBeforeBraceOptional(t *testing.T) {
+	src := "function f() { return 1 }"
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("ASI before }: %v", err)
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	tests := []string{
+		"function () {}",
+		"var = 3;",
+		"a +",
+		"if a { }",
+		"3 = x;",
+		"const c;",
+		"x.length.length = 1;", // only .length of something is assignable... actually this is valid target by grammar; use a different case
+	}
+	// Last case is actually accepted by the grammar; replace with a genuine error.
+	tests[len(tests)-1] = "for (var i = 0 i < 3; i++) {}"
+	for _, src := range tests {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q: expected parse error, got none", src)
+		}
+	}
+}
+
+func TestDuplicateParam(t *testing.T) {
+	_, err := Parse("function f(a, a) { return a; }")
+	if err == nil || !strings.Contains(err.Error(), "duplicate parameter") {
+		t.Fatalf("want duplicate parameter error, got %v", err)
+	}
+}
+
+func TestErrorRecoveryReportsMultiple(t *testing.T) {
+	_, err := Parse("var = 1;\nvar = 2;")
+	if err == nil {
+		t.Fatal("want errors")
+	}
+	if n := strings.Count(err.Error(), "parse"); n < 2 {
+		t.Errorf("want at least 2 diagnostics, got %d in %q", n, err.Error())
+	}
+}
+
+func TestWalkVisitsAllIdents(t *testing.T) {
+	prog := MustParse("function f(a) { var b = a + g(a); return b; }")
+	var idents []string
+	ast.Walk(prog, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			idents = append(idents, id.Name)
+		}
+		return true
+	})
+	want := []string{"a", "g", "a", "b"}
+	if len(idents) != len(want) {
+		t.Fatalf("idents = %v, want %v", idents, want)
+	}
+}
+
+func TestMustParsePanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic on invalid source")
+		}
+	}()
+	MustParse("var = ;")
+}
+
+func TestNumberLiteralForms(t *testing.T) {
+	tests := map[string]float64{
+		"0":     0,
+		"42":    42,
+		"3.5":   3.5,
+		"1e3":   1000,
+		"0x10":  16,
+		"2.5e2": 250,
+	}
+	for src, want := range tests {
+		x := parseExpr(t, src)
+		n, ok := x.(*ast.NumberLit)
+		if !ok || n.Value != want {
+			t.Errorf("%q: got %#v, want %v", src, x, want)
+		}
+	}
+}
+
+func TestProgramFuncs(t *testing.T) {
+	prog := MustParse("function a() {} var x = 1; function b() {}")
+	fns := prog.Funcs()
+	if len(fns) != 2 || fns[0].Name != "a" || fns[1].Name != "b" {
+		t.Fatalf("Funcs() = %v", prog.FuncNames())
+	}
+}

@@ -1,0 +1,112 @@
+package passes
+
+import "github.com/jitbull/jitbull/internal/mir"
+
+// aliasAnalysisPass attaches a memory Dependency to every load: the most
+// recent instruction that may have written the categories the load reads
+// (nil means "nothing since entry"). GVN keys loads on this dependency, so
+// two loads of the same location separated by a clobber are never merged.
+//
+// The analysis is a forward data-flow over the CFG with one lattice cell
+// per alias category. At join points where predecessors disagree, the cell
+// is set to a per-block merge marker (a synthetic instruction), which is
+// deliberately conservative.
+//
+// Injected bug (CVE-2019-9795 model): `setlength` is miscategorized as
+// writing only the Element category, not ObjectFields. Length loads
+// (initializedlength) read ObjectFields, so GVN happily merges a length
+// loaded before a shrink with one loaded after it — the stale-length class.
+type aliasAnalysisPass struct{}
+
+func (aliasAnalysisPass) Name() string      { return "AliasAnalysis" }
+func (aliasAnalysisPass) Disableable() bool { return false }
+
+const numAliasCats = 3
+
+func catIndexes(s mir.AliasSet) []int {
+	var idx []int
+	if s.Intersects(mir.AliasElement) {
+		idx = append(idx, 0)
+	}
+	if s.Intersects(mir.AliasObjectFields) {
+		idx = append(idx, 1)
+	}
+	if s.Intersects(mir.AliasGlobal) {
+		idx = append(idx, 2)
+	}
+	return idx
+}
+
+// storeSet returns the categories in clobbers, applying active bugs.
+func storeSet(in *mir.Instr, bugs BugSet) mir.AliasSet {
+	s := in.Op.Stores()
+	if in.Op == mir.OpSetLength && bugs.Has(CVE20199795) {
+		// BUG: drop the ObjectFields category.
+		s = mir.AliasElement
+	}
+	return s
+}
+
+func (aliasAnalysisPass) Run(g *mir.Graph, ctx *Context) error {
+	type state [numAliasCats]*mir.Instr
+	rpo := g.ReversePostorder()
+	out := make(map[*mir.Block]state, len(rpo))
+	markers := make(map[*mir.Block]*mir.Instr, len(rpo))
+	marker := func(b *mir.Block) *mir.Instr {
+		if m, ok := markers[b]; ok {
+			return m
+		}
+		m := g.NewInstr(mir.OpNop, mir.TypeNone)
+		m.Block = b // never placed in the instruction list; identity only
+		markers[b] = m
+		return m
+	}
+
+	// Iterate to a fixpoint (loops need a second visit).
+	for iter := 0; iter < len(rpo)+2; iter++ {
+		changed := false
+		for _, b := range rpo {
+			var in state
+			for i, p := range b.Preds {
+				ps := out[p]
+				if i == 0 {
+					in = ps
+					continue
+				}
+				for c := 0; c < numAliasCats; c++ {
+					if in[c] != ps[c] {
+						in[c] = marker(b)
+					}
+				}
+			}
+			cur := in
+			for _, instr := range b.Instrs {
+				if instr.Dead {
+					continue
+				}
+				if loads := instr.Op.Loads(); loads != mir.AliasNone {
+					var dep *mir.Instr
+					for _, c := range catIndexes(loads) {
+						if cur[c] != nil {
+							dep = cur[c]
+						}
+					}
+					instr.Dependency = dep
+				}
+				if stores := storeSet(instr, ctx.Bugs); stores != mir.AliasNone {
+					for _, c := range catIndexes(stores) {
+						cur[c] = instr
+					}
+				}
+			}
+			if out[b] != cur {
+				out[b] = cur
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return nil
+}

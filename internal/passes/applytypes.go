@@ -1,0 +1,40 @@
+package passes
+
+import "github.com/jitbull/jitbull/internal/mir"
+
+// applyTypesPass finalizes type specialization decisions made from
+// profiling feedback. The sound version keeps every unbox guard: type
+// feedback is a *speculation* and the guard is what makes it safe.
+//
+// Injected bug (CVE-2019-9791 model): parameters whose feedback was
+// monomorphic `object` are treated as infallibly typed and their unbox
+// guards are deleted, so JITed code consumes the raw (attacker-controlled)
+// value as an object pointer — the type-confusion class.
+type applyTypesPass struct{}
+
+func (applyTypesPass) Name() string      { return "ApplyTypes" }
+func (applyTypesPass) Disableable() bool { return false }
+
+func (applyTypesPass) Run(g *mir.Graph, ctx *Context) error {
+	// Sound work: fold unbox of an already-typed value (can appear after
+	// inlining-like rewrites; a no-op guard).
+	forEachLive(g, func(_ *mir.Block, in *mir.Instr) {
+		if in.Op == mir.OpUnbox && in.Operands[0].Type == in.Type {
+			g.ReplaceUses(in, in.Operands[0])
+			in.Dead = true
+		}
+	})
+
+	if ctx.Bugs.Has(CVE20199791) {
+		forEachLive(g, func(_ *mir.Block, in *mir.Instr) {
+			if in.Op == mir.OpUnbox && in.Type == mir.TypeObject &&
+				in.Operands[0].Op == mir.OpParameter {
+				// BUG: the guard is dropped; uses see the raw boxed value.
+				g.ReplaceUses(in, in.Operands[0])
+				in.Dead = true
+			}
+		})
+	}
+	g.RemoveDead()
+	return nil
+}

@@ -1,0 +1,141 @@
+package passes
+
+import "github.com/jitbull/jitbull/internal/mir"
+
+// bcePass removes bounds checks proven redundant. A `boundscheck(idx, len)`
+// is removable when both of the following hold:
+//
+//   - lower bound: idx is provably non-negative — its range says so, or a
+//     dominating branch pins `idx >= 0` (or `idx > c` with c >= -1);
+//   - upper bound: idx is provably below len — its symbolic range says
+//     idx <= len-1, or a dominating branch pins `idx < len` for the *same
+//     SSA* len value.
+//
+// This is the pass that makes `if (i >= 0 && i < a.length) a[i] = v` and
+// `for (i = 0; i < a.length; i++) a[i]` run without per-access checks, and
+// its removals are the most common benign entries in a function's JIT DNA.
+//
+// Injected bug (CVE-2019-11707 model, shared with FoldTests): the
+// dominating-branch match accepts shape-congruent conditions instead of
+// requiring SSA identity, so a branch on a *stale* length validates a
+// check against the current (smaller) one.
+type bcePass struct{}
+
+func (bcePass) Name() string      { return "BoundsCheckElimination" }
+func (bcePass) Disableable() bool { return true }
+
+func (bcePass) Run(g *mir.Graph, ctx *Context) error {
+	g.BuildDominators()
+	buggy := ctx.Bugs.Has(CVE201911707)
+	ranges := ctx.Ranges
+	if ranges == nil {
+		ranges = map[*mir.Instr]Range{}
+	}
+	rangeOf := func(in *mir.Instr) Range {
+		if r, ok := ranges[in]; ok {
+			return r
+		}
+		return unknownRange()
+	}
+
+	// provedNonNeg reports whether value `in` is provably >= 0 given the
+	// dominating tests, descending through additions of non-negative
+	// constants (x >= 0 && c >= 0 ⇒ x+c >= 0, exact in IEEE-754).
+	var provedNonNeg func(in *mir.Instr, tests []domTest, depth int) bool
+	provedNonNeg = func(in *mir.Instr, tests []domTest, depth int) bool {
+		if depth > 4 {
+			return false
+		}
+		if r := rangeOf(in); r.Lo >= 0 {
+			return true
+		}
+		if in.Op == mir.OpConstant {
+			return in.Num >= 0
+		}
+		if in.Op == mir.OpAdd {
+			x, y := in.Operands[0], in.Operands[1]
+			if y.Op == mir.OpConstant && y.Num >= 0 {
+				return provedNonNeg(x, tests, depth+1)
+			}
+			if x.Op == mir.OpConstant && x.Num >= 0 {
+				return provedNonNeg(y, tests, depth+1)
+			}
+			return false
+		}
+		for _, dt := range tests {
+			if !dt.taken || dt.cond.Op != mir.OpCompare {
+				continue
+			}
+			kind := mir.CompareKind(dt.cond.Aux)
+			a0, a1 := dt.cond.Operands[0], dt.cond.Operands[1]
+			switch {
+			case kind == mir.CmpGe && a0 == in && a1.Op == mir.OpConstant && a1.Num >= 0,
+				kind == mir.CmpGt && a0 == in && a1.Op == mir.OpConstant && a1.Num >= -1,
+				kind == mir.CmpLe && a1 == in && a0.Op == mir.OpConstant && a0.Num >= 0,
+				kind == mir.CmpLt && a1 == in && a0.Op == mir.OpConstant && a0.Num >= -1:
+				return true
+			}
+		}
+		return false
+	}
+
+	changed := false
+	for _, b := range g.ReversePostorder() {
+		var tests []domTest
+		testsComputed := false
+		for _, in := range b.Instrs {
+			if in.Dead || in.Op != mir.OpBoundsCheck {
+				continue
+			}
+			idx, length := in.Operands[0], in.Operands[1]
+			r := rangeOf(idx)
+
+			lowerOK := r.Lo >= 0
+			upperOK := r.Sym == length && r.SymOff <= -1 && r.NonNaN
+			if length.Op == mir.OpConstant && r.Hi <= length.Num-1 && r.NonNaN {
+				upperOK = true
+			}
+
+			if !lowerOK || !upperOK {
+				if !testsComputed {
+					tests = dominatingTests(b)
+					testsComputed = true
+				}
+				if !lowerOK {
+					lowerOK = provedNonNeg(idx, tests, 0)
+				}
+				for _, dt := range tests {
+					if !dt.taken || dt.cond.Op != mir.OpCompare {
+						continue
+					}
+					kind := mir.CompareKind(dt.cond.Aux)
+					a0, a1 := dt.cond.Operands[0], dt.cond.Operands[1]
+					// Upper bound: idx < len with the same SSA values for
+					// both sides — or, with the bug, idx and len merely
+					// shape-congruent to the tested ones.
+					idxMatch := func(x *mir.Instr) bool {
+						return x == idx || (buggy && shapeEqual(x, idx))
+					}
+					if !upperOK && kind == mir.CmpLt && idxMatch(a0) {
+						if a1 == length || (buggy && shapeEqual(a1, length)) {
+							upperOK = true
+						}
+					}
+					if !upperOK && kind == mir.CmpGt && idxMatch(a1) {
+						if a0 == length || (buggy && shapeEqual(a0, length)) {
+							upperOK = true
+						}
+					}
+				}
+			}
+			if lowerOK && upperOK {
+				in.Dead = true
+				changed = true
+			}
+		}
+	}
+	if changed {
+		g.RemoveDead()
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package passes
+
+import (
+	"math"
+
+	"github.com/jitbull/jitbull/internal/mir"
+	"github.com/jitbull/jitbull/internal/value"
+)
+
+// foldArithPass performs constant folding and the NaN-safe algebraic
+// identities (x-0, x*1, x/1). x+0 and x*0 are deliberately NOT folded:
+// they are observable in IEEE-754 (-0+0 == +0, NaN*0 == NaN).
+type foldArithPass struct{}
+
+func (foldArithPass) Name() string      { return "FoldLinearArithConstants" }
+func (foldArithPass) Disableable() bool { return true }
+
+func (foldArithPass) Run(g *mir.Graph, _ *Context) error {
+	changed := false
+	for _, b := range g.ReversePostorder() {
+		for _, in := range b.Instrs {
+			if in.Dead {
+				continue
+			}
+			if folded, ok := foldInstr(in); ok {
+				if folded == nil {
+					// Replace with a fresh constant in the same block.
+					c := g.NewInstr(mir.OpConstant, mir.TypeDouble)
+					c.Num = evalConst(in)
+					insertAfterPhis(b, c)
+					folded = c
+				}
+				g.ReplaceUses(in, folded)
+				in.Dead = true
+				changed = true
+			}
+		}
+	}
+	if changed {
+		g.RemoveDead()
+	}
+	return nil
+}
+
+// foldInstr decides whether in can be folded. It returns (replacement, true)
+// where a nil replacement means "fold to the constant evalConst(in)".
+func foldInstr(in *mir.Instr) (*mir.Instr, bool) {
+	switch in.Op {
+	case mir.OpAdd, mir.OpSub, mir.OpMul, mir.OpDiv, mir.OpMod, mir.OpPow,
+		mir.OpBitAnd, mir.OpBitOr, mir.OpBitXor, mir.OpShl, mir.OpShr, mir.OpUshr:
+		x, y := in.Operands[0], in.Operands[1]
+		if x.Op == mir.OpConstant && y.Op == mir.OpConstant {
+			return nil, true
+		}
+		if y.Op == mir.OpConstant {
+			switch {
+			case in.Op == mir.OpSub && y.Num == 0,
+				in.Op == mir.OpMul && y.Num == 1,
+				in.Op == mir.OpDiv && y.Num == 1:
+				return x, true
+			}
+		}
+		if x.Op == mir.OpConstant && x.Num == 1 && in.Op == mir.OpMul {
+			return y, true
+		}
+		return nil, false
+	case mir.OpNeg:
+		if in.Operands[0].Op == mir.OpConstant {
+			return nil, true
+		}
+		return nil, false
+	case mir.OpCompare:
+		x, y := in.Operands[0], in.Operands[1]
+		if x.Op == mir.OpConstant && y.Op == mir.OpConstant {
+			return nil, true
+		}
+		return nil, false
+	default:
+		return nil, false
+	}
+}
+
+// evalConst evaluates a foldable instruction over constant operands.
+func evalConst(in *mir.Instr) float64 {
+	get := func(i int) float64 { return in.Operands[i].Num }
+	switch in.Op {
+	case mir.OpAdd:
+		return get(0) + get(1)
+	case mir.OpSub:
+		return get(0) - get(1)
+	case mir.OpMul:
+		return get(0) * get(1)
+	case mir.OpDiv:
+		return get(0) / get(1)
+	case mir.OpMod:
+		return value.Mod(get(0), get(1))
+	case mir.OpPow:
+		return math.Pow(get(0), get(1))
+	case mir.OpBitAnd:
+		return float64(value.ToInt32(get(0)) & value.ToInt32(get(1)))
+	case mir.OpBitOr:
+		return float64(value.ToInt32(get(0)) | value.ToInt32(get(1)))
+	case mir.OpBitXor:
+		return float64(value.ToInt32(get(0)) ^ value.ToInt32(get(1)))
+	case mir.OpShl:
+		return float64(value.ToInt32(get(0)) << (value.ToUint32(get(1)) & 31))
+	case mir.OpShr:
+		return float64(value.ToInt32(get(0)) >> (value.ToUint32(get(1)) & 31))
+	case mir.OpUshr:
+		return float64(value.ToUint32(get(0)) >> (value.ToUint32(get(1)) & 31))
+	case mir.OpNeg:
+		return -get(0)
+	case mir.OpCompare:
+		x, y := get(0), get(1)
+		var res bool
+		switch mir.CompareKind(in.Aux) {
+		case mir.CmpLt:
+			res = x < y
+		case mir.CmpLe:
+			res = x <= y
+		case mir.CmpGt:
+			res = x > y
+		case mir.CmpGe:
+			res = x >= y
+		case mir.CmpEq:
+			res = x == y
+		case mir.CmpNe:
+			res = x != y
+		}
+		if res {
+			return 1
+		}
+		return 0
+	default:
+		return math.NaN()
+	}
+}
+
+// insertAfterPhis places in after the leading phis of b.
+func insertAfterPhis(b *mir.Block, in *mir.Instr) {
+	in.Block = b
+	nPhis := len(b.Phis())
+	b.Instrs = append(b.Instrs, nil)
+	copy(b.Instrs[nPhis+1:], b.Instrs[nPhis:])
+	b.Instrs[nPhis] = in
+}
+
+// bitopsPass removes identity bit operations (`x | 0`, `x & -1`, `x ^ 0`)
+// when x is already known to be an int32-ranged integral value, so the
+// implicit ToInt32 they perform is a no-op.
+type bitopsPass struct{}
+
+func (bitopsPass) Name() string      { return "RemoveUnnecessaryBitops" }
+func (bitopsPass) Disableable() bool { return true }
+
+func (bitopsPass) Run(g *mir.Graph, ctx *Context) error {
+	if ctx.Ranges == nil {
+		return nil
+	}
+	changed := false
+	forEachLive(g, func(_ *mir.Block, in *mir.Instr) {
+		var x, c *mir.Instr
+		switch in.Op {
+		case mir.OpBitOr, mir.OpBitXor, mir.OpBitAnd:
+			x, c = in.Operands[0], in.Operands[1]
+			if x.Op == mir.OpConstant {
+				x, c = c, x
+			}
+		default:
+			return
+		}
+		if c.Op != mir.OpConstant {
+			return
+		}
+		identity := (in.Op == mir.OpBitOr && c.Num == 0) ||
+			(in.Op == mir.OpBitXor && c.Num == 0) ||
+			(in.Op == mir.OpBitAnd && c.Num == -1)
+		if !identity {
+			return
+		}
+		r, ok := ctx.Ranges[x]
+		if !ok || !r.Integral || !r.NonNaN || r.Lo < -2147483648 || r.Hi > 2147483647 {
+			return
+		}
+		g.ReplaceUses(in, x)
+		in.Dead = true
+		changed = true
+	})
+	if changed {
+		g.RemoveDead()
+	}
+	return nil
+}
+
+// effAddrPass folds constant index displacements into element accesses:
+// `loadelement(e, add(i, c))` becomes a load at base i with displacement c
+// (stored in Aux), which the code generator emits as a base+offset
+// addressing mode — IonMonkey's EffectiveAddressAnalysis.
+type effAddrPass struct{}
+
+func (effAddrPass) Name() string      { return "EffectiveAddressAnalysis" }
+func (effAddrPass) Disableable() bool { return true }
+
+func (effAddrPass) Run(g *mir.Graph, _ *Context) error {
+	forEachLive(g, func(_ *mir.Block, in *mir.Instr) {
+		if in.Op != mir.OpLoadElement && in.Op != mir.OpStoreElement {
+			return
+		}
+		idx := in.Operands[1]
+		if idx.Op != mir.OpAdd {
+			return
+		}
+		var base, c *mir.Instr
+		switch {
+		case idx.Operands[1].Op == mir.OpConstant:
+			base, c = idx.Operands[0], idx.Operands[1]
+		case idx.Operands[0].Op == mir.OpConstant:
+			base, c = idx.Operands[1], idx.Operands[0]
+		default:
+			return
+		}
+		if c.Num != math.Trunc(c.Num) || math.Abs(c.Num) > 1<<20 {
+			return
+		}
+		// base must dominate the access (it does: it dominates the add).
+		in.Operands[1] = base
+		in.Aux += int(c.Num)
+	})
+	return nil
+}

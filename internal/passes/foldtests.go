@@ -1,0 +1,63 @@
+package passes
+
+import "github.com/jitbull/jitbull/internal/mir"
+
+// foldTestsPass folds away branch conditions whose outcome is already
+// known:
+//
+//   - constant conditions (also handled by PruneUnusedBranches, kept here
+//     for conditions that become constant after other folds);
+//   - conditions whose exact SSA value was already tested by a dominating
+//     branch, so the outcome on this path is pinned.
+//
+// Injected bug (CVE-2019-11707 model): the dominating-test match uses
+// shapeEqual instead of SSA identity, so a test of a *stale* value (e.g. an
+// array length reloaded after a shrinking call) is folded as if it were the
+// old one.
+type foldTestsPass struct{}
+
+func (foldTestsPass) Name() string      { return "FoldTests" }
+func (foldTestsPass) Disableable() bool { return true }
+
+func (foldTestsPass) Run(g *mir.Graph, ctx *Context) error {
+	g.BuildDominators()
+	buggy := ctx.Bugs.Has(CVE201911707)
+	changed := false
+	for _, b := range g.ReversePostorder() {
+		ctl := b.Control()
+		if ctl == nil || ctl.Op != mir.OpTest {
+			continue
+		}
+		cond := ctl.Operands[0]
+		if cond.Op == mir.OpConstant {
+			taken := 0
+			if cond.Num == 0 || cond.Num != cond.Num {
+				taken = 1
+			}
+			foldTestToGoto(b, taken)
+			changed = true
+			continue
+		}
+		for _, dt := range dominatingTests(b) {
+			match := dt.cond == cond
+			if !match && buggy {
+				match = shapeEqual(dt.cond, cond)
+			}
+			if !match {
+				continue
+			}
+			taken := 0
+			if !dt.taken {
+				taken = 1
+			}
+			foldTestToGoto(b, taken)
+			changed = true
+			break
+		}
+	}
+	if changed {
+		g.PruneUnreachable()
+		g.BuildDominators()
+	}
+	return nil
+}

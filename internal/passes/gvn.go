@@ -1,0 +1,112 @@
+package passes
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/jitbull/jitbull/internal/bytecode"
+	"github.com/jitbull/jitbull/internal/mir"
+)
+
+// gvnPass is dominator-scoped global value numbering. An instruction is
+// replaced by an earlier congruent one when the earlier one's block
+// dominates it. Congruence keys include:
+//
+//   - opcode, aux payload and result type;
+//   - operand identities (after canonicalization of earlier replacements);
+//   - for memory loads, the alias-analysis Dependency, so loads separated
+//     by a clobber are never congruent.
+//
+// Redundant guards (boundscheck, unbox, guardtype) are eliminated the same
+// way: a dominating congruent guard already proved the property.
+//
+// Injected bug (CVE-2019-17026 / CVE-2019-9810 model — the paper notes the
+// two CVEs share one root flaw): the congruence key of `initializedlength`
+// omits its elements operand, i.e. lengths are keyed only by memory epoch,
+// not by *which array* they belong to. A bounds check against array A then
+// merges with one against array B, and GVN removes it — exactly the class
+// of "incorrect dependency analysis leading to bounds check elimination"
+// the paper describes for CVE-2019-17026.
+type gvnPass struct{}
+
+func (gvnPass) Name() string      { return "GVN" }
+func (gvnPass) Disableable() bool { return true }
+
+func (gvnPass) Run(g *mir.Graph, ctx *Context) error {
+	g.BuildDominators()
+	lengthKeyIgnoresObject := ctx.Bugs.Has(CVE201717026) || ctx.Bugs.Has(CVE20199810)
+
+	table := map[string][]*mir.Instr{}
+	changed := false
+	for _, b := range g.ReversePostorder() {
+		for _, in := range b.Instrs {
+			if in.Dead || !gvnEligible(in) {
+				continue
+			}
+			key := gvnKey(in, lengthKeyIgnoresObject)
+			var leader *mir.Instr
+			for _, cand := range table[key] {
+				if cand.Dead {
+					continue
+				}
+				if cand.Block.Dominates(b) {
+					leader = cand
+					break
+				}
+			}
+			if leader != nil && leader != in {
+				g.ReplaceUses(in, leader)
+				in.Dead = true
+				changed = true
+				continue
+			}
+			table[key] = append(table[key], in)
+		}
+	}
+	if changed {
+		g.RemoveDead()
+	}
+	return nil
+}
+
+// gvnEligible reports whether the instruction participates in value
+// numbering.
+func gvnEligible(in *mir.Instr) bool {
+	switch in.Op {
+	case mir.OpPhi, mir.OpParameter, mir.OpCall, mir.OpNewArray,
+		mir.OpArrayPush, mir.OpArrayPop, mir.OpStoreElement, mir.OpSetLength,
+		mir.OpStoreGlobal, mir.OpKeepAlive, mir.OpNop, mir.OpMagic:
+		return false
+	case mir.OpMathFunc:
+		// Math.random mutates RNG state: never congruent with itself.
+		return bytecode.Builtin(in.Aux) != bytecode.BMathRandom
+	}
+	if in.Op.IsControl() {
+		return false
+	}
+	return true
+}
+
+func gvnKey(in *mir.Instr, lengthKeyIgnoresObject bool) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d|%d|%d", in.Op, in.Aux, in.Type)
+	if in.Op == mir.OpConstant {
+		fmt.Fprintf(&sb, "|c%x", in.Num)
+		return sb.String()
+	}
+	if in.Op.Loads() != mir.AliasNone {
+		if in.Dependency != nil {
+			fmt.Fprintf(&sb, "|d%p", in.Dependency)
+		} else {
+			sb.WriteString("|d-")
+		}
+	}
+	if in.Op == mir.OpInitializedLength && lengthKeyIgnoresObject {
+		// BUG: the elements operand is not part of the key.
+		return sb.String()
+	}
+	for _, op := range in.Operands {
+		fmt.Fprintf(&sb, "|%d", op.ID)
+	}
+	return sb.String()
+}

@@ -1,0 +1,130 @@
+package passes
+
+import (
+	"sort"
+
+	"github.com/jitbull/jitbull/internal/bytecode"
+	"github.com/jitbull/jitbull/internal/mir"
+)
+
+// licmPass hoists loop-invariant instructions into the loop preheader. An
+// instruction is hoistable when it is movable and non-guard, all of its
+// operands are defined outside the loop, and — for memory loads — nothing
+// inside the loop may clobber the categories it reads. Calls clobber
+// everything, so a call anywhere in the loop pins every load.
+//
+// Injected bug (CVE-2020-26952 model): the in-loop clobber scan skips
+// calls. A length loaded in a loop whose body calls a function that
+// shrinks the array is hoisted, so every later iteration checks against
+// the stale pre-shrink length.
+type licmPass struct{}
+
+func (licmPass) Name() string      { return "LICM" }
+func (licmPass) Disableable() bool { return true }
+
+func (licmPass) Run(g *mir.Graph, ctx *Context) error {
+	g.BuildDominators()
+	ignoreCalls := ctx.Bugs.Has(CVE202026952)
+
+	loops := g.LoopBodies()
+	// Innermost first, so hoisted instructions can be hoisted again by the
+	// enclosing loop.
+	sort.Slice(loops, func(i, j int) bool { return len(loops[i].Body) < len(loops[j].Body) })
+
+	for _, loop := range loops {
+		pre := preheader(loop)
+		if pre == nil {
+			continue
+		}
+		// Clobber summary of the loop body. The CVE-2020-26952 facet only
+		// mis-models calls with respect to object headers (length/elements),
+		// not globals: the buggy engine still reloads globals after calls.
+		var clobbers, clobbersBuggy mir.AliasSet
+		for b := range loop.Body {
+			for _, in := range b.Instrs {
+				if in.Dead {
+					continue
+				}
+				s := storeSet(in, ctx.Bugs)
+				clobbers |= s
+				if in.Op == mir.OpCall {
+					s &^= mir.AliasObjectFields // BUG: call's header side effects ignored
+				}
+				clobbersBuggy |= s
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			var toHoist []*mir.Instr
+			for b := range loop.Body {
+				for _, in := range b.Instrs {
+					effective := clobbers
+					if ignoreCalls {
+						effective = clobbersBuggy
+					}
+					if !in.Dead && hoistable(in, loop, effective) {
+						toHoist = append(toHoist, in)
+					}
+				}
+			}
+			// Deterministic order despite map iteration over loop.Body.
+			sort.Slice(toHoist, func(i, j int) bool { return toHoist[i].ID < toHoist[j].ID })
+			for _, in := range toHoist {
+				removeFromBlock(in)
+				pre.InsertBeforeControl(in)
+				changed = true
+			}
+		}
+	}
+	return nil
+}
+
+// preheader returns the unique predecessor of the loop header outside the
+// loop, or nil if the loop has no usable preheader.
+func preheader(loop mir.Loop) *mir.Block {
+	var pre *mir.Block
+	for _, p := range loop.Header.Preds {
+		if loop.Contains(p) {
+			continue
+		}
+		if pre != nil {
+			return nil // multiple entries
+		}
+		pre = p
+	}
+	return pre
+}
+
+func hoistable(in *mir.Instr, loop mir.Loop, clobbers mir.AliasSet) bool {
+	if !in.Op.IsMovable() || in.Op.IsGuard() || in.Op == mir.OpPhi || in.Op.IsControl() {
+		return false
+	}
+	if in.Op == mir.OpLoadElement {
+		// An element load is only safe under its bounds check, and we do
+		// not hoist guards; hoisting the load alone would move it above
+		// the check.
+		return false
+	}
+	if in.Op == mir.OpMathFunc && bytecode.Builtin(in.Aux) == bytecode.BMathRandom {
+		return false
+	}
+	if in.Op.Loads().Intersects(clobbers) {
+		return false
+	}
+	for _, op := range in.Operands {
+		if loop.Contains(op.Block) {
+			return false
+		}
+	}
+	return true
+}
+
+func removeFromBlock(in *mir.Instr) {
+	b := in.Block
+	for i, x := range b.Instrs {
+		if x == in {
+			b.Instrs = append(b.Instrs[:i], b.Instrs[i+1:]...)
+			return
+		}
+	}
+}

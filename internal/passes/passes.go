@@ -1,0 +1,175 @@
+// Package passes implements the MIR optimization pipeline of the jitbull
+// optimizing tier, modeled on IonMonkey's OptimizeMIR: an ordered sequence
+// of passes over the SSA graph, each of which can be observed (for JITBULL
+// DNA extraction) and individually disabled (the go/no-go policy), except
+// for a few mandatory passes.
+//
+// The package also hosts the *injected vulnerabilities*: deliberate
+// mis-optimizations, each gated by a CVE identifier, reproducing the root
+// cause classes of the real IonMonkey bugs the paper evaluates (bad alias
+// dependencies, over-eager guard elimination, wrong range widening, unsound
+// hoisting/sinking). With an empty BugSet the pipeline is sound.
+package passes
+
+import (
+	"fmt"
+
+	"github.com/jitbull/jitbull/internal/mir"
+)
+
+// CVE identifiers for the injected bugs. See DESIGN.md §2.2 for the mapping
+// to the real vulnerabilities.
+const (
+	CVE201717026 = "CVE-2019-17026" // GVN: length congruence ignores the object
+	CVE20199810  = "CVE-2019-9810"  // GVN: same root flaw, read-side trigger
+	CVE201911707 = "CVE-2019-11707" // FoldTests/BCE: dominating-test matching ignores memory deps
+	CVE20199791  = "CVE-2019-9791"  // ApplyTypes: monomorphic unbox guard removed
+	CVE20199792  = "CVE-2019-9792"  // Sink: cross-branch sink leaks magic value
+	CVE20199795  = "CVE-2019-9795"  // AliasAnalysis: setlength miscategorized
+	CVE20199813  = "CVE-2019-9813"  // RangeAnalysis: <= widened as <
+	CVE202026952 = "CVE-2020-26952" // LICM: calls ignored when hoisting loads
+)
+
+// AllCVEs lists every injectable bug id in a stable order.
+var AllCVEs = []string{
+	CVE201717026, CVE20199810, CVE201911707, CVE20199791,
+	CVE20199792, CVE20199795, CVE20199813, CVE202026952,
+}
+
+// BugSet is the set of injected vulnerabilities active in this build of the
+// engine (the "vulnerability window").
+type BugSet map[string]bool
+
+// Has reports whether the bug is active.
+func (s BugSet) Has(id string) bool { return s[id] }
+
+// Range is an integer-ish interval with an optional symbolic upper bound:
+// value <= Sym + SymOff when Sym is set. Used by range analysis and
+// consumed by bounds check elimination.
+type Range struct {
+	Lo, Hi   float64 // -Inf/+Inf when unknown
+	Sym      *mir.Instr
+	SymOff   float64
+	NonNaN   bool
+	Integral bool
+}
+
+// Context carries cross-pass state for one OptimizeMIR run.
+type Context struct {
+	Bugs   BugSet
+	Ranges map[*mir.Instr]Range
+}
+
+// Pass is one optimization pass.
+type Pass interface {
+	// Name is the stable pass name used in JITBULL DNA vectors.
+	Name() string
+	// Disableable reports whether the JIT can compile without this pass.
+	Disableable() bool
+	// Run mutates the graph in place.
+	Run(g *mir.Graph, ctx *Context) error
+}
+
+// Pipeline returns the ordered pass list (fresh instances).
+func Pipeline() []Pass {
+	return []Pass{
+		renumberPass{name: "RenumberInstructions"},
+		pruneBranchesPass{},
+		foldTestsPass{},
+		splitEdgesPass{},
+		phiAnalysisPass{},
+		applyTypesPass{},
+		aliasAnalysisPass{},
+		gvnPass{},
+		licmPass{},
+		rangeAnalysisPass{},
+		bcePass{},
+		foldArithPass{},
+		edgeCasePass{},
+		effAddrPass{},
+		sinkPass{},
+		bitopsPass{},
+		scalarReplPass{},
+		dcePass{},
+		emptyBlocksPass{},
+		reorderPass{},
+		keepAlivePass{},
+		renumberPass{name: "RenumberInstructionsFinal"},
+	}
+}
+
+// PassNames returns the pipeline's pass names in order.
+func PassNames() []string {
+	pl := Pipeline()
+	names := make([]string, len(pl))
+	for i, p := range pl {
+		names[i] = p.Name()
+	}
+	return names
+}
+
+// Disableable reports whether the named pass can be disabled. Unknown names
+// report false.
+func Disableable(name string) bool {
+	for _, p := range Pipeline() {
+		if p.Name() == name {
+			return p.Disableable()
+		}
+	}
+	return false
+}
+
+// Observer is called around each executed pass with IR snapshots; install
+// one to extract JIT DNA. before/after are nil for skipped (disabled)
+// passes.
+type Observer func(passIndex int, passName string, before, after *mir.Snapshot)
+
+// Run executes the pipeline over g. Disabled names passes are skipped
+// (mandatory passes cannot be skipped and return an error if asked to).
+// The observer, when non-nil, receives a snapshot pair per executed pass;
+// when nil, no snapshots are taken at all, making the instrumented path
+// zero-cost exactly as the paper's implementation promises for an empty
+// VDC database.
+func Run(g *mir.Graph, bugs BugSet, disabled map[string]bool, obs Observer) error {
+	ctx := &Context{Bugs: bugs, Ranges: map[*mir.Instr]Range{}}
+	// The IR is untouched between passes, so each pass's "before" snapshot
+	// is the previous pass's "after": one snapshot per executed pass.
+	var prev *mir.Snapshot
+	for i, p := range Pipeline() {
+		if disabled[p.Name()] {
+			if !p.Disableable() {
+				return fmt.Errorf("pass %s is mandatory and cannot be disabled", p.Name())
+			}
+			if obs != nil {
+				obs(i, p.Name(), nil, nil)
+			}
+			continue
+		}
+		if obs != nil && prev == nil {
+			prev = g.Snap()
+		}
+		if err := p.Run(g, ctx); err != nil {
+			return fmt.Errorf("pass %s: %w", p.Name(), err)
+		}
+		if obs != nil {
+			after := g.Snap()
+			obs(i, p.Name(), prev, after)
+			prev = after
+		}
+	}
+	if errs := g.Verify(); len(errs) > 0 {
+		return fmt.Errorf("pipeline produced invalid graph for %s: %v", g.Name, errs)
+	}
+	return nil
+}
+
+// forEachLive iterates over live instructions in reverse postorder.
+func forEachLive(g *mir.Graph, fn func(b *mir.Block, in *mir.Instr)) {
+	for _, b := range g.ReversePostorder() {
+		for _, in := range b.Instrs {
+			if !in.Dead {
+				fn(b, in)
+			}
+		}
+	}
+}

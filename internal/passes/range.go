@@ -1,0 +1,249 @@
+package passes
+
+import (
+	"math"
+
+	"github.com/jitbull/jitbull/internal/bytecode"
+	"github.com/jitbull/jitbull/internal/mir"
+)
+
+// rangeAnalysisPass computes value ranges (possibly with a symbolic upper
+// bound) for the instructions of the graph and stores them in the pass
+// Context for BoundsCheckElimination and the bit-op cleanups.
+//
+// The interesting case is loop induction variables: a header phi of the
+// form phi(init, phi+c) with c>0, governed by a header test
+// `compare(< , phi, X)`, ranges over [init.Lo, X-1] — symbolically when X
+// is not a constant.
+//
+// Injected bug (CVE-2019-9813 model): a `<=` loop condition is widened as
+// if it were `<`, declaring the induction variable one smaller than it can
+// really get. BoundsCheckElimination then removes a check the loop's final
+// iteration actually needs — an off-by-one out-of-bounds.
+type rangeAnalysisPass struct{}
+
+func (rangeAnalysisPass) Name() string      { return "RangeAnalysis" }
+func (rangeAnalysisPass) Disableable() bool { return true }
+
+func unknownRange() Range {
+	return Range{Lo: math.Inf(-1), Hi: math.Inf(1)}
+}
+
+func constRange(c float64) Range {
+	return Range{Lo: c, Hi: c, NonNaN: !math.IsNaN(c), Integral: c == math.Trunc(c) && !math.IsNaN(c) && !math.IsInf(c, 0)}
+}
+
+func (rangeAnalysisPass) Run(g *mir.Graph, ctx *Context) error {
+	g.BuildDominators()
+	buggyLe := ctx.Bugs.Has(CVE20199813)
+	r := map[*mir.Instr]Range{}
+	get := func(in *mir.Instr) Range {
+		if rr, ok := r[in]; ok {
+			return rr
+		}
+		return unknownRange()
+	}
+
+	// Induction variables first: they seed the intervals of everything
+	// derived from them.
+	for _, loop := range g.LoopBodies() {
+		header := loop.Header
+		ctl := header.Control()
+		if ctl == nil || ctl.Op != mir.OpTest {
+			continue
+		}
+		cond := ctl.Operands[0]
+		if cond.Op != mir.OpCompare {
+			continue
+		}
+		kind := mir.CompareKind(cond.Aux)
+		if kind != mir.CmpLt && kind != mir.CmpLe {
+			continue
+		}
+		// The loop continues through the true edge.
+		if !loop.Contains(header.Succs[0]) || loop.Contains(header.Succs[1]) {
+			continue
+		}
+		phi := cond.Operands[0]
+		bound := cond.Operands[1]
+		if phi.Op != mir.OpPhi || phi.Block != header || len(phi.Operands) != 2 {
+			continue
+		}
+		// Identify init (from outside) vs step (from the back edge).
+		var init, step *mir.Instr
+		for i, p := range header.Preds {
+			if loop.Contains(p) {
+				step = phi.Operands[i]
+			} else {
+				init = phi.Operands[i]
+			}
+		}
+		if init == nil || step == nil {
+			continue
+		}
+		if step.Op != mir.OpAdd {
+			continue
+		}
+		var inc *mir.Instr
+		switch {
+		case step.Operands[0] == phi:
+			inc = step.Operands[1]
+		case step.Operands[1] == phi:
+			inc = step.Operands[0]
+		default:
+			continue
+		}
+		if inc.Op != mir.OpConstant || inc.Num <= 0 {
+			continue
+		}
+		rng := unknownRange()
+		rng.Integral = inc.Num == math.Trunc(inc.Num)
+		rng.NonNaN = true
+		if init.Op == mir.OpConstant {
+			rng.Lo = init.Num
+			rng.Integral = rng.Integral && init.Num == math.Trunc(init.Num)
+		}
+		switch {
+		case bound.Op == mir.OpConstant:
+			if kind == mir.CmpLt || buggyLe {
+				rng.Hi = bound.Num - 1
+			} else {
+				rng.Hi = bound.Num
+			}
+		default:
+			rng.Sym = bound
+			if kind == mir.CmpLt || buggyLe { // BUG: <= treated as <
+				rng.SymOff = -1
+			} else {
+				rng.SymOff = 0
+			}
+		}
+		r[phi] = rng
+	}
+
+	// One forward sweep for derived values (enough for the patterns the
+	// JIT subset produces; deeper chains just stay unknown).
+	for _, b := range g.ReversePostorder() {
+		for _, in := range b.Instrs {
+			if in.Dead {
+				continue
+			}
+			if _, seeded := r[in]; seeded {
+				continue
+			}
+			switch in.Op {
+			case mir.OpConstant:
+				r[in] = constRange(in.Num)
+			case mir.OpInitializedLength, mir.OpArrayPush:
+				rr := unknownRange()
+				rr.Lo = 0
+				rr.NonNaN = true
+				rr.Integral = true
+				r[in] = rr
+			case mir.OpCompare, mir.OpNot:
+				rr := Range{Lo: 0, Hi: 1, NonNaN: true, Integral: true}
+				r[in] = rr
+			case mir.OpAdd, mir.OpSub:
+				x, y := get(in.Operands[0]), get(in.Operands[1])
+				var rr Range
+				if in.Op == mir.OpAdd {
+					rr = Range{Lo: x.Lo + y.Lo, Hi: x.Hi + y.Hi}
+					if x.Sym != nil && y.Lo == y.Hi && !math.IsInf(y.Lo, 0) {
+						rr.Sym, rr.SymOff = x.Sym, x.SymOff+y.Lo
+					}
+				} else {
+					rr = Range{Lo: x.Lo - y.Hi, Hi: x.Hi - y.Lo}
+					if x.Sym != nil && y.Lo == y.Hi && !math.IsInf(y.Lo, 0) {
+						rr.Sym, rr.SymOff = x.Sym, x.SymOff-y.Lo
+					}
+				}
+				rr.NonNaN = x.NonNaN && y.NonNaN
+				rr.Integral = x.Integral && y.Integral
+				r[in] = rr
+			case mir.OpMul:
+				x, y := get(in.Operands[0]), get(in.Operands[1])
+				if y.Sym != nil {
+					x, y = y, x // canonical: symbolic side in x
+				}
+				if ctx.Bugs.Has(CVE202026952) && x.Sym != nil && y.Lo == y.Hi && y.Lo >= 1 {
+					// BUG (CVE-2020-26952 model): the symbolic upper bound
+					// is propagated through a multiplication *unscaled*, so
+					// i*k is believed to stay below the same bound as i.
+					// BCE then removes a check the scaled index overflows.
+					rr := Range{Lo: x.Lo * y.Lo, Hi: x.Hi, Sym: x.Sym, SymOff: x.SymOff,
+						NonNaN: x.NonNaN && y.NonNaN, Integral: x.Integral && y.Integral}
+					r[in] = rr
+					break
+				}
+				if x.Lo >= 0 && y.Lo >= 0 && !math.IsInf(x.Hi, 0) && !math.IsInf(y.Hi, 0) {
+					r[in] = Range{Lo: x.Lo * y.Lo, Hi: x.Hi * y.Hi, NonNaN: true, Integral: x.Integral && y.Integral}
+				}
+			case mir.OpMathFunc:
+				switch bytecode.Builtin(in.Aux) {
+				case bytecode.BMathFloor, bytecode.BMathCeil, bytecode.BMathRound:
+					x := get(in.Operands[0])
+					rr := Range{Lo: math.Floor(x.Lo), Hi: math.Ceil(x.Hi), NonNaN: x.NonNaN, Integral: true}
+					r[in] = rr
+				case bytecode.BMathAbs:
+					x := get(in.Operands[0])
+					hi := math.Max(math.Abs(x.Lo), math.Abs(x.Hi))
+					r[in] = Range{Lo: 0, Hi: hi, NonNaN: x.NonNaN, Integral: x.Integral}
+				case bytecode.BMathRandom:
+					r[in] = Range{Lo: 0, Hi: 1, NonNaN: true}
+				}
+			case mir.OpBitAnd:
+				x, y := get(in.Operands[0]), get(in.Operands[1])
+				hi := math.Inf(1)
+				if x.Lo >= 0 && x.Hi < math.Inf(1) {
+					hi = x.Hi
+				}
+				if y.Lo >= 0 && y.Hi < hi {
+					hi = y.Hi
+				}
+				if !math.IsInf(hi, 0) {
+					r[in] = Range{Lo: 0, Hi: hi, NonNaN: true, Integral: true}
+				}
+			case mir.OpUshr:
+				r[in] = Range{Lo: 0, Hi: 4294967295, NonNaN: true, Integral: true}
+			}
+		}
+	}
+	ctx.Ranges = r
+	return nil
+}
+
+// edgeCasePass refines ranges for edge cases the main analysis treats
+// pessimistically (IonMonkey's EdgeCaseAnalysis handles NaN and negative
+// zero; ours refines bit operations and modulo so
+// RemoveUnnecessaryBitops has something to work with).
+type edgeCasePass struct{}
+
+func (edgeCasePass) Name() string      { return "EdgeCaseAnalysis" }
+func (edgeCasePass) Disableable() bool { return true }
+
+func (edgeCasePass) Run(g *mir.Graph, ctx *Context) error {
+	if ctx.Ranges == nil {
+		return nil
+	}
+	forEachLive(g, func(_ *mir.Block, in *mir.Instr) {
+		switch in.Op {
+		case mir.OpBitOr, mir.OpBitXor, mir.OpShl, mir.OpShr:
+			if _, ok := ctx.Ranges[in]; !ok {
+				ctx.Ranges[in] = Range{Lo: -2147483648, Hi: 2147483647, NonNaN: true, Integral: true}
+			}
+		case mir.OpMod:
+			div := in.Operands[1]
+			if div.Op == mir.OpConstant && div.Num != 0 && !math.IsNaN(div.Num) {
+				m := math.Abs(div.Num)
+				x := ctx.Ranges[in.Operands[0]]
+				rr := Range{Lo: -m, Hi: m, Integral: x.Integral && m == math.Trunc(m)}
+				if x.Lo >= 0 {
+					rr.Lo = 0
+					rr.NonNaN = x.NonNaN
+				}
+				ctx.Ranges[in] = rr
+			}
+		}
+	})
+	return nil
+}

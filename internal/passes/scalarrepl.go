@@ -1,0 +1,42 @@
+package passes
+
+import "github.com/jitbull/jitbull/internal/mir"
+
+// scalarReplPass implements the store-to-load forwarding subset of scalar
+// replacement: a `loadelement(e, i)` whose alias dependency is a
+// `storeelement(e, i, v)` to the very same elements pointer and index is
+// replaced by v — the array cell has been "scalarized" for that use.
+// (Full escape-analysis-driven allocation removal is out of scope; this is
+// the part with visible effect on the loop bodies our corpus produces.)
+type scalarReplPass struct{}
+
+func (scalarReplPass) Name() string      { return "ScalarReplacement" }
+func (scalarReplPass) Disableable() bool { return true }
+
+func (scalarReplPass) Run(g *mir.Graph, _ *Context) error {
+	changed := false
+	forEachLive(g, func(_ *mir.Block, in *mir.Instr) {
+		if in.Op != mir.OpLoadElement {
+			return
+		}
+		dep := in.Dependency
+		if dep == nil || dep.Dead || dep.Op != mir.OpStoreElement {
+			return
+		}
+		// Same elements pointer, same index SSA value, same displacement.
+		if dep.Operands[0] != in.Operands[0] || dep.Operands[1] != in.Operands[1] || dep.Aux != in.Aux {
+			return
+		}
+		// The store must dominate the load for the forward to be sound.
+		if !dep.Block.Dominates(in.Block) {
+			return
+		}
+		g.ReplaceUses(in, dep.Operands[2])
+		in.Dead = true
+		changed = true
+	})
+	if changed {
+		g.RemoveDead()
+	}
+	return nil
+}

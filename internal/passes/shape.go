@@ -1,0 +1,78 @@
+package passes
+
+import "github.com/jitbull/jitbull/internal/mir"
+
+// shapeEqual reports whether two instructions are congruent *ignoring
+// memory dependencies*: same opcode/aux and shape-equal operands. SSA-equal
+// instructions are trivially shape-equal.
+//
+// This predicate only exists to express the CVE-2019-11707 bug class:
+// correct dominating-test reasoning requires SSA identity, because two
+// loads of the same location are different values when a clobbering store
+// (or call) sits between them. The buggy paths in FoldTests and
+// BoundsCheckElimination use shapeEqual instead, treating a stale length as
+// interchangeable with a fresh one.
+func shapeEqual(a, b *mir.Instr) bool {
+	return shapeEqualDepth(a, b, 8)
+}
+
+func shapeEqualDepth(a, b *mir.Instr, depth int) bool {
+	if a == b {
+		return true
+	}
+	if depth == 0 || a == nil || b == nil {
+		return false
+	}
+	if a.Op != b.Op || a.Aux != b.Aux || a.Type != b.Type {
+		return false
+	}
+	switch a.Op {
+	case mir.OpConstant:
+		return a.Num == b.Num || (a.Num != a.Num && b.Num != b.Num)
+	case mir.OpPhi, mir.OpCall, mir.OpNewArray, mir.OpArrayPop, mir.OpArrayPush:
+		// Value identity required: these produce fresh values per execution.
+		return false
+	}
+	if len(a.Operands) != len(b.Operands) {
+		return false
+	}
+	for i := range a.Operands {
+		if !shapeEqualDepth(a.Operands[i], b.Operands[i], depth-1) {
+			return false
+		}
+	}
+	return true
+}
+
+// domTest is a condition known to hold on entry to a block: the Test
+// instruction's condition, and whether the path goes through its true edge.
+type domTest struct {
+	cond  *mir.Instr
+	taken bool // true edge vs false edge
+}
+
+// dominatingTests walks the immediate-dominator chain of b and collects
+// every branch condition whose outcome is pinned on all paths reaching b.
+// Requires dominators to be up to date and critical edges split.
+func dominatingTests(b *mir.Block) []domTest {
+	var out []domTest
+	prev := b
+	for d := b.Idom(); d != nil; prev, d = d, d.Idom() {
+		ctl := d.Control()
+		if ctl == nil || ctl.Op != mir.OpTest {
+			continue
+		}
+		// prev is pinned to one edge only if it is the unique successor
+		// block on that edge (single predecessor guarantees no merge).
+		if len(prev.Preds) != 1 {
+			continue
+		}
+		switch {
+		case d.Succs[0] == prev:
+			out = append(out, domTest{cond: ctl.Operands[0], taken: true})
+		case d.Succs[1] == prev:
+			out = append(out, domTest{cond: ctl.Operands[0], taken: false})
+		}
+	}
+	return out
+}

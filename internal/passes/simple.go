@@ -1,0 +1,302 @@
+package passes
+
+import (
+	"github.com/jitbull/jitbull/internal/mir"
+)
+
+// ---- RenumberInstructions ----
+
+// renumberPass reassigns dense instruction IDs in reverse postorder, as
+// IonMonkey's renumbering passes do. It appears twice in the pipeline
+// (early and final).
+type renumberPass struct{ name string }
+
+func (p renumberPass) Name() string      { return p.name }
+func (p renumberPass) Disableable() bool { return true }
+func (p renumberPass) Run(g *mir.Graph, _ *Context) error {
+	g.Renumber()
+	return nil
+}
+
+// ---- PruneUnusedBranches ----
+
+// pruneBranchesPass folds branches on constant conditions into gotos and
+// removes the unreachable arms.
+type pruneBranchesPass struct{}
+
+func (pruneBranchesPass) Name() string      { return "PruneUnusedBranches" }
+func (pruneBranchesPass) Disableable() bool { return true }
+func (pruneBranchesPass) Run(g *mir.Graph, _ *Context) error {
+	changed := false
+	for _, b := range g.ReversePostorder() {
+		ctl := b.Control()
+		if ctl == nil || ctl.Op != mir.OpTest {
+			continue
+		}
+		cond := ctl.Operands[0]
+		if cond.Op != mir.OpConstant {
+			continue
+		}
+		taken := 0
+		if cond.Num == 0 || cond.Num != cond.Num { // falsy: 0 or NaN
+			taken = 1
+		}
+		foldTestToGoto(b, taken)
+		changed = true
+	}
+	if changed {
+		g.PruneUnreachable()
+		g.BuildDominators()
+	}
+	return nil
+}
+
+// foldTestToGoto replaces block b's Test with a Goto to Succs[taken],
+// detaching the other edge.
+func foldTestToGoto(b *mir.Block, taken int) {
+	ctl := b.Control()
+	other := b.Succs[1-taken]
+	target := b.Succs[taken]
+	// Remove the edge to the untaken successor.
+	for i, p := range other.Preds {
+		if p == b {
+			other.RemovePred(i)
+			break
+		}
+	}
+	b.Succs = []*mir.Block{target}
+	ctl.Op = mir.OpGoto
+	ctl.Operands = nil
+}
+
+// ---- SplitCriticalEdges (mandatory) ----
+
+// splitEdgesPass inserts an empty block on every critical edge (an edge
+// from a multi-successor block to a multi-predecessor block), a
+// prerequisite for the dominance reasoning in later passes.
+type splitEdgesPass struct{}
+
+func (splitEdgesPass) Name() string      { return "SplitCriticalEdges" }
+func (splitEdgesPass) Disableable() bool { return false }
+func (splitEdgesPass) Run(g *mir.Graph, _ *Context) error {
+	changed := false
+	// Collect first: we mutate the block list while splitting.
+	type edge struct {
+		pred *mir.Block
+		succ *mir.Block
+		si   int // index in pred.Succs
+	}
+	var critical []edge
+	for _, b := range g.ReversePostorder() {
+		if len(b.Succs) < 2 {
+			continue
+		}
+		for i, s := range b.Succs {
+			if len(s.Preds) >= 2 {
+				critical = append(critical, edge{pred: b, succ: s, si: i})
+			}
+		}
+	}
+	for _, e := range critical {
+		mid := g.NewBlock()
+		mid.Append(g.NewInstr(mir.OpGoto, mir.TypeNone))
+		e.pred.Succs[e.si] = mid
+		mid.Preds = []*mir.Block{e.pred}
+		mid.Succs = []*mir.Block{e.succ}
+		for i, p := range e.succ.Preds {
+			if p == e.pred {
+				e.succ.Preds[i] = mid
+				break
+			}
+		}
+		changed = true
+	}
+	if changed {
+		g.BuildDominators()
+	}
+	return nil
+}
+
+// ---- PhiAnalysis (mandatory) ----
+
+// phiAnalysisPass removes trivial phis (all inputs equal, possibly
+// including the phi itself) left over from SSA construction or exposed by
+// earlier folding.
+type phiAnalysisPass struct{}
+
+func (phiAnalysisPass) Name() string      { return "PhiAnalysis" }
+func (phiAnalysisPass) Disableable() bool { return false }
+func (phiAnalysisPass) Run(g *mir.Graph, _ *Context) error {
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			for _, in := range b.Phis() {
+				if in.Dead || in.Op != mir.OpPhi {
+					continue
+				}
+				var same *mir.Instr
+				trivial := true
+				for _, op := range in.Operands {
+					if op == in || op == same {
+						continue
+					}
+					if same != nil {
+						trivial = false
+						break
+					}
+					same = op
+				}
+				if trivial && same != nil {
+					g.ReplaceUses(in, same)
+					in.Dead = true
+					changed = true
+				}
+			}
+		}
+	}
+	g.RemoveDead()
+	return nil
+}
+
+// ---- EliminateDeadCode ----
+
+// dcePass removes pure instructions whose results are unused. Guards and
+// effectful instructions are live roots.
+type dcePass struct{}
+
+func (dcePass) Name() string      { return "EliminateDeadCode" }
+func (dcePass) Disableable() bool { return true }
+func (dcePass) Run(g *mir.Graph, _ *Context) error {
+	live := map[*mir.Instr]bool{}
+	var work []*mir.Instr
+	forEachLive(g, func(_ *mir.Block, in *mir.Instr) {
+		if in.Op.IsControl() || in.Op.IsGuard() || in.Op.HasEffects() {
+			live[in] = true
+			work = append(work, in)
+		}
+	})
+	for len(work) > 0 {
+		in := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, op := range in.Operands {
+			if !live[op] {
+				live[op] = true
+				work = append(work, op)
+			}
+		}
+	}
+	forEachLive(g, func(_ *mir.Block, in *mir.Instr) {
+		if !live[in] {
+			in.Dead = true
+		}
+	})
+	g.RemoveDead()
+	return nil
+}
+
+// ---- EliminateEmptyBlocks ----
+
+// emptyBlocksPass splices out goto-only blocks with a single predecessor
+// and successor.
+type emptyBlocksPass struct{}
+
+func (emptyBlocksPass) Name() string      { return "EliminateEmptyBlocks" }
+func (emptyBlocksPass) Disableable() bool { return true }
+func (emptyBlocksPass) Run(g *mir.Graph, _ *Context) error {
+	changed := false
+	for _, b := range g.ReversePostorder() {
+		if b == g.Entry() || len(b.Preds) != 1 || len(b.Succs) != 1 {
+			continue
+		}
+		if len(b.Instrs) != 1 || b.Instrs[0].Op != mir.OpGoto {
+			continue
+		}
+		p, s := b.Preds[0], b.Succs[0]
+		if p == b || s == b {
+			continue // self loop
+		}
+		// Keep critical edges split: splicing would re-create one.
+		if len(p.Succs) > 1 && len(s.Preds) > 1 {
+			continue
+		}
+		for i, ps := range p.Succs {
+			if ps == b {
+				p.Succs[i] = s
+			}
+		}
+		for i, sp := range s.Preds {
+			if sp == b {
+				s.Preds[i] = p
+			}
+		}
+		b.Preds = nil
+		b.Succs = nil
+		changed = true
+	}
+	if changed {
+		g.PruneUnreachable()
+		g.BuildDominators()
+	}
+	return nil
+}
+
+// ---- ReorderInstructions ----
+
+// reorderPass performs a simple scheduling normalization: constants float
+// to the top of their block (after phis), matching the "renumbering,
+// reorganizing" bookkeeping passes the paper describes.
+type reorderPass struct{}
+
+func (reorderPass) Name() string      { return "ReorderInstructions" }
+func (reorderPass) Disableable() bool { return true }
+func (reorderPass) Run(g *mir.Graph, _ *Context) error {
+	for _, b := range g.Blocks {
+		var phis, consts, rest []*mir.Instr
+		for _, in := range b.Instrs {
+			switch {
+			case in.Op == mir.OpPhi:
+				phis = append(phis, in)
+			case in.Op == mir.OpConstant:
+				consts = append(consts, in)
+			default:
+				rest = append(rest, in)
+			}
+		}
+		if len(consts) == 0 {
+			continue
+		}
+		out := b.Instrs[:0]
+		out = append(out, phis...)
+		out = append(out, consts...)
+		out = append(out, rest...)
+		b.Instrs = out
+	}
+	return nil
+}
+
+// ---- AddKeepAliveInstructions ----
+
+// keepAlivePass appends a keepalive use of every array whose elements are
+// accessed, modeling IonMonkey's AddKeepAliveInstructions (which keeps the
+// owning object alive for the GC while its elements pointer is in use).
+type keepAlivePass struct{}
+
+func (keepAlivePass) Name() string      { return "AddKeepAliveInstructions" }
+func (keepAlivePass) Disableable() bool { return true }
+func (keepAlivePass) Run(g *mir.Graph, _ *Context) error {
+	for _, b := range g.Blocks {
+		var keeps []*mir.Instr
+		for _, in := range b.Instrs {
+			if in.Dead || in.Op != mir.OpElements {
+				continue
+			}
+			obj := in.Operands[0]
+			ka := g.NewInstr(mir.OpKeepAlive, mir.TypeNone, obj)
+			keeps = append(keeps, ka)
+		}
+		for _, ka := range keeps {
+			b.InsertBeforeControl(ka)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package passes
+
+import (
+	"sort"
+
+	"github.com/jitbull/jitbull/internal/mir"
+)
+
+// sinkPass moves pure computations into the single branch that uses them,
+// so the other path does not pay for them. The sound version only sinks
+// non-load, non-guard, effect-free instructions whose uses all sit in one
+// block dominated by the definition, and never into a deeper loop.
+//
+// Injected bug (CVE-2019-9792 model): a length load used by *both* arms of
+// a branch is sunk into one arm anyway; the other arm's uses are patched
+// with a `magic` placeholder — SpiderMonkey's JS_OPTIMIZED_OUT value
+// leaking into compiled code. The magic value is large, so a bounds check
+// comparing against it passes for any index.
+type sinkPass struct{}
+
+func (sinkPass) Name() string      { return "Sink" }
+func (sinkPass) Disableable() bool { return true }
+
+func (sinkPass) Run(g *mir.Graph, ctx *Context) error {
+	g.BuildDominators()
+
+	// Sound sinking, iterated to a fixpoint so whole dependency chains
+	// follow their single use into the branch.
+	var moved bool
+	for round := 0; round < 8; round++ {
+		g.ComputeUses()
+		type move struct {
+			in     *mir.Instr
+			target *mir.Block
+		}
+		var moves []move
+		forEachLive(g, func(b *mir.Block, in *mir.Instr) {
+			if !in.Op.IsMovable() || in.Op.IsGuard() || in.Op == mir.OpPhi ||
+				in.Op == mir.OpConstant || in.Op.IsControl() || in.Op.Loads() != mir.AliasNone {
+				return
+			}
+			if len(in.Uses) == 0 {
+				return
+			}
+			target := in.Uses[0].Block
+			for _, u := range in.Uses {
+				if u.Block != target || u.Op == mir.OpPhi {
+					return
+				}
+			}
+			if target == b || !b.Dominates(target) || target.LoopDepth > b.LoopDepth {
+				return
+			}
+			moves = append(moves, move{in: in, target: target})
+		})
+		roundMoved := false
+		// Apply in reverse program order: when an operand and its user sink
+		// to the same block, the operand is inserted last and therefore ends
+		// up first (insertAfterPhis prepends), preserving def-before-use.
+		for i := len(moves) - 1; i >= 0; i-- {
+			m := moves[i]
+			// Skip if an operand was itself queued to sink into a different
+			// block (ordering could then break dominance); conservative.
+			ok := true
+			for _, op := range m.in.Operands {
+				for _, m2 := range moves {
+					if m2.in == op && m2.target != m.target {
+						ok = false
+					}
+				}
+			}
+			if !ok {
+				continue
+			}
+			removeFromBlock(m.in)
+			insertAfterPhis(m.target, m.in)
+			roundMoved = true
+		}
+		if !roundMoved {
+			break
+		}
+		moved = true
+	}
+
+	if ctx.Bugs.Has(CVE20199792) {
+		g.ComputeUses()
+		var candidates []*mir.Instr
+		forEachLive(g, func(_ *mir.Block, in *mir.Instr) {
+			if in.Op == mir.OpInitializedLength {
+				candidates = append(candidates, in)
+			}
+		})
+		for _, in := range candidates {
+			blocks := map[*mir.Block][]*mir.Instr{}
+			usedByCheck := false
+			for _, u := range in.Uses {
+				if u.Op == mir.OpPhi {
+					blocks = nil
+					break
+				}
+				if u.Op == mir.OpBoundsCheck {
+					usedByCheck = true
+				}
+				blocks[u.Block] = append(blocks[u.Block], u)
+			}
+			// The bug manifests on guard data: only lengths feeding a
+			// bounds check are mishandled (keeps the blast radius of the
+			// injected bug faithful to the CVE's narrow trigger).
+			if len(blocks) != 2 || !usedByCheck {
+				continue
+			}
+			var bs []*mir.Block
+			for blk := range blocks {
+				bs = append(bs, blk)
+			}
+			sort.Slice(bs, func(i, j int) bool { return bs[i].ID < bs[j].ID })
+			b1, b2 := bs[0], bs[1]
+			// Only cross-branch pairs: neither dominates the other, and
+			// both are dominated by the definition block.
+			if b1.Dominates(b2) || b2.Dominates(b1) ||
+				!in.Block.Dominates(b1) || !in.Block.Dominates(b2) || in.Block == b1 || in.Block == b2 {
+				continue
+			}
+			// BUG: sink into b1; b2's uses get the magic placeholder.
+			removeFromBlock(in)
+			insertAfterPhis(b1, in)
+			magic := g.NewInstr(mir.OpMagic, mir.TypeDouble)
+			magic.Num = mir.MagicSentinel
+			insertAfterPhis(b2, magic)
+			for _, u := range blocks[b2] {
+				for i, op := range u.Operands {
+					if op == in {
+						u.Operands[i] = magic
+					}
+				}
+			}
+			moved = true
+		}
+	}
+	_ = moved
+	return nil
+}

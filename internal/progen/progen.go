@@ -1,0 +1,251 @@
+// Package progen generates random, terminating, deterministic nanojs
+// programs inside the JIT-able subset, for differential testing: the same
+// program must produce the same checksum on the interpreter, on the full
+// JIT pipeline, and with any optimization pass disabled.
+//
+// Generated programs are side-effect-disciplined so that bailout-and-replay
+// (the engine's deoptimization model) cannot change results: hot functions
+// only write their own locals and perform in-bounds array stores (indexes
+// are masked with `% arr.length`), so replaying a call is idempotent.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Options bounds the generator.
+type Options struct {
+	// Funcs is the number of hot functions (default 4).
+	Funcs int
+	// MaxStmts bounds statements per function body (default 6).
+	MaxStmts int
+	// Train is how often each function is called (default 60; set it above
+	// the engine's Ion threshold).
+	Train int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Funcs <= 0 {
+		o.Funcs = 4
+	}
+	if o.MaxStmts <= 0 {
+		o.MaxStmts = 6
+	}
+	if o.Train <= 0 {
+		o.Train = 60
+	}
+	return o
+}
+
+// Generate produces a program for the given seed. Equal seeds yield equal
+// programs.
+func Generate(seed int64, opts Options) string {
+	opts = opts.withDefaults()
+	g := &gen{rng: rand.New(rand.NewSource(seed)), opts: opts}
+	return g.program()
+}
+
+type gen struct {
+	rng  *rand.Rand
+	opts Options
+
+	// Per-function scope. locals are assignable; loopVars are readable but
+	// never assignment targets (so every loop provably terminates).
+	locals   []string
+	loopVars []string
+	arrays   []string // array-typed names in scope (params)
+}
+
+// readables returns every readable numeric name in scope.
+func (g *gen) readables() []string {
+	return append(append([]string{}, g.locals...), g.loopVars...)
+}
+
+func (g *gen) pick(ss []string) string { return ss[g.rng.Intn(len(ss))] }
+
+const (
+	numArrays  = 3
+	arrayLen   = 16
+	loopBoundN = 8
+)
+
+func (g *gen) program() string {
+	var sb strings.Builder
+	// Global arrays, fixed length so masked indexes are always in-bounds.
+	for i := 0; i < numArrays; i++ {
+		fmt.Fprintf(&sb, "var g%d = new Array(%d);\n", i, arrayLen)
+	}
+	fmt.Fprintf(&sb, "for (var ii = 0; ii < %d; ii++) {\n", arrayLen)
+	for i := 0; i < numArrays; i++ {
+		fmt.Fprintf(&sb, "  g%d[ii] = ii * %d + %d;\n", i, g.rng.Intn(7)+1, g.rng.Intn(9))
+	}
+	sb.WriteString("}\n")
+
+	nf := g.opts.Funcs
+	for f := 0; f < nf; f++ {
+		sb.WriteString(g.function(f))
+	}
+
+	// Driver: call every function Train times with varying numeric args.
+	sb.WriteString("var result = 0;\n")
+	fmt.Fprintf(&sb, "for (var r = 0; r < %d; r++) {\n", g.opts.Train)
+	for f := 0; f < nf; f++ {
+		fmt.Fprintf(&sb, "  result = (result + f%d(g%d, g%d, r %% 13, r %% 7 + 1)) %% 1000003;\n",
+			f, g.rng.Intn(numArrays), g.rng.Intn(numArrays))
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func (g *gen) function(idx int) string {
+	g.locals = []string{"x", "y"}
+	g.loopVars = nil
+	g.arrays = []string{"a", "b"}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "function f%d(a, b, x, y) {\n", idx)
+	sb.WriteString("  var acc = 0;\n")
+	g.locals = append(g.locals, "acc")
+	n := g.rng.Intn(g.opts.MaxStmts) + 2
+	for i := 0; i < n; i++ {
+		sb.WriteString(g.stmt(1))
+	}
+	sb.WriteString("  return acc;\n}\n")
+	return sb.String()
+}
+
+func indent(d int) string { return strings.Repeat("  ", d) }
+
+// stmt emits one random statement at nesting depth d.
+func (g *gen) stmt(d int) string {
+	if d > 3 {
+		return g.assign(d)
+	}
+	switch g.rng.Intn(8) {
+	case 0:
+		return g.forLoop(d)
+	case 1:
+		return g.ifStmt(d)
+	case 2:
+		return g.arrayStore(d)
+	case 3:
+		return g.localDecl(d)
+	default:
+		return g.assign(d)
+	}
+}
+
+func (g *gen) localDecl(d int) string {
+	name := fmt.Sprintf("t%d", g.rng.Intn(1000))
+	for _, l := range g.locals {
+		if l == name {
+			return g.assign(d)
+		}
+	}
+	s := fmt.Sprintf("%svar %s = %s;\n", indent(d), name, g.expr(0))
+	g.locals = append(g.locals, name)
+	return s
+}
+
+func (g *gen) assign(d int) string {
+	target := g.pick(g.locals)
+	switch g.rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("%s%s += %s;\n", indent(d), target, g.expr(0))
+	case 1:
+		return fmt.Sprintf("%s%s = %s;\n", indent(d), target, g.expr(0))
+	default:
+		return fmt.Sprintf("%sacc = (acc + %s) %% 1000003;\n", indent(d), g.expr(0))
+	}
+}
+
+func (g *gen) arrayStore(d int) string {
+	arr := g.pick(g.arrays)
+	return fmt.Sprintf("%s%s[(%s) %% %s.length] = %s %% 65536;\n",
+		indent(d), arr, g.absExpr(), arr, g.expr(0))
+}
+
+func (g *gen) forLoop(d int) string {
+	iv := fmt.Sprintf("i%d", d)
+	bound := g.rng.Intn(loopBoundN) + 2
+	var body strings.Builder
+	n := g.rng.Intn(3) + 1
+	save := len(g.loopVars)
+	g.loopVars = append(g.loopVars, iv)
+	for i := 0; i < n; i++ {
+		body.WriteString(g.stmt(d + 1))
+	}
+	g.loopVars = g.loopVars[:save]
+	return fmt.Sprintf("%sfor (var %s = 0; %s < %d; %s++) {\n%s%s}\n",
+		indent(d), iv, iv, bound, iv, body.String(), indent(d))
+}
+
+func (g *gen) ifStmt(d int) string {
+	cond := fmt.Sprintf("%s %s %s", g.expr(0), g.pick([]string{"<", ">", "<=", ">=", "==", "!="}), g.expr(0))
+	var thenB, elseB strings.Builder
+	for i := 0; i < g.rng.Intn(2)+1; i++ {
+		thenB.WriteString(g.stmt(d + 1))
+	}
+	if g.rng.Intn(2) == 0 {
+		return fmt.Sprintf("%sif (%s) {\n%s%s}\n", indent(d), cond, thenB.String(), indent(d))
+	}
+	for i := 0; i < g.rng.Intn(2)+1; i++ {
+		elseB.WriteString(g.stmt(d + 1))
+	}
+	return fmt.Sprintf("%sif (%s) {\n%s%s} else {\n%s%s}\n",
+		indent(d), cond, thenB.String(), indent(d), elseB.String(), indent(d))
+}
+
+// absExpr yields a guaranteed non-negative integral expression (for index
+// arithmetic).
+func (g *gen) absExpr() string {
+	switch g.rng.Intn(3) {
+	case 0:
+		return fmt.Sprintf("%s & 1023", g.pick(g.readables()))
+	case 1:
+		return fmt.Sprintf("(%s & 255) + %d", g.pick(g.readables()), g.rng.Intn(8))
+	default:
+		return fmt.Sprint(g.rng.Intn(64))
+	}
+}
+
+// expr yields a numeric expression of bounded depth.
+func (g *gen) expr(depth int) string {
+	if depth > 2 {
+		return g.leaf()
+	}
+	switch g.rng.Intn(10) {
+	case 0, 1, 2:
+		return g.leaf()
+	case 3:
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth+1),
+			g.pick([]string{"+", "-", "*"}), g.expr(depth+1))
+	case 4:
+		// Integer-safe division/modulo with a non-zero constant.
+		return fmt.Sprintf("(%s %% %d)", g.expr(depth+1), g.rng.Intn(97)+3)
+	case 5:
+		return fmt.Sprintf("(%s %s %d)", g.expr(depth+1),
+			g.pick([]string{"&", "|", "^", ">>", "<<"}), g.rng.Intn(8))
+	case 6:
+		arr := g.pick(g.arrays)
+		return fmt.Sprintf("%s[(%s) %% %s.length]", arr, g.absExpr(), arr)
+	case 7:
+		return fmt.Sprintf("Math.%s(%s)",
+			g.pick([]string{"abs", "floor", "sqrt"}), g.expr(depth+1))
+	case 8:
+		return fmt.Sprintf("(%s < %s ? %s : %s)",
+			g.leaf(), g.leaf(), g.leaf(), g.leaf())
+	default:
+		return fmt.Sprintf("%s.length", g.pick(g.arrays))
+	}
+}
+
+func (g *gen) leaf() string {
+	switch g.rng.Intn(3) {
+	case 0:
+		return fmt.Sprint(g.rng.Intn(100))
+	default:
+		return g.pick(g.readables())
+	}
+}

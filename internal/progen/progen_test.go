@@ -1,0 +1,131 @@
+package progen
+
+import (
+	"math"
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/engine"
+	"github.com/jitbull/jitbull/internal/passes"
+	"github.com/jitbull/jitbull/internal/value"
+)
+
+// runCfg executes src and returns the `result` checksum.
+func runCfg(t *testing.T, src string, cfg engine.Config) value.Value {
+	t.Helper()
+	e, err := engine.New(src, cfg)
+	if err != nil {
+		t.Fatalf("setup: %v\n%s", err, src)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("run: %v\n%s", err, src)
+	}
+	return e.Global("result")
+}
+
+func same(a, b value.Value) bool {
+	if !a.IsNumber() || !b.IsNumber() {
+		return value.StrictEquals(a, b)
+	}
+	x, y := a.AsNumber(), b.AsNumber()
+	return x == y || (math.IsNaN(x) && math.IsNaN(y))
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	if Generate(42, Options{}) != Generate(42, Options{}) {
+		t.Fatal("same seed must generate the same program")
+	}
+	if Generate(1, Options{}) == Generate(2, Options{}) {
+		t.Fatal("different seeds should generate different programs")
+	}
+}
+
+// TestDifferentialInterpVsJIT fuzzes the whole compilation pipeline: for
+// many random programs, the interpreter and the optimizing JIT must agree.
+func TestDifferentialInterpVsJIT(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 12
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		src := Generate(seed, Options{Train: 50})
+		want := runCfg(t, src, engine.Config{DisableJIT: true})
+		got := runCfg(t, src, engine.Config{IonThreshold: 15, BaselineThreshold: 5})
+		if !same(want, got) {
+			t.Fatalf("seed %d: interp=%v jit=%v\n%s", seed, want, got, src)
+		}
+	}
+}
+
+// TestDifferentialEachPassDisabled re-runs random programs with every
+// disableable optimization pass switched off, one at a time — the
+// correctness property the go/no-go policy depends on: disabling any pass
+// must never change results.
+func TestDifferentialEachPassDisabled(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 4
+	}
+	var disableable []string
+	for _, name := range passes.PassNames() {
+		if passes.Disableable(name) {
+			disableable = append(disableable, name)
+		}
+	}
+	for seed := int64(100); seed < int64(100+seeds); seed++ {
+		src := Generate(seed, Options{Train: 40})
+		want := runCfg(t, src, engine.Config{DisableJIT: true})
+		for _, pass := range disableable {
+			e, err := engine.New(src, engine.Config{IonThreshold: 15})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.SetPolicy(forcedPolicy{passes: []string{pass}})
+			if _, err := e.Run(); err != nil {
+				t.Fatalf("seed %d, %s disabled: %v\n%s", seed, pass, err, src)
+			}
+			if got := e.Global("result"); !same(want, got) {
+				t.Fatalf("seed %d, %s disabled: interp=%v got=%v\n%s", seed, pass, want, got, src)
+			}
+		}
+	}
+}
+
+// TestDifferentialAllOptionalPassesDisabled runs with every optional pass
+// off at once (the most de-optimized JIT configuration).
+func TestDifferentialAllOptionalPassesDisabled(t *testing.T) {
+	var disableable []string
+	for _, name := range passes.PassNames() {
+		if passes.Disableable(name) {
+			disableable = append(disableable, name)
+		}
+	}
+	for seed := int64(300); seed < 312; seed++ {
+		src := Generate(seed, Options{Train: 40})
+		want := runCfg(t, src, engine.Config{DisableJIT: true})
+		e, err := engine.New(src, engine.Config{IonThreshold: 15})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.SetPolicy(forcedPolicy{passes: disableable})
+		if _, err := e.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got := e.Global("result"); !same(want, got) {
+			t.Fatalf("seed %d: interp=%v got=%v\n%s", seed, want, got, src)
+		}
+	}
+}
+
+// forcedPolicy is an engine.Policy that disables a fixed pass list for
+// every compilation (a test harness, not a detector).
+type forcedPolicy struct {
+	passes []string
+}
+
+func (forcedPolicy) Active() bool { return true }
+
+func (p forcedPolicy) BeginCompile(string) (passes.Observer, func() engine.CompileDecision) {
+	return nil, func() engine.CompileDecision {
+		return engine.CompileDecision{DisabledPasses: p.passes}
+	}
+}

@@ -1,0 +1,184 @@
+// Package regalloc compacts the virtual register file of LIR code with a
+// linear-scan allocation over the linearized op list. SSA values get dense
+// frame slots that are reused once their live interval ends, shrinking the
+// per-call frame the native executor allocates.
+package regalloc
+
+import (
+	"sort"
+
+	"github.com/jitbull/jitbull/internal/lir"
+)
+
+// Allocate rewrites c's registers in place and updates NumRegs. Parameters
+// keep their slots (the executor copies arguments into registers 0..n-1).
+func Allocate(c *lir.Code) {
+	n := c.NumRegs
+	if n == 0 {
+		return
+	}
+	def := make([]int, n)
+	last := make([]int, n)
+	for i := range def {
+		def[i] = -1
+		last[i] = -1
+	}
+	touch := func(r int32, pc int) {
+		if def[r] < 0 {
+			def[r] = pc
+		}
+		last[r] = pc
+	}
+	forEachReg(c, func(r *int32, pc int, _ bool) { touch(*r, pc) })
+
+	// Parameters are live from entry.
+	for p := 0; p < c.NumParams && p < n; p++ {
+		if def[p] < 0 {
+			def[p] = 0
+			last[p] = 0
+		} else {
+			def[p] = 0
+		}
+	}
+
+	// Extend intervals across loop back edges: a value defined before the
+	// branch target and used inside [target, branch] is still needed on
+	// the next iteration.
+	for changed := true; changed; {
+		changed = false
+		for pc, op := range c.Ops {
+			if op.Kind != lir.KJump && op.Kind != lir.KBranchFalse {
+				continue
+			}
+			t := int(op.Target)
+			if t > pc {
+				continue // forward edge
+			}
+			for r := 0; r < n; r++ {
+				if def[r] >= 0 && def[r] < t && last[r] >= t && last[r] < pc {
+					last[r] = pc
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Linear scan: assign slots in order of definition point.
+	type interval struct {
+		reg      int
+		def, end int
+	}
+	intervals := make([]interval, 0, n)
+	for r := 0; r < n; r++ {
+		if def[r] >= 0 {
+			intervals = append(intervals, interval{reg: r, def: def[r], end: last[r]})
+		}
+	}
+	sort.Slice(intervals, func(i, j int) bool {
+		if intervals[i].def != intervals[j].def {
+			return intervals[i].def < intervals[j].def
+		}
+		return intervals[i].reg < intervals[j].reg
+	})
+
+	slotOf := make([]int32, n)
+	for i := range slotOf {
+		slotOf[i] = -1
+	}
+	// Parameters get their own fixed slots first.
+	nextSlot := int32(c.NumParams)
+	for p := 0; p < c.NumParams && p < n; p++ {
+		slotOf[p] = int32(p)
+	}
+	type active struct {
+		end  int
+		slot int32
+	}
+	var free []int32
+	var live []active
+	expire := func(pc int) {
+		out := live[:0]
+		for _, a := range live {
+			if a.end < pc {
+				free = append(free, a.slot)
+			} else {
+				out = append(out, a)
+			}
+		}
+		live = out
+	}
+	for _, iv := range intervals {
+		if slotOf[iv.reg] >= 0 {
+			continue // parameter
+		}
+		expire(iv.def)
+		var slot int32
+		if len(free) > 0 {
+			sort.Slice(free, func(i, j int) bool { return free[i] < free[j] })
+			slot = free[0]
+			free = free[1:]
+		} else {
+			slot = nextSlot
+			nextSlot++
+		}
+		slotOf[iv.reg] = slot
+		live = append(live, active{end: iv.end, slot: slot})
+	}
+
+	maxSlot := int32(c.NumParams)
+	forEachReg(c, func(r *int32, _ int, _ bool) {
+		s := slotOf[*r]
+		if s < 0 {
+			s = 0 // unreachable register; any slot will do
+		}
+		*r = s
+		if s+1 > maxSlot {
+			maxSlot = s + 1
+		}
+	})
+	if int(nextSlot) > int(maxSlot) {
+		maxSlot = nextSlot
+	}
+	c.NumRegs = int(maxSlot)
+}
+
+// forEachReg visits every register reference in the code (including call
+// argument lists). isDef is a best-effort hint, unused by the current
+// allocator but kept for future precise liveness.
+func forEachReg(c *lir.Code, fn func(r *int32, pc int, isDef bool)) {
+	for pc := range c.Ops {
+		op := &c.Ops[pc]
+		switch op.Kind {
+		case lir.KNop, lir.KJump, lir.KRetUndef, lir.KCodeBase, lir.KConst, lir.KLoadGlobal:
+			// No register sources.
+		case lir.KBranchFalse, lir.KNeg, lir.KNot, lir.KUnbox, lir.KGuardType,
+			lir.KElemsHandle, lir.KElemsRaw, lir.KInitLen, lir.KPop, lir.KNewArr,
+			lir.KAddrOf, lir.KMove, lir.KMoveTag, lir.KRetNum, lir.KRetObj,
+			lir.KStoreGlobalNum, lir.KStoreGlobalObj:
+			fn(&op.A, pc, false)
+		case lir.KMath:
+			fn(&op.A, pc, false)
+			fn(&op.B, pc, false)
+		case lir.KCall:
+			args := c.ArgLists[op.A]
+			for i := range args {
+				fn(&args[i], pc, false)
+			}
+		default:
+			fn(&op.A, pc, false)
+			fn(&op.B, pc, false)
+			if op.Kind == lir.KStoreElem {
+				fn(&op.C, pc, false)
+			}
+		}
+		switch op.Kind {
+		case lir.KConst, lir.KMove, lir.KMoveTag, lir.KAdd, lir.KSub, lir.KMul,
+			lir.KDiv, lir.KMod, lir.KPow, lir.KBitAnd, lir.KBitOr, lir.KBitXor,
+			lir.KShl, lir.KShr, lir.KUshr, lir.KNeg, lir.KNot, lir.KCmp, lir.KMath,
+			lir.KUnbox, lir.KGuardType, lir.KElemsHandle, lir.KElemsRaw,
+			lir.KInitLen, lir.KLoadElem, lir.KPush, lir.KPop, lir.KNewArr,
+			lir.KAddrOf, lir.KCodeBase, lir.KLoadGlobal, lir.KCall:
+			fn(&op.Dst, pc, true)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+// Package token defines the lexical tokens of the nanojs language, the
+// JavaScript subset executed by the jitbull runtime.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. The zero value is Illegal so that an uninitialized token is
+// never mistaken for a valid one.
+const (
+	Illegal Kind = iota
+	EOF
+
+	// Literals and identifiers.
+	Ident  // foo
+	Number // 123, 4.5, 0x1f, 1e9
+	String // "abc", 'abc'
+
+	// Operators.
+	Plus     // +
+	Minus    // -
+	Star     // *
+	Slash    // /
+	Percent  // %
+	StarStar // **
+
+	Assign         // =
+	PlusAssign     // +=
+	MinusAssign    // -=
+	StarAssign     // *=
+	SlashAssign    // /=
+	PercentAssign  // %=
+	AmpAssign      // &=
+	PipeAssign     // |=
+	CaretAssign    // ^=
+	ShlAssign      // <<=
+	ShrAssign      // >>=
+	UshrAssign     // >>>=
+	StarStarAssign // **=
+
+	PlusPlus   // ++
+	MinusMinus // --
+
+	Eq       // ==
+	NotEq    // !=
+	StrictEq // ===
+	StrictNe // !==
+	Lt       // <
+	Gt       // >
+	Le       // <=
+	Ge       // >=
+
+	AmpAmp   // &&
+	PipePipe // ||
+	Bang     // !
+
+	Amp   // &
+	Pipe  // |
+	Caret // ^
+	Tilde // ~
+	Shl   // <<
+	Shr   // >>
+	Ushr  // >>>
+
+	Question // ?
+	Colon    // :
+
+	// Delimiters.
+	Comma     // ,
+	Semicolon // ;
+	Dot       // .
+	LParen    // (
+	RParen    // )
+	LBrace    // {
+	RBrace    // }
+	LBracket  // [
+	RBracket  // ]
+
+	// Keywords.
+	Function
+	Var
+	Let
+	Const
+	If
+	Else
+	While
+	Do
+	For
+	Break
+	Continue
+	Return
+	True
+	False
+	Null
+	Undefined
+	New
+	Typeof
+)
+
+var kindNames = map[Kind]string{
+	Illegal:        "ILLEGAL",
+	EOF:            "EOF",
+	Ident:          "IDENT",
+	Number:         "NUMBER",
+	String:         "STRING",
+	Plus:           "+",
+	Minus:          "-",
+	Star:           "*",
+	Slash:          "/",
+	Percent:        "%",
+	StarStar:       "**",
+	Assign:         "=",
+	PlusAssign:     "+=",
+	MinusAssign:    "-=",
+	StarAssign:     "*=",
+	SlashAssign:    "/=",
+	PercentAssign:  "%=",
+	AmpAssign:      "&=",
+	PipeAssign:     "|=",
+	CaretAssign:    "^=",
+	ShlAssign:      "<<=",
+	ShrAssign:      ">>=",
+	UshrAssign:     ">>>=",
+	StarStarAssign: "**=",
+	PlusPlus:       "++",
+	MinusMinus:     "--",
+	Eq:             "==",
+	NotEq:          "!=",
+	StrictEq:       "===",
+	StrictNe:       "!==",
+	Lt:             "<",
+	Gt:             ">",
+	Le:             "<=",
+	Ge:             ">=",
+	AmpAmp:         "&&",
+	PipePipe:       "||",
+	Bang:           "!",
+	Amp:            "&",
+	Pipe:           "|",
+	Caret:          "^",
+	Tilde:          "~",
+	Shl:            "<<",
+	Shr:            ">>",
+	Ushr:           ">>>",
+	Question:       "?",
+	Colon:          ":",
+	Comma:          ",",
+	Semicolon:      ";",
+	Dot:            ".",
+	LParen:         "(",
+	RParen:         ")",
+	LBrace:         "{",
+	RBrace:         "}",
+	LBracket:       "[",
+	RBracket:       "]",
+	Function:       "function",
+	Var:            "var",
+	Let:            "let",
+	Const:          "const",
+	If:             "if",
+	Else:           "else",
+	While:          "while",
+	Do:             "do",
+	For:            "for",
+	Break:          "break",
+	Continue:       "continue",
+	Return:         "return",
+	True:           "true",
+	False:          "false",
+	Null:           "null",
+	Undefined:      "undefined",
+	New:            "new",
+	Typeof:         "typeof",
+}
+
+// String returns the canonical spelling of the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"function":  Function,
+	"var":       Var,
+	"let":       Let,
+	"const":     Const,
+	"if":        If,
+	"else":      Else,
+	"while":     While,
+	"do":        Do,
+	"for":       For,
+	"break":     Break,
+	"continue":  Continue,
+	"return":    Return,
+	"true":      True,
+	"false":     False,
+	"null":      Null,
+	"undefined": Undefined,
+	"new":       New,
+	"typeof":    Typeof,
+}
+
+// LookupIdent maps an identifier spelling to its keyword kind, or Ident if it
+// is not a reserved word.
+func LookupIdent(s string) Kind {
+	if k, ok := keywords[s]; ok {
+		return k
+	}
+	return Ident
+}
+
+// Pos is a source position: 1-based line and column.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical token with its source position and literal text.
+type Token struct {
+	Kind    Kind
+	Literal string
+	Pos     Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, Number, String:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Literal)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// IsAssign reports whether the kind is an assignment operator (including
+// compound assignments).
+func (k Kind) IsAssign() bool {
+	return k >= Assign && k <= StarStarAssign
+}
+
+// CompoundOp returns the underlying binary operator of a compound assignment
+// (e.g. PlusAssign → Plus). It returns Illegal for plain Assign and for
+// non-assignment kinds.
+func (k Kind) CompoundOp() Kind {
+	switch k {
+	case PlusAssign:
+		return Plus
+	case MinusAssign:
+		return Minus
+	case StarAssign:
+		return Star
+	case SlashAssign:
+		return Slash
+	case PercentAssign:
+		return Percent
+	case AmpAssign:
+		return Amp
+	case PipeAssign:
+		return Pipe
+	case CaretAssign:
+		return Caret
+	case ShlAssign:
+		return Shl
+	case ShrAssign:
+		return Shr
+	case UshrAssign:
+		return Ushr
+	case StarStarAssign:
+		return StarStar
+	default:
+		return Illegal
+	}
+}

@@ -1,0 +1,104 @@
+// Package variants generates exploit variants from demonstrator codes, the
+// four approaches of the paper's §VI-B: variable renaming and minification
+// (automated, Terser-style), plus manually rewritten variants (statement
+// reordering with decoy functions, and sub-function splitting) stored
+// alongside each demonstrator in internal/vulndb.
+package variants
+
+import (
+	"fmt"
+
+	"github.com/jitbull/jitbull/internal/ast"
+	"github.com/jitbull/jitbull/internal/parser"
+)
+
+// reserved names never renamed: runtime builtins that resolve by name.
+var reserved = map[string]bool{
+	"Math": true, "String": true, "print": true,
+	"__addrof": true, "__codebase": true, "Array": true,
+}
+
+// Rename rewrites every user identifier (functions, parameters, variables)
+// to a short mangled name, preserving semantics — the paper's first
+// variant-generation approach ("demonstrate that JITBULL is not tied to a
+// syntactic analysis of the script").
+func Rename(src string) (string, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return "", fmt.Errorf("rename variant: %w", err)
+	}
+	return ast.Print(prog, ast.PrintConfig{Rename: renameMap(prog)}), nil
+}
+
+// Minify renames identifiers and strips all optional whitespace — the
+// paper's second approach.
+func Minify(src string) (string, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return "", fmt.Errorf("minify variant: %w", err)
+	}
+	return ast.Print(prog, ast.PrintConfig{Minify: true, Rename: renameMap(prog)}), nil
+}
+
+// Reformat round-trips the source through the printer without renaming
+// (useful to verify the printer itself).
+func Reformat(src string) (string, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return "", fmt.Errorf("reformat: %w", err)
+	}
+	return ast.Print(prog, ast.PrintConfig{}), nil
+}
+
+// renameMap assigns each user identifier a fresh short name in first-seen
+// order.
+func renameMap(prog *ast.Program) map[string]string {
+	m := map[string]string{}
+	next := 0
+	add := func(name string) {
+		if name == "" || reserved[name] {
+			return
+		}
+		if _, done := m[name]; done {
+			return
+		}
+		for {
+			cand := shortName(next)
+			next++
+			if !reserved[cand] {
+				m[name] = cand
+				return
+			}
+		}
+	}
+	ast.Walk(prog, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			add(n.Name)
+			for _, p := range n.Params {
+				add(p)
+			}
+		case *ast.VarDecl:
+			for _, name := range n.Names {
+				add(name)
+			}
+		case *ast.Ident:
+			add(n.Name)
+		}
+		return true
+	})
+	return m
+}
+
+// shortName yields a, b, ..., z, aa, ab, ... skipping nothing; callers
+// filter reserved words.
+func shortName(i int) string {
+	name := ""
+	for {
+		name = string(rune('a'+i%26)) + name
+		i = i/26 - 1
+		if i < 0 {
+			return "v_" + name // v_ prefix avoids keyword collisions (do, if, ...)
+		}
+	}
+}

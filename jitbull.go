@@ -1,0 +1,118 @@
+// Package jitbull is a from-scratch Go reproduction of "JITBULL: Securing
+// JavaScript Runtime with a Go/No-Go Policy for JIT Engine" (Decourcelle,
+// Teabe, Hagimont — DSN 2024).
+//
+// It bundles a complete simulated JavaScript engine (the nanojs language, a
+// profiling interpreter, an IonMonkey-style optimizing JIT with ~22 SSA
+// optimization passes, and a shared heap arena on which JIT bugs are
+// actually exploitable) together with JITBULL itself: per-pass "JIT DNA"
+// extraction (Algorithm 1), DNA comparison against a database of
+// vulnerability demonstrator fingerprints (Algorithm 2), and the go/no-go
+// policy that disables matched optimization passes — or JIT compilation of
+// the matching function when a matched pass is mandatory.
+//
+// Quick start:
+//
+//	eng, err := jitbull.New(script, jitbull.Config{})
+//	db := &jitbull.Database{}
+//	db.Add(fingerprint) // from jitbull.Fingerprint or a maintainer update
+//	jitbull.Protect(eng, db)
+//	result, err := eng.Run()
+//
+// See the examples/ directory for complete programs, DESIGN.md for the
+// architecture, and EXPERIMENTS.md for the paper-vs-measured evaluation.
+package jitbull
+
+import (
+	"github.com/jitbull/jitbull/internal/core"
+	"github.com/jitbull/jitbull/internal/engine"
+	"github.com/jitbull/jitbull/internal/octane"
+	"github.com/jitbull/jitbull/internal/passes"
+	"github.com/jitbull/jitbull/internal/variants"
+	"github.com/jitbull/jitbull/internal/vulndb"
+)
+
+// Core engine types.
+type (
+	// Engine is a tiered nanojs runtime (interpreter → baseline → Ion).
+	Engine = engine.Engine
+	// Config parameterizes an Engine: tier thresholds, injected bugs
+	// (the simulated vulnerability window), NoJIT mode, heap size.
+	Config = engine.Config
+	// Stats carries the per-run counters of the paper's Figure 4
+	// (NrJIT, NrDisJIT, NrNoJIT, ...).
+	Stats = engine.Stats
+	// BugSet selects which injected CVE bugs are active.
+	BugSet = passes.BugSet
+	// HijackError reports a control-flow hijack (payload execution).
+	HijackError = engine.HijackError
+)
+
+// JITBULL types.
+type (
+	// Database holds VDC DNA fingerprints (add on report, remove on patch).
+	Database = core.Database
+	// VDC is one vulnerability's fingerprint: the DNA of every function
+	// its demonstrator code got JIT-compiled.
+	VDC = core.VDC
+	// DNA is the per-pass delta vector of one JITed function.
+	DNA = core.DNA
+	// Delta is one pass's removed/added dependency sub-chain sets.
+	Delta = core.Delta
+	// Detector is the Δ comparator plus go/no-go policy.
+	Detector = core.Detector
+	// Vulnerability describes one implemented CVE with its demonstrator.
+	Vulnerability = vulndb.Vuln
+	// Benchmark is one program of the benign evaluation corpus.
+	Benchmark = octane.Benchmark
+)
+
+// New parses, compiles and prepares a nanojs script for execution.
+func New(src string, cfg Config) (*Engine, error) { return engine.New(src, cfg) }
+
+// Protect installs a JITBULL detector over db on the engine and returns
+// it. With an empty database the engine runs with zero added overhead.
+func Protect(e *Engine, db *Database) *Detector {
+	d := core.NewDetector(db)
+	e.SetPolicy(d)
+	return d
+}
+
+// Fingerprint runs a vulnerability demonstrator code on an engine with the
+// given bugs active and a recording policy installed, returning the VDC
+// DNA fingerprint to install in a Database (step 1 of the paper's
+// workflow). ionThreshold <= 0 uses the engine default (1500).
+func Fingerprint(cve, demonstrator string, bugs BugSet, ionThreshold int) (VDC, error) {
+	return vulndb.ExtractVDCFromSource(cve, demonstrator, bugs, ionThreshold)
+}
+
+// LoadDatabase reads a Database saved with Database.Save.
+func LoadDatabase(path string) (*Database, error) { return core.LoadDatabase(path) }
+
+// Vulnerabilities returns the eight implemented CVEs with their
+// demonstrator codes, injectable bugs, and window metadata.
+func Vulnerabilities() []Vulnerability { return vulndb.All() }
+
+// VulnerabilityByID looks up one implemented CVE.
+func VulnerabilityByID(cve string) (Vulnerability, error) { return vulndb.ByID(cve) }
+
+// Benchmarks returns the Octane-analogue corpus plus the two
+// micro-benchmarks.
+func Benchmarks() []Benchmark { return octane.All() }
+
+// RenameVariant rewrites every user identifier of a script to mangled
+// names (the paper's first variant-generation approach).
+func RenameVariant(src string) (string, error) { return variants.Rename(src) }
+
+// MinifyVariant renames identifiers and strips whitespace (the paper's
+// second approach).
+func MinifyVariant(src string) (string, error) { return variants.Minify(src) }
+
+// PassNames returns the optimization pipeline's pass names in order.
+func PassNames() []string { return passes.PassNames() }
+
+// IsCrash reports whether err is a simulated segfault.
+func IsCrash(err error) bool { return engine.IsCrash(err) }
+
+// IsHijack reports whether err is a control-flow hijack (payload executed).
+func IsHijack(err error) bool { return engine.IsHijack(err) }
