@@ -11,6 +11,7 @@ package jitbull
 // paper-formatted text tables.
 
 import (
+	"strings"
 	"testing"
 
 	"github.com/jitbull/jitbull/internal/core"
@@ -146,6 +147,36 @@ func BenchmarkSecurityMatrix(b *testing.B) {
 		}
 	}
 }
+
+// ---- Core micro-benchmarks (hot-path costs; see DESIGN.md) ----
+
+// coreBenchGroup runs every experiments.CoreBenchmarks entry under the
+// given top-level group as sub-benchmarks ("/ref" entries are the retained
+// pre-optimization implementation, the speedup baseline).
+func coreBenchGroup(b *testing.B, prefix string) {
+	b.Helper()
+	for _, cb := range experiments.CoreBenchmarks() {
+		if name, ok := strings.CutPrefix(cb.Name, prefix); ok {
+			if name == "" {
+				name = "fast"
+			}
+			b.Run(strings.TrimPrefix(name, "/"), cb.Bench)
+		}
+	}
+}
+
+// BenchmarkExtractDelta measures one Δ extraction (Algorithm 1) over a
+// representative before/after snapshot pair.
+func BenchmarkExtractDelta(b *testing.B) { coreBenchGroup(b, "ExtractDelta") }
+
+// BenchmarkCompareChains measures one COMPARECHAINS call over two 64-chain
+// sets with 50% overlap.
+func BenchmarkCompareChains(b *testing.B) { coreBenchGroup(b, "CompareChains") }
+
+// BenchmarkDetectorFinish measures the detector's finish step (DNA vs
+// whole database) across every function of a corpus program, with 0, 1 and
+// 4 VDC fingerprints installed.
+func BenchmarkDetectorFinish(b *testing.B) { coreBenchGroup(b, "DetectorFinish") }
 
 // ---- Ablations (design choices called out in DESIGN.md) ----
 

@@ -6,12 +6,19 @@
 //	jitbull-bench -fig4                      # false-positive rates
 //	jitbull-bench -fig5 -scale 5 -repeats 3  # execution times
 //	jitbull-bench -fig6                      # scalability #1..#8
+//	jitbull-bench -core                      # hot-path micro-benchmarks
+//
+// Corpus experiments fan out across -workers engines. -core writes its
+// measurements (including the retained reference implementation as the
+// pre-optimization baseline) to -benchout as JSON.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"testing"
 
 	"github.com/jitbull/jitbull/internal/experiments"
 )
@@ -26,18 +33,62 @@ func main() {
 		fig5     = flag.Bool("fig5", false, "run the Figure 5 execution-time experiment")
 		fig6     = flag.Bool("fig6", false, "run the Figure 6 scalability experiment")
 		ablation = flag.Bool("ablation", false, "sweep the comparator's Thr/Ratio settings")
+		coreB    = flag.Bool("core", false, "run the core hot-path micro-benchmarks")
+		benchout = flag.String("benchout", "BENCH_core.json", "output file for -core results")
 		scale    = flag.Int("scale", 4, "benchmark iteration scale for timing experiments")
 		repeats  = flag.Int("repeats", 3, "timing repetitions (minimum reported)")
 		thr      = flag.Int("threshold", 100, "Ion compilation threshold for benchmark runs")
+		workers  = flag.Int("workers", 1, "worker pool size for corpus experiments (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	all := !(*table1 || *table2 || *window || *security || *fig4 || *fig5 || *fig6 || *ablation)
-	cfg := experiments.Config{IonThreshold: *thr, Repeats: *repeats, Scale: *scale}
+	all := !(*table1 || *table2 || *window || *security || *fig4 || *fig5 || *fig6 || *ablation || *coreB)
+	cfg := experiments.Config{IonThreshold: *thr, Repeats: *repeats, Scale: *scale, Workers: *workers}
 
 	if err := run(all, *table1, *table2, *window, *security, *fig4, *fig5, *fig6, *ablation, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "jitbull-bench:", err)
 		os.Exit(1)
 	}
+	if *coreB {
+		if err := runCore(*benchout); err != nil {
+			fmt.Fprintln(os.Stderr, "jitbull-bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// coreResult is one BENCH_core.json record.
+type coreResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// runCore measures every experiments.CoreBenchmarks entry via
+// testing.Benchmark and writes the results to path as JSON.
+func runCore(path string) error {
+	var results []coreResult
+	for _, cb := range experiments.CoreBenchmarks() {
+		r := testing.Benchmark(cb.Bench)
+		res := coreResult{
+			Name:        cb.Name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		fmt.Printf("%-24s %12.1f ns/op %10d B/op %8d allocs/op\n",
+			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		results = append(results, res)
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", path)
+	return nil
 }
 
 func run(all, table1, table2, window, security, fig4, fig5, fig6, ablation bool, cfg experiments.Config) error {

@@ -11,9 +11,11 @@ import (
 // CompareChains implements the COMPARECHAINS function of Algorithm 2: two
 // sub-chain sets are similar when the number of chains in common reaches
 // both the absolute threshold Thr and the fraction Ratio of the maximum
-// possible (the smaller set's size). Inputs must be sorted sets (as
-// produced by the extractor).
-func CompareChains(a, b []string, ratio float64, thr int) bool {
+// possible (the smaller set's size). Inputs are sorted interned chain-ID
+// sets (as produced by the extractor or InternChains); because chain IDs
+// are bijective with chain contents, the verdict is identical to the
+// string-based reference.
+func CompareChains(a, b []uint32, ratio float64, thr int) bool {
 	maxEq := len(a)
 	if len(b) < maxEq {
 		maxEq = len(b)
@@ -55,14 +57,23 @@ type Match struct {
 // Detector is the Δ comparator plus go/no-go policy. It implements
 // engine.Policy: install it with Engine.SetPolicy. With an empty database
 // Active reports false and the engine skips all snapshotting (zero
-// overhead, as §V requires).
+// overhead, as §V requires). Comparison goes through the database's
+// compiled MatchIndex, so a compilation's finish step visits only deltas
+// sharing at least one chain with the candidate DNA.
 type Detector struct {
 	DB    *Database
 	Thr   int
 	Ratio float64
 
-	// Matches accumulates every similarity found (for evaluation runs).
+	// Matches accumulates every distinct (CVE, VDCFunc, Pass) similarity
+	// found (for evaluation runs). Duplicates across compilations are
+	// suppressed, so the slice stays bounded by the database size on long
+	// runs; call Reset to reuse the detector across runs.
 	Matches []Match
+
+	seen    map[Match]struct{}
+	scratch matchScratch
+	found   []Match
 }
 
 // NewDetector creates a detector over db with the paper's default
@@ -76,13 +87,19 @@ var _ engine.Policy = (*Detector)(nil)
 // Active implements engine.Policy.
 func (d *Detector) Active() bool { return d.DB != nil && d.DB.Size() > 0 }
 
+// Reset clears the accumulated matches so the detector can be reused
+// across evaluation runs.
+func (d *Detector) Reset() {
+	d.Matches = nil
+	d.seen = nil
+}
+
 // BeginCompile implements engine.Policy: it returns an observer that
 // extracts the function's DNA pass by pass, and a finish function that
-// compares it against every VDC DNA in the database and produces the
-// go/no-go decision.
+// produces the go/no-go decision via Decide.
 func (d *Detector) BeginCompile(fnName string) (passes.Observer, func() engine.CompileDecision) {
 	dna := DNA{FuncName: fnName, Passes: map[string]Delta{}}
-	var de deltaExtractor
+	de := newDeltaExtractor()
 	obs := func(_ int, passName string, before, after *mir.Snapshot) {
 		if before == nil || after == nil {
 			return // pass skipped (already disabled)
@@ -93,43 +110,69 @@ func (d *Detector) BeginCompile(fnName string) (passes.Observer, func() engine.C
 		}
 	}
 	finish := func() engine.CompileDecision {
-		disSet := map[string]bool{}
-		for _, vdc := range d.DB.VDCs {
-			for _, vdna := range vdc.DNAs {
-				for passName, vdelta := range vdna.Passes {
-					fdelta, ok := dna.Passes[passName]
-					if !ok {
-						continue
-					}
-					if SimilarDeltas(fdelta, vdelta, d.Ratio, d.Thr) {
-						if !disSet[passName] {
-							disSet[passName] = true
-						}
-						d.Matches = append(d.Matches, Match{CVE: vdc.CVE, VDCFunc: vdna.FuncName, Pass: passName})
-					}
-				}
-			}
-		}
-		if len(disSet) == 0 {
-			return engine.CompileDecision{}
-		}
-		names := make([]string, 0, len(disSet))
-		noJIT := false
-		for name := range disSet {
-			if !passes.Disableable(name) {
-				noJIT = true
-			}
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		if noJIT {
-			// Scenario 3: a matched pass cannot be disabled — disable the
-			// JIT for this function entirely (conservative approach, §IV-C).
-			return engine.CompileDecision{NoJIT: true, DisabledPasses: names}
-		}
-		return engine.CompileDecision{DisabledPasses: names}
+		de.release()
+		return d.Decide(&dna)
 	}
 	return obs, finish
+}
+
+// Decide compares one function's DNA against the whole database (the
+// finish step of Algorithm 2) and produces the go/no-go decision. Its
+// verdicts are defined to be identical to ReferenceDetector.Decide's.
+func (d *Detector) Decide(dna *DNA) engine.CompileDecision {
+	if d.DB == nil {
+		return engine.CompileDecision{}
+	}
+	idx := d.DB.Index(d.Thr)
+	found := d.found[:0]
+	for passName, fdelta := range dna.Passes {
+		passName := passName
+		idx.query(passName, fdelta, d.Ratio, d.Thr, &d.scratch, func(cve, vdcFunc string) {
+			found = append(found, Match{CVE: cve, VDCFunc: vdcFunc, Pass: passName})
+		})
+	}
+	d.found = found[:0]
+	if len(found) == 0 {
+		return engine.CompileDecision{}
+	}
+	// dna.Passes iteration is randomized; order deterministically before
+	// recording.
+	sort.Slice(found, func(i, j int) bool {
+		a, b := found[i], found[j]
+		if a.CVE != b.CVE {
+			return a.CVE < b.CVE
+		}
+		if a.VDCFunc != b.VDCFunc {
+			return a.VDCFunc < b.VDCFunc
+		}
+		return a.Pass < b.Pass
+	})
+	if d.seen == nil {
+		d.seen = map[Match]struct{}{}
+	}
+	disSet := map[string]bool{}
+	for _, m := range found {
+		disSet[m.Pass] = true
+		if _, dup := d.seen[m]; !dup {
+			d.seen[m] = struct{}{}
+			d.Matches = append(d.Matches, m)
+		}
+	}
+	names := make([]string, 0, len(disSet))
+	noJIT := false
+	for name := range disSet {
+		if !passes.Disableable(name) {
+			noJIT = true
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if noJIT {
+		// Scenario 3: a matched pass cannot be disabled — disable the
+		// JIT for this function entirely (conservative approach, §IV-C).
+		return engine.CompileDecision{NoJIT: true, DisabledPasses: names}
+	}
+	return engine.CompileDecision{DisabledPasses: names}
 }
 
 // Recorder implements engine.Policy in record-only mode: it extracts the
@@ -150,7 +193,7 @@ func (r *Recorder) Active() bool { return true }
 // BeginCompile implements engine.Policy.
 func (r *Recorder) BeginCompile(fnName string) (passes.Observer, func() engine.CompileDecision) {
 	dna := DNA{FuncName: fnName, Passes: map[string]Delta{}}
-	var de deltaExtractor
+	de := newDeltaExtractor()
 	obs := func(_ int, passName string, before, after *mir.Snapshot) {
 		if before == nil || after == nil {
 			return
@@ -161,6 +204,7 @@ func (r *Recorder) BeginCompile(fnName string) (passes.Observer, func() engine.C
 		}
 	}
 	finish := func() engine.CompileDecision {
+		de.release()
 		r.DNAs = append(r.DNAs, dna)
 		return engine.CompileDecision{}
 	}

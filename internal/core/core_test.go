@@ -44,7 +44,7 @@ func TestBuildGraphRootsAndChains(t *testing.T) {
 		"3 constant",
 		"8 boundscheck 3 7",
 	)
-	chains := chainsOf(s)
+	chains := chainStringsOf(s)
 	want := []string{
 		"boundscheck→constant",
 		"boundscheck→initializedlength→elements→unbox→parameter",
@@ -52,6 +52,17 @@ func TestBuildGraphRootsAndChains(t *testing.T) {
 	if !reflect.DeepEqual(chains, want) {
 		t.Fatalf("chains = %v, want %v", chains, want)
 	}
+	if ref := refChainsOf(s); !reflect.DeepEqual(ref, want) {
+		t.Fatalf("reference chains = %v, want %v", ref, want)
+	}
+}
+
+// chainStringsOf runs the interned chain enumeration and renders the
+// result as sorted strings.
+func chainStringsOf(s *mir.Snapshot) []string {
+	de := newDeltaExtractor()
+	defer de.release()
+	return ChainStrings(de.chainsOf(s))
 }
 
 func TestChainsCutCycles(t *testing.T) {
@@ -62,7 +73,7 @@ func TestChainsCutCycles(t *testing.T) {
 		"3 add 2 1",
 		"4 return 3",
 	)
-	chains := chainsOf(s)
+	chains := chainStringsOf(s)
 	if len(chains) == 0 {
 		t.Fatal("no chains from cyclic graph")
 	}
@@ -130,7 +141,7 @@ func TestExtractDeltaRemovedInstruction(t *testing.T) {
 		"8 return 7",
 	)
 	d := ExtractDelta(before, after)
-	joined := strings.Join(d.Removed, " | ")
+	joined := strings.Join(ChainStrings(d.Removed), " | ")
 	if !strings.Contains(joined, "boundscheck") {
 		t.Fatalf("removed chains should mention boundscheck: %v", d.Removed)
 	}
@@ -172,22 +183,27 @@ func TestCompareChains(t *testing.T) {
 		{nil, mk(3, "x"), 3, 0.5, false},
 	}
 	for i, tt := range tests {
-		a := sortedSet(append([]string(nil), tt.a...))
-		b := sortedSet(append([]string(nil), tt.b...))
+		a := InternChains(tt.a)
+		b := InternChains(tt.b)
 		if got := CompareChains(a, b, tt.rat, tt.thr); got != tt.want {
 			t.Errorf("case %d: got %v, want %v", i, got, tt.want)
+		}
+		ra := sortedSet(append([]string(nil), tt.a...))
+		rb := sortedSet(append([]string(nil), tt.b...))
+		if got := RefCompareChains(ra, rb, tt.rat, tt.thr); got != tt.want {
+			t.Errorf("case %d (reference): got %v, want %v", i, got, tt.want)
 		}
 	}
 }
 
 func TestCompareChainsPropertySymmetric(t *testing.T) {
 	f := func(xs, ys []uint8) bool {
-		mk := func(v []uint8) []string {
+		mk := func(v []uint8) []uint32 {
 			var out []string
 			for _, x := range v {
 				out = append(out, strings.Repeat("c", int(x%7)+1))
 			}
-			return sortedSet(out)
+			return InternChains(out)
 		}
 		a, b := mk(xs), mk(ys)
 		return CompareChains(a, b, 0.5, 3) == CompareChains(b, a, 0.5, 3)
@@ -198,13 +214,13 @@ func TestCompareChainsPropertySymmetric(t *testing.T) {
 }
 
 func TestSimilarDeltasEitherSideSuffices(t *testing.T) {
-	a := Delta{Removed: []string{"p", "q", "r"}}
-	b := Delta{Removed: []string{"p", "q", "r"}}
+	a := MakeDelta([]string{"p", "q", "r"}, nil)
+	b := MakeDelta([]string{"p", "q", "r"}, nil)
 	if !SimilarDeltas(a, b, 0.5, 3) {
 		t.Error("removed-side similarity not detected")
 	}
-	c := Delta{Added: []string{"p", "q", "r"}}
-	d := Delta{Added: []string{"p", "q", "r"}}
+	c := MakeDelta(nil, []string{"p", "q", "r"})
+	d := MakeDelta(nil, []string{"p", "q", "r"})
 	if !SimilarDeltas(c, d, 0.5, 3) {
 		t.Error("added-side similarity not detected")
 	}
@@ -216,7 +232,7 @@ func TestSimilarDeltasEitherSideSuffices(t *testing.T) {
 func TestDatabaseAddRemoveSaveLoad(t *testing.T) {
 	db := &Database{}
 	db.Add(VDC{CVE: "CVE-1", DNAs: []DNA{{FuncName: "f", Passes: map[string]Delta{
-		"GVN": {Removed: []string{"a→b", "c→d", "e→f"}},
+		"GVN": MakeDelta([]string{"a→b", "c→d", "e→f"}, nil),
 	}}}})
 	db.Add(VDC{CVE: "CVE-2", DNAs: []DNA{{FuncName: "g", Passes: map[string]Delta{}}}})
 	if db.Size() != 2 {
@@ -237,8 +253,10 @@ func TestDatabaseAddRemoveSaveLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(db, loaded) {
-		t.Fatalf("round-trip mismatch:\n%+v\nvs\n%+v", db, loaded)
+	// Compare the VDC payload only: the compiled-index cache (unexported)
+	// is per-instance state, not part of the database's identity.
+	if !reflect.DeepEqual(db.VDCs, loaded.VDCs) {
+		t.Fatalf("round-trip mismatch:\n%+v\nvs\n%+v", db.VDCs, loaded.VDCs)
 	}
 }
 
@@ -250,15 +268,23 @@ func TestSortedSetDedups(t *testing.T) {
 }
 
 func TestDiffChainSetsWholeChains(t *testing.T) {
-	removed, added := diffChainSets(
-		[]string{"a→b→c", "x→y"},
-		[]string{"a→b→c"},
-	)
+	pre := []string{"a→b→c", "x→y"}
+	post := []string{"a→b→c"}
+	removed, added := refDiffChainSets(pre, post)
 	// x→y has no counterpart with common elements; emitted whole.
 	if len(removed) != 1 || removed[0] != "x→y" {
 		t.Fatalf("removed = %v", removed)
 	}
 	if len(added) != 0 {
 		t.Fatalf("added = %v", added)
+	}
+	de := newDeltaExtractor()
+	defer de.release()
+	rem, add := de.diffChainSets(InternChains(pre), InternChains(post))
+	if got := ChainStrings(rem); !reflect.DeepEqual(got, removed) {
+		t.Fatalf("interned removed = %v, want %v", got, removed)
+	}
+	if len(add) != 0 {
+		t.Fatalf("interned added = %v", ChainStrings(add))
 	}
 }

@@ -75,7 +75,7 @@ func TestDetectorScenario3MandatoryPass(t *testing.T) {
 func TestDetectorScenario1NoMatch(t *testing.T) {
 	db := &Database{}
 	db.Add(VDC{CVE: "CVE-Z", DNAs: []DNA{{FuncName: "poc", Passes: map[string]Delta{
-		"GVN": {Removed: []string{"x→y", "p→q", "r→s"}},
+		"GVN": MakeDelta([]string{"x→y", "p→q", "r→s"}, nil),
 	}}}})
 	det := NewDetector(db)
 	obs, finish := det.BeginCompile("victim")
@@ -92,7 +92,7 @@ func TestDetectorScenario1NoMatch(t *testing.T) {
 func TestDetectorIgnoresSkippedPasses(t *testing.T) {
 	db := &Database{}
 	db.Add(VDC{CVE: "CVE-W", DNAs: []DNA{{FuncName: "poc", Passes: map[string]Delta{
-		"GVN": {Removed: []string{"a", "b", "c"}},
+		"GVN": MakeDelta([]string{"a", "b", "c"}, nil),
 	}}}})
 	det := NewDetector(db)
 	obs, finish := det.BeginCompile("victim")

@@ -4,13 +4,19 @@
 // against the DNA of known vulnerability demonstrator codes (Algorithm 2),
 // driving a go/no-go policy that disables matched optimization passes (or,
 // when a matched pass is mandatory, JIT compilation of that function).
+//
+// The pipeline runs entirely on interned chain IDs (see Interner) and
+// compares candidates through an inverted index compiled from the database
+// (see MatchIndex); reference.go retains the original string-based
+// implementation, which the equivalence tests hold the fast path to.
 package core
 
 import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"sort"
+	"path/filepath"
+	"sync"
 )
 
 // Default comparator settings from §IV-E of the paper: at least Thr
@@ -22,12 +28,46 @@ const (
 
 // Delta is Δ_i^f: the effect of optimization pass i on function f's IR,
 // expressed as the sets of removed (δ⁻) and added (δ⁺) dependency
-// sub-chains. Chains are rendered as opcode sequences joined by "→" (the
-// IDs are renumbered between passes, so content — not numbering — is what
-// identifies a chain).
+// sub-chains. Chains are interned: Removed and Added are sorted sets of
+// dense chain IDs; the "→"-joined string rendering (the IDs are renumbered
+// between passes, so content — not numbering — is what identifies a chain)
+// appears only in the JSON form, which is unchanged from earlier versions.
 type Delta struct {
+	Removed []uint32
+	Added   []uint32
+}
+
+// deltaJSON is the serialized (and historical) form of a Delta.
+type deltaJSON struct {
 	Removed []string `json:"removed,omitempty"`
 	Added   []string `json:"added,omitempty"`
+}
+
+// MarshalJSON renders the chain sets as lexicographically sorted strings.
+func (d Delta) MarshalJSON() ([]byte, error) {
+	return json.Marshal(deltaJSON{Removed: ChainStrings(d.Removed), Added: ChainStrings(d.Added)})
+}
+
+// UnmarshalJSON interns the string chains of the serialized form.
+func (d *Delta) UnmarshalJSON(data []byte) error {
+	var j deltaJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	d.Removed = InternChains(j.Removed)
+	d.Added = InternChains(j.Added)
+	return nil
+}
+
+// MakeDelta interns string chain sets into a Delta (tools and tests; the
+// extractor produces interned deltas directly).
+func MakeDelta(removed, added []string) Delta {
+	return Delta{Removed: InternChains(removed), Added: InternChains(added)}
+}
+
+// Ref renders the delta in the reference (string) representation.
+func (d Delta) Ref() RefDelta {
+	return RefDelta{Removed: ChainStrings(d.Removed), Added: ChainStrings(d.Added)}
 }
 
 // Empty reports whether the pass had no observable effect.
@@ -40,6 +80,15 @@ type DNA struct {
 	Passes   map[string]Delta `json:"passes"`
 }
 
+// Ref renders the DNA in the reference (string) representation.
+func (dna *DNA) Ref() *RefDNA {
+	rd := &RefDNA{FuncName: dna.FuncName, Passes: make(map[string]RefDelta, len(dna.Passes))}
+	for name, d := range dna.Passes {
+		rd.Passes[name] = d.Ref()
+	}
+	return rd
+}
+
 // VDC is the stored fingerprint of one vulnerability demonstrator code:
 // the DNA of every function the demonstrator got JIT-compiled.
 type VDC struct {
@@ -48,15 +97,32 @@ type VDC struct {
 }
 
 // Database is the JITBULL VDC DNA database. Entries are installed when a
-// vulnerability is reported and removed when its patch ships.
+// vulnerability is reported and removed when its patch ships. The zero
+// value is an empty, usable database. Mutations (Add/Remove) must not run
+// concurrently with use, but a fully built database may be shared by many
+// detectors across goroutines: reads are lock-free and the compiled match
+// index is built once under an internal lock.
 type Database struct {
 	VDCs []VDC `json:"vdcs"`
+
+	// mu guards the compiled-index cache; indexes is keyed by the Thr the
+	// index was pruned for and invalidated wholesale on any mutation.
+	mu      sync.Mutex
+	indexes map[int]*MatchIndex
+}
+
+// mutated invalidates the compiled-index cache.
+func (db *Database) mutated() {
+	db.mu.Lock()
+	db.indexes = nil
+	db.mu.Unlock()
 }
 
 // Add installs (or replaces) the fingerprint for a CVE.
 func (db *Database) Add(v VDC) {
 	db.Remove(v.CVE)
 	db.VDCs = append(db.VDCs, v)
+	db.mutated()
 }
 
 // Remove deletes the fingerprint for a CVE (the patch was applied).
@@ -65,6 +131,7 @@ func (db *Database) Remove(cve string) bool {
 	for i, v := range db.VDCs {
 		if v.CVE == cve {
 			db.VDCs = append(db.VDCs[:i], db.VDCs[i+1:]...)
+			db.mutated()
 			return true
 		}
 	}
@@ -83,13 +150,55 @@ func (db *Database) CVEs() []string {
 	return out
 }
 
-// MarshalJSON renders the database deterministically.
+// Index returns the compiled inverted match index for the given Thr,
+// building and caching it on first use. Safe for concurrent use.
+func (db *Database) Index(thr int) *MatchIndex {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if ix, ok := db.indexes[thr]; ok {
+		return ix
+	}
+	ix := buildMatchIndex(db, thr)
+	if db.indexes == nil {
+		db.indexes = map[int]*MatchIndex{}
+	}
+	db.indexes[thr] = ix
+	return ix
+}
+
+// Save writes the database as deterministic, indented JSON. The write is
+// atomic: the data goes to a temporary file in the destination directory
+// which is then renamed over path, so a concurrent reader (or a crash
+// mid-write) never observes a torn database.
 func (db *Database) Save(path string) error {
 	data, err := json.MarshalIndent(db, "", "  ")
 	if err != nil {
 		return fmt.Errorf("marshal DNA database: %w", err)
 	}
-	return os.WriteFile(path, data, 0o644)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".jitbull-db-*")
+	if err != nil {
+		return fmt.Errorf("save DNA database: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("save DNA database: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("save DNA database: %w", err)
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("save DNA database: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("save DNA database: %w", err)
+	}
+	return nil
 }
 
 // LoadDatabase reads a database written by Save.
@@ -103,19 +212,4 @@ func LoadDatabase(path string) (*Database, error) {
 		return nil, fmt.Errorf("parse DNA database %s: %w", path, err)
 	}
 	return &db, nil
-}
-
-// sortedSet sorts and dedups a chain list in place, returning it.
-func sortedSet(chains []string) []string {
-	if len(chains) == 0 {
-		return nil
-	}
-	sort.Strings(chains)
-	out := chains[:1]
-	for _, c := range chains[1:] {
-		if c != out[len(out)-1] {
-			out = append(out, c)
-		}
-	}
-	return out
 }

@@ -1,8 +1,9 @@
 package core
 
 import (
-	"sort"
+	"slices"
 	"strings"
+	"sync"
 
 	"github.com/jitbull/jitbull/internal/mir"
 )
@@ -21,21 +22,64 @@ const chainSep = "→"
 
 // ExtractDelta implements Algorithm 1: build the instruction dependency
 // graphs of IR_{i-1} and IR_i, enumerate their root→leaf dependency
-// chains, and compute the removed (δ⁻) and added (δ⁺) sub-chains.
+// chains, and compute the removed (δ⁻) and added (δ⁺) sub-chains, as
+// interned chain-ID sets. The result is defined to be identical (chain for
+// chain) to RefExtractDelta, the retained string-based reference.
 func ExtractDelta(before, after *mir.Snapshot) Delta {
-	pre := chainsOf(before)
-	post := chainsOf(after)
-	removed, added := diffChainSets(pre, post)
+	de := newDeltaExtractor()
+	defer de.release()
+	pre := de.chainsOf(before)
+	post := de.chainsOf(after)
+	removed, added := de.diffChainSets(pre, post)
 	return Delta{Removed: removed, Added: added}
 }
 
-// deltaExtractor memoizes the chain multiset of the most recent snapshot:
+// extractorPool recycles deltaExtractors — and with them the dependency
+// graph, DFS, and diff scratch buffers — across compilations.
+var extractorPool = sync.Pool{New: func() any { return &deltaExtractor{} }}
+
+// newDeltaExtractor returns a pooled extractor with a cleared memo.
+func newDeltaExtractor() *deltaExtractor {
+	de := extractorPool.Get().(*deltaExtractor)
+	de.lastSnap = nil
+	de.lastChains = nil
+	return de
+}
+
+// release returns the extractor (and its scratch) to the pool.
+func (de *deltaExtractor) release() { extractorPool.Put(de) }
+
+// deltaExtractor carries the per-compilation memo plus reusable scratch
+// for graph building, chain enumeration, and chain-set diffing, so a
+// steady-state Δ extraction allocates only the returned chain sets.
+//
+// The memo holds the chain multiset of the most recent snapshot:
 // consecutive passes share IR snapshots (pass i's "after" is pass i+1's
 // "before"), so each snapshot's chains are computed exactly once per
 // compilation.
 type deltaExtractor struct {
 	lastSnap   *mir.Snapshot
-	lastChains []string
+	lastChains []uint32
+
+	// buildGraph scratch.
+	g       depGraph
+	idSlice []int32     // dense ID -> node index (-1 = absent)
+	idMap   map[int]int // sparse fallback
+	inGraph []bool
+	isRoot  []bool
+
+	// chain-walk scratch.
+	stack  []walkFrame
+	onPath []bool
+	path   []uint32
+
+	// diff scratch.
+	p, q             []uint32
+	usedQ            []bool
+	lcsPrev, lcsCur  []int32
+	dp               []int16
+	maskA, maskB     []bool
+	removedB, addedB []uint32
 }
 
 func (de *deltaExtractor) delta(before, after *mir.Snapshot) Delta {
@@ -47,15 +91,15 @@ func (de *deltaExtractor) delta(before, after *mir.Snapshot) Delta {
 		}
 		return Delta{}
 	}
-	var pre []string
+	var pre []uint32
 	if before == de.lastSnap && before != nil {
 		pre = de.lastChains
 	} else {
-		pre = chainsOf(before)
+		pre = de.chainsOf(before)
 	}
-	post := chainsOf(after)
+	post := de.chainsOf(after)
 	de.lastSnap, de.lastChains = after, post
-	removed, added := diffChainSets(pre, post)
+	removed, added := de.diffChainSets(pre, post)
 	return Delta{Removed: removed, Added: added}
 }
 
@@ -81,138 +125,233 @@ func snapshotsEqual(a, b *mir.Snapshot) bool {
 }
 
 // depGraph is the dependency-graph form of one IR snapshot (BuildGraph in
-// Algorithm 1): for every instruction with operands, edges point from the
-// instruction to each operand ("dependency"); roots are instructions that
-// are not a dependency of any other instruction.
+// Algorithm 1) in compressed-sparse-row layout: node i's dependencies are
+// depList[depStart[i]:depStart[i+1]]; roots are instructions that are not
+// a dependency of any other instruction. Opcodes are interned tokens.
 type depGraph struct {
-	ops   []string // opcode by node index
-	deps  [][]int  // node -> dependency node indexes
-	roots []int
+	toks     []uint32
+	depStart []int32
+	depList  []int32
+	roots    []int32
 }
 
-func buildGraph(s *mir.Snapshot) depGraph {
-	idToIdx := make(map[int]int, len(s.Instrs))
-	for i, in := range s.Instrs {
-		idToIdx[in.ID] = i
+// grow returns s resized to n, reusing its backing array when possible.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
 	}
-	g := depGraph{
-		ops:  make([]string, len(s.Instrs)),
-		deps: make([][]int, len(s.Instrs)),
+	return s[:n]
+}
+
+// buildGraph rebuilds de.g from the snapshot, reusing all buffers.
+func (de *deltaExtractor) buildGraph(s *mir.Snapshot) {
+	n := len(s.Instrs)
+	g := &de.g
+	g.toks = grow(g.toks, n)
+	g.depStart = grow(g.depStart, n+1)
+	g.depList = g.depList[:0]
+	g.roots = g.roots[:0]
+	de.inGraph = grow(de.inGraph, n)
+	de.isRoot = grow(de.isRoot, n)
+	for i := range de.inGraph {
+		de.inGraph[i] = false
+		de.isRoot[i] = false
 	}
-	inGraph := make([]bool, len(s.Instrs))
-	isRoot := make([]bool, len(s.Instrs))
-	for i, in := range s.Instrs {
-		g.ops[i] = in.Opcode
+
+	// Instruction-ID resolution: a dense slice when IDs are compact (the
+	// common case), a map otherwise.
+	maxID := 0
+	for i := range s.Instrs {
+		if id := s.Instrs[i].ID; id > maxID {
+			maxID = id
+		}
+	}
+	var lookup func(id int) (int, bool)
+	if maxID >= 0 && maxID <= 4*n+64 {
+		de.idSlice = grow(de.idSlice, maxID+1)
+		for i := range de.idSlice {
+			de.idSlice[i] = -1
+		}
+		for i := range s.Instrs {
+			de.idSlice[s.Instrs[i].ID] = int32(i)
+		}
+		lookup = func(id int) (int, bool) {
+			if id < 0 || id > maxID {
+				return 0, false
+			}
+			j := de.idSlice[id]
+			return int(j), j >= 0
+		}
+	} else {
+		if de.idMap == nil {
+			de.idMap = make(map[int]int, n)
+		} else {
+			clear(de.idMap)
+		}
+		for i := range s.Instrs {
+			de.idMap[s.Instrs[i].ID] = i
+		}
+		lookup = func(id int) (int, bool) {
+			j, ok := de.idMap[id]
+			return j, ok
+		}
+	}
+
+	for i := range s.Instrs {
+		in := &s.Instrs[i]
+		g.toks[i] = interner.Token(in.Opcode)
+		g.depStart[i] = int32(len(g.depList))
 		if len(in.Operands) == 0 {
 			continue
 		}
-		if !inGraph[i] {
-			inGraph[i] = true
-			isRoot[i] = true
+		if !de.inGraph[i] {
+			de.inGraph[i] = true
+			de.isRoot[i] = true
 		}
 		for _, opID := range in.Operands {
-			j, ok := idToIdx[opID]
+			j, ok := lookup(opID)
 			if !ok {
 				continue
 			}
-			if isRoot[j] {
-				isRoot[j] = false
-			}
-			inGraph[j] = true
-			g.deps[i] = append(g.deps[i], j)
+			de.isRoot[j] = false
+			de.inGraph[j] = true
+			g.depList = append(g.depList, int32(j))
 		}
 	}
-	for i := range s.Instrs {
-		if inGraph[i] && isRoot[i] {
-			g.roots = append(g.roots, i)
+	g.depStart[n] = int32(len(g.depList))
+	for i := 0; i < n; i++ {
+		if de.inGraph[i] && de.isRoot[i] {
+			g.roots = append(g.roots, int32(i))
 		}
 	}
-	return g
 }
 
-// chainsOf returns the dependency chains (as opcode-sequence strings) of
-// the snapshot — MakeChains over every root. The result is a sorted
+// walkFrame is one level of the iterative chain DFS. depIdx < 0 marks a
+// node not yet entered; otherwise it is the next dependency to descend.
+type walkFrame struct {
+	node   int32
+	depIdx int32
+}
+
+// chainsOf returns the dependency chains of the snapshot as interned chain
+// IDs — MakeChains over every root. The result is a fresh, sorted
 // multiset: two different instruction paths with the same opcode sequence
 // yield two entries, so duplicate-elimination by later passes stays
-// observable.
-func chainsOf(s *mir.Snapshot) []string {
-	g := buildGraph(s)
-	var out []string
-	var path []string
-	onPath := map[int]bool{}
-	var walk func(n int)
-	walk = func(n int) {
-		if len(out) >= maxChains {
-			return
-		}
-		if onPath[n] || len(path) >= maxChainLen {
-			// Cycle (phi back edge) or depth cap: terminate the chain here.
-			out = append(out, strings.Join(path, chainSep))
-			return
-		}
-		path = append(path, g.ops[n])
-		onPath[n] = true
-		if len(g.deps[n]) == 0 {
-			out = append(out, strings.Join(path, chainSep))
-		} else {
-			for _, d := range g.deps[n] {
-				walk(d)
-			}
-		}
-		onPath[n] = false
-		path = path[:len(path)-1]
+// observable. The walk is an explicit-stack DFS with []bool on-path marks
+// and mirrors the recursive reference step for step (including the
+// maxChains and maxChainLen truncation points), so the chain multiset is
+// identical to refChainsOf's.
+func (de *deltaExtractor) chainsOf(s *mir.Snapshot) []uint32 {
+	de.buildGraph(s)
+	g := &de.g
+	n := len(g.toks)
+	de.onPath = grow(de.onPath, n)
+	for i := range de.onPath {
+		de.onPath[i] = false
 	}
+	de.path = de.path[:0]
+	de.stack = de.stack[:0]
+	out := make([]uint32, 0, len(g.roots)*2)
+
+	emit := func() { out = append(out, interner.Chain(de.path)) }
+
 	for _, r := range g.roots {
-		walk(r)
+		de.stack = append(de.stack, walkFrame{node: r, depIdx: -1})
+		for len(de.stack) > 0 {
+			f := &de.stack[len(de.stack)-1]
+			if f.depIdx < 0 {
+				if len(out) >= maxChains {
+					de.stack = de.stack[:len(de.stack)-1]
+					continue
+				}
+				if de.onPath[f.node] || len(de.path) >= maxChainLen {
+					// Cycle (phi back edge) or depth cap: terminate the
+					// chain here.
+					emit()
+					de.stack = de.stack[:len(de.stack)-1]
+					continue
+				}
+				de.path = append(de.path, g.toks[f.node])
+				de.onPath[f.node] = true
+				if g.depStart[f.node] == g.depStart[f.node+1] {
+					emit()
+					de.onPath[f.node] = false
+					de.path = de.path[:len(de.path)-1]
+					de.stack = de.stack[:len(de.stack)-1]
+					continue
+				}
+				f.depIdx = 0
+			}
+			if next := g.depStart[f.node] + f.depIdx; next < g.depStart[f.node+1] {
+				f.depIdx++
+				de.stack = append(de.stack, walkFrame{node: g.depList[next], depIdx: -1})
+				continue
+			}
+			de.onPath[f.node] = false
+			de.path = de.path[:len(de.path)-1]
+			de.stack = de.stack[:len(de.stack)-1]
+		}
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 
 // diffChainSets computes δ⁻ and δ⁺ between the pre- and post-pass chain
-// collections. Chains whose multiplicity did not change cancel; a chain
-// whose count dropped (classic CSE of a duplicate) is emitted whole into
-// δ⁻ (and symmetrically for δ⁺); each remaining brand-new/brand-gone
-// chain is aligned with its best-matching counterpart and the differing
-// runs (anchored on an adjacent common element, as in the paper's worked
-// example) are emitted.
-func diffChainSets(pre, post []string) (removed, added []string) {
-	preCount := map[string]int{}
-	for _, c := range pre {
-		preCount[c]++
-	}
-	postCount := map[string]int{}
-	for _, c := range post {
-		postCount[c]++
-	}
-	var p, q []string
-	for _, c := range pre {
-		if postCount[c] == 0 {
-			p = append(p, c)
+// multisets (sorted chain IDs). Chains whose multiplicity did not change
+// cancel; a chain whose count dropped (classic CSE of a duplicate) is
+// emitted whole into δ⁻ (and symmetrically for δ⁺); each remaining
+// brand-new/brand-gone chain is aligned with its best-matching counterpart
+// and the differing runs (anchored on an adjacent common element, as in
+// the paper's worked example) are emitted. Candidate ordering — which
+// fixes the maxPairCands truncation and LCS tie-breaks — follows the
+// chains' string forms, exactly as the string-sorted reference does.
+func (de *deltaExtractor) diffChainSets(pre, post []uint32) (removed, added []uint32) {
+	rem := de.removedB[:0]
+	add := de.addedB[:0]
+	p := de.p[:0]
+	q := de.q[:0]
+
+	// Merge-walk the sorted multisets: one-sided chains collect into p/q
+	// (with multiplicity); both-sided chains with a count change are
+	// emitted whole.
+	i, j := 0, 0
+	for i < len(pre) || j < len(post) {
+		switch {
+		case j >= len(post) || (i < len(pre) && pre[i] < post[j]):
+			c := pre[i]
+			for i < len(pre) && pre[i] == c {
+				p = append(p, c)
+				i++
+			}
+		case i >= len(pre) || post[j] < pre[i]:
+			c := post[j]
+			for j < len(post) && post[j] == c {
+				q = append(q, c)
+				j++
+			}
+		default:
+			c := pre[i]
+			n, m := 0, 0
+			for i < len(pre) && pre[i] == c {
+				n++
+				i++
+			}
+			for j < len(post) && post[j] == c {
+				m++
+				j++
+			}
+			if n > m {
+				rem = append(rem, c)
+			} else if m > n {
+				add = append(add, c)
+			}
 		}
 	}
-	for _, c := range post {
-		if preCount[c] == 0 {
-			q = append(q, c)
-		}
-	}
-	// Multiplicity drops/rises for chains present on both sides.
-	seen := map[string]bool{}
-	for c, n := range preCount {
-		if seen[c] {
-			continue
-		}
-		seen[c] = true
-		m := postCount[c]
-		if m == 0 {
-			continue // handled by the alignment path
-		}
-		if n > m {
-			removed = append(removed, c)
-		} else if m > n {
-			added = append(added, c)
-		}
-	}
+
+	cs := interner.chainsView()
+	byStr := func(a, b uint32) int { return strings.Compare(cs[a].str, cs[b].str) }
+	slices.SortFunc(p, byStr)
+	slices.SortFunc(q, byStr)
 	if len(p) > maxPairCands {
 		p = p[:maxPairCands]
 	}
@@ -220,42 +359,67 @@ func diffChainSets(pre, post []string) (removed, added []string) {
 		q = q[:maxPairCands]
 	}
 
-	usedQ := make([]bool, len(q))
+	de.usedQ = grow(de.usedQ, len(q))
+	for qi := range de.usedQ {
+		de.usedQ[qi] = false
+	}
 	for _, pc := range p {
-		pt := strings.Split(pc, chainSep)
+		pt := cs[pc].toks
 		bestScore, bestIdx := 0, -1
 		for qi, qc := range q {
-			score := lcsLen(pt, strings.Split(qc, chainSep))
+			score := de.lcsLen(pt, cs[qc].toks)
 			if score > bestScore {
 				bestScore, bestIdx = score, qi
 			}
 		}
 		if bestIdx < 0 {
-			removed = append(removed, pc)
+			rem = append(rem, pc)
 			continue
 		}
-		usedQ[bestIdx] = true
-		qt := strings.Split(q[bestIdx], chainSep)
-		rem, add := alignDiff(pt, qt)
-		removed = append(removed, rem...)
-		added = append(added, add...)
+		de.usedQ[bestIdx] = true
+		qt := cs[q[bestIdx]].toks
+		rem, add = de.alignDiff(pt, qt, rem, add)
 	}
 	for qi, qc := range q {
-		if !usedQ[qi] {
-			added = append(added, qc)
+		if !de.usedQ[qi] {
+			add = append(add, qc)
 		}
 	}
-	return sortedSet(removed), sortedSet(added)
+
+	de.p, de.q = p, q
+	de.removedB, de.addedB = rem, add
+	return copyIDSet(rem), copyIDSet(add)
+}
+
+// copyIDSet sorts and dedups scratch IDs into a fresh slice.
+func copyIDSet(ids []uint32) []uint32 {
+	if len(ids) == 0 {
+		return nil
+	}
+	slices.Sort(ids)
+	out := make([]uint32, 0, len(ids))
+	out = append(out, ids[0])
+	for _, c := range ids[1:] {
+		if c != out[len(out)-1] {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // lcsLen is the longest-common-subsequence length of two token sequences.
-func lcsLen(a, b []string) int {
+func (de *deltaExtractor) lcsLen(a, b []uint32) int {
 	if len(a) == 0 || len(b) == 0 {
 		return 0
 	}
-	prev := make([]int, len(b)+1)
-	cur := make([]int, len(b)+1)
+	de.lcsPrev = grow(de.lcsPrev, len(b)+1)
+	de.lcsCur = grow(de.lcsCur, len(b)+1)
+	prev, cur := de.lcsPrev, de.lcsCur
+	for j := range prev {
+		prev[j] = 0
+	}
 	for i := 1; i <= len(a); i++ {
+		cur[0] = 0
 		for j := 1; j <= len(b); j++ {
 			if a[i-1] == b[j-1] {
 				cur[j] = prev[j-1] + 1
@@ -267,59 +431,70 @@ func lcsLen(a, b []string) int {
 		}
 		prev, cur = cur, prev
 	}
-	return prev[len(b)]
+	de.lcsPrev, de.lcsCur = prev, cur
+	return int(prev[len(b)])
 }
 
-// alignDiff aligns two chains on their LCS and returns the removed runs of
-// a and added runs of b, each anchored with the adjacent common element:
-// for a = A→B→C→D and b = B→C→E it returns removed {A→B, C→D} and added
-// {C→E}, matching §IV-D's example.
-func alignDiff(a, b []string) (removed, added []string) {
-	keepA, keepB := lcsMask(a, b)
-	removed = runsWithAnchors(a, keepA)
-	added = runsWithAnchors(b, keepB)
-	return removed, added
+// alignDiff aligns two chains on their LCS and appends the removed runs of
+// a and added runs of b (each anchored with the adjacent common element)
+// to rem and add: for a = A→B→C→D and b = B→C→E it emits removed
+// {A→B, C→D} and added {C→E}, matching §IV-D's example.
+func (de *deltaExtractor) alignDiff(a, b []uint32, rem, add []uint32) ([]uint32, []uint32) {
+	de.lcsMask(a, b)
+	rem = de.runsWithAnchors(a, de.maskA, rem)
+	add = de.runsWithAnchors(b, de.maskB, add)
+	return rem, add
 }
 
-// lcsMask marks the elements of a and b that belong to one LCS.
-func lcsMask(a, b []string) (maskA, maskB []bool) {
+// lcsMask marks (into de.maskA/de.maskB) the elements of a and b that
+// belong to one LCS, using the same dp tie-breaks as the reference.
+func (de *deltaExtractor) lcsMask(a, b []uint32) {
 	la, lb := len(a), len(b)
-	dp := make([][]int16, la+1)
-	for i := range dp {
-		dp[i] = make([]int16, lb+1)
+	w := lb + 1
+	de.dp = grow(de.dp, (la+1)*w)
+	dp := de.dp
+	for j := 0; j <= lb; j++ {
+		dp[j] = 0
 	}
 	for i := 1; i <= la; i++ {
+		dp[i*w] = 0
 		for j := 1; j <= lb; j++ {
-			if a[i-1] == b[j-1] {
-				dp[i][j] = dp[i-1][j-1] + 1
-			} else if dp[i-1][j] >= dp[i][j-1] {
-				dp[i][j] = dp[i-1][j]
-			} else {
-				dp[i][j] = dp[i][j-1]
+			switch {
+			case a[i-1] == b[j-1]:
+				dp[i*w+j] = dp[(i-1)*w+j-1] + 1
+			case dp[(i-1)*w+j] >= dp[i*w+j-1]:
+				dp[i*w+j] = dp[(i-1)*w+j]
+			default:
+				dp[i*w+j] = dp[i*w+j-1]
 			}
 		}
 	}
-	maskA = make([]bool, la)
-	maskB = make([]bool, lb)
+	de.maskA = grow(de.maskA, la)
+	de.maskB = grow(de.maskB, lb)
+	for i := range de.maskA {
+		de.maskA[i] = false
+	}
+	for j := range de.maskB {
+		de.maskB[j] = false
+	}
 	for i, j := la, lb; i > 0 && j > 0; {
 		switch {
 		case a[i-1] == b[j-1]:
-			maskA[i-1], maskB[j-1] = true, true
+			de.maskA[i-1], de.maskB[j-1] = true, true
 			i--
 			j--
-		case dp[i-1][j] >= dp[i][j-1]:
+		case dp[(i-1)*w+j] >= dp[i*w+j-1]:
 			i--
 		default:
 			j--
 		}
 	}
-	return maskA, maskB
 }
 
-// runsWithAnchors extracts each maximal run of non-kept elements, extended
-// with the adjacent kept element on each side when present.
-func runsWithAnchors(seq []string, kept []bool) []string {
-	var out []string
+// runsWithAnchors appends each maximal run of non-kept elements, extended
+// with the adjacent kept element on each side when present, as an interned
+// chain.
+func (de *deltaExtractor) runsWithAnchors(seq []uint32, kept []bool, out []uint32) []uint32 {
 	i := 0
 	for i < len(seq) {
 		if kept[i] {
@@ -337,7 +512,7 @@ func runsWithAnchors(seq []string, kept []bool) []string {
 		if end < len(seq) {
 			end++ // include following kept anchor
 		}
-		out = append(out, strings.Join(seq[start:end], chainSep))
+		out = append(out, interner.Chain(seq[start:end]))
 		i = j
 	}
 	return out

@@ -1,0 +1,174 @@
+package core
+
+import "sort"
+
+// MatchIndex is an immutable compiled form of a Database: per optimization
+// pass, an inverted index from chain ID to the (VDC, DNA) deltas whose δ⁻
+// or δ⁺ set contains that chain, with per-delta sizes. A candidate DNA is
+// then compared only against deltas that share at least one chain with it
+// (everything else cannot reach Thr), instead of scanning every
+// VDC × DNA × pass in the database.
+//
+// Build-time pruning: a delta side with fewer than Thr chains can never
+// satisfy eq ≥ Thr (eq is bounded by the smaller set), so its postings are
+// dropped entirely. The index is therefore specific to the Thr it was
+// built for; Database.Index caches one per Thr.
+type MatchIndex struct {
+	thr     int
+	entries []indexEntry
+	byPass  map[string]*passPostings
+}
+
+// indexEntry identifies one (VDC, DNA, pass) delta and its side sizes.
+type indexEntry struct {
+	cve        string
+	vdcFunc    string
+	pass       string
+	removedLen int
+	addedLen   int
+}
+
+// passPostings is the inverted index of one optimization pass.
+type passPostings struct {
+	removed map[uint32][]uint32 // chain ID -> entry IDs with the chain in δ⁻
+	added   map[uint32][]uint32 // chain ID -> entry IDs with the chain in δ⁺
+	all     []uint32            // every entry ID of this pass (degenerate thresholds)
+}
+
+// buildMatchIndex compiles db for the given Thr. Deterministic: entries
+// are numbered in (VDC, DNA, sorted pass name) order.
+func buildMatchIndex(db *Database, thr int) *MatchIndex {
+	ix := &MatchIndex{thr: thr, byPass: map[string]*passPostings{}}
+	minShared := thr
+	if minShared < 1 {
+		minShared = 1
+	}
+	var passNames []string
+	for _, vdc := range db.VDCs {
+		for _, dna := range vdc.DNAs {
+			passNames = passNames[:0]
+			for name := range dna.Passes {
+				passNames = append(passNames, name)
+			}
+			sort.Strings(passNames)
+			for _, name := range passNames {
+				delta := dna.Passes[name]
+				id := uint32(len(ix.entries))
+				ix.entries = append(ix.entries, indexEntry{
+					cve:        vdc.CVE,
+					vdcFunc:    dna.FuncName,
+					pass:       name,
+					removedLen: len(delta.Removed),
+					addedLen:   len(delta.Added),
+				})
+				pp := ix.byPass[name]
+				if pp == nil {
+					pp = &passPostings{removed: map[uint32][]uint32{}, added: map[uint32][]uint32{}}
+					ix.byPass[name] = pp
+				}
+				pp.all = append(pp.all, id)
+				if len(delta.Removed) >= minShared {
+					for _, c := range delta.Removed {
+						pp.removed[c] = append(pp.removed[c], id)
+					}
+				}
+				if len(delta.Added) >= minShared {
+					for _, c := range delta.Added {
+						pp.added[c] = append(pp.added[c], id)
+					}
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// matchScratch is the reusable query state of one Detector: a per-entry
+// hit counter with a touched list for O(hits) reset, and a matched set so
+// an entry similar on both sides is reported once.
+type matchScratch struct {
+	counts     []uint32
+	matched    []bool
+	touched    []uint32
+	matchedIDs []uint32
+}
+
+func (sc *matchScratch) ensure(n int) {
+	if cap(sc.counts) < n {
+		sc.counts = make([]uint32, n)
+		sc.matched = make([]bool, n)
+	} else {
+		sc.counts = sc.counts[:n]
+		sc.matched = sc.matched[:n]
+	}
+}
+
+// query calls emit for every database delta of the given pass that is
+// similar to d under (ratio, thr) — the indexed form of Algorithm 2's
+// inner loop. Early exits: a pass absent from the database costs one map
+// lookup; a candidate side smaller than Thr is skipped outright; and only
+// deltas sharing at least one chain with the candidate are ever visited or
+// scored.
+func (ix *MatchIndex) query(pass string, d Delta, ratio float64, thr int, sc *matchScratch, emit func(cve, vdcFunc string)) {
+	pp := ix.byPass[pass]
+	if pp == nil {
+		return
+	}
+	sc.ensure(len(ix.entries))
+	sc.matchedIDs = sc.matchedIDs[:0]
+	if thr <= 0 && ratio <= 0 {
+		// Degenerate thresholds accept any pair of non-empty sides without
+		// needing a shared chain; scan the pass bucket directly.
+		for _, id := range pp.all {
+			e := &ix.entries[id]
+			if (len(d.Removed) > 0 && e.removedLen > 0) || (len(d.Added) > 0 && e.addedLen > 0) {
+				emit(e.cve, e.vdcFunc)
+			}
+		}
+		return
+	}
+	ix.querySide(pp.removed, d.Removed, false, ratio, thr, sc)
+	ix.querySide(pp.added, d.Added, true, ratio, thr, sc)
+	for _, id := range sc.matchedIDs {
+		e := &ix.entries[id]
+		emit(e.cve, e.vdcFunc)
+		sc.matched[id] = false
+	}
+}
+
+// querySide accumulates shared-chain counts for one delta side and records
+// the entries reaching both thresholds into sc.matchedIDs.
+func (ix *MatchIndex) querySide(post map[uint32][]uint32, cand []uint32, addedSide bool, ratio float64, thr int, sc *matchScratch) {
+	minShared := thr
+	if minShared < 1 {
+		minShared = 1
+	}
+	if len(cand) < minShared {
+		return
+	}
+	sc.touched = sc.touched[:0]
+	for _, c := range cand {
+		for _, id := range post[c] {
+			if sc.counts[id] == 0 {
+				sc.touched = append(sc.touched, id)
+			}
+			sc.counts[id]++
+		}
+	}
+	for _, id := range sc.touched {
+		eq := int(sc.counts[id])
+		sc.counts[id] = 0
+		e := &ix.entries[id]
+		maxEq := e.removedLen
+		if addedSide {
+			maxEq = e.addedLen
+		}
+		if len(cand) < maxEq {
+			maxEq = len(cand)
+		}
+		if eq >= thr && float64(eq) >= ratio*float64(maxEq) && !sc.matched[id] {
+			sc.matched[id] = true
+			sc.matchedIDs = append(sc.matchedIDs, id)
+		}
+	}
+}

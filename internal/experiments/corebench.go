@@ -1,0 +1,246 @@
+package experiments
+
+// Core micro-benchmarks: fixtures for the JITBULL hot path (Δ extraction,
+// chain comparison, the detector's per-compilation finish step), shared by
+// the root bench_test.go and by cmd/jitbull-bench -core, which records the
+// numbers into BENCH_core.json. The ref4VDC entry runs the retained
+// string-based reference implementation over the same fixture — the
+// pre-optimization baseline the fast path's speedup is measured against.
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/core"
+	"github.com/jitbull/jitbull/internal/engine"
+	"github.com/jitbull/jitbull/internal/mir"
+	"github.com/jitbull/jitbull/internal/octane"
+	"github.com/jitbull/jitbull/internal/passes"
+)
+
+// CoreBench is one named micro-benchmark.
+type CoreBench struct {
+	Name  string
+	Bench func(b *testing.B)
+}
+
+// benchSnapshotPair builds a representative before/after pair: a load loop
+// body with nChecks bounds checks, of which the "after" side keeps only
+// one in four (what range analysis + bounds-check elimination do to hot
+// array code).
+func benchSnapshotPair(nChecks int) (before, after *mir.Snapshot) {
+	build := func(keepEvery int) *mir.Snapshot {
+		s := &mir.Snapshot{FuncName: "bench"}
+		add := func(id int, op string, operands ...int) {
+			s.Instrs = append(s.Instrs, mir.SnapInstr{ID: id, Opcode: op, Operands: operands})
+		}
+		add(1, "parameter#0")
+		add(2, "unbox", 1)
+		add(3, "elements", 2)
+		add(4, "initializedlength", 3)
+		id := 10
+		for i := 0; i < nChecks; i++ {
+			add(id, "constant("+strconv.Itoa(i)+")")
+			if keepEvery == 1 || i%keepEvery == 0 {
+				add(id+1, "boundscheck", id, 4)
+				add(id+2, "loadelement", 3, id+1)
+			} else {
+				add(id+2, "loadelement", 3, id)
+			}
+			add(id+3, "add", id+2, 2)
+			id += 4
+		}
+		add(id, "return", id-1)
+		return s
+	}
+	return build(1), build(4)
+}
+
+// benchChainSets builds two interned chain sets of size n with ~50%
+// overlap, the regime CompareChains sees when a candidate is near a VDC.
+func benchChainSets(n int) (a, b []uint32) {
+	mk := func(tag string, lo, hi int) []string {
+		var out []string
+		for i := lo; i < hi; i++ {
+			out = append(out, fmt.Sprintf("boundscheck→constant(%d)→%s→unbox→parameter#0", i, tag))
+		}
+		return out
+	}
+	shared := mk("shared", 0, n/2)
+	return core.InternChains(append(mk("a", 0, n-n/2), shared...)),
+		core.InternChains(append(mk("b", 0, n-n/2), shared...))
+}
+
+// detectorFixture is the shared (expensive) fixture for the finish-step
+// benchmarks: the per-pass snapshot feed of every function a benign corpus
+// program gets JIT-compiled, plus databases with 0, 1 and 4 VDC
+// fingerprints. Replaying the feed through a policy reproduces exactly the
+// per-compilation work JITBULL adds to the engine (Δ extraction per pass,
+// then the finish-step database comparison).
+type detectorFixture struct {
+	funcs []capturedCompile
+	dbs   map[int]*core.Database
+}
+
+// capturedCompile is one compilation's observer feed.
+type capturedCompile struct {
+	fn    string
+	steps []snapStep
+}
+
+type snapStep struct {
+	idx           int
+	pass          string
+	before, after *mir.Snapshot
+}
+
+// snapCapture is an engine.Policy that records the snapshot feed without
+// deciding anything.
+type snapCapture struct {
+	funcs []capturedCompile
+}
+
+func (sc *snapCapture) Active() bool { return true }
+
+func (sc *snapCapture) BeginCompile(fnName string) (passes.Observer, func() engine.CompileDecision) {
+	cc := capturedCompile{fn: fnName}
+	obs := func(idx int, pass string, before, after *mir.Snapshot) {
+		cc.steps = append(cc.steps, snapStep{idx: idx, pass: pass, before: before, after: after})
+	}
+	finish := func() engine.CompileDecision {
+		sc.funcs = append(sc.funcs, cc)
+		return engine.CompileDecision{}
+	}
+	return obs, finish
+}
+
+// replay drives one recorded compilation through any policy.
+func (cc *capturedCompile) replay(p engine.Policy) engine.CompileDecision {
+	obs, finish := p.BeginCompile(cc.fn)
+	for _, st := range cc.steps {
+		obs(st.idx, st.pass, st.before, st.after)
+	}
+	return finish()
+}
+
+var (
+	detFixOnce sync.Once
+	detFix     *detectorFixture
+	detFixErr  error
+)
+
+// loadDetectorFixture captures the snapshot feed of the TypeScript
+// benchmark (the paper's worst-case corpus program).
+func loadDetectorFixture() (*detectorFixture, error) {
+	detFixOnce.Do(func() {
+		bench, err := octane.ByName("TypeScript")
+		if err != nil {
+			detFixErr = err
+			return
+		}
+		e, err := engine.New(bench.Source(1), engine.Config{IonThreshold: 100})
+		if err != nil {
+			detFixErr = err
+			return
+		}
+		capt := &snapCapture{}
+		e.SetPolicy(capt)
+		if _, err := e.Run(); err != nil {
+			detFixErr = err
+			return
+		}
+		if len(capt.funcs) == 0 {
+			detFixErr = fmt.Errorf("fixture captured no compilations")
+			return
+		}
+		fix := &detectorFixture{funcs: capt.funcs, dbs: map[int]*core.Database{0: {}}}
+		for _, n := range []int{1, 4} {
+			db, _, err := BuildDB(n, 100)
+			if err != nil {
+				detFixErr = err
+				return
+			}
+			fix.dbs[n] = db
+		}
+		detFix = fix
+	})
+	return detFix, detFixErr
+}
+
+// CoreBenchmarks returns the micro-benchmark set. Expensive fixtures are
+// built lazily on first run, so filtering to a subset stays cheap.
+func CoreBenchmarks() []CoreBench {
+	finish := func(nVDC int) func(b *testing.B) {
+		return func(b *testing.B) {
+			fix, err := loadDetectorFixture()
+			if err != nil {
+				b.Fatal(err)
+			}
+			det := core.NewDetector(fix.dbs[nVDC])
+			fix.funcs[0].replay(det) // build the index outside the timing loop
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range fix.funcs {
+					fix.funcs[j].replay(det)
+				}
+			}
+		}
+	}
+	return []CoreBench{
+		{Name: "ExtractDelta", Bench: func(b *testing.B) {
+			before, after := benchSnapshotPair(24)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.ExtractDelta(before, after)
+			}
+		}},
+		{Name: "ExtractDelta/ref", Bench: func(b *testing.B) {
+			before, after := benchSnapshotPair(24)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.RefExtractDelta(before, after)
+			}
+		}},
+		{Name: "CompareChains", Bench: func(b *testing.B) {
+			x, y := benchChainSets(64)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.CompareChains(x, y, core.DefaultRatio, core.DefaultThr)
+			}
+		}},
+		{Name: "CompareChains/ref", Bench: func(b *testing.B) {
+			x, y := benchChainSets(64)
+			xs, ys := core.ChainStrings(x), core.ChainStrings(y)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.RefCompareChains(xs, ys, core.DefaultRatio, core.DefaultThr)
+			}
+		}},
+		{Name: "DetectorFinish/0VDC", Bench: finish(0)},
+		{Name: "DetectorFinish/1VDC", Bench: finish(1)},
+		{Name: "DetectorFinish/4VDC", Bench: finish(4)},
+		{Name: "DetectorFinish/ref4VDC", Bench: func(b *testing.B) {
+			fix, err := loadDetectorFixture()
+			if err != nil {
+				b.Fatal(err)
+			}
+			det := core.NewReferenceDetector(fix.dbs[4])
+			fix.funcs[0].replay(det)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range fix.funcs {
+					fix.funcs[j].replay(det)
+				}
+				det.Reset() // the reference appends duplicate matches
+			}
+		}},
+	}
+}

@@ -34,6 +34,11 @@ type Config struct {
 	// timing experiments, amortizing one-time compilation exactly as the
 	// multi-second real Octane runs do.
 	Scale int
+	// Workers is the size of the worker pool the corpus experiments
+	// (FalsePositives, Performance) fan their independent engine runs
+	// across. Zero or negative selects GOMAXPROCS. Timing comparisons
+	// should use Workers=1 to avoid cross-run scheduler noise.
+	Workers int
 }
 
 // Defaults fills zero fields.
@@ -161,21 +166,26 @@ func FalsePositives(dbSize int, cfg Config) ([]FPRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []FPRow
-	for _, b := range octane.Suite() {
-		e, err := engine.New(b.Source(cfg.Scale), engine.Config{IonThreshold: cfg.IonThreshold, Bugs: bugs})
-		if err != nil {
-			return nil, err
+	benches := octane.Suite()
+	specs := make([]RunSpec, len(benches))
+	for i, b := range benches {
+		specs[i] = RunSpec{
+			Name:   b.Name,
+			Source: b.Source(cfg.Scale),
+			Engine: engine.Config{IonThreshold: cfg.IonThreshold, Bugs: bugs},
+			DB:     db,
 		}
-		e.SetPolicy(core.NewDetector(db))
-		if _, err := e.Run(); err != nil {
-			return nil, fmt.Errorf("%s under #%d: %w", b.Name, dbSize, err)
+	}
+	var rows []FPRow
+	for _, oc := range RunParallel(specs, cfg.Workers) {
+		if oc.Err != nil {
+			return nil, fmt.Errorf("%s under #%d: %w", oc.Name, dbSize, oc.Err)
 		}
 		row := FPRow{
-			Benchmark: b.Name,
-			NrJIT:     e.Stats.NrJIT,
-			NrDisJIT:  e.Stats.NrDisJIT,
-			NrNoJIT:   e.Stats.NrNoJIT,
+			Benchmark: oc.Name,
+			NrJIT:     oc.Stats.NrJIT,
+			NrDisJIT:  oc.Stats.NrDisJIT,
+			NrNoJIT:   oc.Stats.NrNoJIT,
 		}
 		if row.NrJIT > 0 {
 			row.PctPassDis = 100 * float64(row.NrDisJIT) / float64(row.NrJIT)
@@ -247,28 +257,39 @@ func Performance(benches []octane.Benchmark, cfg Config) ([]PerfRow, error) {
 		return nil, err
 	}
 	emptyDB := &core.Database{}
-	var rows []PerfRow
+	// Five configurations per benchmark, fanned out as independent runs.
+	// With Workers=1 the measurement discipline is identical to the old
+	// serial loop (same order, same best-of-Repeats timing).
+	const nCfg = 5
+	specs := make([]RunSpec, 0, nCfg*len(benches))
 	for _, b := range benches {
-		row := PerfRow{Benchmark: b.Name}
-		if row.NoJIT, err = timeRun(b.Source(cfg.Scale), engine.Config{DisableJIT: true}, nil, cfg.Repeats); err != nil {
-			return nil, fmt.Errorf("%s NoJIT: %w", b.Name, err)
-		}
+		src := b.Source(cfg.Scale)
 		base := engine.Config{IonThreshold: cfg.IonThreshold}
-		if row.JIT, err = timeRun(b.Source(cfg.Scale), base, nil, cfg.Repeats); err != nil {
-			return nil, fmt.Errorf("%s JIT: %w", b.Name, err)
+		specs = append(specs,
+			RunSpec{Name: b.Name + " NoJIT", Source: src, Engine: engine.Config{DisableJIT: true}, Repeats: cfg.Repeats},
+			RunSpec{Name: b.Name + " JIT", Source: src, Engine: base, Repeats: cfg.Repeats},
+			RunSpec{Name: b.Name + " JB#0", Source: src, Engine: base, DB: emptyDB, Repeats: cfg.Repeats},
+			RunSpec{Name: b.Name + " JB#1", Source: src, Engine: engine.Config{IonThreshold: cfg.IonThreshold, Bugs: bugs1}, DB: db1, Repeats: cfg.Repeats},
+			RunSpec{Name: b.Name + " JB#4", Source: src, Engine: engine.Config{IonThreshold: cfg.IonThreshold, Bugs: bugs4}, DB: db4, Repeats: cfg.Repeats},
+		)
+	}
+	outcomes := RunParallel(specs, cfg.Workers)
+	var rows []PerfRow
+	for i, b := range benches {
+		group := outcomes[i*nCfg : (i+1)*nCfg]
+		for _, oc := range group {
+			if oc.Err != nil {
+				return nil, fmt.Errorf("%s: %w", oc.Name, oc.Err)
+			}
 		}
-		if row.JB0, err = timeRun(b.Source(cfg.Scale), base, emptyDB, cfg.Repeats); err != nil {
-			return nil, fmt.Errorf("%s JB#0: %w", b.Name, err)
-		}
-		cfg1 := engine.Config{IonThreshold: cfg.IonThreshold, Bugs: bugs1}
-		if row.JB1, err = timeRun(b.Source(cfg.Scale), cfg1, db1, cfg.Repeats); err != nil {
-			return nil, fmt.Errorf("%s JB#1: %w", b.Name, err)
-		}
-		cfg4 := engine.Config{IonThreshold: cfg.IonThreshold, Bugs: bugs4}
-		if row.JB4, err = timeRun(b.Source(cfg.Scale), cfg4, db4, cfg.Repeats); err != nil {
-			return nil, fmt.Errorf("%s JB#4: %w", b.Name, err)
-		}
-		rows = append(rows, row)
+		rows = append(rows, PerfRow{
+			Benchmark: b.Name,
+			NoJIT:     group[0].Elapsed,
+			JIT:       group[1].Elapsed,
+			JB0:       group[2].Elapsed,
+			JB1:       group[3].Elapsed,
+			JB4:       group[4].Elapsed,
+		})
 	}
 	return rows, nil
 }

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/engine"
+	"github.com/jitbull/jitbull/internal/octane"
+)
+
+func TestRunParallelMatchesSerial(t *testing.T) {
+	db, bugs, err := BuildDB(4, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var specs []RunSpec
+	for _, b := range octane.Suite() {
+		specs = append(specs, RunSpec{
+			Name:   b.Name,
+			Source: b.Source(1),
+			Engine: engine.Config{IonThreshold: 40, Bugs: bugs},
+			DB:     db,
+		})
+	}
+	serial := RunParallel(specs, 1)
+	parallel := RunParallel(specs, 4)
+	if len(serial) != len(specs) || len(parallel) != len(specs) {
+		t.Fatalf("outcome counts: %d serial, %d parallel, want %d", len(serial), len(parallel), len(specs))
+	}
+	for i := range specs {
+		s, p := serial[i], parallel[i]
+		if s.Err != nil || p.Err != nil {
+			t.Fatalf("%s: errs %v / %v", specs[i].Name, s.Err, p.Err)
+		}
+		if s.Name != specs[i].Name || p.Name != specs[i].Name {
+			t.Fatalf("outcome %d out of order: %q / %q", i, s.Name, p.Name)
+		}
+		// Engine behavior is deterministic, so stats and the matched set
+		// must be identical regardless of scheduling.
+		if s.Stats != p.Stats {
+			t.Errorf("%s: stats diverged\nserial   %+v\nparallel %+v", s.Name, s.Stats, p.Stats)
+		}
+		if !reflect.DeepEqual(s.Matches, p.Matches) {
+			t.Errorf("%s: matches diverged\nserial   %+v\nparallel %+v", s.Name, s.Matches, p.Matches)
+		}
+	}
+}
+
+func TestRunParallelPropagatesErrors(t *testing.T) {
+	specs := []RunSpec{
+		{Name: "bad", Source: "function f( {", Engine: engine.Config{}},
+		{Name: "ok", Source: "function f(x) { return x + 1; } f(1);", Engine: engine.Config{}},
+	}
+	out := RunParallel(specs, 2)
+	if out[0].Err == nil {
+		t.Error("parse failure not propagated")
+	}
+	if out[1].Err != nil {
+		t.Errorf("healthy spec failed: %v", out[1].Err)
+	}
+}
+
+func TestRunParallelEmpty(t *testing.T) {
+	if out := RunParallel(nil, 8); len(out) != 0 {
+		t.Fatalf("empty spec list gave %d outcomes", len(out))
+	}
+}

@@ -1,6 +1,9 @@
 package mir
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // Snapshot is a stable copy of a graph's live instructions taken between
 // optimization passes. The JITBULL Δ extractor consumes pairs of snapshots
@@ -21,6 +24,27 @@ type SnapInstr struct {
 	Operands []int
 }
 
+// snapOpcodeCache holds pre-rendered strings for the payload values that
+// dominate real programs: small non-negative integer constants and low
+// parameter/builtin indexes. Snapshots are taken between every pass of
+// every compilation, so these renderings are hot.
+var snapOpcodeCache = func() (c struct {
+	constant  [64]string
+	parameter [16]string
+	mathfunc  [16]string
+}) {
+	for i := range c.constant {
+		c.constant[i] = "constant(" + strconv.Itoa(i) + ")"
+	}
+	for i := range c.parameter {
+		c.parameter[i] = "parameter#" + strconv.Itoa(i)
+	}
+	for i := range c.mathfunc {
+		c.mathfunc[i] = "mathfunc#" + strconv.Itoa(i)
+	}
+	return c
+}()
+
 // snapOpcode renders the opcode with its payload detail. Identity-carrying
 // payloads (constant values, parameter indexes, comparison kinds, math
 // builtins) distinguish otherwise identical chains; position-dependent
@@ -29,33 +53,61 @@ type SnapInstr struct {
 func snapOpcode(in *Instr) string {
 	switch in.Op {
 	case OpConstant:
-		return fmt.Sprintf("constant(%v)", in.Num)
+		if n := int(in.Num); float64(n) == in.Num && n >= 0 && n < len(snapOpcodeCache.constant) {
+			return snapOpcodeCache.constant[n]
+		}
+		// strconv with 'g'/-1 renders exactly as fmt's %v does for float64.
+		return "constant(" + strconv.FormatFloat(in.Num, 'g', -1, 64) + ")"
 	case OpParameter:
-		return fmt.Sprintf("parameter#%d", in.Aux)
+		if n := in.Aux; n >= 0 && n < len(snapOpcodeCache.parameter) {
+			return snapOpcodeCache.parameter[n]
+		}
+		return "parameter#" + strconv.Itoa(in.Aux)
 	case OpCompare:
 		return "compare" + CompareKind(in.Aux).String()
 	case OpMathFunc:
-		return fmt.Sprintf("mathfunc#%d", in.Aux)
+		if n := in.Aux; n >= 0 && n < len(snapOpcodeCache.mathfunc) {
+			return snapOpcodeCache.mathfunc[n]
+		}
+		return "mathfunc#" + strconv.Itoa(in.Aux)
 	default:
 		return in.Op.String()
 	}
 }
 
 // Snap captures the current live instructions of the graph in reverse
-// postorder.
+// postorder. The snapshot is built with exactly two allocations (the
+// instruction slice and one flat operand array) on top of the Snapshot
+// itself.
 func (g *Graph) Snap() *Snapshot {
-	s := &Snapshot{FuncName: g.Name}
-	for _, b := range g.ReversePostorder() {
+	rpo := g.ReversePostorder()
+	nInstrs, nOps := 0, 0
+	for _, b := range rpo {
+		for _, in := range b.Instrs {
+			if in.Dead {
+				continue
+			}
+			nInstrs++
+			nOps += len(in.Operands)
+		}
+	}
+	s := &Snapshot{FuncName: g.Name, Instrs: make([]SnapInstr, 0, nInstrs)}
+	var opBuf []int
+	if nOps > 0 {
+		opBuf = make([]int, 0, nOps)
+	}
+	for _, b := range rpo {
 		for _, in := range b.Instrs {
 			if in.Dead {
 				continue
 			}
 			si := SnapInstr{ID: in.ID, Opcode: snapOpcode(in)}
 			if len(in.Operands) > 0 {
-				si.Operands = make([]int, len(in.Operands))
-				for i, op := range in.Operands {
-					si.Operands[i] = op.ID
+				start := len(opBuf)
+				for _, op := range in.Operands {
+					opBuf = append(opBuf, op.ID)
 				}
+				si.Operands = opBuf[start:len(opBuf):len(opBuf)]
 			}
 			s.Instrs = append(s.Instrs, si)
 		}
