@@ -37,6 +37,8 @@ func run(args []string) error {
 		return cmdRun(args[1:])
 	case "fingerprint":
 		return cmdFingerprint(args[1:])
+	case "diff":
+		return cmdDiff(args[1:])
 	case "vulns":
 		return cmdVulns()
 	case "help", "-h", "--help":
@@ -52,6 +54,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   jitbull run [-nojit] [-threshold N] [-bugs CVE,...] [-db file] [-stats] script.js
   jitbull fingerprint -cve CVE-... [-bugs CVE,...] [-threshold N] -db file script.js
+  jitbull diff [-seed N | -seeds N] [-bugs CVE,...] [-shrink] [-jitbull] script.js
   jitbull vulns`)
 }
 

@@ -1,0 +1,106 @@
+package difftest
+
+// Example corpus: small hand-written nanojs programs in the style of the
+// examples/ directory (the quickstart dot product among them), exercising
+// the idioms the generated corpus under-represents — strings, print output,
+// array growth, early returns. Every program maintains the `result` global
+// so all matrix cells can be cross-checked.
+
+// ExamplePrograms returns the named example corpus.
+func ExamplePrograms() map[string]string {
+	return map[string]string{
+		"quickstart-dot": `
+function dot(a, b, n) {
+  var s = 0;
+  for (var i = 0; i < n; i++) {
+    s = s + a[i] * b[i];
+  }
+  return s;
+}
+var xs = new Array(64);
+var ys = new Array(64);
+for (var i = 0; i < 64; i++) {
+  xs[i] = i * 0.5;
+  ys[i] = 64 - i;
+}
+var result = 0;
+for (var round = 0; round < 200; round++) {
+  result = dot(xs, ys, 64);
+}
+print("dot product:", result);
+`,
+		"push-pop-growth": `
+function churn(a, n) {
+  for (var i = 0; i < n; i++) {
+    a.push(i * 3 % 17);
+  }
+  var s = 0;
+  for (var j = 0; j < n; j++) {
+    s += a.pop();
+  }
+  return s;
+}
+var arr = new Array(0);
+var result = 0;
+for (var r = 0; r < 120; r++) {
+  result = (result + churn(arr, 25)) % 1000003;
+}
+`,
+		"early-return-branches": `
+function classify(x, y) {
+  if (x < 0) { return 0 - x; }
+  if (x == y) { return x * 2; }
+  if (x > 100) { return x % 97; }
+  return x + y;
+}
+var result = 0;
+for (var i = 0; i < 300; i++) {
+  result = (result + classify(i - 50, i % 7)) % 1000003;
+}
+`,
+		"string-charcodes": `
+function hash(s) {
+  var h = 7;
+  for (var i = 0; i < s.length; i++) {
+    h = (h * 31 + s.charCodeAt(i)) % 1000003;
+  }
+  return h;
+}
+function mix(h, k) {
+  for (var i = 0; i < 8; i++) {
+    h = (h * 33 + k + i) % 1000003;
+  }
+  return h;
+}
+var result = 0;
+for (var i = 0; i < 250; i++) {
+  result = mix(result, hash("nanojs-differential-oracle")) % 1000003;
+}
+print(result);
+`,
+		"math-kernels": `
+function kernel(x, n) {
+  var acc = 0;
+  for (var i = 1; i <= n; i++) {
+    acc += Math.sqrt(x * i) + Math.abs(x - i) - Math.floor(x / i);
+  }
+  return acc % 65536;
+}
+var result = 0;
+for (var r = 0; r < 150; r++) {
+  result = (result + kernel(r % 23 + 1, 12)) % 1000003;
+}
+`,
+		"global-accumulator": `
+var total = 0;
+function bump(k) {
+  total = (total + k * k) % 1000003;
+  return total;
+}
+var result = 0;
+for (var i = 0; i < 400; i++) {
+  result = bump(i % 31);
+}
+`,
+	}
+}

@@ -1,0 +1,289 @@
+// Package difftest is the correctness backstop of the jitbull reproduction:
+// a differential-execution oracle that runs one nanojs program under a
+// matrix of engine configurations — interpreter-only, baseline-only, full
+// JIT, full JIT with per-pass IR verification, full JIT under the JITBULL
+// policy, per-pass ablations, and source-transformed variants — and asserts
+// that every configuration observes the same behavior.
+//
+// The observation model deliberately captures only *semantics*: the
+// top-level result value, the `result` global every corpus program
+// maintains, printed output, and the error/crash/hijack outcome. Tier and
+// bailout statistics differ across configurations by design and are carried
+// for diagnostics only.
+package difftest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/jitbull/jitbull/internal/core"
+	"github.com/jitbull/jitbull/internal/engine"
+	"github.com/jitbull/jitbull/internal/experiments"
+	"github.com/jitbull/jitbull/internal/interp"
+	"github.com/jitbull/jitbull/internal/passes"
+	"github.com/jitbull/jitbull/internal/variants"
+)
+
+// Observation is the externally visible behavior of one engine run.
+type Observation struct {
+	SetupErr string // parse/compile failure (the run never started)
+	Result   string // rendered value of the top-level run
+	ResultG  string // rendered value of the global `result`
+	Output   string // accumulated print output
+	ErrKind  string // "", "budget", "crash", "hijack", "runtime"
+	ErrMsg   string // full error text (identifier-bearing; see Config.LossyNames)
+	Hijacked bool
+	Crashed  bool
+
+	// Diagnostics, not compared.
+	Stats    engine.Stats
+	IRFaults []string // CheckIR verifier rejections (offending pass named)
+}
+
+// Config is one cell of the execution matrix.
+type Config struct {
+	Name string
+	// Transform optionally rewrites the source before running (variant
+	// configurations: rename, minify).
+	Transform func(src string) (string, error)
+	// LossyNames marks configurations whose source transform renames
+	// identifiers, losing every identifier-keyed observation: error
+	// messages (they quote identifiers) and the `result` global (it no
+	// longer exists under that name). Only the error kind is compared.
+	LossyNames bool
+	// Engine is the engine configuration (Out is overridden per run).
+	Engine engine.Config
+	// Policy optionally builds a fresh JITBULL policy for the run.
+	Policy func() engine.Policy
+}
+
+// Options bounds a Matrix.
+type Options struct {
+	// IonThreshold for the JIT configurations (default 30, far below the
+	// production 1500 so short test programs still tier up).
+	IonThreshold int
+	// BaselineThreshold (default 10).
+	BaselineThreshold int
+	// MaxSteps per run (default 200M, ample for every corpus program).
+	MaxSteps int64
+	// Bugs makes every JIT configuration compile with the injected
+	// vulnerabilities active (used to seed deliberate divergences).
+	Bugs passes.BugSet
+	// Ablate lists passes to disable one at a time (default: the passes
+	// whose unsoundness classes the paper's CVEs live in). Each entry adds
+	// one configuration.
+	Ablate []string
+	// JITBULL adds a configuration protected by a 4-VDC detector.
+	JITBULL bool
+	// Variants adds renamed and minified source-transform configurations.
+	Variants bool
+	// CheckIR adds a configuration that runs the SSA verifier after every
+	// optimization pass.
+	CheckIR bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.IonThreshold <= 0 {
+		o.IonThreshold = 30
+	}
+	if o.BaselineThreshold <= 0 {
+		o.BaselineThreshold = 10
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 200_000_000
+	}
+	if o.Ablate == nil {
+		o.Ablate = DangerousPasses()
+	}
+	return o
+}
+
+// DangerousPasses returns the disableable passes whose mis-optimization
+// classes the paper's CVEs exercise — the ablations worth a matrix cell.
+func DangerousPasses() []string {
+	return []string{
+		"GVN", "LICM", "BoundsCheckElimination", "RangeAnalysis",
+		"Sink", "FoldTests", "ScalarReplacement",
+	}
+}
+
+// jitbullDB lazily builds the 4-VDC database once per process; extraction
+// replays four exploit demonstrators and is too slow to repeat per run.
+var jitbullDB = sync.OnceValues(func() (*core.Database, error) {
+	db, _, err := experiments.BuildDB(4, 100)
+	return db, err
+})
+
+// Matrix returns the configuration matrix for the given options. The first
+// configuration is always the interpreter — the semantics reference.
+func Matrix(o Options) []Config {
+	o = o.withDefaults()
+	base := engine.Config{
+		BaselineThreshold: o.BaselineThreshold,
+		IonThreshold:      o.IonThreshold,
+		MaxSteps:          o.MaxSteps,
+		Bugs:              o.Bugs,
+	}
+	interp := base
+	interp.DisableJIT = true
+	baseline := base
+	baseline.IonThreshold = 1 << 30 // hot functions stop at the baseline tier
+
+	cfgs := []Config{
+		{Name: "interp", Engine: interp},
+		{Name: "baseline", Engine: baseline},
+		{Name: "jit", Engine: base},
+	}
+	if o.CheckIR {
+		checked := base
+		checked.CheckIR = true
+		cfgs = append(cfgs, Config{Name: "jit+checkir", Engine: checked})
+	}
+	if o.JITBULL {
+		cfgs = append(cfgs, Config{Name: "jit+jitbull", Engine: base, Policy: func() engine.Policy {
+			db, err := jitbullDB()
+			if err != nil {
+				panic(fmt.Sprintf("difftest: building JITBULL DB: %v", err))
+			}
+			return core.NewDetector(db)
+		}})
+	}
+	for _, pass := range o.Ablate {
+		ablated := base
+		ablated.DisabledPasses = []string{pass}
+		cfgs = append(cfgs, Config{Name: "jit-no-" + pass, Engine: ablated})
+	}
+	if o.Variants {
+		cfgs = append(cfgs,
+			Config{Name: "jit+renamed", Engine: base, Transform: variants.Rename, LossyNames: true},
+			Config{Name: "jit+minified", Engine: base, Transform: variants.Minify, LossyNames: true},
+		)
+	}
+	return cfgs
+}
+
+// Observe runs src under one configuration and captures its behavior.
+func Observe(src string, c Config) Observation {
+	var obs Observation
+	if c.Transform != nil {
+		transformed, err := c.Transform(src)
+		if err != nil {
+			obs.SetupErr = err.Error()
+			return obs
+		}
+		src = transformed
+	}
+	var out bytes.Buffer
+	ecfg := c.Engine
+	ecfg.Out = &out
+	ecfg.OnCompileError = func(fn string, err error) {
+		var ir *passes.IRError
+		if errors.As(err, &ir) {
+			obs.IRFaults = append(obs.IRFaults, ir.Error())
+		}
+	}
+	e, err := engine.New(src, ecfg)
+	if err != nil {
+		obs.SetupErr = err.Error()
+		return obs
+	}
+	if c.Policy != nil {
+		e.SetPolicy(c.Policy())
+	}
+	v, runErr := e.Run()
+	obs.Result = v.ToString()
+	obs.ResultG = e.Global("result").ToString()
+	obs.Output = out.String()
+	obs.Hijacked = e.Hijacked() != nil
+	obs.Crashed = e.Arena().Crashed() != nil
+	obs.Stats = e.Stats
+	if runErr != nil {
+		obs.ErrMsg = runErr.Error()
+		switch {
+		case engine.IsHijack(runErr):
+			obs.ErrKind = "hijack"
+		case engine.IsCrash(runErr):
+			obs.ErrKind = "crash"
+		case errors.Is(runErr, interp.ErrBudget):
+			obs.ErrKind = "budget"
+		default:
+			obs.ErrKind = "runtime"
+		}
+	}
+	return obs
+}
+
+// Divergence is one observed disagreement between a configuration and the
+// reference configuration.
+type Divergence struct {
+	Config string // diverging configuration
+	Ref    string // reference configuration
+	Field  string // which observation field disagreed
+	Got    string // value under Config
+	Want   string // value under Ref
+}
+
+// String renders the divergence for reports.
+func (d Divergence) String() string {
+	return fmt.Sprintf("%s vs %s: %s = %q, want %q", d.Config, d.Ref, d.Field, d.Got, d.Want)
+}
+
+// compare returns the divergences of obs against the reference observation.
+func compare(c Config, obs, ref Observation, refName string) []Divergence {
+	var divs []Divergence
+	add := func(field, got, want string) {
+		if got != want {
+			divs = append(divs, Divergence{Config: c.Name, Ref: refName, Field: field, Got: got, Want: want})
+		}
+	}
+	add("setup-error", obs.SetupErr, ref.SetupErr)
+	if obs.SetupErr != "" || ref.SetupErr != "" {
+		return divs // nothing ran; the remaining fields are vacuous
+	}
+	add("result", obs.Result, ref.Result)
+	add("output", obs.Output, ref.Output)
+	add("error-kind", obs.ErrKind, ref.ErrKind)
+	if !c.LossyNames {
+		add("result-global", obs.ResultG, ref.ResultG)
+		add("error-message", obs.ErrMsg, ref.ErrMsg)
+	}
+	add("hijacked", fmt.Sprint(obs.Hijacked), fmt.Sprint(ref.Hijacked))
+	add("crashed", fmt.Sprint(obs.Crashed), fmt.Sprint(ref.Crashed))
+	for _, fault := range obs.IRFaults {
+		divs = append(divs, Divergence{Config: c.Name, Ref: refName, Field: "ir-verify", Got: fault})
+	}
+	return divs
+}
+
+// Diff runs src under every configuration (configs[0] is the reference) and
+// returns the per-config observations plus all divergences.
+func Diff(src string, configs []Config) ([]Observation, []Divergence) {
+	if len(configs) == 0 {
+		return nil, nil
+	}
+	obs := make([]Observation, len(configs))
+	for i, c := range configs {
+		obs[i] = Observe(src, c)
+	}
+	var divs []Divergence
+	for i := 1; i < len(configs); i++ {
+		divs = append(divs, compare(configs[i], obs[i], obs[0], configs[0].Name)...)
+	}
+	return obs, divs
+}
+
+// Report renders a divergence list (one per line) with a program label.
+func Report(label string, divs []Divergence) string {
+	if len(divs) == 0 {
+		return fmt.Sprintf("%s: no divergences", label)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %d divergence(s)\n", label, len(divs))
+	for _, d := range divs {
+		fmt.Fprintf(&sb, "  %s\n", d)
+	}
+	return sb.String()
+}

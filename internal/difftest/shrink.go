@@ -1,0 +1,195 @@
+package difftest
+
+import (
+	"github.com/jitbull/jitbull/internal/ast"
+	"github.com/jitbull/jitbull/internal/parser"
+)
+
+// Shrink minimizes a program while keeping a property true — typically
+// "this divergence still reproduces". It deletes statements (including
+// whole function declarations) greedily: chunks first, then single
+// statements, repeating until a whole sweep removes nothing. keep is called
+// on candidate sources; it must return true when the candidate still
+// exhibits the property. Candidates that fail to parse are simply rejected
+// by keep (a clean parse error is a valid outcome of deletion, not a
+// divergence), so the shrinker never needs to special-case them.
+//
+// The returned source always satisfies keep; if the input itself does not,
+// Shrink returns it unchanged.
+func Shrink(src string, keep func(string) bool) string {
+	if !keep(src) {
+		return src
+	}
+	for {
+		next, changed := shrinkSweep(src, keep)
+		if !changed {
+			return src
+		}
+		src = next
+	}
+}
+
+// shrinkSweep performs one full deletion sweep over src, committing every
+// deletion that keeps the property: a chunk phase that deletes whole
+// statement-list tails (cheap big cuts), then a single-statement phase. It
+// reports whether anything was removed.
+func shrinkSweep(src string, keep func(string) bool) (string, bool) {
+	changed := false
+	for _, chunked := range []bool{true, false} {
+		// Every committed deletion invalidates slot addresses, so re-parse
+		// and restart the scan until a scan commits nothing.
+		for {
+			prog, err := parser.Parse(src)
+			if err != nil {
+				return src, changed // unreachable: src always parses
+			}
+			slots := collectSlots(prog)
+			committed := false
+			for i := len(slots) - 1; i >= 0 && !committed; i-- {
+				n := 1
+				if chunked {
+					// Delete the slot's whole list tail.
+					n = len(*slots[i].list) - slots[i].idx
+					if n < 2 {
+						continue
+					}
+				}
+				if !slots[i].tryDelete(n) {
+					continue
+				}
+				if candidate := ast.Print(prog, ast.PrintConfig{}); keep(candidate) {
+					src = candidate
+					changed = true
+					committed = true
+				} else {
+					slots[i].undo()
+				}
+			}
+			if !committed {
+				break
+			}
+		}
+	}
+	return src, changed
+}
+
+// stmtSlot addresses one deletable statement position: the idx-th entry of
+// some statement list in the AST.
+type stmtSlot struct {
+	list    *[]ast.Stmt
+	idx     int
+	removed []ast.Stmt // saved for undo
+	n       int
+}
+
+// tryDelete removes n statements starting at the slot (bounded by the list
+// length) and reports whether anything was removed.
+func (s *stmtSlot) tryDelete(n int) bool {
+	l := *s.list
+	if s.idx >= len(l) {
+		return false
+	}
+	if s.idx+n > len(l) {
+		n = len(l) - s.idx
+	}
+	s.n = n
+	s.removed = append([]ast.Stmt(nil), l[s.idx:s.idx+n]...)
+	*s.list = append(l[:s.idx:s.idx], l[s.idx+n:]...)
+	return true
+}
+
+// undo restores the statements tryDelete removed.
+func (s *stmtSlot) undo() {
+	l := *s.list
+	restored := make([]ast.Stmt, 0, len(l)+s.n)
+	restored = append(restored, l[:s.idx]...)
+	restored = append(restored, s.removed...)
+	restored = append(restored, l[s.idx:]...)
+	*s.list = restored
+}
+
+// collectSlots enumerates every deletable statement position in the
+// program: top-level statements (function declarations included) and every
+// statement nested in function bodies, blocks, and control-flow arms.
+func collectSlots(prog *ast.Program) []*stmtSlot {
+	var slots []*stmtSlot
+	addList := func(list *[]ast.Stmt) {
+		for i := range *list {
+			slots = append(slots, &stmtSlot{list: list, idx: i})
+		}
+	}
+	var visitStmt func(s ast.Stmt)
+	visitList := func(list *[]ast.Stmt) {
+		addList(list)
+		for _, s := range *list {
+			visitStmt(s)
+		}
+	}
+	visitStmt = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.FuncDecl:
+			visitList(&s.Body.Stmts)
+		case *ast.BlockStmt:
+			visitList(&s.Stmts)
+		case *ast.IfStmt:
+			visitStmt(s.Then)
+			if s.Else != nil {
+				visitStmt(s.Else)
+			}
+		case *ast.WhileStmt:
+			visitStmt(s.Body)
+		case *ast.DoWhileStmt:
+			visitStmt(s.Body)
+		case *ast.ForStmt:
+			visitStmt(s.Body)
+		}
+	}
+	visitList(&prog.Stmts)
+	return slots
+}
+
+// StatementCount counts every statement in the program (declarations,
+// expression statements, control flow, blocks excluded as pure grouping).
+// It is the shrinker's size metric.
+func StatementCount(src string) int {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	ast.Walk(prog, func(node ast.Node) bool {
+		switch node.(type) {
+		case ast.Stmt:
+			if _, grouping := node.(*ast.BlockStmt); !grouping {
+				n++
+			}
+		}
+		return true
+	})
+	return n
+}
+
+// ShrinkDivergence specializes Shrink to the oracle: it minimizes src while
+// the matrix still produces a divergence with the same (config, field)
+// signature as the first divergence of the full program. It returns the
+// minimized source and the divergences it still exhibits (nil when the
+// original program does not diverge at all).
+func ShrinkDivergence(src string, configs []Config) (string, []Divergence) {
+	_, orig := Diff(src, configs)
+	if len(orig) == 0 {
+		return src, nil
+	}
+	sig := orig[0]
+	keep := func(candidate string) bool {
+		_, divs := Diff(candidate, configs)
+		for _, d := range divs {
+			if d.Config == sig.Config && d.Field == sig.Field {
+				return true
+			}
+		}
+		return false
+	}
+	min := Shrink(src, keep)
+	_, divs := Diff(min, configs)
+	return min, divs
+}

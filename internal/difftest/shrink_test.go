@@ -1,0 +1,60 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStatementCount(t *testing.T) {
+	src := `
+function f(x) { var a = 1; return a + x; }
+var result = 0;
+for (var i = 0; i < 3; i++) { result = result + f(i); }
+`
+	// f decl, var a, return, var result, for, its var i init, assignment = 7.
+	if n := StatementCount(src); n != 7 {
+		t.Fatalf("StatementCount = %d, want 7", n)
+	}
+}
+
+// TestShrinkPreservesProperty minimizes against a trivial syntactic
+// property and checks the result still satisfies it.
+func TestShrinkPreservesProperty(t *testing.T) {
+	src := `
+var keepme = 42;
+var a = 1;
+var b = 2;
+function unused(x) { var t = x * 2; return t; }
+var c = a + b;
+var result = keepme;
+`
+	keep := func(s string) bool { return strings.Contains(s, "keepme") }
+	min := Shrink(src, keep)
+	if !keep(min) {
+		t.Fatalf("shrunk program lost the property:\n%s", min)
+	}
+	if n := StatementCount(min); n > 2 {
+		t.Errorf("shrunk to %d statements, want <= 2:\n%s", n, min)
+	}
+}
+
+// TestShrinkDivergence is the acceptance check: a seeded divergent program
+// (CVE trigger buried in padding) must shrink to <= 25%% of its original
+// statement count while still diverging.
+func TestShrinkDivergence(t *testing.T) {
+	src := divergentProgram()
+	configs := buggyConfigs()
+	origStmts := StatementCount(src)
+	if origStmts == 0 {
+		t.Fatal("seed program does not parse")
+	}
+	min, divs := ShrinkDivergence(src, configs)
+	if len(divs) == 0 {
+		t.Fatal("shrunk program no longer diverges")
+	}
+	minStmts := StatementCount(min)
+	t.Logf("shrunk %d -> %d statements\n%s", origStmts, minStmts, min)
+	if 4*minStmts > origStmts {
+		t.Errorf("shrunk program has %d statements, want <= 25%% of %d", minStmts, origStmts)
+	}
+}

@@ -76,6 +76,19 @@ type Config struct {
 	HeapCells         int
 	MaxSteps          int64 // combined interp+native step budget (0 = default)
 	Out               io.Writer
+
+	// DisabledPasses names optimization passes skipped for every function
+	// (per-pass ablation). Disabling a mandatory pass makes compilation
+	// fail, falling back to the interpreter.
+	DisabledPasses []string
+	// CheckIR runs the SSA verifier after every optimization pass of every
+	// compilation, failing the compile (interpreter fallback) with the
+	// offending pass named. Used by differential tests and fuzzing.
+	CheckIR bool
+	// OnCompileError, when set, observes pipeline failures that the engine
+	// would otherwise swallow as a silent interpreter fallback (CheckIR
+	// verifier rejections in particular).
+	OnCompileError func(fn string, err error)
 }
 
 // Stats are the per-run counters the paper's Figure 4 reports.
@@ -315,6 +328,12 @@ func (e *Engine) observeReturn(st *fnState, v value.Value) {
 // compile attempts Ion compilation of function idx, applying the JITBULL
 // policy when installed. It implements the three scenarios of §V.
 func (e *Engine) compile(idx int, st *fnState) {
+	if len(e.cfg.DisabledPasses) > 0 && st.disabledPasses == nil {
+		st.disabledPasses = map[string]bool{}
+		for _, name := range e.cfg.DisabledPasses {
+			st.disabledPasses[name] = true
+		}
+	}
 	types := make([]value.Type, len(st.paramTypes))
 	copy(types, st.paramTypes)
 	for i, bad := range st.paramBad {
@@ -348,7 +367,15 @@ func (e *Engine) compile(idx int, st *fnState) {
 		if e.policy != nil && e.policy.Active() {
 			obs, finish = e.policy.BeginCompile(st.fn.Name)
 		}
-		if err := passes.Run(g, e.cfg.Bugs, st.disabledPasses, obs); err != nil {
+		if err := passes.RunWith(g, passes.RunOptions{
+			Bugs:     e.cfg.Bugs,
+			Disabled: st.disabledPasses,
+			Observer: obs,
+			CheckIR:  e.cfg.CheckIR,
+		}); err != nil {
+			if e.cfg.OnCompileError != nil {
+				e.cfg.OnCompileError(st.fn.Name, err)
+			}
 			return nil, false
 		}
 		e.Stats.Compiles++
@@ -389,7 +416,14 @@ func (e *Engine) compile(idx int, st *fnState) {
 					if err != nil {
 						return nil, false
 					}
-					if err := passes.Run(g2, e.cfg.Bugs, st.disabledPasses, nil); err != nil {
+					if err := passes.RunWith(g2, passes.RunOptions{
+						Bugs:     e.cfg.Bugs,
+						Disabled: st.disabledPasses,
+						CheckIR:  e.cfg.CheckIR,
+					}); err != nil {
+						if e.cfg.OnCompileError != nil {
+							e.cfg.OnCompileError(st.fn.Name, err)
+						}
 						return nil, false
 					}
 					g = g2

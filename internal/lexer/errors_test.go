@@ -1,0 +1,68 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/token"
+)
+
+// TestErrorPaths drives the lexer over malformed inputs: every case must
+// reach EOF without panicking and report at least one positioned error.
+func TestErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"stray-at", "var x = 1; @"},
+		{"stray-hash", "# comment in the wrong language"},
+		{"stray-backtick", "`template`"},
+		{"stray-dollar-alone", "\x01\x02"},
+		{"unterminated-string", `var s = "no closing quote`},
+		{"unterminated-string-newline", "var s = \"line\nbreak\";"},
+		{"unterminated-single-quote", "var s = 'half"},
+		{"unterminated-block-comment", "var x = 1; /* never closed"},
+		{"bad-escape", `var s = "\q";`},
+		{"lone-backslash", `var s = \;`},
+		{"bad-hex-number", "var x = 0xZZ;"},
+		{"truncated-hex", "var x = 0x"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := New(tc.src)
+			toks := l.All()
+			if len(toks) == 0 || toks[len(toks)-1].Kind != token.EOF {
+				t.Fatalf("token stream does not end in EOF: %v", toks)
+			}
+			errs := l.Errors()
+			if len(errs) == 0 {
+				t.Fatalf("malformed input lexed without errors: %q -> %v", tc.src, toks)
+			}
+			for _, e := range errs {
+				if e.Pos.Line <= 0 || e.Msg == "" {
+					t.Errorf("error lacks position or message: %+v", e)
+				}
+			}
+		})
+	}
+}
+
+// TestErrorRecovery checks the lexer keeps producing tokens after an error,
+// so the parser can report more than the first problem.
+func TestErrorRecovery(t *testing.T) {
+	l := New("var x = 1; @ var y = 2;")
+	toks := l.All()
+	var idents []string
+	for _, tok := range toks {
+		if tok.Kind == token.Ident {
+			idents = append(idents, tok.Literal)
+		}
+	}
+	joined := strings.Join(idents, " ")
+	if !strings.Contains(joined, "y") {
+		t.Fatalf("lexing stopped at the bad token; idents = %q", joined)
+	}
+	if len(l.Errors()) == 0 {
+		t.Fatal("stray @ produced no error")
+	}
+}

@@ -118,6 +118,14 @@ func (l *Lexer) Next() token.Token {
 	c := l.peek()
 	switch {
 	case c == 0:
+		// peek's 0 sentinel means end of input — unless a literal NUL byte
+		// is embedded in the source, which must be an error, not a silent
+		// truncation of everything after it.
+		if l.off < len(l.src) {
+			l.errorf(pos, "illegal NUL byte")
+			l.advance()
+			return l.Next()
+		}
 		return token.Token{Kind: token.EOF, Pos: pos}
 	case isIdentStart(c):
 		return l.scanIdent(pos)

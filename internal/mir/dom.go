@@ -1,42 +1,69 @@
 package mir
 
-// BuildDominators computes the dominator tree using the Cooper-Harvey-
-// Kennedy iterative algorithm, then numbers the tree for O(1) Dominates
-// queries, and recomputes loop depths from back edges.
-func (g *Graph) BuildDominators() {
-	rpo := g.ReversePostorder()
+// computeIdoms returns the immediate dominator of every block in rpo
+// (Cooper-Harvey-Kennedy iterative algorithm). The entry block maps to nil.
+// It does not touch any graph or block state, so it is safe to call from
+// read-only consumers such as the verifier.
+func computeIdoms(rpo []*Block) map[*Block]*Block {
+	idom := make(map[*Block]*Block, len(rpo))
+	if len(rpo) == 0 {
+		return idom
+	}
 	index := make(map[*Block]int, len(rpo))
 	for i, b := range rpo {
 		index[b] = i
-		b.idom = nil
-	}
-	if len(rpo) == 0 {
-		return
 	}
 	entry := rpo[0]
-	entry.idom = entry
+	idom[entry] = entry
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for index[a] > index[b] {
+				a = idom[a]
+			}
+			for index[b] > index[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
 	changed := true
 	for changed {
 		changed = false
 		for _, b := range rpo[1:] {
 			var newIdom *Block
 			for _, p := range b.Preds {
-				if p.idom == nil {
+				if idom[p] == nil {
 					continue // not yet processed or unreachable
 				}
 				if newIdom == nil {
 					newIdom = p
 				} else {
-					newIdom = intersect(p, newIdom, index)
+					newIdom = intersect(p, newIdom)
 				}
 			}
-			if newIdom != nil && b.idom != newIdom {
-				b.idom = newIdom
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
 				changed = true
 			}
 		}
 	}
-	entry.idom = nil
+	idom[entry] = nil
+	return idom
+}
+
+// BuildDominators computes the dominator tree using the Cooper-Harvey-
+// Kennedy iterative algorithm, then numbers the tree for O(1) Dominates
+// queries, and recomputes loop depths from back edges.
+func (g *Graph) BuildDominators() {
+	rpo := g.ReversePostorder()
+	if len(rpo) == 0 {
+		return
+	}
+	idoms := computeIdoms(rpo)
+	for _, b := range rpo {
+		b.idom = idoms[b]
+	}
+	entry := rpo[0]
 
 	// Number the dominator tree with a DFS interval labeling.
 	children := make(map[*Block][]*Block, len(rpo))
@@ -56,18 +83,6 @@ func (g *Graph) BuildDominators() {
 	dfs(entry)
 
 	g.computeLoopDepths(rpo)
-}
-
-func intersect(a, b *Block, index map[*Block]int) *Block {
-	for a != b {
-		for index[a] > index[b] {
-			a = a.idom
-		}
-		for index[b] > index[a] {
-			b = b.idom
-		}
-	}
-	return a
 }
 
 // computeLoopDepths finds natural loops (back edges to a dominating header)

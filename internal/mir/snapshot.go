@@ -1,9 +1,6 @@
 package mir
 
-import (
-	"fmt"
-	"strconv"
-)
+import "strconv"
 
 // Snapshot is a stable copy of a graph's live instructions taken between
 // optimization passes. The JITBULL Δ extractor consumes pairs of snapshots
@@ -115,88 +112,4 @@ func (g *Graph) Snap() *Snapshot {
 	return s
 }
 
-// Verify checks structural invariants of the graph and returns the list of
-// violations (empty when the graph is well-formed):
-//   - every block reachable from entry ends in exactly one control
-//     instruction, which is its last instruction;
-//   - phis appear only at block starts and have one operand per predecessor;
-//   - operands are live instructions;
-//   - successor/predecessor lists are mutually consistent;
-//   - OpTest has exactly two successors, OpGoto exactly one, returns none.
-func (g *Graph) Verify() []string {
-	var errs []string
-	addErr := func(format string, args ...any) {
-		errs = append(errs, fmt.Sprintf(format, args...))
-	}
-	live := map[*Instr]bool{}
-	for _, b := range g.Blocks {
-		for _, in := range b.Instrs {
-			if !in.Dead {
-				live[in] = true
-			}
-		}
-	}
-	for _, b := range g.ReversePostorder() {
-		ctl := b.Control()
-		if ctl == nil {
-			addErr("block%d has no control instruction", b.ID)
-			continue
-		}
-		seenNonPhi := false
-		for i, in := range b.Instrs {
-			if in.Dead {
-				continue
-			}
-			if in.Op == OpPhi {
-				if seenNonPhi {
-					addErr("block%d: phi %d after non-phi", b.ID, in.ID)
-				}
-				if len(in.Operands) != len(b.Preds) {
-					addErr("block%d: phi %d has %d inputs for %d preds", b.ID, in.ID, len(in.Operands), len(b.Preds))
-				}
-			} else {
-				seenNonPhi = true
-			}
-			if in.Op.IsControl() && i != len(b.Instrs)-1 {
-				addErr("block%d: control %s not last", b.ID, in)
-			}
-			for _, op := range in.Operands {
-				if !live[op] {
-					addErr("block%d: instr %d uses dead/unplaced operand %d", b.ID, in.ID, op.ID)
-				}
-			}
-		}
-		wantSuccs := -1
-		switch ctl.Op {
-		case OpGoto:
-			wantSuccs = 1
-		case OpTest:
-			wantSuccs = 2
-		case OpReturn, OpReturnUndef:
-			wantSuccs = 0
-		}
-		if wantSuccs >= 0 && len(b.Succs) != wantSuccs {
-			addErr("block%d: %s with %d successors", b.ID, ctl.Op, len(b.Succs))
-		}
-		for _, s := range b.Succs {
-			if !containsBlock(s.Preds, b) {
-				addErr("block%d -> block%d edge missing back-pointer", b.ID, s.ID)
-			}
-		}
-		for _, p := range b.Preds {
-			if !containsBlock(p.Succs, b) {
-				addErr("block%d <- block%d pred without succ edge", b.ID, p.ID)
-			}
-		}
-	}
-	return errs
-}
-
-func containsBlock(list []*Block, b *Block) bool {
-	for _, x := range list {
-		if x == b {
-			return true
-		}
-	}
-	return false
-}
+// Verify lives in verify.go.

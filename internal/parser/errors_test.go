@@ -1,0 +1,108 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/ast"
+	"github.com/jitbull/jitbull/internal/progen"
+)
+
+// TestMalformedInputs is the never-panic table: every malformed input must
+// come back as a clean positioned error from Parse, not a panic and not a
+// silent success.
+func TestMalformedInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty-expr-stmt", "var x = ;"},
+		{"missing-semi", "var x = 1 var y = 2"},
+		{"unclosed-paren", "var x = (1 + 2;"},
+		{"unclosed-brace", "function f() { return 1;"},
+		{"unclosed-bracket", "var x = a[1;"},
+		{"stray-rbrace", "} var x = 1;"},
+		{"operator-noise", "var x = * 3;"},
+		{"double-operator", "var x = 1 + + ;"},
+		{"if-without-cond", "if () { }"},
+		{"for-missing-semis", "for (var i = 0 i < 3 i++) { }"},
+		{"while-no-paren", "while true { }"},
+		{"func-missing-name", "function (x) { return x; }"},
+		{"func-missing-body", "function f(x)"},
+		{"duplicate-param", "function f(x, x) { return x; }"},
+		{"const-no-init", "const c;"},
+		{"break-with-arg", "while (1) { break 5; }"},
+		{"unterminated-string", `var s = "abc;`},
+		{"unterminated-comment", "var x = 1; /* tail"},
+		{"lex-noise", "var @ = 5;"},
+		{"assign-to-literal", "3 = x;"},
+		{"keyword-as-name", "var for = 1;"},
+		{"just-else", "else { }"},
+		{"dot-nothing", "var x = a.;"},
+		{"call-missing-rparen", "f(1, 2;"},
+		{"garbage-bytes", "\x00\x01\x02\x03"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("malformed input parsed cleanly: %q -> %v", tc.src, prog)
+			}
+			if strings.TrimSpace(err.Error()) == "" {
+				t.Fatal("error has no message")
+			}
+		})
+	}
+}
+
+// TestDeepNesting checks recursive-descent depth limits: deeply nested
+// expressions and blocks must parse (or fail cleanly), never overflow.
+func TestDeepNesting(t *testing.T) {
+	const depth = 2000
+	cases := map[string]string{
+		"parens": "var x = " + strings.Repeat("(", depth) + "1" + strings.Repeat(")", depth) + ";",
+		"blocks": strings.Repeat("{", depth) + "var x = 1;" + strings.Repeat("}", depth),
+		"ifs":    strings.Repeat("if (1) { ", depth) + "var x = 1;" + strings.Repeat(" }", depth),
+		"unary":  "var x = " + strings.Repeat("-", depth) + "1;",
+		"binary": "var x = 1" + strings.Repeat(" + 1", depth) + ";",
+		// Unbalanced: must error, not recurse forever.
+		"unclosed-parens": "var x = " + strings.Repeat("(", depth) + "1;",
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, _ = Parse(src) // must terminate without panicking
+		})
+	}
+}
+
+// TestRoundTrip pins the printer against the parser: printing a parsed
+// program and re-parsing must yield the identical printed form, over both
+// hand-written sources and the generated corpus.
+func TestRoundTrip(t *testing.T) {
+	sources := []string{
+		"var x = 1 + 2 * 3;",
+		"function f(a, b) { if (a < b) { return a; } return b; }\nvar result = f(1, 2);",
+		"for (var i = 0; i < 10 && i != 7; i++) { i = i; }",
+		"do { var x = 1; } while (0);",
+		"var s = \"quoted \\\"inner\\\" text\";",
+		"while (0) ;",
+		"for (0; 0; 0) ;",
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		sources = append(sources, progen.Generate(seed, progen.Options{}))
+	}
+	for i, src := range sources {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("source %d does not parse: %v\n%s", i, err, src)
+		}
+		printed := ast.Print(prog, ast.PrintConfig{})
+		prog2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form of source %d does not re-parse: %v\n%s", i, err, printed)
+		}
+		if again := ast.Print(prog2, ast.PrintConfig{}); again != printed {
+			t.Fatalf("print is not a fixed point for source %d:\n--- first\n%s\n--- second\n%s", i, printed, again)
+		}
+	}
+}

@@ -182,8 +182,10 @@ func (p *parser) parseStmt() ast.Stmt {
 		p.expectSemi()
 		return &ast.ReturnStmt{ReturnPos: t.Pos, Value: val}
 	case token.Semicolon:
-		p.next() // empty statement
-		return nil
+		// Empty statement: an empty block, so `for (...) ;` and `if (...) ;`
+		// carry a non-nil body downstream.
+		t := p.next()
+		return &ast.BlockStmt{Lbrace: t.Pos}
 	default:
 		x := p.parseExpr()
 		p.expectSemi()

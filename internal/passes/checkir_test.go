@@ -1,0 +1,95 @@
+package passes
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/mir"
+)
+
+// killOperandPass deliberately breaks SSA: it marks as dead the first
+// instruction that still has a use, leaving a live instruction reading a
+// dead definition. The verifier must reject the graph right after this
+// pass and attribute the breakage to it by name.
+type killOperandPass struct{}
+
+func (killOperandPass) Name() string      { return "KillUsedDefinition" }
+func (killOperandPass) Disableable() bool { return true }
+func (killOperandPass) Run(g *mir.Graph, _ *Context) error {
+	for _, b := range g.Blocks {
+		for _, in := range b.Instrs {
+			if in.Dead {
+				continue
+			}
+			for _, op := range in.Operands {
+				if !op.Dead {
+					op.Dead = true
+					return nil
+				}
+			}
+		}
+	}
+	return nil
+}
+
+const checkIRSrc = `
+function f(a, n) {
+  var s = 0;
+  for (var i = 0; i < n; i++) { s = s + a[i] * 2; }
+  return s;
+}
+`
+
+// TestCheckIRAttributesBrokenPass proves the per-pass verifier catches a
+// corrupting pass and names it: a pipeline with a bad pass spliced into the
+// middle must fail with an *IRError carrying that pass's name, while the
+// unmodified pipeline over the same graph passes CheckIR cleanly.
+func TestCheckIRAttributesBrokenPass(t *testing.T) {
+	g := build(t, checkIRSrc, "f", "a")
+	if err := RunWith(g, RunOptions{CheckIR: true}); err != nil {
+		t.Fatalf("sound pipeline failed CheckIR: %v", err)
+	}
+
+	// Splice the corrupting pass after the type/alias prologue so the graph
+	// it breaks is a realistic mid-pipeline one.
+	var pl []Pass
+	for _, p := range Pipeline() {
+		pl = append(pl, p)
+		if p.Name() == "AliasAnalysis" {
+			pl = append(pl, killOperandPass{})
+		}
+	}
+	g = build(t, checkIRSrc, "f", "a")
+	err := RunWith(g, RunOptions{CheckIR: true, Pipeline: pl})
+	if err == nil {
+		t.Fatal("corrupting pass went undetected")
+	}
+	var ir *IRError
+	if !errors.As(err, &ir) {
+		t.Fatalf("error is not an *IRError: %v", err)
+	}
+	if ir.Pass != "KillUsedDefinition" {
+		t.Fatalf("verifier blamed pass %q, want KillUsedDefinition (issues: %v)", ir.Pass, ir.Issues)
+	}
+	if len(ir.Issues) == 0 || !strings.Contains(ir.Issues[0], "dead") {
+		t.Errorf("issues do not mention the dead operand: %v", ir.Issues)
+	}
+}
+
+// TestCheckIRRejectsBrokenInput verifies the input-graph check: a graph
+// corrupted before the pipeline is rejected with an empty Pass attribution.
+func TestCheckIRRejectsBrokenInput(t *testing.T) {
+	g := build(t, checkIRSrc, "f", "a")
+	if err := (killOperandPass{}).Run(g, nil); err != nil {
+		t.Fatal(err)
+	}
+	err := RunWith(g, RunOptions{CheckIR: true})
+	var ir *IRError
+	if !errors.As(err, &ir) {
+		t.Fatalf("broken input graph not rejected as *IRError: %v", err)
+	}
+	if ir.Pass != "" {
+		t.Fatalf("input-graph rejection attributed to pass %q, want input graph", ir.Pass)
+	}
+}

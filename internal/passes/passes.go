@@ -124,40 +124,99 @@ func Disableable(name string) bool {
 // passes.
 type Observer func(passIndex int, passName string, before, after *mir.Snapshot)
 
-// Run executes the pipeline over g. Disabled names passes are skipped
-// (mandatory passes cannot be skipped and return an error if asked to).
-// The observer, when non-nil, receives a snapshot pair per executed pass;
-// when nil, no snapshots are taken at all, making the instrumented path
-// zero-cost exactly as the paper's implementation promises for an empty
-// VDC database.
+// IRError reports that the SSA verifier rejected the graph at a pass
+// boundary, attributing the breakage to the pass that just ran.
+type IRError struct {
+	Func   string   // function being compiled
+	Pass   string   // pass after which verification failed ("" = input graph)
+	Issues []string // the verifier's findings
+}
+
+// Error implements the error interface.
+func (e *IRError) Error() string {
+	where := e.Pass
+	if where == "" {
+		where = "<input graph>"
+	}
+	return fmt.Sprintf("IR verification failed for %s after pass %s: %v", e.Func, where, e.Issues)
+}
+
+// RunOptions parameterizes RunWith.
+type RunOptions struct {
+	// Bugs selects the injected vulnerabilities active in this build.
+	Bugs BugSet
+	// Disabled names passes to skip (mandatory passes cannot be skipped and
+	// cause an error when asked to).
+	Disabled map[string]bool
+	// Observer, when non-nil, receives a snapshot pair per executed pass.
+	Observer Observer
+	// CheckIR runs the full SSA verifier after every executed pass (and
+	// once on the input graph), returning an *IRError naming the offending
+	// pass on the first violation. Intended for tests and fuzzing; the
+	// normal path verifies once at the end of the pipeline.
+	CheckIR bool
+	// Pipeline overrides the pass list (nil = the standard Pipeline()).
+	// Used by tests to inject deliberately broken passes and prove the
+	// verifier attributes them.
+	Pipeline []Pass
+}
+
+// Run executes the standard pipeline over g. Disabled names passes are
+// skipped (mandatory passes cannot be skipped and return an error if asked
+// to). The observer, when non-nil, receives a snapshot pair per executed
+// pass; when nil, no snapshots are taken at all, making the instrumented
+// path zero-cost exactly as the paper's implementation promises for an
+// empty VDC database.
 func Run(g *mir.Graph, bugs BugSet, disabled map[string]bool, obs Observer) error {
-	ctx := &Context{Bugs: bugs, Ranges: map[*mir.Instr]Range{}}
+	return RunWith(g, RunOptions{Bugs: bugs, Disabled: disabled, Observer: obs})
+}
+
+// RunWith executes the pipeline over g under the given options.
+func RunWith(g *mir.Graph, o RunOptions) error {
+	ctx := &Context{Bugs: o.Bugs, Ranges: map[*mir.Instr]Range{}}
+	// Builds with injected vulnerabilities miscompile by producing ill-typed
+	// IR on purpose; only structural SSA invariants are checkable there.
+	vopts := mir.VerifyOptions{Types: len(o.Bugs) == 0}
+	pipeline := o.Pipeline
+	if pipeline == nil {
+		pipeline = Pipeline()
+	}
+	if o.CheckIR {
+		if issues := g.VerifyOpts(vopts); len(issues) > 0 {
+			return &IRError{Func: g.Name, Issues: issues}
+		}
+	}
 	// The IR is untouched between passes, so each pass's "before" snapshot
 	// is the previous pass's "after": one snapshot per executed pass.
 	var prev *mir.Snapshot
-	for i, p := range Pipeline() {
-		if disabled[p.Name()] {
+	for i, p := range pipeline {
+		if o.Disabled[p.Name()] {
 			if !p.Disableable() {
 				return fmt.Errorf("pass %s is mandatory and cannot be disabled", p.Name())
 			}
-			if obs != nil {
-				obs(i, p.Name(), nil, nil)
+			if o.Observer != nil {
+				o.Observer(i, p.Name(), nil, nil)
 			}
 			continue
 		}
-		if obs != nil && prev == nil {
+		if o.Observer != nil && prev == nil {
 			prev = g.Snap()
 		}
 		if err := p.Run(g, ctx); err != nil {
 			return fmt.Errorf("pass %s: %w", p.Name(), err)
 		}
-		if obs != nil {
+		if o.Observer != nil {
 			after := g.Snap()
-			obs(i, p.Name(), prev, after)
+			o.Observer(i, p.Name(), prev, after)
 			prev = after
 		}
+		if o.CheckIR {
+			if issues := g.VerifyOpts(vopts); len(issues) > 0 {
+				return &IRError{Func: g.Name, Pass: p.Name(), Issues: issues}
+			}
+		}
 	}
-	if errs := g.Verify(); len(errs) > 0 {
+	if errs := g.VerifyOpts(vopts); len(errs) > 0 {
 		return fmt.Errorf("pipeline produced invalid graph for %s: %v", g.Name, errs)
 	}
 	return nil

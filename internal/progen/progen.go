@@ -56,7 +56,11 @@ type gen struct {
 	locals   []string
 	loopVars []string
 	arrays   []string // array-typed names in scope (params)
+	helpers  []string // shared helper functions (polymorphic call targets)
 }
+
+// cmpOps are the comparison operators used in conditions.
+var cmpOps = []string{"<", ">", "<=", ">=", "==", "!="}
 
 // readables returns every readable numeric name in scope.
 func (g *gen) readables() []string {
@@ -82,6 +86,17 @@ func (g *gen) program() string {
 		fmt.Fprintf(&sb, "  g%d[ii] = ii * %d + %d;\n", i, g.rng.Intn(7)+1, g.rng.Intn(9))
 	}
 	sb.WriteString("}\n")
+
+	// Shared numeric helpers. Hot functions call them with both (number,
+	// number) and (boolean, number) argument pairs, making the call sites
+	// polymorphic: type feedback merges the profiles, and the tiers must
+	// still agree on the coerced arithmetic.
+	const numHelpers = 2
+	for h := 0; h < numHelpers; h++ {
+		g.helpers = append(g.helpers, fmt.Sprintf("h%d", h))
+		fmt.Fprintf(&sb, "function h%d(u, v) { return (u * %d + v * %d + %d) %% 1000003; }\n",
+			h, g.rng.Intn(5)+2, g.rng.Intn(5)+2, g.rng.Intn(50))
+	}
 
 	nf := g.opts.Funcs
 	for f := 0; f < nf; f++ {
@@ -122,7 +137,7 @@ func (g *gen) stmt(d int) string {
 	if d > 3 {
 		return g.assign(d)
 	}
-	switch g.rng.Intn(8) {
+	switch g.rng.Intn(10) {
 	case 0:
 		return g.forLoop(d)
 	case 1:
@@ -131,6 +146,10 @@ func (g *gen) stmt(d int) string {
 		return g.arrayStore(d)
 	case 3:
 		return g.localDecl(d)
+	case 4:
+		return g.nestedStore(d)
+	case 5:
+		return g.helperCall(d)
 	default:
 		return g.assign(d)
 	}
@@ -166,23 +185,65 @@ func (g *gen) arrayStore(d int) string {
 		indent(d), arr, g.absExpr(), arr, g.expr(0))
 }
 
+// nestedStore is an element write whose index is computed from an element
+// read of another (or the same) array — the load feeds the store address,
+// an alias-analysis-hostile shape. Elements may be negative or fractional,
+// so the read is forced integral and non-negative before masking.
+func (g *gen) nestedStore(d int) string {
+	dst := g.pick(g.arrays)
+	src := g.pick(g.arrays)
+	return fmt.Sprintf("%s%s[(Math.abs(%s[(%s) %% %s.length]) & 255) %% %s.length] = %s %% 65536;\n",
+		indent(d), dst, src, g.absExpr(), src, dst, g.expr(0))
+}
+
+// helperCall accumulates a shared helper's result; half the sites pass a
+// boolean first argument, making the helper's type profile polymorphic.
+func (g *gen) helperCall(d int) string {
+	h := g.pick(g.helpers)
+	if g.rng.Intn(2) == 0 {
+		return fmt.Sprintf("%sacc = (acc + %s(%s %s %s, %s)) %% 1000003;\n",
+			indent(d), h, g.leaf(), g.pick(cmpOps), g.leaf(), g.leaf())
+	}
+	return fmt.Sprintf("%sacc = (acc + %s(%s, %s)) %% 1000003;\n",
+		indent(d), h, g.leaf(), g.leaf())
+}
+
 func (g *gen) forLoop(d int) string {
 	iv := fmt.Sprintf("i%d", d)
 	bound := g.rng.Intn(loopBoundN) + 2
-	var body strings.Builder
-	n := g.rng.Intn(3) + 1
 	save := len(g.loopVars)
 	g.loopVars = append(g.loopVars, iv)
+	// The loop condition always keeps a `iv < bound`-shaped conjunct, so
+	// termination is guaranteed; extra comparison/logical conjuncts can only
+	// narrow the iteration space (and may read state the body mutates).
+	var cond string
+	switch g.rng.Intn(4) {
+	case 0:
+		cond = fmt.Sprintf("%s <= %d", iv, bound-1)
+	case 1:
+		cond = fmt.Sprintf("%s < %d && %s", iv, bound, g.boolExpr())
+	case 2:
+		cond = fmt.Sprintf("%s <= %d && (%s || %s)", iv, bound-1, g.boolExpr(), g.boolExpr())
+	default:
+		cond = fmt.Sprintf("%s < %d", iv, bound)
+	}
+	var body strings.Builder
+	n := g.rng.Intn(3) + 1
 	for i := 0; i < n; i++ {
 		body.WriteString(g.stmt(d + 1))
 	}
 	g.loopVars = g.loopVars[:save]
-	return fmt.Sprintf("%sfor (var %s = 0; %s < %d; %s++) {\n%s%s}\n",
-		indent(d), iv, iv, bound, iv, body.String(), indent(d))
+	return fmt.Sprintf("%sfor (var %s = 0; %s; %s++) {\n%s%s}\n",
+		indent(d), iv, cond, iv, body.String(), indent(d))
+}
+
+// boolExpr yields a comparison between two numeric expressions.
+func (g *gen) boolExpr() string {
+	return fmt.Sprintf("%s %s %s", g.expr(1), g.pick(cmpOps), g.expr(1))
 }
 
 func (g *gen) ifStmt(d int) string {
-	cond := fmt.Sprintf("%s %s %s", g.expr(0), g.pick([]string{"<", ">", "<=", ">=", "==", "!="}), g.expr(0))
+	cond := fmt.Sprintf("%s %s %s", g.expr(0), g.pick(cmpOps), g.expr(0))
 	var thenB, elseB strings.Builder
 	for i := 0; i < g.rng.Intn(2)+1; i++ {
 		thenB.WriteString(g.stmt(d + 1))

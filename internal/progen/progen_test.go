@@ -2,6 +2,8 @@ package progen
 
 import (
 	"math"
+	"regexp"
+	"strings"
 	"testing"
 
 	"github.com/jitbull/jitbull/internal/engine"
@@ -28,6 +30,47 @@ func same(a, b value.Value) bool {
 	}
 	x, y := a.AsNumber(), b.AsNumber()
 	return x == y || (math.IsNaN(x) && math.IsNaN(y))
+}
+
+// TestGenerateDistribution checks the generator actually emits the
+// constructs it advertises, at a usable rate across seeds: compound loop
+// conditions (logical operators, <= bounds), element-read-indexed stores,
+// and polymorphic helper call sites.
+func TestGenerateDistribution(t *testing.T) {
+	features := map[string]func(src string) bool{
+		"loop-cond-and": func(src string) bool {
+			return strings.Contains(src, "&& ")
+		},
+		"loop-cond-le": func(src string) bool {
+			return regexp.MustCompile(`for \(var i\d+ = 0; i\d+ <= `).MatchString(src)
+		},
+		"nested-store": func(src string) bool {
+			return regexp.MustCompile(`\[\(Math\.abs\([ab]\[`).MatchString(src)
+		},
+		"helper-call": func(src string) bool {
+			return regexp.MustCompile(`h[01]\(`).MatchString(src)
+		},
+		"polymorphic-helper-arg": func(src string) bool {
+			return regexp.MustCompile(`h[01]\([^,)]* (<|>|<=|>=|==|!=) `).MatchString(src)
+		},
+	}
+	const seeds = 50
+	counts := map[string]int{}
+	for seed := int64(0); seed < seeds; seed++ {
+		src := Generate(seed, Options{})
+		for name, present := range features {
+			if present(src) {
+				counts[name]++
+			}
+		}
+	}
+	for name := range features {
+		// Every feature must show up in at least a fifth of the programs;
+		// a rarer one contributes nothing to differential coverage.
+		if counts[name] < seeds/5 {
+			t.Errorf("feature %s present in only %d/%d programs", name, counts[name], seeds)
+		}
+	}
 }
 
 func TestGenerateDeterministic(t *testing.T) {
