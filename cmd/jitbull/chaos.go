@@ -1,0 +1,51 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/jitbull/jitbull/internal/difftest"
+)
+
+// cmdChaos runs the randomized fault-injection campaign from the command
+// line: N generated programs × randomized fault schedules, each checked
+// for escaped panics, interpreter divergence, and 1:1 fault accounting.
+// Failures are written as JSON reproducers (seed + plan + program).
+func cmdChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	runs := fs.Int("runs", 200, "number of randomized fault-schedule runs")
+	seed := fs.Int64("seed", 1, "base seed (run i uses seed+i for program and schedule)")
+	rules := fs.Int("rules", 3, "max fault rules per schedule")
+	out := fs.String("out", "", "write failure reproducers (JSON) to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("chaos: unexpected arguments %v", fs.Args())
+	}
+	res := difftest.Chaos(difftest.ChaosOptions{Seed: *seed, Runs: *runs, MaxRules: *rules})
+	fmt.Printf("chaos: %s\n", res.Summary())
+	for i, f := range res.Failures {
+		if i >= 5 {
+			fmt.Printf("  ... and %d more\n", len(res.Failures)-i)
+			break
+		}
+		fmt.Printf("  %s\n", f)
+	}
+	if *out != "" && len(res.Failures) > 0 {
+		data, err := json.MarshalIndent(res.Failures, "", "  ")
+		if err != nil {
+			return fmt.Errorf("chaos: marshal reproducers: %w", err)
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return fmt.Errorf("chaos: write reproducers: %w", err)
+		}
+		fmt.Printf("chaos: wrote %d reproducer(s) to %s\n", len(res.Failures), *out)
+	}
+	if !res.OK() {
+		return fmt.Errorf("chaos: %d run(s) violated an invariant", len(res.Failures))
+	}
+	return nil
+}

@@ -39,6 +39,8 @@ func run(args []string) error {
 		return cmdFingerprint(args[1:])
 	case "diff":
 		return cmdDiff(args[1:])
+	case "chaos":
+		return cmdChaos(args[1:])
 	case "vulns":
 		return cmdVulns()
 	case "help", "-h", "--help":
@@ -55,6 +57,7 @@ func usage() {
   jitbull run [-nojit] [-threshold N] [-bugs CVE,...] [-db file] [-stats] script.js
   jitbull fingerprint -cve CVE-... [-bugs CVE,...] [-threshold N] -db file script.js
   jitbull diff [-seed N | -seeds N] [-bugs CVE,...] [-shrink] [-jitbull] script.js
+  jitbull chaos [-runs N] [-seed N] [-rules N] [-out reproducers.json]
   jitbull vulns`)
 }
 
@@ -96,9 +99,9 @@ func cmdRun(args []string) error {
 	}
 	var det *jitbull.Detector
 	if *dbPath != "" {
-		db, err := jitbull.LoadDatabase(*dbPath)
+		db, err := jitbull.LoadDatabaseFailSafe(*dbPath)
 		if err != nil {
-			return err
+			fmt.Fprintf(os.Stderr, "jitbull: DNA database unusable (%v)\njitbull: failing safe: JIT disabled for every function\n", err)
 		}
 		det = jitbull.Protect(eng, db)
 	}

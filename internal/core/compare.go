@@ -84,8 +84,12 @@ func NewDetector(db *Database) *Detector {
 
 var _ engine.Policy = (*Detector)(nil)
 
-// Active implements engine.Policy.
-func (d *Detector) Active() bool { return d.DB != nil && d.DB.Size() > 0 }
+// Active implements engine.Policy. A fail-safe database is active even
+// though it is empty: its verdict (NoJIT for everything) must reach the
+// engine.
+func (d *Detector) Active() bool {
+	return d.DB != nil && (d.DB.FailSafe() || d.DB.Size() > 0)
+}
 
 // Reset clears the accumulated matches so the detector can be reused
 // across evaluation runs.
@@ -98,6 +102,13 @@ func (d *Detector) Reset() {
 // extracts the function's DNA pass by pass, and a finish function that
 // produces the go/no-go decision via Decide.
 func (d *Detector) BeginCompile(fnName string) (passes.Observer, func() engine.CompileDecision) {
+	if d.DB != nil && d.DB.FailSafe() {
+		// The real database could not be trusted: no DNA to compare
+		// against, so take no snapshots and veto every compilation.
+		return nil, func() engine.CompileDecision {
+			return engine.CompileDecision{NoJIT: true}
+		}
+	}
 	dna := DNA{FuncName: fnName, Passes: map[string]Delta{}}
 	de := newDeltaExtractor()
 	obs := func(_ int, passName string, before, after *mir.Snapshot) {
@@ -122,6 +133,9 @@ func (d *Detector) BeginCompile(fnName string) (passes.Observer, func() engine.C
 func (d *Detector) Decide(dna *DNA) engine.CompileDecision {
 	if d.DB == nil {
 		return engine.CompileDecision{}
+	}
+	if d.DB.FailSafe() {
+		return engine.CompileDecision{NoJIT: true}
 	}
 	idx := d.DB.Index(d.Thr)
 	found := d.found[:0]

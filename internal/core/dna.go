@@ -13,9 +13,6 @@ package core
 
 import (
 	"encoding/json"
-	"fmt"
-	"os"
-	"path/filepath"
 	"sync"
 )
 
@@ -105,11 +102,26 @@ type VDC struct {
 type Database struct {
 	VDCs []VDC `json:"vdcs"`
 
+	// failSafe marks a stand-in for a database that could not be loaded
+	// (corrupt, unreadable, invalid): the detector's verdict over it is
+	// NoJIT for every function. See NewFailSafeDatabase.
+	failSafe bool
+
 	// mu guards the compiled-index cache; indexes is keyed by the Thr the
 	// index was pruned for and invalidated wholesale on any mutation.
 	mu      sync.Mutex
 	indexes map[int]*MatchIndex
 }
+
+// NewFailSafeDatabase returns the database substituted when the real one
+// cannot be trusted: it matches nothing but drives the policy to NoJIT
+// for every compilation, so a corrupted database degrades to "JIT
+// disabled" rather than "protection silently off" — the same conservative
+// direction the paper's scenario 3 takes for unpatchable matches.
+func NewFailSafeDatabase() *Database { return &Database{failSafe: true} }
+
+// FailSafe reports whether this is a fail-safe stand-in database.
+func (db *Database) FailSafe() bool { return db.failSafe }
 
 // mutated invalidates the compiled-index cache.
 func (db *Database) mutated() {
@@ -166,50 +178,5 @@ func (db *Database) Index(thr int) *MatchIndex {
 	return ix
 }
 
-// Save writes the database as deterministic, indented JSON. The write is
-// atomic: the data goes to a temporary file in the destination directory
-// which is then renamed over path, so a concurrent reader (or a crash
-// mid-write) never observes a torn database.
-func (db *Database) Save(path string) error {
-	data, err := json.MarshalIndent(db, "", "  ")
-	if err != nil {
-		return fmt.Errorf("marshal DNA database: %w", err)
-	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".jitbull-db-*")
-	if err != nil {
-		return fmt.Errorf("save DNA database: %w", err)
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("save DNA database: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("save DNA database: %w", err)
-	}
-	if err := os.Chmod(tmpName, 0o644); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("save DNA database: %w", err)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("save DNA database: %w", err)
-	}
-	return nil
-}
-
-// LoadDatabase reads a database written by Save.
-func LoadDatabase(path string) (*Database, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var db Database
-	if err := json.Unmarshal(data, &db); err != nil {
-		return nil, fmt.Errorf("parse DNA database %s: %w", path, err)
-	}
-	return &db, nil
-}
+// Persistence (Save, LoadDatabase and the checksummed on-disk envelope)
+// lives in persist.go; structural validation in validate.go.

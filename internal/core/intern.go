@@ -137,8 +137,22 @@ func (it *Interner) chainsView() []chainEntry {
 	return it.chains
 }
 
+// NumChains returns how many distinct chains have been interned.
+func (it *Interner) NumChains() int {
+	it.mu.RLock()
+	defer it.mu.RUnlock()
+	return len(it.chains)
+}
+
 // InternChain interns a "→"-joined chain string in the process interner.
 func InternChain(s string) uint32 { return interner.ChainOfString(s) }
+
+// NumChains returns the process interner's chain count.
+func NumChains() int { return interner.NumChains() }
+
+// KnownChain reports whether id is a live chain ID in the process
+// interner (database validation uses this to reject dangling references).
+func KnownChain(id uint32) bool { return int(id) < interner.NumChains() }
 
 // ChainString renders an interned chain ID back to its string form.
 func ChainString(id uint32) string { return interner.ChainString(id) }

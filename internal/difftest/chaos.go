@@ -1,0 +1,177 @@
+package difftest
+
+import (
+	"fmt"
+
+	"github.com/jitbull/jitbull/internal/engine"
+	"github.com/jitbull/jitbull/internal/faults"
+	"github.com/jitbull/jitbull/internal/progen"
+)
+
+// Chaos is the fault-injection arm of the differential oracle: each run
+// draws a generated program and a randomized fault schedule, executes the
+// program on a JIT engine with the faults armed, and holds the engine to
+// three invariants:
+//
+//  1. no panic escapes the engine, whatever the schedule does;
+//  2. the observed semantics are identical to the clean interpreter's —
+//     every contained failure must degrade to interpreter re-execution,
+//     never to a wrong answer;
+//  3. fault accounting is 1:1 — every fault the injector fired surfaces
+//     as exactly one supervised, typed CompileError in the engine stats
+//     (a swallowed or double-counted fault is a supervisor bug).
+//
+// Every failure is reported with its (seed, plan, program) reproducer:
+// chaos runs are fully deterministic.
+
+// ChaosOptions bounds a chaos campaign.
+type ChaosOptions struct {
+	// Seed is the base seed; run i uses Seed+i for both its generated
+	// program and its fault schedule.
+	Seed int64
+	// Runs is the number of randomized runs (default 200).
+	Runs int
+	// MaxRules caps the rules per fault schedule (default 3).
+	MaxRules int
+	// IonThreshold for the chaos cell (default 30, as in the matrix).
+	IonThreshold int
+	// BaselineThreshold (default 10).
+	BaselineThreshold int
+	// MaxSteps per run (default 200M).
+	MaxSteps int64
+}
+
+func (o ChaosOptions) withDefaults() ChaosOptions {
+	if o.Runs <= 0 {
+		o.Runs = 200
+	}
+	if o.MaxRules <= 0 {
+		o.MaxRules = 3
+	}
+	if o.IonThreshold <= 0 {
+		o.IonThreshold = 30
+	}
+	if o.BaselineThreshold <= 0 {
+		o.BaselineThreshold = 10
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 200_000_000
+	}
+	return o
+}
+
+// ChaosFailure is one failed chaos run with everything needed to replay
+// it: the program, the fault plan, and what went wrong.
+type ChaosFailure struct {
+	RunSeed     int64       `json:"run_seed"`
+	Plan        faults.Plan `json:"plan"`
+	Program     string      `json:"program"`
+	Panic       string      `json:"panic,omitempty"`       // a panic escaped the engine
+	Divergences []string    `json:"divergences,omitempty"` // semantics differed from the interpreter
+	Accounting  string      `json:"accounting,omitempty"`  // fired faults != accounted faults
+}
+
+// String renders the failure (without the program body) for reports.
+func (f ChaosFailure) String() string {
+	s := fmt.Sprintf("chaos run seed=%d plan=(%s):", f.RunSeed, f.Plan)
+	if f.Panic != "" {
+		s += fmt.Sprintf(" panic escaped: %s", f.Panic)
+	}
+	for _, d := range f.Divergences {
+		s += fmt.Sprintf(" divergence: %s;", d)
+	}
+	if f.Accounting != "" {
+		s += " " + f.Accounting
+	}
+	return s
+}
+
+// ChaosResult summarizes a campaign.
+type ChaosResult struct {
+	Runs        int            // runs executed
+	FaultsFired int            // total faults fired across all runs
+	FaultedRuns int            // runs where at least one fault fired
+	Failures    []ChaosFailure // runs that violated an invariant
+}
+
+// OK reports whether every run held all three invariants.
+func (r ChaosResult) OK() bool { return len(r.Failures) == 0 }
+
+// Summary renders the campaign for reports.
+func (r ChaosResult) Summary() string {
+	return fmt.Sprintf("%d runs, %d faults fired (%d runs faulted), %d failure(s)",
+		r.Runs, r.FaultsFired, r.FaultedRuns, len(r.Failures))
+}
+
+// Chaos executes a campaign of o.Runs randomized fault-schedule runs.
+func Chaos(o ChaosOptions) ChaosResult {
+	o = o.withDefaults()
+	var res ChaosResult
+	for i := 0; i < o.Runs; i++ {
+		seed := o.Seed + int64(i)
+		src := progen.Generate(seed, progen.Options{})
+		plan := faults.RandomPlan(seed, o.MaxRules, faults.CompilePoints())
+		fired, fail := chaosOne(seed, src, plan, o)
+		res.Runs++
+		res.FaultsFired += fired
+		if fired > 0 {
+			res.FaultedRuns++
+		}
+		if fail != nil {
+			res.Failures = append(res.Failures, *fail)
+		}
+	}
+	return res
+}
+
+// chaosOne executes a single (program, plan) pair against the interpreter
+// reference and checks the three invariants.
+func chaosOne(seed int64, src string, plan faults.Plan, o ChaosOptions) (fired int, fail *ChaosFailure) {
+	base := engine.Config{
+		BaselineThreshold: o.BaselineThreshold,
+		IonThreshold:      o.IonThreshold,
+		MaxSteps:          o.MaxSteps,
+	}
+	refCfg := Config{Name: "interp", Engine: base}
+	refCfg.Engine.DisableJIT = true
+	ref := Observe(src, refCfg)
+
+	inj := plan.Injector()
+	chaosCfg := Config{Name: "jit+chaos", Engine: base}
+	chaosCfg.Engine.Faults = inj
+	// Aggressive quarantine knobs: retries (and therefore re-injections)
+	// must actually happen inside test-sized runs.
+	chaosCfg.Engine.QuarantineBackoff = 8
+	chaosCfg.Engine.QuarantineCleanRuns = 2
+	chaosCfg.Engine.MaxCompileAttempts = 3
+
+	var obs Observation
+	panicked := ""
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked = fmt.Sprint(r)
+			}
+		}()
+		obs = Observe(src, chaosCfg)
+	}()
+	fired = inj.FiredCount()
+
+	mk := func() *ChaosFailure {
+		if fail == nil {
+			fail = &ChaosFailure{RunSeed: seed, Plan: plan, Program: src}
+		}
+		return fail
+	}
+	if panicked != "" {
+		mk().Panic = panicked
+		return fired, fail
+	}
+	for _, d := range compare(chaosCfg, obs, ref, refCfg.Name) {
+		mk().Divergences = append(mk().Divergences, d.String())
+	}
+	if got := obs.Stats.InjectedFaults; got != fired {
+		mk().Accounting = fmt.Sprintf("injector fired %d fault(s) but the engine accounted %d", fired, got)
+	}
+	return fired, fail
+}

@@ -1,0 +1,68 @@
+package difftest
+
+import (
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/faults"
+)
+
+// TestChaosCampaign is the acceptance chaos suite: 210 randomized
+// fault-schedule runs with zero escaped panics, interpreter-identical
+// semantics, and 1:1 fault accounting.
+func TestChaosCampaign(t *testing.T) {
+	res := Chaos(ChaosOptions{Seed: 1, Runs: 210})
+	if res.Runs < 200 {
+		t.Fatalf("campaign executed %d runs, want >= 200", res.Runs)
+	}
+	for i, f := range res.Failures {
+		if i >= 5 {
+			t.Errorf("... and %d more failures", len(res.Failures)-i)
+			break
+		}
+		t.Errorf("%s\nprogram:\n%s", f, f.Program)
+	}
+	t.Logf("chaos: %s", res.Summary())
+	// A campaign where no fault ever fired proves nothing.
+	if res.FaultsFired == 0 {
+		t.Fatal("no fault fired across the whole campaign; the schedules are vacuous")
+	}
+	if res.FaultedRuns < res.Runs/4 {
+		t.Errorf("only %d/%d runs fired a fault; schedules are too timid", res.FaultedRuns, res.Runs)
+	}
+}
+
+// TestChaosDeterministic replays one campaign slice and expects identical
+// outcomes — the reproducer contract.
+func TestChaosDeterministic(t *testing.T) {
+	o := ChaosOptions{Seed: 42, Runs: 20}
+	a, b := Chaos(o), Chaos(o)
+	if a.FaultsFired != b.FaultsFired || a.FaultedRuns != b.FaultedRuns || len(a.Failures) != len(b.Failures) {
+		t.Fatalf("campaign not reproducible: %s vs %s", a.Summary(), b.Summary())
+	}
+}
+
+// TestChaosEveryKindFires pins one fully deterministic schedule per fault
+// kind on the hot compile path and asserts containment plus accounting.
+func TestChaosEveryKindFires(t *testing.T) {
+	src := `
+function hot(x) {
+  var s = 0;
+  for (var i = 0; i < 10; i++) { s = s + x * i; }
+  return s;
+}
+var result = 0;
+for (var r = 0; r < 200; r++) { result = (result + hot(r)) % 1000003; }
+`
+	for _, kind := range faults.Kinds() {
+		for _, point := range faults.CompilePoints() {
+			plan := faults.Plan{Seed: 7, Rules: []faults.Rule{{Point: point, Kind: kind}}}
+			fired, fail := chaosOne(7, src, plan, ChaosOptions{}.withDefaults())
+			if fail != nil {
+				t.Errorf("%s at %s: %s", kind, point, fail)
+			}
+			if fired == 0 {
+				t.Errorf("%s at %s: deterministic rule never fired", kind, point)
+			}
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"github.com/jitbull/jitbull/internal/ast"
 	"github.com/jitbull/jitbull/internal/bytecode"
 	"github.com/jitbull/jitbull/internal/compiler"
+	"github.com/jitbull/jitbull/internal/faults"
 	"github.com/jitbull/jitbull/internal/heap"
 	"github.com/jitbull/jitbull/internal/interp"
 	"github.com/jitbull/jitbull/internal/lir"
@@ -22,7 +23,6 @@ import (
 	"github.com/jitbull/jitbull/internal/native"
 	"github.com/jitbull/jitbull/internal/parser"
 	"github.com/jitbull/jitbull/internal/passes"
-	"github.com/jitbull/jitbull/internal/regalloc"
 	"github.com/jitbull/jitbull/internal/value"
 )
 
@@ -85,10 +85,33 @@ type Config struct {
 	// compilation, failing the compile (interpreter fallback) with the
 	// offending pass named. Used by differential tests and fuzzing.
 	CheckIR bool
-	// OnCompileError, when set, observes pipeline failures that the engine
-	// would otherwise swallow as a silent interpreter fallback (CheckIR
-	// verifier rejections in particular).
+	// OnCompileError, when set, observes every supervised JIT-tier failure
+	// the engine degrades into an interpreter fallback. The error is always
+	// a *CompileError; errors.As sees through it to the underlying cause
+	// (CheckIR verifier rejections surface as *passes.IRError).
 	OnCompileError func(fn string, err error)
+
+	// Faults, when set, is the fault-injection schedule evaluated at every
+	// compile-path and dispatch injection point (the chaos suite's driver).
+	Faults *faults.Injector
+	// CompileStepBudget bounds the abstract work units one compilation
+	// attempt may spend (0 = DefaultCompileStepBudget). Exhaustion fails
+	// the attempt with a Budget-typed CompileError.
+	CompileStepBudget int64
+	// QuarantineBackoff is the initial retry delay, in calls, after a
+	// contained compile failure (0 = DefaultQuarantineBackoff). It doubles
+	// per quarantine round-trip.
+	QuarantineBackoff int
+	// QuarantineCleanRuns is how many consecutive clean interpreter runs a
+	// quarantined function needs before a retry (0 = default).
+	QuarantineCleanRuns int
+	// MaxCompileAttempts caps quarantine round-trips before the function
+	// is permanently interpreter-only (0 = DefaultMaxCompileAttempts).
+	MaxCompileAttempts int
+	// Passes overrides the optimization pipeline (nil = the standard one).
+	// Tests use it to inject deliberately broken passes and prove the
+	// supervisor attributes them.
+	Passes []passes.Pass
 }
 
 // Stats are the per-run counters the paper's Figure 4 reports.
@@ -100,6 +123,14 @@ type Stats struct {
 	Compiles   int
 	Recompiles int
 	InterpOnly int // hot but not JIT-eligible (outside the JIT subset)
+
+	// Supervisor counters: every JIT-tier failure the engine contained.
+	CompileErrors  int // typed failures recorded (all causes)
+	CompilePanics  int // of those, recovered compiler/dispatch panics
+	CompileBudgets int // of those, compile step budget exhaustions
+	InjectedFaults int // of those, fired by the fault-injection framework
+	Quarantined    int // quarantine entries (failed functions parked with backoff)
+	Requalified    int // quarantined functions re-promoted after a clean retry
 }
 
 type tier int
@@ -124,11 +155,17 @@ type fnState struct {
 	retBad     bool
 
 	code           *lir.Code
-	noJIT          bool // blacklisted (unsupported, scenario 3, or too many bailouts)
 	jitEligible    bool // mirbuild succeeded at least once
 	disabledPasses map[string]bool
 	bailouts       int
 	counted        bool // already counted in Stats.NrJIT
+
+	// Supervisor state (see supervisor.go).
+	quar      quarState
+	retryAt   int // earliest call count for a quarantine retry
+	backoff   int // current retry delay (doubles per round-trip)
+	cleanRuns int // consecutive clean interpreter runs while quarantined
+	attempts  int // quarantine round-trips so far
 }
 
 // Engine is a tiered nanojs runtime instance. It is not safe for
@@ -254,7 +291,7 @@ func (e *Engine) CallFunction(idx int, args []value.Value) (value.Value, error) 
 	if st.code == nil {
 		e.profile(st, args)
 	}
-	if st.code == nil && !st.noJIT && st.calls >= e.cfg.IonThreshold {
+	if st.code == nil && st.calls >= e.cfg.IonThreshold && e.mayCompile(st) {
 		e.compile(idx, st)
 	}
 	if st.tier == tierInterp && st.calls >= e.cfg.BaselineThreshold {
@@ -262,8 +299,7 @@ func (e *Engine) CallFunction(idx int, args []value.Value) (value.Value, error) 
 	}
 
 	if st.code != nil {
-		budget := e.VM.MaxSteps - e.VM.Steps()
-		res, status, err := native.Exec(st.code, args, e, budget, &e.pool)
+		res, status, err := e.execNative(st, args)
 		e.VM.AddSteps(res.Steps)
 		if err != nil {
 			return value.Undef(), err
@@ -277,13 +313,17 @@ func (e *Engine) CallFunction(idx int, args []value.Value) (value.Value, error) 
 		st.bailouts++
 		if st.bailouts >= maxBailoutsBeforeBlacklist {
 			st.code = nil
-			st.noJIT = true
+			e.demote(st)
+			e.quarantine(st)
 		}
 	}
 
 	v, err := e.VM.Exec(st.fn, args)
 	if err == nil {
 		e.observeReturn(st, v)
+		if st.quar == qQuarantined {
+			st.cleanRuns++
+		}
 	}
 	return v, err
 }
@@ -325,8 +365,10 @@ func (e *Engine) observeReturn(st *fnState, v value.Value) {
 	}
 }
 
-// compile attempts Ion compilation of function idx, applying the JITBULL
-// policy when installed. It implements the three scenarios of §V.
+// compile attempts Ion compilation of function idx under the supervisor,
+// applying the JITBULL policy when installed. It implements the three
+// scenarios of §V; every failure is typed, attributed, and degraded per
+// failCompile.
 func (e *Engine) compile(idx int, st *fnState) {
 	if len(e.cfg.DisabledPasses) > 0 && st.disabledPasses == nil {
 		st.disabledPasses = map[string]bool{}
@@ -356,99 +398,9 @@ func (e *Engine) compile(idx int, st *fnState) {
 		},
 	}
 
-	build := func() (*lir.Code, bool) {
-		g, err := mirbuild.Build(e.Prog, st.fd, opts)
-		if err != nil {
-			return nil, false
-		}
-		st.jitEligible = true
-		var obs passes.Observer
-		var finish func() CompileDecision
-		if e.policy != nil && e.policy.Active() {
-			obs, finish = e.policy.BeginCompile(st.fn.Name)
-		}
-		if err := passes.RunWith(g, passes.RunOptions{
-			Bugs:     e.cfg.Bugs,
-			Disabled: st.disabledPasses,
-			Observer: obs,
-			CheckIR:  e.cfg.CheckIR,
-		}); err != nil {
-			if e.cfg.OnCompileError != nil {
-				e.cfg.OnCompileError(st.fn.Name, err)
-			}
-			return nil, false
-		}
-		e.Stats.Compiles++
-		if finish != nil {
-			decision := finish()
-			if decision.NoJIT {
-				// Scenario 3: a matched pass is mandatory — OptimizeMIR
-				// returns FAILURE with Recompile=false.
-				if !st.counted {
-					st.counted = true
-					e.Stats.NrJIT++
-				}
-				e.Stats.NrNoJIT++
-				st.noJIT = true
-				return nil, false
-			}
-			if len(decision.DisabledPasses) > 0 {
-				// Scenario 2: FAILURE with Recompile=true — retry with the
-				// dangerous passes disabled.
-				if st.disabledPasses == nil {
-					st.disabledPasses = map[string]bool{}
-				}
-				grew := false
-				for _, name := range decision.DisabledPasses {
-					if !st.disabledPasses[name] {
-						st.disabledPasses[name] = true
-						grew = true
-					}
-				}
-				if grew {
-					if !st.counted {
-						st.counted = true
-						e.Stats.NrJIT++
-					}
-					e.Stats.NrDisJIT++
-					e.Stats.Recompiles++
-					g2, err := mirbuild.Build(e.Prog, st.fd, opts)
-					if err != nil {
-						return nil, false
-					}
-					if err := passes.RunWith(g2, passes.RunOptions{
-						Bugs:     e.cfg.Bugs,
-						Disabled: st.disabledPasses,
-						CheckIR:  e.cfg.CheckIR,
-					}); err != nil {
-						if e.cfg.OnCompileError != nil {
-							e.cfg.OnCompileError(st.fn.Name, err)
-						}
-						return nil, false
-					}
-					g = g2
-				}
-			}
-		}
-		code, err := lir.Lower(g)
-		if err != nil {
-			return nil, false
-		}
-		regalloc.Allocate(code)
-		return code, true
-	}
-
-	code, ok := build()
-	if !ok {
-		if !st.noJIT {
-			if st.jitEligible {
-				// Pipeline failed unexpectedly; stay on the interpreter.
-				st.noJIT = true
-			} else {
-				st.noJIT = true
-				e.Stats.InterpOnly++
-			}
-		}
+	code, cerr := e.compileAttempt(st, opts)
+	if cerr != nil {
+		e.failCompile(st, cerr)
 		return
 	}
 	if !st.counted {
@@ -457,6 +409,13 @@ func (e *Engine) compile(idx int, st *fnState) {
 	}
 	st.code = code
 	st.tier = tierIon
+	st.bailouts = 0
+	if st.quar == qQuarantined {
+		// A quarantined function compiled cleanly on retry: requalify.
+		st.quar = qNone
+		st.attempts = 0
+		e.Stats.Requalified++
+	}
 }
 
 // RunScript is a convenience: build an engine for src, run it, and return

@@ -1,0 +1,375 @@
+// Compilation supervisor: every Ion compilation attempt runs under panic
+// recovery and a step budget, and every failure — verifier rejection,
+// injected fault, compiler panic, budget exhaustion, policy no-go — is
+// converted into a typed, stage-attributed CompileError. Failed functions
+// are not blacklisted forever: they enter a quarantine that retries with
+// exponential backoff once the function has demonstrated sustained clean
+// interpreter runs, and only deterministic failures (unsupported source,
+// policy NoJIT) or repeated quarantine churn become permanent.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/jitbull/jitbull/internal/faults"
+	"github.com/jitbull/jitbull/internal/lir"
+	"github.com/jitbull/jitbull/internal/mirbuild"
+	"github.com/jitbull/jitbull/internal/native"
+	"github.com/jitbull/jitbull/internal/passes"
+	"github.com/jitbull/jitbull/internal/regalloc"
+	"github.com/jitbull/jitbull/internal/value"
+)
+
+// Compilation stages, in pipeline order, used for CompileError attribution.
+const (
+	StageMIRBuild = "mirbuild" // SSA graph construction from the AST
+	StagePasses   = "passes"   // the OptimizeMIR pass pipeline
+	StagePolicy   = "policy"   // the JITBULL go/no-go decision
+	StageLower    = "lir"      // LIR lowering
+	StageRegalloc = "regalloc" // register allocation
+	StageNative   = "native"   // native-code dispatch
+)
+
+// Supervisor defaults.
+const (
+	// DefaultCompileStepBudget bounds the abstract work units (roughly IR
+	// instructions visited) one compilation attempt may spend.
+	DefaultCompileStepBudget = 1 << 20
+	// DefaultQuarantineBackoff is the initial retry delay, in calls to the
+	// function, after a contained compile failure.
+	DefaultQuarantineBackoff = 256
+	// DefaultQuarantineCleanRuns is how many consecutive clean interpreter
+	// executions a quarantined function must bank before a retry.
+	DefaultQuarantineCleanRuns = 32
+	// DefaultMaxCompileAttempts caps quarantine round-trips before the
+	// function is permanently pinned to the interpreter.
+	DefaultMaxCompileAttempts = 4
+)
+
+// ErrPolicyNoJIT marks a compilation aborted by the JITBULL policy's
+// scenario 3 (a matched pass is mandatory): a security decision, not a
+// compiler failure, and always permanent.
+var ErrPolicyNoJIT = errors.New("JITBULL policy: function forced to NoJIT")
+
+// CompileError is a supervised, stage-attributed JIT-tier failure.
+type CompileError struct {
+	Func     string // function being compiled
+	Stage    string // Stage* constant where the failure surfaced
+	Err      error  // underlying cause (never nil)
+	Panicked bool   // recovered from a panic
+	Injected bool   // caused by the fault-injection framework
+	Budget   bool   // compile step budget exhaustion
+}
+
+// Error implements the error interface.
+func (e *CompileError) Error() string {
+	kind := "error"
+	switch {
+	case e.Panicked:
+		kind = "panic"
+	case e.Budget:
+		kind = "budget"
+	}
+	return fmt.Sprintf("compile %s in %s stage %s: %v", kind, e.Func, e.Stage, e.Err)
+}
+
+// Unwrap exposes the cause so errors.Is/As see through the supervisor
+// (difftest matches *passes.IRError this way).
+func (e *CompileError) Unwrap() error { return e.Err }
+
+// quarState is the supervisor's verdict on a function's JIT future.
+type quarState int
+
+const (
+	qNone        quarState = iota // eligible
+	qQuarantined                  // contained failure; retry after backoff + clean runs
+	qPermanent                    // unsupported, policy NoJIT, or quarantine churn
+)
+
+func (e *Engine) compileStepBudget() int64 {
+	if e.cfg.CompileStepBudget > 0 {
+		return e.cfg.CompileStepBudget
+	}
+	return DefaultCompileStepBudget
+}
+
+func (e *Engine) quarantineBackoff() int {
+	if e.cfg.QuarantineBackoff > 0 {
+		return e.cfg.QuarantineBackoff
+	}
+	return DefaultQuarantineBackoff
+}
+
+func (e *Engine) quarantineCleanRuns() int {
+	if e.cfg.QuarantineCleanRuns > 0 {
+		return e.cfg.QuarantineCleanRuns
+	}
+	return DefaultQuarantineCleanRuns
+}
+
+func (e *Engine) maxCompileAttempts() int {
+	if e.cfg.MaxCompileAttempts > 0 {
+		return e.cfg.MaxCompileAttempts
+	}
+	return DefaultMaxCompileAttempts
+}
+
+// mayCompile reports whether the supervisor allows a compilation attempt
+// for the function right now.
+func (e *Engine) mayCompile(st *fnState) bool {
+	switch st.quar {
+	case qNone:
+		return true
+	case qQuarantined:
+		return st.calls >= st.retryAt && st.cleanRuns >= e.quarantineCleanRuns()
+	default:
+		return false
+	}
+}
+
+// quarantine parks the function on the interpreter with exponential
+// backoff, escalating to permanent after maxCompileAttempts round-trips.
+func (e *Engine) quarantine(st *fnState) {
+	st.attempts++
+	if st.attempts >= e.maxCompileAttempts() {
+		st.quar = qPermanent
+		return
+	}
+	if st.backoff == 0 {
+		st.backoff = e.quarantineBackoff()
+	} else {
+		st.backoff *= 2
+	}
+	st.quar = qQuarantined
+	st.retryAt = st.calls + st.backoff
+	st.cleanRuns = 0
+	e.Stats.Quarantined++
+}
+
+// demote drops the function's tier to match its remaining execution modes
+// after its Ion code is discarded (the stale-tier fix: a blacklisted
+// function must not keep reporting tierIon).
+func (e *Engine) demote(st *fnState) {
+	if st.calls >= e.cfg.BaselineThreshold {
+		st.tier = tierBaseline
+	} else {
+		st.tier = tierInterp
+	}
+}
+
+// recordCompileError updates the failure counters and surfaces the error
+// through Config.OnCompileError.
+func (e *Engine) recordCompileError(cerr *CompileError) {
+	e.Stats.CompileErrors++
+	if cerr.Panicked {
+		e.Stats.CompilePanics++
+	}
+	if cerr.Injected {
+		e.Stats.InjectedFaults++
+	}
+	if cerr.Budget {
+		e.Stats.CompileBudgets++
+	}
+	if e.cfg.OnCompileError != nil {
+		e.cfg.OnCompileError(cerr.Func, cerr)
+	}
+}
+
+// newCompileError types an error returned by a compile stage.
+func newCompileError(fn, stage string, err error) *CompileError {
+	return &CompileError{
+		Func:     fn,
+		Stage:    stage,
+		Err:      err,
+		Injected: faults.IsInjected(err),
+		Budget:   errors.Is(err, faults.ErrCompileBudget),
+	}
+}
+
+// panicToCompileError types a recovered panic value.
+func panicToCompileError(fn, stage string, r any) *CompileError {
+	if f, ok := faults.FromPanic(r); ok {
+		return &CompileError{
+			Func:     fn,
+			Stage:    stage,
+			Err:      &faults.InjectedError{Fault: f},
+			Panicked: true,
+			Injected: true,
+		}
+	}
+	return &CompileError{
+		Func:     fn,
+		Stage:    stage,
+		Err:      fmt.Errorf("compiler panic: %v", r),
+		Panicked: true,
+	}
+}
+
+// failCompile applies the supervisor's degradation policy to a failed
+// attempt. Unsupported source is the expected "outside the JIT subset"
+// case: permanent and silent, counted as InterpOnly exactly once. Policy
+// NoJIT and deterministic mirbuild rejections fail safe to permanent
+// interpreter-only execution; everything else (injected faults, panics,
+// budget exhaustion, verifier rejections) is contained into quarantine.
+func (e *Engine) failCompile(st *fnState, cerr *CompileError) {
+	if errors.Is(cerr.Err, mirbuild.ErrUnsupported) && !cerr.Injected {
+		st.quar = qPermanent
+		if !st.jitEligible {
+			e.Stats.InterpOnly++
+		}
+		return
+	}
+	e.recordCompileError(cerr)
+	if errors.Is(cerr.Err, ErrPolicyNoJIT) ||
+		(cerr.Stage == StageMIRBuild && !cerr.Injected && !cerr.Budget) {
+		st.quar = qPermanent
+		return
+	}
+	e.quarantine(st)
+}
+
+// compileAttempt is one supervised run of the Ion pipeline: mirbuild →
+// passes (+ policy) → lower → regalloc, under panic recovery and a fresh
+// step-budget meter. It returns the compiled code or a typed error, never
+// both, and never lets a panic escape.
+func (e *Engine) compileAttempt(st *fnState, opts mirbuild.Options) (code *lir.Code, cerr *CompileError) {
+	fctx := &faults.CompileCtx{
+		Inj:   e.cfg.Faults,
+		Meter: &faults.Meter{Limit: e.compileStepBudget()},
+		Func:  st.fn.Name,
+	}
+	stage := StageMIRBuild
+	defer func() {
+		if r := recover(); r != nil {
+			code = nil
+			cerr = panicToCompileError(st.fn.Name, stage, r)
+		}
+	}()
+
+	opts.Faults = fctx
+	g, err := mirbuild.Build(e.Prog, st.fd, opts)
+	if err != nil {
+		return nil, newCompileError(st.fn.Name, stage, err)
+	}
+	st.jitEligible = true
+
+	stage = StagePasses
+	var obs passes.Observer
+	var finish func() CompileDecision
+	if e.policy != nil && e.policy.Active() {
+		obs, finish = e.policy.BeginCompile(st.fn.Name)
+	}
+	if err := passes.RunWith(g, passes.RunOptions{
+		Bugs:     e.cfg.Bugs,
+		Disabled: st.disabledPasses,
+		Observer: obs,
+		CheckIR:  e.cfg.CheckIR,
+		Pipeline: e.cfg.Passes,
+		Faults:   fctx,
+	}); err != nil {
+		return nil, newCompileError(st.fn.Name, stage, err)
+	}
+	e.Stats.Compiles++
+
+	if finish != nil {
+		stage = StagePolicy
+		decision := finish()
+		if decision.NoJIT {
+			// Scenario 3: a matched pass is mandatory — OptimizeMIR returns
+			// FAILURE with Recompile=false.
+			if !st.counted {
+				st.counted = true
+				e.Stats.NrJIT++
+			}
+			e.Stats.NrNoJIT++
+			return nil, newCompileError(st.fn.Name, StagePolicy, ErrPolicyNoJIT)
+		}
+		if len(decision.DisabledPasses) > 0 {
+			// Scenario 2: FAILURE with Recompile=true — retry with the
+			// dangerous passes disabled.
+			if st.disabledPasses == nil {
+				st.disabledPasses = map[string]bool{}
+			}
+			grew := false
+			for _, name := range decision.DisabledPasses {
+				if !st.disabledPasses[name] {
+					st.disabledPasses[name] = true
+					grew = true
+				}
+			}
+			if grew {
+				if !st.counted {
+					st.counted = true
+					e.Stats.NrJIT++
+				}
+				e.Stats.NrDisJIT++
+				e.Stats.Recompiles++
+				stage = StageMIRBuild
+				g2, err := mirbuild.Build(e.Prog, st.fd, opts)
+				if err != nil {
+					return nil, newCompileError(st.fn.Name, stage, err)
+				}
+				stage = StagePasses
+				if err := passes.RunWith(g2, passes.RunOptions{
+					Bugs:     e.cfg.Bugs,
+					Disabled: st.disabledPasses,
+					CheckIR:  e.cfg.CheckIR,
+					Pipeline: e.cfg.Passes,
+					Faults:   fctx,
+				}); err != nil {
+					return nil, newCompileError(st.fn.Name, stage, err)
+				}
+				g = g2
+			}
+		}
+	}
+
+	stage = StageLower
+	code, err = lir.LowerWith(g, fctx)
+	if err != nil {
+		return nil, newCompileError(st.fn.Name, stage, err)
+	}
+	stage = StageRegalloc
+	if err := regalloc.AllocateWith(code, fctx); err != nil {
+		return nil, newCompileError(st.fn.Name, stage, err)
+	}
+	return code, nil
+}
+
+// execNative dispatches one call into the function's Ion code with fault
+// containment: an injected dispatch failure — error or panic — is recorded
+// as a typed native-stage CompileError and degraded to a bailout, so the
+// caller falls back to the interpreter for this call with identical
+// semantics. Non-injected panics are genuine engine bugs and propagate.
+func (e *Engine) execNative(st *fnState, args []value.Value) (res native.Result, status native.Status, err error) {
+	if e.cfg.Faults == nil {
+		// Only injected faults are contained here (genuine panics propagate
+		// either way), so without an injector skip the recovery frame — this
+		// is the per-call hot path of every production dispatch.
+		return native.Exec(st.code, args, e, e.VM.MaxSteps-e.VM.Steps(), &e.pool)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			f, ok := faults.FromPanic(r)
+			if !ok {
+				panic(r)
+			}
+			e.recordCompileError(&CompileError{
+				Func:     st.fn.Name,
+				Stage:    StageNative,
+				Err:      &faults.InjectedError{Fault: f},
+				Panicked: true,
+				Injected: true,
+			})
+			res, status, err = native.Result{}, native.StatusBail, nil
+		}
+	}()
+	budget := e.VM.MaxSteps - e.VM.Steps()
+	res, status, err = native.ExecWith(st.code, args, e, budget, &e.pool, e.cfg.Faults)
+	if err != nil && faults.IsInjected(err) {
+		e.recordCompileError(newCompileError(st.fn.Name, StageNative, err))
+		return native.Result{}, native.StatusBail, nil
+	}
+	return res, status, err
+}

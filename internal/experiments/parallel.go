@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -70,8 +71,17 @@ func RunParallel(specs []RunSpec, workers int) []RunOutcome {
 }
 
 // runOne executes a single spec (Repeats fresh engines, best wall time).
-func runOne(spec RunSpec) RunOutcome {
-	oc := RunOutcome{Name: spec.Name}
+// A panic anywhere in the cell — engine construction, the run itself, a
+// user-supplied Out writer — is contained into the cell's outcome instead
+// of crashing the worker (and with it the process and every other cell
+// of the fan-out).
+func runOne(spec RunSpec) (oc RunOutcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			oc.Err = fmt.Errorf("experiment cell %s panicked: %v", spec.Name, r)
+		}
+	}()
+	oc = RunOutcome{Name: spec.Name}
 	repeats := spec.Repeats
 	if repeats <= 0 {
 		repeats = 1

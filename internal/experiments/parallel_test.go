@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"github.com/jitbull/jitbull/internal/engine"
@@ -57,6 +58,29 @@ func TestRunParallelPropagatesErrors(t *testing.T) {
 	}
 	if out[1].Err != nil {
 		t.Errorf("healthy spec failed: %v", out[1].Err)
+	}
+}
+
+// panickyWriter panics on the first write, simulating a pathological
+// user-supplied Out sink inside an experiment cell.
+type panickyWriter struct{}
+
+func (panickyWriter) Write([]byte) (int, error) { panic("writer exploded") }
+
+func TestRunParallelContainsPanickingCell(t *testing.T) {
+	specs := []RunSpec{
+		{Name: "boom", Source: `print("hi");`, Engine: engine.Config{Out: panickyWriter{}}},
+		{Name: "ok", Source: "function f(x) { return x + 1; } f(1);", Engine: engine.Config{}},
+	}
+	out := RunParallel(specs, 2)
+	if out[0].Err == nil {
+		t.Fatal("panicking cell reported no error")
+	}
+	if want := "experiment cell boom panicked"; !strings.Contains(out[0].Err.Error(), want) {
+		t.Errorf("panic error = %v, want it to contain %q", out[0].Err, want)
+	}
+	if out[1].Err != nil {
+		t.Errorf("healthy cell failed alongside the panicking one: %v", out[1].Err)
 	}
 }
 

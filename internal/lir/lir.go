@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/jitbull/jitbull/internal/faults"
 	"github.com/jitbull/jitbull/internal/mir"
 )
 
@@ -128,7 +129,16 @@ func (c *Code) String() string {
 // Lower translates an optimized MIR graph into LIR. Critical edges must be
 // split (the standard pipeline guarantees it): phi moves are emitted at the
 // end of single-successor predecessor blocks.
-func Lower(g *mir.Graph) (*Code, error) {
+func Lower(g *mir.Graph) (*Code, error) { return LowerWith(g, nil) }
+
+// LowerWith is Lower under a compile supervisor context (step budget and
+// fault injection); fctx may be nil.
+func LowerWith(g *mir.Graph, fctx *faults.CompileCtx) (*Code, error) {
+	if fctx != nil {
+		if err := fctx.Step(faults.PointLower, g.Name, int64(g.InstrCount())); err != nil {
+			return nil, err
+		}
+	}
 	l := &lowerer{
 		g:    g,
 		code: &Code{Name: g.Name, FuncIndex: g.FuncIndex, NumParams: g.NumParams},

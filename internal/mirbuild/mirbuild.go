@@ -17,6 +17,7 @@ import (
 
 	"github.com/jitbull/jitbull/internal/ast"
 	"github.com/jitbull/jitbull/internal/bytecode"
+	"github.com/jitbull/jitbull/internal/faults"
 	"github.com/jitbull/jitbull/internal/mir"
 	"github.com/jitbull/jitbull/internal/token"
 	"github.com/jitbull/jitbull/internal/value"
@@ -39,12 +40,20 @@ type Options struct {
 	GlobalType func(slot int) value.Type
 	// ReturnType reports the observed return type of a function index.
 	ReturnType func(fnIdx int) value.Type
+	// Faults is the compile supervisor's context (step budget + fault
+	// injection); nil is valid and free.
+	Faults *faults.CompileCtx
 }
 
 // Build compiles fd into a fresh MIR graph. prog supplies name resolution
 // (global slots and function indices) and must be the bytecode program the
 // interpreter runs.
 func Build(prog *bytecode.Program, fd *ast.FuncDecl, opts Options) (*mir.Graph, error) {
+	if opts.Faults != nil {
+		if err := opts.Faults.Step(faults.PointMIRBuild, fd.Name, int64(1+len(fd.Body.Stmts))); err != nil {
+			return nil, err
+		}
+	}
 	fnIdx, ok := prog.FuncByName[fd.Name]
 	if !ok {
 		return nil, fmt.Errorf("function %q not in program", fd.Name)

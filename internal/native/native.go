@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"github.com/jitbull/jitbull/internal/bytecode"
+	"github.com/jitbull/jitbull/internal/faults"
 	"github.com/jitbull/jitbull/internal/heap"
 	"github.com/jitbull/jitbull/internal/lir"
 	"github.com/jitbull/jitbull/internal/value"
@@ -120,6 +121,18 @@ func (p *Pool) putRegs(f []float64, t []Tag) {
 		p.floats = append(p.floats, f[:0])
 		p.tags = append(p.tags, t[:0])
 	}
+}
+
+// ExecWith is Exec with a fault-injection point at the dispatch boundary:
+// the injector (may be nil) is evaluated before the first op executes, so
+// an injected dispatch failure is always side-effect-free and the caller
+// can degrade it to an interpreter re-execution. A KindPanic fault panics
+// from this frame — containment is the caller's supervisor's job.
+func ExecWith(code *lir.Code, args []value.Value, h Hooks, maxOps int64, pool *Pool, inj *faults.Injector) (Result, Status, error) {
+	if err := inj.Check(faults.PointNative, code.Name); err != nil {
+		return Result{}, StatusBail, err
+	}
+	return Exec(code, args, h, maxOps, pool)
 }
 
 // Exec runs code with the given arguments. maxOps bounds the number of LIR

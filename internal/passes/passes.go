@@ -14,6 +14,7 @@ package passes
 import (
 	"fmt"
 
+	"github.com/jitbull/jitbull/internal/faults"
 	"github.com/jitbull/jitbull/internal/mir"
 )
 
@@ -159,6 +160,11 @@ type RunOptions struct {
 	// Used by tests to inject deliberately broken passes and prove the
 	// verifier attributes them.
 	Pipeline []Pass
+	// Faults is the compile supervisor's context: a step-budget meter
+	// charged per executed pass (proportionally to the graph size) plus
+	// the fault-injection point evaluated before each pass. Nil is valid
+	// and free — the unsupervised path pays nothing.
+	Faults *faults.CompileCtx
 }
 
 // Run executes the standard pipeline over g. Disabled names passes are
@@ -198,6 +204,11 @@ func RunWith(g *mir.Graph, o RunOptions) error {
 				o.Observer(i, p.Name(), nil, nil)
 			}
 			continue
+		}
+		if o.Faults != nil {
+			if err := o.Faults.Step(faults.PointPass, p.Name(), int64(g.InstrCount())); err != nil {
+				return fmt.Errorf("pass %s: %w", p.Name(), err)
+			}
 		}
 		if o.Observer != nil && prev == nil {
 			prev = g.Snap()

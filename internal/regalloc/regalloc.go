@@ -7,8 +7,21 @@ package regalloc
 import (
 	"sort"
 
+	"github.com/jitbull/jitbull/internal/faults"
 	"github.com/jitbull/jitbull/internal/lir"
 )
+
+// AllocateWith is Allocate under a compile supervisor context (step budget
+// and fault injection); fctx may be nil, in which case it cannot fail.
+func AllocateWith(c *lir.Code, fctx *faults.CompileCtx) error {
+	if fctx != nil {
+		if err := fctx.Step(faults.PointRegalloc, c.Name, int64(len(c.Ops))); err != nil {
+			return err
+		}
+	}
+	Allocate(c)
+	return nil
+}
 
 // Allocate rewrites c's registers in place and updates NumRegs. Parameters
 // keep their slots (the executor copies arguments into registers 0..n-1).

@@ -1,0 +1,76 @@
+package vulndb
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/core"
+)
+
+// TestCorruptDatabaseFailsSafe is the fail-safe acceptance check: when the
+// on-disk DNA database is corrupted (torn write or silent bit rot), the
+// recovery path must yield a database that denies JIT to everything — so
+// the seeded CVE exploit, which needs the JIT tier, does not fire even
+// though its fingerprint was lost with the corruption.
+func TestCorruptDatabaseFailsSafe(t *testing.T) {
+	v := Primary()[0]
+
+	// Sanity: the exploit works against an unprotected vulnerable engine.
+	unprotected := Run(v.Demonstrator, v.Bug(), nil, testThreshold)
+	if !unprotected.Exploited() {
+		t.Fatalf("%s demonstrator lost its exploit (err=%v)", v.CVE, unprotected.Err)
+	}
+
+	// Fingerprint the vulnerability and persist the database for real.
+	db, err := BuildDatabase([]Vuln{v}, testThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "dna.json")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corruptions := map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)/2] },
+		"bitflip": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)/2] ^= 0x01
+			return c
+		},
+	}
+	for name, mutate := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			if err := os.WriteFile(path, mutate(pristine), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			loaded, loadErr := core.LoadDatabaseFailSafe(path)
+			if loadErr == nil {
+				t.Fatal("corrupted database loaded without an error")
+			}
+			if !core.IsCorrupt(loadErr) {
+				t.Fatalf("corruption not classified: %v", loadErr)
+			}
+			if !loaded.FailSafe() {
+				t.Fatal("recovery did not hand back a fail-safe database")
+			}
+
+			protected := Run(v.Demonstrator, v.Bug(), loaded, testThreshold)
+			if protected.Exploited() {
+				t.Fatalf("%s fired under the fail-safe database (crash=%v hijack=%v)",
+					v.CVE, protected.Crashed, protected.Hijacked)
+			}
+			if protected.Stats.NrNoJIT == 0 {
+				t.Error("fail-safe database never forced a NoJIT decision")
+			}
+			if protected.Stats.NrDisJIT != 0 {
+				t.Errorf("fail-safe mode must deny JIT outright, not disable passes (NrDisJIT=%d)", protected.Stats.NrDisJIT)
+			}
+		})
+	}
+}

@@ -46,6 +46,9 @@ type (
 	BugSet = passes.BugSet
 	// HijackError reports a control-flow hijack (payload execution).
 	HijackError = engine.HijackError
+	// CompileError is a supervised, stage-attributed JIT-tier failure
+	// (surfaced through Config.OnCompileError).
+	CompileError = engine.CompileError
 )
 
 // JITBULL types.
@@ -86,8 +89,18 @@ func Fingerprint(cve, demonstrator string, bugs BugSet, ionThreshold int) (VDC, 
 	return vulndb.ExtractVDCFromSource(cve, demonstrator, bugs, ionThreshold)
 }
 
-// LoadDatabase reads a Database saved with Database.Save.
+// LoadDatabase reads a Database saved with Database.Save, rejecting
+// corrupt (torn, truncated, bit-flipped) or structurally invalid files
+// with a descriptive error.
 func LoadDatabase(path string) (*Database, error) { return core.LoadDatabase(path) }
+
+// LoadDatabaseFailSafe is LoadDatabase for the protection path: on any
+// failure it returns a non-nil fail-safe Database — whose policy verdict
+// is NoJIT for every function — alongside the error, so a corrupted
+// database degrades to "JIT disabled", never to "protection silently off".
+func LoadDatabaseFailSafe(path string) (*Database, error) {
+	return core.LoadDatabaseFailSafe(path)
+}
 
 // Vulnerabilities returns the eight implemented CVEs with their
 // demonstrator codes, injectable bugs, and window metadata.
