@@ -165,6 +165,27 @@ func coreBenchGroup(b *testing.B, prefix string) {
 	}
 }
 
+// obsBenchGroup is coreBenchGroup over the observability set.
+func obsBenchGroup(b *testing.B, prefix string) {
+	b.Helper()
+	for _, cb := range experiments.ObsBenchmarks() {
+		if name, ok := strings.CutPrefix(cb.Name, prefix); ok {
+			if name == "" {
+				name = "fast"
+			}
+			b.Run(strings.TrimPrefix(name, "/"), cb.Bench)
+		}
+	}
+}
+
+// BenchmarkObsSpan measures a trace span begin/end pair, disabled (the
+// nil-tracer cost every compile pays) and recording into a ring.
+func BenchmarkObsSpan(b *testing.B) { obsBenchGroup(b, "Span") }
+
+// BenchmarkObsCompileOctane measures a compile-heavy corpus run with
+// observability off, traced, and with the full stack attached.
+func BenchmarkObsCompileOctane(b *testing.B) { obsBenchGroup(b, "CompileOctane") }
+
 // BenchmarkExtractDelta measures one Δ extraction (Algorithm 1) over a
 // representative before/after snapshot pair.
 func BenchmarkExtractDelta(b *testing.B) { coreBenchGroup(b, "ExtractDelta") }
@@ -241,8 +262,8 @@ func BenchmarkAblationThresholdRatio(b *testing.B) {
 					if _, err := e.Run(); err != nil {
 						b.Fatal(err)
 					}
-					dis += float64(e.Stats.NrDisJIT + e.Stats.NrNoJIT)
-					njit += float64(e.Stats.NrJIT)
+					dis += float64(e.Stats().NrDisJIT + e.Stats().NrNoJIT)
+					njit += float64(e.Stats().NrJIT)
 				}
 				if i == 0 && njit > 0 {
 					b.ReportMetric(100*dis/njit, "%flagged")

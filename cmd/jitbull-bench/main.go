@@ -34,14 +34,17 @@ func main() {
 		fig6     = flag.Bool("fig6", false, "run the Figure 6 scalability experiment")
 		ablation = flag.Bool("ablation", false, "sweep the comparator's Thr/Ratio settings")
 		coreB    = flag.Bool("core", false, "run the core hot-path micro-benchmarks")
+		obsB     = flag.Bool("obs", false, "run the observability micro-benchmarks")
 		benchout = flag.String("benchout", "BENCH_core.json", "output file for -core results")
+		obsout   = flag.String("obsout", "BENCH_obs.json", "output file for -obs results")
+		corebase = flag.String("corebase", "BENCH_core.json", "recorded core baseline the -obs regression gate compares against ('' disables the gate)")
 		scale    = flag.Int("scale", 4, "benchmark iteration scale for timing experiments")
 		repeats  = flag.Int("repeats", 3, "timing repetitions (minimum reported)")
 		thr      = flag.Int("threshold", 100, "Ion compilation threshold for benchmark runs")
 		workers  = flag.Int("workers", 1, "worker pool size for corpus experiments (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	all := !(*table1 || *table2 || *window || *security || *fig4 || *fig5 || *fig6 || *ablation || *coreB)
+	all := !(*table1 || *table2 || *window || *security || *fig4 || *fig5 || *fig6 || *ablation || *coreB || *obsB)
 	cfg := experiments.Config{IonThreshold: *thr, Repeats: *repeats, Scale: *scale, Workers: *workers}
 
 	if err := run(all, *table1, *table2, *window, *security, *fig4, *fig5, *fig6, *ablation, cfg); err != nil {
@@ -50,6 +53,12 @@ func main() {
 	}
 	if *coreB {
 		if err := runCore(*benchout); err != nil {
+			fmt.Fprintln(os.Stderr, "jitbull-bench:", err)
+			os.Exit(1)
+		}
+	}
+	if *obsB {
+		if err := runObs(*obsout, *corebase); err != nil {
 			fmt.Fprintln(os.Stderr, "jitbull-bench:", err)
 			os.Exit(1)
 		}
@@ -88,6 +97,105 @@ func runCore(path string) error {
 		return err
 	}
 	fmt.Printf("\nwrote %s\n", path)
+	return nil
+}
+
+// obsGateBench is the BENCH_core.json entry the -obs regression gate
+// re-measures: the detector finish step rides the fully instrumented
+// compile path, so a disabled-probe slowdown shows up here first.
+const obsGateBench = "DetectorFinish/4VDC"
+
+// obsGateTolerance is the accepted slowdown of the disabled-probe path
+// relative to the recorded baseline (5%).
+const obsGateTolerance = 1.05
+
+// runObs measures every experiments.ObsBenchmarks entry, writes the
+// results to path, and — when corebase names a readable BENCH_core.json —
+// re-measures the gate benchmark and fails if the disabled-probe compile
+// path regressed beyond the tolerance.
+func runObs(path, corebase string) error {
+	var results []coreResult
+	for _, cb := range experiments.ObsBenchmarks() {
+		r := testing.Benchmark(cb.Bench)
+		res := coreResult{
+			Name:        cb.Name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		fmt.Printf("%-24s %12.1f ns/op %10d B/op %8d allocs/op\n",
+			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		results = append(results, res)
+	}
+	byName := map[string]coreResult{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	if off, traced := byName["CompileOctane/off"], byName["CompileOctane/traced"]; off.NsPerOp > 0 {
+		fmt.Printf("\ntracing overhead on the compile-heavy run: %.1f%% (off %.0f ns/op, traced %.0f ns/op)\n",
+			100*(traced.NsPerOp/off.NsPerOp-1), off.NsPerOp, traced.NsPerOp)
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	if corebase == "" {
+		return nil
+	}
+	return obsGate(corebase)
+}
+
+// obsGate re-measures the gate benchmark (best of 3) against the recorded
+// baseline. The compile-path probes compile to one nil check each when
+// observability is off; this is the regression budget for that claim.
+func obsGate(corebase string) error {
+	data, err := os.ReadFile(corebase)
+	if err != nil {
+		return fmt.Errorf("obs gate: read baseline: %w", err)
+	}
+	var baseline []coreResult
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("obs gate: parse baseline: %w", err)
+	}
+	var base *coreResult
+	for i := range baseline {
+		if baseline[i].Name == obsGateBench {
+			base = &baseline[i]
+			break
+		}
+	}
+	if base == nil {
+		return fmt.Errorf("obs gate: baseline %s lacks %q", corebase, obsGateBench)
+	}
+	var bench func(b *testing.B)
+	for _, cb := range experiments.CoreBenchmarks() {
+		if cb.Name == obsGateBench {
+			bench = cb.Bench
+			break
+		}
+	}
+	if bench == nil {
+		return fmt.Errorf("obs gate: core benchmark %q not found", obsGateBench)
+	}
+	best := 0.0
+	for i := 0; i < 3; i++ {
+		r := testing.Benchmark(bench)
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	ratio := best / base.NsPerOp
+	fmt.Printf("obs gate: %s %.1f ns/op vs baseline %.1f ns/op (%.2fx, budget %.2fx)\n",
+		obsGateBench, best, base.NsPerOp, ratio, obsGateTolerance)
+	if ratio > obsGateTolerance {
+		return fmt.Errorf("obs gate: disabled-probe compile path regressed %.1f%% over %s (budget 5%%)",
+			100*(ratio-1), corebase)
+	}
 	return nil
 }
 

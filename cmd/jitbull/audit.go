@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/jitbull/jitbull"
+)
+
+// cmdAudit reads a JSONL audit log (written with `jitbull run -audit`),
+// filters it, and prints the matching events plus a per-verdict summary.
+func cmdAudit(args []string) error {
+	fs := flag.NewFlagSet("audit", flag.ContinueOnError)
+	verdict := fs.String("verdict", "", "only events with this verdict (go, disable-pass, nojit, compile-error, quarantine, requalify, permanent)")
+	fnName := fs.String("func", "", "only events for this function")
+	cve := fs.String("cve", "", "only events with a match attributed to this CVE")
+	asJSON := fs.Bool("json", false, "print matching events as JSON lines instead of the report form")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("audit: exactly one audit JSONL file expected")
+	}
+	events, err := jitbull.ReadAuditFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	matches := func(ev jitbull.AuditEvent) bool {
+		if *verdict != "" && ev.Verdict != jitbull.Verdict(*verdict) {
+			return false
+		}
+		if *fnName != "" && ev.Func != *fnName {
+			return false
+		}
+		if *cve != "" {
+			found := false
+			for _, m := range ev.Matches {
+				if m.CVE == *cve {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+
+	shown := 0
+	byVerdict := map[jitbull.Verdict]int{}
+	enc := json.NewEncoder(os.Stdout)
+	for _, ev := range events {
+		if !matches(ev) {
+			continue
+		}
+		shown++
+		byVerdict[ev.Verdict]++
+		if *asJSON {
+			if err := enc.Encode(ev); err != nil {
+				return err
+			}
+		} else {
+			fmt.Println(ev)
+		}
+	}
+	if !*asJSON {
+		parts := make([]string, 0, len(byVerdict))
+		for v, n := range byVerdict {
+			parts = append(parts, fmt.Sprintf("%s=%d", v, n))
+		}
+		sort.Strings(parts)
+		fmt.Fprintf(os.Stderr, "audit: %d/%d event(s) shown", shown, len(events))
+		if len(parts) > 0 {
+			fmt.Fprintf(os.Stderr, " (%s)", strings.Join(parts, " "))
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	return nil
+}

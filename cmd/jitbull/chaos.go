@@ -19,13 +19,19 @@ func cmdChaos(args []string) error {
 	seed := fs.Int64("seed", 1, "base seed (run i uses seed+i for program and schedule)")
 	rules := fs.Int("rules", 3, "max fault rules per schedule")
 	out := fs.String("out", "", "write failure reproducers (JSON) to this file")
+	traceDir := fs.String("trace", "", "replay each failure with a tracer and write Chrome traces into this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("chaos: unexpected arguments %v", fs.Args())
 	}
-	res := difftest.Chaos(difftest.ChaosOptions{Seed: *seed, Runs: *runs, MaxRules: *rules})
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			return fmt.Errorf("chaos: create trace dir: %w", err)
+		}
+	}
+	res := difftest.Chaos(difftest.ChaosOptions{Seed: *seed, Runs: *runs, MaxRules: *rules, TraceDir: *traceDir})
 	fmt.Printf("chaos: %s\n", res.Summary())
 	for i, f := range res.Failures {
 		if i >= 5 {

@@ -41,6 +41,8 @@ func run(args []string) error {
 		return cmdDiff(args[1:])
 	case "chaos":
 		return cmdChaos(args[1:])
+	case "audit":
+		return cmdAudit(args[1:])
 	case "vulns":
 		return cmdVulns()
 	case "help", "-h", "--help":
@@ -54,11 +56,24 @@ func run(args []string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  jitbull run [-nojit] [-threshold N] [-bugs CVE,...] [-db file] [-stats] script.js
+  jitbull run [-nojit] [-threshold N] [-bugs CVE,...] [-db file] [-stats]
+              [-trace file] [-audit file] [-metrics] [-metrics-addr addr]
+              [-octane name [-scale N]] [script.js]
   jitbull fingerprint -cve CVE-... [-bugs CVE,...] [-threshold N] -db file script.js
   jitbull diff [-seed N | -seeds N] [-bugs CVE,...] [-shrink] [-jitbull] script.js
-  jitbull chaos [-runs N] [-seed N] [-rules N] [-out reproducers.json]
+  jitbull chaos [-runs N] [-seed N] [-rules N] [-out reproducers.json] [-trace dir]
+  jitbull audit [-verdict v] [-func name] [-cve CVE] [-json] audit.jsonl
   jitbull vulns`)
+}
+
+// benchByName resolves a -octane name case-insensitively.
+func benchByName(name string) (jitbull.Benchmark, error) {
+	for _, b := range jitbull.Benchmarks() {
+		if strings.EqualFold(b.Name, name) {
+			return b, nil
+		}
+	}
+	return jitbull.BenchmarkByName(name) // exact lookup's error text lists nothing extra
 }
 
 func parseBugs(list string) jitbull.BugSet {
@@ -78,24 +93,71 @@ func cmdRun(args []string) error {
 	bugsFlag := fs.String("bugs", "", "comma-separated CVE ids of injected bugs to activate")
 	dbPath := fs.String("db", "", "VDC DNA database to protect with")
 	stats := fs.Bool("stats", false, "print engine statistics after the run")
+	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON of the compile path to this file")
+	auditPath := fs.String("audit", "", "stream the policy-decision audit log (JSONL) to this file ('-' for stderr)")
+	metrics := fs.Bool("metrics", false, "print the metrics registry (JSON) to stderr after the run")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /audit.json and /debug/pprof on this address during the run")
+	octaneName := fs.String("octane", "", "run a built-in benchmark instead of a script file")
+	scale := fs.Int("scale", 1, "outer-loop scale for -octane")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() != 1 {
-		return fmt.Errorf("run: exactly one script expected")
+	var src string
+	switch {
+	case *octaneName != "":
+		if fs.NArg() != 0 {
+			return fmt.Errorf("run: -octane and a script file are mutually exclusive")
+		}
+		b, err := benchByName(*octaneName)
+		if err != nil {
+			return err
+		}
+		src = b.Source(*scale)
+	case fs.NArg() == 1:
+		data, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	default:
+		return fmt.Errorf("run: exactly one script (or -octane name) expected")
 	}
-	src, err := os.ReadFile(fs.Arg(0))
-	if err != nil {
-		return err
-	}
-	eng, err := jitbull.New(string(src), jitbull.Config{
+
+	cfg := jitbull.Config{
 		DisableJIT:   *noJIT,
 		IonThreshold: *threshold,
 		Bugs:         parseBugs(*bugsFlag),
 		Out:          os.Stdout,
-	})
+	}
+	var ring *jitbull.Ring
+	if *tracePath != "" {
+		ring = jitbull.NewRing(0)
+		cfg.Tracer = jitbull.NewTracer(ring)
+	}
+	var auditFile *os.File
+	if *auditPath != "" {
+		w := os.Stderr
+		if *auditPath != "-" {
+			f, err := os.Create(*auditPath)
+			if err != nil {
+				return err
+			}
+			auditFile = f
+			w = f
+		}
+		cfg.Audit = jitbull.NewAuditLog(w)
+	}
+	eng, err := jitbull.New(src, cfg)
 	if err != nil {
 		return err
+	}
+	if *metricsAddr != "" {
+		srv, addr, err := jitbull.StartDebugServer(*metricsAddr, eng.MetricsSink(), eng.Audit())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "jitbull: debug server on http://%s/ (/metrics, /audit.json, /debug/pprof/)\n", addr)
+		defer srv.Close()
 	}
 	var det *jitbull.Detector
 	if *dbPath != "" {
@@ -115,12 +177,36 @@ func cmdRun(args []string) error {
 		fmt.Fprintf(os.Stderr, "script error: %v\n", runErr)
 	}
 	if *stats {
-		fmt.Fprintf(os.Stderr, "stats: %+v\n", eng.Stats)
+		fmt.Fprintf(os.Stderr, "stats: %+v\n", eng.Stats())
 		if det != nil && len(det.Matches) > 0 {
 			fmt.Fprintf(os.Stderr, "jitbull matches:\n")
 			for _, m := range det.Matches {
-				fmt.Fprintf(os.Stderr, "  %s (VDC fn %s) matched pass %s\n", m.CVE, m.VDCFunc, m.Pass)
+				attr := ""
+				if chain := m.Chain(); chain != "" {
+					attr = fmt.Sprintf(" via %s chain %s", m.Side, chain)
+				}
+				fmt.Fprintf(os.Stderr, "  %s (VDC fn %s) matched pass %s%s\n", m.CVE, m.VDCFunc, m.Pass, attr)
 			}
+		}
+	}
+	if *tracePath != "" {
+		if err := jitbull.SaveChromeTrace(*tracePath, ring.Events()); err != nil {
+			return fmt.Errorf("run: save trace: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "jitbull: wrote %d trace event(s) to %s (open in chrome://tracing)\n",
+			ring.Len(), *tracePath)
+	}
+	if *metrics {
+		if err := eng.MetricsSink().WriteJSON(os.Stderr); err != nil {
+			return fmt.Errorf("run: write metrics: %w", err)
+		}
+	}
+	if auditFile != nil {
+		if err := auditFile.Close(); err != nil {
+			return fmt.Errorf("run: close audit log: %w", err)
+		}
+		if err := eng.Audit().WriteErr(); err != nil {
+			return fmt.Errorf("run: audit log stream: %w", err)
 		}
 	}
 	if runErr != nil && !jitbull.IsHijack(runErr) && !jitbull.IsCrash(runErr) {

@@ -49,7 +49,7 @@ func runLogged(t *testing.T, src string, cfg engine.Config, p engine.Policy) ([]
 	log := &decisionLog{inner: p}
 	e.SetPolicy(log)
 	_, runErr := e.Run()
-	return log.decisions, e.Stats, runErr
+	return log.decisions, e.Stats(), runErr
 }
 
 // checkRunEquivalence runs one program under both detectors and asserts

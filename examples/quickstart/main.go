@@ -50,7 +50,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("\nengine stats: %+v\n", eng.Stats)
+	fmt.Printf("\nengine stats: %+v\n", eng.Stats())
 	fmt.Println("`dot` was Ion-compiled after 1500 calls (the paper's §II threshold)")
 	fmt.Println("optimization pipeline:", len(jitbull.PassNames()), "passes")
 }

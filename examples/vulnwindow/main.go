@@ -74,7 +74,7 @@ func main() {
 		}
 	}
 	fmt.Printf("    engine stats: %d JITed, %d with passes disabled, %d forced to interpreter\n\n",
-		protected.Stats.NrJIT, protected.Stats.NrDisJIT, protected.Stats.NrNoJIT)
+		protected.Stats().NrJIT, protected.Stats().NrDisJIT, protected.Stats().NrNoJIT)
 
 	// Step 4: patch day — remove the fingerprint.
 	fmt.Println("[4] patch applied: fingerprint removed; JITBULL cost back to zero.")

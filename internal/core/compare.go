@@ -5,6 +5,7 @@ import (
 
 	"github.com/jitbull/jitbull/internal/engine"
 	"github.com/jitbull/jitbull/internal/mir"
+	"github.com/jitbull/jitbull/internal/obs"
 	"github.com/jitbull/jitbull/internal/passes"
 )
 
@@ -47,11 +48,41 @@ func SimilarDeltas(a, b Delta, ratio float64, thr int) bool {
 		CompareChains(a.Added, b.Added, ratio, thr)
 }
 
-// Match records one DNA similarity found during a compilation.
+// Match records one DNA similarity found during a compilation, with full
+// attribution of which VDC chain witnessed it.
 type Match struct {
 	CVE     string
 	VDCFunc string
 	Pass    string
+	// ChainID is the interned ID of the witness chain — the smallest chain
+	// shared between the candidate DNA and the matched delta on Side — or
+	// NoChain when the match needed no shared chain (degenerate
+	// thresholds). Render it with ChainString.
+	ChainID uint32
+	// Side is "removed" or "added" (which δ side witnessed), or "" when
+	// ChainID is NoChain.
+	Side string
+}
+
+// MatchKey is the identity projection of a Match: the (CVE, VDCFunc,
+// Pass) triple that defines go/no-go decisions. Attribution fields are
+// witnesses, not identity — two detectors are decision-equivalent when
+// their match KEY sets agree.
+type MatchKey struct {
+	CVE     string
+	VDCFunc string
+	Pass    string
+}
+
+// Key projects the match to its identity.
+func (m Match) Key() MatchKey { return MatchKey{CVE: m.CVE, VDCFunc: m.VDCFunc, Pass: m.Pass} }
+
+// Chain renders the witness chain ("" when there is none).
+func (m Match) Chain() string {
+	if m.ChainID == NoChain {
+		return ""
+	}
+	return ChainString(m.ChainID)
 }
 
 // Detector is the Δ comparator plus go/no-go policy. It implements
@@ -66,14 +97,27 @@ type Detector struct {
 	Ratio float64
 
 	// Matches accumulates every distinct (CVE, VDCFunc, Pass) similarity
-	// found (for evaluation runs). Duplicates across compilations are
-	// suppressed, so the slice stays bounded by the database size on long
-	// runs; call Reset to reuse the detector across runs.
+	// found (for evaluation runs), each carrying the witness-chain
+	// attribution of its first sighting. Duplicates across compilations are
+	// suppressed by identity (MatchKey), so the slice stays bounded by the
+	// database size on long runs; call Reset to reuse the detector across
+	// runs.
 	Matches []Match
 
-	seen    map[Match]struct{}
-	scratch matchScratch
-	found   []Match
+	// Audit, when set, receives one structured event per go/no-go verdict,
+	// with the full match attribution (CVE, VDC function, pass, witness
+	// chain).
+	Audit *obs.AuditLog
+	// Metrics, when set, receives the "dna.delta_chains" histogram (per-pass
+	// Δ chain-set sizes of candidate DNAs) and "dna.index_probes" (entries
+	// scored per match-index query).
+	Metrics *obs.Registry
+
+	seen      map[MatchKey]struct{}
+	scratch   matchScratch
+	found     []Match
+	deltaHist *obs.Histogram
+	probeHist *obs.Histogram
 }
 
 // NewDetector creates a detector over db with the paper's default
@@ -106,12 +150,17 @@ func (d *Detector) BeginCompile(fnName string) (passes.Observer, func() engine.C
 		// The real database could not be trusted: no DNA to compare
 		// against, so take no snapshots and veto every compilation.
 		return nil, func() engine.CompileDecision {
+			d.Audit.Record(obs.AuditEvent{
+				Func:    fnName,
+				Verdict: obs.VerdictNoJIT,
+				Reason:  "fail-safe database: vetoing every compilation",
+			})
 			return engine.CompileDecision{NoJIT: true}
 		}
 	}
 	dna := DNA{FuncName: fnName, Passes: map[string]Delta{}}
 	de := newDeltaExtractor()
-	obs := func(_ int, passName string, before, after *mir.Snapshot) {
+	observe := func(_ int, passName string, before, after *mir.Snapshot) {
 		if before == nil || after == nil {
 			return // pass skipped (already disabled)
 		}
@@ -124,7 +173,7 @@ func (d *Detector) BeginCompile(fnName string) (passes.Observer, func() engine.C
 		de.release()
 		return d.Decide(&dna)
 	}
-	return obs, finish
+	return observe, finish
 }
 
 // Decide compares one function's DNA against the whole database (the
@@ -137,20 +186,30 @@ func (d *Detector) Decide(dna *DNA) engine.CompileDecision {
 	if d.DB.FailSafe() {
 		return engine.CompileDecision{NoJIT: true}
 	}
+	if d.Metrics != nil && d.deltaHist == nil {
+		d.deltaHist = d.Metrics.Histogram("dna.delta_chains", obs.SizeBuckets)
+		d.probeHist = d.Metrics.Histogram("dna.index_probes", obs.SizeBuckets)
+	}
 	idx := d.DB.Index(d.Thr)
 	found := d.found[:0]
 	for passName, fdelta := range dna.Passes {
 		passName := passName
-		idx.query(passName, fdelta, d.Ratio, d.Thr, &d.scratch, func(cve, vdcFunc string) {
-			found = append(found, Match{CVE: cve, VDCFunc: vdcFunc, Pass: passName})
+		d.deltaHist.Observe(int64(len(fdelta.Removed) + len(fdelta.Added)))
+		idx.query(passName, fdelta, d.Ratio, d.Thr, &d.scratch, func(cve, vdcFunc string, chain uint32, side matchSide) {
+			found = append(found, Match{
+				CVE: cve, VDCFunc: vdcFunc, Pass: passName,
+				ChainID: chain, Side: side.String(),
+			})
 		})
+		d.probeHist.Observe(int64(d.scratch.probes))
 	}
 	d.found = found[:0]
 	if len(found) == 0 {
+		d.Audit.Record(obs.AuditEvent{Func: dna.FuncName, Verdict: obs.VerdictGo})
 		return engine.CompileDecision{}
 	}
 	// dna.Passes iteration is randomized; order deterministically before
-	// recording.
+	// recording (attribution fields break the rare key tie).
 	sort.Slice(found, func(i, j int) bool {
 		a, b := found[i], found[j]
 		if a.CVE != b.CVE {
@@ -159,16 +218,22 @@ func (d *Detector) Decide(dna *DNA) engine.CompileDecision {
 		if a.VDCFunc != b.VDCFunc {
 			return a.VDCFunc < b.VDCFunc
 		}
-		return a.Pass < b.Pass
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		if a.Side != b.Side {
+			return a.Side < b.Side
+		}
+		return a.ChainID < b.ChainID
 	})
 	if d.seen == nil {
-		d.seen = map[Match]struct{}{}
+		d.seen = map[MatchKey]struct{}{}
 	}
 	disSet := map[string]bool{}
 	for _, m := range found {
 		disSet[m.Pass] = true
-		if _, dup := d.seen[m]; !dup {
-			d.seen[m] = struct{}{}
+		if _, dup := d.seen[m.Key()]; !dup {
+			d.seen[m.Key()] = struct{}{}
 			d.Matches = append(d.Matches, m)
 		}
 	}
@@ -181,6 +246,25 @@ func (d *Detector) Decide(dna *DNA) engine.CompileDecision {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	if d.Audit != nil {
+		verdict := obs.VerdictDisablePass
+		if noJIT {
+			verdict = obs.VerdictNoJIT
+		}
+		am := make([]obs.AuditMatch, len(found))
+		for i, m := range found {
+			am[i] = obs.AuditMatch{
+				CVE: m.CVE, VDCFunc: m.VDCFunc, Pass: m.Pass,
+				ChainID: m.ChainID, Side: m.Side, Chain: m.Chain(),
+			}
+		}
+		d.Audit.Record(obs.AuditEvent{
+			Func:           dna.FuncName,
+			Verdict:        verdict,
+			DisabledPasses: names,
+			Matches:        am,
+		})
+	}
 	if noJIT {
 		// Scenario 3: a matched pass cannot be disabled — disable the
 		// JIT for this function entirely (conservative approach, §IV-C).
@@ -208,7 +292,7 @@ func (r *Recorder) Active() bool { return true }
 func (r *Recorder) BeginCompile(fnName string) (passes.Observer, func() engine.CompileDecision) {
 	dna := DNA{FuncName: fnName, Passes: map[string]Delta{}}
 	de := newDeltaExtractor()
-	obs := func(_ int, passName string, before, after *mir.Snapshot) {
+	observe := func(_ int, passName string, before, after *mir.Snapshot) {
 		if before == nil || after == nil {
 			return
 		}
@@ -222,5 +306,5 @@ func (r *Recorder) BeginCompile(fnName string) (passes.Observer, func() engine.C
 		r.DNAs = append(r.DNAs, dna)
 		return engine.CompileDecision{}
 	}
-	return obs, finish
+	return observe, finish
 }

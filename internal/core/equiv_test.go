@@ -207,17 +207,18 @@ func TestDecideEquivalenceRandomDB(t *testing.T) {
 						trial, thr, ratio, got, want)
 				}
 				// The deduplicated fast-path matches must equal the set of
-				// reference matches.
-				gotSet := map[Match]bool{}
+				// reference matches. Identity is the MatchKey projection:
+				// witness-chain attribution is a fast-path-only extra.
+				gotSet := map[MatchKey]bool{}
 				for _, m := range fast.Matches {
-					if gotSet[m] {
+					if gotSet[m.Key()] {
 						t.Fatalf("trial %d: duplicate match recorded: %+v", trial, m)
 					}
-					gotSet[m] = true
+					gotSet[m.Key()] = true
 				}
-				wantSet := map[Match]bool{}
+				wantSet := map[MatchKey]bool{}
 				for _, m := range ref.Matches {
-					wantSet[m] = true
+					wantSet[m.Key()] = true
 				}
 				if !reflect.DeepEqual(gotSet, wantSet) {
 					t.Fatalf("trial %d thr=%d ratio=%v: match sets diverged\nfast %v\nref  %v",

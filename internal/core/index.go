@@ -83,23 +83,57 @@ func buildMatchIndex(db *Database, thr int) *MatchIndex {
 	return ix
 }
 
+// NoChain is the witness-chain sentinel for matches that needed no shared
+// chain (degenerate thresholds accept any pair of non-empty sides).
+const NoChain = ^uint32(0)
+
+// matchSide says which delta side witnessed a match.
+type matchSide uint8
+
+// Match sides.
+const (
+	sideNone matchSide = iota
+	sideRemoved
+	sideAdded
+)
+
+// String renders the side as it appears in Match.Side and audit events.
+func (s matchSide) String() string {
+	switch s {
+	case sideRemoved:
+		return "removed"
+	case sideAdded:
+		return "added"
+	default:
+		return ""
+	}
+}
+
 // matchScratch is the reusable query state of one Detector: a per-entry
-// hit counter with a touched list for O(hits) reset, and a matched set so
-// an entry similar on both sides is reported once.
+// hit counter with a touched list for O(hits) reset, a matched set so an
+// entry similar on both sides is reported once, and per-entry witness
+// attribution (the first — smallest, since candidates are sorted — chain
+// shared with the entry, and the side it was shared on).
 type matchScratch struct {
 	counts     []uint32
 	matched    []bool
+	witness    []uint32 // chain that first touched the entry this side
 	touched    []uint32
 	matchedIDs []uint32
+	sides      []matchSide // parallel to matchedIDs
+	chains     []uint32    // parallel to matchedIDs
+	probes     int         // entries scored by the last query (metrics)
 }
 
 func (sc *matchScratch) ensure(n int) {
 	if cap(sc.counts) < n {
 		sc.counts = make([]uint32, n)
 		sc.matched = make([]bool, n)
+		sc.witness = make([]uint32, n)
 	} else {
 		sc.counts = sc.counts[:n]
 		sc.matched = sc.matched[:n]
+		sc.witness = sc.witness[:n]
 	}
 }
 
@@ -108,37 +142,45 @@ func (sc *matchScratch) ensure(n int) {
 // inner loop. Early exits: a pass absent from the database costs one map
 // lookup; a candidate side smaller than Thr is skipped outright; and only
 // deltas sharing at least one chain with the candidate are ever visited or
-// scored.
-func (ix *MatchIndex) query(pass string, d Delta, ratio float64, thr int, sc *matchScratch, emit func(cve, vdcFunc string)) {
+// scored. emit receives the witness attribution: the smallest chain shared
+// with the matched delta and the side it was shared on (NoChain/sideNone
+// under degenerate thresholds, which need no shared chain).
+func (ix *MatchIndex) query(pass string, d Delta, ratio float64, thr int, sc *matchScratch, emit func(cve, vdcFunc string, chain uint32, side matchSide)) {
 	pp := ix.byPass[pass]
 	if pp == nil {
 		return
 	}
 	sc.ensure(len(ix.entries))
 	sc.matchedIDs = sc.matchedIDs[:0]
+	sc.sides = sc.sides[:0]
+	sc.chains = sc.chains[:0]
+	sc.probes = 0
 	if thr <= 0 && ratio <= 0 {
 		// Degenerate thresholds accept any pair of non-empty sides without
 		// needing a shared chain; scan the pass bucket directly.
 		for _, id := range pp.all {
 			e := &ix.entries[id]
+			sc.probes++
 			if (len(d.Removed) > 0 && e.removedLen > 0) || (len(d.Added) > 0 && e.addedLen > 0) {
-				emit(e.cve, e.vdcFunc)
+				emit(e.cve, e.vdcFunc, NoChain, sideNone)
 			}
 		}
 		return
 	}
-	ix.querySide(pp.removed, d.Removed, false, ratio, thr, sc)
-	ix.querySide(pp.added, d.Added, true, ratio, thr, sc)
-	for _, id := range sc.matchedIDs {
+	ix.querySide(pp.removed, d.Removed, sideRemoved, ratio, thr, sc)
+	ix.querySide(pp.added, d.Added, sideAdded, ratio, thr, sc)
+	for i, id := range sc.matchedIDs {
 		e := &ix.entries[id]
-		emit(e.cve, e.vdcFunc)
+		emit(e.cve, e.vdcFunc, sc.chains[i], sc.sides[i])
 		sc.matched[id] = false
 	}
 }
 
 // querySide accumulates shared-chain counts for one delta side and records
-// the entries reaching both thresholds into sc.matchedIDs.
-func (ix *MatchIndex) querySide(post map[uint32][]uint32, cand []uint32, addedSide bool, ratio float64, thr int, sc *matchScratch) {
+// the entries reaching both thresholds into sc.matchedIDs. Candidates are
+// sorted ascending, so the chain that first touches an entry is the
+// smallest shared one — the recorded witness.
+func (ix *MatchIndex) querySide(post map[uint32][]uint32, cand []uint32, side matchSide, ratio float64, thr int, sc *matchScratch) {
 	minShared := thr
 	if minShared < 1 {
 		minShared = 1
@@ -151,16 +193,18 @@ func (ix *MatchIndex) querySide(post map[uint32][]uint32, cand []uint32, addedSi
 		for _, id := range post[c] {
 			if sc.counts[id] == 0 {
 				sc.touched = append(sc.touched, id)
+				sc.witness[id] = c
 			}
 			sc.counts[id]++
 		}
 	}
+	sc.probes += len(sc.touched)
 	for _, id := range sc.touched {
 		eq := int(sc.counts[id])
 		sc.counts[id] = 0
 		e := &ix.entries[id]
 		maxEq := e.removedLen
-		if addedSide {
+		if side == sideAdded {
 			maxEq = e.addedLen
 		}
 		if len(cand) < maxEq {
@@ -169,6 +213,8 @@ func (ix *MatchIndex) querySide(post map[uint32][]uint32, cand []uint32, addedSi
 		if eq >= thr && float64(eq) >= ratio*float64(maxEq) && !sc.matched[id] {
 			sc.matched[id] = true
 			sc.matchedIDs = append(sc.matchedIDs, id)
+			sc.sides = append(sc.sides, side)
+			sc.chains = append(sc.chains, sc.witness[id])
 		}
 	}
 }

@@ -459,7 +459,8 @@ func (r *ReferenceDetector) Decide(dna *RefDNA) engine.CompileDecision {
 					if !disSet[passName] {
 						disSet[passName] = true
 					}
-					r.Matches = append(r.Matches, Match{CVE: vdc.cve, VDCFunc: vdna.FuncName, Pass: passName})
+					// The reference scan does not attribute witness chains.
+					r.Matches = append(r.Matches, Match{CVE: vdc.cve, VDCFunc: vdna.FuncName, Pass: passName, ChainID: NoChain})
 				}
 			}
 		}

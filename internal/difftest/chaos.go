@@ -2,9 +2,11 @@ package difftest
 
 import (
 	"fmt"
+	"path/filepath"
 
 	"github.com/jitbull/jitbull/internal/engine"
 	"github.com/jitbull/jitbull/internal/faults"
+	"github.com/jitbull/jitbull/internal/obs"
 	"github.com/jitbull/jitbull/internal/progen"
 )
 
@@ -39,6 +41,11 @@ type ChaosOptions struct {
 	BaselineThreshold int
 	// MaxSteps per run (default 200M).
 	MaxSteps int64
+	// TraceDir, when set, re-executes every failing run deterministically
+	// (same seed, same plan) with a compile tracer attached and writes a
+	// Chrome trace_event JSON file per failure into the directory; the
+	// file's path is recorded in ChaosFailure.TracePath.
+	TraceDir string
 }
 
 func (o ChaosOptions) withDefaults() ChaosOptions {
@@ -69,6 +76,7 @@ type ChaosFailure struct {
 	Panic       string      `json:"panic,omitempty"`       // a panic escaped the engine
 	Divergences []string    `json:"divergences,omitempty"` // semantics differed from the interpreter
 	Accounting  string      `json:"accounting,omitempty"`  // fired faults != accounted faults
+	TracePath   string      `json:"trace_path,omitempty"`  // Chrome trace of the deterministic replay
 }
 
 // String renders the failure (without the program body) for reports.
@@ -82,6 +90,9 @@ func (f ChaosFailure) String() string {
 	}
 	if f.Accounting != "" {
 		s += " " + f.Accounting
+	}
+	if f.TracePath != "" {
+		s += fmt.Sprintf(" trace=%s", f.TracePath)
 	}
 	return s
 }
@@ -118,10 +129,40 @@ func Chaos(o ChaosOptions) ChaosResult {
 			res.FaultedRuns++
 		}
 		if fail != nil {
+			if o.TraceDir != "" {
+				fail.TracePath = traceChaosRun(seed, src, plan, o)
+			}
 			res.Failures = append(res.Failures, *fail)
 		}
 	}
 	return res
+}
+
+// traceChaosRun replays one failing (program, plan) pair — chaos runs are
+// fully deterministic — with a ring tracer attached and saves the compile
+// trace as Chrome trace_event JSON. It returns the written path, or ""
+// when the trace could not be saved (the reproducer itself still stands).
+func traceChaosRun(seed int64, src string, plan faults.Plan, o ChaosOptions) string {
+	ring := obs.NewRing(0)
+	cfg := Config{Name: "jit+chaos+trace", Engine: engine.Config{
+		BaselineThreshold:   o.BaselineThreshold,
+		IonThreshold:        o.IonThreshold,
+		MaxSteps:            o.MaxSteps,
+		Faults:              plan.Injector(),
+		Tracer:              obs.NewTracer(ring),
+		QuarantineBackoff:   8,
+		QuarantineCleanRuns: 2,
+		MaxCompileAttempts:  3,
+	}}
+	func() {
+		defer func() { recover() }() // the replayed panic is already reported
+		Observe(src, cfg)
+	}()
+	path := filepath.Join(o.TraceDir, fmt.Sprintf("chaos-seed-%d.trace.json", seed))
+	if err := obs.SaveChromeTrace(path, ring.Events()); err != nil {
+		return ""
+	}
+	return path
 }
 
 // chaosOne executes a single (program, plan) pair against the interpreter

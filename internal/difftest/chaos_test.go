@@ -1,6 +1,9 @@
 package difftest
 
 import (
+	"encoding/json"
+	"os"
+	"strings"
 	"testing"
 
 	"github.com/jitbull/jitbull/internal/faults"
@@ -38,6 +41,62 @@ func TestChaosDeterministic(t *testing.T) {
 	a, b := Chaos(o), Chaos(o)
 	if a.FaultsFired != b.FaultsFired || a.FaultedRuns != b.FaultedRuns || len(a.Failures) != len(b.Failures) {
 		t.Fatalf("campaign not reproducible: %s vs %s", a.Summary(), b.Summary())
+	}
+}
+
+// TestChaosTraceReplay: the failure-replay tracer must produce a valid
+// Chrome trace file containing both compile spans and the injected-fault
+// instants (point, kind, seed) of the replayed schedule.
+func TestChaosTraceReplay(t *testing.T) {
+	src := `
+function hot(x) {
+  var s = 0;
+  for (var i = 0; i < 10; i++) { s = s + x * i; }
+  return s;
+}
+var result = 0;
+for (var r = 0; r < 200; r++) { result = (result + hot(r)) % 1000003; }
+`
+	plan := faults.Plan{Seed: 7, Rules: []faults.Rule{{Point: faults.CompilePoints()[0], Kind: faults.Kinds()[0]}}}
+	o := ChaosOptions{TraceDir: t.TempDir()}.withDefaults()
+	path := traceChaosRun(7, src, plan, o)
+	if path == "" {
+		t.Fatal("traceChaosRun wrote no trace")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var sawCompile, sawFault bool
+	for _, ev := range tr.TraceEvents {
+		if ev.Cat == "compile" {
+			sawCompile = true
+		}
+		if ev.Name == "fault.injected" {
+			sawFault = true
+			for _, key := range []string{"point", "kind", "seed"} {
+				if _, ok := ev.Args[key]; !ok {
+					t.Errorf("fault.injected instant lacks %q: %+v", key, ev.Args)
+				}
+			}
+		}
+	}
+	if !sawCompile || !sawFault {
+		t.Fatalf("trace lacks compile spans (%v) or fault instants (%v) among %d events",
+			sawCompile, sawFault, len(tr.TraceEvents))
+	}
+	if !strings.Contains(path, "chaos-seed-7") {
+		t.Fatalf("trace path %q does not name the seed", path)
 	}
 }
 

@@ -199,7 +199,7 @@ func Observe(src string, c Config) Observation {
 	obs.Output = out.String()
 	obs.Hijacked = e.Hijacked() != nil
 	obs.Crashed = e.Arena().Crashed() != nil
-	obs.Stats = e.Stats
+	obs.Stats = e.Stats()
 	if runErr != nil {
 		obs.ErrMsg = runErr.Error()
 		switch {

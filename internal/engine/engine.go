@@ -21,6 +21,7 @@ import (
 	"github.com/jitbull/jitbull/internal/lir"
 	"github.com/jitbull/jitbull/internal/mirbuild"
 	"github.com/jitbull/jitbull/internal/native"
+	"github.com/jitbull/jitbull/internal/obs"
 	"github.com/jitbull/jitbull/internal/parser"
 	"github.com/jitbull/jitbull/internal/passes"
 	"github.com/jitbull/jitbull/internal/value"
@@ -112,9 +113,29 @@ type Config struct {
 	// Tests use it to inject deliberately broken passes and prove the
 	// supervisor attributes them.
 	Passes []passes.Pass
+
+	// Tracer, when set, records the compile lifecycle as structured span
+	// events: warmup trigger, mirbuild, every optimization pass (with
+	// input/output instruction counts), DNA extraction, the go/no-go
+	// decision, lowering, register allocation, native install, bailouts and
+	// injected faults. Nil disables tracing at the cost of one nil check
+	// per site (benchmarked in BENCH_obs.json).
+	Tracer *obs.Tracer
+	// Metrics, when set, is a shared registry the engine's counters and
+	// histograms are mirrored into. Several engines may share one registry
+	// (RunParallel does): the handles are atomics, so the shared view
+	// aggregates without races while each engine's Stats() stays private.
+	Metrics *obs.Registry
+	// Audit, when set, receives one structured event per compilation
+	// supervisor transition (compile errors, quarantine, requalification,
+	// permanent demotion). Policy go/no-go verdicts are recorded by the
+	// policy itself (core.Detector) into the same log.
+	Audit *obs.AuditLog
 }
 
-// Stats are the per-run counters the paper's Figure 4 reports.
+// Stats is a snapshot of the per-run counters the paper's Figure 4
+// reports, read from the engine's atomic metrics registry via
+// Engine.Stats().
 type Stats struct {
 	NrJIT      int // functions Ion-compiled (JIT-eligible and hot)
 	NrDisJIT   int // of those, compiled with >= 1 pass disabled by JITBULL
@@ -131,6 +152,47 @@ type Stats struct {
 	InjectedFaults int // of those, fired by the fault-injection framework
 	Quarantined    int // quarantine entries (failed functions parked with backoff)
 	Requalified    int // quarantined functions re-promoted after a clean retry
+}
+
+// statCounter is one engine counter: always present in the engine's
+// private registry (the source of the Stats() snapshot) and, when
+// Config.Metrics is set, mirrored into that shared registry so parallel
+// engines aggregate into one coherent view without races.
+type statCounter struct{ local, shared *obs.Counter }
+
+// Inc bumps both sides (the shared side is nil-safe).
+func (c statCounter) Inc() { c.local.Inc(); c.shared.Inc() }
+
+// engineMetrics are the engine's counters, resolved once at construction
+// so the hot path never takes the registry lock.
+type engineMetrics struct {
+	nrJIT, nrDisJIT, nrNoJIT       statCounter
+	bailouts, compiles, recompiles statCounter
+	interpOnly                     statCounter
+	compileErrors, compilePanics   statCounter
+	compileBudgets, injectedFaults statCounter
+	quarantined, requalified       statCounter
+}
+
+func newEngineMetrics(local, shared *obs.Registry) engineMetrics {
+	pair := func(name string) statCounter {
+		return statCounter{local: local.Counter(name), shared: shared.Counter(name)}
+	}
+	return engineMetrics{
+		nrJIT:          pair("engine.nr_jit"),
+		nrDisJIT:       pair("engine.nr_dis_jit"),
+		nrNoJIT:        pair("engine.nr_no_jit"),
+		bailouts:       pair("engine.bailouts"),
+		compiles:       pair("engine.compiles"),
+		recompiles:     pair("engine.recompiles"),
+		interpOnly:     pair("engine.interp_only"),
+		compileErrors:  pair("engine.compile_errors"),
+		compilePanics:  pair("engine.compile_panics"),
+		compileBudgets: pair("engine.compile_budgets"),
+		injectedFaults: pair("engine.injected_faults"),
+		quarantined:    pair("engine.quarantined"),
+		requalified:    pair("engine.requalified"),
+	}
 }
 
 type tier int
@@ -180,7 +242,10 @@ type Engine struct {
 	policy Policy
 	pool   native.Pool
 
-	Stats    Stats
+	reg      *obs.Registry // private registry backing Stats()
+	m        engineMetrics
+	tracer   *obs.Tracer
+	audit    *obs.AuditLog
 	hijacked *HijackError
 }
 
@@ -215,6 +280,14 @@ func NewFromProgram(prog *bytecode.Program, astProg *ast.Program, cfg Config) (*
 		vm.MaxSteps = cfg.MaxSteps
 	}
 	e := &Engine{Prog: prog, VM: vm, arena: arena, cfg: cfg}
+	e.reg = obs.NewRegistry()
+	e.m = newEngineMetrics(e.reg, cfg.Metrics)
+	e.tracer = cfg.Tracer
+	e.audit = cfg.Audit
+	if cfg.Faults != nil && cfg.Faults.Trace == nil {
+		// Injected faults show up inline in the engine's compile trace.
+		cfg.Faults.Trace = cfg.Tracer
+	}
 	vm.Dispatch = e
 
 	byName := map[string]*ast.FuncDecl{}
@@ -233,6 +306,55 @@ func NewFromProgram(prog *bytecode.Program, astProg *ast.Program, cfg Config) (*
 
 // SetPolicy installs the JITBULL policy hook (nil removes it).
 func (e *Engine) SetPolicy(p Policy) { e.policy = p }
+
+// Stats reads a consistent snapshot of the engine's own counters. The
+// counters are atomics, so snapshotting while other engines mutate a
+// shared Config.Metrics registry is race-free.
+func (e *Engine) Stats() Stats {
+	v := func(c statCounter) int { return int(c.local.Value()) }
+	return Stats{
+		NrJIT:          v(e.m.nrJIT),
+		NrDisJIT:       v(e.m.nrDisJIT),
+		NrNoJIT:        v(e.m.nrNoJIT),
+		Bailouts:       v(e.m.bailouts),
+		Compiles:       v(e.m.compiles),
+		Recompiles:     v(e.m.recompiles),
+		InterpOnly:     v(e.m.interpOnly),
+		CompileErrors:  v(e.m.compileErrors),
+		CompilePanics:  v(e.m.compilePanics),
+		CompileBudgets: v(e.m.compileBudgets),
+		InjectedFaults: v(e.m.injectedFaults),
+		Quarantined:    v(e.m.quarantined),
+		Requalified:    v(e.m.requalified),
+	}
+}
+
+// Tracer returns the engine's tracer (nil when tracing is disabled).
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
+
+// Metrics returns the engine's private metrics registry (always non-nil):
+// the engine counters plus compile-path histograms when no shared
+// Config.Metrics registry was provided.
+func (e *Engine) Metrics() *obs.Registry { return e.reg }
+
+// Audit returns the engine's audit log (nil when auditing is disabled).
+func (e *Engine) Audit() *obs.AuditLog { return e.audit }
+
+// MetricsSink returns the registry compile-path instrumentation (pass
+// latencies, DNA histograms) records into: the shared Config.Metrics when
+// one was provided, else the engine's private registry. Policy
+// instrumentation should use the same sink so one registry carries the
+// whole compile path.
+func (e *Engine) MetricsSink() *obs.Registry { return e.histReg() }
+
+// histReg is the registry compile-path histograms record into: the shared
+// one when configured, else the engine's own.
+func (e *Engine) histReg() *obs.Registry {
+	if e.cfg.Metrics != nil {
+		return e.cfg.Metrics
+	}
+	return e.reg
+}
 
 // Arena returns the shared heap.
 func (e *Engine) Arena() *heap.Arena { return e.arena }
@@ -309,12 +431,14 @@ func (e *Engine) CallFunction(idx int, args []value.Value) (value.Value, error) 
 			return res.Value(), nil
 		}
 		// Bailout: fall back to the interpreter for this call.
-		e.Stats.Bailouts++
+		e.m.bailouts.Inc()
 		st.bailouts++
+		e.tracer.Instant(obs.CatEngine, "bailout",
+			obs.S("fn", st.fn.Name), obs.I("bailouts", int64(st.bailouts)))
 		if st.bailouts >= maxBailoutsBeforeBlacklist {
 			st.code = nil
 			e.demote(st)
-			e.quarantine(st)
+			e.quarantine(st, "bailout storm: blacklisted after repeated guard failures")
 		}
 	}
 
@@ -370,6 +494,9 @@ func (e *Engine) observeReturn(st *fnState, v value.Value) {
 // scenarios of §V; every failure is typed, attributed, and degraded per
 // failCompile.
 func (e *Engine) compile(idx int, st *fnState) {
+	e.tracer.Instant(obs.CatEngine, "compile.trigger",
+		obs.S("fn", st.fn.Name), obs.I("calls", int64(st.calls)))
+	sp := e.tracer.Begin(obs.CatCompile, "compile")
 	if len(e.cfg.DisabledPasses) > 0 && st.disabledPasses == nil {
 		st.disabledPasses = map[string]bool{}
 		for _, name := range e.cfg.DisabledPasses {
@@ -401,21 +528,31 @@ func (e *Engine) compile(idx int, st *fnState) {
 	code, cerr := e.compileAttempt(st, opts)
 	if cerr != nil {
 		e.failCompile(st, cerr)
+		sp.End(obs.S("fn", st.fn.Name), obs.S("result", "fail"), obs.S("stage", cerr.Stage))
 		return
 	}
+	wasQuarantined := st.quar == qQuarantined
 	if !st.counted {
 		st.counted = true
-		e.Stats.NrJIT++
+		e.m.nrJIT.Inc()
 	}
 	st.code = code
 	st.tier = tierIon
 	st.bailouts = 0
-	if st.quar == qQuarantined {
+	if wasQuarantined {
 		// A quarantined function compiled cleanly on retry: requalify.
 		st.quar = qNone
 		st.attempts = 0
-		e.Stats.Requalified++
+		e.m.requalified.Inc()
+		e.audit.Record(obs.AuditEvent{
+			Func:    st.fn.Name,
+			Verdict: obs.VerdictRequalify,
+			Reason:  "clean recompile after quarantine",
+		})
 	}
+	e.tracer.Instant(obs.CatCompile, "native.install",
+		obs.S("fn", st.fn.Name), obs.I("ops", int64(len(code.Ops))), obs.I("regs", int64(code.NumRegs)))
+	sp.End(obs.S("fn", st.fn.Name), obs.S("result", "ok"))
 }
 
 // RunScript is a convenience: build an engine for src, run it, and return

@@ -70,11 +70,11 @@ for (var r = 0; r < 50; r++) { result = work(arr, 64); }
 
 func TestDifferentialHotLoop(t *testing.T) {
 	e := runBoth(t, hotLoopSrc, nil)
-	if e.Stats.NrJIT < 1 {
-		t.Fatalf("hot function was not JITed: %+v", e.Stats)
+	if e.Stats().NrJIT < 1 {
+		t.Fatalf("hot function was not JITed: %+v", e.Stats())
 	}
-	if e.Stats.Bailouts != 0 {
-		t.Fatalf("unexpected bailouts: %+v", e.Stats)
+	if e.Stats().Bailouts != 0 {
+		t.Fatalf("unexpected bailouts: %+v", e.Stats())
 	}
 }
 
@@ -207,8 +207,8 @@ for (var i = 0; i < 30; i++) { id(a); }
 	if e.Global("result").AsNumber() != 60 {
 		t.Fatalf("result = %v", e.Global("result"))
 	}
-	if e.Stats.Bailouts == 0 {
-		t.Fatalf("expected bailouts from polymorphic calls: %+v", e.Stats)
+	if e.Stats().Bailouts == 0 {
+		t.Fatalf("expected bailouts from polymorphic calls: %+v", e.Stats())
 	}
 }
 
@@ -222,8 +222,8 @@ for (var i = 0; i < 40; i++) { result = s(i); }
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e.Stats.NrJIT != 0 || e.Stats.InterpOnly != 1 {
-		t.Fatalf("string function must stay interpreted: %+v", e.Stats)
+	if e.Stats().NrJIT != 0 || e.Stats().InterpOnly != 1 {
+		t.Fatalf("string function must stay interpreted: %+v", e.Stats())
 	}
 	if e.Global("result").AsString() != "v39" {
 		t.Fatalf("result = %v", e.Global("result"))
@@ -241,8 +241,8 @@ for (var r = 0; r < 30; r++) { result += probe(a, 1); }
 result += probe(a, 99);
 `
 	e := runBoth(t, src, nil)
-	if e.Stats.Bailouts == 0 {
-		t.Fatalf("OOB probe should bail: %+v", e.Stats)
+	if e.Stats().Bailouts == 0 {
+		t.Fatalf("OOB probe should bail: %+v", e.Stats())
 	}
 }
 
@@ -252,8 +252,8 @@ func TestNoJITModeNeverCompiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e.Stats.Compiles != 0 || e.Stats.NrJIT != 0 {
-		t.Fatalf("NoJIT mode compiled something: %+v", e.Stats)
+	if e.Stats().Compiles != 0 || e.Stats().NrJIT != 0 {
+		t.Fatalf("NoJIT mode compiled something: %+v", e.Stats())
 	}
 }
 
@@ -268,8 +268,8 @@ for (var i = 0; i < 7; i++) { result += f(i); }
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e.Stats.Compiles != 0 {
-		t.Fatalf("cold function compiled: %+v", e.Stats)
+	if e.Stats().Compiles != 0 {
+		t.Fatalf("cold function compiled: %+v", e.Stats())
 	}
 }
 
@@ -281,8 +281,8 @@ var result = 0;
 for (var r = 0; r < 40; r++) { result += total(6); }
 `
 	e := runBoth(t, src, nil)
-	if e.Stats.NrJIT < 2 {
-		t.Fatalf("array-returning chain not JITed: %+v", e.Stats)
+	if e.Stats().NrJIT < 2 {
+		t.Fatalf("array-returning chain not JITed: %+v", e.Stats())
 	}
 }
 
@@ -291,8 +291,8 @@ func TestEngineStatsCountJITedFunctionsOnce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e.Stats.NrJIT != 1 || e.Stats.Compiles != 1 {
-		t.Fatalf("stats: %+v", e.Stats)
+	if e.Stats().NrJIT != 1 || e.Stats().Compiles != 1 {
+		t.Fatalf("stats: %+v", e.Stats())
 	}
 }
 

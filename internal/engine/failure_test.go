@@ -81,8 +81,8 @@ var result = down(3000);
 	if got := e.Global("result").AsNumber(); got != 3000 {
 		t.Fatalf("result = %v", got)
 	}
-	if e.Stats.NrJIT != 1 {
-		t.Fatalf("down not JITed: %+v", e.Stats)
+	if e.Stats().NrJIT != 1 {
+		t.Fatalf("down not JITed: %+v", e.Stats())
 	}
 }
 
@@ -103,11 +103,11 @@ for (var r = 0; r < 200; r++) { result += probe(a, 99); }
 	if _, err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if e.Stats.Bailouts == 0 {
-		t.Fatalf("expected bailouts: %+v", e.Stats)
+	if e.Stats().Bailouts == 0 {
+		t.Fatalf("expected bailouts: %+v", e.Stats())
 	}
-	if e.Stats.Bailouts > maxBailoutsBeforeBlacklist {
-		t.Fatalf("blacklist did not engage: %d bailouts", e.Stats.Bailouts)
+	if e.Stats().Bailouts > maxBailoutsBeforeBlacklist {
+		t.Fatalf("blacklist did not engage: %d bailouts", e.Stats().Bailouts)
 	}
 }
 
@@ -130,8 +130,8 @@ for (var i = 0; i < 60; i++) {
 	if got := e.Global("result").AsNumber(); got != 60*(7+36) {
 		t.Fatalf("result = %v", got)
 	}
-	if e.Stats.NrJIT != 2 {
-		t.Fatalf("stats: %+v", e.Stats)
+	if e.Stats().NrJIT != 2 {
+		t.Fatalf("stats: %+v", e.Stats())
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"github.com/jitbull/jitbull/internal/lir"
 	"github.com/jitbull/jitbull/internal/mirbuild"
 	"github.com/jitbull/jitbull/internal/native"
+	"github.com/jitbull/jitbull/internal/obs"
 	"github.com/jitbull/jitbull/internal/passes"
 	"github.com/jitbull/jitbull/internal/regalloc"
 	"github.com/jitbull/jitbull/internal/value"
@@ -130,10 +131,16 @@ func (e *Engine) mayCompile(st *fnState) bool {
 
 // quarantine parks the function on the interpreter with exponential
 // backoff, escalating to permanent after maxCompileAttempts round-trips.
-func (e *Engine) quarantine(st *fnState) {
+// reason attributes the transition in the audit log.
+func (e *Engine) quarantine(st *fnState, reason string) {
 	st.attempts++
 	if st.attempts >= e.maxCompileAttempts() {
 		st.quar = qPermanent
+		e.audit.Record(obs.AuditEvent{
+			Func:    st.fn.Name,
+			Verdict: obs.VerdictPermanent,
+			Reason:  fmt.Sprintf("quarantine attempts exhausted (%d): %s", st.attempts, reason),
+		})
 		return
 	}
 	if st.backoff == 0 {
@@ -144,7 +151,12 @@ func (e *Engine) quarantine(st *fnState) {
 	st.quar = qQuarantined
 	st.retryAt = st.calls + st.backoff
 	st.cleanRuns = 0
-	e.Stats.Quarantined++
+	e.m.quarantined.Inc()
+	e.audit.Record(obs.AuditEvent{
+		Func:    st.fn.Name,
+		Verdict: obs.VerdictQuarantine,
+		Reason:  reason,
+	})
 }
 
 // demote drops the function's tier to match its remaining execution modes
@@ -161,16 +173,22 @@ func (e *Engine) demote(st *fnState) {
 // recordCompileError updates the failure counters and surfaces the error
 // through Config.OnCompileError.
 func (e *Engine) recordCompileError(cerr *CompileError) {
-	e.Stats.CompileErrors++
+	e.m.compileErrors.Inc()
 	if cerr.Panicked {
-		e.Stats.CompilePanics++
+		e.m.compilePanics.Inc()
 	}
 	if cerr.Injected {
-		e.Stats.InjectedFaults++
+		e.m.injectedFaults.Inc()
 	}
 	if cerr.Budget {
-		e.Stats.CompileBudgets++
+		e.m.compileBudgets.Inc()
 	}
+	e.audit.Record(obs.AuditEvent{
+		Func:    cerr.Func,
+		Verdict: obs.VerdictCompileError,
+		Stage:   cerr.Stage,
+		Reason:  cerr.Err.Error(),
+	})
 	if e.cfg.OnCompileError != nil {
 		e.cfg.OnCompileError(cerr.Func, cerr)
 	}
@@ -216,7 +234,7 @@ func (e *Engine) failCompile(st *fnState, cerr *CompileError) {
 	if errors.Is(cerr.Err, mirbuild.ErrUnsupported) && !cerr.Injected {
 		st.quar = qPermanent
 		if !st.jitEligible {
-			e.Stats.InterpOnly++
+			e.m.interpOnly.Inc()
 		}
 		return
 	}
@@ -224,9 +242,15 @@ func (e *Engine) failCompile(st *fnState, cerr *CompileError) {
 	if errors.Is(cerr.Err, ErrPolicyNoJIT) ||
 		(cerr.Stage == StageMIRBuild && !cerr.Injected && !cerr.Budget) {
 		st.quar = qPermanent
+		e.audit.Record(obs.AuditEvent{
+			Func:    st.fn.Name,
+			Verdict: obs.VerdictPermanent,
+			Stage:   cerr.Stage,
+			Reason:  cerr.Err.Error(),
+		})
 		return
 	}
-	e.quarantine(st)
+	e.quarantine(st, cerr.Error())
 }
 
 // compileAttempt is one supervised run of the Ion pipeline: mirbuild →
@@ -238,6 +262,7 @@ func (e *Engine) compileAttempt(st *fnState, opts mirbuild.Options) (code *lir.C
 		Inj:   e.cfg.Faults,
 		Meter: &faults.Meter{Limit: e.compileStepBudget()},
 		Func:  st.fn.Name,
+		Trace: e.tracer,
 	}
 	stage := StageMIRBuild
 	defer func() {
@@ -255,37 +280,42 @@ func (e *Engine) compileAttempt(st *fnState, opts mirbuild.Options) (code *lir.C
 	st.jitEligible = true
 
 	stage = StagePasses
-	var obs passes.Observer
+	var pobs passes.Observer
 	var finish func() CompileDecision
 	if e.policy != nil && e.policy.Active() {
-		obs, finish = e.policy.BeginCompile(st.fn.Name)
+		pobs, finish = e.policy.BeginCompile(st.fn.Name)
 	}
 	if err := passes.RunWith(g, passes.RunOptions{
 		Bugs:     e.cfg.Bugs,
 		Disabled: st.disabledPasses,
-		Observer: obs,
+		Observer: pobs,
 		CheckIR:  e.cfg.CheckIR,
 		Pipeline: e.cfg.Passes,
 		Faults:   fctx,
+		Metrics:  e.histReg(),
 	}); err != nil {
 		return nil, newCompileError(st.fn.Name, stage, err)
 	}
-	e.Stats.Compiles++
+	e.m.compiles.Inc()
 
 	if finish != nil {
 		stage = StagePolicy
+		dsp := e.tracer.Begin(obs.CatPolicy, "decide")
 		decision := finish()
 		if decision.NoJIT {
 			// Scenario 3: a matched pass is mandatory — OptimizeMIR returns
 			// FAILURE with Recompile=false.
+			dsp.End(obs.S("fn", st.fn.Name), obs.S("verdict", "nojit"))
 			if !st.counted {
 				st.counted = true
-				e.Stats.NrJIT++
+				e.m.nrJIT.Inc()
 			}
-			e.Stats.NrNoJIT++
+			e.m.nrNoJIT.Inc()
 			return nil, newCompileError(st.fn.Name, StagePolicy, ErrPolicyNoJIT)
 		}
 		if len(decision.DisabledPasses) > 0 {
+			dsp.End(obs.S("fn", st.fn.Name), obs.S("verdict", "disable-pass"),
+				obs.I("disabled", int64(len(decision.DisabledPasses))))
 			// Scenario 2: FAILURE with Recompile=true — retry with the
 			// dangerous passes disabled.
 			if st.disabledPasses == nil {
@@ -301,10 +331,10 @@ func (e *Engine) compileAttempt(st *fnState, opts mirbuild.Options) (code *lir.C
 			if grew {
 				if !st.counted {
 					st.counted = true
-					e.Stats.NrJIT++
+					e.m.nrJIT.Inc()
 				}
-				e.Stats.NrDisJIT++
-				e.Stats.Recompiles++
+				e.m.nrDisJIT.Inc()
+				e.m.recompiles.Inc()
 				stage = StageMIRBuild
 				g2, err := mirbuild.Build(e.Prog, st.fd, opts)
 				if err != nil {
@@ -317,11 +347,14 @@ func (e *Engine) compileAttempt(st *fnState, opts mirbuild.Options) (code *lir.C
 					CheckIR:  e.cfg.CheckIR,
 					Pipeline: e.cfg.Passes,
 					Faults:   fctx,
+					Metrics:  e.histReg(),
 				}); err != nil {
 					return nil, newCompileError(st.fn.Name, stage, err)
 				}
 				g = g2
 			}
+		} else {
+			dsp.End(obs.S("fn", st.fn.Name), obs.S("verdict", "go"))
 		}
 	}
 
@@ -343,11 +376,17 @@ func (e *Engine) compileAttempt(st *fnState, opts mirbuild.Options) (code *lir.C
 // caller falls back to the interpreter for this call with identical
 // semantics. Non-injected panics are genuine engine bugs and propagate.
 func (e *Engine) execNative(st *fnState, args []value.Value) (res native.Result, status native.Status, err error) {
+	budget := e.VM.MaxSteps - e.VM.Steps()
 	if e.cfg.Faults == nil {
-		// Only injected faults are contained here (genuine panics propagate
-		// either way), so without an injector skip the recovery frame — this
-		// is the per-call hot path of every production dispatch.
-		return native.Exec(st.code, args, e, e.VM.MaxSteps-e.VM.Steps(), &e.pool)
+		if !e.tracer.Enabled() {
+			// Only injected faults are contained here (genuine panics propagate
+			// either way), so without an injector skip the recovery frame — this
+			// is the per-call hot path of every production dispatch.
+			return native.Exec(st.code, args, e, budget, &e.pool)
+		}
+		// No injector means no injected panics: still no recovery frame, but
+		// route through ExecWith so guard bailouts show up in the trace.
+		return native.ExecWith(st.code, args, e, budget, &e.pool, nil, e.tracer)
 	}
 	defer func() {
 		if r := recover(); r != nil {
@@ -365,8 +404,7 @@ func (e *Engine) execNative(st *fnState, args []value.Value) (res native.Result,
 			res, status, err = native.Result{}, native.StatusBail, nil
 		}
 	}()
-	budget := e.VM.MaxSteps - e.VM.Steps()
-	res, status, err = native.ExecWith(st.code, args, e, budget, &e.pool, e.cfg.Faults)
+	res, status, err = native.ExecWith(st.code, args, e, budget, &e.pool, e.cfg.Faults, e.tracer)
 	if err != nil && faults.IsInjected(err) {
 		e.recordCompileError(newCompileError(st.fn.Name, StageNative, err))
 		return native.Result{}, native.StatusBail, nil

@@ -121,11 +121,11 @@ func TestOnCompileErrorSurfacesVerifierRejection(t *testing.T) {
 	if ir.Pass != "BreakSSA" {
 		t.Errorf("verifier blamed pass %q, want BreakSSA", ir.Pass)
 	}
-	if e.Stats.NrJIT != 0 {
-		t.Errorf("a rejected compilation was still promoted: %+v", e.Stats)
+	if e.Stats().NrJIT != 0 {
+		t.Errorf("a rejected compilation was still promoted: %+v", e.Stats())
 	}
-	if e.Stats.CompileErrors == 0 {
-		t.Errorf("no CompileErrors counted: %+v", e.Stats)
+	if e.Stats().CompileErrors == 0 {
+		t.Errorf("no CompileErrors counted: %+v", e.Stats())
 	}
 }
 
@@ -149,8 +149,8 @@ func TestOnCompileErrorSurfacesRecoveredPanic(t *testing.T) {
 	if !cerr.Panicked || !cerr.Injected || cerr.Stage != StagePasses {
 		t.Errorf("typing wrong: %+v", cerr)
 	}
-	if e.Stats.CompilePanics == 0 || e.Stats.InjectedFaults != inj.FiredCount() {
-		t.Errorf("accounting wrong: stats %+v, fired %d", e.Stats, inj.FiredCount())
+	if e.Stats().CompilePanics == 0 || e.Stats().InjectedFaults != inj.FiredCount() {
+		t.Errorf("accounting wrong: stats %+v, fired %d", e.Stats(), inj.FiredCount())
 	}
 }
 
@@ -161,11 +161,11 @@ func TestCompileStepBudgetFailsTheAttempt(t *testing.T) {
 		CompileStepBudget: 1, // nothing compiles under one step
 		OnCompileError:    func(fn string, err error) { got = append(got, err) },
 	})
-	if e.Stats.CompileBudgets == 0 {
-		t.Fatalf("budget exhaustion not counted: %+v", e.Stats)
+	if e.Stats().CompileBudgets == 0 {
+		t.Fatalf("budget exhaustion not counted: %+v", e.Stats())
 	}
-	if e.Stats.NrJIT != 0 {
-		t.Errorf("compiled despite a 1-step budget: %+v", e.Stats)
+	if e.Stats().NrJIT != 0 {
+		t.Errorf("compiled despite a 1-step budget: %+v", e.Stats())
 	}
 	var cerr *CompileError
 	if len(got) == 0 || !errors.As(got[0], &cerr) || !cerr.Budget {
@@ -186,11 +186,11 @@ func TestQuarantineRetriesAndRequalifies(t *testing.T) {
 		QuarantineBackoff:   4,
 		QuarantineCleanRuns: 2,
 	})
-	if e.Stats.Quarantined != 1 || e.Stats.Requalified != 1 {
-		t.Fatalf("want one quarantine round-trip ending in requalification: %+v", e.Stats)
+	if e.Stats().Quarantined != 1 || e.Stats().Requalified != 1 {
+		t.Fatalf("want one quarantine round-trip ending in requalification: %+v", e.Stats())
 	}
-	if e.Stats.NrJIT != 1 {
-		t.Errorf("requalified function not promoted: %+v", e.Stats)
+	if e.Stats().NrJIT != 1 {
+		t.Errorf("requalified function not promoted: %+v", e.Stats())
 	}
 	st := e.fn(t, "hot")
 	if st.quar != qNone || st.code == nil || st.tier != tierIon {
@@ -211,16 +211,16 @@ func TestQuarantineEscalatesToPermanent(t *testing.T) {
 	})
 	st := e.fn(t, "hot")
 	if st.quar != qPermanent {
-		t.Fatalf("function not permanent after %d failed attempts (quar=%d)", e.Stats.CompileErrors, st.quar)
+		t.Fatalf("function not permanent after %d failed attempts (quar=%d)", e.Stats().CompileErrors, st.quar)
 	}
-	if e.Stats.CompileErrors != 3 {
-		t.Errorf("attempts = %d, want exactly MaxCompileAttempts (3)", e.Stats.CompileErrors)
+	if e.Stats().CompileErrors != 3 {
+		t.Errorf("attempts = %d, want exactly MaxCompileAttempts (3)", e.Stats().CompileErrors)
 	}
-	if e.Stats.Quarantined != 2 {
-		t.Errorf("quarantine entries = %d, want 2 (the third failure goes permanent)", e.Stats.Quarantined)
+	if e.Stats().Quarantined != 2 {
+		t.Errorf("quarantine entries = %d, want 2 (the third failure goes permanent)", e.Stats().Quarantined)
 	}
-	if e.Stats.NrJIT != 0 {
-		t.Errorf("promoted despite permanent failures: %+v", e.Stats)
+	if e.Stats().NrJIT != 0 {
+		t.Errorf("promoted despite permanent failures: %+v", e.Stats())
 	}
 }
 
@@ -243,8 +243,8 @@ for (var r = 0; r < 200; r++) { result += probe(a, 99); }
 	if _, err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if e.Stats.Bailouts != maxBailoutsBeforeBlacklist {
-		t.Fatalf("bailouts = %d, want exactly %d", e.Stats.Bailouts, maxBailoutsBeforeBlacklist)
+	if e.Stats().Bailouts != maxBailoutsBeforeBlacklist {
+		t.Fatalf("bailouts = %d, want exactly %d", e.Stats().Bailouts, maxBailoutsBeforeBlacklist)
 	}
 	st := e.fn(t, "probe")
 	if st.code != nil {
@@ -269,13 +269,13 @@ func TestNativeFaultContainment(t *testing.T) {
 			if inj.FiredCount() == 0 {
 				t.Fatal("native fault never fired")
 			}
-			if e.Stats.InjectedFaults != inj.FiredCount() {
-				t.Errorf("accounting: fired %d, engine saw %d", inj.FiredCount(), e.Stats.InjectedFaults)
+			if e.Stats().InjectedFaults != inj.FiredCount() {
+				t.Errorf("accounting: fired %d, engine saw %d", inj.FiredCount(), e.Stats().InjectedFaults)
 			}
-			if e.Stats.Bailouts == 0 {
+			if e.Stats().Bailouts == 0 {
 				t.Error("contained dispatch faults should surface as bailouts")
 			}
-			if kind == faults.KindPanic && e.Stats.CompilePanics == 0 {
+			if kind == faults.KindPanic && e.Stats().CompilePanics == 0 {
 				t.Error("recovered dispatch panic not counted")
 			}
 		})
@@ -298,8 +298,8 @@ for (var i = 0; i < 100; i++) { s(i); result = result + 1; }
 	if _, err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if e.Stats.InterpOnly != 1 || e.Stats.NrJIT != 0 {
-		t.Fatalf("stats: %+v", e.Stats)
+	if e.Stats().InterpOnly != 1 || e.Stats().NrJIT != 0 {
+		t.Fatalf("stats: %+v", e.Stats())
 	}
 	if len(got) != 0 {
 		t.Errorf("unsupported source surfaced as compile errors: %v", got)

@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/mir"
+	"github.com/jitbull/jitbull/internal/obs"
+	"github.com/jitbull/jitbull/internal/passes"
+)
+
+// tracePolicy is a minimal always-on policy (the engine package cannot
+// import core): it observes every pass and vetoes nothing, which is enough
+// to light up the dna.extract and decide probes.
+type tracePolicy struct{}
+
+func (tracePolicy) Active() bool { return true }
+
+func (tracePolicy) BeginCompile(string) (passes.Observer, func() CompileDecision) {
+	return func(int, string, *mir.Snapshot, *mir.Snapshot) {},
+		func() CompileDecision { return CompileDecision{} }
+}
+
+// TestTraceGoldenCompileSequence pins the event order of one successful
+// traced compilation: trigger instant, mirbuild span, one (pass span,
+// dna.extract span) pair per pipeline pass, the policy decide span, lir,
+// regalloc, the native.install instant, and finally the enclosing compile
+// span (spans are recorded at End, so the compile span closes the
+// sequence).
+func TestTraceGoldenCompileSequence(t *testing.T) {
+	ring := obs.NewRing(0)
+	cfg := jitCfg()
+	cfg.Tracer = obs.NewTracer(ring)
+	e, err := New(hotLoopSrc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetPolicy(tracePolicy{})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	events := ring.Events()
+	if len(events) == 0 {
+		t.Fatal("traced run recorded no events")
+	}
+
+	want := []string{"compile.trigger", "mirbuild"}
+	for _, pn := range passes.PassNames() {
+		want = append(want, pn, "dna.extract")
+	}
+	want = append(want, "decide", "lir", "regalloc", "native.install", "compile")
+
+	if len(events) < len(want) {
+		t.Fatalf("recorded %d events, want at least %d", len(events), len(want))
+	}
+	got := make([]string, len(want))
+	for i := range want {
+		got[i] = events[i].Name
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("first compile's event sequence diverged:\ngot  %v\nwant %v", got, want)
+	}
+
+	// Span/instant kinds, categories, and key args of the golden prefix.
+	argStr := func(ev obs.Event, key string) (string, bool) {
+		for _, a := range ev.Args[:ev.NArgs] {
+			if a.Key == key && a.IsStr {
+				return a.Str, true
+			}
+		}
+		return "", false
+	}
+	argInt := func(ev obs.Event, key string) (int64, bool) {
+		for _, a := range ev.Args[:ev.NArgs] {
+			if a.Key == key && !a.IsStr {
+				return a.Val, true
+			}
+		}
+		return 0, false
+	}
+	for i := range want {
+		ev := events[i]
+		switch ev.Name {
+		case "compile.trigger", "native.install":
+			if ev.Kind != obs.KindInstant {
+				t.Errorf("%s: kind = %v, want instant", ev.Name, ev.Kind)
+			}
+		case "mirbuild", "lir", "regalloc", "compile":
+			if ev.Kind != obs.KindSpan || ev.Cat != obs.CatCompile {
+				t.Errorf("%s: kind/cat = %v/%q, want span/%q", ev.Name, ev.Kind, ev.Cat, obs.CatCompile)
+			}
+		case "decide":
+			if ev.Cat != obs.CatPolicy {
+				t.Errorf("decide: cat = %q, want %q", ev.Cat, obs.CatPolicy)
+			}
+			if v, ok := argStr(ev, "verdict"); !ok || v != "go" {
+				t.Errorf("decide: verdict = %q, want \"go\"", v)
+			}
+		case "dna.extract":
+			if ev.Cat != obs.CatDNA {
+				t.Errorf("dna.extract: cat = %q, want %q", ev.Cat, obs.CatDNA)
+			}
+		default: // an optimization pass
+			if ev.Cat != obs.CatPass {
+				t.Errorf("%s: cat = %q, want %q", ev.Name, ev.Cat, obs.CatPass)
+			}
+			if _, ok := argInt(ev, "instrs_in"); !ok {
+				t.Errorf("%s: pass span lacks instrs_in", ev.Name)
+			}
+			if _, ok := argInt(ev, "instrs_out"); !ok {
+				t.Errorf("%s: pass span lacks instrs_out", ev.Name)
+			}
+		}
+	}
+	if res, ok := argStr(events[len(want)-1], "result"); !ok || res != "ok" {
+		t.Errorf("compile span result = %q, want \"ok\"", res)
+	}
+
+	// Spans must nest inside the enclosing compile span's interval.
+	compile := events[len(want)-1]
+	for i := 1; i < len(want)-1; i++ {
+		ev := events[i]
+		if ev.Kind != obs.KindSpan {
+			continue
+		}
+		if ev.TS < compile.TS || ev.TS+ev.Dur > compile.TS+compile.Dur {
+			t.Errorf("%s [%d,%d] escapes the compile span [%d,%d]",
+				ev.Name, ev.TS, ev.TS+ev.Dur, compile.TS, compile.TS+compile.Dur)
+		}
+	}
+}
+
+// TestTraceDisabledIsSilent: without a tracer nothing records, and the
+// nil-tracer engine accessors stay nil (the zero-overhead contract).
+func TestTraceDisabledIsSilent(t *testing.T) {
+	e, _, err := RunScript(hotLoopSrc, jitCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Tracer() != nil {
+		t.Fatal("untraced engine reports a tracer")
+	}
+	if e.Stats().Compiles == 0 {
+		t.Fatal("fixture did not compile anything")
+	}
+}

@@ -96,8 +96,8 @@ func ThresholdAblation(cfg Config) ([]AblationRow, error) {
 			if _, err := e.Run(); err != nil {
 				return nil, fmt.Errorf("%s: %w", b.Name, err)
 			}
-			row.BenignTotal += e.Stats.NrJIT
-			row.BenignFlagged += e.Stats.NrDisJIT + e.Stats.NrNoJIT
+			row.BenignTotal += e.Stats().NrJIT
+			row.BenignFlagged += e.Stats().NrDisJIT + e.Stats().NrNoJIT
 		}
 		if row.BenignTotal > 0 {
 			row.FlaggedPct = 100 * float64(row.BenignFlagged) / float64(row.BenignTotal)

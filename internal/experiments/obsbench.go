@@ -1,0 +1,137 @@
+package experiments
+
+// Observability micro-benchmarks: the cost of every obs primitive (probe
+// disabled and enabled), the end-to-end compile-path overhead of tracing a
+// corpus program, and the exporters. cmd/jitbull-bench -obs records them
+// into BENCH_obs.json and gates the disabled-probe compile path against
+// the BENCH_core.json baseline.
+
+import (
+	"io"
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/engine"
+	"github.com/jitbull/jitbull/internal/obs"
+	"github.com/jitbull/jitbull/internal/octane"
+)
+
+// obsCompileBench runs one compile-heavy corpus program per iteration on a
+// fresh engine wired per cfg (the observability knobs under test).
+func obsCompileBench(mk func() engine.Config) func(b *testing.B) {
+	return func(b *testing.B) {
+		bench, err := octane.ByName("Richards")
+		if err != nil {
+			b.Fatal(err)
+		}
+		src := bench.Source(1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e, err := engine.New(src, mk())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchTraceEvents produces a recorded event buffer for the exporter
+// benchmark.
+func benchTraceEvents(n int) []obs.Event {
+	ring := obs.NewRing(n)
+	tr := obs.NewTracer(ring)
+	for i := 0; i < n/2; i++ {
+		sp := tr.Begin(obs.CatPass, "GVN")
+		sp.End(obs.I("index", int64(i)), obs.I("instrs_in", 70), obs.I("instrs_out", 60))
+	}
+	return ring.Events()
+}
+
+// ObsBenchmarks returns the observability micro-benchmark set.
+func ObsBenchmarks() []CoreBench {
+	return []CoreBench{
+		// The disabled probe is the price every compile pays when tracing is
+		// off — it must stay within noise of a bare function call.
+		{Name: "Span/disabled", Bench: func(b *testing.B) {
+			var tr *obs.Tracer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sp := tr.Begin(obs.CatPass, "GVN")
+				sp.End(obs.I("index", 1))
+			}
+		}},
+		{Name: "Span/ring", Bench: func(b *testing.B) {
+			tr := obs.NewTracer(obs.NewRing(0))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sp := tr.Begin(obs.CatPass, "GVN")
+				sp.End(obs.I("index", 1))
+			}
+		}},
+		{Name: "Instant/disabled", Bench: func(b *testing.B) {
+			var tr *obs.Tracer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Instant(obs.CatEngine, "bailout", obs.S("fn", "hot"))
+			}
+		}},
+		{Name: "Counter", Bench: func(b *testing.B) {
+			c := obs.NewRegistry().Counter("engine.compiles")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Inc()
+			}
+		}},
+		{Name: "Histogram", Bench: func(b *testing.B) {
+			h := obs.NewRegistry().Histogram("compile.pass_ns", obs.LatencyBucketsNs)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Observe(int64(i)&0xffff + 1)
+			}
+		}},
+		{Name: "AuditRecord", Bench: func(b *testing.B) {
+			log := obs.NewAuditLog(nil)
+			ev := obs.AuditEvent{Func: "victim", Verdict: obs.VerdictGo}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				log.Record(ev)
+			}
+		}},
+		{Name: "ChromeExport/4k", Bench: func(b *testing.B) {
+			events := benchTraceEvents(4096)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := obs.WriteChromeTrace(io.Discard, events); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// End-to-end: a compile-heavy corpus run with observability off, with
+		// a ring tracer, and with the full stack (tracer + shared registry +
+		// audit log).
+		{Name: "CompileOctane/off", Bench: obsCompileBench(func() engine.Config {
+			return engine.Config{IonThreshold: 100}
+		})},
+		{Name: "CompileOctane/traced", Bench: obsCompileBench(func() engine.Config {
+			return engine.Config{IonThreshold: 100, Tracer: obs.NewTracer(obs.NewRing(0))}
+		})},
+		{Name: "CompileOctane/full", Bench: obsCompileBench(func() engine.Config {
+			return engine.Config{
+				IonThreshold: 100,
+				Tracer:       obs.NewTracer(obs.NewRing(0)),
+				Metrics:      obs.NewRegistry(),
+				Audit:        obs.NewAuditLog(nil),
+			}
+		})},
+	}
+}

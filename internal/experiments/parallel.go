@@ -106,7 +106,7 @@ func runOne(spec RunSpec) (oc RunOutcome) {
 		if oc.Elapsed == 0 || d < oc.Elapsed {
 			oc.Elapsed = d
 		}
-		oc.Stats = e.Stats
+		oc.Stats = e.Stats()
 		if det != nil {
 			oc.Matches = det.Matches
 		}

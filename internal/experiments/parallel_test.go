@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/jitbull/jitbull/internal/engine"
+	"github.com/jitbull/jitbull/internal/obs"
 	"github.com/jitbull/jitbull/internal/octane"
 )
 
@@ -44,6 +45,46 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 		if !reflect.DeepEqual(s.Matches, p.Matches) {
 			t.Errorf("%s: matches diverged\nserial   %+v\nparallel %+v", s.Name, s.Matches, p.Matches)
 		}
+	}
+}
+
+// TestRunParallelSharedMetricsRegistry: engines across the fan-out may
+// share one Config.Metrics registry; the engine counters mirror into it
+// atomically, so the shared view must equal the sum of every cell's own
+// Stats snapshot with no lost updates (the -race CI job runs this test
+// through the parallel path).
+func TestRunParallelSharedMetricsRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	var specs []RunSpec
+	for _, b := range octane.Suite() {
+		specs = append(specs, RunSpec{
+			Name:   b.Name,
+			Source: b.Source(1),
+			Engine: engine.Config{IonThreshold: 40, Metrics: reg},
+		})
+	}
+	out := RunParallel(specs, 4)
+	var wantCompiles, wantJIT int64
+	for _, oc := range out {
+		if oc.Err != nil {
+			t.Fatalf("%s: %v", oc.Name, oc.Err)
+		}
+		wantCompiles += int64(oc.Stats.Compiles)
+		wantJIT += int64(oc.Stats.NrJIT)
+	}
+	if wantCompiles == 0 {
+		t.Fatal("fixture compiled nothing; the aggregation check is vacuous")
+	}
+	if got := reg.Counter("engine.compiles").Value(); got != wantCompiles {
+		t.Errorf("shared engine.compiles = %d, want the per-engine sum %d", got, wantCompiles)
+	}
+	if got := reg.Counter("engine.nr_jit").Value(); got != wantJIT {
+		t.Errorf("shared engine.nr_jit = %d, want the per-engine sum %d", got, wantJIT)
+	}
+	// Pass-latency histograms also land in the shared registry.
+	snap := reg.Snapshot()
+	if h, ok := snap["compile.pass_ns"].(obs.HistSnapshot); !ok || h.Count == 0 {
+		t.Errorf("compile.pass_ns missing from the shared registry: %+v", snap["compile.pass_ns"])
 	}
 }
 

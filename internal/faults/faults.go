@@ -20,6 +20,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"github.com/jitbull/jitbull/internal/obs"
 )
 
 // Point names one injection site in the compile path or the database
@@ -215,20 +217,35 @@ func (m *Meter) Exhaust() {
 type Injector struct {
 	mu    sync.Mutex
 	rules []Rule
+	seed  int64
 	state uint64
 	hits  map[Point]int
 	fires []int
 	fired []Fault
+
+	// Trace, when set, receives one CatFault instant event per fired fault
+	// (point, kind, detail, schedule seed), so injected failures are visible
+	// inline in a compile trace. Set it before the first hit.
+	Trace *obs.Tracer
 }
 
 // NewInjector builds an injector over the rules with the given PRNG seed.
 func NewInjector(seed int64, rules ...Rule) *Injector {
 	return &Injector{
 		rules: rules,
+		seed:  seed,
 		state: uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
 		hits:  map[Point]int{},
 		fires: make([]int, len(rules)),
 	}
+}
+
+// Seed returns the PRNG seed the injector was built with.
+func (in *Injector) Seed() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.seed
 }
 
 // splitmix64 is the PRNG step (SplitMix64): tiny, seedable, deterministic.
@@ -267,6 +284,9 @@ func (in *Injector) roll(p Point, detail string) (Fault, bool) {
 		in.fires[ri]++
 		f := Fault{Point: p, Detail: detail, Kind: r.Kind, Hit: hit, Rule: ri}
 		in.fired = append(in.fired, f)
+		in.Trace.Instant(obs.CatFault, "fault.injected",
+			obs.S("point", string(p)), obs.S("kind", string(r.Kind)),
+			obs.S("detail", detail), obs.I("seed", in.seed))
 		return f, true
 	}
 	return Fault{}, false
@@ -310,14 +330,32 @@ func (in *Injector) FiredCount() int {
 }
 
 // CompileCtx travels down one compilation attempt: the engine's fault
-// injector (may be nil) plus the attempt's step-budget meter (may be
-// nil). A nil *CompileCtx is valid and free — packages on the compile
-// path call Step unconditionally and pay nothing when no supervisor is
-// present.
+// injector (may be nil), the attempt's step-budget meter (may be nil),
+// and the engine's tracer (may be nil). A nil *CompileCtx is valid and
+// free — packages on the compile path call Step and Span unconditionally
+// and pay nothing when no supervisor or tracer is present.
 type CompileCtx struct {
 	Inj   *Injector
 	Meter *Meter
-	Func  string // function being compiled (diagnostics)
+	Func  string      // function being compiled (diagnostics)
+	Trace *obs.Tracer // nil = tracing disabled
+}
+
+// Tracer returns the attempt's tracer; nil-safe.
+func (c *CompileCtx) Tracer() *obs.Tracer {
+	if c == nil {
+		return nil
+	}
+	return c.Trace
+}
+
+// Span opens a span on the attempt's tracer. On a nil context or nil
+// tracer it returns the inert zero span — the disabled fast path.
+func (c *CompileCtx) Span(cat, name string) obs.Span {
+	if c == nil {
+		return obs.Span{}
+	}
+	return c.Trace.Begin(cat, name)
 }
 
 // Step charges cost compile steps and evaluates one hit of the injection

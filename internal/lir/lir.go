@@ -12,6 +12,7 @@ import (
 
 	"github.com/jitbull/jitbull/internal/faults"
 	"github.com/jitbull/jitbull/internal/mir"
+	"github.com/jitbull/jitbull/internal/obs"
 )
 
 // Kind is a LIR operation kind.
@@ -134,8 +135,10 @@ func Lower(g *mir.Graph) (*Code, error) { return LowerWith(g, nil) }
 // LowerWith is Lower under a compile supervisor context (step budget and
 // fault injection); fctx may be nil.
 func LowerWith(g *mir.Graph, fctx *faults.CompileCtx) (*Code, error) {
+	sp := fctx.Span(obs.CatCompile, "lir")
 	if fctx != nil {
 		if err := fctx.Step(faults.PointLower, g.Name, int64(g.InstrCount())); err != nil {
+			sp.EndErr(err)
 			return nil, err
 		}
 	}
@@ -144,7 +147,13 @@ func LowerWith(g *mir.Graph, fctx *faults.CompileCtx) (*Code, error) {
 		code: &Code{Name: g.Name, FuncIndex: g.FuncIndex, NumParams: g.NumParams},
 		reg:  map[*mir.Instr]int32{},
 	}
-	return l.lower()
+	code, err := l.lower()
+	if err != nil {
+		sp.EndErr(err)
+		return nil, err
+	}
+	sp.End(obs.I("ops", int64(len(code.Ops))), obs.I("regs", int64(code.NumRegs)))
+	return code, nil
 }
 
 type lowerer struct {

@@ -19,6 +19,7 @@ import (
 	"github.com/jitbull/jitbull/internal/bytecode"
 	"github.com/jitbull/jitbull/internal/faults"
 	"github.com/jitbull/jitbull/internal/mir"
+	"github.com/jitbull/jitbull/internal/obs"
 	"github.com/jitbull/jitbull/internal/token"
 	"github.com/jitbull/jitbull/internal/value"
 )
@@ -49,17 +50,23 @@ type Options struct {
 // (global slots and function indices) and must be the bytecode program the
 // interpreter runs.
 func Build(prog *bytecode.Program, fd *ast.FuncDecl, opts Options) (*mir.Graph, error) {
+	sp := opts.Faults.Span(obs.CatCompile, "mirbuild")
 	if opts.Faults != nil {
 		if err := opts.Faults.Step(faults.PointMIRBuild, fd.Name, int64(1+len(fd.Body.Stmts))); err != nil {
+			sp.EndErr(err)
 			return nil, err
 		}
 	}
 	fnIdx, ok := prog.FuncByName[fd.Name]
 	if !ok {
-		return nil, fmt.Errorf("function %q not in program", fd.Name)
+		err := fmt.Errorf("function %q not in program", fd.Name)
+		sp.EndErr(err)
+		return nil, err
 	}
 	if len(opts.ParamTypes) < len(fd.Params) {
-		return nil, unsupportedf("missing type feedback for %q", fd.Name)
+		err := unsupportedf("missing type feedback for %q", fd.Name)
+		sp.EndErr(err)
+		return nil, err
 	}
 	globalSlots := make(map[string]int, len(prog.GlobalNames))
 	for i, n := range prog.GlobalNames {
@@ -77,8 +84,10 @@ func Build(prog *bytecode.Program, fd *ast.FuncDecl, opts Options) (*mir.Graph, 
 		locals:      map[string]bool{},
 	}
 	if err := b.build(); err != nil {
+		sp.EndErr(err)
 		return nil, err
 	}
+	sp.End(obs.S("fn", fd.Name), obs.I("instrs", int64(b.g.InstrCount())))
 	return b.g, nil
 }
 

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Verdict classifies one audit event.
+type Verdict string
+
+// Audit verdicts. The first three are JITBULL go/no-go decisions (one per
+// policy-observed compilation); the rest are compilation-supervisor
+// transitions.
+const (
+	VerdictGo           Verdict = "go"            // compile proceeds unmodified
+	VerdictDisablePass  Verdict = "disable-pass"  // matched passes disabled, recompile
+	VerdictNoJIT        Verdict = "nojit"         // matched pass mandatory: JIT denied
+	VerdictCompileError Verdict = "compile-error" // supervised compile failure
+	VerdictQuarantine   Verdict = "quarantine"    // failed function parked with backoff
+	VerdictRequalify    Verdict = "requalify"     // quarantined function re-promoted
+	VerdictPermanent    Verdict = "permanent"     // function pinned to the interpreter
+)
+
+// AuditMatch is one DNA similarity behind a verdict, with full
+// attribution: the CVE, the VDC function whose DNA matched, the
+// optimization pass, and the interned chain that witnessed the match
+// (both the process-local ID and its portable string rendering).
+type AuditMatch struct {
+	CVE     string `json:"cve"`
+	VDCFunc string `json:"vdc_func"`
+	Pass    string `json:"pass"`
+	ChainID uint32 `json:"chain_id"`
+	Side    string `json:"side,omitempty"`  // "removed" or "added"
+	Chain   string `json:"chain,omitempty"` // "→"-joined chain rendering
+}
+
+// AuditEvent is one structured audit record.
+type AuditEvent struct {
+	Seq            uint64       `json:"seq"`
+	TimeUnixNs     int64        `json:"time_unix_ns"`
+	Func           string       `json:"func"`
+	Verdict        Verdict      `json:"verdict"`
+	DisabledPasses []string     `json:"disabled_passes,omitempty"`
+	Matches        []AuditMatch `json:"matches,omitempty"`
+	Stage          string       `json:"stage,omitempty"`  // compile stage (supervisor events)
+	Reason         string       `json:"reason,omitempty"` // error text (supervisor events)
+}
+
+// String renders the event as one report line.
+func (ev AuditEvent) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "#%-4d %-13s %s", ev.Seq, ev.Verdict, ev.Func)
+	if len(ev.DisabledPasses) > 0 {
+		fmt.Fprintf(&sb, " disabled=[%s]", strings.Join(ev.DisabledPasses, ","))
+	}
+	for _, m := range ev.Matches {
+		fmt.Fprintf(&sb, " match{%s %s/%s chain#%d}", m.CVE, m.VDCFunc, m.Pass, m.ChainID)
+	}
+	if ev.Stage != "" {
+		fmt.Fprintf(&sb, " stage=%s", ev.Stage)
+	}
+	if ev.Reason != "" {
+		fmt.Fprintf(&sb, " reason=%q", ev.Reason)
+	}
+	return sb.String()
+}
+
+// AuditLog collects audit events in memory and, when constructed over a
+// writer, streams each event as one JSON line (JSONL). A nil *AuditLog is
+// the disabled log: Record is a no-op costing one nil check.
+type AuditLog struct {
+	mu     sync.Mutex
+	w      io.Writer
+	events []AuditEvent
+	seq    uint64
+	werr   error
+}
+
+// NewAuditLog returns a log. w may be nil for in-memory-only operation.
+func NewAuditLog(w io.Writer) *AuditLog { return &AuditLog{w: w} }
+
+// Record stamps (sequence, wall time) and stores/streams the event.
+func (l *AuditLog) Record(ev AuditEvent) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	ev.Seq = l.seq
+	if ev.TimeUnixNs == 0 {
+		ev.TimeUnixNs = time.Now().UnixNano()
+	}
+	l.events = append(l.events, ev)
+	if l.w != nil && l.werr == nil {
+		data, err := json.Marshal(ev)
+		if err == nil {
+			data = append(data, '\n')
+			_, err = l.w.Write(data)
+		}
+		l.werr = err
+	}
+}
+
+// Events returns a copy of every recorded event, in order.
+func (l *AuditLog) Events() []AuditEvent {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]AuditEvent, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (l *AuditLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// WriteErr returns the first error encountered streaming JSONL, if any.
+func (l *AuditLog) WriteErr() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.werr
+}
+
+// ReadAudit decodes a JSONL audit stream (as written by an AuditLog over
+// a file). Blank lines are skipped; a malformed line fails with its
+// 1-based line number.
+func ReadAudit(r io.Reader) ([]AuditEvent, error) {
+	var out []AuditEvent
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var ev AuditEvent
+		if err := json.Unmarshal([]byte(text), &ev); err != nil {
+			return nil, fmt.Errorf("audit line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadAuditFile decodes a JSONL audit file.
+func ReadAuditFile(path string) ([]AuditEvent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadAudit(f)
+}

@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d. Safe on a nil counter (no-op).
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count. A nil counter reads zero.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v. Safe on a nil gauge.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the current value. A nil gauge reads zero.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket atomic histogram: counts[i] holds
+// observations <= bounds[i]; the final bucket is the +Inf overflow.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// LatencyBucketsNs are the default bounds for nanosecond latencies:
+// 1µs .. ~1s, roughly ×4 per bucket.
+var LatencyBucketsNs = []int64{
+	1_000, 4_000, 16_000, 64_000, 256_000,
+	1_000_000, 4_000_000, 16_000_000, 64_000_000, 256_000_000, 1_000_000_000,
+}
+
+// SizeBuckets are the default bounds for small cardinalities (chain-set
+// sizes, probe counts): 1 .. 4096, ×4 per bucket.
+var SizeBuckets = []int64{1, 4, 16, 64, 256, 1024, 4096}
+
+func newHistogram(bounds []int64) *Histogram {
+	own := make([]int64, len(bounds))
+	copy(own, bounds)
+	sort.Slice(own, func(i, j int) bool { return own[i] < own[j] })
+	return &Histogram{bounds: own, counts: make([]atomic.Int64, len(own)+1)}
+}
+
+// Observe records one sample. Safe on a nil histogram.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the mean observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// HistSnapshot is a consistent-enough read of a histogram for encoding.
+type HistSnapshot struct {
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"` // len(Bounds)+1; last is +Inf overflow
+	Sum    int64   `json:"sum"`
+	Count  int64   `json:"count"`
+}
+
+// Snapshot reads the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{Bounds: h.bounds, Counts: make([]int64, len(h.counts)), Sum: h.sum.Load(), Count: h.n.Load()}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Registry is a name-keyed collection of metrics. Handle resolution
+// (Counter/Gauge/Histogram) takes the registry lock and is meant for
+// setup paths; the returned handles are lock-free atomics for the hot
+// path. Many engines may share one registry: same-named metrics resolve
+// to the same handle, so a parallel fan-out aggregates into one coherent
+// view with no races (the -race CI job exercises exactly this).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (discarding) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (later bounds are ignored — the first
+// registration wins).
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns every metric's current value, keyed by name.
+// Counters and gauges read as int64, histograms as HistSnapshot.
+func (r *Registry) Snapshot() map[string]any {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
+// sortedNames returns the union of metric names, sorted.
+func (r *Registry) sortedNames() []string {
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteJSON encodes the registry as one JSON object, names sorted.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// WriteText encodes the registry in expvar-style "name value" lines,
+// names sorted; histograms render as count/sum/mean plus per-bucket
+// cumulative lines.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	names := r.sortedNames()
+	for _, name := range names {
+		if c, ok := r.counters[name]; ok {
+			fmt.Fprintf(bw, "%s %d\n", name, c.Value())
+		}
+		if g, ok := r.gauges[name]; ok {
+			fmt.Fprintf(bw, "%s %d\n", name, g.Value())
+		}
+		if h, ok := r.hists[name]; ok {
+			s := h.Snapshot()
+			fmt.Fprintf(bw, "%s_count %d\n%s_sum %d\n", name, s.Count, name, s.Sum)
+			cum := int64(0)
+			for i, b := range s.Bounds {
+				cum += s.Counts[i]
+				fmt.Fprintf(bw, "%s_bucket{le=%d} %d\n", name, b, cum)
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=+Inf} %d\n", name, s.Count)
+		}
+	}
+	r.mu.Unlock()
+	return bw.Flush()
+}

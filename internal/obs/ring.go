@@ -1,0 +1,84 @@
+package obs
+
+import "sync"
+
+// DefaultRingCapacity holds roughly one long compile run's worth of
+// events (a full octane program compiles tens of functions × ~50 events).
+const DefaultRingCapacity = 1 << 16
+
+// Ring is a fixed-capacity in-memory Sink: the newest events win, the
+// oldest are overwritten. Recording is O(1) and allocation-free after the
+// buffer fills; a long-running engine can keep a ring attached forever
+// and export the tail on demand.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	wrapped bool
+	total   int64
+}
+
+// NewRing returns a ring holding up to capacity events (<= 0 selects
+// DefaultRingCapacity).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Record implements Sink.
+func (r *Ring) Record(ev Event) {
+	r.mu.Lock()
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapped = true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Events returns the retained events in recording order.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrapped {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Len returns how many events are currently retained.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.wrapped {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Total returns how many events were ever recorded (including ones the
+// ring has since overwritten).
+func (r *Ring) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dropped returns how many events were overwritten.
+func (r *Ring) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrapped {
+		return 0
+	}
+	return r.total - int64(len(r.buf))
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugMux builds the debug HTTP handler: metrics in text and JSON
+// form, the recent audit events, and the full net/http/pprof suite. reg
+// and audit may be nil (the corresponding endpoints then serve empty
+// documents).
+//
+//	/metrics        expvar-style "name value" text
+//	/metrics.json   one JSON object of every metric
+//	/audit.json     recorded audit events as a JSON array
+//	/debug/pprof/   CPU/heap/goroutine/... profiles
+func NewDebugMux(reg *Registry, audit *AuditLog) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		reg.WriteText(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if reg == nil {
+			w.Write([]byte("{}\n"))
+			return
+		}
+		reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/audit.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(audit.Events())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartDebugServer listens on addr and serves NewDebugMux in a background
+// goroutine, returning the server (for Close) and the bound address
+// (useful with ":0"). The pprof endpoints make any long jitbull run
+// profileable with the stock `go tool pprof` workflow.
+func StartDebugServer(addr string, reg *Registry, audit *AuditLog) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: NewDebugMux(reg, audit)}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}

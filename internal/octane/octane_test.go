@@ -30,8 +30,8 @@ func TestBenchmarksRunAndAgreeAcrossTiers(t *testing.T) {
 			if !sameNum(interpRes, jitRes) {
 				t.Fatalf("checksum mismatch: interp=%v jit=%v", interpRes, jitRes)
 			}
-			if eJIT.Stats.NrJIT < b.ExpectJITs {
-				t.Errorf("NrJIT = %d, want >= %d (stats %+v)", eJIT.Stats.NrJIT, b.ExpectJITs, eJIT.Stats)
+			if eJIT.Stats().NrJIT < b.ExpectJITs {
+				t.Errorf("NrJIT = %d, want >= %d (stats %+v)", eJIT.Stats().NrJIT, b.ExpectJITs, eJIT.Stats())
 			}
 			if !interpRes.IsNumber() {
 				t.Errorf("benchmark has no numeric checksum: %v", interpRes)

@@ -13,9 +13,11 @@ package passes
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/jitbull/jitbull/internal/faults"
 	"github.com/jitbull/jitbull/internal/mir"
+	"github.com/jitbull/jitbull/internal/obs"
 )
 
 // CVE identifiers for the injected bugs. See DESIGN.md §2.2 for the mapping
@@ -162,9 +164,15 @@ type RunOptions struct {
 	Pipeline []Pass
 	// Faults is the compile supervisor's context: a step-budget meter
 	// charged per executed pass (proportionally to the graph size) plus
-	// the fault-injection point evaluated before each pass. Nil is valid
-	// and free — the unsupervised path pays nothing.
+	// the fault-injection point evaluated before each pass. It also carries
+	// the tracer, which records one span per executed pass (with
+	// input/output instruction counts) and one DNA-extraction span per
+	// observed pass. Nil is valid and free — the unsupervised path pays
+	// nothing.
 	Faults *faults.CompileCtx
+	// Metrics, when non-nil, receives per-pass latencies into the
+	// "compile.pass_ns" histogram.
+	Metrics *obs.Registry
 }
 
 // Run executes the standard pipeline over g. Disabled names passes are
@@ -192,6 +200,10 @@ func RunWith(g *mir.Graph, o RunOptions) error {
 			return &IRError{Func: g.Name, Issues: issues}
 		}
 	}
+	var passHist *obs.Histogram
+	if o.Metrics != nil {
+		passHist = o.Metrics.Histogram("compile.pass_ns", obs.LatencyBucketsNs)
+	}
 	// The IR is untouched between passes, so each pass's "before" snapshot
 	// is the previous pass's "after": one snapshot per executed pass.
 	var prev *mir.Snapshot
@@ -200,26 +212,42 @@ func RunWith(g *mir.Graph, o RunOptions) error {
 			if !p.Disableable() {
 				return fmt.Errorf("pass %s is mandatory and cannot be disabled", p.Name())
 			}
+			o.Faults.Tracer().Instant(obs.CatPass, "pass.skipped",
+				obs.S("pass", p.Name()), obs.I("index", int64(i)))
 			if o.Observer != nil {
 				o.Observer(i, p.Name(), nil, nil)
 			}
 			continue
 		}
+		instrsIn := g.InstrCount()
 		if o.Faults != nil {
-			if err := o.Faults.Step(faults.PointPass, p.Name(), int64(g.InstrCount())); err != nil {
+			if err := o.Faults.Step(faults.PointPass, p.Name(), int64(instrsIn)); err != nil {
 				return fmt.Errorf("pass %s: %w", p.Name(), err)
 			}
 		}
 		if o.Observer != nil && prev == nil {
 			prev = g.Snap()
 		}
+		sp := o.Faults.Span(obs.CatPass, p.Name())
+		var t0 time.Time
+		if passHist != nil {
+			t0 = time.Now()
+		}
 		if err := p.Run(g, ctx); err != nil {
+			sp.EndErr(err)
 			return fmt.Errorf("pass %s: %w", p.Name(), err)
 		}
+		if passHist != nil {
+			passHist.Observe(int64(time.Since(t0)))
+		}
+		sp.End(obs.I("index", int64(i)),
+			obs.I("instrs_in", int64(instrsIn)), obs.I("instrs_out", int64(g.InstrCount())))
 		if o.Observer != nil {
+			dsp := o.Faults.Span(obs.CatDNA, "dna.extract")
 			after := g.Snap()
 			o.Observer(i, p.Name(), prev, after)
 			prev = after
+			dsp.End(obs.S("pass", p.Name()))
 		}
 		if o.CheckIR {
 			if issues := g.VerifyOpts(vopts); len(issues) > 0 {

@@ -9,17 +9,22 @@ import (
 
 	"github.com/jitbull/jitbull/internal/faults"
 	"github.com/jitbull/jitbull/internal/lir"
+	"github.com/jitbull/jitbull/internal/obs"
 )
 
 // AllocateWith is Allocate under a compile supervisor context (step budget
 // and fault injection); fctx may be nil, in which case it cannot fail.
 func AllocateWith(c *lir.Code, fctx *faults.CompileCtx) error {
+	sp := fctx.Span(obs.CatCompile, "regalloc")
+	regsIn := c.NumRegs
 	if fctx != nil {
 		if err := fctx.Step(faults.PointRegalloc, c.Name, int64(len(c.Ops))); err != nil {
+			sp.EndErr(err)
 			return err
 		}
 	}
 	Allocate(c)
+	sp.End(obs.I("regs_in", int64(regsIn)), obs.I("regs_out", int64(c.NumRegs)))
 	return nil
 }
 

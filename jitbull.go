@@ -24,8 +24,13 @@
 package jitbull
 
 import (
+	"io"
+	"net"
+	"net/http"
+
 	"github.com/jitbull/jitbull/internal/core"
 	"github.com/jitbull/jitbull/internal/engine"
+	"github.com/jitbull/jitbull/internal/obs"
 	"github.com/jitbull/jitbull/internal/octane"
 	"github.com/jitbull/jitbull/internal/passes"
 	"github.com/jitbull/jitbull/internal/variants"
@@ -70,16 +75,75 @@ type (
 	Benchmark = octane.Benchmark
 )
 
+// Observability types (see internal/obs): tracing, metrics, and the
+// policy-decision audit log, all wired through Config.Tracer,
+// Config.Metrics and Config.Audit.
+type (
+	// Tracer records compile-lifecycle spans and instants into a Sink.
+	// A nil *Tracer is the disabled tracer (one nil check per probe).
+	Tracer = obs.Tracer
+	// TraceEvent is one recorded span or instant.
+	TraceEvent = obs.Event
+	// Ring is a fixed-capacity trace sink keeping the newest events.
+	Ring = obs.Ring
+	// Registry is a named-metrics registry (counters, gauges, histograms).
+	Registry = obs.Registry
+	// AuditLog records one structured event per go/no-go verdict and
+	// per compilation-supervisor transition.
+	AuditLog = obs.AuditLog
+	// AuditEvent is one structured audit record (JSONL on disk).
+	AuditEvent = obs.AuditEvent
+	// Verdict classifies an audit event ("go", "disable-pass", "nojit", ...).
+	Verdict = obs.Verdict
+)
+
+// NewRing returns a trace ring buffer; capacity <= 0 uses the default (64k).
+func NewRing(capacity int) *Ring { return obs.NewRing(capacity) }
+
+// NewTracer returns a tracer recording into sink.
+func NewTracer(sink obs.Sink) *Tracer { return obs.NewTracer(sink) }
+
+// NewRegistry returns an empty metrics registry (safe for concurrent use,
+// shareable across engines).
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewAuditLog returns an audit log; w may be nil for in-memory-only use,
+// or a writer to stream each event as one JSON line.
+func NewAuditLog(w io.Writer) *AuditLog { return obs.NewAuditLog(w) }
+
+// SaveChromeTrace writes events as a Chrome trace_event JSON file,
+// loadable in chrome://tracing or https://ui.perfetto.dev.
+func SaveChromeTrace(path string, events []TraceEvent) error {
+	return obs.SaveChromeTrace(path, events)
+}
+
+// ReadAuditFile parses a JSONL audit stream written via NewAuditLog.
+func ReadAuditFile(path string) ([]AuditEvent, error) { return obs.ReadAuditFile(path) }
+
+// StartDebugServer serves /metrics, /metrics.json, /audit.json and
+// /debug/pprof/* on addr (e.g. "127.0.0.1:0"); either of reg and audit may
+// be nil. It returns the running server and its bound address.
+func StartDebugServer(addr string, reg *Registry, audit *AuditLog) (*http.Server, net.Addr, error) {
+	return obs.StartDebugServer(addr, reg, audit)
+}
+
 // New parses, compiles and prepares a nanojs script for execution.
 func New(src string, cfg Config) (*Engine, error) { return engine.New(src, cfg) }
 
 // Protect installs a JITBULL detector over db on the engine and returns
 // it. With an empty database the engine runs with zero added overhead.
+// The detector inherits the engine's audit log and metrics sink, so policy
+// verdicts and DNA histograms land beside the compile-path events.
 func Protect(e *Engine, db *Database) *Detector {
 	d := core.NewDetector(db)
+	d.Audit = e.Audit()
+	d.Metrics = e.MetricsSink()
 	e.SetPolicy(d)
 	return d
 }
+
+// BenchmarkByName returns one benchmark of the corpus by name.
+func BenchmarkByName(name string) (Benchmark, error) { return octane.ByName(name) }
 
 // Fingerprint runs a vulnerability demonstrator code on an engine with the
 // given bugs active and a recording policy installed, returning the VDC

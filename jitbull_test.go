@@ -47,8 +47,8 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	if len(det.Matches) == 0 {
 		t.Fatal("no DNA matches recorded")
 	}
-	if prot.Stats.NrDisJIT == 0 && prot.Stats.NrNoJIT == 0 {
-		t.Fatalf("no go/no-go action taken: %+v", prot.Stats)
+	if prot.Stats().NrDisJIT == 0 && prot.Stats().NrNoJIT == 0 {
+		t.Fatalf("no go/no-go action taken: %+v", prot.Stats())
 	}
 }
 
