@@ -35,8 +35,10 @@ func main() {
 		ablation = flag.Bool("ablation", false, "sweep the comparator's Thr/Ratio settings")
 		coreB    = flag.Bool("core", false, "run the core hot-path micro-benchmarks")
 		obsB     = flag.Bool("obs", false, "run the observability micro-benchmarks")
+		jitqB    = flag.Bool("jitqueue", false, "run the off-thread-compilation / shared-cache benchmark with its regression gates")
 		benchout = flag.String("benchout", "BENCH_core.json", "output file for -core results")
 		obsout   = flag.String("obsout", "BENCH_obs.json", "output file for -obs results")
+		jitqout  = flag.String("jitqueueout", "BENCH_jitqueue.json", "output file for -jitqueue results")
 		corebase = flag.String("corebase", "BENCH_core.json", "recorded core baseline the -obs regression gate compares against ('' disables the gate)")
 		scale    = flag.Int("scale", 4, "benchmark iteration scale for timing experiments")
 		repeats  = flag.Int("repeats", 3, "timing repetitions (minimum reported)")
@@ -44,7 +46,7 @@ func main() {
 		workers  = flag.Int("workers", 1, "worker pool size for corpus experiments (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	all := !(*table1 || *table2 || *window || *security || *fig4 || *fig5 || *fig6 || *ablation || *coreB || *obsB)
+	all := !(*table1 || *table2 || *window || *security || *fig4 || *fig5 || *fig6 || *ablation || *coreB || *obsB || *jitqB)
 	cfg := experiments.Config{IonThreshold: *thr, Repeats: *repeats, Scale: *scale, Workers: *workers}
 
 	if err := run(all, *table1, *table2, *window, *security, *fig4, *fig5, *fig6, *ablation, cfg); err != nil {
@@ -63,6 +65,56 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *jitqB {
+		if err := runJitQueue(*jitqout, *corebase, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "jitbull-bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runJitQueue runs the off-thread-compilation / shared-cache benchmark,
+// writes BENCH_jitqueue.json, and enforces its regression gates: the warm
+// fleet re-run must eliminate >= 90% of pipeline executions, a cached hit
+// must beat a cold compile >= 5x, policy verdicts must be identical in
+// every mode, and (via the obs gate) the untraced sync compile path must
+// stay within 5% of the recorded BENCH_core.json baseline.
+func runJitQueue(path, corebase string, cfg experiments.Config) error {
+	rep, err := experiments.JitQueueBench(cfg)
+	if err != nil {
+		return fmt.Errorf("jitqueue bench: %w", err)
+	}
+	fmt.Print(experiments.RenderJitQueue(rep))
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	if !rep.VerdictsIdentical {
+		return fmt.Errorf("jitqueue gate: policy verdicts diverged across modes: %s", rep.VerdictMismatch)
+	}
+	if rep.PipelineEliminatedPct < 90 {
+		return fmt.Errorf("jitqueue gate: warm fleet re-run eliminated only %.1f%% of pipeline executions (budget 90%%)",
+			rep.PipelineEliminatedPct)
+	}
+	if rep.CachedSpeedup < 5 {
+		return fmt.Errorf("jitqueue gate: cached hit only %.1fx faster than a cold compile (budget 5x)", rep.CachedSpeedup)
+	}
+	if rep.StallEliminatedPct < 90 {
+		return fmt.Errorf("jitqueue gate: async kept %.1f%% of compile stalls on the execution thread (budget: move >= 90%% off-thread)",
+			100-rep.StallEliminatedPct)
+	}
+	if rep.NumCPU > 1 && len(rep.Modes) > 1 && rep.Modes[1].Speedup < 1 {
+		// Timing, so advisory: flag it loudly without failing CI on noise.
+		fmt.Printf("jitqueue: WARNING: async mode was not faster than sync (%.2fx)\n", rep.Modes[1].Speedup)
+	}
+	if corebase == "" {
+		return nil
+	}
+	return obsGate(corebase)
 }
 
 // coreResult is one BENCH_core.json record.

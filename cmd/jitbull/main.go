@@ -57,6 +57,7 @@ func run(args []string) error {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   jitbull run [-nojit] [-threshold N] [-bugs CVE,...] [-db file] [-stats]
+              [-async [-jit-workers N]] [-cache]
               [-trace file] [-audit file] [-metrics] [-metrics-addr addr]
               [-octane name [-scale N]] [script.js]
   jitbull fingerprint -cve CVE-... [-bugs CVE,...] [-threshold N] -db file script.js
@@ -99,6 +100,9 @@ func cmdRun(args []string) error {
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /audit.json and /debug/pprof on this address during the run")
 	octaneName := fs.String("octane", "", "run a built-in benchmark instead of a script file")
 	scale := fs.Int("scale", 1, "outer-loop scale for -octane")
+	async := fs.Bool("async", false, "compile off-thread: keep executing in the baseline tier while Ion runs on a background worker")
+	jitWorkers := fs.Int("jit-workers", 0, "background compile workers for -async (0 = GOMAXPROCS)")
+	cacheFlag := fs.Bool("cache", false, "enable the shared compilation cache (artifact + JITBULL verdict, keyed by canonical bytecode hash)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -128,6 +132,21 @@ func cmdRun(args []string) error {
 		IonThreshold: *threshold,
 		Bugs:         parseBugs(*bugsFlag),
 		Out:          os.Stdout,
+	}
+	// The queue/cache metrics live in a shared registry so -stats can
+	// report them after the run.
+	var jitReg *jitbull.Registry
+	if *async || *cacheFlag {
+		jitReg = jitbull.NewRegistry()
+		cfg.Metrics = jitReg
+	}
+	if *async {
+		queue := jitbull.NewQueue(*jitWorkers, 0, jitReg)
+		defer queue.Close()
+		cfg.Queue = queue
+	}
+	if *cacheFlag {
+		cfg.Cache = jitbull.NewCodeCache(jitReg)
 	}
 	var ring *jitbull.Ring
 	if *tracePath != "" {
@@ -178,6 +197,11 @@ func cmdRun(args []string) error {
 	}
 	if *stats {
 		fmt.Fprintf(os.Stderr, "stats: %+v\n", eng.Stats())
+		if jitReg != nil {
+			fmt.Fprintf(os.Stderr, "jit queue/cache: cache.hits=%d cache.misses=%d jit.queue_depth_hwm=%d jit.queue_enqueued=%d\n",
+				jitReg.Counter("cache.hits").Value(), jitReg.Counter("cache.misses").Value(),
+				jitReg.Gauge("jit.queue_depth_hwm").Value(), jitReg.Counter("jit.queue_enqueued").Value())
+		}
 		if det != nil && len(det.Matches) > 0 {
 			fmt.Fprintf(os.Stderr, "jitbull matches:\n")
 			for _, m := range det.Matches {

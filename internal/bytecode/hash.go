@@ -1,0 +1,63 @@
+package bytecode
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+
+	"github.com/jitbull/jitbull/internal/value"
+)
+
+// Hash is a canonical digest of a function's executable content, the key
+// space of the shared cross-engine compilation cache.
+type Hash [32]byte
+
+// CanonicalHash digests everything that determines how a function
+// compiles and executes — arity, frame size, the instruction stream, and
+// the constant pool — while excluding every identifier-bearing field (the
+// function's name, global variable names). Because the compiler assigns
+// global slots and function indices by declaration order, which variable
+// renaming and minification preserve, two functions that differ only by a
+// Terser-style rename/minify pass hash identically; any change to an
+// opcode, operand, or constant changes the hash.
+func (f *Function) CanonicalHash() Hash {
+	h := sha256.New()
+	var buf [8]byte
+	wu32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(buf[:4], v)
+		h.Write(buf[:4])
+	}
+	wu64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wu32(uint32(f.NumParams))
+	wu32(uint32(f.NumLocals))
+	wu32(uint32(len(f.Code)))
+	for _, in := range f.Code {
+		wu32(uint32(in.Op))
+		wu32(uint32(in.A))
+		wu32(uint32(in.B))
+	}
+	wu32(uint32(len(f.Consts)))
+	for _, c := range f.Consts {
+		h.Write([]byte{byte(c.Type())})
+		switch c.Type() {
+		case value.Number:
+			wu64(math.Float64bits(c.AsNumber()))
+		case value.String:
+			s := c.ToString()
+			wu32(uint32(len(s)))
+			h.Write([]byte(s))
+		case value.Boolean:
+			if c.AsBool() {
+				h.Write([]byte{1})
+			} else {
+				h.Write([]byte{0})
+			}
+		}
+	}
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}

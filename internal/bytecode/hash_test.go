@@ -1,0 +1,108 @@
+package bytecode_test
+
+// Canonical-hash properties: rename/minify invariance (the cache key must
+// survive the paper's §VI-B variant transformations) and collision sanity
+// over the progen corpus (distinct executable content never collides).
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/bytecode"
+	"github.com/jitbull/jitbull/internal/compiler"
+	"github.com/jitbull/jitbull/internal/parser"
+	"github.com/jitbull/jitbull/internal/progen"
+	"github.com/jitbull/jitbull/internal/variants"
+)
+
+func compileSrc(t *testing.T, src string) *bytecode.Program {
+	t.Helper()
+	astProg, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := compiler.CompileProgram(astProg)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+// canonicalBody renders the hash's input domain (everything but names) so
+// collision checks compare content, not identifiers.
+func canonicalBody(f *bytecode.Function) string {
+	s := fmt.Sprintf("p%d l%d|", f.NumParams, f.NumLocals)
+	for _, in := range f.Code {
+		s += fmt.Sprintf("%d,%d,%d;", in.Op, in.A, in.B)
+	}
+	s += "|"
+	for _, c := range f.Consts {
+		s += fmt.Sprintf("%d:%s;", c.Type(), c.ToString())
+	}
+	return s
+}
+
+func TestCanonicalHashRenameMinifyInvariant(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		src := progen.Generate(seed, progen.Options{})
+		base := compileSrc(t, src)
+		for _, tf := range []struct {
+			name string
+			fn   func(string) (string, error)
+		}{{"rename", variants.Rename}, {"minify", variants.Minify}} {
+			vsrc, err := tf.fn(src)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, tf.name, err)
+			}
+			vprog := compileSrc(t, vsrc)
+			if len(vprog.Funcs) != len(base.Funcs) {
+				t.Fatalf("seed %d %s: %d funcs, want %d", seed, tf.name, len(vprog.Funcs), len(base.Funcs))
+			}
+			for i, f := range base.Funcs {
+				if got, want := vprog.Funcs[i].CanonicalHash(), f.CanonicalHash(); got != want {
+					t.Errorf("seed %d %s: fn #%d (%s) hash changed under the variant transform",
+						seed, tf.name, i, f.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestCanonicalHashSensitivity(t *testing.T) {
+	a := compileSrc(t, `function f(x) { return x + 1; }`)
+	b := compileSrc(t, `function f(x) { return x + 2; }`)
+	c := compileSrc(t, `function f(x) { return x - 1; }`)
+	ha, hb, hc := a.Funcs[1].CanonicalHash(), b.Funcs[1].CanonicalHash(), c.Funcs[1].CanonicalHash()
+	if ha == hb {
+		t.Error("constant change did not change the hash")
+	}
+	if ha == hc {
+		t.Error("opcode change did not change the hash")
+	}
+}
+
+func TestCanonicalHashCollisionSanityOverCorpus(t *testing.T) {
+	seen := map[bytecode.Hash]string{}
+	funcs, collisions := 0, 0
+	for seed := int64(1); seed <= 150; seed++ {
+		src := progen.Generate(seed, progen.Options{Funcs: 3})
+		prog := compileSrc(t, src)
+		for _, f := range prog.Funcs {
+			funcs++
+			body := canonicalBody(f)
+			h := f.CanonicalHash()
+			if prev, ok := seen[h]; ok {
+				if prev != body {
+					collisions++
+					t.Errorf("hash collision between distinct bodies:\n%s\nvs\n%s", prev, body)
+				}
+				continue
+			}
+			seen[h] = body
+		}
+	}
+	if funcs < 300 {
+		t.Fatalf("corpus too small for a collision check: %d functions", funcs)
+	}
+	t.Logf("hashed %d functions (%d distinct bodies), %d collisions", funcs, len(seen), collisions)
+}

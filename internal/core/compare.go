@@ -116,6 +116,7 @@ type Detector struct {
 	seen      map[MatchKey]struct{}
 	scratch   matchScratch
 	found     []Match
+	last      *verdictPayload // most recent Decide verdict (see cachepolicy.go)
 	deltaHist *obs.Histogram
 	probeHist *obs.Histogram
 }
@@ -205,6 +206,7 @@ func (d *Detector) Decide(dna *DNA) engine.CompileDecision {
 	}
 	d.found = found[:0]
 	if len(found) == 0 {
+		d.last = &verdictPayload{}
 		d.Audit.Record(obs.AuditEvent{Func: dna.FuncName, Verdict: obs.VerdictGo})
 		return engine.CompileDecision{}
 	}
@@ -246,6 +248,9 @@ func (d *Detector) Decide(dna *DNA) engine.CompileDecision {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	// Snapshot the verdict for the shared compilation cache (the found
+	// slice's backing array is reused across compilations, so copy).
+	d.last = &verdictPayload{found: append([]Match(nil), found...), names: names, noJIT: noJIT}
 	if d.Audit != nil {
 		verdict := obs.VerdictDisablePass
 		if noJIT {

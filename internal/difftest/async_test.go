@@ -1,0 +1,70 @@
+package difftest
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/octane"
+	"github.com/jitbull/jitbull/internal/progen"
+)
+
+// TestMatrixAsync is the acceptance oracle for off-thread compilation and
+// the shared cross-engine cache: async tier-up may change *when* a
+// function tiers, never what it computes or which policy verdict it gets.
+// The matrix is built once so the shared cache accumulates entries across
+// all programs — cross-program reuse is exactly what the canonical-hash
+// key must keep sound.
+func TestMatrixAsync(t *testing.T) {
+	configs := Matrix(Options{JITBULL: true, Async: true, Ablate: []string{}})
+	idx := map[string]int{}
+	for i, c := range configs {
+		idx[c.Name] = i
+	}
+	for _, name := range []string{
+		"jit+async", "jit+cached", "jit+async+cached",
+		"jit+jitbull+async", "jit+jitbull+cached",
+	} {
+		if _, ok := idx[name]; !ok {
+			t.Fatalf("matrix is missing the %q cell", name)
+		}
+	}
+	var asyncCompiles, cacheHits, jbCacheHits int
+	const programs = 80
+	for seed := int64(0); seed < programs; seed++ {
+		src := progen.Generate(seed, progen.Options{})
+		obs, divs := Diff(src, configs)
+		if len(divs) > 0 {
+			t.Fatalf("%s\nprogram:\n%s", Report(fmt.Sprintf("seed %d", seed), divs), src)
+		}
+		asyncCompiles += obs[idx["jit+async"]].Stats.AsyncCompiles
+		cacheHits += obs[idx["jit+cached"]].Stats.CacheHits
+		jbCacheHits += obs[idx["jit+jitbull+cached"]].Stats.CacheHits
+	}
+	// The cells must have genuinely exercised the machinery, not silently
+	// fallen back to inline compilation or cold misses.
+	if asyncCompiles == 0 {
+		t.Error("jit+async never compiled off-thread across the corpus")
+	}
+	if cacheHits == 0 {
+		t.Error("jit+cached never hit the prewarmed shared cache")
+	}
+	if jbCacheHits == 0 {
+		t.Error("jit+jitbull+cached never replayed a cached verdict")
+	}
+}
+
+// TestMatrixAsyncOctane cross-checks the async/cached cells on the
+// Octane-analogue corpus, whose hot loops tier up far more than the
+// generated programs.
+func TestMatrixAsyncOctane(t *testing.T) {
+	configs := Matrix(Options{JITBULL: true, Async: true, Ablate: []string{}})
+	for _, b := range octane.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			_, divs := Diff(b.Source(1), configs)
+			if len(divs) > 0 {
+				t.Errorf("%s", Report(b.Name, divs))
+			}
+		})
+	}
+}

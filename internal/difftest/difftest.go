@@ -23,6 +23,7 @@ import (
 	"github.com/jitbull/jitbull/internal/engine"
 	"github.com/jitbull/jitbull/internal/experiments"
 	"github.com/jitbull/jitbull/internal/interp"
+	"github.com/jitbull/jitbull/internal/jitqueue"
 	"github.com/jitbull/jitbull/internal/passes"
 	"github.com/jitbull/jitbull/internal/variants"
 )
@@ -58,6 +59,12 @@ type Config struct {
 	Engine engine.Config
 	// Policy optionally builds a fresh JITBULL policy for the run.
 	Policy func() engine.Policy
+	// Prewarm runs the program once in a throwaway engine (same
+	// configuration, discarded output) before the observed run, so
+	// shared-cache configurations observe warm-hit behavior: the run under
+	// test installs artifacts and replays verdicts from the cache instead
+	// of compiling. Warm cells must still diverge in nothing.
+	Prewarm bool
 }
 
 // Options bounds a Matrix.
@@ -83,6 +90,14 @@ type Options struct {
 	// CheckIR adds a configuration that runs the SSA verifier after every
 	// optimization pass.
 	CheckIR bool
+	// Async adds off-thread-compilation and shared-cache configurations:
+	// jit+async (background tier-up through the process-wide queue),
+	// jit+cached and jit+async+cached (shared cross-engine code cache,
+	// prewarmed so the observed run hits), and — with JITBULL — the same
+	// under the policy, exercising verdict replay. Async tier-up may change
+	// *when* a function tiers, never what it computes or which verdict it
+	// gets, so all cells must stay at zero divergence.
+	Async bool
 }
 
 func (o Options) withDefaults() Options {
@@ -117,6 +132,24 @@ var jitbullDB = sync.OnceValues(func() (*core.Database, error) {
 	return db, err
 })
 
+// jitbullPolicy builds a fresh detector over the shared database. Fresh
+// detectors share the database pointer, so their PolicyCacheKey is stable
+// across runs — exactly the sharing unit of a production fleet.
+func jitbullPolicy() engine.Policy {
+	db, err := jitbullDB()
+	if err != nil {
+		panic(fmt.Sprintf("difftest: building JITBULL DB: %v", err))
+	}
+	return core.NewDetector(db)
+}
+
+// sharedQueue is the process-lifetime background-compilation service the
+// async cells share; like a browser's helper threads it is never torn
+// down, so per-Matrix cells can enqueue against it freely.
+var sharedQueue = sync.OnceValue(func() *jitqueue.Queue {
+	return jitqueue.New(0, jitqueue.DefaultCapacity, nil)
+})
+
 // Matrix returns the configuration matrix for the given options. The first
 // configuration is always the interpreter — the semantics reference.
 func Matrix(o Options) []Config {
@@ -143,13 +176,7 @@ func Matrix(o Options) []Config {
 		cfgs = append(cfgs, Config{Name: "jit+checkir", Engine: checked})
 	}
 	if o.JITBULL {
-		cfgs = append(cfgs, Config{Name: "jit+jitbull", Engine: base, Policy: func() engine.Policy {
-			db, err := jitbullDB()
-			if err != nil {
-				panic(fmt.Sprintf("difftest: building JITBULL DB: %v", err))
-			}
-			return core.NewDetector(db)
-		}})
+		cfgs = append(cfgs, Config{Name: "jit+jitbull", Engine: base, Policy: jitbullPolicy})
 	}
 	for _, pass := range o.Ablate {
 		ablated := base
@@ -161,6 +188,29 @@ func Matrix(o Options) []Config {
 			Config{Name: "jit+renamed", Engine: base, Transform: variants.Rename, LossyNames: true},
 			Config{Name: "jit+minified", Engine: base, Transform: variants.Minify, LossyNames: true},
 		)
+	}
+	if o.Async {
+		// One cache per Matrix call, shared across the cached cells and —
+		// when the matrix is reused over many programs — across programs,
+		// which is precisely the cross-program key-soundness the canonical
+		// hash must guarantee. Policy and policy-free entries never collide:
+		// the key covers the policy's cache key.
+		cache := jitqueue.NewCache(nil)
+		async := base
+		async.Queue = sharedQueue()
+		cfgs = append(cfgs, Config{Name: "jit+async", Engine: async})
+		cached := base
+		cached.Cache = cache
+		cfgs = append(cfgs, Config{Name: "jit+cached", Engine: cached, Prewarm: true})
+		both := async
+		both.Cache = cache
+		cfgs = append(cfgs, Config{Name: "jit+async+cached", Engine: both, Prewarm: true})
+		if o.JITBULL {
+			cfgs = append(cfgs,
+				Config{Name: "jit+jitbull+async", Engine: async, Policy: jitbullPolicy},
+				Config{Name: "jit+jitbull+cached", Engine: cached, Policy: jitbullPolicy, Prewarm: true},
+			)
+		}
 	}
 	return cfgs
 }
@@ -175,6 +225,19 @@ func Observe(src string, c Config) Observation {
 			return obs
 		}
 		src = transformed
+	}
+	if c.Prewarm {
+		// Warm the shared cache with a throwaway run; its behavior is
+		// judged only through the observed run that follows.
+		var discard bytes.Buffer
+		pcfg := c.Engine
+		pcfg.Out = &discard
+		if pe, err := engine.New(src, pcfg); err == nil {
+			if c.Policy != nil {
+				pe.SetPolicy(c.Policy())
+			}
+			_, _ = pe.Run()
+		}
 	}
 	var out bytes.Buffer
 	ecfg := c.Engine

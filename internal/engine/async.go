@@ -1,0 +1,448 @@
+// Off-thread tiered compilation and the shared compilation cache.
+//
+// The synchronous engine compiles Ion inline at the warmup trigger,
+// stalling execution for the whole pipeline. With Config.Queue set, the
+// trigger instead snapshots every compilation input (type feedback,
+// global types, disabled passes), enqueues a supervised job on the
+// background pool, and keeps executing in baseline; the finished outcome
+// is parked in an atomic mailbox and installed at the next call boundary
+// — the engine's safe point — by the owner goroutine, so all fnState and
+// quarantine bookkeeping stays single-threaded.
+//
+// With Config.Cache set, outcomes are additionally published under a
+// canonical key (rename/minify-invariant bytecode hash + every other
+// compilation input), so a fleet of engines pays for each distinct
+// function once: a hit installs the artifact and replays the recorded
+// JITBULL verdict without running the pipeline or DNA matching.
+//
+// Concurrency contract: an Engine remains single-owner — CallFunction,
+// Run, Drain and Stats mutation all happen on the goroutine that owns the
+// engine. Background workers only ever touch (a) the immutable request
+// snapshot, (b) the engine's atomic counters and locked observability
+// sinks, (c) the policy, serialized by compileMu, and (d) the per-function
+// outcome mailbox. Stats() reads atomics and is safe to call from any
+// goroutine at any time.
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"runtime"
+	"sort"
+
+	"github.com/jitbull/jitbull/internal/ast"
+	"github.com/jitbull/jitbull/internal/bytecode"
+	"github.com/jitbull/jitbull/internal/jitqueue"
+	"github.com/jitbull/jitbull/internal/lir"
+	"github.com/jitbull/jitbull/internal/mirbuild"
+	"github.com/jitbull/jitbull/internal/obs"
+	"github.com/jitbull/jitbull/internal/value"
+)
+
+// CachingPolicy is the optional Policy extension the shared cache needs: a
+// policy that can identify its decision inputs and replay a recorded
+// verdict. A policy that does not implement it (e.g. core.Recorder, which
+// must observe every pipeline run) disables caching for its engine.
+type CachingPolicy interface {
+	Policy
+	// PolicyCacheKey identifies everything the policy's verdict depends on
+	// besides the function's DNA (database identity, thresholds). ok=false
+	// vetoes caching.
+	PolicyCacheKey() (key string, ok bool)
+	// TakeVerdictPayload returns an opaque, immutable record of the verdict
+	// the policy just produced for the current compilation (nil when none),
+	// clearing it. The engine stores it next to the cached artifact.
+	TakeVerdictPayload() any
+	// ReplayVerdict re-applies a recorded verdict on a cache hit for fnName
+	// — re-recording audit events and match accounting exactly as the live
+	// Decide would — and returns the decision.
+	ReplayVerdict(fnName string, payload any) CompileDecision
+}
+
+// compileRequest is the immutable snapshot of one compilation's inputs,
+// captured on the owner goroutine at trigger time. Workers read it; nobody
+// writes it after capture.
+type compileRequest struct {
+	idx    int
+	fnName string
+	fd     *ast.FuncDecl
+	// opts carries snapshot-backed type closures: async compilation must
+	// not read live VM state from a worker.
+	opts     mirbuild.Options
+	disabled map[string]bool // private copy; grown by the policy recompile
+	async    bool
+	key      jitqueue.Key
+	cacheable bool
+	waitSpan  obs.Span // compile.queue_wait: begun at enqueue, ended by the worker
+}
+
+// compileOutcome is everything a finished attempt needs applied to the
+// owning fnState at the safe point.
+type compileOutcome struct {
+	req         *compileRequest
+	code        *lir.Code
+	cerr        *CompileError
+	jitEligible bool            // mirbuild succeeded
+	disabled    map[string]bool // final disabled-pass set (nil = unchanged)
+	noJIT       bool            // policy scenario 3 verdict
+	grew        bool            // policy scenario 2: disabled set grew
+	payload     any             // policy verdict record for the cache
+	fromCache   bool
+}
+
+// cachedCompile is the cache value: the artifact plus the verdict. The
+// artifact is installed by pointer — native execution never mutates
+// lir.Code, so one compilation serves any number of engines and threads.
+type cachedCompile struct {
+	code        *lir.Code // nil for a NoJIT verdict
+	noJIT       bool
+	grew        bool
+	disabled    []string // final disabled-pass set, sorted
+	jitEligible bool
+	payload     any
+}
+
+// sizeEstimate approximates the artifact's footprint for cache.bytes.
+func (c *cachedCompile) sizeEstimate() int64 {
+	s := int64(64)
+	if c.code != nil {
+		s += int64(len(c.code.Ops)) * 32
+	}
+	return s
+}
+
+// newCompileRequest snapshots every input of one compilation attempt.
+// Must run on the owner goroutine.
+func (e *Engine) newCompileRequest(idx int, st *fnState) *compileRequest {
+	if len(e.cfg.DisabledPasses) > 0 && st.disabledPasses == nil {
+		st.disabledPasses = map[string]bool{}
+		for _, name := range e.cfg.DisabledPasses {
+			st.disabledPasses[name] = true
+		}
+	}
+	params := make([]value.Type, len(st.paramTypes))
+	copy(params, st.paramTypes)
+	for i, bad := range st.paramBad {
+		if bad {
+			params[i] = value.String // poisoned: mirbuild rejects it
+		}
+	}
+	gtypes := make([]value.Type, len(e.VM.Globals))
+	for i, g := range e.VM.Globals {
+		gtypes[i] = g.Type()
+	}
+	rets := make([]value.Type, len(e.fns))
+	for i, target := range e.fns {
+		switch {
+		case target.retBad:
+			rets[i] = value.String // poisoned
+		case target.retType == value.Undefined:
+			rets[i] = value.Number // undefined flows as NaN
+		default:
+			rets[i] = target.retType
+		}
+	}
+	var disabled map[string]bool
+	if st.disabledPasses != nil {
+		disabled = make(map[string]bool, len(st.disabledPasses))
+		for name, on := range st.disabledPasses {
+			disabled[name] = on
+		}
+	}
+	req := &compileRequest{
+		idx:    idx,
+		fnName: st.fn.Name,
+		fd:     st.fd,
+		opts: mirbuild.Options{
+			ParamTypes: params,
+			GlobalType: func(slot int) value.Type { return gtypes[slot] },
+			ReturnType: func(fnIdx int) value.Type { return rets[fnIdx] },
+		},
+		disabled: disabled,
+	}
+	req.key, req.cacheable = e.cacheKey(st, params, gtypes, rets, disabled)
+	return req
+}
+
+// cacheKey digests every compilation input into the shared-cache key.
+// ok=false means this engine's configuration is not cacheable: a custom
+// pipeline or fault injection makes outcomes non-reproducible, and a
+// policy must opt in via CachingPolicy.
+func (e *Engine) cacheKey(st *fnState, params, gtypes, rets []value.Type, disabled map[string]bool) (jitqueue.Key, bool) {
+	if e.cfg.Cache == nil || e.cfg.Passes != nil || e.cfg.Faults != nil {
+		return jitqueue.Key{}, false
+	}
+	pkey := ""
+	if e.policy != nil {
+		cp, ok := e.policy.(CachingPolicy)
+		if !ok {
+			return jitqueue.Key{}, false
+		}
+		k, ok := cp.PolicyCacheKey()
+		if !ok {
+			return jitqueue.Key{}, false
+		}
+		pkey = k
+	}
+
+	h := sha256.New()
+	var buf [8]byte
+	wu32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(buf[:4], v)
+		h.Write(buf[:4])
+	}
+	ws := func(s string) {
+		wu32(uint32(len(s)))
+		h.Write([]byte(s))
+	}
+	ch := st.fn.CanonicalHash()
+	h.Write(ch[:])
+	// Type feedback the artifact was specialized against: parameters
+	// (poison included), every referenced global slot, every callee's
+	// assumed return type. Slots and indices are declaration-order stable,
+	// so the whole key survives rename/minify.
+	wu32(uint32(len(params)))
+	for _, t := range params {
+		h.Write([]byte{byte(t)})
+	}
+	slots := map[int]bool{}
+	callees := map[int]bool{}
+	for _, in := range st.fn.Code {
+		switch in.Op {
+		case bytecode.OpLoadGlobal, bytecode.OpStoreGlobal:
+			slots[int(in.A)] = true
+		case bytecode.OpCall:
+			callees[int(in.A)] = true
+		}
+	}
+	for _, slot := range sortedInts(slots) {
+		wu32(uint32(slot))
+		h.Write([]byte{byte(gtypes[slot])})
+	}
+	for _, idx := range sortedInts(callees) {
+		wu32(uint32(idx))
+		if idx < len(rets) {
+			h.Write([]byte{byte(rets[idx])})
+		}
+	}
+	// Pipeline configuration.
+	for _, bug := range sortedSet(map[string]bool(e.cfg.Bugs)) {
+		ws(bug)
+	}
+	h.Write([]byte{0})
+	for _, name := range sortedSet(disabled) {
+		ws(name)
+	}
+	if e.cfg.CheckIR {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	ws(pkey)
+	var k jitqueue.Key
+	h.Sum(k[:0])
+	return k, true
+}
+
+func sortedInts(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sortedSet(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for v, on := range set {
+		if on {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// enqueueCompile hands the attempt to the background pool, reporting
+// false when the queue is saturated (the caller compiles synchronously —
+// back-pressure degrades to the old inline behavior, never an unbounded
+// backlog).
+func (e *Engine) enqueueCompile(st *fnState, req *compileRequest) bool {
+	req.async = true
+	e.tracer.Instant(obs.CatCompile, "compile.enqueue",
+		obs.S("fn", req.fnName), obs.I("queue_depth", e.cfg.Queue.Depth()))
+	req.waitSpan = e.tracer.Begin(obs.CatCompile, "compile.queue_wait")
+	e.inflight.Add(1)
+	ok := e.cfg.Queue.Submit(jitqueue.Job{
+		Owner: req.fnName,
+		Run: func() {
+			defer e.inflight.Done()
+			req.waitSpan.End(obs.S("fn", req.fnName))
+			sp := e.tracer.Begin(obs.CatCompile, "compile")
+			o := e.compileAttempt(req)
+			e.maybeCachePut(o)
+			if o.cerr != nil {
+				sp.End(obs.S("fn", req.fnName), obs.S("result", "fail"), obs.S("stage", o.cerr.Stage), obs.S("source", "queue"))
+			} else {
+				sp.End(obs.S("fn", req.fnName), obs.S("result", "ok"), obs.S("source", "queue"))
+			}
+			st.pending.Store(o)
+		},
+	})
+	if !ok {
+		e.inflight.Done()
+		req.waitSpan.End(obs.S("fn", req.fnName), obs.S("result", "rejected"))
+		req.async = false
+		return false
+	}
+	st.inflight = true
+	e.m.asyncCompiles.Inc()
+	// Give a worker a scheduling slot right away. On GOMAXPROCS=1 the
+	// owner would otherwise spin in the interpreter until the runtime's
+	// ~10ms async preemption kicks in, turning every compile window into
+	// a fixed 10ms of baseline-tier execution; on multi-core hosts an
+	// idle P picks the job up anyway and the yield is a no-op.
+	runtime.Gosched()
+	return true
+}
+
+// maybeCachePut publishes a finished attempt: successful artifacts and
+// deterministic NoJIT verdicts, never transient failures. First store
+// wins, so racing engines converge on one artifact+verdict.
+func (e *Engine) maybeCachePut(o *compileOutcome) {
+	if !o.req.cacheable || o.fromCache {
+		return
+	}
+	cc := &cachedCompile{
+		grew:        o.grew,
+		disabled:    sortedSet(o.disabled),
+		jitEligible: o.jitEligible,
+		payload:     o.payload,
+	}
+	switch {
+	case o.cerr == nil:
+		cc.code = o.code
+	case o.noJIT:
+		cc.noJIT = true
+	default:
+		return // transient failure: let the next engine try fresh
+	}
+	e.cfg.Cache.Put(o.req.key, cc, cc.sizeEstimate())
+}
+
+// outcomeFromCache turns a cache hit into an applyable outcome: the
+// artifact by pointer, the policy verdict replayed (audit + match
+// accounting identical to a live decision), and for NoJIT the same typed
+// error the live pipeline produces — so quarantine/permanent semantics
+// are bit-for-bit those of a cold compile.
+func (e *Engine) outcomeFromCache(req *compileRequest, cc *cachedCompile) *compileOutcome {
+	o := &compileOutcome{
+		req:         req,
+		fromCache:   true,
+		jitEligible: cc.jitEligible,
+		noJIT:       cc.noJIT,
+		grew:        cc.grew,
+	}
+	if cp, ok := e.policy.(CachingPolicy); ok && cc.payload != nil {
+		cp.ReplayVerdict(req.fnName, cc.payload)
+	}
+	if len(cc.disabled) > 0 {
+		m := make(map[string]bool, len(cc.disabled))
+		for _, name := range cc.disabled {
+			m[name] = true
+		}
+		o.disabled = m
+	}
+	if cc.noJIT {
+		o.cerr = newCompileError(req.fnName, StagePolicy, ErrPolicyNoJIT)
+	} else {
+		o.code = cc.code
+	}
+	return o
+}
+
+// applyOutcome installs a finished attempt into the owning fnState. It is
+// the single writer of all post-compile engine state — tier, quarantine,
+// verdict counters — and always runs on the owner goroutine (inline for
+// sync compiles and cache hits, at the next call boundary or Drain for
+// async ones), which is what keeps the engine race-free with a background
+// queue attached.
+func (e *Engine) applyOutcome(st *fnState, o *compileOutcome) {
+	st.inflight = false
+	if o.jitEligible {
+		st.jitEligible = true
+	}
+	if o.disabled != nil {
+		st.disabledPasses = o.disabled
+	}
+	// Policy verdict accounting, identical across sync, async and cached
+	// paths (acceptance: the mode may move *when* a verdict lands, never
+	// which verdict or how it is counted).
+	if o.grew || o.noJIT {
+		if !st.counted {
+			st.counted = true
+			e.m.nrJIT.Inc()
+		}
+		if o.grew {
+			e.m.nrDisJIT.Inc()
+		}
+		if o.noJIT {
+			e.m.nrNoJIT.Inc()
+		}
+	}
+	if o.cerr != nil {
+		e.failCompile(st, o.cerr)
+		return
+	}
+	wasQuarantined := st.quar == qQuarantined
+	if !st.counted {
+		st.counted = true
+		e.m.nrJIT.Inc()
+	}
+	st.code = o.code
+	st.tier = tierIon
+	st.bailouts = 0
+	if wasQuarantined {
+		// A quarantined function compiled cleanly on retry: requalify.
+		st.quar = qNone
+		st.attempts = 0
+		e.m.requalified.Inc()
+		e.audit.Record(obs.AuditEvent{
+			Func:    st.fn.Name,
+			Verdict: obs.VerdictRequalify,
+			Reason:  "clean recompile after quarantine",
+		})
+	}
+	if o.fromCache || o.req.async {
+		source := "queue"
+		if o.fromCache {
+			source = "cache"
+		} else {
+			e.m.asyncInstalls.Inc()
+		}
+		e.tracer.Instant(obs.CatCompile, "compile.install",
+			obs.S("fn", st.fn.Name), obs.S("source", source),
+			obs.I("ops", int64(len(o.code.Ops))), obs.I("regs", int64(o.code.NumRegs)))
+	} else {
+		e.tracer.Instant(obs.CatCompile, "native.install",
+			obs.S("fn", st.fn.Name), obs.I("ops", int64(len(o.code.Ops))), obs.I("regs", int64(o.code.NumRegs)))
+	}
+}
+
+// Drain waits for every in-flight background compilation of this engine
+// and applies the outcomes, leaving the engine in the state a synchronous
+// engine reaches after the same triggers. Run calls it automatically; call
+// it directly when driving CallFunction by hand with a queue attached.
+// Owner goroutine only.
+func (e *Engine) Drain() {
+	if e.cfg.Queue == nil {
+		return
+	}
+	e.inflight.Wait()
+	for _, st := range e.fns {
+		if o := st.pending.Swap(nil); o != nil {
+			e.applyOutcome(st, o)
+		}
+	}
+}

@@ -1,0 +1,370 @@
+package engine
+
+// Off-thread compilation and shared-cache tests: the Engine concurrency
+// contract under -race, install-at-safe-point semantics, verdict-counter
+// equivalence across sync/async/cached modes, and cache hit/miss
+// accounting. See also supervisor_test.go for quarantine × async.
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/jitqueue"
+	"github.com/jitbull/jitbull/internal/obs"
+	"github.com/jitbull/jitbull/internal/passes"
+	"github.com/jitbull/jitbull/internal/value"
+	"github.com/jitbull/jitbull/internal/variants"
+)
+
+// stubCachingPolicy is a minimal CachingPolicy for engine-side plumbing
+// tests (core.Detector's implementation is exercised by difftest and the
+// experiments bench, which can import both packages).
+type stubCachingPolicy struct {
+	verdict  CompileDecision
+	began    int
+	replays  int
+	payloads int
+}
+
+func (p *stubCachingPolicy) Active() bool { return true }
+
+func (p *stubCachingPolicy) BeginCompile(fn string) (passes.Observer, func() CompileDecision) {
+	p.began++
+	return nil, func() CompileDecision { return p.verdict }
+}
+
+func (p *stubCachingPolicy) PolicyCacheKey() (string, bool) { return "stub", true }
+
+func (p *stubCachingPolicy) TakeVerdictPayload() any {
+	p.payloads++
+	return &p.verdict
+}
+
+func (p *stubCachingPolicy) ReplayVerdict(fn string, payload any) CompileDecision {
+	p.replays++
+	return *payload.(*CompileDecision)
+}
+
+func TestAsyncCompileMatchesSyncVerdicts(t *testing.T) {
+	syncEng := runHot(t, Config{IonThreshold: 5})
+
+	q := jitqueue.New(2, 16, nil)
+	defer q.Close()
+	async := runHot(t, Config{IonThreshold: 5, Queue: q})
+
+	ss, as := syncEng.Stats(), async.Stats()
+	if as.NrJIT != ss.NrJIT || as.NrDisJIT != ss.NrDisJIT || as.NrNoJIT != ss.NrNoJIT {
+		t.Errorf("verdict counters differ: sync %+v async %+v", ss, as)
+	}
+	if as.AsyncCompiles == 0 {
+		t.Error("no compile job was enqueued")
+	}
+	if as.AsyncInstalls == 0 {
+		t.Error("no artifact was installed from the background queue")
+	}
+	st := async.fn(t, "hot")
+	if st.code == nil || st.tier != tierIon {
+		t.Errorf("async compile never installed: code=%v tier=%d", st.code != nil, st.tier)
+	}
+}
+
+func TestAsyncQueueSaturationFallsBackToSync(t *testing.T) {
+	// A zero-worker... not constructible; instead saturate a tiny queue
+	// with a blocked worker so Submit rejects and the engine compiles
+	// inline.
+	gate := make(chan struct{})
+	q := jitqueue.New(1, 1, nil)
+	defer q.Close()
+	q.Submit(jitqueue.Job{Owner: "blocker", Run: func() { <-gate }})
+	q.Submit(jitqueue.Job{Owner: "filler", Run: func() {}})
+	e := runHot(t, Config{IonThreshold: 5, Queue: q})
+	close(gate)
+	if e.Stats().NrJIT != 1 {
+		t.Errorf("saturated queue should fall back to a synchronous compile: %+v", e.Stats())
+	}
+	if e.Stats().AsyncCompiles != 0 {
+		t.Errorf("job enqueued despite saturation: %+v", e.Stats())
+	}
+}
+
+func TestSharedCacheHitSkipsPipeline(t *testing.T) {
+	reg := obs.NewRegistry()
+	cache := jitqueue.NewCache(reg)
+
+	cold := runHot(t, Config{IonThreshold: 5, Cache: cache})
+	cs := cold.Stats()
+	if cs.CacheMisses == 0 || cs.CacheHits != 0 {
+		t.Fatalf("cold engine: %+v", cs)
+	}
+	if cs.Compiles == 0 {
+		t.Fatalf("cold engine never ran the pipeline: %+v", cs)
+	}
+
+	warm := runHot(t, Config{IonThreshold: 5, Cache: cache})
+	ws := warm.Stats()
+	if ws.CacheHits != 1 || ws.Compiles != 0 {
+		t.Errorf("warm engine should hit the cache and skip the pipeline: %+v", ws)
+	}
+	if ws.NrJIT != cs.NrJIT {
+		t.Errorf("cached install not counted like a compile: cold %+v warm %+v", cs, ws)
+	}
+	st := warm.fn(t, "hot")
+	if st.code == nil || st.tier != tierIon {
+		t.Error("cache hit did not install the artifact")
+	}
+	if reg.Counter("cache.hits").Value() != 1 {
+		t.Errorf("cache.hits = %d, want 1", reg.Counter("cache.hits").Value())
+	}
+}
+
+func TestSharedCacheKeyIsRenameMinifyInvariant(t *testing.T) {
+	cache := jitqueue.NewCache(nil)
+	cold := runHot(t, Config{IonThreshold: 5, Cache: cache})
+	if cold.Stats().CacheMisses == 0 {
+		t.Fatal("cold engine never consulted the cache")
+	}
+	for _, tf := range []struct {
+		name string
+		fn   func(string) (string, error)
+	}{{"rename", variants.Rename}, {"minify", variants.Minify}} {
+		vsrc, err := tf.fn(hotSrc)
+		if err != nil {
+			t.Fatalf("%s: %v", tf.name, err)
+		}
+		e, err := New(vsrc, Config{IonThreshold: 5, Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if s := e.Stats(); s.CacheHits != 1 || s.Compiles != 0 {
+			t.Errorf("%s variant missed the shared cache: %+v", tf.name, s)
+		}
+	}
+}
+
+func TestCacheReplaysPolicyVerdict(t *testing.T) {
+	t.Run("disable-pass", func(t *testing.T) {
+		cache := jitqueue.NewCache(nil)
+		colder := &stubCachingPolicy{verdict: CompileDecision{DisabledPasses: []string{"GVN"}}}
+		cold, err := New(hotSrc, Config{IonThreshold: 5, Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold.SetPolicy(colder)
+		if _, err := cold.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if s := cold.Stats(); s.NrDisJIT != 1 || s.Recompiles != 1 {
+			t.Fatalf("cold stats: %+v", s)
+		}
+		if colder.payloads != 1 {
+			t.Fatalf("payload not captured: %d", colder.payloads)
+		}
+
+		warmer := &stubCachingPolicy{verdict: CompileDecision{DisabledPasses: []string{"GVN"}}}
+		warm, err := New(hotSrc, Config{IonThreshold: 5, Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm.SetPolicy(warmer)
+		if _, err := warm.Run(); err != nil {
+			t.Fatal(err)
+		}
+		s := warm.Stats()
+		if s.CacheHits != 1 || s.Compiles != 0 || s.Recompiles != 0 {
+			t.Errorf("warm engine re-ran the pipeline: %+v", s)
+		}
+		if s.NrDisJIT != 1 || s.NrJIT != 1 {
+			t.Errorf("replayed verdict not counted identically: %+v", s)
+		}
+		if warmer.replays != 1 || warmer.began != 0 {
+			t.Errorf("policy: replays=%d began=%d, want 1/0 (no DNA matching on a hit)", warmer.replays, warmer.began)
+		}
+		if st := warm.fn(t, "hot"); !st.disabledPasses["GVN"] {
+			t.Error("disabled-pass set not restored from the cache")
+		}
+	})
+
+	t.Run("nojit", func(t *testing.T) {
+		cache := jitqueue.NewCache(nil)
+		for i, wantHits := range []int{0, 1} {
+			p := &stubCachingPolicy{verdict: CompileDecision{NoJIT: true}}
+			e, err := New(hotSrc, Config{IonThreshold: 5, Cache: cache})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.SetPolicy(p)
+			if _, err := e.Run(); err != nil {
+				t.Fatal(err)
+			}
+			s := e.Stats()
+			if s.NrNoJIT != 1 || s.NrJIT != 1 {
+				t.Errorf("engine %d: NoJIT verdict counters: %+v", i, s)
+			}
+			if s.CacheHits != wantHits {
+				t.Errorf("engine %d: CacheHits = %d, want %d", i, s.CacheHits, wantHits)
+			}
+			if wantHits == 1 && s.Compiles != 0 {
+				t.Errorf("NoJIT cache hit still ran the pipeline: %+v", s)
+			}
+			if st := e.fn(t, "hot"); st.quar != qPermanent {
+				t.Errorf("engine %d: NoJIT must pin the function to the interpreter (quar=%d)", i, st.quar)
+			}
+		}
+	})
+}
+
+func TestRecorderPolicyDisablesCaching(t *testing.T) {
+	// A policy that does not implement CachingPolicy (like core.Recorder)
+	// must observe every pipeline run: no hits, no misses, no sharing.
+	cache := jitqueue.NewCache(nil)
+	for i := 0; i < 2; i++ {
+		e, err := New(hotSrc, Config{IonThreshold: 5, Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.SetPolicy(plainPolicy{})
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if s := e.Stats(); s.CacheHits != 0 || s.CacheMisses != 0 || s.Compiles == 0 {
+			t.Errorf("engine %d: non-caching policy must bypass the cache: %+v", i, s)
+		}
+	}
+	if cache.Len() != 0 {
+		t.Errorf("cache has %d entries, want 0", cache.Len())
+	}
+}
+
+// plainPolicy implements Policy but NOT CachingPolicy.
+type plainPolicy struct{}
+
+func (plainPolicy) Active() bool { return true }
+func (plainPolicy) BeginCompile(string) (passes.Observer, func() CompileDecision) {
+	return nil, func() CompileDecision { return CompileDecision{} }
+}
+
+// TestEngineConcurrencyContract is the -race enforcement of the Engine
+// concurrency contract: a fleet of engines sharing one queue, cache and
+// metrics registry, with Stats() snapshots read concurrently from other
+// goroutines while background installs land. Run with -race (CI does).
+func TestEngineConcurrencyContract(t *testing.T) {
+	reg := obs.NewRegistry()
+	q := jitqueue.New(4, 32, reg)
+	defer q.Close()
+	cache := jitqueue.NewCache(reg)
+
+	const fleet = 6
+	engines := make([]*Engine, fleet)
+	for i := range engines {
+		e, err := New(hotSrc, Config{IonThreshold: 5, Queue: q, Cache: cache, Metrics: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = e
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, e := range engines {
+					s := e.Stats() // must be race-free mid-run
+					if s.NrJIT < 0 {
+						t.Error("impossible snapshot")
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	var runs sync.WaitGroup
+	for _, e := range engines {
+		runs.Add(1)
+		go func(e *Engine) {
+			defer runs.Done()
+			if _, err := e.Run(); err != nil {
+				t.Errorf("run: %v", err)
+				return
+			}
+			if got := e.Global("result").AsNumber(); got != hotResult {
+				t.Errorf("result = %v, want %v", got, hotResult)
+			}
+		}(e)
+	}
+	runs.Wait()
+	close(stop)
+	readers.Wait()
+
+	// Every engine reached the same verdict; the fleet compiled the
+	// distinct function at most a handful of times (races may compile it
+	// more than once, but hits must dominate once warm).
+	for i, e := range engines {
+		if s := e.Stats(); s.NrJIT != 1 {
+			t.Errorf("engine %d: NrJIT = %d, want 1 (%+v)", i, s.NrJIT, s)
+		}
+	}
+}
+
+// TestStatsConsistentUnderConcurrentInstall drives CallFunction by hand
+// while a reader snapshots Stats, proving install-at-safe-point never
+// tears a snapshot (satellite: consistent Stats() under concurrent
+// install).
+func TestStatsConsistentUnderConcurrentInstall(t *testing.T) {
+	q := jitqueue.New(2, 8, nil)
+	defer q.Close()
+	e, err := New(hotSrc, Config{IonThreshold: 3, Queue: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := -1
+	for i, st := range e.fns {
+		if st.fn.Name == "hot" {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		t.Fatal("no hot function")
+	}
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := e.Stats()
+			if s.AsyncInstalls > s.AsyncCompiles {
+				t.Error("snapshot tore: more installs than enqueued compiles")
+				return
+			}
+		}
+	}()
+	args := []value.Value{value.Num(1)}
+	for i := 0; i < 500; i++ {
+		if _, err := e.CallFunction(idx, args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Drain()
+	close(stop)
+	<-done
+	if s := e.Stats(); s.NrJIT != 1 || s.AsyncInstalls != 1 {
+		t.Errorf("stats after drain: %+v", s)
+	}
+}

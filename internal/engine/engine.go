@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"github.com/jitbull/jitbull/internal/ast"
 	"github.com/jitbull/jitbull/internal/bytecode"
@@ -18,8 +20,8 @@ import (
 	"github.com/jitbull/jitbull/internal/faults"
 	"github.com/jitbull/jitbull/internal/heap"
 	"github.com/jitbull/jitbull/internal/interp"
+	"github.com/jitbull/jitbull/internal/jitqueue"
 	"github.com/jitbull/jitbull/internal/lir"
-	"github.com/jitbull/jitbull/internal/mirbuild"
 	"github.com/jitbull/jitbull/internal/native"
 	"github.com/jitbull/jitbull/internal/obs"
 	"github.com/jitbull/jitbull/internal/parser"
@@ -131,6 +133,21 @@ type Config struct {
 	// permanent demotion). Policy go/no-go verdicts are recorded by the
 	// policy itself (core.Detector) into the same log.
 	Audit *obs.AuditLog
+
+	// Queue, when set, moves Ion compilation off-thread: the warmup
+	// trigger snapshots the compilation inputs, enqueues a supervised job
+	// on the shared background pool, and the function keeps executing in
+	// baseline until the artifact is installed at the next call boundary
+	// (see async.go for the concurrency contract). When the queue is
+	// saturated the engine falls back to a synchronous compile.
+	Queue *jitqueue.Queue
+	// Cache, when set, is the shared cross-engine compilation cache: a hit
+	// installs the compiled artifact and replays the recorded JITBULL
+	// verdict without re-running the pipeline or DNA matching. Caching is
+	// automatically disabled for configurations whose outcomes are not
+	// reproducible from the cache key (custom Passes, fault injection, or
+	// a policy that does not implement CachingPolicy).
+	Cache *jitqueue.Cache
 }
 
 // Stats is a snapshot of the per-run counters the paper's Figure 4
@@ -152,6 +169,12 @@ type Stats struct {
 	InjectedFaults int // of those, fired by the fault-injection framework
 	Quarantined    int // quarantine entries (failed functions parked with backoff)
 	Requalified    int // quarantined functions re-promoted after a clean retry
+
+	// Async/cache counters (zero without Config.Queue / Config.Cache).
+	CacheHits     int // compilations satisfied from the shared cache
+	CacheMisses   int // cacheable triggers that had to compile
+	AsyncCompiles int // compile jobs enqueued on the background queue
+	AsyncInstalls int // artifacts installed at a safe point after a background compile
 }
 
 // statCounter is one engine counter: always present in the engine's
@@ -172,6 +195,8 @@ type engineMetrics struct {
 	compileErrors, compilePanics   statCounter
 	compileBudgets, injectedFaults statCounter
 	quarantined, requalified       statCounter
+	cacheHits, cacheMisses         statCounter
+	asyncCompiles, asyncInstalls   statCounter
 }
 
 func newEngineMetrics(local, shared *obs.Registry) engineMetrics {
@@ -192,6 +217,10 @@ func newEngineMetrics(local, shared *obs.Registry) engineMetrics {
 		injectedFaults: pair("engine.injected_faults"),
 		quarantined:    pair("engine.quarantined"),
 		requalified:    pair("engine.requalified"),
+		cacheHits:      pair("engine.cache_hits"),
+		cacheMisses:    pair("engine.cache_misses"),
+		asyncCompiles:  pair("engine.async_compiles"),
+		asyncInstalls:  pair("engine.async_installs"),
 	}
 }
 
@@ -228,10 +257,20 @@ type fnState struct {
 	backoff   int // current retry delay (doubles per round-trip)
 	cleanRuns int // consecutive clean interpreter runs while quarantined
 	attempts  int // quarantine round-trips so far
+
+	// Async compilation state (see async.go). inflight is owner-only;
+	// pending is the mailbox a background worker parks the finished
+	// outcome in, emptied by the owner at the next call boundary.
+	inflight bool
+	pending  atomic.Pointer[compileOutcome]
 }
 
-// Engine is a tiered nanojs runtime instance. It is not safe for
-// concurrent use.
+// Engine is a tiered nanojs runtime instance. It is single-owner: all
+// execution entry points (Run, CallFunction, Drain) must be called from
+// one goroutine. With Config.Queue set, compilation itself runs on
+// background workers under the contract documented in async.go — the
+// workers never touch fnState or the VM, so the owner goroutine stays
+// race-free — and Stats() may be read from any goroutine at any time.
 type Engine struct {
 	Prog  *bytecode.Program
 	VM    *interp.VM
@@ -241,6 +280,14 @@ type Engine struct {
 	fns    []*fnState
 	policy Policy
 	pool   native.Pool
+
+	// compileMu serializes compilation attempts of this engine across
+	// background workers: the policy (core.Detector) and its DNA scratch
+	// state are not concurrent-safe.
+	compileMu sync.Mutex
+	// inflight counts this engine's outstanding background jobs (Drain
+	// waits on it).
+	inflight sync.WaitGroup
 
 	reg      *obs.Registry // private registry backing Stats()
 	m        engineMetrics
@@ -326,6 +373,10 @@ func (e *Engine) Stats() Stats {
 		InjectedFaults: v(e.m.injectedFaults),
 		Quarantined:    v(e.m.quarantined),
 		Requalified:    v(e.m.requalified),
+		CacheHits:      v(e.m.cacheHits),
+		CacheMisses:    v(e.m.cacheMisses),
+		AsyncCompiles:  v(e.m.asyncCompiles),
+		AsyncInstalls:  v(e.m.asyncInstalls),
 	}
 }
 
@@ -371,9 +422,14 @@ func (e *Engine) GlobalSet(slot int, v value.Value) { e.VM.Globals[slot] = v }
 // Random implements native.Hooks.
 func (e *Engine) Random() float64 { return e.VM.Random() }
 
-// Run executes the program's top-level code.
+// Run executes the program's top-level code. With a background queue
+// attached it drains in-flight compilations before returning, so the
+// engine's final state matches what a synchronous engine reaches after
+// the same warmup triggers.
 func (e *Engine) Run() (value.Value, error) {
-	return e.VM.Exec(e.Prog.Main(), nil)
+	v, err := e.VM.Exec(e.Prog.Main(), nil)
+	e.Drain()
+	return v, err
 }
 
 // Global returns the value of a named global variable (undefined when the
@@ -406,6 +462,16 @@ func (e *Engine) CallFunction(idx int, args []value.Value) (value.Value, error) 
 	}
 
 	st.calls++
+	// Safe point: a finished background compilation is installed here, on
+	// the owner goroutine, before any tiering decision or dispatch. The
+	// inflight gate keeps the hot path free of atomics: pending can only
+	// be non-nil between enqueue and apply, and inflight (owner-only)
+	// brackets exactly that window.
+	if st.inflight {
+		if o := st.pending.Swap(nil); o != nil {
+			e.applyOutcome(st, o)
+		}
+	}
 	if e.cfg.DisableJIT || st.fd == nil {
 		return e.VM.Exec(st.fn, args)
 	}
@@ -413,7 +479,7 @@ func (e *Engine) CallFunction(idx int, args []value.Value) (value.Value, error) 
 	if st.code == nil {
 		e.profile(st, args)
 	}
-	if st.code == nil && st.calls >= e.cfg.IonThreshold && e.mayCompile(st) {
+	if st.code == nil && !st.inflight && st.calls >= e.cfg.IonThreshold && e.mayCompile(st) {
 		e.compile(idx, st)
 	}
 	if st.tier == tierInterp && st.calls >= e.cfg.BaselineThreshold {
@@ -489,70 +555,38 @@ func (e *Engine) observeReturn(st *fnState, v value.Value) {
 	}
 }
 
-// compile attempts Ion compilation of function idx under the supervisor,
-// applying the JITBULL policy when installed. It implements the three
-// scenarios of §V; every failure is typed, attributed, and degraded per
-// failCompile.
+// compile handles one warmup trigger of function idx: a shared-cache hit
+// installs the artifact and replays the verdict immediately; otherwise the
+// attempt is enqueued on the background queue (when configured) or run
+// inline under the supervisor. Every path implements the three scenarios
+// of §V with identical verdict accounting; every failure is typed,
+// attributed, and degraded per failCompile.
 func (e *Engine) compile(idx int, st *fnState) {
 	e.tracer.Instant(obs.CatEngine, "compile.trigger",
 		obs.S("fn", st.fn.Name), obs.I("calls", int64(st.calls)))
-	sp := e.tracer.Begin(obs.CatCompile, "compile")
-	if len(e.cfg.DisabledPasses) > 0 && st.disabledPasses == nil {
-		st.disabledPasses = map[string]bool{}
-		for _, name := range e.cfg.DisabledPasses {
-			st.disabledPasses[name] = true
-		}
-	}
-	types := make([]value.Type, len(st.paramTypes))
-	copy(types, st.paramTypes)
-	for i, bad := range st.paramBad {
-		if bad {
-			types[i] = value.String // poisoned: mirbuild rejects it
-		}
-	}
-	opts := mirbuild.Options{
-		ParamTypes: types,
-		GlobalType: func(slot int) value.Type { return e.VM.Globals[slot].Type() },
-		ReturnType: func(fnIdx int) value.Type {
-			target := e.fns[fnIdx]
-			if target.retBad {
-				return value.String // poisoned
-			}
-			if target.retType == value.Undefined {
-				return value.Number // undefined flows as NaN
-			}
-			return target.retType
-		},
-	}
+	req := e.newCompileRequest(idx, st)
 
-	code, cerr := e.compileAttempt(st, opts)
-	if cerr != nil {
-		e.failCompile(st, cerr)
-		sp.End(obs.S("fn", st.fn.Name), obs.S("result", "fail"), obs.S("stage", cerr.Stage))
+	if req.cacheable {
+		if v, ok := e.cfg.Cache.Get(req.key); ok {
+			e.m.cacheHits.Inc()
+			e.applyOutcome(st, e.outcomeFromCache(req, v.(*cachedCompile)))
+			return
+		}
+		e.m.cacheMisses.Inc()
+	}
+	if e.cfg.Queue != nil && e.enqueueCompile(st, req) {
 		return
 	}
-	wasQuarantined := st.quar == qQuarantined
-	if !st.counted {
-		st.counted = true
-		e.m.nrJIT.Inc()
+
+	sp := e.tracer.Begin(obs.CatCompile, "compile")
+	o := e.compileAttempt(req)
+	e.maybeCachePut(o)
+	e.applyOutcome(st, o)
+	if o.cerr != nil {
+		sp.End(obs.S("fn", st.fn.Name), obs.S("result", "fail"), obs.S("stage", o.cerr.Stage), obs.S("source", "inline"))
+		return
 	}
-	st.code = code
-	st.tier = tierIon
-	st.bailouts = 0
-	if wasQuarantined {
-		// A quarantined function compiled cleanly on retry: requalify.
-		st.quar = qNone
-		st.attempts = 0
-		e.m.requalified.Inc()
-		e.audit.Record(obs.AuditEvent{
-			Func:    st.fn.Name,
-			Verdict: obs.VerdictRequalify,
-			Reason:  "clean recompile after quarantine",
-		})
-	}
-	e.tracer.Instant(obs.CatCompile, "native.install",
-		obs.S("fn", st.fn.Name), obs.I("ops", int64(len(code.Ops))), obs.I("regs", int64(code.NumRegs)))
-	sp.End(obs.S("fn", st.fn.Name), obs.S("result", "ok"))
+	sp.End(obs.S("fn", st.fn.Name), obs.S("result", "ok"), obs.S("source", "inline"))
 }
 
 // RunScript is a convenience: build an engine for src, run it, and return

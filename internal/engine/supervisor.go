@@ -24,6 +24,7 @@ import (
 
 // Compilation stages, in pipeline order, used for CompileError attribution.
 const (
+	StageQueue    = "queue"    // background-queue job startup
 	StageMIRBuild = "mirbuild" // SSA graph construction from the AST
 	StagePasses   = "passes"   // the OptimizeMIR pass pipeline
 	StagePolicy   = "policy"   // the JITBULL go/no-go decision
@@ -255,46 +256,66 @@ func (e *Engine) failCompile(st *fnState, cerr *CompileError) {
 
 // compileAttempt is one supervised run of the Ion pipeline: mirbuild →
 // passes (+ policy) → lower → regalloc, under panic recovery and a fresh
-// step-budget meter. It returns the compiled code or a typed error, never
-// both, and never lets a panic escape.
-func (e *Engine) compileAttempt(st *fnState, opts mirbuild.Options) (code *lir.Code, cerr *CompileError) {
+// step-budget meter. It runs on the owner goroutine for synchronous
+// compiles and on a background worker for queued ones, so it only reads
+// the immutable request snapshot — all fnState mutation is deferred to
+// the returned outcome, applied at a safe point by applyOutcome. Attempts
+// of one engine are serialized by compileMu (the policy is not
+// concurrent-safe); a panic never escapes.
+func (e *Engine) compileAttempt(req *compileRequest) (o *compileOutcome) {
+	e.compileMu.Lock()
+	defer e.compileMu.Unlock()
+	o = &compileOutcome{req: req}
 	fctx := &faults.CompileCtx{
 		Inj:   e.cfg.Faults,
 		Meter: &faults.Meter{Limit: e.compileStepBudget()},
-		Func:  st.fn.Name,
+		Func:  req.fnName,
 		Trace: e.tracer,
 	}
-	stage := StageMIRBuild
+	stage := StageQueue
 	defer func() {
 		if r := recover(); r != nil {
-			code = nil
-			cerr = panicToCompileError(st.fn.Name, stage, r)
+			o.code = nil
+			o.cerr = panicToCompileError(req.fnName, stage, r)
 		}
 	}()
 
-	opts.Faults = fctx
-	g, err := mirbuild.Build(e.Prog, st.fd, opts)
-	if err != nil {
-		return nil, newCompileError(st.fn.Name, stage, err)
+	if req.async {
+		// The queue injection point: stall exhausts this attempt's budget,
+		// panic exercises the worker-side supervisor recovery.
+		if err := fctx.Step(faults.PointQueue, req.fnName, 0); err != nil {
+			o.cerr = newCompileError(req.fnName, stage, err)
+			return o
+		}
 	}
-	st.jitEligible = true
+
+	stage = StageMIRBuild
+	opts := req.opts
+	opts.Faults = fctx
+	g, err := mirbuild.Build(e.Prog, req.fd, opts)
+	if err != nil {
+		o.cerr = newCompileError(req.fnName, stage, err)
+		return o
+	}
+	o.jitEligible = true
 
 	stage = StagePasses
 	var pobs passes.Observer
 	var finish func() CompileDecision
 	if e.policy != nil && e.policy.Active() {
-		pobs, finish = e.policy.BeginCompile(st.fn.Name)
+		pobs, finish = e.policy.BeginCompile(req.fnName)
 	}
 	if err := passes.RunWith(g, passes.RunOptions{
 		Bugs:     e.cfg.Bugs,
-		Disabled: st.disabledPasses,
+		Disabled: req.disabled,
 		Observer: pobs,
 		CheckIR:  e.cfg.CheckIR,
 		Pipeline: e.cfg.Passes,
 		Faults:   fctx,
 		Metrics:  e.histReg(),
 	}); err != nil {
-		return nil, newCompileError(st.fn.Name, stage, err)
+		o.cerr = newCompileError(req.fnName, stage, err)
+		return o
 	}
 	e.m.compiles.Inc()
 
@@ -302,72 +323,76 @@ func (e *Engine) compileAttempt(st *fnState, opts mirbuild.Options) (code *lir.C
 		stage = StagePolicy
 		dsp := e.tracer.Begin(obs.CatPolicy, "decide")
 		decision := finish()
+		if req.cacheable {
+			if cp, ok := e.policy.(CachingPolicy); ok {
+				o.payload = cp.TakeVerdictPayload()
+			}
+		}
 		if decision.NoJIT {
 			// Scenario 3: a matched pass is mandatory — OptimizeMIR returns
 			// FAILURE with Recompile=false.
-			dsp.End(obs.S("fn", st.fn.Name), obs.S("verdict", "nojit"))
-			if !st.counted {
-				st.counted = true
-				e.m.nrJIT.Inc()
-			}
-			e.m.nrNoJIT.Inc()
-			return nil, newCompileError(st.fn.Name, StagePolicy, ErrPolicyNoJIT)
+			dsp.End(obs.S("fn", req.fnName), obs.S("verdict", "nojit"))
+			o.noJIT = true
+			o.cerr = newCompileError(req.fnName, StagePolicy, ErrPolicyNoJIT)
+			return o
 		}
 		if len(decision.DisabledPasses) > 0 {
-			dsp.End(obs.S("fn", st.fn.Name), obs.S("verdict", "disable-pass"),
+			dsp.End(obs.S("fn", req.fnName), obs.S("verdict", "disable-pass"),
 				obs.I("disabled", int64(len(decision.DisabledPasses))))
 			// Scenario 2: FAILURE with Recompile=true — retry with the
 			// dangerous passes disabled.
-			if st.disabledPasses == nil {
-				st.disabledPasses = map[string]bool{}
+			if req.disabled == nil {
+				req.disabled = map[string]bool{}
 			}
 			grew := false
 			for _, name := range decision.DisabledPasses {
-				if !st.disabledPasses[name] {
-					st.disabledPasses[name] = true
+				if !req.disabled[name] {
+					req.disabled[name] = true
 					grew = true
 				}
 			}
+			o.disabled = req.disabled
 			if grew {
-				if !st.counted {
-					st.counted = true
-					e.m.nrJIT.Inc()
-				}
-				e.m.nrDisJIT.Inc()
+				o.grew = true
 				e.m.recompiles.Inc()
 				stage = StageMIRBuild
-				g2, err := mirbuild.Build(e.Prog, st.fd, opts)
+				g2, err := mirbuild.Build(e.Prog, req.fd, opts)
 				if err != nil {
-					return nil, newCompileError(st.fn.Name, stage, err)
+					o.cerr = newCompileError(req.fnName, stage, err)
+					return o
 				}
 				stage = StagePasses
 				if err := passes.RunWith(g2, passes.RunOptions{
 					Bugs:     e.cfg.Bugs,
-					Disabled: st.disabledPasses,
+					Disabled: req.disabled,
 					CheckIR:  e.cfg.CheckIR,
 					Pipeline: e.cfg.Passes,
 					Faults:   fctx,
 					Metrics:  e.histReg(),
 				}); err != nil {
-					return nil, newCompileError(st.fn.Name, stage, err)
+					o.cerr = newCompileError(req.fnName, stage, err)
+					return o
 				}
 				g = g2
 			}
 		} else {
-			dsp.End(obs.S("fn", st.fn.Name), obs.S("verdict", "go"))
+			dsp.End(obs.S("fn", req.fnName), obs.S("verdict", "go"))
 		}
 	}
 
 	stage = StageLower
-	code, err = lir.LowerWith(g, fctx)
+	code, err := lir.LowerWith(g, fctx)
 	if err != nil {
-		return nil, newCompileError(st.fn.Name, stage, err)
+		o.cerr = newCompileError(req.fnName, stage, err)
+		return o
 	}
 	stage = StageRegalloc
 	if err := regalloc.AllocateWith(code, fctx); err != nil {
-		return nil, newCompileError(st.fn.Name, stage, err)
+		o.cerr = newCompileError(req.fnName, stage, err)
+		return o
 	}
-	return code, nil
+	o.code = code
+	return o
 }
 
 // execNative dispatches one call into the function's Ion code with fault

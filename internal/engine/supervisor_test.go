@@ -9,8 +9,10 @@ import (
 	"testing"
 
 	"github.com/jitbull/jitbull/internal/faults"
+	"github.com/jitbull/jitbull/internal/jitqueue"
 	"github.com/jitbull/jitbull/internal/mir"
 	"github.com/jitbull/jitbull/internal/passes"
+	"github.com/jitbull/jitbull/internal/value"
 )
 
 // hotSrc drives one JIT-able function well past any test threshold.
@@ -277,6 +279,121 @@ func TestNativeFaultContainment(t *testing.T) {
 			}
 			if kind == faults.KindPanic && e.Stats().CompilePanics == 0 {
 				t.Error("recovered dispatch panic not counted")
+			}
+		})
+	}
+}
+
+// driveHot builds an engine over hotSrc and drives the hot function by
+// hand for calls iterations, draining after every call when a queue is
+// attached so background outcomes apply at deterministic call counts —
+// the same counts the synchronous path sees.
+func driveHot(t *testing.T, cfg Config, calls int) *Engine {
+	t.Helper()
+	e, err := New(hotSrc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := -1
+	for i, st := range e.fns {
+		if st.fn.Name == "hot" {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		t.Fatal("no hot function")
+	}
+	args := []value.Value{value.Num(1)}
+	for i := 0; i < calls; i++ {
+		if _, err := e.CallFunction(idx, args); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		e.Drain()
+	}
+	return e
+}
+
+// TestAsyncQuarantineMatchesSyncBackoff is the quarantine × async
+// interaction: a compile job that panics in the background must
+// quarantine the function with exactly the backoff schedule and
+// escalation the synchronous supervisor applies.
+func TestAsyncQuarantineMatchesSyncBackoff(t *testing.T) {
+	cfg := func(q *jitqueue.Queue) Config {
+		return Config{
+			IonThreshold:        5,
+			QuarantineBackoff:   4,
+			QuarantineCleanRuns: 2,
+			MaxCompileAttempts:  3,
+			Queue:               q,
+			// Every attempt panics inside the pass pipeline.
+			Faults: faults.NewInjector(1, faults.Rule{Point: faults.PointPass, Kind: faults.KindPanic}),
+		}
+	}
+	const calls = 200
+	syncEng := driveHot(t, cfg(nil), calls)
+
+	q := jitqueue.New(2, 8, nil)
+	defer q.Close()
+	asyncEng := driveHot(t, cfg(q), calls)
+
+	ss, as := syncEng.Stats(), asyncEng.Stats()
+	if as.Quarantined != ss.Quarantined || as.CompilePanics != ss.CompilePanics ||
+		as.CompileErrors != ss.CompileErrors || as.NrJIT != ss.NrJIT {
+		t.Errorf("supervisor accounting diverged: sync %+v async %+v", ss, as)
+	}
+	sst, ast := syncEng.fn(t, "hot"), asyncEng.fn(t, "hot")
+	if ast.quar != sst.quar || ast.attempts != sst.attempts || ast.backoff != sst.backoff {
+		t.Errorf("quarantine state diverged: sync quar=%d attempts=%d backoff=%d, async quar=%d attempts=%d backoff=%d",
+			sst.quar, sst.attempts, sst.backoff, ast.quar, ast.attempts, ast.backoff)
+	}
+	if sst.quar != qPermanent {
+		t.Errorf("fixture too weak: expected escalation to permanent, got quar=%d", sst.quar)
+	}
+	if as.CompileErrors != 3 {
+		t.Errorf("attempts = %d, want exactly MaxCompileAttempts (3)", as.CompileErrors)
+	}
+}
+
+// TestQueueFaultPointStallAndPanic exercises the new `queue` injection
+// point: it only fires for background jobs, where a panic must be
+// contained by the worker-side supervisor (stage "queue") and a stall
+// must exhaust the job's step budget. Either way the function quarantines
+// and the pool survives.
+func TestQueueFaultPointStallAndPanic(t *testing.T) {
+	for _, kind := range []faults.Kind{faults.KindPanic, faults.KindStall} {
+		t.Run(string(kind), func(t *testing.T) {
+			q := jitqueue.New(1, 8, nil)
+			defer q.Close()
+			var got []error
+			inj := faults.NewInjector(1, faults.Rule{Point: faults.PointQueue, Kind: kind, Times: 1})
+			e := driveHot(t, Config{
+				IonThreshold:        5,
+				QuarantineBackoff:   4,
+				QuarantineCleanRuns: 2,
+				Queue:               q,
+				Faults:              inj,
+				OnCompileError:      func(fn string, err error) { got = append(got, err) },
+			}, 100)
+			if inj.FiredCount() != 1 {
+				t.Fatalf("queue fault fired %d times, want 1", inj.FiredCount())
+			}
+			if len(got) == 0 {
+				t.Fatal("queue fault never surfaced as a CompileError")
+			}
+			var cerr *CompileError
+			if !errors.As(got[0], &cerr) || cerr.Stage != StageQueue || !cerr.Injected {
+				t.Fatalf("typing wrong: %+v", got[0])
+			}
+			if kind == faults.KindPanic && !cerr.Panicked {
+				t.Errorf("queue panic not marked Panicked: %+v", cerr)
+			}
+			if len(q.Panics()) != 0 {
+				t.Errorf("panic escaped the supervisor into the pool: %v", q.Panics())
+			}
+			// The capped rule fires once; the quarantine retry then
+			// compiles cleanly and requalifies.
+			if s := e.Stats(); s.Quarantined != 1 || s.Requalified != 1 || s.NrJIT != 1 {
+				t.Errorf("recovery accounting: %+v", s)
 			}
 		})
 	}

@@ -39,6 +39,12 @@ const (
 	PointNative   Point = "native"   // native-code dispatch (detail: function)
 	PointDBSave   Point = "db.save"  // VDC database save
 	PointDBLoad   Point = "db.load"  // VDC database load
+	// PointQueue is hit once per background compile job at startup (detail:
+	// function). It is not part of CompilePoints(): randomized chaos
+	// schedules run synchronous engines, where the point is never reached;
+	// target it explicitly to exercise the queue (stall exhausts the job's
+	// step budget, panic must be contained by the worker-side supervisor).
+	PointQueue Point = "queue"
 )
 
 // CompilePoints lists the points on the per-function compile/dispatch
@@ -99,7 +105,7 @@ func ParseRule(s string) (Rule, error) {
 		return Rule{}, fmt.Errorf("fault rule %q: unknown kind %q", s, parts[1])
 	}
 	known := false
-	for _, p := range append(CompilePoints(), PointDBSave, PointDBLoad) {
+	for _, p := range append(CompilePoints(), PointDBSave, PointDBLoad, PointQueue) {
 		if r.Point == p {
 			known = true
 		}

@@ -1,0 +1,102 @@
+package jitqueue
+
+import (
+	"sync"
+
+	"github.com/jitbull/jitbull/internal/obs"
+)
+
+// Key identifies one compilation in the shared cache: a digest of the
+// function's canonical (rename/minify-invariant) bytecode hash plus every
+// other compilation input — type feedback, observed-buggy pass set,
+// disabled passes, IR checking, and the policy's identity. Two engines
+// that would run the exact same pipeline over the exact same input
+// produce the same Key; anything that could change the artifact or the
+// JITBULL verdict changes it.
+type Key [32]byte
+
+// Cache is a process-wide, first-store-wins map from compilation inputs
+// to finished artifacts (compiled code plus the recorded policy verdict).
+// Values are opaque to the cache; the engine defines what it stores. A
+// nil *Cache is valid: every Get misses silently and every Put is
+// dropped, which is exactly the cache-off configuration.
+type Cache struct {
+	mu    sync.RWMutex
+	m     map[Key]any
+	bytes int64
+
+	mHits   *obs.Counter
+	mMisses *obs.Counter
+	mBytes  *obs.Gauge
+	mSize   *obs.Gauge
+}
+
+// NewCache builds an empty cache. reg, when non-nil, receives the
+// cache.{hits,misses,bytes,entries} metrics.
+func NewCache(reg *obs.Registry) *Cache {
+	return &Cache{
+		m:       make(map[Key]any),
+		mHits:   reg.Counter("cache.hits"),
+		mMisses: reg.Counter("cache.misses"),
+		mBytes:  reg.Gauge("cache.bytes"),
+		mSize:   reg.Gauge("cache.entries"),
+	}
+}
+
+// Get looks up a finished compilation and counts the hit or miss.
+func (c *Cache) Get(k Key) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.RLock()
+	v, ok := c.m[k]
+	c.mu.RUnlock()
+	if ok {
+		c.mHits.Inc()
+	} else {
+		c.mMisses.Inc()
+	}
+	return v, ok
+}
+
+// Put stores a finished compilation under k. The first store wins: when
+// two engines race to compile the same function the loser's artifact is
+// discarded, so every later Get observes one stable artifact+verdict.
+// size is the caller's estimate of the artifact's footprint in bytes,
+// accounted in cache.bytes.
+func (c *Cache) Put(k Key, v any, size int64) {
+	if c == nil || v == nil {
+		return
+	}
+	c.mu.Lock()
+	if _, exists := c.m[k]; exists {
+		c.mu.Unlock()
+		return
+	}
+	c.m[k] = v
+	c.bytes += size
+	n, b := len(c.m), c.bytes
+	c.mu.Unlock()
+	c.mSize.Set(int64(n))
+	c.mBytes.Set(b)
+}
+
+// Len returns the number of cached compilations.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// Bytes returns the accounted artifact footprint.
+func (c *Cache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.bytes
+}

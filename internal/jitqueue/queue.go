@@ -1,0 +1,219 @@
+// Package jitqueue is the off-thread tiered-compilation service: a
+// bounded background worker pool that engines enqueue Ion compilation
+// jobs onto (the function keeps executing in baseline until the artifact
+// lands), and a shared cross-engine compilation cache keyed by a
+// canonical, rename/minify-invariant digest of the function's bytecode
+// plus its compilation inputs. Both are engine-agnostic — jobs are opaque
+// closures and cache values opaque artifacts — so the package sits below
+// internal/engine with no upward dependency.
+//
+// Observability follows the repo-wide nil-is-off convention: construct
+// with a nil *obs.Registry and every metric handle degrades to the
+// nil-safe no-op.
+package jitqueue
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/jitbull/jitbull/internal/obs"
+)
+
+// Default queue sizing.
+const (
+	// DefaultCapacity bounds the number of queued-but-not-running jobs.
+	// Saturation is back-pressure: Submit returns false and the caller
+	// compiles synchronously, so a compile storm degrades to the old
+	// inline behavior instead of growing an unbounded backlog.
+	DefaultCapacity = 256
+)
+
+// Job is one unit of background work: a supervised compile attempt.
+type Job struct {
+	// Owner attributes the job ("engine@function") in panic records and
+	// diagnostics; the typed-error attribution itself lives inside Run
+	// (the engine's compilation supervisor).
+	Owner string
+	// Run executes the attempt. The engine's supervisor contains every
+	// expected panic; the queue adds a last-resort recovery so a worker
+	// never takes the pool down.
+	Run func()
+}
+
+// WorkerPanic records a panic that escaped a job's own containment.
+type WorkerPanic struct {
+	Owner string
+	Value any
+}
+
+// String renders the record for diagnostics.
+func (p WorkerPanic) String() string {
+	return fmt.Sprintf("queue worker panic in %s: %v", p.Owner, p.Value)
+}
+
+// Queue is a bounded background compilation pool. It is safe for
+// concurrent use by any number of engines; a nil *Queue is valid and
+// rejects every Submit (the synchronous-compilation fallback).
+type Queue struct {
+	jobs    chan Job
+	wg      sync.WaitGroup
+	workers int
+
+	depth atomic.Int64 // queued + running jobs
+	hwm   atomic.Int64 // high-water mark of depth
+
+	mu     sync.Mutex
+	closed bool
+	panics []WorkerPanic
+
+	mDepth    *obs.Gauge
+	mHWM      *obs.Gauge
+	mEnqueued *obs.Counter
+	mRejected *obs.Counter
+	mDone     *obs.Counter
+	mPanics   *obs.Counter
+}
+
+// New starts a pool of workers draining a queue of the given capacity.
+// workers <= 0 selects GOMAXPROCS; capacity <= 0 selects DefaultCapacity.
+// reg, when non-nil, receives the jit.queue_* metrics.
+func New(workers, capacity int, reg *obs.Registry) *Queue {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	q := &Queue{
+		jobs:      make(chan Job, capacity),
+		workers:   workers,
+		mDepth:    reg.Gauge("jit.queue_depth"),
+		mHWM:      reg.Gauge("jit.queue_depth_hwm"),
+		mEnqueued: reg.Counter("jit.queue_enqueued"),
+		mRejected: reg.Counter("jit.queue_rejected"),
+		mDone:     reg.Counter("jit.queue_jobs_done"),
+		mPanics:   reg.Counter("jit.queue_worker_panics"),
+	}
+	for i := 0; i < workers; i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q
+}
+
+// Workers returns the pool size.
+func (q *Queue) Workers() int {
+	if q == nil {
+		return 0
+	}
+	return q.workers
+}
+
+// Submit enqueues a job, reporting false when the queue is nil, closed,
+// or full (the caller should fall back to a synchronous compile).
+func (q *Queue) Submit(j Job) bool {
+	if q == nil || j.Run == nil {
+		return false
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	select {
+	case q.jobs <- j:
+		q.mu.Unlock()
+		d := q.depth.Add(1)
+		q.mDepth.Set(d)
+		for {
+			hwm := q.hwm.Load()
+			if d <= hwm {
+				break
+			}
+			if q.hwm.CompareAndSwap(hwm, d) {
+				q.mHWM.Set(d)
+				break
+			}
+		}
+		q.mEnqueued.Inc()
+		return true
+	default:
+		q.mu.Unlock()
+		q.mRejected.Inc()
+		return false
+	}
+}
+
+// worker drains jobs until the queue closes.
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for j := range q.jobs {
+		q.runOne(j)
+		q.mDepth.Set(q.depth.Add(-1))
+		q.mDone.Inc()
+	}
+}
+
+// runOne executes one job with last-resort panic containment: the engine's
+// supervisor recovers expected failures at the right stack depth, so
+// anything arriving here is recorded and attributed, never fatal to the
+// pool (the other engines' jobs must keep flowing).
+func (q *Queue) runOne(j Job) {
+	defer func() {
+		if r := recover(); r != nil {
+			q.mPanics.Inc()
+			q.mu.Lock()
+			q.panics = append(q.panics, WorkerPanic{Owner: j.Owner, Value: r})
+			q.mu.Unlock()
+		}
+	}()
+	j.Run()
+}
+
+// Panics returns a copy of every panic that escaped a job's containment.
+func (q *Queue) Panics() []WorkerPanic {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]WorkerPanic, len(q.panics))
+	copy(out, q.panics)
+	return out
+}
+
+// Depth returns the current queued+running job count.
+func (q *Queue) Depth() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.depth.Load()
+}
+
+// HighWater returns the depth high-water mark.
+func (q *Queue) HighWater() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.hwm.Load()
+}
+
+// Close stops accepting jobs, drains the backlog, and waits for the
+// workers to exit. Safe to call twice; safe on a nil queue.
+func (q *Queue) Close() {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		q.wg.Wait()
+		return
+	}
+	q.closed = true
+	close(q.jobs)
+	q.mu.Unlock()
+	q.wg.Wait()
+}

@@ -30,6 +30,7 @@ import (
 
 	"github.com/jitbull/jitbull/internal/core"
 	"github.com/jitbull/jitbull/internal/engine"
+	"github.com/jitbull/jitbull/internal/jitqueue"
 	"github.com/jitbull/jitbull/internal/obs"
 	"github.com/jitbull/jitbull/internal/octane"
 	"github.com/jitbull/jitbull/internal/passes"
@@ -96,6 +97,34 @@ type (
 	// Verdict classifies an audit event ("go", "disable-pass", "nojit", ...).
 	Verdict = obs.Verdict
 )
+
+// Off-thread compilation & shared-cache types (see internal/jitqueue):
+// wired through Config.Queue and Config.Cache. Both are optional and
+// concurrency-safe; a nil pointer means the feature is off and the engine
+// compiles inline exactly as before.
+type (
+	// Queue is a bounded background-compilation service shared by any
+	// number of engines. When it is saturated, enqueues fall back to
+	// inline compilation (back-pressure, never an unbounded backlog).
+	Queue = jitqueue.Queue
+	// CodeCache is a cross-engine compilation cache keyed by the
+	// canonical (rename/minify-invariant) bytecode hash plus every other
+	// compilation input; a hit returns the artifact together with the
+	// recorded JITBULL verdict, skipping the pipeline and DNA matching.
+	CodeCache = jitqueue.Cache
+)
+
+// NewQueue starts a compile queue with the given worker count and job
+// capacity (<= 0 select GOMAXPROCS workers / the default capacity). reg
+// may be nil; when set it receives the jit.queue_* metrics. Close the
+// queue when done.
+func NewQueue(workers, capacity int, reg *Registry) *Queue {
+	return jitqueue.New(workers, capacity, reg)
+}
+
+// NewCodeCache returns an empty shared compilation cache. reg may be nil;
+// when set it receives the cache.{hits,misses,bytes,entries} metrics.
+func NewCodeCache(reg *Registry) *CodeCache { return jitqueue.NewCache(reg) }
 
 // NewRing returns a trace ring buffer; capacity <= 0 uses the default (64k).
 func NewRing(capacity int) *Ring { return obs.NewRing(capacity) }
