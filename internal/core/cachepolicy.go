@@ -34,15 +34,18 @@ type verdictPayload struct {
 var _ engine.CachingPolicy = (*Detector)(nil)
 
 // PolicyCacheKey implements engine.CachingPolicy. The verdict depends on
-// the database's contents and the thresholds; database identity is by
-// pointer, which is exactly the sharing unit of a RunParallel fleet. A
+// the database's contents and the thresholds; database identity is its
+// Generation — the shared *Database of a RunParallel fleet reports one
+// stable value, while a different database, or the same one after an
+// Add/Remove, always reports a fresh one (a raw pointer would satisfy
+// neither: addresses are reused after GC and survive mutation). A
 // fail-safe database vetoes caching — its NoJIT-everything verdicts are
 // a degraded emergency mode, not knowledge worth publishing fleet-wide.
 func (d *Detector) PolicyCacheKey() (string, bool) {
 	if d.DB == nil || d.DB.FailSafe() {
 		return "", false
 	}
-	return fmt.Sprintf("core.Detector/%p/thr=%d/ratio=%g", d.DB, d.Thr, d.Ratio), true
+	return fmt.Sprintf("core.Detector/db=%d/thr=%d/ratio=%g", d.DB.Generation(), d.Thr, d.Ratio), true
 }
 
 // TakeVerdictPayload implements engine.CachingPolicy.

@@ -1,0 +1,61 @@
+package core
+
+// Tests for the verdict-cache identity: the policy cache key must follow
+// the database's *contents*, not its address — a recycled allocation or a
+// post-caching mutation must never let an old verdict be replayed against
+// a different database.
+
+import "testing"
+
+func TestDatabaseGenerationIdentity(t *testing.T) {
+	a, b := &Database{}, &Database{}
+	ga, gb := a.Generation(), b.Generation()
+	if ga == 0 || gb == 0 {
+		t.Fatal("generation 0 is reserved for unassigned")
+	}
+	if ga == gb {
+		t.Fatalf("distinct databases share generation %d", ga)
+	}
+	if a.Generation() != ga {
+		t.Error("generation not stable across calls")
+	}
+	a.Add(VDC{CVE: "CVE-TEST-1"})
+	ga2 := a.Generation()
+	if ga2 == ga {
+		t.Error("Add did not move the database to a fresh generation")
+	}
+	if ga2 == gb || ga2 == b.Generation() {
+		t.Error("mutated database collided with another database's generation")
+	}
+	a.Remove("CVE-TEST-1")
+	if a.Generation() == ga2 || a.Generation() == ga {
+		// Same contents as at ga, but verdicts cached in between must not
+		// resurrect: any mutation is a fresh generation.
+		t.Error("Remove did not move the database to a fresh generation")
+	}
+}
+
+func TestPolicyCacheKeyTracksDatabaseContents(t *testing.T) {
+	db := &Database{}
+	d := NewDetector(db)
+	k1, ok := d.PolicyCacheKey()
+	if !ok || k1 == "" {
+		t.Fatalf("healthy detector vetoed caching: %q %v", k1, ok)
+	}
+	if k2, _ := d.PolicyCacheKey(); k2 != k1 {
+		t.Errorf("key not stable: %q vs %q", k1, k2)
+	}
+	if other, _ := NewDetector(&Database{}).PolicyCacheKey(); other == k1 {
+		t.Errorf("detectors over distinct databases share key %q", k1)
+	}
+	db.Add(VDC{CVE: "CVE-TEST-2"})
+	if k3, _ := d.PolicyCacheKey(); k3 == k1 {
+		t.Errorf("key %q survived a database mutation", k1)
+	}
+	if _, ok := NewDetector(nil).PolicyCacheKey(); ok {
+		t.Error("nil database did not veto caching")
+	}
+	if _, ok := NewDetector(NewFailSafeDatabase()).PolicyCacheKey(); ok {
+		t.Error("fail-safe database did not veto caching")
+	}
+}

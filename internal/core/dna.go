@@ -14,6 +14,7 @@ package core
 import (
 	"encoding/json"
 	"sync"
+	"sync/atomic"
 )
 
 // Default comparator settings from §IV-E of the paper: at least Thr
@@ -111,6 +112,30 @@ type Database struct {
 	// index was pruned for and invalidated wholesale on any mutation.
 	mu      sync.Mutex
 	indexes map[int]*MatchIndex
+
+	// gen identifies this database's current contents for cross-engine
+	// verdict caching: process-unique, assigned lazily on first use and
+	// re-assigned on every mutation. See Generation.
+	gen atomic.Uint64
+}
+
+// dbGen is the process-wide generation allocator; 0 is reserved for
+// "not yet assigned".
+var dbGen atomic.Uint64
+
+// Generation returns a process-unique identifier of this database
+// instance and its current contents. Unlike the raw pointer, a generation
+// is never reused: a different database — or this database after an
+// Add/Remove — always reports a different value, so a verdict cached
+// against an earlier database can never be replayed against a later one.
+// Safe for concurrent use by fully built (no longer mutating) databases.
+func (db *Database) Generation() uint64 {
+	for {
+		if g := db.gen.Load(); g != 0 {
+			return g
+		}
+		db.gen.CompareAndSwap(0, dbGen.Add(1))
+	}
 }
 
 // NewFailSafeDatabase returns the database substituted when the real one
@@ -123,11 +148,14 @@ func NewFailSafeDatabase() *Database { return &Database{failSafe: true} }
 // FailSafe reports whether this is a fail-safe stand-in database.
 func (db *Database) FailSafe() bool { return db.failSafe }
 
-// mutated invalidates the compiled-index cache.
+// mutated invalidates the compiled-index cache and moves the database to
+// a fresh generation, invalidating any cached verdicts keyed to the old
+// contents.
 func (db *Database) mutated() {
 	db.mu.Lock()
 	db.indexes = nil
 	db.mu.Unlock()
+	db.gen.Store(dbGen.Add(1))
 }
 
 // Add installs (or replaces) the fingerprint for a CVE.

@@ -27,6 +27,7 @@ package engine
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"runtime"
 	"sort"
 
@@ -58,6 +59,12 @@ type CachingPolicy interface {
 	// Decide would — and returns the decision.
 	ReplayVerdict(fnName string, payload any) CompileDecision
 }
+
+// errEscapedPanic marks an outcome fabricated because a panic unwound a
+// background compile job past the supervisor's recovery: the owner treats
+// it like any other contained panic (quarantine with backoff) instead of
+// leaving the function inflight forever.
+var errEscapedPanic = errors.New("panic escaped the background compile job")
 
 // compileRequest is the immutable snapshot of one compilation's inputs,
 // captured on the owner goroutine at trigger time. Workers read it; nobody
@@ -278,16 +285,28 @@ func (e *Engine) enqueueCompile(st *fnState, req *compileRequest) bool {
 		Owner: req.fnName,
 		Run: func() {
 			defer e.inflight.Done()
+			// Park whatever outcome exists when the closure unwinds — the
+			// placeholder failure if a panic escapes compileAttempt's
+			// recovery (cache put, tracer, a hook) — so the owner always has
+			// an applyable outcome and the function is never wedged with
+			// st.inflight set forever. The panic itself still propagates to
+			// the queue's last-resort recorder.
+			o := &compileOutcome{req: req, cerr: &CompileError{
+				Func: req.fnName, Stage: StageQueue, Err: errEscapedPanic, Panicked: true,
+			}}
+			defer func() { st.pending.Store(o) }()
 			req.waitSpan.End(obs.S("fn", req.fnName))
+			if e.testQueueJobHook != nil {
+				e.testQueueJobHook()
+			}
 			sp := e.tracer.Begin(obs.CatCompile, "compile")
-			o := e.compileAttempt(req)
+			o = e.compileAttempt(req)
 			e.maybeCachePut(o)
 			if o.cerr != nil {
 				sp.End(obs.S("fn", req.fnName), obs.S("result", "fail"), obs.S("stage", o.cerr.Stage), obs.S("source", "queue"))
 			} else {
 				sp.End(obs.S("fn", req.fnName), obs.S("result", "ok"), obs.S("source", "queue"))
 			}
-			st.pending.Store(o)
 		},
 	})
 	if !ok {
@@ -345,7 +364,13 @@ func (e *Engine) outcomeFromCache(req *compileRequest, cc *cachedCompile) *compi
 		grew:        cc.grew,
 	}
 	if cp, ok := e.policy.(CachingPolicy); ok && cc.payload != nil {
+		// Replay mutates the policy's match accounting (Detector.seen /
+		// Matches / audit), and a queued compile of another function may
+		// concurrently be inside BeginCompile/Decide on a worker — so the
+		// replay takes compileMu like every other policy touch.
+		e.compileMu.Lock()
 		cp.ReplayVerdict(req.fnName, cc.payload)
+		e.compileMu.Unlock()
 	}
 	if len(cc.disabled) > 0 {
 		m := make(map[string]bool, len(cc.disabled))

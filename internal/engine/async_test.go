@@ -6,8 +6,10 @@ package engine
 // accounting. See also supervisor_test.go for quarantine × async.
 
 import (
+	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/jitbull/jitbull/internal/jitqueue"
 	"github.com/jitbull/jitbull/internal/obs"
@@ -244,6 +246,189 @@ type plainPolicy struct{}
 func (plainPolicy) Active() bool { return true }
 func (plainPolicy) BeginCompile(string) (passes.Observer, func() CompileDecision) {
 	return nil, func() CompileDecision { return CompileDecision{} }
+}
+
+// twoFnSrc declares two independently-hot JIT-able functions so a driver
+// can put one into the shared cache while the other compiles.
+const twoFnSrc = `
+function fa(x) {
+  var s = 0;
+  for (var i = 0; i < 10; i++) { s = s + x + i; }
+  return s;
+}
+function fb(x) {
+  var s = 0;
+  for (var i = 0; i < 10; i++) { s = s + x * 2 + i; }
+  return s;
+}
+`
+
+// accountingPolicy is a CachingPolicy that, like core.Detector, mutates
+// unsynchronized per-policy state (a map) both when a live Decide
+// finishes and when a verdict is replayed from the cache — the state the
+// engine's compileMu must serialize.
+type accountingPolicy struct {
+	seen          map[string]int
+	decideStarted chan struct{}
+	decideSpin    int // map writes the finish closure performs
+}
+
+func (p *accountingPolicy) Active() bool { return true }
+
+func (p *accountingPolicy) BeginCompile(fn string) (passes.Observer, func() CompileDecision) {
+	return nil, func() CompileDecision {
+		if p.decideStarted != nil {
+			close(p.decideStarted)
+			p.decideStarted = nil
+		}
+		for i := 0; i < p.decideSpin; i++ {
+			p.seen[fn]++
+			time.Sleep(50 * time.Microsecond)
+		}
+		p.seen[fn]++
+		return CompileDecision{}
+	}
+}
+
+func (p *accountingPolicy) PolicyCacheKey() (string, bool) { return "accounting", true }
+
+func (p *accountingPolicy) TakeVerdictPayload() any { return &CompileDecision{} }
+
+func (p *accountingPolicy) ReplayVerdict(fn string, payload any) CompileDecision {
+	p.seen[fn]++
+	return *payload.(*CompileDecision)
+}
+
+// TestCacheHitReplaySerializedWithQueuedCompile is the -race regression
+// for the queue+cache mode: while a background worker is inside a queued
+// compile's policy Decide for one function, a cache hit for another
+// function on the owner goroutine must not replay its verdict into the
+// same policy concurrently — ReplayVerdict takes compileMu like every
+// other policy touch.
+func TestCacheHitReplaySerializedWithQueuedCompile(t *testing.T) {
+	cache := jitqueue.NewCache(nil)
+
+	// Warm fb's cache entry (with its verdict payload) synchronously.
+	cold, err := New(twoFnSrc, Config{IonThreshold: 3, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold.SetPolicy(&accountingPolicy{seen: map[string]int{}})
+	callN(t, cold, "fb", 10)
+	if cache.Len() != 1 {
+		t.Fatalf("warmup cached %d entries, want 1", cache.Len())
+	}
+
+	// The racing engine: fa's compile is queued and held inside Decide by
+	// the spinning finish closure while the owner triggers fb's cache hit.
+	q := jitqueue.New(1, 8, nil)
+	defer q.Close()
+	started := make(chan struct{})
+	pol := &accountingPolicy{seen: map[string]int{}, decideStarted: started, decideSpin: 400}
+	e, err := New(twoFnSrc, Config{IonThreshold: 3, Queue: q, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetPolicy(pol)
+	callN(t, e, "fa", 3) // trigger: enqueued, worker enters Decide
+	<-started
+	callN(t, e, "fb", 3) // trigger: cache hit → ReplayVerdict mid-Decide
+	e.Drain()
+
+	if s := e.Stats(); s.CacheHits != 1 || s.AsyncCompiles != 1 {
+		t.Fatalf("fixture did not race a hit against a queued compile: %+v", s)
+	}
+	if pol.seen["fb"] == 0 {
+		t.Error("cache hit never replayed into the policy accounting")
+	}
+	if st := e.fn(t, "fb"); st.code == nil || st.tier != tierIon {
+		t.Error("cache hit did not install fb")
+	}
+}
+
+// callN drives the named function by hand n times on the owner goroutine
+// (no Drain — callers control when outcomes install).
+func callN(t *testing.T, e *Engine, name string, n int) {
+	t.Helper()
+	idx := -1
+	for i, st := range e.fns {
+		if st.fn.Name == name {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		t.Fatalf("no function %q", name)
+	}
+	args := []value.Value{value.Num(1)}
+	for i := 0; i < n; i++ {
+		if _, err := e.CallFunction(idx, args); err != nil {
+			t.Fatalf("%s call %d: %v", name, i, err)
+		}
+	}
+}
+
+// TestEscapedJobPanicStillProducesOutcome: a panic that unwinds a
+// background job past compileAttempt's recovery must still park a typed
+// failure outcome — quarantining with the normal backoff schedule and
+// leaving the function retryable — instead of wedging it inflight
+// forever in baseline tier.
+func TestEscapedJobPanicStillProducesOutcome(t *testing.T) {
+	q := jitqueue.New(1, 8, nil)
+	defer q.Close()
+	var got []error
+	e, err := New(hotSrc, Config{
+		IonThreshold:        5,
+		QuarantineBackoff:   4,
+		QuarantineCleanRuns: 2,
+		Queue:               q,
+		OnCompileError:      func(fn string, err error) { got = append(got, err) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	e.testQueueJobHook = func() {
+		if !fired {
+			fired = true
+			panic("escaped: outside the supervisor's recovery")
+		}
+	}
+	args := []value.Value{value.Num(1)}
+	idx := -1
+	for i, st := range e.fns {
+		if st.fn.Name == "hot" {
+			idx = i
+		}
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := e.CallFunction(idx, args); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		e.Drain()
+	}
+
+	if len(q.Panics()) != 1 {
+		t.Fatalf("pool recorded %d escaped panics, want 1", len(q.Panics()))
+	}
+	var cerr *CompileError
+	if len(got) == 0 || !errors.As(got[0], &cerr) {
+		t.Fatalf("escaped panic never surfaced as a CompileError: %v", got)
+	}
+	if cerr.Stage != StageQueue || !cerr.Panicked || !errors.Is(cerr, errEscapedPanic) {
+		t.Errorf("typing wrong: %+v", cerr)
+	}
+	// The fabricated outcome follows failCompile semantics: one quarantine
+	// round-trip, then the retry (hook fires once) compiles and requalifies.
+	if s := e.Stats(); s.Quarantined != 1 || s.Requalified != 1 || s.NrJIT != 1 || s.CompilePanics != 1 {
+		t.Errorf("recovery accounting: %+v", s)
+	}
+	st := e.fn(t, "hot")
+	if st.inflight {
+		t.Error("function wedged inflight after the escaped panic")
+	}
+	if st.quar != qNone || st.code == nil || st.tier != tierIon {
+		t.Errorf("state after requalification: quar=%d code=%v tier=%d", st.quar, st.code != nil, st.tier)
+	}
 }
 
 // TestEngineConcurrencyContract is the -race enforcement of the Engine

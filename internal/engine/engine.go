@@ -294,6 +294,11 @@ type Engine struct {
 	tracer   *obs.Tracer
 	audit    *obs.AuditLog
 	hijacked *HijackError
+
+	// testQueueJobHook, when set (tests only), runs inside a background
+	// compile job outside the supervisor's recovery — the seam for proving
+	// an escaped panic still yields an applyable outcome.
+	testQueueJobHook func()
 }
 
 var _ interp.Dispatcher = (*Engine)(nil)

@@ -15,31 +15,62 @@ import (
 // JITBULL verdict changes it.
 type Key [32]byte
 
+// DefaultCacheMaxBytes caps the cache's accounted artifact footprint so a
+// long-running fleet compiling an unbounded stream of distinct
+// (function, type-feedback) combinations cannot grow memory without
+// limit. Artifacts are small (tens of bytes to a few KiB of accounted
+// size), so the default holds far more distinct compilations than any
+// realistic working set.
+const DefaultCacheMaxBytes = 64 << 20
+
+// entry is one cached compilation plus the size the caller accounted it
+// at (needed to keep cache.bytes exact across eviction).
+type entry struct {
+	v    any
+	size int64
+}
+
 // Cache is a process-wide, first-store-wins map from compilation inputs
 // to finished artifacts (compiled code plus the recorded policy verdict).
-// Values are opaque to the cache; the engine defines what it stores. A
-// nil *Cache is valid: every Get misses silently and every Put is
-// dropped, which is exactly the cache-off configuration.
+// Values are opaque to the cache; the engine defines what it stores. The
+// accounted footprint is bounded: once a Put would push cache.bytes past
+// the configured maximum, arbitrary entries are evicted to make room
+// (entries are independent, immutable compilations — any victim is as
+// good as any other, and an evicted key is simply recompiled on its next
+// miss). A nil *Cache is valid: every Get misses silently and every Put
+// is dropped, which is exactly the cache-off configuration.
 type Cache struct {
-	mu    sync.RWMutex
-	m     map[Key]any
-	bytes int64
+	mu       sync.RWMutex
+	m        map[Key]entry
+	bytes    int64
+	maxBytes int64 // <= 0 means unbounded
 
 	mHits   *obs.Counter
 	mMisses *obs.Counter
+	mEvict  *obs.Counter
 	mBytes  *obs.Gauge
 	mSize   *obs.Gauge
 }
 
-// NewCache builds an empty cache. reg, when non-nil, receives the
-// cache.{hits,misses,bytes,entries} metrics.
+// NewCache builds an empty cache bounded at DefaultCacheMaxBytes. reg,
+// when non-nil, receives the cache.{hits,misses,evictions,bytes,entries}
+// metrics.
 func NewCache(reg *obs.Registry) *Cache {
+	return NewCacheLimited(reg, DefaultCacheMaxBytes)
+}
+
+// NewCacheLimited builds an empty cache whose accounted footprint is
+// capped at maxBytes; maxBytes <= 0 removes the bound (the caller owns
+// the unbounded-growth consequences).
+func NewCacheLimited(reg *obs.Registry, maxBytes int64) *Cache {
 	return &Cache{
-		m:       make(map[Key]any),
-		mHits:   reg.Counter("cache.hits"),
-		mMisses: reg.Counter("cache.misses"),
-		mBytes:  reg.Gauge("cache.bytes"),
-		mSize:   reg.Gauge("cache.entries"),
+		m:        make(map[Key]entry),
+		maxBytes: maxBytes,
+		mHits:    reg.Counter("cache.hits"),
+		mMisses:  reg.Counter("cache.misses"),
+		mEvict:   reg.Counter("cache.evictions"),
+		mBytes:   reg.Gauge("cache.bytes"),
+		mSize:    reg.Gauge("cache.entries"),
 	}
 }
 
@@ -49,23 +80,28 @@ func (c *Cache) Get(k Key) (any, bool) {
 		return nil, false
 	}
 	c.mu.RLock()
-	v, ok := c.m[k]
+	e, ok := c.m[k]
 	c.mu.RUnlock()
 	if ok {
 		c.mHits.Inc()
 	} else {
 		c.mMisses.Inc()
 	}
-	return v, ok
+	return e.v, ok
 }
 
 // Put stores a finished compilation under k. The first store wins: when
 // two engines race to compile the same function the loser's artifact is
 // discarded, so every later Get observes one stable artifact+verdict.
 // size is the caller's estimate of the artifact's footprint in bytes,
-// accounted in cache.bytes.
+// accounted in cache.bytes; when the store would exceed the cache's
+// maximum, arbitrary existing entries are evicted first, and an entry
+// larger than the whole bound is dropped outright.
 func (c *Cache) Put(k Key, v any, size int64) {
 	if c == nil || v == nil {
+		return
+	}
+	if c.maxBytes > 0 && size > c.maxBytes {
 		return
 	}
 	c.mu.Lock()
@@ -73,10 +109,24 @@ func (c *Cache) Put(k Key, v any, size int64) {
 		c.mu.Unlock()
 		return
 	}
-	c.m[k] = v
+	evicted := int64(0)
+	if c.maxBytes > 0 {
+		for key, e := range c.m {
+			if c.bytes+size <= c.maxBytes {
+				break
+			}
+			delete(c.m, key)
+			c.bytes -= e.size
+			evicted++
+		}
+	}
+	c.m[k] = entry{v: v, size: size}
 	c.bytes += size
 	n, b := len(c.m), c.bytes
 	c.mu.Unlock()
+	if evicted > 0 {
+		c.mEvict.Add(evicted)
+	}
 	c.mSize.Set(int64(n))
 	c.mBytes.Set(b)
 }

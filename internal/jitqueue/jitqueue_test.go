@@ -153,6 +153,69 @@ func TestCacheMetrics(t *testing.T) {
 	}
 }
 
+func TestQueueDepthNeverNegative(t *testing.T) {
+	// Submit increments depth before the channel send, so a fast worker
+	// finishing the job can never drive the gauge below zero.
+	q := New(4, 16, nil)
+	stop := make(chan struct{})
+	var poller sync.WaitGroup
+	poller.Add(1)
+	go func() {
+		defer poller.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if d := q.Depth(); d < 0 {
+				t.Errorf("depth went negative: %d", d)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		q.Submit(Job{Owner: "t", Run: func() {}}) // rejections under load are fine
+	}
+	q.Close()
+	close(stop)
+	poller.Wait()
+	if d := q.Depth(); d != 0 {
+		t.Fatalf("depth %d after drain, want 0", d)
+	}
+}
+
+func TestCacheEvictionBound(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCacheLimited(reg, 100)
+	for i := 0; i < 6; i++ {
+		c.Put(Key{byte(i)}, i, 30)
+		if b := c.Bytes(); b > 100 {
+			t.Fatalf("bytes %d exceeded the 100-byte bound after put %d", b, i)
+		}
+	}
+	if c.Len() > 3 {
+		t.Errorf("Len = %d, want <= 3 (3 × 30 bytes fit under 100)", c.Len())
+	}
+	if got := reg.Counter("cache.evictions").Value(); got == 0 {
+		t.Error("no evictions counted despite exceeding the bound")
+	}
+	// An entry larger than the whole bound is dropped outright.
+	before := c.Len()
+	c.Put(Key{99}, "huge", 200)
+	if _, ok := c.Get(Key{99}); ok || c.Len() != before {
+		t.Error("oversized entry was stored")
+	}
+	// An unbounded cache (maxBytes <= 0) never evicts.
+	u := NewCacheLimited(nil, 0)
+	for i := 0; i < 100; i++ {
+		u.Put(Key{byte(i)}, i, 1 << 20)
+	}
+	if u.Len() != 100 {
+		t.Errorf("unbounded cache evicted: Len = %d, want 100", u.Len())
+	}
+}
+
 func TestCacheConcurrent(t *testing.T) {
 	c := NewCache(nil)
 	var wg sync.WaitGroup

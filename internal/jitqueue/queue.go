@@ -122,10 +122,16 @@ func (q *Queue) Submit(j Job) bool {
 		q.mu.Unlock()
 		return false
 	}
+	// depth is incremented before the send: a worker can only decrement
+	// after it received the job, i.e. after this increment, so the gauge is
+	// never observed negative. (The rejection path below backs the
+	// increment out, so concurrent rejected submits can transiently
+	// overcount depth by their number — a bounded, short-lived skew in the
+	// harmless direction.)
+	d := q.depth.Add(1)
 	select {
 	case q.jobs <- j:
 		q.mu.Unlock()
-		d := q.depth.Add(1)
 		q.mDepth.Set(d)
 		for {
 			hwm := q.hwm.Load()
@@ -140,6 +146,7 @@ func (q *Queue) Submit(j Job) bool {
 		q.mEnqueued.Inc()
 		return true
 	default:
+		q.depth.Add(-1)
 		q.mu.Unlock()
 		q.mRejected.Inc()
 		return false

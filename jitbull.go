@@ -122,9 +122,17 @@ func NewQueue(workers, capacity int, reg *Registry) *Queue {
 	return jitqueue.New(workers, capacity, reg)
 }
 
-// NewCodeCache returns an empty shared compilation cache. reg may be nil;
-// when set it receives the cache.{hits,misses,bytes,entries} metrics.
+// NewCodeCache returns an empty shared compilation cache bounded at
+// jitqueue.DefaultCacheMaxBytes of accounted artifact footprint (arbitrary
+// entries are evicted to stay under the bound). reg may be nil; when set
+// it receives the cache.{hits,misses,evictions,bytes,entries} metrics.
 func NewCodeCache(reg *Registry) *CodeCache { return jitqueue.NewCache(reg) }
+
+// NewCodeCacheLimited is NewCodeCache with an explicit footprint bound in
+// bytes; maxBytes <= 0 removes the bound.
+func NewCodeCacheLimited(reg *Registry, maxBytes int64) *CodeCache {
+	return jitqueue.NewCacheLimited(reg, maxBytes)
+}
 
 // NewRing returns a trace ring buffer; capacity <= 0 uses the default (64k).
 func NewRing(capacity int) *Ring { return obs.NewRing(capacity) }
