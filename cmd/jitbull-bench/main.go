@@ -25,28 +25,30 @@ import (
 
 func main() {
 	var (
-		table1   = flag.Bool("table1", false, "print the Table I vulnerability survey")
-		table2   = flag.Bool("table2", false, "print the execution environment (Table II)")
-		window   = flag.Bool("window", false, "print the vulnerability-window analysis (§III-C/§VI-D)")
-		security = flag.Bool("security", false, "run the §VI-B security matrix")
-		fig4     = flag.Bool("fig4", false, "run the Figure 4 false-positive experiment")
-		fig5     = flag.Bool("fig5", false, "run the Figure 5 execution-time experiment")
-		fig6     = flag.Bool("fig6", false, "run the Figure 6 scalability experiment")
-		ablation = flag.Bool("ablation", false, "sweep the comparator's Thr/Ratio settings")
-		coreB    = flag.Bool("core", false, "run the core hot-path micro-benchmarks")
-		obsB     = flag.Bool("obs", false, "run the observability micro-benchmarks")
-		jitqB    = flag.Bool("jitqueue", false, "run the off-thread-compilation / shared-cache benchmark with its regression gates")
-		benchout = flag.String("benchout", "BENCH_core.json", "output file for -core results")
-		obsout   = flag.String("obsout", "BENCH_obs.json", "output file for -obs results")
-		jitqout  = flag.String("jitqueueout", "BENCH_jitqueue.json", "output file for -jitqueue results")
-		corebase = flag.String("corebase", "BENCH_core.json", "recorded core baseline the -obs regression gate compares against ('' disables the gate)")
-		scale    = flag.Int("scale", 4, "benchmark iteration scale for timing experiments")
-		repeats  = flag.Int("repeats", 3, "timing repetitions (minimum reported)")
-		thr      = flag.Int("threshold", 100, "Ion compilation threshold for benchmark runs")
-		workers  = flag.Int("workers", 1, "worker pool size for corpus experiments (0 = GOMAXPROCS)")
+		table1    = flag.Bool("table1", false, "print the Table I vulnerability survey")
+		table2    = flag.Bool("table2", false, "print the execution environment (Table II)")
+		window    = flag.Bool("window", false, "print the vulnerability-window analysis (§III-C/§VI-D)")
+		security  = flag.Bool("security", false, "run the §VI-B security matrix")
+		fig4      = flag.Bool("fig4", false, "run the Figure 4 false-positive experiment")
+		fig5      = flag.Bool("fig5", false, "run the Figure 5 execution-time experiment")
+		fig6      = flag.Bool("fig6", false, "run the Figure 6 scalability experiment")
+		ablation  = flag.Bool("ablation", false, "sweep the comparator's Thr/Ratio settings")
+		coreB     = flag.Bool("core", false, "run the core hot-path micro-benchmarks")
+		obsB      = flag.Bool("obs", false, "run the observability micro-benchmarks")
+		jitqB     = flag.Bool("jitqueue", false, "run the off-thread-compilation / shared-cache benchmark with its regression gates")
+		nativeB   = flag.Bool("native", false, "run the superinstruction-tier benchmark with its regression gates")
+		benchout  = flag.String("benchout", "BENCH_core.json", "output file for -core results")
+		obsout    = flag.String("obsout", "BENCH_obs.json", "output file for -obs results")
+		jitqout   = flag.String("jitqueueout", "BENCH_jitqueue.json", "output file for -jitqueue results")
+		nativeout = flag.String("nativeout", "BENCH_native.json", "output file for -native results")
+		corebase  = flag.String("corebase", "BENCH_core.json", "recorded core baseline the -obs regression gate compares against ('' disables the gate)")
+		scale     = flag.Int("scale", 4, "benchmark iteration scale for timing experiments")
+		repeats   = flag.Int("repeats", 3, "timing repetitions (minimum reported)")
+		thr       = flag.Int("threshold", 100, "Ion compilation threshold for benchmark runs")
+		workers   = flag.Int("workers", 1, "worker pool size for corpus experiments (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	all := !(*table1 || *table2 || *window || *security || *fig4 || *fig5 || *fig6 || *ablation || *coreB || *obsB || *jitqB)
+	all := !(*table1 || *table2 || *window || *security || *fig4 || *fig5 || *fig6 || *ablation || *coreB || *obsB || *jitqB || *nativeB)
 	cfg := experiments.Config{IonThreshold: *thr, Repeats: *repeats, Scale: *scale, Workers: *workers}
 
 	if err := run(all, *table1, *table2, *window, *security, *fig4, *fig5, *fig6, *ablation, cfg); err != nil {
@@ -71,6 +73,57 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *nativeB {
+		if err := runNative(*nativeout, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "jitbull-bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// nativeGateSpeedup is the -native regression gate: the fused dispatch
+// loop must beat the unfused reference by this geomean factor on the
+// octane-analogue kernel corpus, measured at the native.Exec boundary.
+// (Whole-engine wall clock is reported alongside but not gated: it is
+// dominated by hook calls and interpreter warm-up, which fusion must not
+// change.)
+const nativeGateSpeedup = 1.5
+
+// runNative runs the superinstruction-tier benchmark, writes
+// BENCH_native.json, and enforces its gates: kernel geomean
+// fused-vs-unfused speedup >= 1.5x, bit-identical behavior (value, result
+// global, output, VM steps, policy verdicts) on every engine-level
+// benchmark and every kernel, and a divergence-free generated-program
+// sweep.
+func runNative(path string, cfg experiments.Config) error {
+	rep, err := experiments.NativeBench(cfg)
+	if err != nil {
+		return fmt.Errorf("native bench: %w", err)
+	}
+	fmt.Print(experiments.RenderNative(rep))
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	if !rep.Identical {
+		return fmt.Errorf("native gate: fused/unfused behavior diverged: %s", rep.Mismatch)
+	}
+	if rep.SweepDiverged > 0 {
+		return fmt.Errorf("native gate: %d/%d generated programs diverged (%s)",
+			rep.SweepDiverged, rep.SweepPrograms, rep.SweepFirstDiver)
+	}
+	if rep.KernelMismatch != "" {
+		return fmt.Errorf("native gate: kernel behavior diverged: %s", rep.KernelMismatch)
+	}
+	if rep.KernelGeomean < nativeGateSpeedup {
+		return fmt.Errorf("native gate: kernel geomean fused speedup %.2fx below the %.1fx budget",
+			rep.KernelGeomean, nativeGateSpeedup)
+	}
+	return nil
 }
 
 // runJitQueue runs the off-thread-compilation / shared-cache benchmark,

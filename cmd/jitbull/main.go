@@ -56,7 +56,7 @@ func run(args []string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  jitbull run [-nojit] [-threshold N] [-bugs CVE,...] [-db file] [-stats]
+  jitbull run [-nojit] [-nofuse] [-threshold N] [-bugs CVE,...] [-db file] [-stats]
               [-async [-jit-workers N]] [-cache]
               [-trace file] [-audit file] [-metrics] [-metrics-addr addr]
               [-octane name [-scale N]] [script.js]
@@ -90,6 +90,7 @@ func parseBugs(list string) jitbull.BugSet {
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	noJIT := fs.Bool("nojit", false, "disable the JIT (interpreter only)")
+	noFuse := fs.Bool("nofuse", false, "disable superinstruction fusion: Ion runs on the unfused per-op native tier")
 	threshold := fs.Int("threshold", 0, "Ion compilation threshold (default 1500)")
 	bugsFlag := fs.String("bugs", "", "comma-separated CVE ids of injected bugs to activate")
 	dbPath := fs.String("db", "", "VDC DNA database to protect with")
@@ -129,6 +130,7 @@ func cmdRun(args []string) error {
 
 	cfg := jitbull.Config{
 		DisableJIT:   *noJIT,
+		NoFuse:       *noFuse,
 		IonThreshold: *threshold,
 		Bugs:         parseBugs(*bugsFlag),
 		Out:          os.Stdout,
@@ -197,6 +199,11 @@ func cmdRun(args []string) error {
 	}
 	if *stats {
 		fmt.Fprintf(os.Stderr, "stats: %+v\n", eng.Stats())
+		sink := eng.MetricsSink()
+		fmt.Fprintf(os.Stderr, "native tier: fused_ops=%d fuse_supers=%d block_budget_checks=%d\n",
+			sink.Counter("native.fused_ops").Value(),
+			sink.Counter("native.fuse_supers").Value(),
+			sink.Counter("native.block_budget_checks").Value())
 		if jitReg != nil {
 			fmt.Fprintf(os.Stderr, "jit queue/cache: cache.hits=%d cache.misses=%d jit.queue_depth_hwm=%d jit.queue_enqueued=%d\n",
 				jitReg.Counter("cache.hits").Value(), jitReg.Counter("cache.misses").Value(),

@@ -46,6 +46,11 @@ type ChaosOptions struct {
 	// Chrome trace_event JSON file per failure into the directory; the
 	// file's path is recorded in ChaosFailure.TracePath.
 	TraceDir string
+	// Points restricts the fault schedules to the given injection points
+	// (default: every compile-pipeline point). A single-point campaign
+	// concentrates the whole fault budget on one stage — how new pipeline
+	// stages earn their chaos coverage.
+	Points []faults.Point
 }
 
 func (o ChaosOptions) withDefaults() ChaosOptions {
@@ -63,6 +68,9 @@ func (o ChaosOptions) withDefaults() ChaosOptions {
 	}
 	if o.MaxSteps <= 0 {
 		o.MaxSteps = 200_000_000
+	}
+	if len(o.Points) == 0 {
+		o.Points = faults.CompilePoints()
 	}
 	return o
 }
@@ -121,7 +129,7 @@ func Chaos(o ChaosOptions) ChaosResult {
 	for i := 0; i < o.Runs; i++ {
 		seed := o.Seed + int64(i)
 		src := progen.Generate(seed, progen.Options{})
-		plan := faults.RandomPlan(seed, o.MaxRules, faults.CompilePoints())
+		plan := faults.RandomPlan(seed, o.MaxRules, o.Points)
 		fired, fail := chaosOne(seed, src, plan, o)
 		res.Runs++
 		res.FaultsFired += fired

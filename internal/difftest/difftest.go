@@ -98,6 +98,14 @@ type Options struct {
 	// *when* a function tiers, never what it computes or which verdict it
 	// gets, so all cells must stay at zero divergence.
 	Async bool
+	// Fusion adds the superinstruction-tier contrast cells. Fusion is on by
+	// default, so the plain jit cells already execute fused code; these
+	// cells run with NoFuse set — jit+nofuse, jit+nofuse+jitbull (with
+	// JITBULL), and jit+nofuse+cached (with Async, sharing the cached
+	// cells' cache so the NoFuse cache-key byte is what keeps fused and
+	// unfused artifacts apart). Fusion changes dispatch, never semantics,
+	// so every cell must stay at zero divergence.
+	Fusion bool
 }
 
 func (o Options) withDefaults() Options {
@@ -189,13 +197,15 @@ func Matrix(o Options) []Config {
 			Config{Name: "jit+minified", Engine: base, Transform: variants.Minify, LossyNames: true},
 		)
 	}
+	// One cache per Matrix call, shared across every cached cell and —
+	// when the matrix is reused over many programs — across programs,
+	// which is precisely the cross-program key-soundness the canonical
+	// hash must guarantee. Policy/policy-free and fused/unfused entries
+	// never collide: the key covers the policy's cache key and the NoFuse
+	// configuration byte.
+	var cache *jitqueue.Cache
 	if o.Async {
-		// One cache per Matrix call, shared across the cached cells and —
-		// when the matrix is reused over many programs — across programs,
-		// which is precisely the cross-program key-soundness the canonical
-		// hash must guarantee. Policy and policy-free entries never collide:
-		// the key covers the policy's cache key.
-		cache := jitqueue.NewCache(nil)
+		cache = jitqueue.NewCache(nil)
 		async := base
 		async.Queue = sharedQueue()
 		cfgs = append(cfgs, Config{Name: "jit+async", Engine: async})
@@ -210,6 +220,19 @@ func Matrix(o Options) []Config {
 				Config{Name: "jit+jitbull+async", Engine: async, Policy: jitbullPolicy},
 				Config{Name: "jit+jitbull+cached", Engine: cached, Policy: jitbullPolicy, Prewarm: true},
 			)
+		}
+	}
+	if o.Fusion {
+		nofuse := base
+		nofuse.NoFuse = true
+		cfgs = append(cfgs, Config{Name: "jit+nofuse", Engine: nofuse})
+		if o.JITBULL {
+			cfgs = append(cfgs, Config{Name: "jit+nofuse+jitbull", Engine: nofuse, Policy: jitbullPolicy})
+		}
+		if cache != nil {
+			nfCached := nofuse
+			nfCached.Cache = cache
+			cfgs = append(cfgs, Config{Name: "jit+nofuse+cached", Engine: nfCached, Prewarm: true})
 		}
 	}
 	return cfgs

@@ -245,6 +245,14 @@ func (e *Engine) cacheKey(st *fnState, params, gtypes, rets []value.Type, disabl
 	} else {
 		h.Write([]byte{0})
 	}
+	// Fused and unfused artifacts execute identically, but the cached
+	// *lir.Code carries its fused form by pointer — keep the tiers'
+	// artifacts distinct so a NoFuse engine never installs a fused one.
+	if e.cfg.NoFuse {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
 	ws(pkey)
 	var k jitqueue.Key
 	h.Sum(k[:0])

@@ -115,6 +115,12 @@ type Config struct {
 	// Tests use it to inject deliberately broken passes and prove the
 	// supervisor attributes them.
 	Passes []passes.Pass
+	// NoFuse disables the superinstruction fusion stage: Ion artifacts are
+	// executed by the monolithic switch loop instead of the fused
+	// direct-threaded backend. Semantics are identical either way (the
+	// difftest matrix pins it); this is the escape hatch and the baseline
+	// side of the native-tier benchmark.
+	NoFuse bool
 
 	// Tracer, when set, records the compile lifecycle as structured span
 	// events: warmup trigger, mirbuild, every optimization pass (with
@@ -295,6 +301,11 @@ type Engine struct {
 	audit    *obs.AuditLog
 	hijacked *HijackError
 
+	// blockChecks mirrors the fused executor's amortized budget checks
+	// into native.block_budget_checks; resolved once so the per-call hot
+	// path pays a single atomic add.
+	blockChecks *obs.Counter
+
 	// testQueueJobHook, when set (tests only), runs inside a background
 	// compile job outside the supervisor's recovery — the seam for proving
 	// an escaped panic still yields an applyable outcome.
@@ -336,6 +347,7 @@ func NewFromProgram(prog *bytecode.Program, astProg *ast.Program, cfg Config) (*
 	e.m = newEngineMetrics(e.reg, cfg.Metrics)
 	e.tracer = cfg.Tracer
 	e.audit = cfg.Audit
+	e.blockChecks = e.histReg().Counter("native.block_budget_checks")
 	if cfg.Faults != nil && cfg.Faults.Trace == nil {
 		// Injected faults show up inline in the engine's compile trace.
 		cfg.Faults.Trace = cfg.Tracer
@@ -494,6 +506,9 @@ func (e *Engine) CallFunction(idx int, args []value.Value) (value.Value, error) 
 	if st.code != nil {
 		res, status, err := e.execNative(st, args)
 		e.VM.AddSteps(res.Steps)
+		if res.Checks > 0 {
+			e.blockChecks.Add(res.Checks)
+		}
 		if err != nil {
 			return value.Undef(), err
 		}

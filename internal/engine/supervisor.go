@@ -30,6 +30,7 @@ const (
 	StagePolicy   = "policy"   // the JITBULL go/no-go decision
 	StageLower    = "lir"      // LIR lowering
 	StageRegalloc = "regalloc" // register allocation
+	StageFuse     = "fuse"     // superinstruction fusion
 	StageNative   = "native"   // native-code dispatch
 )
 
@@ -390,6 +391,13 @@ func (e *Engine) compileAttempt(req *compileRequest) (o *compileOutcome) {
 	if err := regalloc.AllocateWith(code, fctx); err != nil {
 		o.cerr = newCompileError(req.fnName, stage, err)
 		return o
+	}
+	if !e.cfg.NoFuse {
+		stage = StageFuse
+		if err := lir.FuseWith(code, fctx, e.histReg()); err != nil {
+			o.cerr = newCompileError(req.fnName, stage, err)
+			return o
+		}
 	}
 	o.code = code
 	return o

@@ -24,9 +24,9 @@ func (tracePolicy) BeginCompile(string) (passes.Observer, func() CompileDecision
 // TestTraceGoldenCompileSequence pins the event order of one successful
 // traced compilation: trigger instant, mirbuild span, one (pass span,
 // dna.extract span) pair per pipeline pass, the policy decide span, lir,
-// regalloc, the native.install instant, and finally the enclosing compile
-// span (spans are recorded at End, so the compile span closes the
-// sequence).
+// regalloc, native.fuse, the native.install instant, and finally the
+// enclosing compile span (spans are recorded at End, so the compile span
+// closes the sequence).
 func TestTraceGoldenCompileSequence(t *testing.T) {
 	ring := obs.NewRing(0)
 	cfg := jitCfg()
@@ -48,7 +48,7 @@ func TestTraceGoldenCompileSequence(t *testing.T) {
 	for _, pn := range passes.PassNames() {
 		want = append(want, pn, "dna.extract")
 	}
-	want = append(want, "decide", "lir", "regalloc", "native.install", "compile")
+	want = append(want, "decide", "lir", "regalloc", "native.fuse", "native.install", "compile")
 
 	if len(events) < len(want) {
 		t.Fatalf("recorded %d events, want at least %d", len(events), len(want))
@@ -85,7 +85,7 @@ func TestTraceGoldenCompileSequence(t *testing.T) {
 			if ev.Kind != obs.KindInstant {
 				t.Errorf("%s: kind = %v, want instant", ev.Name, ev.Kind)
 			}
-		case "mirbuild", "lir", "regalloc", "compile":
+		case "mirbuild", "lir", "regalloc", "native.fuse", "compile":
 			if ev.Kind != obs.KindSpan || ev.Cat != obs.CatCompile {
 				t.Errorf("%s: kind/cat = %v/%q, want span/%q", ev.Name, ev.Kind, ev.Cat, obs.CatCompile)
 			}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/heap"
+	"github.com/jitbull/jitbull/internal/native"
+	"github.com/jitbull/jitbull/internal/value"
+)
+
+// TestKernelCorpusFuses compiles every bench kernel through the production
+// pipeline and checks (a) the fuser finds superinstructions in each —
+// the corpus is meant to exercise the fused tier, a kernel that doesn't
+// fuse measures nothing — and (b) fused and unfused execution agree
+// bit-for-bit at a small scale, including step counts.
+func TestKernelCorpusFuses(t *testing.T) {
+	for _, k := range nativeKernels {
+		code, err := compileKernel(k.src)
+		if err != nil {
+			t.Fatalf("%s: %v", k.name, err)
+		}
+		if code.Fused.Supers == 0 {
+			t.Errorf("%s: no superinstructions fused", k.name)
+		}
+		args := make([]value.Value, len(k.args))
+		for i := range k.args {
+			args[i] = value.Num(100) // small iteration counts
+		}
+		if len(args) == 2 {
+			args[1] = value.Num(16)
+		}
+		var pool native.Pool
+		hu := &kernelHooks{arena: heap.New(1 << 16)}
+		hf := &kernelHooks{arena: heap.New(1 << 16)}
+		ru, su, eu := native.ExecUnfused(code, args, hu, 1<<40, &pool)
+		rf, sf, ef := native.Exec(code, args, hf, 1<<40, &pool)
+		if su != native.StatusOK || eu != nil {
+			t.Fatalf("%s unfused: %v %v", k.name, su, eu)
+		}
+		if sf != su || ef != nil {
+			t.Fatalf("%s fused: %v %v", k.name, sf, ef)
+		}
+		if ru.Kind != rf.Kind || math.Float64bits(ru.Val) != math.Float64bits(rf.Val) || ru.Steps != rf.Steps {
+			t.Errorf("%s diverged: unfused %+v fused %+v", k.name, ru, rf)
+		}
+	}
+}

@@ -1,0 +1,468 @@
+package experiments
+
+// Superinstruction-tier benchmark: the acceptance measurements of the
+// fused, direct-threaded native executor, recorded by cmd/jitbull-bench
+// -native into BENCH_native.json.
+//
+//  (a) wall-clock of the octane-analogue corpus, fused vs NoFuse engines,
+//      interleaved best-of-Repeats per benchmark so host noise drifts over
+//      both cells equally; the gate is the geometric-mean speedup;
+//  (b) semantic identity: the run value, the `result` global, the total VM
+//      step count and the policy verdicts (NrJIT/NrDisJIT/NrNoJIT) must be
+//      bit-identical between the fused and unfused cells of every
+//      benchmark — fusion may only change how fast the answer arrives;
+//  (c) a generated-program divergence sweep (fused vs NoFuse, full engine
+//      observation) as a second, corpus-independent identity check;
+//  (d) the fusion counters of the fused cells — how much of the stream the
+//      fuser rewrote and how far the block budget checks were amortized.
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"github.com/jitbull/jitbull/internal/compiler"
+	"github.com/jitbull/jitbull/internal/core"
+	"github.com/jitbull/jitbull/internal/engine"
+	"github.com/jitbull/jitbull/internal/heap"
+	"github.com/jitbull/jitbull/internal/lir"
+	"github.com/jitbull/jitbull/internal/mirbuild"
+	"github.com/jitbull/jitbull/internal/native"
+	"github.com/jitbull/jitbull/internal/octane"
+	"github.com/jitbull/jitbull/internal/parser"
+	"github.com/jitbull/jitbull/internal/passes"
+	"github.com/jitbull/jitbull/internal/progen"
+	"github.com/jitbull/jitbull/internal/regalloc"
+	"github.com/jitbull/jitbull/internal/value"
+)
+
+// NativeBenchEntry is one benchmark's fused-vs-unfused measurement.
+type NativeBenchEntry struct {
+	Name      string  `json:"name"`
+	UnfusedNs int64   `json:"unfused_ns"`
+	FusedNs   int64   `json:"fused_ns"`
+	Speedup   float64 `json:"speedup"`
+	Steps     int64   `json:"steps"` // total VM steps, identical across cells
+
+	// Fusion shape of the fused cell.
+	FusedOps     int64 `json:"fused_ops"`   // source ops absorbed into superinstructions
+	FuseSupers   int64 `json:"fuse_supers"` // superinstructions emitted
+	BudgetChecks int64 `json:"block_budget_checks"`
+}
+
+// KernelEntry is one native-tier kernel measurement: a hot loop compiled
+// through the full production pipeline (parse, bytecode, MIR, passes, LIR,
+// regalloc, fuse) and timed at the native.Exec boundary, fused dispatch vs
+// the unfused reference loop. This is where the superinstruction claim
+// lives: the engine-level corpus above it is dominated by hook calls and
+// interpreter warm-up that fusion cannot (and must not) change.
+type KernelEntry struct {
+	Name      string  `json:"name"`
+	UnfusedNs int64   `json:"unfused_ns"`
+	FusedNs   int64   `json:"fused_ns"`
+	Speedup   float64 `json:"speedup"`
+	Steps     int64   `json:"steps"` // identical across cells
+
+	Supers   int   `json:"supers"`    // superinstructions in the fused stream
+	FusedOps int   `json:"fused_ops"` // source ops absorbed into them
+	Checks   int64 `json:"block_budget_checks"`
+}
+
+// NativeBenchReport is the BENCH_native.json payload.
+type NativeBenchReport struct {
+	// Engine-level corpus: whole-run wall clock, identity, fusion shape.
+	Benches        []NativeBenchEntry `json:"benches"`
+	GeomeanSpeedup float64            `json:"geomean_speedup"`
+
+	// Native-tier kernels: the dispatch-loop speedup the perf gate holds
+	// to >= 1.5x.
+	Kernels        []KernelEntry `json:"kernels"`
+	KernelGeomean  float64       `json:"kernel_geomean_speedup"`
+	KernelMismatch string        `json:"kernel_mismatch,omitempty"`
+
+	// Identity across the fused/unfused cells (measurement b).
+	Identical bool   `json:"identical"`
+	Mismatch  string `json:"mismatch,omitempty"`
+
+	// Generated-program sweep (measurement c).
+	SweepPrograms   int    `json:"sweep_programs"`
+	SweepDiverged   int    `json:"sweep_diverged"`
+	SweepFirstDiver string `json:"sweep_first_divergence,omitempty"`
+}
+
+// nativeObservation is the behavior of one engine run, compared across the
+// fused/unfused cells. (The difftest package owns the full differential
+// matrix; it imports this package's progen corpus helpers' siblings, so
+// the tiny observation is inlined here rather than imported.)
+type nativeObservation struct {
+	runValue string
+	resultG  string
+	output   string
+	errMsg   string
+	steps    int64
+	verdicts [3]int
+}
+
+func observeNative(src string, cfg engine.Config, db *core.Database) (nativeObservation, time.Duration, *engine.Engine, error) {
+	var out bytes.Buffer
+	cfg.Out = &out
+	e, err := engine.New(src, cfg)
+	if err != nil {
+		return nativeObservation{}, 0, nil, err
+	}
+	e.SetPolicy(core.NewDetector(db))
+	start := time.Now()
+	v, runErr := e.Run()
+	dur := time.Since(start)
+	st := e.Stats()
+	obs := nativeObservation{
+		runValue: v.ToString(),
+		resultG:  e.Global("result").ToString(),
+		output:   out.String(),
+		steps:    e.VM.Steps(),
+		verdicts: [3]int{st.NrJIT, st.NrDisJIT, st.NrNoJIT},
+	}
+	if runErr != nil {
+		obs.errMsg = runErr.Error()
+	}
+	return obs, dur, e, nil
+}
+
+func (a nativeObservation) diff(b nativeObservation) string {
+	switch {
+	case a.runValue != b.runValue:
+		return fmt.Sprintf("run value %q vs %q", a.runValue, b.runValue)
+	case a.resultG != b.resultG:
+		return fmt.Sprintf("result global %q vs %q", a.resultG, b.resultG)
+	case a.output != b.output:
+		return "print output differs"
+	case a.errMsg != b.errMsg:
+		return fmt.Sprintf("error %q vs %q", a.errMsg, b.errMsg)
+	case a.steps != b.steps:
+		return fmt.Sprintf("VM steps %d vs %d", a.steps, b.steps)
+	case a.verdicts != b.verdicts:
+		return fmt.Sprintf("verdicts %v vs %v", a.verdicts, b.verdicts)
+	}
+	return ""
+}
+
+// NativeBench produces the full report. Timing runs are strictly serial
+// and interleaved (unfused, fused, unfused, fused, ...) so slow host drift
+// lands on both cells; the minimum per cell is compared.
+func NativeBench(cfg Config) (*NativeBenchReport, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Repeats < 5 {
+		cfg.Repeats = 5 // timing gate: more repeats than the table benches
+	}
+	db, bugs, err := BuildDB(4, cfg.IonThreshold)
+	if err != nil {
+		return nil, err
+	}
+	fused := engine.Config{IonThreshold: cfg.IonThreshold, Bugs: bugs}
+	unfused := fused
+	unfused.NoFuse = true
+
+	rep := &NativeBenchReport{Identical: true}
+	var logSum float64
+	for _, b := range octane.All() {
+		src := b.Source(cfg.Scale)
+		entry := NativeBenchEntry{Name: b.Name}
+		var refU, refF nativeObservation
+		for r := 0; r < cfg.Repeats; r++ {
+			obsU, durU, _, err := observeNative(src, unfused, db)
+			if err != nil {
+				return nil, fmt.Errorf("%s unfused: %w", b.Name, err)
+			}
+			obsF, durF, e, err := observeNative(src, fused, db)
+			if err != nil {
+				return nil, fmt.Errorf("%s fused: %w", b.Name, err)
+			}
+			if entry.UnfusedNs == 0 || durU.Nanoseconds() < entry.UnfusedNs {
+				entry.UnfusedNs = durU.Nanoseconds()
+			}
+			if entry.FusedNs == 0 || durF.Nanoseconds() < entry.FusedNs {
+				entry.FusedNs = durF.Nanoseconds()
+			}
+			refU, refF = obsU, obsF
+			if r == cfg.Repeats-1 {
+				sink := e.MetricsSink()
+				entry.FusedOps = sink.Counter("native.fused_ops").Value()
+				entry.FuseSupers = sink.Counter("native.fuse_supers").Value()
+				entry.BudgetChecks = sink.Counter("native.block_budget_checks").Value()
+			}
+		}
+		entry.Steps = refF.steps
+		if d := refU.diff(refF); d != "" && rep.Identical {
+			rep.Identical = false
+			rep.Mismatch = fmt.Sprintf("%s: %s", b.Name, d)
+		}
+		if entry.FusedNs > 0 {
+			entry.Speedup = float64(entry.UnfusedNs) / float64(entry.FusedNs)
+			logSum += math.Log(entry.Speedup)
+		}
+		rep.Benches = append(rep.Benches, entry)
+	}
+	if n := len(rep.Benches); n > 0 {
+		rep.GeomeanSpeedup = math.Exp(logSum / float64(n))
+	}
+
+	// (c) generated-program sweep: behavior-only, no timing.
+	const sweep = 40
+	rep.SweepPrograms = sweep
+	for seed := int64(0); seed < sweep; seed++ {
+		src := progen.Generate(seed, progen.Options{})
+		obsU, _, _, err := observeNative(src, unfused, db)
+		if err != nil {
+			return nil, fmt.Errorf("sweep seed %d unfused: %w", seed, err)
+		}
+		obsF, _, _, err := observeNative(src, fused, db)
+		if err != nil {
+			return nil, fmt.Errorf("sweep seed %d fused: %w", seed, err)
+		}
+		if d := obsU.diff(obsF); d != "" {
+			rep.SweepDiverged++
+			if rep.SweepFirstDiver == "" {
+				rep.SweepFirstDiver = fmt.Sprintf("seed %d: %s", seed, d)
+			}
+		}
+	}
+
+	// Native-tier kernel section (the perf gate).
+	if err := benchKernels(rep, cfg.Repeats); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// nativeKernels are the octane-analogue hot loops of the kernel section:
+// each is the inner loop of one corpus benchmark, reduced to a single
+// self-contained numeric function so it can be invoked directly at the
+// native boundary (no engine, no calls, no globals). The corpus is chosen
+// to be dispatch-bound — loop control, register shuffles, accumulation,
+// and array traffic — because dispatch is what the fused tier removes.
+// Loops dominated by libm calls (fmod, pow) or float<->int conversion
+// measure those instead and belong to the engine-level table above.
+// Iteration counts are sized so one invocation runs for a few
+// milliseconds.
+var nativeKernels = []struct {
+	name string
+	src  string
+	args []float64
+}{
+	{"sum-loop", // the canonical reduce every corpus bench contains
+		`function kernel(n) {
+			var s = 0;
+			for (var i = 0; i < n; i++) { s = s + i; }
+			return s;
+		}`, []float64{1000000}},
+	{"fib-shuffle", // Richards scheduler: rotate state through registers
+		`function kernel(n) {
+			var a = 0;
+			var b = 1;
+			for (var i = 0; i < n; i++) {
+				var t = a + b;
+				a = b;
+				b = t;
+			}
+			return a;
+		}`, []float64{900000}},
+	{"nested-count", // DeltaBlue: doubly nested constraint sweep
+		`function kernel(n, m) {
+			var acc = 0;
+			for (var i = 0; i < n; i++) {
+				for (var j = 0; j < m; j++) { acc = acc + j; }
+			}
+			return acc;
+		}`, []float64{12000, 80}},
+	{"poly-eval", // Crypto: Horner-style multiply-accumulate
+		`function kernel(n) {
+			var acc = 1;
+			for (var i = 0; i < n; i++) {
+				acc = acc * 1.0000001 + 0.5;
+			}
+			return acc;
+		}`, []float64{900000}},
+	{"array-sum", // NavierStokes: stream an array through an accumulator
+		`function kernel(n, m) {
+			var a = new Array(m);
+			for (var i = 0; i < m; i++) { a[i] = i * 0.5; }
+			var s = 0;
+			for (var it = 0; it < n; it++) {
+				for (var j = 0; j < m; j++) { s = s + a[j]; }
+			}
+			return s;
+		}`, []float64{9000, 100}},
+	{"ring-queue", // Richards: circular task-queue traffic
+		`function kernel(n, m) {
+			var q = new Array(m);
+			for (var i = 0; i < m; i++) { q[i] = i; }
+			var head = 0;
+			var acc = 0;
+			for (var it = 0; it < n; it++) {
+				var v = q[head];
+				q[head] = v + 1;
+				head = head + 1;
+				if (head == m) { head = 0; }
+				acc = acc + v;
+			}
+			return acc;
+		}`, []float64{700000, 64}},
+}
+
+// compileKernel lowers src's `kernel` function through the production
+// pipeline — the same stages the engine's compile supervisor runs — and
+// returns the regalloc'd, fused LIR unit.
+func compileKernel(src string) (*lir.Code, error) {
+	astProg, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := compiler.CompileProgram(astProg)
+	if err != nil {
+		return nil, err
+	}
+	var fd = astProg.Funcs()
+	if len(fd) != 1 {
+		return nil, fmt.Errorf("kernel source must declare exactly one function, got %d", len(fd))
+	}
+	params := make([]value.Type, len(fd[0].Params))
+	for i := range params {
+		params[i] = value.Number
+	}
+	g, err := mirbuild.Build(prog, fd[0], mirbuild.Options{
+		ParamTypes: params,
+		GlobalType: func(int) value.Type { return value.Number },
+		ReturnType: func(int) value.Type { return value.Number },
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := passes.RunWith(g, passes.RunOptions{}); err != nil {
+		return nil, err
+	}
+	code, err := lir.Lower(g)
+	if err != nil {
+		return nil, err
+	}
+	if err := regalloc.AllocateWith(code, nil); err != nil {
+		return nil, err
+	}
+	code.Fused = lir.Fuse(code)
+	return code, nil
+}
+
+// kernelHooks is the minimal native.Hooks for self-contained kernels: a
+// private arena, no globals, no calls.
+type kernelHooks struct{ arena *heap.Arena }
+
+func (k *kernelHooks) Arena() *heap.Arena         { return k.arena }
+func (k *kernelHooks) GlobalGet(int) value.Value  { return value.Undef() }
+func (k *kernelHooks) GlobalSet(int, value.Value) {}
+func (k *kernelHooks) Random() float64            { return 0.5 }
+func (k *kernelHooks) CallFunction(int, []value.Value) (value.Value, error) {
+	return value.Undef(), fmt.Errorf("native kernel bench: kernels must not call")
+}
+
+// benchKernels measures the kernel section of the report.
+func benchKernels(rep *NativeBenchReport, repeats int) error {
+	const kernelBudget = int64(1) << 60
+	for _, k := range nativeKernels {
+		code, err := compileKernel(k.src)
+		if err != nil {
+			return fmt.Errorf("kernel %s: %w", k.name, err)
+		}
+		args := make([]value.Value, len(k.args))
+		for i, a := range k.args {
+			args[i] = value.Num(a)
+		}
+		entry := KernelEntry{Name: k.name,
+			FusedOps: code.Fused.FusedSrcOps, Supers: code.Fused.Supers}
+		var pool native.Pool
+		for r := 0; r < repeats; r++ {
+			hu := &kernelHooks{arena: heap.New(1 << 16)}
+			hf := &kernelHooks{arena: heap.New(1 << 16)}
+			t0 := time.Now()
+			ru, su, eu := native.ExecUnfused(code, args, hu, kernelBudget, &pool)
+			du := time.Since(t0)
+			t0 = time.Now()
+			rf, sf, ef := native.Exec(code, args, hf, kernelBudget, &pool)
+			df := time.Since(t0)
+			if eu != nil || su != native.StatusOK {
+				return fmt.Errorf("kernel %s unfused: status %v err %v", k.name, su, eu)
+			}
+			if ef != nil || sf != native.StatusOK {
+				return fmt.Errorf("kernel %s fused: status %v err %v", k.name, sf, ef)
+			}
+			if ru.Kind != rf.Kind || math.Float64bits(ru.Val) != math.Float64bits(rf.Val) || ru.Steps != rf.Steps {
+				if rep.KernelMismatch == "" {
+					rep.KernelMismatch = fmt.Sprintf("%s: unfused %+v vs fused %+v", k.name, ru, rf)
+				}
+			}
+			if entry.UnfusedNs == 0 || du.Nanoseconds() < entry.UnfusedNs {
+				entry.UnfusedNs = du.Nanoseconds()
+			}
+			if entry.FusedNs == 0 || df.Nanoseconds() < entry.FusedNs {
+				entry.FusedNs = df.Nanoseconds()
+			}
+			entry.Steps = rf.Steps
+			entry.Checks = rf.Checks
+		}
+		if entry.FusedNs > 0 {
+			entry.Speedup = float64(entry.UnfusedNs) / float64(entry.FusedNs)
+		}
+		rep.Kernels = append(rep.Kernels, entry)
+	}
+	var logSum float64
+	for _, e := range rep.Kernels {
+		logSum += math.Log(e.Speedup)
+	}
+	if n := len(rep.Kernels); n > 0 {
+		rep.KernelGeomean = math.Exp(logSum / float64(n))
+	}
+	return nil
+}
+
+// RenderNative renders the report for the terminal.
+func RenderNative(r *NativeBenchReport) string {
+	var sb strings.Builder
+	sb.WriteString("Superinstruction fusion + direct-threaded dispatch (octane corpus)\n")
+	sb.WriteString("  fused and unfused cells run the same programs through the same\n")
+	sb.WriteString("  pipeline; only the native executor differs. Steps and verdicts\n")
+	sb.WriteString("  must be identical — speed is the only permitted difference.\n")
+	sb.WriteString(fmt.Sprintf("  %-14s %12s %12s %9s %12s %9s %8s %8s\n",
+		"benchmark", "unfused", "fused", "speedup", "steps", "fusedops", "supers", "checks"))
+	for _, e := range r.Benches {
+		sb.WriteString(fmt.Sprintf("  %-14s %12s %12s %8.2fx %12d %9d %8d %8d\n",
+			e.Name, time.Duration(e.UnfusedNs).Round(time.Microsecond),
+			time.Duration(e.FusedNs).Round(time.Microsecond), e.Speedup,
+			e.Steps, e.FusedOps, e.FuseSupers, e.BudgetChecks))
+	}
+	sb.WriteString(fmt.Sprintf("  geomean speedup: %.2fx\n", r.GeomeanSpeedup))
+	if r.Identical {
+		sb.WriteString("  fused/unfused behavior: identical on every benchmark\n")
+	} else {
+		sb.WriteString(fmt.Sprintf("  fused/unfused behavior: MISMATCH (%s)\n", r.Mismatch))
+	}
+	sb.WriteString(fmt.Sprintf("  generated-program sweep: %d programs, %d diverged",
+		r.SweepPrograms, r.SweepDiverged))
+	if r.SweepFirstDiver != "" {
+		sb.WriteString(fmt.Sprintf(" (%s)", r.SweepFirstDiver))
+	}
+	sb.WriteString("\n")
+	sb.WriteString("\nNative-tier kernels (octane-analogue hot loops at the native.Exec boundary)\n")
+	sb.WriteString(fmt.Sprintf("  %-14s %12s %12s %9s %12s %9s %8s %10s\n",
+		"kernel", "unfused", "fused", "speedup", "steps", "fusedops", "supers", "checks"))
+	for _, e := range r.Kernels {
+		sb.WriteString(fmt.Sprintf("  %-14s %12s %12s %8.2fx %12d %9d %8d %10d\n",
+			e.Name, time.Duration(e.UnfusedNs).Round(time.Microsecond),
+			time.Duration(e.FusedNs).Round(time.Microsecond), e.Speedup,
+			e.Steps, e.FusedOps, e.Supers, e.Checks))
+	}
+	sb.WriteString(fmt.Sprintf("  kernel geomean speedup: %.2fx (the perf gate)\n", r.KernelGeomean))
+	if r.KernelMismatch != "" {
+		sb.WriteString(fmt.Sprintf("  kernel behavior: MISMATCH (%s)\n", r.KernelMismatch))
+	}
+	return sb.String()
+}

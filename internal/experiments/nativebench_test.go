@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/core"
+	"github.com/jitbull/jitbull/internal/engine"
+	"github.com/jitbull/jitbull/internal/octane"
+)
+
+// benchOctaneNative runs one octane benchmark end-to-end under a fused or
+// unfused engine — the profiling harness behind the -native wall-clock
+// numbers.
+func benchOctaneNative(b *testing.B, name string, nofuse bool) {
+	db, bugs, err := BuildDB(4, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench, err := octane.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := bench.Source(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := engine.New(src, engine.Config{IonThreshold: 100, Bugs: bugs, NoFuse: nofuse})
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.SetPolicy(core.NewDetector(db))
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOctaneRichardsUnfused(b *testing.B) { benchOctaneNative(b, "Richards", true) }
+func BenchmarkOctaneRichardsFused(b *testing.B)   { benchOctaneNative(b, "Richards", false) }
+func BenchmarkOctaneNavierUnfused(b *testing.B)   { benchOctaneNative(b, "NavierStokes", true) }
+func BenchmarkOctaneNavierFused(b *testing.B)     { benchOctaneNative(b, "NavierStokes", false) }

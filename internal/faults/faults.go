@@ -36,6 +36,7 @@ const (
 	PointPass     Point = "pass"     // each optimization pass (detail: pass name)
 	PointLower    Point = "lir"      // LIR lowering
 	PointRegalloc Point = "regalloc" // register allocation
+	PointFuse     Point = "fuse"     // superinstruction fusion
 	PointNative   Point = "native"   // native-code dispatch (detail: function)
 	PointDBSave   Point = "db.save"  // VDC database save
 	PointDBLoad   Point = "db.load"  // VDC database load
@@ -52,7 +53,7 @@ const (
 // persistence points are exercised separately (they are not part of a
 // compilation and have their own fail-safe semantics).
 func CompilePoints() []Point {
-	return []Point{PointMIRBuild, PointPass, PointLower, PointRegalloc, PointNative}
+	return []Point{PointMIRBuild, PointPass, PointLower, PointRegalloc, PointFuse, PointNative}
 }
 
 // Kind is what happens when a scheduled fault fires.

@@ -1,0 +1,180 @@
+package lir
+
+import (
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/obs"
+)
+
+// tail returns the canonical loop-tail shape: const stride, induction
+// increment, compare, backward branch-false.
+func tailCode() *Code {
+	return &Code{
+		Name: "tail", NumRegs: 6,
+		Ops: []Op{
+			{Kind: KConst, Dst: 1, Imm: 0},           // 0
+			{Kind: KAdd, Dst: 2, A: 2, B: 1},         // 1: head
+			{Kind: KConst, Dst: 3, Imm: 1},           // 2
+			{Kind: KAdd, Dst: 1, A: 1, B: 3},         // 3
+			{Kind: KCmp, Dst: 4, A: 1, B: 0, Aux: 4}, // 4
+			{Kind: KBranchFalse, A: 4, Target: 1},    // 5
+			{Kind: KRetNum, A: 2},                    // 6
+		},
+	}
+}
+
+func TestComputeBlocks(t *testing.T) {
+	m := ComputeBlocks(tailCode())
+	wantLeaders := []int32{0, 1, 6, 7}
+	if len(m.Leaders) != len(wantLeaders) {
+		t.Fatalf("leaders = %v, want %v", m.Leaders, wantLeaders)
+	}
+	for i, l := range wantLeaders {
+		if m.Leaders[i] != l {
+			t.Fatalf("leaders = %v, want %v", m.Leaders, wantLeaders)
+		}
+	}
+	if len(m.LoopHeads) != 1 || m.LoopHeads[0] != 1 {
+		t.Fatalf("loop heads = %v, want [1]", m.LoopHeads)
+	}
+}
+
+func TestFuseLoopTailShape(t *testing.T) {
+	f := Fuse(tailCode())
+	// const(0); add(head); addimm.cmp.br(4 ops); ret; FEnd.
+	kinds := make([]FKind, len(f.Ops))
+	for i, op := range f.Ops {
+		kinds[i] = op.Kind
+	}
+	want := []FKind{PassThrough(KConst), PassThrough(KAdd), FAddImmCmpBranch,
+		PassThrough(KRetNum), FEnd}
+	if len(kinds) != len(want) {
+		t.Fatalf("fused stream %v, want kinds %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("fused stream %v, want kinds %v", kinds, want)
+		}
+	}
+	super := f.Ops[2]
+	// The back edge must be remapped from source pc 1 to fused index 1.
+	if super.Target != 1 {
+		t.Fatalf("back edge target = %d, want fused index 1", super.Target)
+	}
+	if super.NSteps != 4 {
+		t.Fatalf("NSteps = %d, want 4", super.NSteps)
+	}
+	if f.Supers != 1 || f.FusedSrcOps != 4 || f.SrcOps != 7 {
+		t.Fatalf("bookkeeping = supers %d fused %d src %d, want 1/4/7", f.Supers, f.FusedSrcOps, f.SrcOps)
+	}
+	// SrcPC: every fused op remembers its first constituent's pc.
+	wantPC := []int32{0, 1, 2, 6, 7}
+	for i, pc := range wantPC {
+		if f.SrcPC[i] != pc {
+			t.Fatalf("SrcPC = %v, want %v", f.SrcPC, wantPC)
+		}
+	}
+	// Cost: worst-case straight-line steps to the next check point.
+	// ret and FEnd terminate (1 and 0); the super checks at its target when
+	// taken but falls through into ret (4+1); head add accumulates (1+5);
+	// leading const accumulates (1+6).
+	wantCost := []int32{7, 6, 5, 1, 0}
+	for i, c := range wantCost {
+		if f.Cost[i] != c {
+			t.Fatalf("Cost = %v, want %v", f.Cost, wantCost)
+		}
+	}
+}
+
+// TestFuseLeaderBlocksPattern: a branch target landing inside a would-be
+// pattern must suppress the fusion (control may never enter the middle of
+// a fused op).
+func TestFuseLeaderBlocksPattern(t *testing.T) {
+	c := &Code{
+		Name: "split", NumRegs: 6,
+		Ops: []Op{
+			{Kind: KBranchFalse, A: 0, Target: 2}, // 0: makes 2 a leader
+			{Kind: KConst, Dst: 1, Imm: 3},        // 1
+			{Kind: KAdd, Dst: 2, A: 1, B: 1},      // 2: leader — no FAddImm
+			{Kind: KRetNum, A: 2},                 // 3
+		},
+	}
+	f := Fuse(c)
+	if f.Supers != 0 {
+		t.Fatalf("pattern fused across a block leader: %v", f.Ops)
+	}
+	// Without the interior leader the same pair fuses.
+	c.Ops[0].Target = 3
+	c.Blocks = nil
+	f = Fuse(c)
+	if f.Supers != 1 || f.Ops[1].Kind != FAddImm {
+		t.Fatalf("pair did not fuse once the leader moved: %v", f.Ops)
+	}
+}
+
+// TestFuseForwardBranchNotLoopTail: the 3/4-op loop-tail patterns demand a
+// backward branch; a forward branch-false must fall back to cmp+branch
+// fusion only.
+func TestFuseForwardBranchNotLoopTail(t *testing.T) {
+	c := &Code{
+		Name: "fwd", NumRegs: 6,
+		Ops: []Op{
+			{Kind: KAdd, Dst: 1, A: 1, B: 0},         // 0
+			{Kind: KCmp, Dst: 2, A: 1, B: 3, Aux: 1}, // 1
+			{Kind: KBranchFalse, A: 2, Target: 4},    // 2: forward
+			{Kind: KRetNum, A: 1},                    // 3
+			{Kind: KRetUndef},                        // 4
+		},
+	}
+	f := Fuse(c)
+	for _, op := range f.Ops {
+		if op.Kind == FIncCmpBranch || op.Kind == FAddImmCmpBranch {
+			t.Fatalf("forward branch fused as loop tail: %v", f.Ops)
+		}
+	}
+	found := false
+	for _, op := range f.Ops {
+		if op.Kind == FCmpBranch {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cmp+branch pair did not fuse: %v", f.Ops)
+	}
+}
+
+// TestFuseEndTarget: a jump to len(Ops) (fall-off-the-end exit) must remap
+// to the FEnd terminator.
+func TestFuseEndTarget(t *testing.T) {
+	c := &Code{
+		Name: "end", NumRegs: 2,
+		Ops: []Op{
+			{Kind: KJump, Target: 2},
+			{Kind: KRetNum, A: 0},
+		},
+	}
+	f := Fuse(c)
+	if f.Ops[0].Target != int32(len(f.Ops)-1) || f.Ops[len(f.Ops)-1].Kind != FEnd {
+		t.Fatalf("end jump remap: %v", f.Ops)
+	}
+	if f.Ops[len(f.Ops)-1].NSteps != 0 {
+		t.Fatal("FEnd must charge no steps")
+	}
+}
+
+func TestFuseWithMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := tailCode()
+	if err := FuseWith(c, nil, reg); err != nil {
+		t.Fatal(err)
+	}
+	if c.Fused == nil {
+		t.Fatal("FuseWith did not attach the fused code")
+	}
+	if got := reg.Counter("native.fused_ops").Value(); got != 4 {
+		t.Fatalf("native.fused_ops = %d, want 4", got)
+	}
+	if got := reg.Counter("native.fuse_supers").Value(); got != 1 {
+		t.Fatalf("native.fuse_supers = %d, want 1", got)
+	}
+}

@@ -70,6 +70,11 @@ const (
 	KRetNum   // return Num(A) (NaN result means the JS value NaN)
 	KRetObj   // return ArrayRef(A)
 	KRetUndef // return undefined
+
+	// KindCount is one past the last Kind. Exhaustiveness guards (the
+	// unfused executor probe, the fused handler table, the fuser's
+	// pass-through table) iterate 0..KindCount-1.
+	KindCount
 )
 
 var kindNames = map[Kind]string{
@@ -106,6 +111,20 @@ type Op struct {
 	Aux     int32
 }
 
+// BlockMeta is the basic-block shape of a Code's linear op stream,
+// computed by the register allocator (which already walks every branch for
+// live-interval extension) and consumed by the superinstruction fuser:
+// fusion patterns must not span a block leader, and the loop-tail patterns
+// only apply to back edges.
+type BlockMeta struct {
+	// Leaders are the op indexes that start a basic block (index 0, every
+	// jump/branch target, every op after a terminator), sorted ascending.
+	Leaders []int32
+	// LoopHeads are the leaders that are targets of back edges, sorted
+	// ascending.
+	LoopHeads []int32
+}
+
 // Code is the compiled form of one function.
 type Code struct {
 	Name      string
@@ -114,6 +133,17 @@ type Code struct {
 	NumRegs   int
 	Ops       []Op
 	ArgLists  [][]int32 // call argument register lists
+
+	// Blocks is the basic-block metadata attached by regalloc.Allocate and
+	// consumed by Fuse. Nil until allocation has run; Fuse recomputes it
+	// on demand when absent.
+	Blocks *BlockMeta
+	// Fused is the superinstruction form of Ops, attached by the fuse
+	// compile stage. The native executor dispatches through it when
+	// non-nil; semantics (results, Result.Steps, bail/crash behavior) are
+	// bit-identical to executing Ops directly. Immutable after publish, so
+	// it rides through the shared compilation cache with the Code pointer.
+	Fused *FusedCode
 }
 
 // String disassembles the code for diagnostics.

@@ -1,0 +1,34 @@
+package native
+
+import (
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/lir"
+	"github.com/jitbull/jitbull/internal/value"
+)
+
+func benchRun(b *testing.B, fused bool) {
+	code := loopCode()
+	code.Fused = nil
+	if fused {
+		code.Fused = lir.Fuse(code)
+	}
+	h := newStub()
+	pool := &Pool{}
+	args := []value.Value{value.Num(10000)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if fused {
+			_, _, err = Exec(code, args, h, 0, pool)
+		} else {
+			_, _, err = ExecUnfused(code, args, h, 0, pool)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoopUnfused(b *testing.B) { benchRun(b, false) }
+func BenchmarkLoopFused(b *testing.B)   { benchRun(b, true) }

@@ -1,0 +1,87 @@
+package native
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/lir"
+	"github.com/jitbull/jitbull/internal/value"
+)
+
+// TestEveryKindWired is the exhaustiveness guard: adding a lir.Kind
+// without wiring the unfused executor, the fused handler table, and the
+// fuser's pass-through table must fail here, not silently execute as a
+// nop or an unknown-op error in production.
+func TestEveryKindWired(t *testing.T) {
+	// 1. The fused handler table has a real handler for every pass-through
+	// kind and every superinstruction (the table defaults every slot to the
+	// invalid handler, so wiredHandlers is the ground truth).
+	for fk := lir.FKind(0); fk < lir.FKindCount; fk++ {
+		if !wiredHandlers[fk] {
+			t.Errorf("fused handler table: no handler wired for %v (FKind %d)", fk, fk)
+		}
+	}
+
+	// 2. The fuser translates every kind (pass-through at minimum): a
+	// one-op stream must never fuse to FInvalid.
+	for k := lir.Kind(0); k < lir.KindCount; k++ {
+		code := &lir.Code{Name: "probe", NumRegs: 4, Ops: []lir.Op{{Kind: k}}}
+		f := lir.Fuse(code)
+		if len(f.Ops) == 0 || f.Ops[0].Kind == lir.FInvalid {
+			t.Errorf("fuser: kind %v translated to FInvalid", k)
+		}
+	}
+
+	// 3. Both executors accept every kind: a single-op function per kind
+	// must never hit the unknown-op default (bails, crashes and budget
+	// exhaustion from the stub environment are all fine).
+	for k := lir.Kind(0); k < lir.KindCount; k++ {
+		code := &lir.Code{
+			Name: "probe", NumRegs: 4,
+			Ops:      []lir.Op{{Kind: k}},
+			ArgLists: [][]int32{{}}, // KCall's operand list
+		}
+		for _, fused := range []bool{false, true} {
+			h := newStub()
+			run := ExecUnfused
+			if fused {
+				code.Fused = lir.Fuse(code)
+				run = Exec
+			}
+			// maxOps 4 stops the KJump self-loop via the budget.
+			_, _, err := run(code, nil, h, 4, nil)
+			if err != nil && strings.Contains(err.Error(), "unknown") {
+				t.Errorf("kind %v (fused=%v): executor rejected it: %v", k, fused, err)
+			}
+		}
+	}
+}
+
+// TestHandlerTagWritesMatch spot-checks that pass-through handlers carry
+// type tags exactly like the switch loop for the tag-writing kinds.
+func TestHandlerTagWritesMatch(t *testing.T) {
+	h := newStub()
+	arr, _ := h.arena.Alloc(3)
+	h.globals[2] = value.ArrayRef(arr)
+	code := &lir.Code{
+		Name: "tags", NumParams: 1, NumRegs: 6,
+		Ops: []lir.Op{
+			{Kind: lir.KLoadGlobal, Dst: 1, Aux: 2},
+			{Kind: lir.KMoveTag, Dst: 2, A: 1},
+			{Kind: lir.KGuardType, Dst: 3, A: 2, Aux: 1},
+			{Kind: lir.KUnbox, Dst: 4, A: 0},
+			{Kind: lir.KAdd, Dst: 5, A: 4, B: 4},
+			{Kind: lir.KRetNum, A: 5},
+		},
+	}
+	args := []value.Value{value.Num(21)}
+	ru, su, eu := ExecUnfused(code, args, h, 0, nil)
+	code.Fused = lir.Fuse(code)
+	rf, sf, ef := Exec(code, args, h, 0, nil)
+	if !resEq(ru, rf) || su != sf || !errEq(eu, ef) {
+		t.Fatalf("tag flow diverged: unfused (%+v,%v,%v) fused (%+v,%v,%v)", ru, su, eu, rf, sf, ef)
+	}
+	if rf.Kind != ResNum || rf.Val != 42 {
+		t.Fatalf("result = %+v, want 42", rf)
+	}
+}

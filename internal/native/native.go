@@ -52,11 +52,15 @@ const (
 )
 
 // Result is the value returned by a native execution. Steps reports the
-// number of LIR ops executed, for the caller's budget accounting.
+// number of LIR ops executed, for the caller's budget accounting — it is
+// bit-identical between the fused and unfused executors. Checks counts the
+// amortized budget checks the fused executor performed (0 for unfused
+// runs): the observability hook behind native.block_budget_checks.
 type Result struct {
-	Kind  ResultKind
-	Val   float64
-	Steps int64
+	Kind   ResultKind
+	Val    float64
+	Steps  int64
+	Checks int64
 }
 
 // Value boxes the result.
@@ -100,6 +104,23 @@ type Pool struct {
 	floats [][]float64
 	tags   [][]Tag
 	args   []value.Value
+	fsts   []*fstate // recycled fused-executor frames (a stack: calls nest)
+}
+
+func (p *Pool) getFstate() *fstate {
+	if p != nil && len(p.fsts) > 0 {
+		st := p.fsts[len(p.fsts)-1]
+		p.fsts = p.fsts[:len(p.fsts)-1]
+		return st
+	}
+	return &fstate{}
+}
+
+func (p *Pool) putFstate(st *fstate) {
+	if p != nil && len(p.fsts) < 64 {
+		*st = fstate{}
+		p.fsts = append(p.fsts, st)
+	}
 }
 
 func (p *Pool) getRegs(n int) ([]float64, []Tag) {
@@ -145,13 +166,38 @@ func ExecWith(code *lir.Code, args []value.Value, h Hooks, maxOps int64, pool *P
 }
 
 // Exec runs code with the given arguments. maxOps bounds the number of LIR
-// ops executed (0 means a large default). pool may be nil.
-func Exec(code *lir.Code, args []value.Value, h Hooks, maxOps int64, pool *Pool) (res Result, status Status, err error) {
+// ops executed (0 means a large default). pool may be nil. When the code
+// carries a fused form (lir.Code.Fused) execution dispatches through the
+// direct-threaded handler table; results, Steps accounting, bail and crash
+// behavior are bit-identical either way.
+func Exec(code *lir.Code, args []value.Value, h Hooks, maxOps int64, pool *Pool) (Result, Status, error) {
 	if maxOps <= 0 {
 		maxOps = 1 << 40
 	}
 	regs, tags := pool.getRegs(code.NumRegs)
 	defer pool.putRegs(regs, tags)
+	boxParams(code, args, regs, tags)
+	if code.Fused != nil {
+		return execFused(code, regs, tags, h, maxOps, pool)
+	}
+	return execSwitch(code, regs, tags, h, maxOps, pool, 0, 0)
+}
+
+// ExecUnfused runs code through the monolithic switch loop even when a
+// fused form is attached — the reference executor the fused tier is
+// benchmarked and differentially tested against.
+func ExecUnfused(code *lir.Code, args []value.Value, h Hooks, maxOps int64, pool *Pool) (Result, Status, error) {
+	if maxOps <= 0 {
+		maxOps = 1 << 40
+	}
+	regs, tags := pool.getRegs(code.NumRegs)
+	defer pool.putRegs(regs, tags)
+	boxParams(code, args, regs, tags)
+	return execSwitch(code, regs, tags, h, maxOps, pool, 0, 0)
+}
+
+// boxParams copies the boxed arguments into the frame's registers.
+func boxParams(code *lir.Code, args []value.Value, regs []float64, tags []Tag) {
 	for i := 0; i < code.NumParams; i++ {
 		var v value.Value
 		if i < len(args) {
@@ -170,13 +216,20 @@ func Exec(code *lir.Code, args []value.Value, h Hooks, maxOps int64, pool *Pool)
 			regs[i], tags[i] = math.NaN(), TagOther
 		}
 	}
+}
 
+// execSwitch is the unfused reference loop: one budget check and one
+// switch dispatch per op, starting at pc0 with steps0 already charged.
+// The fused executor delegates here (over the same register file) when a
+// block-level budget check finds the limit within reach, which is what
+// keeps BudgetError timing and Steps accounting bit-identical.
+func execSwitch(code *lir.Code, regs []float64, tags []Tag, h Hooks, maxOps int64, pool *Pool, pc0 int, steps0 int64) (res Result, status Status, err error) {
 	arena := h.Arena()
 	truthy := func(v float64) bool { return v != 0 && v == v }
-	var steps int64
+	steps := steps0
 	defer func() { res.Steps = steps }()
 
-	for pc := 0; pc < len(code.Ops); pc++ {
+	for pc := pc0; pc < len(code.Ops); pc++ {
 		steps++
 		if steps > maxOps {
 			return Result{}, StatusOK, &BudgetError{Fn: code.Name}

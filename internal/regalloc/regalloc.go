@@ -30,7 +30,11 @@ func AllocateWith(c *lir.Code, fctx *faults.CompileCtx) error {
 
 // Allocate rewrites c's registers in place and updates NumRegs. Parameters
 // keep their slots (the executor copies arguments into registers 0..n-1).
+// It also attaches the basic-block metadata (leaders, loop heads) the
+// superinstruction fuser consumes — the allocator already walks every
+// branch for live-interval extension, so the shape falls out for free.
 func Allocate(c *lir.Code) {
+	c.Blocks = lir.ComputeBlocks(c)
 	n := c.NumRegs
 	if n == 0 {
 		return
