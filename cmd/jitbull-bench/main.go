@@ -37,10 +37,12 @@ func main() {
 		obsB      = flag.Bool("obs", false, "run the observability micro-benchmarks")
 		jitqB     = flag.Bool("jitqueue", false, "run the off-thread-compilation / shared-cache benchmark with its regression gates")
 		nativeB   = flag.Bool("native", false, "run the superinstruction-tier benchmark with its regression gates")
+		osrB      = flag.Bool("osr", false, "run the loop-header OSR tier-up benchmark with its regression gates")
 		benchout  = flag.String("benchout", "BENCH_core.json", "output file for -core results")
 		obsout    = flag.String("obsout", "BENCH_obs.json", "output file for -obs results")
 		jitqout   = flag.String("jitqueueout", "BENCH_jitqueue.json", "output file for -jitqueue results")
 		nativeout = flag.String("nativeout", "BENCH_native.json", "output file for -native results")
+		osrout    = flag.String("osrout", "BENCH_osr.json", "output file for -osr results")
 		corebase  = flag.String("corebase", "BENCH_core.json", "recorded core baseline the -obs regression gate compares against ('' disables the gate)")
 		scale     = flag.Int("scale", 4, "benchmark iteration scale for timing experiments")
 		repeats   = flag.Int("repeats", 3, "timing repetitions (minimum reported)")
@@ -48,7 +50,7 @@ func main() {
 		workers   = flag.Int("workers", 1, "worker pool size for corpus experiments (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	all := !(*table1 || *table2 || *window || *security || *fig4 || *fig5 || *fig6 || *ablation || *coreB || *obsB || *jitqB || *nativeB)
+	all := !(*table1 || *table2 || *window || *security || *fig4 || *fig5 || *fig6 || *ablation || *coreB || *obsB || *jitqB || *nativeB || *osrB)
 	cfg := experiments.Config{IonThreshold: *thr, Repeats: *repeats, Scale: *scale, Workers: *workers}
 
 	if err := run(all, *table1, *table2, *window, *security, *fig4, *fig5, *fig6, *ablation, cfg); err != nil {
@@ -79,6 +81,52 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *osrB {
+		if err := runOSR(*osrout, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "jitbull-bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// osrGateSpeedup is the -osr regression gate: on the single-long-call
+// corpus, the OSR cell (back-edge compile + mid-loop entry) must beat the
+// call-boundary-only cell by this geomean factor. The corpus is exactly
+// the workload call-boundary installs cannot serve — a single call that
+// never returns to an install point — so anything near 1.0x means the
+// transfer machinery is not paying for itself.
+const osrGateSpeedup = 1.2
+
+// runOSR runs the OSR tier-up benchmark, writes BENCH_osr.json, and
+// enforces its gates: geomean osr-vs-boundary speedup >= 1.2x, at least
+// one mid-loop entry per bench, zero entries in the boundary cell, and
+// identical semantics (value, result global, output, errors) across the
+// cells.
+func runOSR(path string, cfg experiments.Config) error {
+	rep, err := experiments.OSRBench(cfg)
+	if err != nil {
+		return fmt.Errorf("osr bench: %w", err)
+	}
+	fmt.Print(experiments.RenderOSR(rep))
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	if !rep.Identical {
+		return fmt.Errorf("osr gate: boundary/osr behavior diverged: %s", rep.Mismatch)
+	}
+	if len(rep.NeverEntered) > 0 {
+		return fmt.Errorf("osr gate: bench(es) never entered mid-loop: %v", rep.NeverEntered)
+	}
+	if rep.GeomeanSpeedup < osrGateSpeedup {
+		return fmt.Errorf("osr gate: geomean mid-loop tier-up speedup %.2fx below the %.1fx budget",
+			rep.GeomeanSpeedup, osrGateSpeedup)
+	}
+	return nil
 }
 
 // nativeGateSpeedup is the -native regression gate: the fused dispatch

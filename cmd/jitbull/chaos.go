@@ -5,14 +5,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/jitbull/jitbull/internal/difftest"
+	"github.com/jitbull/jitbull/internal/faults"
 )
 
 // cmdChaos runs the randomized fault-injection campaign from the command
 // line: N generated programs × randomized fault schedules, each checked
 // for escaped panics, interpreter divergence, and 1:1 fault accounting.
-// Failures are written as JSON reproducers (seed + plan + program).
+// Failures are written as JSON reproducers (seed + plan + program);
+// -replay re-executes a reproducer file deterministically. -osr arms the
+// tier-transition machinery (OSR + speculation, hot-loop corpus), which
+// -points osr,deopt campaigns and their reproducers require to reach the
+// transitions at all.
 func cmdChaos(args []string) error {
 	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
 	runs := fs.Int("runs", 200, "number of randomized fault-schedule runs")
@@ -20,18 +26,32 @@ func cmdChaos(args []string) error {
 	rules := fs.Int("rules", 3, "max fault rules per schedule")
 	out := fs.String("out", "", "write failure reproducers (JSON) to this file")
 	traceDir := fs.String("trace", "", "replay each failure with a tracer and write Chrome traces into this directory")
+	pointsFlag := fs.String("points", "", "comma-separated injection points to restrict schedules to (e.g. osr,deopt)")
+	osr := fs.Bool("osr", false, "arm OSR + speculation and generate the hot-loop corpus (required for the osr/deopt points)")
+	replayPath := fs.String("replay", "", "re-execute the reproducers in this JSON file instead of running a campaign")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("chaos: unexpected arguments %v", fs.Args())
 	}
+	points, err := parsePoints(*pointsFlag)
+	if err != nil {
+		return err
+	}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
 			return fmt.Errorf("chaos: create trace dir: %w", err)
 		}
 	}
-	res := difftest.Chaos(difftest.ChaosOptions{Seed: *seed, Runs: *runs, MaxRules: *rules, TraceDir: *traceDir})
+	o := difftest.ChaosOptions{
+		Seed: *seed, Runs: *runs, MaxRules: *rules, TraceDir: *traceDir,
+		Points: points, OSR: *osr, Speculate: *osr, HotLoops: *osr,
+	}
+	if *replayPath != "" {
+		return chaosReplay(*replayPath, o)
+	}
+	res := difftest.Chaos(o)
 	fmt.Printf("chaos: %s\n", res.Summary())
 	for i, f := range res.Failures {
 		if i >= 5 {
@@ -54,4 +74,62 @@ func cmdChaos(args []string) error {
 		return fmt.Errorf("chaos: %d run(s) violated an invariant", len(res.Failures))
 	}
 	return nil
+}
+
+// chaosReplay re-executes every reproducer in path under the campaign
+// options — chaos runs are deterministic, so each either reproduces or the
+// engine no longer exhibits it.
+func chaosReplay(path string, o difftest.ChaosOptions) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("chaos: read reproducers: %w", err)
+	}
+	var failures []difftest.ChaosFailure
+	if err := json.Unmarshal(data, &failures); err != nil {
+		return fmt.Errorf("chaos: parse reproducers: %w", err)
+	}
+	reproduced := 0
+	for i, f := range failures {
+		fired, fail := difftest.Replay(f, o)
+		switch {
+		case fail != nil:
+			reproduced++
+			fmt.Printf("reproducer %d (seed %d): REPRODUCED (%d fault(s) fired)\n  %s\n", i, f.RunSeed, fired, fail)
+		default:
+			fmt.Printf("reproducer %d (seed %d): no longer reproduces (%d fault(s) fired)\n", i, f.RunSeed, fired)
+		}
+	}
+	fmt.Printf("chaos: %d/%d reproducer(s) reproduced\n", reproduced, len(failures))
+	if reproduced > 0 {
+		return fmt.Errorf("chaos: %d reproducer(s) still failing", reproduced)
+	}
+	return nil
+}
+
+// parsePoints resolves a comma-separated -points list against the
+// registered injection points.
+func parsePoints(list string) ([]faults.Point, error) {
+	if list == "" {
+		return nil, nil
+	}
+	known := faults.KnownPoints()
+	var out []faults.Point
+	for _, s := range strings.Split(list, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		p := faults.Point(s)
+		ok := false
+		for _, k := range known {
+			if p == k {
+				ok = true
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("chaos: unknown point %q (known: %v)", s, known)
+		}
+		out = append(out, p)
+	}
+	return out, nil
 }

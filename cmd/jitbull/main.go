@@ -56,13 +56,14 @@ func run(args []string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  jitbull run [-nojit] [-nofuse] [-threshold N] [-bugs CVE,...] [-db file] [-stats]
-              [-async [-jit-workers N]] [-cache]
+  jitbull run [-nojit] [-nofuse] [-osr] [-speculate] [-threshold N] [-bugs CVE,...]
+              [-db file] [-stats] [-async [-jit-workers N]] [-cache]
               [-trace file] [-audit file] [-metrics] [-metrics-addr addr]
               [-octane name [-scale N]] [script.js]
   jitbull fingerprint -cve CVE-... [-bugs CVE,...] [-threshold N] -db file script.js
   jitbull diff [-seed N | -seeds N] [-bugs CVE,...] [-shrink] [-jitbull] script.js
-  jitbull chaos [-runs N] [-seed N] [-rules N] [-out reproducers.json] [-trace dir]
+  jitbull chaos [-runs N] [-seed N] [-rules N] [-points p,...] [-osr]
+                [-out reproducers.json] [-replay reproducers.json] [-trace dir]
   jitbull audit [-verdict v] [-func name] [-cve CVE] [-json] audit.jsonl
   jitbull vulns`)
 }
@@ -101,6 +102,8 @@ func cmdRun(args []string) error {
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /audit.json and /debug/pprof on this address during the run")
 	octaneName := fs.String("octane", "", "run a built-in benchmark instead of a script file")
 	scale := fs.Int("scale", 1, "outer-loop scale for -octane")
+	osr := fs.Bool("osr", false, "enable loop-header on-stack replacement: hot loops tier up mid-flight instead of at the next call boundary")
+	speculate := fs.Bool("speculate", false, "enable type speculation: guarded fast paths that deoptimize back to the interpreter when an assumption breaks")
 	async := fs.Bool("async", false, "compile off-thread: keep executing in the baseline tier while Ion runs on a background worker")
 	jitWorkers := fs.Int("jit-workers", 0, "background compile workers for -async (0 = GOMAXPROCS)")
 	cacheFlag := fs.Bool("cache", false, "enable the shared compilation cache (artifact + JITBULL verdict, keyed by canonical bytecode hash)")
@@ -132,6 +135,8 @@ func cmdRun(args []string) error {
 		DisableJIT:   *noJIT,
 		NoFuse:       *noFuse,
 		IonThreshold: *threshold,
+		OSR:          *osr,
+		Speculate:    *speculate,
 		Bugs:         parseBugs(*bugsFlag),
 		Out:          os.Stdout,
 	}

@@ -221,6 +221,29 @@ type Instr struct {
 	B  int32
 }
 
+// OSRSite marks one loop header as an on-stack-replacement entry point.
+// Ordinal numbers every loop statement of the function in source order
+// (for/while/do-while all consume an ordinal, so the numbering matches the
+// MIR builder's walk even though do-while loops — whose back edge is a
+// conditional jump — never get a site). HeaderPC is the back-edge target:
+// the pc the loop's closing OpJump points at.
+type OSRSite struct {
+	Ordinal  int
+	HeaderPC int
+}
+
+// SpecSite marks one speculation-eligible call-assignment statement
+// (`x = f(...)` / `var x = f(...)` with a direct call to a declared
+// function). Ordinal numbers eligible sites in source order, mirroring the
+// MIR builder's numbering; ResumePC is the pc immediately after the
+// OpStoreLocal, where a deoptimized frame resumes interpretation; StoreSlot
+// is the local the call result lands in.
+type SpecSite struct {
+	Ordinal   int
+	ResumePC  int
+	StoreSlot int
+}
+
 // Function is one compiled nanojs function.
 type Function struct {
 	Name      string
@@ -229,6 +252,31 @@ type Function struct {
 	NumLocals int // params + declared locals
 	Code      []Instr
 	Consts    []value.Value
+
+	// OSR/deoptimization metadata (additive: CanonicalHash deliberately
+	// excludes it — the executable content is unchanged by its presence).
+	OSRSites  []OSRSite
+	SpecSites []SpecSite
+}
+
+// OSRSiteAt returns the OSR site whose header is pc, if any.
+func (f *Function) OSRSiteAt(pc int) (OSRSite, bool) {
+	for _, s := range f.OSRSites {
+		if s.HeaderPC == pc {
+			return s, true
+		}
+	}
+	return OSRSite{}, false
+}
+
+// SpecSiteByOrdinal returns the speculation site with the given ordinal.
+func (f *Function) SpecSiteByOrdinal(ord int) (SpecSite, bool) {
+	for _, s := range f.SpecSites {
+		if s.Ordinal == ord {
+			return s, true
+		}
+	}
+	return SpecSite{}, false
 }
 
 // Program is a compiled script: Funcs[0] is the synthetic top-level entry.

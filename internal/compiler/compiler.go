@@ -125,6 +125,8 @@ type compiler struct {
 	loops    []*loopCtx
 	tempSlot int32 // lazily allocated scratch local; -1 when unallocated
 	inMain   bool
+	loopOrd  int // loop-statement ordinal (OSR site numbering)
+	specOrd  int // speculation-site ordinal
 }
 
 type constKey struct {
@@ -200,6 +202,44 @@ func (c *compiler) beginFunc(fn *bytecode.Function, inMain bool) {
 	c.loops = nil
 	c.tempSlot = -1
 	c.inMain = inMain
+	c.loopOrd = 0
+	c.specOrd = 0
+}
+
+// specEligible reports whether assigning v to the named variable is a
+// speculation site: a direct call to a declared nanojs function whose
+// result lands in a function-local slot. The MIR builder applies the
+// identical predicate at the identical traversal points, which keeps the
+// two sides' ordinal numbering in lockstep without sharing any state.
+func (c *compiler) specEligible(name string, v ast.Expr) bool {
+	if c.inMain || v == nil {
+		return false
+	}
+	if _, isLocal := c.locals[name]; !isLocal {
+		return false
+	}
+	call, ok := v.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	callee, ok := call.Callee.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, declared := c.prog.FuncByName[callee.Name]
+	return declared
+}
+
+// recordSpecSite registers the speculation site that codegen just finished
+// (the OpStoreLocal for the assigned local is the last emitted op).
+func (c *compiler) recordSpecSite(name string) {
+	ord := c.specOrd
+	c.specOrd++
+	c.fn.SpecSites = append(c.fn.SpecSites, bytecode.SpecSite{
+		Ordinal:   ord,
+		ResumePC:  len(c.fn.Code),
+		StoreSlot: int(c.locals[name]),
+	})
 }
 
 func (c *compiler) compileFunc(fn *bytecode.Function, fd *ast.FuncDecl) {
@@ -262,6 +302,8 @@ func (c *compiler) compileStmt(s ast.Stmt) {
 		}
 	case *ast.WhileStmt:
 		top := len(c.fn.Code)
+		c.fn.OSRSites = append(c.fn.OSRSites, bytecode.OSRSite{Ordinal: c.loopOrd, HeaderPC: top})
+		c.loopOrd++
 		c.compileExpr(s.Cond)
 		jExit := c.emitA(bytecode.OpJumpIfFalse, 0)
 		c.pushLoop()
@@ -271,6 +313,11 @@ func (c *compiler) compileStmt(s ast.Stmt) {
 		c.patch(jExit)
 		c.patchBreaks()
 	case *ast.DoWhileStmt:
+		// Do-while loops consume a loop ordinal (the MIR builder numbers
+		// every loop statement) but get no OSR site: their back edge is a
+		// conditional jump, not the unconditional OpJump the interpreter's
+		// OSR hook watches.
+		c.loopOrd++
 		top := len(c.fn.Code)
 		c.pushLoop()
 		c.compileStmt(s.Body)
@@ -284,6 +331,8 @@ func (c *compiler) compileStmt(s ast.Stmt) {
 			c.compileStmt(s.Init)
 		}
 		top := len(c.fn.Code)
+		c.fn.OSRSites = append(c.fn.OSRSites, bytecode.OSRSite{Ordinal: c.loopOrd, HeaderPC: top})
+		c.loopOrd++
 		var jExit int = -1
 		if s.Cond != nil {
 			c.compileExpr(s.Cond)
@@ -353,6 +402,9 @@ func (c *compiler) compileVarDecl(d *ast.VarDecl) {
 		}
 		c.compileExpr(d.Inits[i])
 		c.emitStore(name)
+		if c.specEligible(name, d.Inits[i]) {
+			c.recordSpecSite(name)
+		}
 	}
 }
 
@@ -388,6 +440,12 @@ func (c *compiler) compileExprForEffect(x ast.Expr) {
 	switch x := x.(type) {
 	case *ast.AssignExpr:
 		c.compileAssign(x, false)
+		// Statement-level `x = f(...)` with a direct call: a speculation
+		// site (nested assignment expressions are deliberately not —
+		// deoptimization resumes at statement boundaries only).
+		if target, ok := x.Target.(*ast.Ident); ok && x.Op == token.Assign && c.specEligible(target.Name, x.Value) {
+			c.recordSpecSite(target.Name)
+		}
 	case *ast.UpdateExpr:
 		c.compileUpdate(x, false)
 	default:

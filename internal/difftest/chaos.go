@@ -51,6 +51,13 @@ type ChaosOptions struct {
 	// concentrates the whole fault budget on one stage — how new pipeline
 	// stages earn their chaos coverage.
 	Points []faults.Point
+	// OSR and Speculate arm the tier-transition machinery in the chaos
+	// cell, so faults at the osr/deopt points have transitions to hit.
+	OSR       bool
+	Speculate bool
+	// HotLoops generates the OSR/deopt exercise corpus (progen HotLoops)
+	// instead of the plain corpus, so transitions actually fire.
+	HotLoops bool
 }
 
 func (o ChaosOptions) withDefaults() ChaosOptions {
@@ -128,7 +135,7 @@ func Chaos(o ChaosOptions) ChaosResult {
 	var res ChaosResult
 	for i := 0; i < o.Runs; i++ {
 		seed := o.Seed + int64(i)
-		src := progen.Generate(seed, progen.Options{})
+		src := progen.Generate(seed, progen.Options{HotLoops: o.HotLoops})
 		plan := faults.RandomPlan(seed, o.MaxRules, o.Points)
 		fired, fail := chaosOne(seed, src, plan, o)
 		res.Runs++
@@ -156,6 +163,8 @@ func traceChaosRun(seed int64, src string, plan faults.Plan, o ChaosOptions) str
 		BaselineThreshold:   o.BaselineThreshold,
 		IonThreshold:        o.IonThreshold,
 		MaxSteps:            o.MaxSteps,
+		OSR:                 o.OSR,
+		Speculate:           o.Speculate,
 		Faults:              plan.Injector(),
 		Tracer:              obs.NewTracer(ring),
 		QuarantineBackoff:   8,
@@ -173,6 +182,17 @@ func traceChaosRun(seed int64, src string, plan faults.Plan, o ChaosOptions) str
 	return path
 }
 
+// Replay re-executes one failure's (program, plan) pair under the given
+// campaign options — the reproducer contract behind `jitbull chaos -replay`:
+// chaos runs are fully deterministic, so a recorded failure either
+// reproduces bit-for-bit or the engine no longer exhibits it (nil). The
+// options must arm the same machinery as the original campaign (OSR,
+// Speculate) for the transition points to be reachable again.
+func Replay(f ChaosFailure, o ChaosOptions) (fired int, fail *ChaosFailure) {
+	o = o.withDefaults()
+	return chaosOne(f.RunSeed, f.Program, f.Plan, o)
+}
+
 // chaosOne executes a single (program, plan) pair against the interpreter
 // reference and checks the three invariants.
 func chaosOne(seed int64, src string, plan faults.Plan, o ChaosOptions) (fired int, fail *ChaosFailure) {
@@ -180,6 +200,8 @@ func chaosOne(seed int64, src string, plan faults.Plan, o ChaosOptions) (fired i
 		BaselineThreshold: o.BaselineThreshold,
 		IonThreshold:      o.IonThreshold,
 		MaxSteps:          o.MaxSteps,
+		OSR:               o.OSR,
+		Speculate:         o.Speculate,
 	}
 	refCfg := Config{Name: "interp", Engine: base}
 	refCfg.Engine.DisableJIT = true

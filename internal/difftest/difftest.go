@@ -106,6 +106,16 @@ type Options struct {
 	// unfused artifacts apart). Fusion changes dispatch, never semantics,
 	// so every cell must stay at zero divergence.
 	Fusion bool
+	// OSR adds the tier-transition contrast cells: jit+osr (loop-header
+	// on-stack replacement, back-edge-triggered compilation), jit+deopt
+	// (type speculation with guard-based deoptimization), jit+osr+deopt
+	// (both transitions in one engine), jit+osr+cached (with Async; both
+	// features through the shared cache, whose key carries the OSR and
+	// Speculate configuration bytes), and — with JITBULL — jit+jitbull+osr
+	// and jit+jitbull+deopt. OSR changes *where* execution enters native
+	// code and deopt changes where it leaves, never what either tier
+	// computes, so every cell must stay at zero divergence.
+	OSR bool
 }
 
 func (o Options) withDefaults() Options {
@@ -233,6 +243,33 @@ func Matrix(o Options) []Config {
 			nfCached := nofuse
 			nfCached.Cache = cache
 			cfgs = append(cfgs, Config{Name: "jit+nofuse+cached", Engine: nfCached, Prewarm: true})
+		}
+	}
+	if o.OSR {
+		osr := base
+		osr.OSR = true
+		cfgs = append(cfgs, Config{Name: "jit+osr", Engine: osr})
+		deopt := base
+		deopt.Speculate = true
+		cfgs = append(cfgs, Config{Name: "jit+deopt", Engine: deopt})
+		both := base
+		both.OSR = true
+		both.Speculate = true
+		cfgs = append(cfgs, Config{Name: "jit+osr+deopt", Engine: both})
+		if cache != nil {
+			// Both features on through the cache shared with the plain
+			// cached cells: the OSR and Speculate cache-key bytes are what
+			// keep a marker-free artifact from being installed into an
+			// engine that expects OSR entries (and vice versa).
+			osrCached := both
+			osrCached.Cache = cache
+			cfgs = append(cfgs, Config{Name: "jit+osr+cached", Engine: osrCached, Prewarm: true})
+		}
+		if o.JITBULL {
+			cfgs = append(cfgs,
+				Config{Name: "jit+jitbull+osr", Engine: osr, Policy: jitbullPolicy},
+				Config{Name: "jit+jitbull+deopt", Engine: deopt, Policy: jitbullPolicy},
+			)
 		}
 	}
 	return cfgs

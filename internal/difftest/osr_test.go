@@ -1,0 +1,161 @@
+package difftest
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/faults"
+	"github.com/jitbull/jitbull/internal/octane"
+	"github.com/jitbull/jitbull/internal/progen"
+)
+
+// osrOptions is the tier-transition contrast matrix: the default cells plus
+// OSR (loop-header on-stack replacement), deopt (guard-based speculative
+// calls), their combination, the shared-cache variant, and the JITBULL
+// policy over both.
+func osrOptions() Options {
+	return Options{OSR: true, JITBULL: true, Async: true}
+}
+
+// TestMatrixOSR is the OSR/deopt acceptance oracle: 80 hot-loop programs —
+// long while loops warmed by a single call, helper return types flipping
+// mid-loop, arrays shrinking mid-loop — across the OSR, deopt, combined,
+// cached, and policy cells, with zero divergences. Where execution enters
+// and leaves native code moves; Result, output, and the error/hijack/crash
+// outcome must be bit-identical to the interpreter's.
+func TestMatrixOSR(t *testing.T) {
+	configs := Matrix(osrOptions())
+	var names []string
+	for _, c := range configs {
+		names = append(names, c.Name)
+	}
+	want := map[string]bool{
+		"jit+osr": false, "jit+deopt": false, "jit+osr+deopt": false,
+		"jit+osr+cached": false, "jit+jitbull+osr": false, "jit+jitbull+deopt": false,
+	}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Fatalf("matrix %v lacks the %s cell", names, n)
+		}
+	}
+	programs := int64(80)
+	if testing.Short() {
+		programs = 16
+	}
+	for seed := int64(0); seed < programs; seed++ {
+		src := progen.Generate(seed, progen.Options{HotLoops: true})
+		_, divs := Diff(src, configs)
+		if len(divs) > 0 {
+			t.Fatalf("%s\nprogram:\n%s", Report(fmt.Sprintf("seed %d", seed), divs), src)
+		}
+	}
+}
+
+// TestMatrixOSROctane cross-checks the Octane-analogue corpus — loop-heavy
+// programs where back-edge-triggered tier-up actually engages — across the
+// same OSR/deopt cells.
+func TestMatrixOSROctane(t *testing.T) {
+	configs := Matrix(osrOptions())
+	for _, b := range octane.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			_, divs := Diff(b.Source(1), configs)
+			if len(divs) > 0 {
+				t.Errorf("%s", Report(b.Name, divs))
+			}
+		})
+	}
+}
+
+// chaosTransitionOptions arms the tier-transition machinery and the
+// hot-loop corpus, so faults at the osr/deopt points have transitions to
+// hit; the campaign is otherwise the standard three-invariant chaos run.
+func chaosTransitionOptions(seed int64, runs int, p faults.Point) ChaosOptions {
+	return ChaosOptions{
+		Seed: seed, Runs: runs, Points: []faults.Point{p},
+		OSR: true, Speculate: true, HotLoops: true,
+	}
+}
+
+// TestChaosOSRPointCampaign concentrates a randomized chaos campaign on the
+// OSR transition point: a fired fault must refuse the entry (the
+// interpreter keeps the loop), never corrupt frame state, and surface with
+// 1:1 typed accounting.
+func TestChaosOSRPointCampaign(t *testing.T) {
+	res := Chaos(chaosTransitionOptions(11, 40, faults.PointOSR))
+	for i, f := range res.Failures {
+		if i >= 5 {
+			t.Errorf("... and %d more failures", len(res.Failures)-i)
+			break
+		}
+		t.Errorf("%s\nprogram:\n%s", f, f.Program)
+	}
+	t.Logf("osr-point chaos: %s", res.Summary())
+	if res.FaultsFired == 0 {
+		t.Fatal("no fault fired at the osr point across the whole campaign")
+	}
+}
+
+// TestChaosDeoptPointCampaign concentrates the campaign on the deopt
+// transition point: the fault is recorded, but state reconstruction is
+// mandatory — the exit must still complete with interpreter semantics.
+func TestChaosDeoptPointCampaign(t *testing.T) {
+	res := Chaos(chaosTransitionOptions(13, 40, faults.PointDeopt))
+	for i, f := range res.Failures {
+		if i >= 5 {
+			t.Errorf("... and %d more failures", len(res.Failures)-i)
+			break
+		}
+		t.Errorf("%s\nprogram:\n%s", f, f.Program)
+	}
+	t.Logf("deopt-point chaos: %s", res.Summary())
+	if res.FaultsFired == 0 {
+		t.Fatal("no fault fired at the deopt point across the whole campaign")
+	}
+}
+
+// TestChaosTransitionDeterminismSweep runs every fault kind against every
+// transition point with a fully deterministic single-rule schedule, twice
+// per combination: both runs must fire the same faults, account them 1:1,
+// escape no panic, and observe identical semantics. This is the
+// reproducibility guarantee the chaos CLI's reproducer mode rests on.
+func TestChaosTransitionDeterminismSweep(t *testing.T) {
+	o := ChaosOptions{OSR: true, Speculate: true, HotLoops: true}.withDefaults()
+	for _, p := range []faults.Point{faults.PointOSR, faults.PointDeopt} {
+		for _, k := range faults.Kinds() {
+			name := fmt.Sprintf("%s-%s", p, k)
+			t.Run(name, func(t *testing.T) {
+				anyFired := false
+				for seed := int64(0); seed < 6; seed++ {
+					src := progen.Generate(seed, progen.Options{HotLoops: true})
+					plan := faults.Plan{Seed: seed, Rules: []faults.Rule{
+						{Point: p, Kind: k, AfterHits: int(seed % 3)},
+					}}
+					fired1, fail1 := chaosOne(seed, src, plan, o)
+					fired2, fail2 := chaosOne(seed, src, plan, o)
+					if fail1 != nil {
+						t.Fatalf("seed %d: %s\nprogram:\n%s", seed, fail1, src)
+					}
+					if fired1 != fired2 {
+						t.Fatalf("seed %d: run 1 fired %d fault(s), run 2 fired %d", seed, fired1, fired2)
+					}
+					if !reflect.DeepEqual(fail1, fail2) {
+						t.Fatalf("seed %d: runs disagree: %v vs %v", seed, fail1, fail2)
+					}
+					if fired1 > 0 {
+						anyFired = true
+					}
+				}
+				if !anyFired {
+					t.Fatalf("%s: no fault fired across the sweep", name)
+				}
+			})
+		}
+	}
+}

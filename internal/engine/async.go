@@ -164,6 +164,8 @@ func (e *Engine) newCompileRequest(idx int, st *fnState) *compileRequest {
 			ParamTypes: params,
 			GlobalType: func(slot int) value.Type { return gtypes[slot] },
 			ReturnType: func(fnIdx int) value.Type { return rets[fnIdx] },
+			OSR:        e.cfg.OSR,
+			Speculate:  e.cfg.Speculate,
 		},
 		disabled: disabled,
 	}
@@ -249,6 +251,20 @@ func (e *Engine) cacheKey(st *fnState, params, gtypes, rets []value.Type, disabl
 	// *lir.Code carries its fused form by pointer — keep the tiers'
 	// artifacts distinct so a NoFuse engine never installs a fused one.
 	if e.cfg.NoFuse {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	// OSR frame maps and speculation guards change the artifact's shape
+	// (markers, side tables, KCallSpec ops) without changing semantics —
+	// keep the variants distinct so an OSR engine never installs an
+	// artifact with no OSR entries and vice versa.
+	if e.cfg.OSR {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	if e.cfg.Speculate {
 		h.Write([]byte{1})
 	} else {
 		h.Write([]byte{0})
@@ -436,6 +452,10 @@ func (e *Engine) applyOutcome(st *fnState, o *compileOutcome) {
 	st.code = o.code
 	st.tier = tierIon
 	st.bailouts = 0
+	// A fresh artifact gets a fresh OSR/deopt history: the cooldown and the
+	// deopt count judged the discarded code, not this one.
+	st.osrCooldown = nil
+	st.deopts = 0
 	if wasQuarantined {
 		// A quarantined function compiled cleanly on retry: requalify.
 		st.quar = qNone

@@ -38,6 +38,13 @@ const (
 	// maxBailoutsBeforeBlacklist is how many guard failures a compiled
 	// function tolerates before the engine gives up optimizing it.
 	maxBailoutsBeforeBlacklist = 32
+
+	// maxDeoptsBeforeRequalify is how many speculation-guard deopts one
+	// artifact tolerates before the engine discards it and requalifies the
+	// function with the TypeSpeculation pass disabled (see osr.go). Low on
+	// purpose: every deopt pays a full frame reconstruction, so a loop
+	// whose type assumption keeps failing is cheaper unspeculated.
+	maxDeoptsBeforeRequalify = 8
 )
 
 // HijackError reports a control-flow hijack: a function's JIT code pointer
@@ -122,6 +129,22 @@ type Config struct {
 	// side of the native-tier benchmark.
 	NoFuse bool
 
+	// OSR enables loop-header on-stack replacement: the interpreter counts
+	// back edges, triggers compilation from a hot loop (not just a hot call
+	// count), and transfers mid-loop into installed Ion code at the loop
+	// header by materializing native registers from the frame map. Off by
+	// default; semantics (Result, Steps, bailout points, policy verdicts)
+	// are bit-identical either way — the difftest matrix pins it.
+	OSR bool
+	// Speculate enables the TypeSpeculation pass: eligible call results are
+	// speculated to numbers, guarded by KCallSpec ops that deoptimize back
+	// to the interpreter — with full frame reconstruction — when the
+	// assumption fails. Off by default; semantically invisible.
+	Speculate bool
+	// OSRThreshold is the back-edge count that triggers compilation and
+	// entry for a loop-hot function (0 = IonThreshold).
+	OSRThreshold int
+
 	// Tracer, when set, records the compile lifecycle as structured span
 	// events: warmup trigger, mirbuild, every optimization pass (with
 	// input/output instruction counts), DNA extraction, the go/no-go
@@ -181,6 +204,11 @@ type Stats struct {
 	CacheMisses   int // cacheable triggers that had to compile
 	AsyncCompiles int // compile jobs enqueued on the background queue
 	AsyncInstalls int // artifacts installed at a safe point after a background compile
+
+	// OSR/deopt counters (zero without Config.OSR / Config.Speculate).
+	OSREntries       int // successful mid-loop transfers into Ion code
+	DeoptExits       int // speculation-guard failures reconstructed into the interpreter
+	LoopsRequalified int // deopt storms that requalified the function without speculation
 }
 
 // statCounter is one engine counter: always present in the engine's
@@ -203,6 +231,8 @@ type engineMetrics struct {
 	quarantined, requalified       statCounter
 	cacheHits, cacheMisses         statCounter
 	asyncCompiles, asyncInstalls   statCounter
+	osrEntries, deoptExits         statCounter
+	loopsRequalified               statCounter
 }
 
 func newEngineMetrics(local, shared *obs.Registry) engineMetrics {
@@ -227,6 +257,10 @@ func newEngineMetrics(local, shared *obs.Registry) engineMetrics {
 		cacheMisses:    pair("engine.cache_misses"),
 		asyncCompiles:  pair("engine.async_compiles"),
 		asyncInstalls:  pair("engine.async_installs"),
+
+		osrEntries:       pair("osr.entries"),
+		deoptExits:       pair("deopt.exits"),
+		loopsRequalified: pair("deopt.loops_requalified"),
 	}
 }
 
@@ -269,6 +303,16 @@ type fnState struct {
 	// outcome in, emptied by the owner at the next call boundary.
 	inflight bool
 	pending  atomic.Pointer[compileOutcome]
+
+	// OSR/deopt state (see osr.go). backEdges counts interpreter back
+	// edges across all activations; osrCooldown parks OSR attempts per
+	// entry ordinal after a refused materialization or a bailout there — a
+	// loop whose types block one header must not poison the function's
+	// other loops; deopts counts guard failures of the current artifact
+	// (both reset on install).
+	backEdges   int
+	osrCooldown map[int]bool
+	deopts      int
 }
 
 // Engine is a tiered nanojs runtime instance. It is single-owner: all
@@ -337,6 +381,9 @@ func NewFromProgram(prog *bytecode.Program, astProg *ast.Program, cfg Config) (*
 	if cfg.IonThreshold <= 0 {
 		cfg.IonThreshold = DefaultIonThreshold
 	}
+	if cfg.OSRThreshold <= 0 {
+		cfg.OSRThreshold = cfg.IonThreshold
+	}
 	arena := heap.New(cfg.HeapCells)
 	vm := interp.New(prog, arena, cfg.Out)
 	if cfg.MaxSteps > 0 {
@@ -353,6 +400,11 @@ func NewFromProgram(prog *bytecode.Program, astProg *ast.Program, cfg Config) (*
 		cfg.Faults.Trace = cfg.Tracer
 	}
 	vm.Dispatch = e
+	if cfg.OSR && !cfg.DisableJIT {
+		// The hook is only installed when OSR is on: a nil hook keeps the
+		// interpreter's back-edge path byte-identical to a build without it.
+		vm.OSR = e.OnBackEdge
+	}
 
 	byName := map[string]*ast.FuncDecl{}
 	for _, fd := range astProg.Funcs() {
@@ -394,6 +446,10 @@ func (e *Engine) Stats() Stats {
 		CacheMisses:    v(e.m.cacheMisses),
 		AsyncCompiles:  v(e.m.asyncCompiles),
 		AsyncInstalls:  v(e.m.asyncInstalls),
+
+		OSREntries:       v(e.m.osrEntries),
+		DeoptExits:       v(e.m.deoptExits),
+		LoopsRequalified: v(e.m.loopsRequalified),
 	}
 }
 
@@ -515,6 +571,19 @@ func (e *Engine) CallFunction(idx int, args []value.Value) (value.Value, error) 
 		if status == native.StatusOK {
 			e.observeReturn(st, res.Value())
 			return res.Value(), nil
+		}
+		if status == native.StatusDeopt {
+			// A speculation guard failed mid-function: the activation has
+			// already performed side effects, so it must resume from the
+			// reconstructed frame — never re-run from the top like a bailout.
+			v, done, derr := e.handleDeopt(st, res.Deopt)
+			if !done {
+				return value.Undef(), &interp.RuntimeError{Msg: "deopt exit without a resume site"}
+			}
+			if derr == nil {
+				e.observeReturn(st, v)
+			}
+			return v, derr
 		}
 		// Bailout: fall back to the interpreter for this call.
 		e.m.bailouts.Inc()

@@ -32,6 +32,8 @@ const (
 	StageRegalloc = "regalloc" // register allocation
 	StageFuse     = "fuse"     // superinstruction fusion
 	StageNative   = "native"   // native-code dispatch
+	StageOSR      = "osr"      // loop-header on-stack replacement entry
+	StageDeopt    = "deopt"    // speculation-guard deoptimization exit
 )
 
 // Supervisor defaults.

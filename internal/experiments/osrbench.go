@@ -1,0 +1,283 @@
+package experiments
+
+// OSR tier-up benchmark: the acceptance measurement of loop-header
+// on-stack replacement, recorded by cmd/jitbull-bench -osr into
+// BENCH_osr.json.
+//
+// The corpus is single long-running calls: each program calls its hot
+// function exactly once, so call-boundary hotness counting never reaches
+// the compile threshold for it. Two cells run every program:
+//
+//	boundary — OSR off. Artifacts install only at call boundaries, which
+//	           the single call never returns to; helpers invoked inside
+//	           the loop still tier up normally. This is the engine before
+//	           this change.
+//	osr      — OSR on (same thresholds). Back edges trigger the compile
+//	           and execution transfers into Ion code at the loop header,
+//	           mid-activation.
+//
+// The gate: the osr cell must beat the boundary cell (geomean wall-clock
+// speedup over the corpus) AND every osr cell must record at least one
+// mid-loop entry — a "win" that never actually transferred would be
+// measuring something else. Semantics are held identical across the
+// cells (run value, result global, output, errors); policy verdicts and
+// step counts are exempt because the osr cell compiles and natively runs
+// the hot function the boundary cell, by construction, never can.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"github.com/jitbull/jitbull/internal/engine"
+)
+
+// OSRBenchEntry is one program's boundary-vs-osr measurement.
+type OSRBenchEntry struct {
+	Name       string  `json:"name"`
+	BoundaryNs int64   `json:"boundary_ns"` // OSR off: call-boundary installs only
+	OSRNs      int64   `json:"osr_ns"`      // OSR on: mid-loop tier-up
+	Speedup    float64 `json:"speedup"`
+	Steps      int64   `json:"steps"` // VM steps of the osr cell (tiers charge per-op, so cells differ)
+
+	// Transition counters of the osr cell (the boundary cell's are zero
+	// by construction and asserted so).
+	OSREntries int `json:"osr_entries"`
+	DeoptExits int `json:"deopt_exits"`
+}
+
+// OSRBenchReport is the BENCH_osr.json payload.
+type OSRBenchReport struct {
+	// Gate states the acceptance criterion the driver enforces, so the
+	// recorded file carries its own pass condition.
+	Gate string `json:"gate"`
+
+	Benches        []OSRBenchEntry `json:"benches"`
+	GeomeanSpeedup float64         `json:"geomean_speedup"`
+
+	// Identity across the boundary/osr cells (verdicts and steps exempt,
+	// see above).
+	Identical bool   `json:"identical"`
+	Mismatch  string `json:"mismatch,omitempty"`
+
+	// NeverEntered lists benches whose osr cell recorded no mid-loop
+	// entry; any entry here fails the gate.
+	NeverEntered []string `json:"never_entered,omitempty"`
+}
+
+// OSRGate is the stated acceptance criterion, recorded into the report.
+const OSRGate = "mid-loop tier-up (osr cell) must beat call-boundary-only install (boundary cell): geomean speedup >= 1.2x over the single-long-call corpus, with >= 1 OSR entry per bench and bit-identical semantics across cells"
+
+// osrBenchProg is one single-long-call corpus program.
+type osrBenchProg struct {
+	name      string
+	src       string // %d verbs take the scaled iteration count
+	iters     int    // per unit of Config.Scale
+	speculate bool
+}
+
+// osrBenches is the single-long-call corpus. Iteration counts are scaled
+// by Config.Scale via the %d verb; each program binds `result` and prints
+// it so both observation channels are exercised.
+var osrBenches = []osrBenchProg{
+	{"spin-sum", // pure loop, no calls: the whole win is the loop body
+		`function hot(n) {
+			var a = 0;
+			var b = 1;
+			var i = 0;
+			while (i < n) {
+				var t = (a + b) %% 1000003;
+				a = b;
+				b = t;
+				i = i + 1;
+			}
+			return a;
+		}
+		var result = hot(%d);
+		print(result);`, 60000, false},
+	{"helper-call", // helper tiers up at its call boundary in BOTH cells;
+		// only OSR gets the outer loop there too
+		`function weight(a, b) { return (a * 3 + b) %% 1000003; }
+		function hot(n) {
+			var s = 0;
+			var i = 0;
+			while (i < n) {
+				var c = weight(i, s);
+				s = (s + c + i) %% 1000003;
+				i = i + 1;
+			}
+			return s;
+		}
+		var result = hot(%d);
+		print(result);`, 30000, false},
+	{"array-stream", // inner loop streams an array through an accumulator
+		`function hot(n, m) {
+			var a = new Array(m);
+			for (var i = 0; i < m; i++) { a[i] = i; }
+			var s = 0;
+			var it = 0;
+			while (it < n) {
+				var j = 0;
+				while (j < m) {
+					s = (s + a[j]) %% 1000003;
+					j = j + 1;
+				}
+				it = it + 1;
+			}
+			return s;
+		}
+		var result = hot(%d, 64);
+		print(result);`, 500, false},
+	{"spec-deopt", // the speculation guard fails mid-run: the deopt exit
+		// must keep the first half's work, and the cell must still win
+		`function flip(p, q) {
+			if (p < %d) { return (q * 2 + p) %% 1000003; }
+			return;
+		}
+		function hot(n) {
+			var s = 0;
+			var i = 0;
+			while (i < n) {
+				var c = flip(i, s);
+				if (c) { s = (s + c + i) %% 1000003; }
+				i = i + 1;
+			}
+			return s;
+		}
+		var result = hot(%d);
+		print(result);`, 20000, true},
+}
+
+// diffSemantic compares two cells on everything except policy verdicts
+// and step counts: the osr cell compiles the single-call hot function and
+// runs it natively, the boundary cell never can, so verdict counts differ
+// by construction and steps are charged per-op of different tiers (LIR
+// after regalloc executes fewer ops per iteration than bytecode). The
+// fused/unfused and jit/jit+osr step identities live in the native suite
+// and the difftest matrix, where both cells run the same tier.
+func (a nativeObservation) diffSemantic(b nativeObservation) string {
+	switch {
+	case a.runValue != b.runValue:
+		return fmt.Sprintf("run value %q vs %q", a.runValue, b.runValue)
+	case a.resultG != b.resultG:
+		return fmt.Sprintf("result global %q vs %q", a.resultG, b.resultG)
+	case a.output != b.output:
+		return "print output differs"
+	case a.errMsg != b.errMsg:
+		return fmt.Sprintf("error %q vs %q", a.errMsg, b.errMsg)
+	}
+	return ""
+}
+
+// osrSource instantiates one corpus program at the configured scale.
+func osrSource(b osrBenchProg, scale int) string {
+	n := b.iters * scale
+	if strings.Count(b.src, "%d") == 2 {
+		// spec-deopt: the flip point sits mid-loop so the guard fails
+		// after real work has accumulated in native registers.
+		return fmt.Sprintf(b.src, n/2, n)
+	}
+	return fmt.Sprintf(b.src, n)
+}
+
+// OSRBench produces the report. Timing is strictly serial and interleaved
+// (boundary, osr, boundary, osr, ...) so host drift lands on both cells;
+// the minimum per cell is compared.
+func OSRBench(cfg Config) (*OSRBenchReport, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Repeats < 5 {
+		cfg.Repeats = 5
+	}
+	db, bugs, err := BuildDB(4, cfg.IonThreshold)
+	if err != nil {
+		return nil, err
+	}
+	rep := &OSRBenchReport{Gate: OSRGate, Identical: true}
+	var logSum float64
+	for _, b := range osrBenches {
+		src := osrSource(b, cfg.Scale)
+		// Low, equal thresholds in both cells: the point is the install
+		// site, not the warmup length. OSRThreshold defaults to
+		// IonThreshold, so the osr cell compiles after 30 back edges —
+		// a vanishing fraction of the scaled loop.
+		boundary := engine.Config{
+			IonThreshold: 30, BaselineThreshold: 10,
+			Speculate: b.speculate, Bugs: bugs,
+		}
+		osr := boundary
+		osr.OSR = true
+
+		entry := OSRBenchEntry{Name: b.name}
+		var refB, refO nativeObservation
+		for r := 0; r < cfg.Repeats; r++ {
+			obsB, durB, eb, err := observeNative(src, boundary, db)
+			if err != nil {
+				return nil, fmt.Errorf("%s boundary: %w", b.name, err)
+			}
+			obsO, durO, eo, err := observeNative(src, osr, db)
+			if err != nil {
+				return nil, fmt.Errorf("%s osr: %w", b.name, err)
+			}
+			if entry.BoundaryNs == 0 || durB.Nanoseconds() < entry.BoundaryNs {
+				entry.BoundaryNs = durB.Nanoseconds()
+			}
+			if entry.OSRNs == 0 || durO.Nanoseconds() < entry.OSRNs {
+				entry.OSRNs = durO.Nanoseconds()
+			}
+			refB, refO = obsB, obsO
+			stO := eo.Stats()
+			entry.OSREntries = stO.OSREntries
+			entry.DeoptExits = stO.DeoptExits
+			if stB := eb.Stats(); stB.OSREntries != 0 {
+				return nil, fmt.Errorf("%s: boundary cell recorded %d OSR entries with OSR off", b.name, stB.OSREntries)
+			}
+		}
+		entry.Steps = refO.steps
+		if d := refB.diffSemantic(refO); d != "" && rep.Identical {
+			rep.Identical = false
+			rep.Mismatch = fmt.Sprintf("%s: %s", b.name, d)
+		}
+		if entry.OSREntries == 0 {
+			rep.NeverEntered = append(rep.NeverEntered, b.name)
+		}
+		if entry.OSRNs > 0 {
+			entry.Speedup = float64(entry.BoundaryNs) / float64(entry.OSRNs)
+			logSum += math.Log(entry.Speedup)
+		}
+		rep.Benches = append(rep.Benches, entry)
+	}
+	if n := len(rep.Benches); n > 0 {
+		rep.GeomeanSpeedup = math.Exp(logSum / float64(n))
+	}
+	return rep, nil
+}
+
+// RenderOSR renders the report for the terminal.
+func RenderOSR(r *OSRBenchReport) string {
+	var sb strings.Builder
+	sb.WriteString("Loop-header OSR tier-up (single long-running-call corpus)\n")
+	sb.WriteString("  each program calls its hot function ONCE: without OSR the call\n")
+	sb.WriteString("  never returns to an install point, so the loop stays interpreted;\n")
+	sb.WriteString("  with OSR the back edges compile it and execution transfers at the\n")
+	sb.WriteString("  loop header. Semantics must be identical — speed and the install\n")
+	sb.WriteString("  site are the only differences.\n")
+	sb.WriteString(fmt.Sprintf("  %-14s %12s %12s %9s %12s %8s %8s\n",
+		"benchmark", "boundary", "osr", "speedup", "steps", "entries", "deopts"))
+	for _, e := range r.Benches {
+		sb.WriteString(fmt.Sprintf("  %-14s %12s %12s %8.2fx %12d %8d %8d\n",
+			e.Name, time.Duration(e.BoundaryNs).Round(time.Microsecond),
+			time.Duration(e.OSRNs).Round(time.Microsecond), e.Speedup,
+			e.Steps, e.OSREntries, e.DeoptExits))
+	}
+	sb.WriteString(fmt.Sprintf("  geomean speedup: %.2fx\n", r.GeomeanSpeedup))
+	if r.Identical {
+		sb.WriteString("  boundary/osr behavior: identical on every benchmark\n")
+	} else {
+		sb.WriteString(fmt.Sprintf("  boundary/osr behavior: MISMATCH (%s)\n", r.Mismatch))
+	}
+	if len(r.NeverEntered) > 0 {
+		sb.WriteString(fmt.Sprintf("  NEVER ENTERED mid-loop: %s\n", strings.Join(r.NeverEntered, ", ")))
+	}
+	return sb.String()
+}

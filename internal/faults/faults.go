@@ -46,6 +46,19 @@ const (
 	// target it explicitly to exercise the queue (stall exhausts the job's
 	// step budget, panic must be contained by the worker-side supervisor).
 	PointQueue Point = "queue"
+	// PointOSR and PointDeopt gate the tier-transition edges of the OSR
+	// machinery: PointOSR is hit once per attempted loop-header on-stack
+	// replacement (detail: function), immediately before native registers
+	// are materialized; PointDeopt once per guard-failure deopt exit
+	// (detail: function), before interpreter state is reconstructed. They
+	// are not part of CompilePoints() — they sit on the dispatch path, not
+	// the compile path, and randomized compile-path schedules would never
+	// reach them in interpreter-reference cells; target them explicitly.
+	// Containment contract: an injected fault at either point must refuse
+	// the transition (stay on the current tier) with 1:1 accounting, never
+	// corrupt frame state.
+	PointOSR   Point = "osr"   // loop-header OSR entry (detail: function)
+	PointDeopt Point = "deopt" // guard-failure deopt exit (detail: function)
 )
 
 // CompilePoints lists the points on the per-function compile/dispatch
@@ -54,6 +67,14 @@ const (
 // compilation and have their own fail-safe semantics).
 func CompilePoints() []Point {
 	return []Point{PointMIRBuild, PointPass, PointLower, PointRegalloc, PointFuse, PointNative}
+}
+
+// KnownPoints lists every registered injection point — the compile path,
+// database persistence, the background queue, and the OSR/deopt
+// tier-transition edges. This is the validation set for ParseRule and the
+// chaos CLI's -points flag.
+func KnownPoints() []Point {
+	return append(CompilePoints(), PointDBSave, PointDBLoad, PointQueue, PointOSR, PointDeopt)
 }
 
 // Kind is what happens when a scheduled fault fires.
@@ -106,7 +127,7 @@ func ParseRule(s string) (Rule, error) {
 		return Rule{}, fmt.Errorf("fault rule %q: unknown kind %q", s, parts[1])
 	}
 	known := false
-	for _, p := range append(CompilePoints(), PointDBSave, PointDBLoad, PointQueue) {
+	for _, p := range KnownPoints() {
 		if r.Point == p {
 			known = true
 		}

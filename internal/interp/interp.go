@@ -36,6 +36,15 @@ type Dispatcher interface {
 	CallFunction(idx int, args []value.Value) (value.Value, error)
 }
 
+// OSRHook is invoked at interpreter loop back edges (backward OpJump with
+// an empty operand stack — a statement boundary). The engine implements it
+// to perform on-stack replacement: transferring the activation into native
+// code mid-loop. The hook returns (result, done, err): done=false means the
+// transfer was declined and interpretation continues at the jump target;
+// done=true means native code ran the activation to completion (result, or
+// err) and the interpreter frame must be abandoned.
+type OSRHook func(fn *bytecode.Function, targetPC int, locals []value.Value) (value.Value, bool, error)
+
 // VM executes bytecode functions. It is not safe for concurrent use.
 type VM struct {
 	Prog     *bytecode.Program
@@ -44,6 +53,10 @@ type VM struct {
 	Out      io.Writer
 	Dispatch Dispatcher
 	MaxSteps int64
+	// OSR, when non-nil, is consulted at loop back edges. Nil (the default)
+	// keeps the interpreter's per-op behavior byte-identical to a build
+	// without OSR support.
+	OSR OSRHook
 
 	steps int64
 	rng   uint64
@@ -138,6 +151,20 @@ func (vm *VM) Exec(fn *bytecode.Function, args []value.Value) (value.Value, erro
 		n = fn.NumParams
 	}
 	copy(locals, args[:n])
+	return vm.run(fn, locals, 0, true)
+}
+
+// ExecFrom resumes interpreting fn at pc0 over caller-owned locals — the
+// engine uses it to continue an activation after a deoptimization rebuilt
+// the frame. The locals slice is not pooled (the caller owns it) and must
+// be at least fn.NumLocals long. allowOSR=false prevents a deopted loop
+// from immediately OSR-ing back into the code it just deopted from.
+func (vm *VM) ExecFrom(fn *bytecode.Function, locals []value.Value, pc0 int, allowOSR bool) (value.Value, error) {
+	return vm.run(fn, locals, pc0, allowOSR)
+}
+
+// run is the interpreter loop over an established frame.
+func (vm *VM) run(fn *bytecode.Function, locals []value.Value, pc0 int, allowOSR bool) (value.Value, error) {
 	stack := vm.getFrame(0)
 	defer func() { vm.putFrame(stack) }()
 
@@ -149,7 +176,7 @@ func (vm *VM) Exec(fn *bytecode.Function, args []value.Value) (value.Value, erro
 	}
 
 	code := fn.Code
-	for pc := 0; pc < len(code); pc++ {
+	for pc := pc0; pc < len(code); pc++ {
 		vm.steps++
 		if vm.steps > vm.MaxSteps {
 			return value.Undef(), fmt.Errorf("%w after %d steps in %s", ErrBudget, vm.steps, fn.Name)
@@ -265,7 +292,19 @@ func (vm *VM) Exec(fn *bytecode.Function, args []value.Value) (value.Value, erro
 			push(compare(x, y, func(a, b float64) bool { return a >= b }, func(a, b string) bool { return a >= b }))
 
 		case bytecode.OpJump:
-			pc = int(in.A) - 1
+			target := int(in.A)
+			if target <= pc && allowOSR && vm.OSR != nil && len(stack) == 0 {
+				// Loop back edge at a statement boundary: offer the engine an
+				// on-stack replacement into native code.
+				res, done, err := vm.OSR(fn, target, locals)
+				if err != nil {
+					return value.Undef(), err
+				}
+				if done {
+					return res, nil
+				}
+			}
+			pc = target - 1
 		case bytecode.OpJumpIfFalse:
 			if !pop().ToBool() {
 				pc = int(in.A) - 1

@@ -257,6 +257,11 @@ func Fuse(c *Code) *FusedCode {
 			A: src.A, B: src.B, C: src.C,
 			Target: src.Target, Imm: src.Imm, Aux: src.Aux,
 		}, pc, 1)
+		if src.Kind == KOSRPoint {
+			// OSR markers charge no step in either executor; Result.Steps
+			// must be bit-identical to code compiled without OSR support.
+			f.Ops[len(f.Ops)-1].NSteps = 0
+		}
 		pc++
 	}
 	emit(FOp{Kind: FEnd}, n, 1)

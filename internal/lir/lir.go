@@ -67,6 +67,20 @@ const (
 
 	KCall // Dst = call fn Aux with args ArgLists[A]; B = expected kind (0 num, 1 object)
 
+	// KCallSpec is KCall with a speculative type guard on the return value:
+	// it accepts exactly a Number (no boolean/undefined coercion) and
+	// triggers deoptimization — returning StatusDeopt with the interpreter
+	// frame rebuilt from the DeoptExits side table — on anything else.
+	// Target is an index into Code.DeoptExits, NOT a jump target. Aux/A/B/C
+	// are as KCall (B is always 0: only number-typed calls are speculated).
+	KCallSpec
+
+	// KOSRPoint marks a loop-header on-stack-replacement entry (side table
+	// Code.OSREntries, keyed by Aux = loop ordinal). At runtime it is a nop
+	// and charges NO step, so Result.Steps is bit-identical to code compiled
+	// without OSR support.
+	KOSRPoint
+
 	KRetNum   // return Num(A) (NaN result means the JS value NaN)
 	KRetObj   // return ArrayRef(A)
 	KRetUndef // return undefined
@@ -90,7 +104,8 @@ var kindNames = map[Kind]string{
 	KSetLen: "setlen", KPush: "push", KPop: "pop", KNewArr: "newarr",
 	KAddrOf: "addrof", KCodeBase: "codebase",
 	KLoadGlobal: "loadglobal", KStoreGlobalNum: "storeglobalnum", KStoreGlobalObj: "storeglobalobj",
-	KCall: "call", KRetNum: "retnum", KRetObj: "retobj", KRetUndef: "retundef",
+	KCall: "call", KCallSpec: "callspec", KOSRPoint: "osrpoint",
+	KRetNum: "retnum", KRetObj: "retobj", KRetUndef: "retundef",
 }
 
 // String returns the mnemonic.
@@ -125,6 +140,93 @@ type BlockMeta struct {
 	LoopHeads []int32
 }
 
+// Frame-slot kinds for OSR/deopt frame maps. The kind is decided statically
+// from the MIR type of the slot's definition; the runtime transfer trusts it
+// (registers are raw float64s with no reliable tag at a frame boundary).
+const (
+	SlotNum  uint8 = iota // unboxed number
+	SlotBool              // boolean materialized as 0/1
+	SlotObj               // array handle
+)
+
+// slotKind maps a MIR value type to a frame-slot kind. ok is false for
+// types that cannot cross an interpreter/native frame boundary.
+func slotKind(t mir.Type) (uint8, bool) {
+	switch t {
+	case mir.TypeDouble:
+		return SlotNum, true
+	case mir.TypeBoolean:
+		return SlotBool, true
+	case mir.TypeObject:
+		return SlotObj, true
+	default:
+		return 0, false
+	}
+}
+
+// FrameSlot maps one interpreter local to a native register in an OSR or
+// deopt frame map. Reg is a virtual register until regalloc.Allocate
+// rewrites the side tables along with the op stream.
+type FrameSlot struct {
+	Slot int32 // interpreter local slot index
+	Reg  int32 // native register holding the slot's value
+	Kind uint8 // SlotNum/SlotBool/SlotObj
+}
+
+// ConstSlot is one loop-invariant constant the OSR prologue must
+// rematerialize: GVN/LICM hoist constants out of loops, leaving their
+// registers live across the header without any interpreter local backing
+// them. Regalloc records (register, immediate) here when the register has
+// exactly one definition in the whole stream and it is a KConst; anything
+// else live outside the frame map makes the entry ineligible.
+type ConstSlot struct {
+	Reg int32
+	Imm float64
+}
+
+// Rematerialization kinds for RematOp. The bounds-check pass caches an
+// array's elements address (KElemsHandle) and length (KInitLen) in the
+// preheader; both registers stay live across the loop header with no
+// interpreter local backing them, so the OSR prologue recomputes them.
+const (
+	RematElems uint8 = iota // Reg ← arena elements address of the array handle in Src
+	RematLen                // Reg ← length header at the elements address in Src
+)
+
+// RematOp is one derived loop-invariant value the OSR prologue recomputes
+// before dispatch. Regalloc records one when an uncovered live register's
+// unique reaching definition at the header is a KElemsHandle over a
+// frame-map object slot (RematElems) or a KInitLen over such an elements
+// register (RematLen) — re-deriving from the just-materialized array
+// handle computes exactly what straight-line execution from the preheader
+// cached, since the hoist is only performed for loop-invariant arrays.
+// The list is in dependency order: a RematLen's Src is defined by an
+// earlier RematElems.
+type RematOp struct {
+	Kind uint8
+	Reg  int32 // register to write
+	Src  int32 // source register: array handle (RematElems) or elems address (RematLen)
+}
+
+// OSREntry describes one loop-header on-stack-replacement entry point.
+type OSREntry struct {
+	Ordinal  int32       // loop ordinal (matches bytecode.OSRSite.Ordinal)
+	PC       int32       // op index of the KOSRPoint marker
+	Slots    []FrameSlot // frame map: interpreter locals → registers
+	Consts   []ConstSlot // hoisted constants to rematerialize at entry
+	Remats   []RematOp   // hoisted derived values (elems handles, lengths) to recompute
+	Eligible bool        // set by regalloc: everything live here is covered by Slots+Consts+Remats
+}
+
+// DeoptExit describes the interpreter frame to rebuild when a KCallSpec
+// guard fails. The guarded call's result lands in local ResultSlot (boxed
+// exactly, no coercion); every other local comes from Slots.
+type DeoptExit struct {
+	Ordinal    int32 // speculation ordinal (matches bytecode.SpecSite.Ordinal)
+	ResultSlot int32
+	Slots      []FrameSlot
+}
+
 // Code is the compiled form of one function.
 type Code struct {
 	Name      string
@@ -133,6 +235,12 @@ type Code struct {
 	NumRegs   int
 	Ops       []Op
 	ArgLists  [][]int32 // call argument register lists
+
+	// OSREntries and DeoptExits are the OSR/deopt side tables, in emission
+	// order. Register references inside them are rewritten by
+	// regalloc.Allocate together with the op stream.
+	OSREntries []OSREntry
+	DeoptExits []DeoptExit
 
 	// Blocks is the basic-block metadata attached by regalloc.Allocate and
 	// consumed by Fuse. Nil until allocation has run; Fuse recomputes it
@@ -173,9 +281,10 @@ func LowerWith(g *mir.Graph, fctx *faults.CompileCtx) (*Code, error) {
 		}
 	}
 	l := &lowerer{
-		g:    g,
-		code: &Code{Name: g.Name, FuncIndex: g.FuncIndex, NumParams: g.NumParams},
-		reg:  map[*mir.Instr]int32{},
+		g:       g,
+		code:    &Code{Name: g.Name, FuncIndex: g.FuncIndex, NumParams: g.NumParams},
+		reg:     map[*mir.Instr]int32{},
+		callOps: map[*mir.Instr]int{},
 	}
 	code, err := l.lower()
 	if err != nil {
@@ -195,6 +304,9 @@ type lowerer struct {
 	blockStart map[*mir.Block]int32
 	// fixups: op indexes whose Target must be patched to a block start.
 	fixups []fixup
+	// callOps: op index of each lowered KCallSpec, so the OpSnapshot that
+	// references the call can patch its Target to the DeoptExits index.
+	callOps map[*mir.Instr]int
 }
 
 type fixup struct {
@@ -260,6 +372,15 @@ func (l *lowerer) lower() (*Code, error) {
 			return nil, fmt.Errorf("jump to unlowered block%d", f.block.ID)
 		}
 		l.code.Ops[f.opIdx].Target = start
+	}
+	// Downgrade orphaned speculative calls: a KCallSpec whose OpSnapshot never
+	// produced a deopt exit (unreconstructible frame) still carries the -1
+	// sentinel in Target and must run as a plain coercing call.
+	for i := range l.code.Ops {
+		if l.code.Ops[i].Kind == KCallSpec && l.code.Ops[i].Target < 0 {
+			l.code.Ops[i].Kind = KCall
+			l.code.Ops[i].Target = 0
+		}
 	}
 	l.code.NumRegs = int(l.nextReg)
 	return l.code, nil
@@ -402,7 +523,7 @@ func (l *lowerer) lowerInstr(b *mir.Block, in *mir.Instr, bi int, order []*mir.B
 			kind = KStoreGlobalObj
 		}
 		l.emit(Op{Kind: kind, A: r(0), Aux: int32(in.Aux)})
-	case mir.OpCall:
+	case mir.OpCall, mir.OpCallSpec:
 		args := make([]int32, len(in.Operands))
 		objMask := int32(0)
 		for i := range in.Operands {
@@ -419,13 +540,79 @@ func (l *lowerer) lowerInstr(b *mir.Block, in *mir.Instr, bi int, order []*mir.B
 		if in.Type == mir.TypeObject {
 			expect = 1
 		}
-		l.emit(Op{
-			Kind: KCall, Dst: l.regOf(in),
-			A:   int32(len(l.code.ArgLists) - 1),
-			B:   expect,
-			C:   objMask,
-			Aux: int32(in.Aux),
+		kind := KCall
+		target := int32(0)
+		if in.Op == mir.OpCallSpec {
+			// Target is the DeoptExits index, patched when the matching
+			// OpSnapshot lowers; -1 marks an orphan for the downgrade sweep.
+			kind, target = KCallSpec, -1
+		}
+		idx := l.emit(Op{
+			Kind: kind, Dst: l.regOf(in),
+			A:      int32(len(l.code.ArgLists) - 1),
+			B:      expect,
+			C:      objMask,
+			Aux:    int32(in.Aux),
+			Target: target,
 		})
+		if in.Op == mir.OpCallSpec {
+			l.callOps[in] = idx
+		}
+	case mir.OpOSREntry:
+		// Record the OSR entry (skipped when any live-in local has a type
+		// that cannot cross the frame boundary) and always emit the marker —
+		// the op stream must be identical whether or not the entry is usable,
+		// and the marker charges no step either way.
+		pc := int32(len(l.code.Ops))
+		entry := OSREntry{Ordinal: int32(in.Aux), PC: pc}
+		ok := true
+		for i, def := range in.Operands {
+			k, valid := slotKind(def.Type)
+			if !valid {
+				ok = false
+				break
+			}
+			entry.Slots = append(entry.Slots, FrameSlot{Slot: int32(i), Reg: l.regOf(def), Kind: k})
+		}
+		if ok {
+			l.code.OSREntries = append(l.code.OSREntries, entry)
+		}
+		l.emit(Op{Kind: KOSRPoint, Aux: int32(in.Aux)})
+	case mir.OpSnapshot:
+		// No op is emitted: the snapshot only feeds the deopt side table of
+		// the speculated call it references. A snapshot over a plain OpCall
+		// (speculation pass declined or disabled) lowers to nothing.
+		if len(in.Operands) == 0 {
+			return nil
+		}
+		call := in.Operands[0]
+		idx, speculated := l.callOps[call]
+		if !speculated {
+			return nil
+		}
+		exit := DeoptExit{Ordinal: int32(in.Num) - 1, ResultSlot: -1}
+		ok := true
+		for i, def := range in.Operands[1:] {
+			if def == call {
+				if exit.ResultSlot >= 0 {
+					ok = false // ambiguous result slot; leave the call orphaned
+					break
+				}
+				exit.ResultSlot = int32(i)
+				continue
+			}
+			k, valid := slotKind(def.Type)
+			if !valid {
+				ok = false
+				break
+			}
+			exit.Slots = append(exit.Slots, FrameSlot{Slot: int32(i), Reg: l.regOf(def), Kind: k})
+		}
+		if !ok || exit.ResultSlot < 0 {
+			return nil // downgrade sweep reverts the orphan KCallSpec
+		}
+		l.code.Ops[idx].Target = int32(len(l.code.DeoptExits))
+		l.code.DeoptExits = append(l.code.DeoptExits, exit)
 	case mir.OpGoto:
 		l.emitPhiMoves(b, b.Succs[0])
 		l.jumpTo(b.Succs[0], bi, order)

@@ -91,6 +91,9 @@ const (
 	OpLoadGlobal  // Aux = global slot
 	OpStoreGlobal // Aux = global slot
 	OpCall        // Aux = function index
+	OpCallSpec    // speculated OpCall: result assumed TypeDouble, deopts otherwise
+	OpOSREntry    // loop-header OSR point; operands = frame map (locals in slot order), Aux = loop ordinal
+	OpSnapshot    // deopt frame map after a call-assign; operands = [call, locals in slot order], Num = spec ordinal+1
 	OpAddrOf
 	OpCodeBase
 	OpMagic // placeholder for an optimized-out value (sentinel constant)
@@ -195,6 +198,16 @@ var opInfo = [numOps]opInfoEntry{
 	OpLoadGlobal:        {name: "loadglobal", movable: true, loads: AliasGlobal},
 	OpStoreGlobal:       {name: "storeglobal", stores: AliasGlobal},
 	OpCall:              {name: "call", loads: AliasAny, stores: AliasAny},
+	OpCallSpec:          {name: "callspec", loads: AliasAny, stores: AliasAny},
+	// OpOSREntry/OpSnapshot produce no value but pin a frame map. They are
+	// deliberately alias-neutral (their operands are SSA values, so their
+	// position relative to memory ops is irrelevant) so that enabling
+	// OSR/speculation does not perturb GVN/LICM decisions — the optimized
+	// MIR, and therefore the DNA chains the policy sees, stay identical
+	// with the feature on or off. HasEffects lists them explicitly so DCE
+	// keeps them (and keeps the locals they reference alive).
+	OpOSREntry: {name: "osrentry"},
+	OpSnapshot: {name: "snapshot"},
 	OpAddrOf:            {name: "addrof", movable: true, loads: AliasObjectFields},
 	OpCodeBase:          {name: "codebase", movable: true},
 	OpMagic:             {name: "magic", movable: true},
@@ -229,7 +242,7 @@ func (o Op) Stores() AliasSet { return opInfo[o].stores }
 func (o Op) HasEffects() bool {
 	switch o {
 	case OpStoreElement, OpSetLength, OpArrayPush, OpArrayPop, OpStoreGlobal,
-		OpCall, OpNewArray, OpKeepAlive:
+		OpCall, OpCallSpec, OpNewArray, OpKeepAlive, OpOSREntry, OpSnapshot:
 		return true
 	}
 	return opInfo[o].stores != AliasNone
@@ -276,7 +289,8 @@ func (in *Instr) String() string {
 	switch in.Op {
 	case OpConstant:
 		fmt.Fprintf(&sb, " %v", in.Num)
-	case OpParameter, OpLoadGlobal, OpStoreGlobal, OpCall, OpMathFunc:
+	case OpParameter, OpLoadGlobal, OpStoreGlobal, OpCall, OpCallSpec,
+		OpMathFunc, OpOSREntry:
 		fmt.Fprintf(&sb, " #%d", in.Aux)
 	case OpCompare:
 		fmt.Fprintf(&sb, " %s", CompareKind(in.Aux))

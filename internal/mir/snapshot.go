@@ -67,10 +67,19 @@ func snapOpcode(in *Instr) string {
 			return snapOpcodeCache.mathfunc[n]
 		}
 		return "mathfunc#" + strconv.Itoa(in.Aux)
+	case OpCallSpec:
+		// Speculated calls fingerprint as plain calls: the speculation is a
+		// lowering detail, and DNA chains must not shift when it toggles.
+		return opInfo[OpCall].name
 	default:
 		return in.Op.String()
 	}
 }
+
+// snapSkip reports whether the op is an OSR/deopt frame-map marker that
+// snapshots omit: the markers exist only when OSR/speculation is enabled, and
+// chains fed to the DNA policy must stay identical with the feature on vs off.
+func snapSkip(op Op) bool { return op == OpOSREntry || op == OpSnapshot }
 
 // Snap captures the current live instructions of the graph in reverse
 // postorder. The snapshot is built with exactly two allocations (the
@@ -81,7 +90,7 @@ func (g *Graph) Snap() *Snapshot {
 	nInstrs, nOps := 0, 0
 	for _, b := range rpo {
 		for _, in := range b.Instrs {
-			if in.Dead {
+			if in.Dead || snapSkip(in.Op) {
 				continue
 			}
 			nInstrs++
@@ -95,7 +104,7 @@ func (g *Graph) Snap() *Snapshot {
 	}
 	for _, b := range rpo {
 		for _, in := range b.Instrs {
-			if in.Dead {
+			if in.Dead || snapSkip(in.Op) {
 				continue
 			}
 			si := SnapInstr{ID: in.ID, Opcode: snapOpcode(in)}

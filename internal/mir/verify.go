@@ -193,7 +193,8 @@ func (g *Graph) VerifyOpts(opts VerifyOptions) []string {
 func checkInstrType(in *Instr) string {
 	switch in.Op {
 	case OpGoto, OpTest, OpReturn, OpReturnUndef,
-		OpStoreElement, OpStoreGlobal, OpSetLength, OpKeepAlive, OpNop:
+		OpStoreElement, OpStoreGlobal, OpSetLength, OpKeepAlive, OpNop,
+		OpOSREntry, OpSnapshot:
 		if in.Type != TypeNone {
 			return fmt.Sprintf("%s must not produce a value (has type %s)", in.Op, in.Type)
 		}

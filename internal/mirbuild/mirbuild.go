@@ -44,6 +44,15 @@ type Options struct {
 	// Faults is the compile supervisor's context (step budget + fault
 	// injection); nil is valid and free.
 	Faults *faults.CompileCtx
+
+	// OSR marks loop headers with OpOSREntry frame maps (locals → MIR
+	// values) so the engine can transfer mid-loop into native code.
+	// Speculate emits OpSnapshot frame maps after eligible call-assignment
+	// statements so the TypeSpeculation pass can turn calls into guarded
+	// OpCallSpec. Both default off, in which case the built MIR is
+	// bit-identical to a build without the feature.
+	OSR       bool
+	Speculate bool
 }
 
 // Build compiles fd into a fresh MIR graph. prog supplies name resolution
@@ -108,6 +117,16 @@ type builder struct {
 
 	locals map[string]bool // param + hoisted var names (function scope)
 
+	// slotNames lists the locals in bytecode slot order (params first, then
+	// hoisted vars in first-encounter walk order) — the same assignment the
+	// bytecode compiler performs, so OSR/deopt frame maps index interpreter
+	// frames correctly.
+	slotNames []string
+	// loopOrd/specOrd number loop statements and speculation sites in
+	// lockstep with the bytecode compiler's identical counters.
+	loopOrd int
+	specOrd int
+
 	// Loop context stack for break/continue.
 	loops []*loopBlocks
 }
@@ -122,14 +141,19 @@ func (b *builder) build() error {
 	b.sealed[entry] = true
 	b.cur = entry
 
-	// Hoist locals (params + every var declared anywhere in the body).
+	// Hoist locals (params + every var declared anywhere in the body),
+	// recording slot order exactly as the bytecode compiler assigns it.
 	for _, p := range b.fd.Params {
 		b.locals[p] = true
 	}
+	b.slotNames = append(b.slotNames, b.fd.Params...)
 	ast.Walk(b.fd.Body, func(n ast.Node) bool {
 		if vd, ok := n.(*ast.VarDecl); ok {
 			for _, name := range vd.Names {
-				b.locals[name] = true
+				if !b.locals[name] {
+					b.locals[name] = true
+					b.slotNames = append(b.slotNames, name)
+				}
 			}
 		}
 		return true
@@ -459,7 +483,11 @@ func (b *builder) emit(in *mir.Instr) *mir.Instr { return b.cur.Append(in) }
 
 func (b *builder) stmt(s ast.Stmt) error {
 	if b.terminated {
-		return nil // unreachable code after return/break/continue: skip
+		// Unreachable code after return/break/continue: skip, but keep the
+		// ordinal counters in lockstep — the bytecode compiler emits (and
+		// numbers) unreachable statements.
+		b.countOrdinals(s)
+		return nil
 	}
 	switch s := s.(type) {
 	case *ast.BlockStmt:
@@ -481,11 +509,24 @@ func (b *builder) stmt(s ast.Stmt) error {
 			if err := b.assignName(name, v); err != nil {
 				return err
 			}
+			b.maybeSnapshot(name, s.Inits[i], v)
 		}
 		return nil
 	case *ast.ExprStmt:
-		_, err := b.expr(s.X)
-		return err
+		v, err := b.expr(s.X)
+		if err != nil {
+			return err
+		}
+		if x, ok := s.X.(*ast.AssignExpr); ok {
+			if t, ok := x.Target.(*ast.Ident); ok && x.Op == token.Assign {
+				// Statement-level `x = f(...)` only: deoptimization resumes
+				// at statement boundaries, so nested assignment expressions
+				// are deliberately not speculation sites (same rule as the
+				// bytecode compiler).
+				b.maybeSnapshot(t.Name, x.Value, v)
+			}
+		}
+		return nil
 	case *ast.ReturnStmt:
 		if s.Value == nil {
 			b.emit(b.g.NewInstr(mir.OpReturnUndef, mir.TypeNone))
@@ -573,6 +614,11 @@ func (b *builder) loop(init ast.Stmt, cond ast.Expr, post ast.Expr, body ast.Stm
 			return err
 		}
 	}
+	// Consume this loop statement's ordinal (do-while included, matching
+	// the compiler's numbering) before descending into nested loops.
+	loopOrd := b.loopOrd
+	b.loopOrd++
+
 	header := b.g.NewBlock() // loop header: condition re-evaluation point
 	exit := b.g.NewBlock()
 	bodyB := b.g.NewBlock()
@@ -583,8 +629,21 @@ func (b *builder) loop(init ast.Stmt, cond ast.Expr, post ast.Expr, body ast.Stm
 	if bodyFirst {
 		// do-while: header is the body start itself; we model it as
 		// header -> body unconditionally, condition checked at the latch.
+		// No OSR entry: the bytecode back edge is a conditional jump the
+		// interpreter's OSR hook does not watch.
 		b.gotoBlock(bodyB)
 	} else {
+		if b.opts.OSR {
+			// OSR entry point: the frame map reads every local at the top
+			// of the header (unsealed, so reads become loop phis merged
+			// over the back edge), in bytecode slot order.
+			entry := b.g.NewInstr(mir.OpOSREntry, mir.TypeNone)
+			entry.Aux = loopOrd
+			for _, name := range b.slotNames {
+				entry.Operands = append(entry.Operands, b.readVar(name, header))
+			}
+			b.emit(entry)
+		}
 		var c *mir.Instr
 		var err error
 		if cond != nil {
@@ -630,6 +689,79 @@ func (b *builder) loop(init ast.Stmt, cond ast.Expr, post ast.Expr, body ast.Stm
 	b.sealBlock(exit)
 	b.startBlock(exit)
 	return nil
+}
+
+// ---- OSR / speculation sites ----
+
+// specEligible mirrors the bytecode compiler's predicate for speculation
+// sites: a direct call to a declared nanojs function assigned to a local.
+// Keeping the predicates identical keeps the two sides' ordinal numbering in
+// lockstep without sharing any state.
+func (b *builder) specEligible(name string, v ast.Expr) bool {
+	if v == nil || !b.locals[name] {
+		return false
+	}
+	call, ok := v.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	callee, ok := call.Callee.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, declared := b.prog.FuncByName[callee.Name]
+	return declared
+}
+
+// maybeSnapshot records a speculation site after a statement-level
+// call-assignment: the ordinal is always consumed (compiler parity); the
+// OpSnapshot frame map — [assigned value, locals in slot order] — is only
+// emitted when speculation is enabled.
+func (b *builder) maybeSnapshot(name string, init ast.Expr, v *mir.Instr) {
+	if !b.specEligible(name, init) {
+		return
+	}
+	ord := b.specOrd
+	b.specOrd++
+	if !b.opts.Speculate {
+		return
+	}
+	snap := b.g.NewInstr(mir.OpSnapshot, mir.TypeNone)
+	snap.Num = float64(ord + 1) // +1: zero means "no ordinal"
+	snap.Operands = append(snap.Operands, v)
+	for _, n := range b.slotNames {
+		snap.Operands = append(snap.Operands, b.readVar(n, b.cur))
+	}
+	b.emit(snap)
+}
+
+// countOrdinals walks an unreachable statement, consuming the loop and
+// speculation ordinals the bytecode compiler (which emits dead code) would
+// consume, so later reachable sites stay aligned.
+func (b *builder) countOrdinals(s ast.Stmt) {
+	if s == nil {
+		return
+	}
+	ast.Walk(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.WhileStmt, *ast.DoWhileStmt, *ast.ForStmt:
+			b.loopOrd++
+		case *ast.VarDecl:
+			for i, name := range n.Names {
+				if b.specEligible(name, n.Inits[i]) {
+					b.specOrd++
+				}
+			}
+		case *ast.ExprStmt:
+			if x, ok := n.X.(*ast.AssignExpr); ok {
+				if t, ok := x.Target.(*ast.Ident); ok && x.Op == token.Assign &&
+					b.specEligible(t.Name, x.Value) {
+					b.specOrd++
+				}
+			}
+		}
+		return true
+	})
 }
 
 // ---- expressions ----

@@ -35,10 +35,14 @@ const (
 type Status int
 
 // Execution outcomes. StatusBail means a guard failed: the caller must
-// re-execute the call in the interpreter.
+// re-execute the call in the interpreter. StatusDeopt means a speculative
+// type guard (KCallSpec) failed mid-execution: Result.Deopt carries the
+// reconstructed interpreter frame and the caller resumes interpreting at
+// the matching bytecode pc — unlike a bail, the work done so far is kept.
 const (
 	StatusOK Status = iota
 	StatusBail
+	StatusDeopt
 )
 
 // ResultKind tags the returned value.
@@ -61,6 +65,20 @@ type Result struct {
 	Val    float64
 	Steps  int64
 	Checks int64
+	// Deopt is the reconstructed interpreter frame when Status is
+	// StatusDeopt, nil otherwise.
+	Deopt *DeoptState
+}
+
+// DeoptState is the interpreter frame rebuilt at a failed speculation
+// guard. Locals are boxed from the frame map's static slot kinds — runtime
+// tags are never trusted at a frame boundary — except the guarded call's
+// own result, which is passed through exactly as the callee returned it
+// (the interpreter applies its own coercion at the resume point, so the
+// deopt is semantically invisible).
+type DeoptState struct {
+	Exit   int32 // index into lir.Code.DeoptExits
+	Locals []value.Value
 }
 
 // Value boxes the result.
@@ -237,6 +255,12 @@ func execSwitch(code *lir.Code, regs []float64, tags []Tag, h Hooks, maxOps int6
 		op := &code.Ops[pc]
 		switch op.Kind {
 		case lir.KNop:
+		case lir.KOSRPoint:
+			// Loop-header OSR marker: a nop that charges no step, so Steps
+			// is bit-identical to code compiled without OSR support. (The
+			// loop-top increment already ran; undo it. A budget trip at the
+			// marker is indistinguishable from tripping at the next real op.)
+			steps--
 		case lir.KConst:
 			regs[op.Dst] = op.Imm
 		case lir.KMove, lir.KMoveTag:
@@ -463,6 +487,45 @@ func execSwitch(code *lir.Code, regs []float64, tags []Tag, h Hooks, maxOps int6
 					return Result{}, StatusBail, nil
 				}
 			}
+		case lir.KCallSpec:
+			// KCall with a strict return-type guard: exactly a Number is
+			// accepted (where KCall silently coerces booleans/undefined).
+			// Anything else deoptimizes: the interpreter frame is rebuilt
+			// from the deopt exit's frame map and the raw callee result.
+			argRegs := code.ArgLists[op.A]
+			var callArgs []value.Value
+			base := -1
+			if pool != nil {
+				base = len(pool.args)
+				for range argRegs {
+					pool.args = append(pool.args, value.Value{})
+				}
+				callArgs = pool.args[base : base+len(argRegs)]
+			} else {
+				callArgs = make([]value.Value, len(argRegs))
+			}
+			for i, ar := range argRegs {
+				if op.C&(1<<i) != 0 {
+					callArgs[i] = value.ArrayRef(int32(regs[ar]))
+				} else {
+					callArgs[i] = value.Num(regs[ar])
+				}
+			}
+			cres, err := h.CallFunction(int(op.Aux), callArgs)
+			if base >= 0 {
+				pool.args = pool.args[:base]
+			}
+			if err != nil {
+				return Result{}, StatusOK, err
+			}
+			if cres.Type() == value.Number {
+				regs[op.Dst], tags[op.Dst] = cres.AsNumber(), TagNumber
+				break
+			}
+			if op.Target < 0 || int(op.Target) >= len(code.DeoptExits) {
+				return Result{}, StatusBail, nil // orphan guard; treat as bail
+			}
+			return Result{Deopt: buildDeopt(code, op.Target, regs, cres)}, StatusDeopt, nil
 		case lir.KRetNum:
 			return Result{Kind: ResNum, Val: regs[op.A]}, StatusOK, nil
 		case lir.KRetObj:
@@ -474,6 +537,145 @@ func execSwitch(code *lir.Code, regs []float64, tags []Tag, h Hooks, maxOps int6
 		}
 	}
 	return Result{Kind: ResUndef}, StatusOK, nil
+}
+
+// buildDeopt boxes the interpreter locals for deopt exit exitIdx from the
+// current register state, placing the guarded call's raw result in its
+// destination slot.
+func buildDeopt(code *lir.Code, exitIdx int32, regs []float64, result value.Value) *DeoptState {
+	exit := &code.DeoptExits[exitIdx]
+	n := int(exit.ResultSlot) + 1
+	for _, s := range exit.Slots {
+		if int(s.Slot)+1 > n {
+			n = int(s.Slot) + 1
+		}
+	}
+	locals := make([]value.Value, n)
+	for _, s := range exit.Slots {
+		switch s.Kind {
+		case lir.SlotBool:
+			locals[s.Slot] = value.Bool(regs[s.Reg] != 0)
+		case lir.SlotObj:
+			locals[s.Slot] = value.ArrayRef(int32(regs[s.Reg]))
+		default:
+			locals[s.Slot] = value.Num(regs[s.Reg])
+		}
+	}
+	locals[exit.ResultSlot] = result
+	return &DeoptState{Exit: exitIdx, Locals: locals}
+}
+
+// ExecOSR transfers execution into code mid-loop: the interpreter's locals
+// are materialized into a fresh register frame per the OSR entry's frame
+// map and execution starts at the loop-header marker. entered=false means
+// the transfer was refused (ineligible entry, or a local's runtime type
+// does not match the frame map's static kind) — the caller keeps
+// interpreting; nothing has run.
+//
+// Materialization is strict: a number slot accepts exactly a Number (a
+// boolean or undefined local would be silently renumbered by the frame's
+// untagged registers, diverging from the interpreter after a later deopt),
+// a boolean slot exactly a Boolean, an object slot exactly an Array.
+func ExecOSR(code *lir.Code, entryIdx int, locals []value.Value, h Hooks, maxOps int64, pool *Pool, unfused bool) (Result, Status, error, bool) {
+	if entryIdx < 0 || entryIdx >= len(code.OSREntries) {
+		return Result{}, StatusOK, nil, false
+	}
+	e := &code.OSREntries[entryIdx]
+	if !e.Eligible {
+		return Result{}, StatusOK, nil, false
+	}
+	if maxOps <= 0 {
+		maxOps = 1 << 40
+	}
+	regs, tags := pool.getRegs(code.NumRegs)
+	defer pool.putRegs(regs, tags)
+	// The pool does not zero recycled frames; a mid-loop entry must not
+	// observe a previous call's registers through any non-frame-map slot.
+	for i := range regs {
+		regs[i], tags[i] = 0, TagOther
+	}
+	for _, s := range e.Slots {
+		var v value.Value
+		if int(s.Slot) < len(locals) {
+			v = locals[s.Slot]
+		}
+		switch s.Kind {
+		case lir.SlotNum:
+			if v.Type() != value.Number {
+				return Result{}, StatusOK, nil, false
+			}
+			regs[s.Reg], tags[s.Reg] = v.AsNumber(), TagNumber
+		case lir.SlotBool:
+			if v.Type() != value.Boolean {
+				return Result{}, StatusOK, nil, false
+			}
+			regs[s.Reg], tags[s.Reg] = v.AsNumber(), TagBoolean
+		case lir.SlotObj:
+			if !v.IsArray() {
+				return Result{}, StatusOK, nil, false
+			}
+			regs[s.Reg], tags[s.Reg] = float64(v.Handle()), TagObject
+		default:
+			return Result{}, StatusOK, nil, false
+		}
+	}
+	// Rematerialize hoisted loop-invariant constants: their KConst defs sit
+	// before the header (GVN single-def shape), so entering mid-loop skips
+	// them — regalloc recorded the immediates in the entry for exactly this.
+	for _, cs := range e.Consts {
+		regs[cs.Reg], tags[cs.Reg] = cs.Imm, TagNumber
+	}
+	// Re-derive preheader-cached values the frame map cannot carry: elements
+	// addresses (KElemsHandle) and lengths (KInitLen) of loop-invariant
+	// arrays, recomputed from the array handles just materialized — the same
+	// computations the skipped preheader ops performed. The list is in
+	// dependency order (a length's source elems register is re-derived
+	// first). Any failure refuses the transfer; nothing has run yet.
+	for _, ro := range e.Remats {
+		switch ro.Kind {
+		case lir.RematElems:
+			elems, ok := h.Arena().Elems(int32(regs[ro.Src]))
+			if !ok {
+				return Result{}, StatusOK, nil, false
+			}
+			regs[ro.Reg] = float64(elems)
+		case lir.RematLen:
+			v, crash := h.Arena().LengthAt(int(regs[ro.Src]))
+			if crash != nil {
+				return Result{}, StatusOK, nil, false
+			}
+			regs[ro.Reg] = v
+		default:
+			return Result{}, StatusOK, nil, false
+		}
+	}
+	if code.Fused != nil && !unfused {
+		if fi := fusedIdxForPC(code.Fused, e.PC); fi >= 0 {
+			res, st, err := execFusedFrom(code, regs, tags, h, maxOps, pool, int32(fi))
+			return res, st, err, true
+		}
+	}
+	res, st, err := execSwitch(code, regs, tags, h, maxOps, pool, int(e.PC), 0)
+	return res, st, err, true
+}
+
+// fusedIdxForPC finds the fused op whose first constituent is source pc
+// (-1 when pc is interior to a superinstruction — cannot happen for OSR
+// markers, which are block leaders, but the fallback keeps this total).
+func fusedIdxForPC(f *lir.FusedCode, pc int32) int {
+	lo, hi := 0, len(f.SrcPC)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		switch {
+		case f.SrcPC[mid] < pc:
+			lo = mid + 1
+		case f.SrcPC[mid] > pc:
+			hi = mid - 1
+		default:
+			return mid
+		}
+	}
+	return -1
 }
 
 func mathFunc(b bytecode.Builtin, a, c float64, h Hooks) float64 {

@@ -156,6 +156,12 @@ func (st *fstate) fail(err error) int32 {
 // through the handler table — the complete general mechanism — and
 // reloads.
 func execFused(code *lir.Code, regs []float64, tags []Tag, h Hooks, maxOps int64, pool *Pool) (Result, Status, error) {
+	return execFusedFrom(code, regs, tags, h, maxOps, pool, 0)
+}
+
+// execFusedFrom is execFused starting at fused op pc0: 0 for a normal call,
+// an OSR entry's fused index for a mid-loop transfer (ExecOSR).
+func execFusedFrom(code *lir.Code, regs []float64, tags []Tag, h Hooks, maxOps int64, pool *Pool, pc0 int32) (Result, Status, error) {
 	f := code.Fused
 	ops := f.Ops
 	cost := f.Cost
@@ -170,10 +176,16 @@ func execFused(code *lir.Code, regs []float64, tags []Tag, h Hooks, maxOps int64
 	delegate := int32(-1)
 	var steps int64
 	checks := int64(1)
-	pc := int32(0)
+	pc := pc0
 	// Entry check: the first check point covers the straight-line prefix.
-	if int64(cost[0]) > maxOps {
-		delegate = 0
+	// When pc0 is an OSR entry this can delegate onto the KOSRPoint marker
+	// itself; that is safe by construction — materialization already
+	// happened on the shared register file before dispatch, the marker is a
+	// zero-step nop in both executors, and the unfused loop resumes at the
+	// same source pc with identical state, so the frame is never
+	// re-materialized (see TestDelegationOntoOSREntry).
+	if int64(cost[pc0]) > maxOps {
+		delegate = f.SrcPC[pc0]
 		pc = -1
 	}
 	for pc >= 0 {
@@ -1190,6 +1202,56 @@ func hCall(st *fstate, op *lir.FOp, pc int32) int32 {
 	return pc + 1
 }
 
+// hOSRPoint: the loop-header OSR marker is a runtime nop charging no step
+// (its NSteps is 0 in the fused stream too), keeping Result.Steps
+// bit-identical to code compiled without OSR support.
+func hOSRPoint(st *fstate, op *lir.FOp, pc int32) int32 {
+	return pc + 1
+}
+
+// hCallSpec is hCall with a strict return-type guard: exactly a Number is
+// accepted; anything else deoptimizes with the interpreter frame rebuilt
+// from the deopt exit's frame map (op.Target indexes Code.DeoptExits).
+func hCallSpec(st *fstate, op *lir.FOp, pc int32) int32 {
+	st.steps++
+	argRegs := st.code.ArgLists[op.A]
+	var callArgs []value.Value
+	base := -1
+	if st.pool != nil {
+		base = len(st.pool.args)
+		for range argRegs {
+			st.pool.args = append(st.pool.args, value.Value{})
+		}
+		callArgs = st.pool.args[base : base+len(argRegs)]
+	} else {
+		callArgs = make([]value.Value, len(argRegs))
+	}
+	for i, ar := range argRegs {
+		if op.C&(1<<i) != 0 {
+			callArgs[i] = value.ArrayRef(int32(st.regs[ar]))
+		} else {
+			callArgs[i] = value.Num(st.regs[ar])
+		}
+	}
+	res, err := st.h.CallFunction(int(op.Aux), callArgs)
+	if base >= 0 {
+		st.pool.args = st.pool.args[:base]
+	}
+	if err != nil {
+		return st.fail(err)
+	}
+	if res.Type() == value.Number {
+		st.regs[op.Dst], st.tags[op.Dst] = res.AsNumber(), TagNumber
+		return pc + 1
+	}
+	if op.Target < 0 || int(op.Target) >= len(st.code.DeoptExits) {
+		return st.bail() // orphan guard; treat as bail
+	}
+	st.res = Result{Deopt: buildDeopt(st.code, op.Target, st.regs, res)}
+	st.status = StatusDeopt
+	return -1
+}
+
 func hRetNum(st *fstate, op *lir.FOp, pc int32) int32 {
 	st.steps++
 	st.res = Result{Kind: ResNum, Val: st.regs[op.A]}
@@ -1573,6 +1635,8 @@ func init() {
 	pt(lir.KStoreGlobalNum, hStoreGlobalNum)
 	pt(lir.KStoreGlobalObj, hStoreGlobalObj)
 	pt(lir.KCall, hCall)
+	pt(lir.KCallSpec, hCallSpec)
+	pt(lir.KOSRPoint, hOSRPoint)
 	pt(lir.KRetNum, hRetNum)
 	pt(lir.KRetObj, hRetObj)
 	pt(lir.KRetUndef, hRetUndef)

@@ -82,6 +82,7 @@ func Pipeline() []Pass {
 		splitEdgesPass{},
 		phiAnalysisPass{},
 		applyTypesPass{},
+		typeSpeculationPass{},
 		aliasAnalysisPass{},
 		gvnPass{},
 		licmPass{},

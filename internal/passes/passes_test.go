@@ -75,8 +75,8 @@ func count(g *mir.Graph, op mir.Op) int {
 
 func TestPipelineNamesAndMandatory(t *testing.T) {
 	names := PassNames()
-	if len(names) != 22 {
-		t.Fatalf("pipeline has %d passes, want 22: %v", len(names), names)
+	if len(names) != 23 {
+		t.Fatalf("pipeline has %d passes, want 23: %v", len(names), names)
 	}
 	mandatory := []string{"SplitCriticalEdges", "PhiAnalysis", "ApplyTypes", "AliasAnalysis"}
 	for _, m := range mandatory {
@@ -399,11 +399,11 @@ func TestObserverSeesEveryPass(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(names) != 22 {
-		t.Fatalf("observer saw %d passes, want 22", len(names))
+	if len(names) != 23 {
+		t.Fatalf("observer saw %d passes, want 23", len(names))
 	}
-	if nonNil != 21 {
-		t.Fatalf("non-nil snapshot pairs = %d, want 21", nonNil)
+	if nonNil != 22 {
+		t.Fatalf("non-nil snapshot pairs = %d, want 22", nonNil)
 	}
 }
 

@@ -1,0 +1,68 @@
+package passes
+
+import "github.com/jitbull/jitbull/internal/mir"
+
+// typeSpeculationPass turns profiled calls into guarded speculative calls.
+//
+// The MIR builder marks every eligible call-assignment statement with an
+// OpSnapshot frame map ([call, locals in slot order]); this pass upgrades
+// the marked call to OpCallSpec when the profile says the callee returns a
+// number and the surrounding state is reconstructible. OpCallSpec is a
+// strict guard at runtime: it accepts exactly a Number return and
+// deoptimizes to the interpreter — rebuilding the frame from the snapshot's
+// slots — on anything else (where plain OpCall would silently coerce
+// booleans/undefined to a number).
+//
+// Speculation only pays inside loops (the deopt exit is the expensive
+// path), so the pass requires the call's block to sit at loop depth ≥ 1.
+// When the pass is disabled — including by the policy's per-pass go/no-go
+// verdict after a deopt storm — every call stays OpCall and the snapshots
+// lower to nothing, which restores bit-identical unspeculated code.
+type typeSpeculationPass struct{}
+
+func (typeSpeculationPass) Name() string      { return "TypeSpeculation" }
+func (typeSpeculationPass) Disableable() bool { return true }
+
+func (typeSpeculationPass) Run(g *mir.Graph, ctx *Context) error {
+	// Without speculation sites (Options.Speculate off, or nothing was
+	// eligible) the pass has no work; skip the dominator rebuild so the
+	// default pipeline pays nothing for the feature being compiled in.
+	any := false
+	for _, b := range g.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == mir.OpSnapshot {
+				any = true
+				break
+			}
+		}
+		if any {
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	g.BuildDominators() // refresh LoopDepth
+	forEachLive(g, func(b *mir.Block, in *mir.Instr) {
+		if in.Op != mir.OpSnapshot || len(in.Operands) == 0 {
+			return
+		}
+		call := in.Operands[0]
+		if call.Op != mir.OpCall || call.Type != mir.TypeDouble || call.Dead {
+			return
+		}
+		if call.Block == nil || call.Block.LoopDepth < 1 {
+			return
+		}
+		// Every slot in the frame map must have a reconstructible kind.
+		for _, slot := range in.Operands[1:] {
+			switch slot.Type {
+			case mir.TypeDouble, mir.TypeBoolean, mir.TypeObject:
+			default:
+				return
+			}
+		}
+		call.Op = mir.OpCallSpec
+	})
+	return nil
+}

@@ -24,6 +24,29 @@ type Options struct {
 	// Train is how often each function is called (default 60; set it above
 	// the engine's Ion threshold).
 	Train int
+
+	// HotLoops appends an OSR/deopt exercise section after the base program:
+	// phase-flipping helpers (number→undefined and number→boolean returns),
+	// hot functions spinning long while loops with direct call-assignments
+	// and mid-loop array-length shrinks, and a driver. Every hot-loop random
+	// draw happens after the last base draw, so for a given seed the
+	// HotLoops program is the HotLoops-off program plus an appended suffix —
+	// the base corpus is byte-identical with the option on or off.
+	//
+	// Hot functions allocate their own arrays (instead of mutating the
+	// shared globals) so bailout-and-replay stays idempotent: a replayed
+	// call re-creates the array and re-shrinks it at the same iteration.
+	// Flipped helper results are consumed only for truthiness (`if (c)`),
+	// never as printed or arithmetic booleans.
+	HotLoops bool
+	// HotIters is the iteration count of each hot while loop (default 600,
+	// far above the engine's OSR back-edge threshold so a single call warms
+	// the loop up mid-activation).
+	HotIters int
+	// HotCalls is how often the driver calls each hot function (default 35;
+	// keep it above the engine's Ion threshold so call-counting tiers
+	// compile the hot functions too, not only back-edge counting).
+	HotCalls int
 }
 
 func (o Options) withDefaults() Options {
@@ -35,6 +58,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Train <= 0 {
 		o.Train = 60
+	}
+	if o.HotIters <= 0 {
+		o.HotIters = 600
+	}
+	if o.HotCalls <= 0 {
+		o.HotCalls = 35
 	}
 	return o
 }
@@ -111,7 +140,69 @@ func (g *gen) program() string {
 			f, g.rng.Intn(numArrays), g.rng.Intn(numArrays))
 	}
 	sb.WriteString("}\n")
+	if g.opts.HotLoops {
+		g.hotSection(&sb)
+	}
 	return sb.String()
+}
+
+// hotSection appends the OSR/deopt exercise corpus: helpers whose return
+// type flips mid-loop and hot functions whose single activation runs long
+// enough that only a back-edge-counting engine can tier it up mid-loop.
+// Appended strictly after every base draw — see Options.HotLoops.
+func (g *gen) hotSection(sb *strings.Builder) {
+	iters := g.opts.HotIters
+	// Flip points land in the second half of the loop: a speculating
+	// engine trains on numbers, OSR-enters during the number phase, and
+	// hits the guard mid-activation.
+	flip0 := iters/2 + g.rng.Intn(iters/4+1)
+	flip1 := iters/2 + g.rng.Intn(iters/4+1)
+	// hu flips number → undefined (a bare return survives every tier
+	// unrenumbered, so the speculation guard always sees the flip).
+	fmt.Fprintf(sb, "function hu(p, q) { if (p < %d) { return (q * %d + p) %% 1000003; } return; }\n",
+		flip0, g.rng.Intn(5)+2)
+	// hb flips number → boolean; callers consume it only for truthiness.
+	fmt.Fprintf(sb, "function hb(p, q) { if (p < %d) { return (q + p * %d) %% 1000003; } return p %% 2 == 0; }\n",
+		flip1, g.rng.Intn(5)+2)
+
+	for f := 0; f < 2; f++ {
+		helper := "hu"
+		if f == 1 {
+			helper = "hb"
+		}
+		shrinkAt := iters/2 + g.rng.Intn(iters/4+1)
+		shrinkTo := g.rng.Intn(arrayLen/2) + 4 // 4..11, always a real shrink
+		initMul := g.rng.Intn(7) + 1
+		initAdd := g.rng.Intn(9)
+		fmt.Fprintf(sb, "function hot%d(z) {\n", f)
+		fmt.Fprintf(sb, "  var a = new Array(%d);\n", arrayLen)
+		sb.WriteString("  var ii = 0;\n")
+		fmt.Fprintf(sb, "  while (ii < %d) { a[ii] = ii * %d + %d; ii = ii + 1; }\n",
+			arrayLen, initMul, initAdd)
+		sb.WriteString("  var s = 0;\n  var c = 0;\n  var i0 = 0;\n")
+		fmt.Fprintf(sb, "  while (i0 < %d) {\n", iters)
+		// Direct call-assignment to a local: the speculation-site shape
+		// (mirbuild's specEligible) — upgraded to a guarded call when the
+		// profile says number.
+		fmt.Fprintf(sb, "    c = %s(i0, z);\n", helper)
+		if f == 0 {
+			// Truthy c is always a number here (the flip is to undefined,
+			// which is falsy), so arithmetic on it inside the branch is safe.
+			sb.WriteString("    if (c) { s = (s + c + i0) % 1000003; }\n")
+		} else {
+			// c may be a boolean after the flip: truthiness only.
+			sb.WriteString("    if (c) { s = (s + i0) % 1000003; }\n")
+		}
+		sb.WriteString("    a[(i0 & 255) % a.length] = (s + i0) % 65536;\n")
+		fmt.Fprintf(sb, "    if (i0 == %d) { a.length = %d; }\n", shrinkAt, shrinkTo)
+		sb.WriteString("    s = (s + a[(s & 255) % a.length] + a.length) % 1000003;\n")
+		sb.WriteString("    i0 = i0 + 1;\n")
+		sb.WriteString("  }\n  return s;\n}\n")
+	}
+
+	fmt.Fprintf(sb, "for (var hr = 0; hr < %d; hr++) {\n", g.opts.HotCalls)
+	sb.WriteString("  result = (result + hot0(hr % 9) + hot1(hr % 7)) % 1000003;\n")
+	sb.WriteString("}\n")
 }
 
 func (g *gen) function(idx int) string {

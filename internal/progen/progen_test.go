@@ -73,6 +73,47 @@ func TestGenerateDistribution(t *testing.T) {
 	}
 }
 
+// TestHotLoopsAppendOnly pins the HotLoops contract: for any seed, the
+// base program must be byte-identical with the option on or off — hot-loop
+// material is strictly appended. Corpus tests that mix the two option sets
+// rely on this to share seeds.
+func TestHotLoopsAppendOnly(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		base := Generate(seed, Options{})
+		hot := Generate(seed, Options{HotLoops: true})
+		if !strings.HasPrefix(hot, base) {
+			t.Fatalf("seed %d: HotLoops program does not extend the base program", seed)
+		}
+		if len(hot) == len(base) {
+			t.Fatalf("seed %d: HotLoops appended nothing", seed)
+		}
+	}
+}
+
+// TestHotLoopsDistribution checks every HotLoops program carries the
+// OSR/deopt exercise shapes: an undefined-flip helper (bare return), a
+// boolean-flip helper consumed only for truthiness, long while loops with
+// direct call-assignments, and a mid-loop array-length shrink.
+func TestHotLoopsDistribution(t *testing.T) {
+	features := map[string]*regexp.Regexp{
+		"undefined-flip":    regexp.MustCompile(`function hu\(p, q\) \{ if \(p < \d+\) \{ return [^;]+; \} return; \}`),
+		"boolean-flip":      regexp.MustCompile(`function hb\(p, q\) \{ if \(p < \d+\) \{ return [^;]+; \} return p % 2 == 0; \}`),
+		"call-assign":       regexp.MustCompile(`c = h[ub]\(i0, z\);`),
+		"truthiness-only":   regexp.MustCompile(`if \(c\) \{ s = \(s \+ i0\) % 1000003; \}`),
+		"length-shrink":     regexp.MustCompile(`if \(i0 == \d+\) \{ a\.length = \d+; \}`),
+		"hot-while":         regexp.MustCompile(`while \(i0 < 600\) \{`),
+		"local-array-alloc": regexp.MustCompile(`var a = new Array\(16\);`),
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		src := Generate(seed, Options{HotLoops: true})
+		for name, re := range features {
+			if !re.MatchString(src) {
+				t.Fatalf("seed %d: HotLoops program lacks %s\n%s", seed, name, src)
+			}
+		}
+	}
+}
+
 func TestGenerateDeterministic(t *testing.T) {
 	if Generate(42, Options{}) != Generate(42, Options{}) {
 		t.Fatal("same seed must generate the same program")
@@ -96,6 +137,51 @@ func TestDifferentialInterpVsJIT(t *testing.T) {
 		if !same(want, got) {
 			t.Fatalf("seed %d: interp=%v jit=%v\n%s", seed, want, got, src)
 		}
+	}
+}
+
+// TestDifferentialHotLoops runs the hot-loop corpus under the OSR/deopt
+// engine against the interpreter, and pins the transition-hit frequency:
+// mid-loop tier-up (OSR entries) and guard failures (deopt exits) must
+// actually fire across the corpus, or the generated programs exercise
+// nothing. This is the distribution test the OSR difftest cells rely on.
+func TestDifferentialHotLoops(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 5
+	}
+	osrRuns, deoptRuns := 0, 0
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		src := Generate(seed, Options{HotLoops: true})
+		want := runCfg(t, src, engine.Config{DisableJIT: true})
+		e, err := engine.New(src, engine.Config{
+			IonThreshold: 15, BaselineThreshold: 5, OSR: true, Speculate: true,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		if got := e.Global("result"); !same(want, got) {
+			t.Fatalf("seed %d: interp=%v osr=%v\n%s", seed, want, got, src)
+		}
+		st := e.Stats()
+		if st.OSREntries > 0 {
+			osrRuns++
+		}
+		if st.DeoptExits > 0 {
+			deoptRuns++
+		}
+	}
+	// Every hot-loop program runs two ~600-iteration loops from a single
+	// warm call, so mid-loop entry should be the norm, and the undefined
+	// flip guarantees at least one guard failure per speculated program.
+	if osrRuns < seeds*3/4 {
+		t.Errorf("OSR entries fired in only %d/%d hot-loop runs", osrRuns, seeds)
+	}
+	if deoptRuns < seeds/2 {
+		t.Errorf("deopt exits fired in only %d/%d hot-loop runs", deoptRuns, seeds)
 	}
 }
 

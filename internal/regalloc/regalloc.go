@@ -63,6 +63,36 @@ func Allocate(c *lir.Code) {
 		}
 	}
 
+	// OSR/deopt side tables reference registers the op stream alone may
+	// consider dead: a local unused inside the loop still has to be
+	// materializable at the loop header (OSR) and recoverable at a
+	// speculated call (deopt). Extend those intervals to the referencing
+	// pc BEFORE the back-edge fixpoint, so the fixpoint then carries them
+	// around the loop — a frame-map register must never share a slot with
+	// any value live in the loop, or OSR materialization would clobber it.
+	extendSlots := func(slots []lir.FrameSlot, pc int) {
+		for _, s := range slots {
+			r := s.Reg
+			if r < 0 || int(r) >= n {
+				continue
+			}
+			if def[r] < 0 {
+				def[r] = pc
+			}
+			if last[r] < pc {
+				last[r] = pc
+			}
+		}
+	}
+	for _, e := range c.OSREntries {
+		extendSlots(e.Slots, int(e.PC))
+	}
+	for pc, op := range c.Ops {
+		if op.Kind == lir.KCallSpec && op.Target >= 0 && int(op.Target) < len(c.DeoptExits) {
+			extendSlots(c.DeoptExits[op.Target].Slots, pc)
+		}
+	}
+
 	// Extend intervals across loop back edges: a value defined before the
 	// branch target and used inside [target, branch] is still needed on
 	// the next iteration.
@@ -162,6 +192,286 @@ func Allocate(c *lir.Code) {
 		maxSlot = nextSlot
 	}
 	c.NumRegs = int(maxSlot)
+
+	// Rewrite the side tables with the same mapping as the op stream.
+	mapSlots := func(slots []lir.FrameSlot) {
+		for i := range slots {
+			s := slotOf[slots[i].Reg]
+			if s < 0 {
+				s = 0
+			}
+			slots[i].Reg = s
+		}
+	}
+	for i := range c.OSREntries {
+		mapSlots(c.OSREntries[i].Slots)
+	}
+	for i := range c.DeoptExits {
+		mapSlots(c.DeoptExits[i].Slots)
+	}
+	markEligible(c)
+}
+
+// markEligible decides, per OSR entry, whether transferring into the native
+// frame at that loop header is sound: every register live at the header (in
+// the post-allocation code) must be covered by the entry's frame map, since
+// OSR materialization zeroes the frame and writes only frame-map registers.
+// The one class of uncovered live registers the entry can absorb is
+// rematerializable constants (see the reaching-defs pass below); anything
+// else — hoisted handles, sunk temporaries — makes the entry ineligible.
+//
+// Deopt-exit registers need no extra treatment here: an exit slot's register
+// is either the same definition the header frame map materializes or one
+// written by ops on the path from the header to the speculated call.
+func markEligible(c *lir.Code) {
+	if len(c.OSREntries) == 0 {
+		return
+	}
+	nOps := len(c.Ops)
+	nRegs := c.NumRegs
+	words := (nRegs + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+
+	// Per-op register references, uses before defs (forEachReg's order).
+	type ref struct {
+		reg   int32
+		isDef bool
+	}
+	refs := make([][]ref, nOps)
+	forEachReg(c, func(r *int32, pc int, isDef bool) {
+		refs[pc] = append(refs[pc], ref{*r, isDef})
+	})
+
+	// Block structure from the leaders regalloc already computed.
+	var starts []int32
+	for _, l := range c.Blocks.Leaders {
+		if int(l) < nOps {
+			starts = append(starts, l)
+		}
+	}
+	nb := len(starts)
+	if nb == 0 {
+		return
+	}
+	blockOf := make(map[int32]int, nb)
+	for i, s := range starts {
+		blockOf[s] = i
+	}
+	end := func(i int) int {
+		if i+1 < nb {
+			return int(starts[i+1])
+		}
+		return nOps
+	}
+
+	bitset := func() []uint64 { return make([]uint64, words) }
+	set := func(b []uint64, r int32) {
+		if r >= 0 && int(r) < nRegs {
+			b[r/64] |= 1 << (uint(r) % 64)
+		}
+	}
+	has := func(b []uint64, r int32) bool {
+		return r >= 0 && int(r) < nRegs && b[r/64]&(1<<(uint(r)%64)) != 0
+	}
+
+	gen := make([][]uint64, nb)
+	kill := make([][]uint64, nb)
+	succs := make([][]int, nb)
+	for i := 0; i < nb; i++ {
+		gen[i], kill[i] = bitset(), bitset()
+		for pc := int(starts[i]); pc < end(i); pc++ {
+			for _, rf := range refs[pc] {
+				if rf.isDef {
+					set(kill[i], rf.reg)
+				} else if !has(kill[i], rf.reg) {
+					set(gen[i], rf.reg)
+				}
+			}
+		}
+		lastOp := &c.Ops[end(i)-1]
+		addSucc := func(target int32) {
+			if bi, ok := blockOf[target]; ok {
+				succs[i] = append(succs[i], bi)
+			}
+		}
+		switch lastOp.Kind {
+		case lir.KJump:
+			addSucc(lastOp.Target)
+		case lir.KBranchFalse:
+			addSucc(lastOp.Target)
+			if end(i) < nOps {
+				addSucc(int32(end(i)))
+			}
+		case lir.KRetNum, lir.KRetObj, lir.KRetUndef:
+			// No successors.
+		default:
+			if end(i) < nOps {
+				addSucc(int32(end(i)))
+			}
+		}
+	}
+
+	liveIn := make([][]uint64, nb)
+	for i := range liveIn {
+		liveIn[i] = bitset()
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := nb - 1; i >= 0; i-- {
+			out := bitset()
+			for _, s := range succs[i] {
+				for w := 0; w < words; w++ {
+					out[w] |= liveIn[s][w]
+				}
+			}
+			for w := 0; w < words; w++ {
+				nv := gen[i][w] | (out[w] &^ kill[i][w])
+				if nv != liveIn[i][w] {
+					liveIn[i][w] = nv
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Reaching definitions, block level, one lattice value per register:
+	// rdNone (no def on any path yet), a unique def pc, or rdMulti. After
+	// allocation many SSA values share one slot, so "the slot is written
+	// several times somewhere" says nothing about a given loop header —
+	// what matters is which def *reaches* it. GVN parks loop-invariant
+	// constants in the preheader, where they are the unique reaching def
+	// of their slot even when the same slot served an earlier loop; those
+	// the OSR prologue can rematerialize instead of rejecting the entry.
+	const (
+		rdNone  = int32(-1)
+		rdMulti = int32(-2)
+	)
+	preds := make([][]int, nb)
+	for i, ss := range succs {
+		for _, s := range ss {
+			preds[s] = append(preds[s], i)
+		}
+	}
+	lastDef := make([][]int32, nb)
+	for i := 0; i < nb; i++ {
+		lastDef[i] = make([]int32, nRegs)
+		for r := range lastDef[i] {
+			lastDef[i][r] = rdNone
+		}
+		for pc := int(starts[i]); pc < end(i); pc++ {
+			for _, rf := range refs[pc] {
+				if rf.isDef && rf.reg >= 0 && int(rf.reg) < nRegs {
+					lastDef[i][rf.reg] = int32(pc)
+				}
+			}
+		}
+	}
+	merge := func(a, b int32) int32 {
+		switch {
+		case a == rdNone:
+			return b
+		case b == rdNone:
+			return a
+		case a == b:
+			return a
+		default:
+			return rdMulti
+		}
+	}
+	rdIn := make([][]int32, nb)
+	rdOut := make([][]int32, nb)
+	for i := 0; i < nb; i++ {
+		rdIn[i] = make([]int32, nRegs)
+		rdOut[i] = make([]int32, nRegs)
+		for r := 0; r < nRegs; r++ {
+			rdIn[i][r] = rdNone
+			rdOut[i][r] = lastDef[i][r]
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < nb; i++ {
+			for r := 0; r < nRegs; r++ {
+				v := rdNone
+				for _, p := range preds[i] {
+					v = merge(v, rdOut[p][r])
+				}
+				if v != rdIn[i][r] {
+					rdIn[i][r] = v
+					changed = true
+				}
+				o := lastDef[i][r]
+				if o == rdNone {
+					o = v
+				}
+				if o != rdOut[i][r] {
+					rdOut[i][r] = o
+					changed = true
+				}
+			}
+		}
+	}
+
+	for ei := range c.OSREntries {
+		e := &c.OSREntries[ei]
+		bi, ok := blockOf[e.PC]
+		if !ok {
+			e.Eligible = false
+			continue
+		}
+		covered := bitset()
+		objSlot := bitset()  // frame-map registers holding array handles
+		elemsReg := bitset() // registers resolved to elements addresses (RematElems)
+		for _, s := range e.Slots {
+			set(covered, s.Reg)
+			if s.Kind == lir.SlotObj {
+				set(objSlot, s.Reg)
+			}
+		}
+		e.Consts = nil
+		e.Remats = nil
+		var unresolved []int32
+		for r := int32(0); int(r) < nRegs; r++ {
+			if has(liveIn[bi], r) && !has(covered, r) {
+				unresolved = append(unresolved, r)
+			}
+		}
+		// Resolve uncovered live registers to prologue rematerializations,
+		// sweeping to a fixpoint because a cached length (KInitLen) depends
+		// on a cached elements address (KElemsHandle) that may carry a
+		// higher register number. The sweep order puts dependencies first
+		// in e.Remats.
+		for progress := true; progress && len(unresolved) > 0; {
+			progress = false
+			next := unresolved[:0]
+			for _, r := range unresolved {
+				d := rdIn[bi][r]
+				switch {
+				case d >= 0 && c.Ops[d].Kind == lir.KConst:
+					e.Consts = append(e.Consts, lir.ConstSlot{Reg: r, Imm: c.Ops[d].Imm})
+				case d >= 0 && c.Ops[d].Kind == lir.KElemsHandle && has(objSlot, c.Ops[d].A):
+					// A preheader-cached elements address of an array the
+					// frame map materializes: re-derive it from the array
+					// handle. The unique-reaching-def lattice guarantees the
+					// cache the loop body reads is this one.
+					e.Remats = append(e.Remats, lir.RematOp{Kind: lir.RematElems, Reg: r, Src: c.Ops[d].A})
+					set(elemsReg, r)
+				case d >= 0 && c.Ops[d].Kind == lir.KInitLen && has(elemsReg, c.Ops[d].A):
+					// A preheader-cached length read through a re-derived
+					// elements address; the hoist proved it loop-invariant.
+					e.Remats = append(e.Remats, lir.RematOp{Kind: lir.RematLen, Reg: r, Src: c.Ops[d].A})
+				default:
+					next = append(next, r)
+					continue
+				}
+				progress = true
+			}
+			unresolved = next
+		}
+		e.Eligible = len(unresolved) == 0
+	}
 }
 
 // forEachReg visits every register reference in the code (including call
@@ -171,8 +481,10 @@ func forEachReg(c *lir.Code, fn func(r *int32, pc int, isDef bool)) {
 	for pc := range c.Ops {
 		op := &c.Ops[pc]
 		switch op.Kind {
-		case lir.KNop, lir.KJump, lir.KRetUndef, lir.KCodeBase, lir.KConst, lir.KLoadGlobal:
-			// No register sources.
+		case lir.KNop, lir.KJump, lir.KRetUndef, lir.KCodeBase, lir.KConst, lir.KLoadGlobal,
+			lir.KOSRPoint:
+			// No register sources. (KOSRPoint's frame map is a side table,
+			// handled explicitly by Allocate, not an op-stream reference.)
 		case lir.KBranchFalse, lir.KNeg, lir.KNot, lir.KUnbox, lir.KGuardType,
 			lir.KElemsHandle, lir.KElemsRaw, lir.KInitLen, lir.KPop, lir.KNewArr,
 			lir.KAddrOf, lir.KMove, lir.KMoveTag, lir.KRetNum, lir.KRetObj,
@@ -181,7 +493,7 @@ func forEachReg(c *lir.Code, fn func(r *int32, pc int, isDef bool)) {
 		case lir.KMath:
 			fn(&op.A, pc, false)
 			fn(&op.B, pc, false)
-		case lir.KCall:
+		case lir.KCall, lir.KCallSpec:
 			args := c.ArgLists[op.A]
 			for i := range args {
 				fn(&args[i], pc, false)
@@ -199,7 +511,7 @@ func forEachReg(c *lir.Code, fn func(r *int32, pc int, isDef bool)) {
 			lir.KShl, lir.KShr, lir.KUshr, lir.KNeg, lir.KNot, lir.KCmp, lir.KMath,
 			lir.KUnbox, lir.KGuardType, lir.KElemsHandle, lir.KElemsRaw,
 			lir.KInitLen, lir.KLoadElem, lir.KPush, lir.KPop, lir.KNewArr,
-			lir.KAddrOf, lir.KCodeBase, lir.KLoadGlobal, lir.KCall:
+			lir.KAddrOf, lir.KCodeBase, lir.KLoadGlobal, lir.KCall, lir.KCallSpec:
 			fn(&op.Dst, pc, true)
 		}
 	}

@@ -87,6 +87,117 @@ func TestAllocateEmptyCode(t *testing.T) {
 	Allocate(c2)
 }
 
+// arrayLoopOSR builds the GVN shape of an array loop: elements address,
+// length, and a stride constant all hoisted to the preheader, so their
+// registers are live across the header with no interpreter local backing
+// them. The OSR entry's frame map carries only the real locals (array
+// handle, induction variable, accumulator).
+func arrayLoopOSR() *lir.Code {
+	c := mk(1,
+		lir.Op{Kind: lir.KGuardType, Dst: 0, A: 0, Aux: 1}, // 0: array param
+		lir.Op{Kind: lir.KConst, Dst: 1, Imm: 0},           // 1: i = 0
+		lir.Op{Kind: lir.KConst, Dst: 2, Imm: 0},           // 2: s = 0
+		lir.Op{Kind: lir.KElemsHandle, Dst: 3, A: 0},       // 3: hoisted elems
+		lir.Op{Kind: lir.KInitLen, Dst: 4, A: 3},           // 4: hoisted len
+		lir.Op{Kind: lir.KConst, Dst: 5, Imm: 3},           // 5: hoisted stride
+		lir.Op{Kind: lir.KOSRPoint, Aux: 0},                // 6: loop header
+		lir.Op{Kind: lir.KCmp, Dst: 6, A: 1, B: 4, Aux: 1}, // 7: i < len
+		lir.Op{Kind: lir.KBranchFalse, A: 6, Target: 16},   // 8
+		lir.Op{Kind: lir.KBoundsCheck, A: 1, B: 4},         // 9
+		lir.Op{Kind: lir.KLoadElem, Dst: 7, A: 3, B: 1},    // 10
+		lir.Op{Kind: lir.KMul, Dst: 7, A: 7, B: 5},         // 11
+		lir.Op{Kind: lir.KAdd, Dst: 2, A: 2, B: 7},         // 12
+		lir.Op{Kind: lir.KConst, Dst: 7, Imm: 1},           // 13
+		lir.Op{Kind: lir.KAdd, Dst: 1, A: 1, B: 7},         // 14
+		lir.Op{Kind: lir.KJump, Target: 6},                 // 15: back edge
+		lir.Op{Kind: lir.KRetNum, A: 2},                    // 16
+	)
+	c.OSREntries = []lir.OSREntry{{
+		Ordinal: 0, PC: 6,
+		Slots: []lir.FrameSlot{
+			{Slot: 0, Reg: 0, Kind: lir.SlotObj},
+			{Slot: 1, Reg: 1, Kind: lir.SlotNum},
+			{Slot: 2, Reg: 2, Kind: lir.SlotNum},
+		},
+	}}
+	return c
+}
+
+// TestMarkEligibleRematerializesArrayAccessors: the hoisted elems address
+// and the length read through it must land in the entry's Remats table —
+// in dependency order, rooted at the frame map's object slot — and the
+// hoisted stride in Consts, leaving the entry eligible.
+func TestMarkEligibleRematerializesArrayAccessors(t *testing.T) {
+	c := arrayLoopOSR()
+	Allocate(c)
+	// Allocate rewrites registers in place; read the hoisted defs after.
+	length, stride := c.Ops[4].Dst, c.Ops[5].Dst
+	e := &c.OSREntries[0]
+	if !e.Eligible {
+		t.Fatalf("array loop with hoisted accessors must stay eligible: %+v", e)
+	}
+	if len(e.Consts) != 1 || e.Consts[0].Imm != 3 || e.Consts[0].Reg != stride {
+		t.Fatalf("stride not rematerialized as a const: %+v", e.Consts)
+	}
+	if len(e.Remats) != 2 {
+		t.Fatalf("want [elems, len] remats, got %+v", e.Remats)
+	}
+	if e.Remats[0].Kind != lir.RematElems || e.Remats[0].Reg != c.Ops[3].Dst ||
+		e.Remats[0].Src != e.Slots[0].Reg {
+		t.Fatalf("elems remat must re-derive from the frame map's array slot: %+v (slots %+v)",
+			e.Remats[0], e.Slots)
+	}
+	if e.Remats[1].Kind != lir.RematLen || e.Remats[1].Reg != length ||
+		e.Remats[1].Src != e.Remats[0].Reg {
+		t.Fatalf("length remat must read through the re-derived elems register (dependency order): %+v",
+			e.Remats)
+	}
+}
+
+// TestMarkEligibleRejectsUnrootedElems: a KElemsHandle whose source is not
+// an object slot in the frame map cannot be re-derived at entry (the
+// prologue would read a number as an array handle) — the entry must be
+// ineligible, not silently wrong.
+func TestMarkEligibleRejectsUnrootedElems(t *testing.T) {
+	c := arrayLoopOSR()
+	c.OSREntries[0].Slots[0].Kind = lir.SlotNum
+	Allocate(c)
+	if c.OSREntries[0].Eligible {
+		t.Fatalf("elems over a non-object slot must reject the entry: %+v", c.OSREntries[0])
+	}
+	if len(c.OSREntries[0].Remats) != 0 {
+		t.Fatalf("rejected entry must not carry remats: %+v", c.OSREntries[0].Remats)
+	}
+}
+
+// TestMarkEligibleRejectsNonRematerializable: a preheader temporary that is
+// neither a constant nor an array accessor (here n+n) is live across the
+// header with no way to reconstruct it — the entry must be ineligible.
+func TestMarkEligibleRejectsNonRematerializable(t *testing.T) {
+	c := mk(1,
+		lir.Op{Kind: lir.KUnbox, Dst: 0, A: 0},             // 0
+		lir.Op{Kind: lir.KConst, Dst: 1, Imm: 0},           // 1: i = 0
+		lir.Op{Kind: lir.KAdd, Dst: 2, A: 0, B: 0},         // 2: hoisted n+n
+		lir.Op{Kind: lir.KOSRPoint, Aux: 0},                // 3: header
+		lir.Op{Kind: lir.KCmp, Dst: 3, A: 1, B: 0, Aux: 1}, // 4
+		lir.Op{Kind: lir.KBranchFalse, A: 3, Target: 8},    // 5
+		lir.Op{Kind: lir.KAdd, Dst: 1, A: 1, B: 2},         // 6
+		lir.Op{Kind: lir.KJump, Target: 3},                 // 7
+		lir.Op{Kind: lir.KRetNum, A: 1},                    // 8
+	)
+	c.OSREntries = []lir.OSREntry{{
+		Ordinal: 0, PC: 3,
+		Slots: []lir.FrameSlot{
+			{Slot: 0, Reg: 0, Kind: lir.SlotNum},
+			{Slot: 1, Reg: 1, Kind: lir.SlotNum},
+		},
+	}}
+	Allocate(c)
+	if c.OSREntries[0].Eligible {
+		t.Fatal("uncoverable preheader temporary must reject the entry")
+	}
+}
+
 func TestAllocateCallArgs(t *testing.T) {
 	c := &lir.Code{
 		Name:      "callargs",

@@ -93,8 +93,8 @@ func TestFacadeInventory(t *testing.T) {
 		t.Fatalf("benchmarks = %d, want 15 (13 suite + 2 micro)", len(Benchmarks()))
 	}
 	names := PassNames()
-	if len(names) != 22 {
-		t.Fatalf("passes = %d, want 22", len(names))
+	if len(names) != 23 {
+		t.Fatalf("passes = %d, want 23", len(names))
 	}
 	joined := strings.Join(names, ",")
 	for _, want := range []string{"GVN", "LICM", "RangeAnalysis", "BoundsCheckElimination"} {
