@@ -38,11 +38,13 @@ func main() {
 		jitqB     = flag.Bool("jitqueue", false, "run the off-thread-compilation / shared-cache benchmark with its regression gates")
 		nativeB   = flag.Bool("native", false, "run the superinstruction-tier benchmark with its regression gates")
 		osrB      = flag.Bool("osr", false, "run the loop-header OSR tier-up benchmark with its regression gates")
+		warmB     = flag.Bool("warmstart", false, "run the persistent-store warm-start benchmark with its regression gates")
 		benchout  = flag.String("benchout", "BENCH_core.json", "output file for -core results")
 		obsout    = flag.String("obsout", "BENCH_obs.json", "output file for -obs results")
 		jitqout   = flag.String("jitqueueout", "BENCH_jitqueue.json", "output file for -jitqueue results")
 		nativeout = flag.String("nativeout", "BENCH_native.json", "output file for -native results")
 		osrout    = flag.String("osrout", "BENCH_osr.json", "output file for -osr results")
+		warmout   = flag.String("warmstartout", "BENCH_warmstart.json", "output file for -warmstart results")
 		corebase  = flag.String("corebase", "BENCH_core.json", "recorded core baseline the -obs regression gate compares against ('' disables the gate)")
 		scale     = flag.Int("scale", 4, "benchmark iteration scale for timing experiments")
 		repeats   = flag.Int("repeats", 3, "timing repetitions (minimum reported)")
@@ -50,7 +52,7 @@ func main() {
 		workers   = flag.Int("workers", 1, "worker pool size for corpus experiments (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	all := !(*table1 || *table2 || *window || *security || *fig4 || *fig5 || *fig6 || *ablation || *coreB || *obsB || *jitqB || *nativeB || *osrB)
+	all := !(*table1 || *table2 || *window || *security || *fig4 || *fig5 || *fig6 || *ablation || *coreB || *obsB || *jitqB || *nativeB || *osrB || *warmB)
 	cfg := experiments.Config{IonThreshold: *thr, Repeats: *repeats, Scale: *scale, Workers: *workers}
 
 	if err := run(all, *table1, *table2, *window, *security, *fig4, *fig5, *fig6, *ablation, cfg); err != nil {
@@ -87,6 +89,50 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *warmB {
+		if err := runWarmStart(*warmout, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "jitbull-bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// warmStartGateSpeedup is the -warmstart regression gate: replaying a
+// compile-heavy program's artifacts and verdicts from the persistent
+// store must beat recompiling them by this factor.
+const warmStartGateSpeedup = 5.0
+
+// runWarmStart runs the persistent-store warm-start benchmark, writes
+// BENCH_warmstart.json, and enforces its gates: zero pipeline executions
+// in the warm process (checked inside the bench) and a >= 5x warm-hit
+// speedup over a cold compile.
+func runWarmStart(path string, cfg experiments.Config) error {
+	dir, err := os.MkdirTemp("", "jitbull-warmstart-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	rep, err := experiments.WarmStartBench(dir, cfg)
+	if err != nil {
+		return fmt.Errorf("warmstart bench: %w", err)
+	}
+	fmt.Print(experiments.RenderWarmStart(rep))
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	if rep.WarmCompiles != 0 {
+		return fmt.Errorf("warmstart gate: warm process ran %d pipeline(s), want 0", rep.WarmCompiles)
+	}
+	if rep.Speedup < warmStartGateSpeedup {
+		return fmt.Errorf("warmstart gate: warm start only %.1fx faster than a cold boot (budget %.0fx)",
+			rep.Speedup, warmStartGateSpeedup)
+	}
+	return nil
 }
 
 // osrGateSpeedup is the -osr regression gate: on the single-long-call

@@ -43,6 +43,10 @@ func run(args []string) error {
 		return cmdChaos(args[1:])
 	case "audit":
 		return cmdAudit(args[1:])
+	case "dna":
+		return cmdDNA(args[1:])
+	case "store":
+		return cmdStore(args[1:])
 	case "vulns":
 		return cmdVulns()
 	case "help", "-h", "--help":
@@ -57,7 +61,7 @@ func run(args []string) error {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   jitbull run [-nojit] [-nofuse] [-osr] [-speculate] [-threshold N] [-bugs CVE,...]
-              [-db file] [-stats] [-async [-jit-workers N]] [-cache]
+              [-db file] [-stats] [-async [-jit-workers N]] [-cache] [-store dir]
               [-trace file] [-audit file] [-metrics] [-metrics-addr addr]
               [-octane name [-scale N]] [script.js]
   jitbull fingerprint -cve CVE-... [-bugs CVE,...] [-threshold N] -db file script.js
@@ -65,6 +69,9 @@ func usage() {
   jitbull chaos [-runs N] [-seed N] [-rules N] [-points p,...] [-osr]
                 [-out reproducers.json] [-replay reproducers.json] [-trace dir]
   jitbull audit [-verdict v] [-func name] [-cve CVE] [-json] audit.jsonl
+  jitbull dna verify db.json
+  jitbull store verify [-quarantine] dir
+  jitbull store chaos [-runs N] [-seed N] [-out reproducers.json] [-dir scratch]
   jitbull vulns`)
 }
 
@@ -107,6 +114,7 @@ func cmdRun(args []string) error {
 	async := fs.Bool("async", false, "compile off-thread: keep executing in the baseline tier while Ion runs on a background worker")
 	jitWorkers := fs.Int("jit-workers", 0, "background compile workers for -async (0 = GOMAXPROCS)")
 	cacheFlag := fs.Bool("cache", false, "enable the shared compilation cache (artifact + JITBULL verdict, keyed by canonical bytecode hash)")
+	storeDir := fs.String("store", "", "persist the compilation cache in this directory (implies -cache): artifacts and verdicts survive restarts")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -143,7 +151,7 @@ func cmdRun(args []string) error {
 	// The queue/cache metrics live in a shared registry so -stats can
 	// report them after the run.
 	var jitReg *jitbull.Registry
-	if *async || *cacheFlag {
+	if *async || *cacheFlag || *storeDir != "" {
 		jitReg = jitbull.NewRegistry()
 		cfg.Metrics = jitReg
 	}
@@ -152,8 +160,10 @@ func cmdRun(args []string) error {
 		defer queue.Close()
 		cfg.Queue = queue
 	}
-	if *cacheFlag {
-		cfg.Cache = jitbull.NewCodeCache(jitReg)
+	var codeCache *jitbull.CodeCache
+	if *cacheFlag || *storeDir != "" {
+		codeCache = jitbull.NewCodeCache(jitReg)
+		cfg.Cache = codeCache
 	}
 	var ring *jitbull.Ring
 	if *tracePath != "" {
@@ -193,6 +203,13 @@ func cmdRun(args []string) error {
 		}
 		det = jitbull.Protect(eng, db)
 	}
+	if *storeDir != "" {
+		st, err := jitbull.OpenStore(*storeDir, eng.MetricsSink(), eng.Audit())
+		if err != nil {
+			return err
+		}
+		jitbull.AttachStore(codeCache, st, jitbull.NewCacheCodec(det))
+	}
 	_, runErr := eng.Run()
 	switch {
 	case jitbull.IsHijack(runErr):
@@ -213,6 +230,12 @@ func cmdRun(args []string) error {
 			fmt.Fprintf(os.Stderr, "jit queue/cache: cache.hits=%d cache.misses=%d jit.queue_depth_hwm=%d jit.queue_enqueued=%d\n",
 				jitReg.Counter("cache.hits").Value(), jitReg.Counter("cache.misses").Value(),
 				jitReg.Gauge("jit.queue_depth_hwm").Value(), jitReg.Counter("jit.queue_enqueued").Value())
+		}
+		if *storeDir != "" {
+			fmt.Fprintf(os.Stderr, "store: hits=%d misses=%d puts=%d put_drops=%d quarantined=%d\n",
+				sink.Counter("store.hits").Value(), sink.Counter("store.misses").Value(),
+				sink.Counter("store.puts").Value(), sink.Counter("store.put_drops").Value(),
+				sink.Counter("store.quarantined").Value())
 		}
 		if det != nil && len(det.Matches) > 0 {
 			fmt.Fprintf(os.Stderr, "jitbull matches:\n")

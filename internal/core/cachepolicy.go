@@ -35,17 +35,21 @@ var _ engine.CachingPolicy = (*Detector)(nil)
 
 // PolicyCacheKey implements engine.CachingPolicy. The verdict depends on
 // the database's contents and the thresholds; database identity is its
-// Generation — the shared *Database of a RunParallel fleet reports one
-// stable value, while a different database, or the same one after an
-// Add/Remove, always reports a fresh one (a raw pointer would satisfy
-// neither: addresses are reused after GC and survive mutation). A
+// content Fingerprint — the shared *Database of a RunParallel fleet
+// reports one stable value, a mutated or different-content database
+// always reports a fresh one, and (unlike the process-unique Generation)
+// a restarted process over the same database contents reports the SAME
+// one, which is what lets the persistent store replay verdicts across
+// process death. Replay is sound precisely because the verdict is a
+// deterministic function of (DNA, contents, thresholds): equal contents
+// imply equal verdicts regardless of which process computed them. A
 // fail-safe database vetoes caching — its NoJIT-everything verdicts are
 // a degraded emergency mode, not knowledge worth publishing fleet-wide.
 func (d *Detector) PolicyCacheKey() (string, bool) {
 	if d.DB == nil || d.DB.FailSafe() {
 		return "", false
 	}
-	return fmt.Sprintf("core.Detector/db=%d/thr=%d/ratio=%g", d.DB.Generation(), d.Thr, d.Ratio), true
+	return fmt.Sprintf("core.Detector/db=%016x/thr=%d/ratio=%g", d.DB.Fingerprint(), d.Thr, d.Ratio), true
 }
 
 // TakeVerdictPayload implements engine.CachingPolicy.

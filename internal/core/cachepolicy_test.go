@@ -45,12 +45,22 @@ func TestPolicyCacheKeyTracksDatabaseContents(t *testing.T) {
 	if k2, _ := d.PolicyCacheKey(); k2 != k1 {
 		t.Errorf("key not stable: %q vs %q", k1, k2)
 	}
-	if other, _ := NewDetector(&Database{}).PolicyCacheKey(); other == k1 {
-		t.Errorf("detectors over distinct databases share key %q", k1)
+	// Content-addressed identity: a structurally identical database — the
+	// same contents loaded by another process, say — shares the key, which
+	// is what lets the persistent store replay verdicts across a restart.
+	if other, _ := NewDetector(&Database{}).PolicyCacheKey(); other != k1 {
+		t.Errorf("detectors over identical contents report different keys: %q vs %q", other, k1)
 	}
 	db.Add(VDC{CVE: "CVE-TEST-2"})
-	if k3, _ := d.PolicyCacheKey(); k3 == k1 {
+	k3, _ := d.PolicyCacheKey()
+	if k3 == k1 {
 		t.Errorf("key %q survived a database mutation", k1)
+	}
+	// Different contents must never collide.
+	other := &Database{}
+	other.Add(VDC{CVE: "CVE-TEST-3"})
+	if ko, _ := NewDetector(other).PolicyCacheKey(); ko == k3 || ko == k1 {
+		t.Errorf("detectors over different contents share key %q", ko)
 	}
 	if _, ok := NewDetector(nil).PolicyCacheKey(); ok {
 		t.Error("nil database did not veto caching")

@@ -12,6 +12,8 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"encoding/json"
 	"sync"
 	"sync/atomic"
@@ -117,6 +119,10 @@ type Database struct {
 	// verdict caching: process-unique, assigned lazily on first use and
 	// re-assigned on every mutation. See Generation.
 	gen atomic.Uint64
+
+	// fp caches the content fingerprint (see Fingerprint); 0 = not yet
+	// computed, cleared on every mutation.
+	fp atomic.Uint64
 }
 
 // dbGen is the process-wide generation allocator; 0 is reserved for
@@ -138,6 +144,41 @@ func (db *Database) Generation() uint64 {
 	}
 }
 
+// Fingerprint returns a content-addressed identity of the database: a
+// digest of its serialized VDC fingerprints, stable across processes and
+// across structurally identical copies. This is what the persistent
+// verdict store keys on — a verdict is a deterministic function of (DNA,
+// database contents, thresholds), so two databases with equal contents
+// may soundly share cached verdicts even across a restart, which the
+// process-unique Generation cannot express. Any Add/Remove moves the
+// database to a fresh fingerprint. Safe for concurrent use by fully
+// built (no longer mutating) databases.
+func (db *Database) Fingerprint() (fp uint64) {
+	// A dangling chain ID panics inside Delta.MarshalJSON; such a database
+	// has no trustworthy identity (Validate rejects it on every persistence
+	// path), so degrade to the process-unique generation.
+	defer func() {
+		if recover() != nil {
+			fp = db.Generation()
+		}
+	}()
+	for {
+		if f := db.fp.Load(); f != 0 {
+			return f
+		}
+		payload, err := json.Marshal(db.VDCs)
+		if err != nil {
+			// A database that cannot serialize (dangling chain IDs) has no
+			// trustworthy identity; Validate rejects it on every persistence
+			// path. Degrade to the process-unique generation.
+			return db.Generation()
+		}
+		sum := sha256.Sum256(payload)
+		f := binary.LittleEndian.Uint64(sum[:8]) | 1 // 0 is reserved
+		db.fp.CompareAndSwap(0, f)
+	}
+}
+
 // NewFailSafeDatabase returns the database substituted when the real one
 // cannot be trusted: it matches nothing but drives the policy to NoJIT
 // for every compilation, so a corrupted database degrades to "JIT
@@ -156,6 +197,7 @@ func (db *Database) mutated() {
 	db.indexes = nil
 	db.mu.Unlock()
 	db.gen.Store(dbGen.Add(1))
+	db.fp.Store(0)
 }
 
 // Add installs (or replaces) the fingerprint for a CVE.

@@ -1,0 +1,74 @@
+package core
+
+// Cross-process verdict serialization: the persistent artifact/verdict
+// store (internal/store) must carry a recorded go/no-go verdict across
+// process death, and the in-memory verdictPayload cannot travel as-is —
+// Match.ChainID is an ID in the process-local interner, meaningless to
+// any other process. The wire form therefore serializes witness chains by
+// their "→"-joined string rendering (exactly what the DNA database has
+// always persisted) and re-interns them on decode, so a replayed verdict
+// carries the same attribution a live Decide would have produced.
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// wireMatch is the cross-process form of one Match: the witness chain by
+// string, or "" with HasChain=false for the NoChain sentinel (degenerate
+// thresholds match without a shared chain; "" is also a renderable chain
+// of one empty token, so absence needs its own bit).
+type wireMatch struct {
+	CVE      string `json:"cve"`
+	VDCFunc  string `json:"vdc_func"`
+	Pass     string `json:"pass"`
+	Chain    string `json:"chain,omitempty"`
+	HasChain bool   `json:"has_chain,omitempty"`
+	Side     string `json:"side,omitempty"`
+}
+
+// wireVerdict is the cross-process form of one recorded verdict.
+type wireVerdict struct {
+	Matches []wireMatch `json:"matches,omitempty"`
+	Names   []string    `json:"names,omitempty"`
+	NoJIT   bool        `json:"nojit,omitempty"`
+}
+
+// EncodeVerdict implements engine.VerdictCodec: it renders a verdict
+// payload (as produced by TakeVerdictPayload) into self-contained bytes
+// with witness chains in string form.
+func (d *Detector) EncodeVerdict(payload any) ([]byte, error) {
+	p, ok := payload.(*verdictPayload)
+	if !ok || p == nil {
+		return nil, fmt.Errorf("encode verdict: not a detector payload (%T)", payload)
+	}
+	w := wireVerdict{Names: p.names, NoJIT: p.noJIT}
+	for _, m := range p.found {
+		wm := wireMatch{CVE: m.CVE, VDCFunc: m.VDCFunc, Pass: m.Pass, Side: m.Side}
+		if m.ChainID != NoChain {
+			wm.Chain = ChainString(m.ChainID)
+			wm.HasChain = true
+		}
+		w.Matches = append(w.Matches, wm)
+	}
+	return json.Marshal(w)
+}
+
+// DecodeVerdict implements engine.VerdictCodec: it parses bytes written
+// by EncodeVerdict, re-interning every witness chain in this process's
+// interner, and returns a payload ReplayVerdict accepts.
+func (d *Detector) DecodeVerdict(data []byte) (any, error) {
+	var w wireVerdict
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("decode verdict: %w", err)
+	}
+	p := &verdictPayload{names: w.Names, noJIT: w.NoJIT}
+	for _, wm := range w.Matches {
+		m := Match{CVE: wm.CVE, VDCFunc: wm.VDCFunc, Pass: wm.Pass, Side: wm.Side, ChainID: NoChain}
+		if wm.HasChain {
+			m.ChainID = InternChain(wm.Chain)
+		}
+		p.found = append(p.found, m)
+	}
+	return p, nil
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestVerdictCodecRoundTrip: a verdict payload survives the wire form
+// with its witness chains re-interned — the ChainID may differ across
+// "processes", the chain STRING and every other field must not.
+func TestVerdictCodecRoundTrip(t *testing.T) {
+	d := NewDetector(&Database{})
+	chain := InternChain("loadelem→boundscheck→storeelem")
+	in := &verdictPayload{
+		found: []Match{
+			{CVE: "CVE-A", VDCFunc: "f", Pass: "GVN", ChainID: chain, Side: "removed"},
+			{CVE: "CVE-B", VDCFunc: "g", Pass: "LICM", ChainID: NoChain},
+		},
+		names: []string{"GVN", "LICM"},
+		noJIT: true,
+	}
+	data, err := d.EncodeVerdict(in)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := d.DecodeVerdict(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	out, ok := got.(*verdictPayload)
+	if !ok {
+		t.Fatalf("decoded %T, want *verdictPayload", got)
+	}
+	if out.noJIT != in.noJIT || len(out.names) != 2 || out.names[0] != "GVN" {
+		t.Errorf("verdict fields lost: %+v", out)
+	}
+	if len(out.found) != 2 {
+		t.Fatalf("matches = %d, want 2", len(out.found))
+	}
+	if out.found[0].Chain() != in.found[0].Chain() {
+		t.Errorf("witness chain lost: %q vs %q", out.found[0].Chain(), in.found[0].Chain())
+	}
+	if out.found[1].ChainID != NoChain {
+		t.Errorf("NoChain sentinel lost: ChainID = %d", out.found[1].ChainID)
+	}
+	if out.found[0].Key() != in.found[0].Key() || out.found[0].Side != "removed" {
+		t.Errorf("match identity lost: %+v", out.found[0])
+	}
+	// Hostile input errors instead of panicking.
+	if _, err := d.DecodeVerdict([]byte("{")); err == nil {
+		t.Error("torn JSON decoded without error")
+	}
+	if _, err := d.EncodeVerdict("not a payload"); err == nil {
+		t.Error("foreign payload encoded without error")
+	}
+}
+
+// TestFingerprintStableAcrossLoads: saving a database and loading it
+// twice (two "processes") yields one fingerprint — the property that
+// keeps persistent verdict keys valid across a restart — while different
+// contents yield different fingerprints.
+func TestFingerprintStableAcrossLoads(t *testing.T) {
+	db := &Database{}
+	db.Add(VDC{CVE: "CVE-FP-1", DNAs: []DNA{{FuncName: "f"}}})
+	path := filepath.Join(t.TempDir(), "db.json")
+	if err := db.Save(path); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	a, err := LoadDatabase(path)
+	if err != nil {
+		t.Fatalf("load a: %v", err)
+	}
+	b, err := LoadDatabase(path)
+	if err != nil {
+		t.Fatalf("load b: %v", err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("same contents, different fingerprints: %x vs %x", a.Fingerprint(), b.Fingerprint())
+	}
+	if a.Fingerprint() != db.Fingerprint() {
+		t.Errorf("round-tripped fingerprint differs from the original: %x vs %x", a.Fingerprint(), db.Fingerprint())
+	}
+	b.Add(VDC{CVE: "CVE-FP-2"})
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("mutation did not change the fingerprint")
+	}
+}

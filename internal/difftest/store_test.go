@@ -1,0 +1,90 @@
+package difftest
+
+import (
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/progen"
+)
+
+// TestStoreWarmStartBitIdentical is the kill/restart acceptance cell:
+// run, "kill" the process (drop engine + memory cache), restart over the
+// surviving store directory, and require zero pipeline runs with
+// bit-identical results, steps and audit verdicts.
+func TestStoreWarmStartBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		o    WarmStartOptions
+	}{
+		{"plain", WarmStartOptions{}},
+		{"jitbull", WarmStartOptions{JITBULL: true}},
+		{"jitbull+osr+deopt", WarmStartOptions{JITBULL: true, OSR: true, Speculate: true}},
+		{"jitbull+snapshot", WarmStartOptions{JITBULL: true, Snapshot: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			src := progen.Generate(401, progen.Options{})
+			res, err := StoreWarmStart(src, t.TempDir(), tc.o)
+			if err != nil {
+				t.Fatalf("warm start: %v", err)
+			}
+			for _, d := range res.Divergences {
+				t.Error(d)
+			}
+			if t.Failed() {
+				t.Logf("cold stats: %+v", res.Cold.Stats)
+				t.Logf("warm stats: %+v", res.Warm.Stats)
+			}
+		})
+	}
+}
+
+// TestStoreWarmStartAcrossPrograms pins key soundness through the store:
+// different programs over one store directory never cross-serve records.
+func TestStoreWarmStartAcrossPrograms(t *testing.T) {
+	dir := t.TempDir()
+	for i, seed := range []int64{402, 403, 404} {
+		src := progen.Generate(seed, progen.Options{})
+		res, err := StoreWarmStart(src, dir+"/p"+string(rune('0'+i)), WarmStartOptions{JITBULL: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, d := range res.Divergences {
+			t.Errorf("seed %d: %s", seed, d)
+		}
+	}
+}
+
+// TestStoreChaosCampaign sweeps one full point×kind grid (short mode)
+// or several (long mode) and requires every invariant to hold.
+func TestStoreChaosCampaign(t *testing.T) {
+	runs := 24 // one full 3-point × 8-kind sweep
+	if !testing.Short() {
+		runs = 72
+	}
+	res := StoreChaos(StoreChaosOptions{Seed: 900, Runs: runs, Dir: t.TempDir()})
+	if res.FaultsFired == 0 {
+		t.Fatal("campaign fired no faults — the store boundary was never exercised")
+	}
+	for _, f := range res.Failures {
+		t.Error(f.String())
+	}
+	t.Log(res.Summary())
+}
+
+// TestStoreChaosReplayIsDeterministic replays one faulted run and
+// requires the identical fired-fault count — the reproducer contract.
+func TestStoreChaosReplayIsDeterministic(t *testing.T) {
+	o := StoreChaosOptions{Seed: 901, Runs: 6, Dir: t.TempDir()}
+	res := StoreChaos(o)
+	if len(res.Failures) != 0 {
+		t.Fatalf("campaign failed: %v", res.Failures)
+	}
+	// Re-run one cell by hand and compare fired counts.
+	f := ChaosFailure{RunSeed: o.Seed + 2, Plan: storeChaosPlan(2, o.Seed+2), Program: progenAt(o.Seed + 2)}
+	fired1, fail1 := StoreChaosReplay(f, t.TempDir(), o)
+	fired2, fail2 := StoreChaosReplay(f, t.TempDir(), o)
+	if fired1 != fired2 || (fail1 == nil) != (fail2 == nil) {
+		t.Errorf("replay diverged: fired %d/%d, fail %v/%v", fired1, fired2, fail1, fail2)
+	}
+}
+
+func progenAt(seed int64) string { return progen.Generate(seed, progen.Options{}) }

@@ -591,7 +591,7 @@ func (e *Engine) CallFunction(idx int, args []value.Value) (value.Value, error) 
 		e.tracer.Instant(obs.CatEngine, "bailout",
 			obs.S("fn", st.fn.Name), obs.I("bailouts", int64(st.bailouts)))
 		if st.bailouts >= maxBailoutsBeforeBlacklist {
-			st.code = nil
+			e.discardArtifact(st)
 			e.demote(st)
 			e.quarantine(st, "bailout storm: blacklisted after repeated guard failures")
 		}

@@ -134,7 +134,7 @@ func (e *Engine) OnBackEdge(fn *bytecode.Function, targetPC int, locals []value.
 		e.tracer.Instant(obs.CatEngine, "bailout",
 			obs.S("fn", st.fn.Name), obs.I("bailouts", int64(st.bailouts)))
 		if st.bailouts >= maxBailoutsBeforeBlacklist {
-			st.code = nil
+			e.discardArtifact(st)
 			e.demote(st)
 			e.quarantine(st, "bailout storm: blacklisted after repeated guard failures")
 		} else {
@@ -146,8 +146,22 @@ func (e *Engine) OnBackEdge(fn *bytecode.Function, targetPC int, locals []value.
 	}
 }
 
+// discardArtifact drops st's compiled code together with the OSR/deopt
+// history that judged it: the cooldown ordinals and the deopt count are
+// facts about the discarded artifact, not the function. Leaving them
+// behind would leak the cooldown map across blacklist/requalify cycles
+// (it only used to shrink on a successful install) and pre-poison the
+// next artifact's loop headers with verdicts about code that no longer
+// exists.
+func (e *Engine) discardArtifact(st *fnState) {
+	st.code = nil
+	st.osrCooldown = nil
+	st.deopts = 0
+}
+
 // coolDown parks one OSR entry ordinal for the current artifact; a fresh
-// install clears the map (see applyOutcome).
+// install clears the map (see applyOutcome), as does any artifact discard
+// (see discardArtifact).
 func (e *Engine) coolDown(st *fnState, ordinal int) {
 	if st.osrCooldown == nil {
 		st.osrCooldown = make(map[int]bool, 1)
@@ -182,7 +196,7 @@ func (e *Engine) handleDeopt(st *fnState, d *native.DeoptState) (value.Value, bo
 		// workload. Instead of the old blacklist-only path, requalify the
 		// function without speculation — discard the artifact and let the
 		// next warmup trigger recompile it with TypeSpeculation disabled.
-		st.code = nil
+		e.discardArtifact(st)
 		e.demote(st)
 		if st.disabledPasses == nil {
 			st.disabledPasses = map[string]bool{}

@@ -1,0 +1,183 @@
+package engine
+
+// CacheCodec round trip: a real compiled artifact must cross the byte
+// boundary and come back execution-equivalent — same ops, same side
+// tables, fused form recomputed, verdict payload re-encoded through the
+// policy's codec. core.Detector's VerdictCodec half is exercised by its
+// own tests and by difftest (core imports engine, so this package uses a
+// stub codec for the payload path).
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/jitqueue"
+	"github.com/jitbull/jitbull/internal/lir"
+)
+
+// cacheValue pulls the single cached compilation out of c.
+func cacheValue(t *testing.T, c *jitqueue.Cache) (jitqueue.Key, *cachedCompile) {
+	t.Helper()
+	keys := c.Keys()
+	if len(keys) != 1 {
+		t.Fatalf("cache holds %d entries, want 1", len(keys))
+	}
+	v, ok := c.Get(keys[0])
+	if !ok {
+		t.Fatalf("cache entry vanished")
+	}
+	return keys[0], v.(*cachedCompile)
+}
+
+func TestCacheCodecRoundTripsRealArtifact(t *testing.T) {
+	for _, noFuse := range []bool{false, true} {
+		t.Run(fmt.Sprintf("noFuse=%v", noFuse), func(t *testing.T) {
+			cache := jitqueue.NewCache(nil)
+			runHot(t, Config{IonThreshold: 5, Cache: cache, NoFuse: noFuse})
+			_, cc := cacheValue(t, cache)
+			if cc.code == nil {
+				t.Fatal("compiled artifact missing from the cache value")
+			}
+			if (cc.code.Fused == nil) != noFuse {
+				t.Fatalf("fused form present=%v under NoFuse=%v", cc.code.Fused != nil, noFuse)
+			}
+
+			codec := NewCacheCodec(nil)
+			data, ok := codec.Encode(cc)
+			if !ok {
+				t.Fatal("Encode refused a plain artifact")
+			}
+			back, err := codec.Decode(data)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			got := back.(*cachedCompile)
+
+			// The executable form must be bit-identical: every op, every side
+			// table the native tier reads.
+			if !reflect.DeepEqual(got.code.Ops, cc.code.Ops) {
+				t.Error("op stream changed across the round trip")
+			}
+			if !reflect.DeepEqual(got.code.ArgLists, cc.code.ArgLists) {
+				t.Error("arg lists changed across the round trip")
+			}
+			if !reflect.DeepEqual(got.code.OSREntries, cc.code.OSREntries) {
+				t.Error("OSR entries changed across the round trip")
+			}
+			if !reflect.DeepEqual(got.code.DeoptExits, cc.code.DeoptExits) {
+				t.Error("deopt exits changed across the round trip")
+			}
+			if got.code.Name != cc.code.Name || got.code.FuncIndex != cc.code.FuncIndex ||
+				got.code.NumParams != cc.code.NumParams || got.code.NumRegs != cc.code.NumRegs {
+				t.Errorf("header fields changed: got %s/%d/%d/%d want %s/%d/%d/%d",
+					got.code.Name, got.code.FuncIndex, got.code.NumParams, got.code.NumRegs,
+					cc.code.Name, cc.code.FuncIndex, cc.code.NumParams, cc.code.NumRegs)
+			}
+			// The fused stream is recomputed, not persisted; Fuse is
+			// deterministic over the ops so presence must match.
+			if (got.code.Fused == nil) != (cc.code.Fused == nil) {
+				t.Errorf("fused form present=%v after decode, want %v",
+					got.code.Fused != nil, cc.code.Fused != nil)
+			}
+			// omitempty collapses an empty disabled set to nil — semantically
+			// identical (applyOutcome only materializes non-empty sets).
+			if got.noJIT != cc.noJIT || got.grew != cc.grew || got.jitEligible != cc.jitEligible ||
+				(len(got.disabled)+len(cc.disabled) > 0 && !reflect.DeepEqual(got.disabled, cc.disabled)) {
+				t.Errorf("verdict flags changed: got %+v want %+v", got, cc)
+			}
+		})
+	}
+}
+
+// stubVerdictCodec round-trips payloads as JSON strings.
+type stubVerdictCodec struct{}
+
+func (stubVerdictCodec) EncodeVerdict(payload any) ([]byte, error) {
+	s, ok := payload.(string)
+	if !ok {
+		return nil, fmt.Errorf("not a string payload")
+	}
+	return json.Marshal(s)
+}
+
+func (stubVerdictCodec) DecodeVerdict(data []byte) (any, error) {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func TestCacheCodecVerdictPayloads(t *testing.T) {
+	with := &CacheCodec{Verdicts: stubVerdictCodec{}}
+	without := NewCacheCodec(nil)
+
+	cc := &cachedCompile{noJIT: true, jitEligible: true, payload: "verdict-bytes"}
+
+	// A payload-bearing value must not be persisted without a verdict codec.
+	if _, ok := without.Encode(cc); ok {
+		t.Fatal("Encode persisted a verdict payload with no codec to carry it")
+	}
+	data, ok := with.Encode(cc)
+	if !ok {
+		t.Fatal("Encode refused a payload with a codec attached")
+	}
+	back, err := with.Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got := back.(*cachedCompile); got.payload != "verdict-bytes" || !got.noJIT {
+		t.Errorf("payload round trip: %+v", got)
+	}
+
+	// A policied record must not decode on an unpolicied fleet — replaying
+	// the artifact without its verdict would drop audit accounting.
+	if _, err := without.Decode(data); err == nil {
+		t.Error("Decode accepted a verdict-bearing record with no verdict codec")
+	}
+}
+
+func TestCacheCodecRejections(t *testing.T) {
+	codec := NewCacheCodec(nil)
+
+	if _, ok := codec.Encode("not a cachedCompile"); ok {
+		t.Error("Encode accepted a foreign value")
+	}
+	// Non-finite immediates must survive the trip bit-exactly — JSON can't
+	// carry NaN, so Imm travels as IEEE-754 bits and a constant-folded NaN
+	// (or ±Inf, or -0) must not demote the artifact to memory-only.
+	nan := &cachedCompile{jitEligible: true, code: &lir.Code{
+		Ops: []lir.Op{
+			{Kind: lir.KConst, Imm: math.NaN()},
+			{Kind: lir.KConst, Dst: 1, Imm: math.Inf(-1)},
+			{Kind: lir.KConst, Dst: 2, Imm: math.Copysign(0, -1)},
+		},
+	}}
+	data, ok := codec.Encode(nan)
+	if !ok {
+		t.Fatal("Encode refused a NaN immediate (should travel as IEEE-754 bits)")
+	}
+	back, err := codec.Decode(data)
+	if err != nil {
+		t.Fatalf("Decode of non-finite immediates: %v", err)
+	}
+	for i, op := range back.(*cachedCompile).code.Ops {
+		got, want := math.Float64bits(op.Imm), math.Float64bits(nan.code.Ops[i].Imm)
+		if got != want {
+			t.Errorf("op %d: Imm bits %016x, want %016x", i, got, want)
+		}
+	}
+
+	if _, err := codec.Decode([]byte(`{"v":99,"nojit":true}`)); err == nil {
+		t.Error("Decode accepted a version-skewed record")
+	}
+	if _, err := codec.Decode([]byte(`not json`)); err == nil {
+		t.Error("Decode accepted garbage")
+	}
+	if _, err := codec.Decode([]byte(`{"v":1}`)); err == nil {
+		t.Error("Decode accepted a record with neither artifact nor NoJIT")
+	}
+}

@@ -1,0 +1,169 @@
+package experiments
+
+// Persistent warm-start benchmark: the store's acceptance measurement,
+// recorded by cmd/jitbull-bench -warmstart into BENCH_warmstart.json.
+//
+// The cell is the cross-process analogue of measureColdVsWarm: the same
+// compile-dominated program, but the warm side starts with an EMPTY
+// in-memory cache and only the on-disk store surviving — exactly what a
+// restarted process has. Cold runs pay the full Ion pipeline + DNA
+// extraction per function; warm runs replace every pipeline execution
+// with a store read (checksum verify + JSON decode + fuse recompute).
+// The gate is the ISSUE's: warm hits >= 5x faster than cold compiles,
+// with the warm process executing zero pipelines.
+//
+// The snapshot leg times the fleet-priming path on the side: bundling
+// the prewarmed store and restoring it into a fresh directory.
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/jitbull/jitbull/internal/core"
+	"github.com/jitbull/jitbull/internal/engine"
+	"github.com/jitbull/jitbull/internal/jitqueue"
+	"github.com/jitbull/jitbull/internal/store"
+)
+
+// WarmStartReport is the BENCH_warmstart.json payload.
+type WarmStartReport struct {
+	// ColdNs runs with an empty store and empty cache (full pipeline);
+	// WarmNs with an empty cache over the prewarmed store (disk replay).
+	// Best of Repeats each.
+	ColdNs  int64   `json:"cold_ns"`
+	WarmNs  int64   `json:"warm_ns"`
+	Speedup float64 `json:"speedup"`
+
+	// Pipeline elimination accounting from the final timed runs.
+	ColdCompiles int   `json:"cold_compiles"`
+	WarmCompiles int   `json:"warm_compiles"` // gate: must be 0
+	WarmHits     int   `json:"warm_cache_hits"`
+	StoreRecords int   `json:"store_records"`
+
+	// Fleet-priming leg: one Snapshot of the prewarmed store, one Restore
+	// into an empty directory.
+	SnapshotNs      int64 `json:"snapshot_ns"`
+	RestoreNs       int64 `json:"restore_ns"`
+	RestoredRecords int   `json:"restored_records"`
+}
+
+// WarmStartBench measures cold-vs-warm over a persistent store rooted at
+// dir (which must be empty and writable; the caller owns cleanup).
+func WarmStartBench(dir string, cfg Config) (*WarmStartReport, error) {
+	cfg = cfg.withDefaults()
+	db, _, err := BuildDB(4, cfg.IonThreshold)
+	if err != nil {
+		return nil, err
+	}
+	src := compileHeavySource(6, 120, 25)
+	codec := engine.NewCacheCodec(core.NewDetector(db))
+
+	// run executes one simulated process: fresh engine, fresh in-memory
+	// cache, persistent tier attached, returning its wall time (parse
+	// excluded) and compile/hit counters.
+	run := func(st *store.Store) (int64, engine.Stats, error) {
+		cache := jitqueue.NewCache(nil)
+		cache.AttachTier(st, codec)
+		e, err := engine.New(src, engine.Config{BaselineThreshold: 5, IonThreshold: 20, Cache: cache})
+		if err != nil {
+			return 0, engine.Stats{}, err
+		}
+		e.SetPolicy(core.NewDetector(db))
+		start := time.Now()
+		if _, err := e.Run(); err != nil {
+			return 0, engine.Stats{}, err
+		}
+		return time.Since(start).Nanoseconds(), e.Stats(), nil
+	}
+
+	rep := &WarmStartReport{}
+
+	// Cold: a fresh, empty store per repetition — every run pays the
+	// pipeline (and the store writes, which a fair cold figure includes:
+	// a real first boot populates the store as it compiles).
+	for i := 0; i < cfg.Repeats; i++ {
+		st, err := store.Open(filepath.Join(dir, fmt.Sprintf("cold-%d", i)), store.Options{})
+		if err != nil {
+			return nil, err
+		}
+		ns, stats, err := run(st)
+		if err != nil {
+			return nil, err
+		}
+		if stats.Compiles == 0 {
+			return nil, fmt.Errorf("warmstart bench: cold run executed no pipelines")
+		}
+		rep.ColdCompiles = stats.Compiles
+		if rep.ColdNs == 0 || ns < rep.ColdNs {
+			rep.ColdNs = ns
+		}
+	}
+
+	// Prewarm once, then time warm processes: empty cache, surviving store.
+	warmDir := filepath.Join(dir, "warm")
+	prewarm, err := store.Open(warmDir, store.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := run(prewarm); err != nil {
+		return nil, err
+	}
+	rep.StoreRecords = prewarm.Len()
+	for i := 0; i < cfg.Repeats; i++ {
+		st, err := store.Open(warmDir, store.Options{})
+		if err != nil {
+			return nil, err
+		}
+		ns, stats, err := run(st)
+		if err != nil {
+			return nil, err
+		}
+		if stats.Compiles != 0 {
+			return nil, fmt.Errorf("warmstart bench: warm run executed %d pipeline(s), want 0", stats.Compiles)
+		}
+		rep.WarmCompiles = stats.Compiles
+		rep.WarmHits = stats.CacheHits
+		if rep.WarmNs == 0 || ns < rep.WarmNs {
+			rep.WarmNs = ns
+		}
+	}
+	if rep.WarmNs > 0 {
+		rep.Speedup = float64(rep.ColdNs) / float64(rep.WarmNs)
+	}
+
+	// Fleet-priming leg.
+	bundle := filepath.Join(dir, "snapshot.json")
+	start := time.Now()
+	if err := prewarm.Snapshot(bundle); err != nil {
+		return nil, err
+	}
+	rep.SnapshotNs = time.Since(start).Nanoseconds()
+	restored, err := store.Open(filepath.Join(dir, "restored"), store.Options{})
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	n, err := restored.Restore(bundle)
+	if err != nil {
+		return nil, err
+	}
+	rep.RestoreNs = time.Since(start).Nanoseconds()
+	rep.RestoredRecords = n
+	return rep, nil
+}
+
+// RenderWarmStart renders the report for the terminal.
+func RenderWarmStart(r *WarmStartReport) string {
+	var sb strings.Builder
+	sb.WriteString("Persistent warm start (compile-heavy program, empty cache each run)\n")
+	fmt.Fprintf(&sb, "  cold (empty store):     %12d ns  (%d pipeline runs)\n", r.ColdNs, r.ColdCompiles)
+	fmt.Fprintf(&sb, "  warm (store replay):    %12d ns  (%d pipeline runs, %d store hits)\n",
+		r.WarmNs, r.WarmCompiles, r.WarmHits)
+	fmt.Fprintf(&sb, "  speedup:                %12.1fx\n", r.Speedup)
+	fmt.Fprintf(&sb, "  store records:          %12d\n", r.StoreRecords)
+	fmt.Fprintf(&sb, "  snapshot/restore:       %12d ns / %d ns (%d records)\n",
+		r.SnapshotNs, r.RestoreNs, r.RestoredRecords)
+	return sb.String()
+}

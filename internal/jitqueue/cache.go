@@ -2,6 +2,7 @@ package jitqueue
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"github.com/jitbull/jitbull/internal/obs"
 )
@@ -23,33 +24,76 @@ type Key [32]byte
 // realistic working set.
 const DefaultCacheMaxBytes = 64 << 20
 
-// entry is one cached compilation plus the size the caller accounted it
-// at (needed to keep cache.bytes exact across eviction).
+// Codec translates cache values to and from self-contained bytes for the
+// second tier. Encode reports ok=false for values that must not cross a
+// process boundary (e.g. a verdict payload with no persistent form);
+// Decode errors mean the bytes are from an incompatible producer and the
+// lookup degrades to a miss.
+type Codec interface {
+	Encode(v any) (data []byte, ok bool)
+	Decode(data []byte) (v any, err error)
+}
+
+// SecondTier is durable storage under the in-memory cache (implemented by
+// internal/store). Both methods must be safe for concurrent use and must
+// contain their own failures: Get returns ok=false for anything it cannot
+// produce trustworthy bytes for, Put may drop the record silently — the
+// in-memory tier and a recompile always back it up.
+type SecondTier interface {
+	Get(k Key) (data []byte, ok bool)
+	Put(k Key, data []byte)
+}
+
+// entry is one cached compilation in the SIEVE list: the value, the size
+// the caller accounted it at, and the SIEVE bookkeeping. Entries form a
+// doubly-linked list in insertion order (head = newest, tail = oldest).
+// visited is atomic so Get can mark it under the read lock.
 type entry struct {
-	v    any
-	size int64
+	key        Key
+	v          any
+	size       int64
+	visited    atomic.Bool
+	prev, next *entry
 }
 
 // Cache is a process-wide, first-store-wins map from compilation inputs
 // to finished artifacts (compiled code plus the recorded policy verdict).
-// Values are opaque to the cache; the engine defines what it stores. The
-// accounted footprint is bounded: once a Put would push cache.bytes past
-// the configured maximum, arbitrary entries are evicted to make room
-// (entries are independent, immutable compilations — any victim is as
-// good as any other, and an evicted key is simply recompiled on its next
-// miss). A nil *Cache is valid: every Get misses silently and every Put
-// is dropped, which is exactly the cache-off configuration.
+// Values are opaque to the cache; the engine defines what it stores.
+//
+// The accounted footprint is bounded with SIEVE eviction: entries live in
+// an insertion-ordered list, a Get marks its entry visited, and when a Put
+// needs room a hand sweeps from the oldest entry toward the newest,
+// clearing visited marks until it finds an unvisited victim. Eviction is
+// therefore deterministic in the Get/Put sequence (no map-iteration-order
+// dependence) and approximates LRU without per-hit list surgery.
+//
+// With a SecondTier attached the cache is write-through: every Put also
+// encodes the value and hands the bytes to the tier, and a memory miss
+// consults the tier before reporting a miss, promoting (first-store-wins)
+// any record that decodes. Tier failures never propagate: an unreadable,
+// corrupt, or undecodable record is a miss, and the engine recompiles.
+//
+// A nil *Cache is valid: every Get misses silently and every Put is
+// dropped, which is exactly the cache-off configuration.
 type Cache struct {
 	mu       sync.RWMutex
-	m        map[Key]entry
+	m        map[Key]*entry
+	head     *entry // most recently inserted
+	tail     *entry // oldest; eviction hand starts here
+	hand     *entry // SIEVE hand: next eviction candidate (nil = tail)
 	bytes    int64
 	maxBytes int64 // <= 0 means unbounded
 
-	mHits   *obs.Counter
-	mMisses *obs.Counter
-	mEvict  *obs.Counter
-	mBytes  *obs.Gauge
-	mSize   *obs.Gauge
+	tier  SecondTier
+	codec Codec
+
+	mHits      *obs.Counter
+	mMisses    *obs.Counter
+	mEvict     *obs.Counter
+	mBytes     *obs.Gauge
+	mSize      *obs.Gauge
+	mTierHits  *obs.Counter
+	mTierDrops *obs.Counter
 }
 
 // NewCache builds an empty cache bounded at DefaultCacheMaxBytes. reg,
@@ -64,17 +108,35 @@ func NewCache(reg *obs.Registry) *Cache {
 // the unbounded-growth consequences).
 func NewCacheLimited(reg *obs.Registry, maxBytes int64) *Cache {
 	return &Cache{
-		m:        make(map[Key]entry),
-		maxBytes: maxBytes,
-		mHits:    reg.Counter("cache.hits"),
-		mMisses:  reg.Counter("cache.misses"),
-		mEvict:   reg.Counter("cache.evictions"),
-		mBytes:   reg.Gauge("cache.bytes"),
-		mSize:    reg.Gauge("cache.entries"),
+		m:          make(map[Key]*entry),
+		maxBytes:   maxBytes,
+		mHits:      reg.Counter("cache.hits"),
+		mMisses:    reg.Counter("cache.misses"),
+		mEvict:     reg.Counter("cache.evictions"),
+		mBytes:     reg.Gauge("cache.bytes"),
+		mSize:      reg.Gauge("cache.entries"),
+		mTierHits:  reg.Counter("cache.tier_hits"),
+		mTierDrops: reg.Counter("cache.tier_decode_drops"),
 	}
 }
 
-// Get looks up a finished compilation and counts the hit or miss.
+// AttachTier wires a durable second tier under the cache: Puts write
+// through (via codec.Encode) and memory misses consult it (via
+// codec.Decode) before reporting a miss. Attach before the cache is
+// shared; the tier and codec are read without synchronization afterwards.
+func (c *Cache) AttachTier(t SecondTier, codec Codec) {
+	if c == nil {
+		return
+	}
+	c.tier = t
+	c.codec = codec
+}
+
+// Get looks up a finished compilation and counts the hit or miss. On a
+// memory miss with a second tier attached, the tier is consulted and a
+// decodable record is promoted into memory (counted as a hit); a record
+// that fails to decode is dropped and counted as a miss — version skew at
+// the engine layer degrades to a recompile, never an error.
 func (c *Cache) Get(k Key) (any, bool) {
 	if c == nil {
 		return nil, false
@@ -83,11 +145,36 @@ func (c *Cache) Get(k Key) (any, bool) {
 	e, ok := c.m[k]
 	c.mu.RUnlock()
 	if ok {
+		e.visited.Store(true)
 		c.mHits.Inc()
-	} else {
-		c.mMisses.Inc()
+		return e.v, true
 	}
-	return e.v, ok
+	if c.tier != nil && c.codec != nil {
+		if data, ok := c.tier.Get(k); ok {
+			if v, err := c.codec.Decode(data); err == nil && v != nil {
+				c.mTierHits.Inc()
+				c.mHits.Inc()
+				// Promote without writing back through: the tier already
+				// holds the record. First store wins here too.
+				if prev, stored := c.put(k, v, c.sizeOf(data)); !stored {
+					return prev, true
+				}
+				return v, true
+			}
+			c.mTierDrops.Inc()
+		}
+	}
+	c.mMisses.Inc()
+	return nil, false
+}
+
+// sizeOf accounts a tier-promoted value by its encoded footprint, floored
+// at a small constant so zero-length records still count.
+func (c *Cache) sizeOf(data []byte) int64 {
+	if len(data) < 64 {
+		return 64
+	}
+	return int64(len(data))
 }
 
 // Put stores a finished compilation under k. The first store wins: when
@@ -95,8 +182,9 @@ func (c *Cache) Get(k Key) (any, bool) {
 // discarded, so every later Get observes one stable artifact+verdict.
 // size is the caller's estimate of the artifact's footprint in bytes,
 // accounted in cache.bytes; when the store would exceed the cache's
-// maximum, arbitrary existing entries are evicted first, and an entry
-// larger than the whole bound is dropped outright.
+// maximum, the SIEVE hand evicts deterministically, and an entry larger
+// than the whole bound is dropped outright. With a second tier attached
+// the winning value is also encoded and written through.
 func (c *Cache) Put(k Key, v any, size int64) {
 	if c == nil || v == nil {
 		return
@@ -104,23 +192,45 @@ func (c *Cache) Put(k Key, v any, size int64) {
 	if c.maxBytes > 0 && size > c.maxBytes {
 		return
 	}
-	c.mu.Lock()
-	if _, exists := c.m[k]; exists {
-		c.mu.Unlock()
+	if _, stored := c.put(k, v, size); !stored {
 		return
+	}
+	if c.tier != nil && c.codec != nil {
+		if data, ok := c.codec.Encode(v); ok {
+			c.tier.Put(k, data)
+		}
+	}
+}
+
+// put inserts under the write lock, evicting via the SIEVE hand as
+// needed. It returns the winning value and whether v was the one stored
+// (false = an earlier store won).
+func (c *Cache) put(k Key, v any, size int64) (winner any, stored bool) {
+	if c.maxBytes > 0 && size > c.maxBytes {
+		return v, false
+	}
+	c.mu.Lock()
+	if prev, exists := c.m[k]; exists {
+		c.mu.Unlock()
+		return prev.v, false
 	}
 	evicted := int64(0)
 	if c.maxBytes > 0 {
-		for key, e := range c.m {
-			if c.bytes+size <= c.maxBytes {
-				break
-			}
-			delete(c.m, key)
-			c.bytes -= e.size
+		for c.bytes+size > c.maxBytes && len(c.m) > 0 {
+			c.evictOne()
 			evicted++
 		}
 	}
-	c.m[k] = entry{v: v, size: size}
+	e := &entry{key: k, v: v, size: size}
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+	c.m[k] = e
 	c.bytes += size
 	n, b := len(c.m), c.bytes
 	c.mu.Unlock()
@@ -129,6 +239,48 @@ func (c *Cache) Put(k Key, v any, size int64) {
 	}
 	c.mSize.Set(int64(n))
 	c.mBytes.Set(b)
+	return v, true
+}
+
+// evictOne runs the SIEVE hand once under the write lock: starting at the
+// hand (or the oldest entry), visited entries get their mark cleared and
+// are passed over; the first unvisited entry is the victim. With every
+// entry visited the sweep wraps once and the second pass — marks now
+// cleared — evicts the oldest, so the loop always terminates.
+func (c *Cache) evictOne() {
+	for {
+		h := c.hand
+		if h == nil {
+			h = c.tail
+		}
+		if h == nil {
+			return
+		}
+		if h.visited.Swap(false) {
+			c.hand = h.prev // toward newer entries; nil wraps to tail
+			continue
+		}
+		c.hand = h.prev
+		c.unlink(h)
+		delete(c.m, h.key)
+		c.bytes -= h.size
+		return
+	}
+}
+
+// unlink removes e from the insertion-order list.
+func (c *Cache) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
 }
 
 // Len returns the number of cached compilations.
@@ -149,4 +301,19 @@ func (c *Cache) Bytes() int64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.bytes
+}
+
+// Keys returns the cached keys, newest insertion first (diagnostics and
+// the store-verify CLI).
+func (c *Cache) Keys() []Key {
+	if c == nil {
+		return nil
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]Key, 0, len(c.m))
+	for e := c.head; e != nil; e = e.next {
+		out = append(out, e.key)
+	}
+	return out
 }

@@ -34,6 +34,7 @@ import (
 	"github.com/jitbull/jitbull/internal/obs"
 	"github.com/jitbull/jitbull/internal/octane"
 	"github.com/jitbull/jitbull/internal/passes"
+	"github.com/jitbull/jitbull/internal/store"
 	"github.com/jitbull/jitbull/internal/variants"
 	"github.com/jitbull/jitbull/internal/vulndb"
 )
@@ -132,6 +133,49 @@ func NewCodeCache(reg *Registry) *CodeCache { return jitqueue.NewCache(reg) }
 // bytes; maxBytes <= 0 removes the bound.
 func NewCodeCacheLimited(reg *Registry, maxBytes int64) *CodeCache {
 	return jitqueue.NewCacheLimited(reg, maxBytes)
+}
+
+// Persistent artifact/verdict store types (see internal/store): an
+// on-disk second tier under the CodeCache. Every record is a checksummed,
+// key-bound, atomically-written envelope; anything that fails
+// verification on read is quarantined and served as a miss (the engine
+// just compiles cold), never executed.
+type (
+	// ArtifactStore is the on-disk store. Attach it under a CodeCache with
+	// AttachStore so cached compilations (and their JITBULL verdicts)
+	// survive process restarts.
+	ArtifactStore = store.Store
+	// StoreVerifyReport is the result of an offline integrity scan.
+	StoreVerifyReport = store.VerifyReport
+	// CacheCodec serializes the engine's cached compilations for the
+	// store: artifacts travel as their plain op stream (derived forms are
+	// recomputed bit-identically on load) and JITBULL verdicts through the
+	// detector's own verdict codec.
+	CacheCodec = engine.CacheCodec
+)
+
+// OpenStore opens (creating if needed) a persistent artifact store rooted
+// at dir. reg and audit may be nil; when set they receive the store.*
+// metrics and a quarantine/degradation audit trail.
+func OpenStore(dir string, reg *Registry, audit *AuditLog) (*ArtifactStore, error) {
+	return store.Open(dir, store.Options{Metrics: reg, Audit: audit})
+}
+
+// NewCacheCodec builds the store codec for a fleet protected by detector
+// d (nil for an unprotected fleet — verdict-bearing records are then not
+// persisted rather than persisted without their verdicts).
+func NewCacheCodec(d *Detector) *CacheCodec {
+	if d == nil {
+		return engine.NewCacheCodec(nil)
+	}
+	return engine.NewCacheCodec(d)
+}
+
+// AttachStore wires a persistent store under a CodeCache as its second
+// tier: every publish is written through, and a memory miss consults the
+// store before compiling. Call before the engines sharing the cache run.
+func AttachStore(c *CodeCache, st *ArtifactStore, codec *CacheCodec) {
+	c.AttachTier(st, codec)
 }
 
 // NewRing returns a trace ring buffer; capacity <= 0 uses the default (64k).
