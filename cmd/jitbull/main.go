@@ -47,6 +47,8 @@ func run(args []string) error {
 		return cmdDNA(args[1:])
 	case "store":
 		return cmdStore(args[1:])
+	case "journey":
+		return cmdJourney(args[1:])
 	case "vulns":
 		return cmdVulns()
 	case "help", "-h", "--help":
@@ -63,7 +65,11 @@ func usage() {
   jitbull run [-nojit] [-nofuse] [-osr] [-speculate] [-threshold N] [-bugs CVE,...]
               [-db file] [-stats] [-async [-jit-workers N]] [-cache] [-store dir]
               [-trace file] [-audit file] [-metrics] [-metrics-addr addr]
+              [-journey file] [-flight dir] [-watchdog]
               [-octane name [-scale N]] [script.js]
+  jitbull journey [-fn name] [-json] journey.json
+  jitbull journey [-fn name] [-json] [-threshold N] [-osr] [-speculate] [-async]
+                  (-octane name [-scale N] | script.js)
   jitbull fingerprint -cve CVE-... [-bugs CVE,...] [-threshold N] -db file script.js
   jitbull diff [-seed N | -seeds N] [-bugs CVE,...] [-shrink] [-jitbull] script.js
   jitbull chaos [-runs N] [-seed N] [-rules N] [-points p,...] [-osr]
@@ -115,6 +121,9 @@ func cmdRun(args []string) error {
 	jitWorkers := fs.Int("jit-workers", 0, "background compile workers for -async (0 = GOMAXPROCS)")
 	cacheFlag := fs.Bool("cache", false, "enable the shared compilation cache (artifact + JITBULL verdict, keyed by canonical bytecode hash)")
 	storeDir := fs.String("store", "", "persist the compilation cache in this directory (implies -cache): artifacts and verdicts survive restarts")
+	journeyPath := fs.String("journey", "", "record tier-journey waypoints; write them as JSON to this file after the run ('-' renders ASCII timelines to stderr)")
+	flightDir := fs.String("flight", "", "arm the tail-sampling flight recorder: anomalous episodes (p99 compile outliers, faults, watchdog anomalies) are dumped as Chrome traces into this directory")
+	watchdogFlag := fs.Bool("watchdog", false, "arm the anomaly watchdog (deopt storms, quarantine spikes, cache-miss regressions, verdict-rate shifts, perf divergence)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -151,7 +160,7 @@ func cmdRun(args []string) error {
 	// The queue/cache metrics live in a shared registry so -stats can
 	// report them after the run.
 	var jitReg *jitbull.Registry
-	if *async || *cacheFlag || *storeDir != "" {
+	if *async || *cacheFlag || *storeDir != "" || *watchdogFlag {
 		jitReg = jitbull.NewRegistry()
 		cfg.Metrics = jitReg
 	}
@@ -166,9 +175,27 @@ func cmdRun(args []string) error {
 		cfg.Cache = codeCache
 	}
 	var ring *jitbull.Ring
+	var flight *jitbull.FlightRecorder
+	var sinks jitbull.MultiSink
 	if *tracePath != "" {
 		ring = jitbull.NewRing(0)
-		cfg.Tracer = jitbull.NewTracer(ring)
+		sinks = append(sinks, ring)
+	}
+	if *flightDir != "" {
+		flight = jitbull.NewFlightRecorder(*flightDir, jitbull.FlightOptions{})
+		sinks = append(sinks, flight)
+	}
+	switch len(sinks) {
+	case 0:
+	case 1:
+		cfg.Tracer = jitbull.NewTracer(sinks[0])
+	default:
+		cfg.Tracer = jitbull.NewTracer(sinks)
+	}
+	var journal *jitbull.Journal
+	if *journeyPath != "" {
+		journal = jitbull.NewJournal(0)
+		cfg.Journal = journal
 	}
 	var auditFile *os.File
 	if *auditPath != "" {
@@ -183,16 +210,36 @@ func cmdRun(args []string) error {
 		}
 		cfg.Audit = jitbull.NewAuditLog(w)
 	}
+	var wdog *jitbull.Watchdog
+	if *watchdogFlag {
+		if cfg.Audit == nil {
+			// Anomaly audit events should land beside the engine's policy
+			// verdicts (and be served at /audit.json) even without -audit.
+			cfg.Audit = jitbull.NewAuditLog(nil)
+		}
+		wdog = jitbull.NewWatchdog(jitbull.WatchdogOptions{
+			Audit:   cfg.Audit,
+			Flight:  flight,
+			Metrics: jitReg,
+		})
+		cfg.Watchdog = wdog
+	}
 	eng, err := jitbull.New(src, cfg)
 	if err != nil {
 		return err
 	}
 	if *metricsAddr != "" {
-		srv, addr, err := jitbull.StartDebugServer(*metricsAddr, eng.MetricsSink(), eng.Audit())
+		srv, addr, err := jitbull.StartOpsServer(*metricsAddr, jitbull.OpsState{
+			Reg:      eng.MetricsSink(),
+			Audit:    eng.Audit(),
+			Watchdog: wdog,
+			Journal:  journal,
+			Flight:   flight,
+		})
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "jitbull: debug server on http://%s/ (/metrics, /audit.json, /debug/pprof/)\n", addr)
+		fmt.Fprintf(os.Stderr, "jitbull: ops server on http://%s/ (/metrics, /metrics.prom, /healthz, /audit.json, /journey.json, /flight.json, /debug/pprof/)\n", addr)
 		defer srv.Close()
 	}
 	var det *jitbull.Detector
@@ -204,7 +251,12 @@ func cmdRun(args []string) error {
 		det = jitbull.Protect(eng, db)
 	}
 	if *storeDir != "" {
-		st, err := jitbull.OpenStore(*storeDir, eng.MetricsSink(), eng.Audit())
+		st, err := jitbull.OpenStoreWith(*storeDir, jitbull.StoreOptions{
+			Metrics:  eng.MetricsSink(),
+			Audit:    eng.Audit(),
+			Watchdog: wdog,
+			Tracer:   cfg.Tracer,
+		})
 		if err != nil {
 			return err
 		}
@@ -232,10 +284,18 @@ func cmdRun(args []string) error {
 				jitReg.Gauge("jit.queue_depth_hwm").Value(), jitReg.Counter("jit.queue_enqueued").Value())
 		}
 		if *storeDir != "" {
-			fmt.Fprintf(os.Stderr, "store: hits=%d misses=%d puts=%d put_drops=%d quarantined=%d\n",
+			fmt.Fprintf(os.Stderr, "store: hits=%d misses=%d puts=%d put_drops=%d quarantined=%d retries=%d faults_injected=%d tier_hits=%d\n",
 				sink.Counter("store.hits").Value(), sink.Counter("store.misses").Value(),
 				sink.Counter("store.puts").Value(), sink.Counter("store.put_drops").Value(),
-				sink.Counter("store.quarantined").Value())
+				sink.Counter("store.quarantined").Value(), sink.Counter("store.retries").Value(),
+				sink.Counter("store.faults_injected").Value(), sink.Counter("cache.tier_hits").Value())
+		}
+		if wdog != nil {
+			fmt.Fprintln(os.Stderr, wdog.Summary())
+		}
+		if journal != nil {
+			fmt.Fprintf(os.Stderr, "journey: %d event(s) across %d function(s)\n",
+				journal.Total(), len(journal.Funcs()))
 		}
 		if det != nil && len(det.Matches) > 0 {
 			fmt.Fprintf(os.Stderr, "jitbull matches:\n")
@@ -254,6 +314,32 @@ func cmdRun(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "jitbull: wrote %d trace event(s) to %s (open in chrome://tracing)\n",
 			ring.Len(), *tracePath)
+	}
+	if flight != nil {
+		if err := flight.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "jitbull: flight recorder dump error: %v\n", err)
+		}
+		fmt.Fprintf(os.Stderr, "jitbull: flight recorder dumped %d episode(s) to %s\n",
+			len(flight.Episodes()), *flightDir)
+	}
+	if *journeyPath != "" {
+		if *journeyPath == "-" {
+			fmt.Fprint(os.Stderr, journal.RenderAll())
+		} else {
+			f, err := os.Create(*journeyPath)
+			if err != nil {
+				return fmt.Errorf("run: save journey: %w", err)
+			}
+			werr := journal.WriteJSON(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return fmt.Errorf("run: save journey: %w", werr)
+			}
+			fmt.Fprintf(os.Stderr, "jitbull: wrote %d journey event(s) to %s (render with: jitbull journey %s)\n",
+				journal.Total(), *journeyPath, *journeyPath)
+		}
 	}
 	if *metrics {
 		if err := eng.MetricsSink().WriteJSON(os.Stderr); err != nil {

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"runtime"
 	"sort"
+	"time"
 
 	"github.com/jitbull/jitbull/internal/ast"
 	"github.com/jitbull/jitbull/internal/bytecode"
@@ -79,8 +80,9 @@ type compileRequest struct {
 	disabled map[string]bool // private copy; grown by the policy recompile
 	async    bool
 	key      jitqueue.Key
-	cacheable bool
-	waitSpan  obs.Span // compile.queue_wait: begun at enqueue, ended by the worker
+	cacheable  bool
+	waitSpan   obs.Span  // compile.queue_wait: begun at enqueue, ended by the worker
+	enqueuedAt time.Time // queue-wait / install-lag histogram epoch
 }
 
 // compileOutcome is everything a finished attempt needs applied to the
@@ -93,6 +95,7 @@ type compileOutcome struct {
 	disabled    map[string]bool // final disabled-pass set (nil = unchanged)
 	noJIT       bool            // policy scenario 3 verdict
 	grew        bool            // policy scenario 2: disabled set grew
+	decided     bool            // the policy produced a verdict for this attempt
 	payload     any             // policy verdict record for the cache
 	fromCache   bool
 }
@@ -304,6 +307,8 @@ func (e *Engine) enqueueCompile(st *fnState, req *compileRequest) bool {
 	e.tracer.Instant(obs.CatCompile, "compile.enqueue",
 		obs.S("fn", req.fnName), obs.I("queue_depth", e.cfg.Queue.Depth()))
 	req.waitSpan = e.tracer.Begin(obs.CatCompile, "compile.queue_wait")
+	req.enqueuedAt = time.Now()
+	e.journey(st, obs.StageEnqueued, "queue depth=%d", e.cfg.Queue.Depth())
 	e.inflight.Add(1)
 	ok := e.cfg.Queue.Submit(jitqueue.Job{
 		Owner: req.fnName,
@@ -320,15 +325,24 @@ func (e *Engine) enqueueCompile(st *fnState, req *compileRequest) bool {
 			}}
 			defer func() { st.pending.Store(o) }()
 			req.waitSpan.End(obs.S("fn", req.fnName))
+			e.hQueueWait.ObserveEx(int64(time.Since(req.enqueuedAt)), req.waitSpan.ID())
 			if e.testQueueJobHook != nil {
 				e.testQueueJobHook()
 			}
 			sp := e.tracer.Begin(obs.CatCompile, "compile")
+			start := time.Now()
 			o = e.compileAttempt(req)
+			dur := int64(time.Since(start))
+			e.hCompile.ObserveEx(dur, sp.ID())
+			e.watchdog.Signal(obs.Signal{Kind: obs.SigCompile, Func: req.fnName, Value: dur})
 			e.maybeCachePut(o)
+			// Journal via the immutable request only: a worker must not read
+			// owner-mutated fnState (st.tier), per the concurrency contract.
 			if o.cerr != nil {
+				e.journal.Record(req.fnName, obs.StageCompiled, "", "fail: stage="+o.cerr.Stage)
 				sp.End(obs.S("fn", req.fnName), obs.S("result", "fail"), obs.S("stage", o.cerr.Stage), obs.S("source", "queue"))
 			} else {
+				e.journal.Record(req.fnName, obs.StageCompiled, "", "ok: queue")
 				sp.End(obs.S("fn", req.fnName), obs.S("result", "ok"), obs.S("source", "queue"))
 			}
 		},
@@ -336,6 +350,7 @@ func (e *Engine) enqueueCompile(st *fnState, req *compileRequest) bool {
 	if !ok {
 		e.inflight.Done()
 		req.waitSpan.End(obs.S("fn", req.fnName), obs.S("result", "rejected"))
+		e.watchdog.Signal(obs.Signal{Kind: obs.SigQueueSaturated, Func: req.fnName, Cause: "inline fallback"})
 		req.async = false
 		return false
 	}
@@ -386,6 +401,7 @@ func (e *Engine) outcomeFromCache(req *compileRequest, cc *cachedCompile) *compi
 		jitEligible: cc.jitEligible,
 		noJIT:       cc.noJIT,
 		grew:        cc.grew,
+		decided:     e.policy != nil && e.policy.Active(),
 	}
 	if cp, ok := e.policy.(CachingPolicy); ok && cc.payload != nil {
 		// Replay mutates the policy's match accounting (Detector.seen /
@@ -440,6 +456,16 @@ func (e *Engine) applyOutcome(st *fnState, o *compileOutcome) {
 			e.m.nrNoJIT.Inc()
 		}
 	}
+	if o.decided {
+		verdict := string(obs.VerdictGo)
+		switch {
+		case o.noJIT:
+			verdict = string(obs.VerdictNoJIT)
+		case o.grew:
+			verdict = string(obs.VerdictDisablePass)
+		}
+		e.watchdog.Signal(obs.Signal{Kind: obs.SigVerdict, Func: st.fn.Name, Cause: verdict})
+	}
 	if o.cerr != nil {
 		e.failCompile(st, o.cerr)
 		return
@@ -466,6 +492,7 @@ func (e *Engine) applyOutcome(st *fnState, o *compileOutcome) {
 			Verdict: obs.VerdictRequalify,
 			Reason:  "clean recompile after quarantine",
 		})
+		e.journey(st, obs.StageRequalified, "clean recompile after quarantine")
 	}
 	if o.fromCache || o.req.async {
 		source := "queue"
@@ -473,13 +500,19 @@ func (e *Engine) applyOutcome(st *fnState, o *compileOutcome) {
 			source = "cache"
 		} else {
 			e.m.asyncInstalls.Inc()
+			// Install lag: warmup trigger → safe-point install, the window
+			// the function kept executing in baseline. Exemplar-linked to
+			// the queue-wait span, whose trace covers the same window.
+			e.hInstallLag.ObserveEx(int64(time.Since(o.req.enqueuedAt)), o.req.waitSpan.ID())
 		}
 		e.tracer.Instant(obs.CatCompile, "compile.install",
 			obs.S("fn", st.fn.Name), obs.S("source", source),
 			obs.I("ops", int64(len(o.code.Ops))), obs.I("regs", int64(o.code.NumRegs)))
+		e.journey(st, obs.StageInstalled, "source=%s ops=%d", source, len(o.code.Ops))
 	} else {
 		e.tracer.Instant(obs.CatCompile, "native.install",
 			obs.S("fn", st.fn.Name), obs.I("ops", int64(len(o.code.Ops))), obs.I("regs", int64(o.code.NumRegs)))
+		e.journey(st, obs.StageInstalled, "source=inline ops=%d", len(o.code.Ops))
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/jitbull/jitbull/internal/ast"
 	"github.com/jitbull/jitbull/internal/bytecode"
@@ -162,6 +163,16 @@ type Config struct {
 	// permanent demotion). Policy go/no-go verdicts are recorded by the
 	// policy itself (core.Detector) into the same log.
 	Audit *obs.AuditLog
+	// Journal, when set, records the per-function tier-journey event
+	// stream: interp → warm → enqueued → compiled → installed → OSR-entry
+	// → deopt → requalified → quarantined → cache/store hit, each with
+	// cause, tier, and monotonic timestamp. Waypoints land only on tier
+	// transitions — never per call — so the hot path pays nil checks.
+	Journal *obs.Journal
+	// Watchdog, when set, receives anomaly signals (deopts, quarantines,
+	// cache hits/misses, verdicts, queue saturation, hot interpreter-
+	// pinned functions) at the same hook points that feed metrics.
+	Watchdog *obs.Watchdog
 
 	// Queue, when set, moves Ion compilation off-thread: the warmup
 	// trigger snapshots the compilation inputs, enqueues a supervised job
@@ -272,6 +283,17 @@ const (
 	tierIon
 )
 
+// String names the tier for the journey journal and reports.
+func (t tier) String() string {
+	switch t {
+	case tierBaseline:
+		return "baseline"
+	case tierIon:
+		return "ion"
+	}
+	return "interp"
+}
+
 type fnState struct {
 	fd   *ast.FuncDecl
 	fn   *bytecode.Function
@@ -303,6 +325,11 @@ type fnState struct {
 	// outcome in, emptied by the owner at the next call boundary.
 	inflight bool
 	pending  atomic.Pointer[compileOutcome]
+
+	// noJITPinned marks a function permanently interpreter-only because of
+	// a policy NoJIT verdict (not unsupported source): the perf-divergence
+	// watchdog signal fires for these when they keep getting hot.
+	noJITPinned bool
 
 	// OSR/deopt state (see osr.go). backEdges counts interpreter back
 	// edges across all activations; osrCooldown parks OSR attempts per
@@ -343,7 +370,17 @@ type Engine struct {
 	m        engineMetrics
 	tracer   *obs.Tracer
 	audit    *obs.AuditLog
+	journal  *obs.Journal
+	watchdog *obs.Watchdog
 	hijacked *HijackError
+
+	// Exemplar-linked latency histograms, resolved once at construction so
+	// the compile path never takes the registry lock. Each bucket retains
+	// the span ID of its most recent extreme observation.
+	hCompile    *obs.Histogram // compile.ns: one supervised pipeline attempt
+	hQueueWait  *obs.Histogram // jit.queue_wait_ns: enqueue → worker pickup
+	hInstallLag *obs.Histogram // compile.install_lag_ns: enqueue → safe-point install
+	hOSREntry   *obs.Histogram // osr.entry_ns: one entered OSR activation
 
 	// blockChecks mirrors the fused executor's amortized budget checks
 	// into native.block_budget_checks; resolved once so the per-call hot
@@ -394,7 +431,13 @@ func NewFromProgram(prog *bytecode.Program, astProg *ast.Program, cfg Config) (*
 	e.m = newEngineMetrics(e.reg, cfg.Metrics)
 	e.tracer = cfg.Tracer
 	e.audit = cfg.Audit
+	e.journal = cfg.Journal
+	e.watchdog = cfg.Watchdog
 	e.blockChecks = e.histReg().Counter("native.block_budget_checks")
+	e.hCompile = e.histReg().Histogram("compile.ns", obs.LatencyBucketsNs)
+	e.hQueueWait = e.histReg().Histogram("jit.queue_wait_ns", obs.LatencyBucketsNs)
+	e.hInstallLag = e.histReg().Histogram("compile.install_lag_ns", obs.LatencyBucketsNs)
+	e.hOSREntry = e.histReg().Histogram("osr.entry_ns", obs.LatencyBucketsNs)
 	if cfg.Faults != nil && cfg.Faults.Trace == nil {
 		// Injected faults show up inline in the engine's compile trace.
 		cfg.Faults.Trace = cfg.Tracer
@@ -535,6 +578,15 @@ func (e *Engine) CallFunction(idx int, args []value.Value) (value.Value, error) 
 	}
 
 	st.calls++
+	if st.calls == 1 {
+		e.journal.Record(st.fn.Name, obs.StageInterp, "interp", "first call")
+	}
+	// A policy-pinned (NoJIT) function that keeps getting hot is a real
+	// performance cost of the go/no-go verdict: tell the watchdog once,
+	// at double the Ion threshold (the == keeps this a single signal).
+	if st.noJITPinned && st.calls == 2*e.cfg.IonThreshold {
+		e.watchdog.Signal(obs.Signal{Kind: obs.SigHotInterp, Func: st.fn.Name, Value: int64(st.calls)})
+	}
 	// Safe point: a finished background compilation is installed here, on
 	// the owner goroutine, before any tiering decision or dispatch. The
 	// inflight gate keeps the hot path free of atomics: pending can only
@@ -557,6 +609,7 @@ func (e *Engine) CallFunction(idx int, args []value.Value) (value.Value, error) 
 	}
 	if st.tier == tierInterp && st.calls >= e.cfg.BaselineThreshold {
 		st.tier = tierBaseline
+		e.journey(st, obs.StageWarm, "calls=%d", st.calls)
 	}
 
 	if st.code != nil {
@@ -590,6 +643,7 @@ func (e *Engine) CallFunction(idx int, args []value.Value) (value.Value, error) 
 		st.bailouts++
 		e.tracer.Instant(obs.CatEngine, "bailout",
 			obs.S("fn", st.fn.Name), obs.I("bailouts", int64(st.bailouts)))
+		e.journey(st, obs.StageBailout, "bailouts=%d", st.bailouts)
 		if st.bailouts >= maxBailoutsBeforeBlacklist {
 			e.discardArtifact(st)
 			e.demote(st)
@@ -605,6 +659,20 @@ func (e *Engine) CallFunction(idx int, args []value.Value) (value.Value, error) 
 		}
 	}
 	return v, err
+}
+
+// journey records one tier-journey waypoint for st, formatting the cause
+// lazily so a disabled journal pays only the nil check (plus the
+// varargs boxing at the rare transition sites that use it).
+func (e *Engine) journey(st *fnState, stage, format string, args ...any) {
+	if e.journal == nil {
+		return
+	}
+	cause := format
+	if len(args) > 0 {
+		cause = fmt.Sprintf(format, args...)
+	}
+	e.journal.Record(st.fn.Name, stage, st.tier.String(), cause)
 }
 
 // profile records argument type feedback for a not-yet-compiled function.
@@ -656,20 +724,36 @@ func (e *Engine) compile(idx int, st *fnState) {
 	req := e.newCompileRequest(idx, st)
 
 	if req.cacheable {
-		if v, ok := e.cfg.Cache.Get(req.key); ok {
+		if v, ok, fromTier := e.cfg.Cache.GetTiered(req.key); ok {
 			e.m.cacheHits.Inc()
+			e.watchdog.Signal(obs.Signal{Kind: obs.SigCacheHit, Func: req.fnName})
+			if fromTier {
+				e.journey(st, obs.StageStoreHit, "promoted from persistent store")
+			} else {
+				e.journey(st, obs.StageCacheHit, "shared cache hit")
+			}
 			e.applyOutcome(st, e.outcomeFromCache(req, v.(*cachedCompile)))
 			return
 		}
 		e.m.cacheMisses.Inc()
+		e.watchdog.Signal(obs.Signal{Kind: obs.SigCacheMiss, Func: req.fnName})
 	}
 	if e.cfg.Queue != nil && e.enqueueCompile(st, req) {
 		return
 	}
 
 	sp := e.tracer.Begin(obs.CatCompile, "compile")
+	start := time.Now()
 	o := e.compileAttempt(req)
+	dur := int64(time.Since(start))
+	e.hCompile.ObserveEx(dur, sp.ID())
+	e.watchdog.Signal(obs.Signal{Kind: obs.SigCompile, Func: req.fnName, Value: dur})
 	e.maybeCachePut(o)
+	if o.cerr != nil {
+		e.journey(st, obs.StageCompiled, "fail: stage=%s", o.cerr.Stage)
+	} else {
+		e.journey(st, obs.StageCompiled, "ok: inline")
+	}
 	e.applyOutcome(st, o)
 	if o.cerr != nil {
 		sp.End(obs.S("fn", st.fn.Name), obs.S("result", "fail"), obs.S("stage", o.cerr.Stage), obs.S("source", "inline"))

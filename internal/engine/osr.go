@@ -24,6 +24,8 @@
 package engine
 
 import (
+	"time"
+
 	"github.com/jitbull/jitbull/internal/bytecode"
 	"github.com/jitbull/jitbull/internal/faults"
 	"github.com/jitbull/jitbull/internal/native"
@@ -99,6 +101,7 @@ func (e *Engine) OnBackEdge(fn *bytecode.Function, targetPC int, locals []value.
 	}
 
 	sp := e.tracer.Begin(obs.CatEngine, "osr.enter")
+	start := time.Now()
 	budget := e.VM.MaxSteps - e.VM.Steps()
 	res, status, err, entered := native.ExecOSR(st.code, entryIdx, locals, e, budget, &e.pool, e.cfg.NoFuse)
 	if !entered {
@@ -112,6 +115,8 @@ func (e *Engine) OnBackEdge(fn *bytecode.Function, targetPC int, locals []value.
 	// The transfer happened: registers were materialized and native code
 	// ran, however the activation ends (return, deopt, bailout, error).
 	e.m.osrEntries.Inc()
+	e.hOSREntry.ObserveEx(int64(time.Since(start)), sp.ID())
+	e.journey(st, obs.StageOSREntry, "ordinal=%d", site.Ordinal)
 	e.VM.AddSteps(res.Steps)
 	if res.Checks > 0 {
 		e.blockChecks.Add(res.Checks)
@@ -179,6 +184,8 @@ func (e *Engine) handleDeopt(st *fnState, d *native.DeoptState) (value.Value, bo
 	st.deopts++
 	e.tracer.Instant(obs.CatEngine, "deopt.exit",
 		obs.S("fn", st.fn.Name), obs.I("exit", int64(d.Exit)), obs.I("deopts", int64(st.deopts)))
+	e.journey(st, obs.StageDeopt, "exit=%d deopts=%d", d.Exit, st.deopts)
+	e.watchdog.Signal(obs.Signal{Kind: obs.SigDeopt, Func: st.fn.Name, Value: int64(st.deopts), Cause: "speculation guard failed"})
 
 	// Resolve the resume point before any storm handling can discard the
 	// artifact the exit index refers into.
@@ -209,6 +216,7 @@ func (e *Engine) handleDeopt(st *fnState, d *native.DeoptState) (value.Value, bo
 			Stage:   StageDeopt,
 			Reason:  "deopt storm: requalified with TypeSpeculation disabled",
 		})
+		e.journey(st, obs.StageRequalified, "deopt storm: TypeSpeculation disabled")
 	}
 	if !ok {
 		// No resume site for the exit's ordinal: a frame-map bug, not a

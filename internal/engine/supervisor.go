@@ -145,6 +145,7 @@ func (e *Engine) quarantine(st *fnState, reason string) {
 			Verdict: obs.VerdictPermanent,
 			Reason:  fmt.Sprintf("quarantine attempts exhausted (%d): %s", st.attempts, reason),
 		})
+		e.journey(st, obs.StagePermanent, "quarantine attempts exhausted (%d)", st.attempts)
 		return
 	}
 	if st.backoff == 0 {
@@ -161,6 +162,8 @@ func (e *Engine) quarantine(st *fnState, reason string) {
 		Verdict: obs.VerdictQuarantine,
 		Reason:  reason,
 	})
+	e.journey(st, obs.StageQuarantined, "%s", reason)
+	e.watchdog.Signal(obs.Signal{Kind: obs.SigQuarantine, Func: st.fn.Name, Cause: reason})
 }
 
 // demote drops the function's tier to match its remaining execution modes
@@ -246,12 +249,16 @@ func (e *Engine) failCompile(st *fnState, cerr *CompileError) {
 	if errors.Is(cerr.Err, ErrPolicyNoJIT) ||
 		(cerr.Stage == StageMIRBuild && !cerr.Injected && !cerr.Budget) {
 		st.quar = qPermanent
+		if errors.Is(cerr.Err, ErrPolicyNoJIT) {
+			st.noJITPinned = true
+		}
 		e.audit.Record(obs.AuditEvent{
 			Func:    st.fn.Name,
 			Verdict: obs.VerdictPermanent,
 			Stage:   cerr.Stage,
 			Reason:  cerr.Err.Error(),
 		})
+		e.journey(st, obs.StagePermanent, "%s", cerr.Err.Error())
 		return
 	}
 	e.quarantine(st, cerr.Error())
@@ -324,6 +331,7 @@ func (e *Engine) compileAttempt(req *compileRequest) (o *compileOutcome) {
 
 	if finish != nil {
 		stage = StagePolicy
+		o.decided = true
 		dsp := e.tracer.Begin(obs.CatPolicy, "decide")
 		decision := finish()
 		if req.cacheable {

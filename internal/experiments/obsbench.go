@@ -81,6 +81,50 @@ func ObsBenchmarks() []CoreBench {
 				tr.Instant(obs.CatEngine, "bailout", obs.S("fn", "hot"))
 			}
 		}},
+		// The flight recorder as a live sink, never triggering: the steady
+		// price of keeping the black box armed.
+		{Name: "Span/flight-idle", Bench: func(b *testing.B) {
+			fr := obs.NewFlightRecorder(b.TempDir(), obs.FlightOptions{MinSamples: 1 << 30})
+			tr := obs.NewTracer(fr)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sp := tr.Begin(obs.CatPass, "GVN")
+				sp.End(obs.I("index", 1))
+			}
+		}},
+		{Name: "JournalRecord", Bench: func(b *testing.B) {
+			j := obs.NewJournal(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j.Record("hot", obs.StageDeopt, "ion", "exit=3")
+			}
+		}},
+		{Name: "JournalRecord/disabled", Bench: func(b *testing.B) {
+			var j *obs.Journal
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j.Record("hot", obs.StageDeopt, "ion", "exit=3")
+			}
+		}},
+		{Name: "WatchdogSignal/clean", Bench: func(b *testing.B) {
+			w := obs.NewWatchdog(obs.WatchdogOptions{})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Signal(obs.Signal{Kind: obs.SigCompile, Func: "hot", Value: 1000})
+			}
+		}},
+		{Name: "WatchdogSignal/disabled", Bench: func(b *testing.B) {
+			var w *obs.Watchdog
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Signal(obs.Signal{Kind: obs.SigCompile, Func: "hot", Value: 1000})
+			}
+		}},
 		{Name: "Counter", Bench: func(b *testing.B) {
 			c := obs.NewRegistry().Counter("engine.compiles")
 			b.ReportAllocs()
@@ -95,6 +139,29 @@ func ObsBenchmarks() []CoreBench {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				h.Observe(int64(i)&0xffff + 1)
+			}
+		}},
+		{Name: "HistogramExemplar", Bench: func(b *testing.B) {
+			h := obs.NewRegistry().Histogram("compile.pass_ns", obs.LatencyBucketsNs)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.ObserveEx(int64(i)&0xffff+1, uint64(i)+1)
+			}
+		}},
+		{Name: "PromExport", Bench: func(b *testing.B) {
+			reg := obs.NewRegistry()
+			reg.Counter("engine.compiles").Add(42)
+			h := reg.Histogram("compile.pass_ns", obs.LatencyBucketsNs)
+			for i := 0; i < 4096; i++ {
+				h.ObserveEx(int64(i)&0xffff+1, uint64(i)+1)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := reg.WriteProm(io.Discard); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}},
 		{Name: "AuditRecord", Bench: func(b *testing.B) {
@@ -133,5 +200,21 @@ func ObsBenchmarks() []CoreBench {
 				Audit:        obs.NewAuditLog(nil),
 			}
 		})},
+		// The acceptance bar for the flight recorder: compiled in and armed
+		// (ring sink + watchdog + journal) but idle — no anomaly, no dump.
+		{Name: "CompileOctane/flight-idle", Bench: func(b *testing.B) {
+			dir := b.TempDir()
+			obsCompileBench(func() engine.Config {
+				fr := obs.NewFlightRecorder(dir, obs.FlightOptions{MinSamples: 1 << 30})
+				return engine.Config{
+					IonThreshold: 100,
+					Tracer:       obs.NewTracer(fr),
+					Metrics:      obs.NewRegistry(),
+					Audit:        obs.NewAuditLog(nil),
+					Watchdog:     obs.NewWatchdog(obs.WatchdogOptions{}),
+					Journal:      obs.NewJournal(0),
+				}
+			})(b)
+		}},
 	}
 }

@@ -138,16 +138,25 @@ func (c *Cache) AttachTier(t SecondTier, codec Codec) {
 // that fails to decode is dropped and counted as a miss — version skew at
 // the engine layer degrades to a recompile, never an error.
 func (c *Cache) Get(k Key) (any, bool) {
+	v, ok, _ := c.GetTiered(k)
+	return v, ok
+}
+
+// GetTiered is Get with hit attribution: fromTier reports whether the
+// value was served by promoting a persistent second-tier record rather
+// than from memory — the distinction the tier-journey journal renders
+// as "store-hit" vs "cache-hit".
+func (c *Cache) GetTiered(k Key) (v any, ok, fromTier bool) {
 	if c == nil {
-		return nil, false
+		return nil, false, false
 	}
 	c.mu.RLock()
-	e, ok := c.m[k]
+	e, found := c.m[k]
 	c.mu.RUnlock()
-	if ok {
+	if found {
 		e.visited.Store(true)
 		c.mHits.Inc()
-		return e.v, true
+		return e.v, true, false
 	}
 	if c.tier != nil && c.codec != nil {
 		if data, ok := c.tier.Get(k); ok {
@@ -157,15 +166,15 @@ func (c *Cache) Get(k Key) (any, bool) {
 				// Promote without writing back through: the tier already
 				// holds the record. First store wins here too.
 				if prev, stored := c.put(k, v, c.sizeOf(data)); !stored {
-					return prev, true
+					return prev, true, true
 				}
-				return v, true
+				return v, true, true
 			}
 			c.mTierDrops.Inc()
 		}
 	}
 	c.mMisses.Inc()
-	return nil, false
+	return nil, false, false
 }
 
 // sizeOf accounts a tier-promoted value by its encoded footprint, floored

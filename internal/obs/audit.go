@@ -25,6 +25,7 @@ const (
 	VerdictQuarantine   Verdict = "quarantine"    // failed function parked with backoff
 	VerdictRequalify    Verdict = "requalify"     // quarantined function re-promoted
 	VerdictPermanent    Verdict = "permanent"     // function pinned to the interpreter
+	VerdictAnomaly      Verdict = "anomaly"       // watchdog detector fired
 )
 
 // AuditMatch is one DNA similarity behind a verdict, with full

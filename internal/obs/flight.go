@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FlightRecorder is a tail-sampling trace sink: it keeps a bounded ring
+// of the most recent events and writes a full Chrome-trace dump only
+// when an anomalous episode is declared — so steady-state runs cost one
+// ring write per event and zero disk, while the trace context *leading
+// up to* an anomaly is preserved in full.
+//
+// Episodes come from two places:
+//
+//   - Internal triggers: a compile span whose duration exceeds the
+//     rolling p99 of recent compiles (after a minimum sample count,
+//     with a cooldown so one slow phase produces one dump, not one per
+//     compile), and any CatFault "fault.injected" instant.
+//   - External triggers: TriggerEpisode, called by the anomaly watchdog
+//     (deopt storm, quarantine, store corruption, queue saturation).
+//     External triggers are never debounced — every declared episode
+//     produces exactly one dump, which the chaos campaign counts 1:1
+//     against seeded causes.
+//
+// Disk use is bounded by MaxDumps and MaxBytes: oldest dumps are
+// deleted first. A nil *FlightRecorder is inert, per the package's
+// nil-is-off convention.
+type FlightRecorder struct {
+	mu   sync.Mutex
+	ring []Event
+	next int
+	wrap bool
+
+	dir      string
+	maxDumps int
+	maxBytes int64
+
+	// rolling compile-duration window for the p99 trigger
+	durs       []int64
+	durNext    int
+	durWrap    bool
+	minSamples int
+	cooldown   int // compile samples remaining before another auto episode
+
+	seq      uint64
+	episodes []Episode
+	dumpErr  error
+}
+
+// Episode is one declared anomaly with its dump location.
+type Episode struct {
+	Seq    uint64 `json:"seq"`
+	Reason string `json:"reason"`
+	Detail string `json:"detail,omitempty"`
+	Path   string `json:"path,omitempty"` // "" if the dump failed or was evicted
+	Events int    `json:"events"`         // ring events captured in the dump
+}
+
+// FlightOptions tune a FlightRecorder. Zero values select defaults.
+type FlightOptions struct {
+	RingCapacity int   // retained events; default 8192
+	MaxDumps     int   // dump files kept on disk; default 32
+	MaxBytes     int64 // total dump bytes kept on disk; default 32 MiB
+	MinSamples   int   // compile samples before the p99 trigger arms; default 64
+}
+
+// NewFlightRecorder returns a recorder dumping episodes into dir
+// (created if missing). A best-effort recorder: if dir cannot be
+// created, episodes are still tracked but dumps fail with Err.
+func NewFlightRecorder(dir string, opts FlightOptions) *FlightRecorder {
+	if opts.RingCapacity <= 0 {
+		opts.RingCapacity = 8192
+	}
+	if opts.MaxDumps <= 0 {
+		opts.MaxDumps = 32
+	}
+	if opts.MaxBytes <= 0 {
+		opts.MaxBytes = 32 << 20
+	}
+	if opts.MinSamples <= 0 {
+		opts.MinSamples = 64
+	}
+	f := &FlightRecorder{
+		ring:       make([]Event, opts.RingCapacity),
+		dir:        dir,
+		maxDumps:   opts.MaxDumps,
+		maxBytes:   opts.MaxBytes,
+		durs:       make([]int64, 512),
+		minSamples: opts.MinSamples,
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		f.dumpErr = err
+	}
+	return f
+}
+
+// Record implements Sink: retain the event, then evaluate the internal
+// triggers. Safe on a nil recorder.
+func (f *FlightRecorder) Record(ev Event) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.ring[f.next] = ev
+	f.next++
+	if f.next == len(f.ring) {
+		f.next = 0
+		f.wrap = true
+	}
+	switch {
+	case ev.Kind == KindSpan && ev.Cat == CatCompile && ev.Name == "compile":
+		f.observeCompileLocked(ev)
+	case ev.Kind == KindInstant && ev.Cat == CatFault:
+		f.episodeLocked("fault-injected", ev.Name)
+	}
+	f.mu.Unlock()
+}
+
+// observeCompileLocked maintains the rolling window and fires the p99
+// trigger. Called with f.mu held.
+func (f *FlightRecorder) observeCompileLocked(ev Event) {
+	n := f.durNext
+	if f.durWrap {
+		n = len(f.durs)
+	}
+	if f.cooldown > 0 {
+		f.cooldown--
+	}
+	if n >= f.minSamples && f.cooldown == 0 && ev.Dur > f.p99Locked(n) {
+		f.episodeLocked("compile-p99", fmt.Sprintf("%s dur=%dns span=%d", ev.Name, ev.Dur, ev.ID))
+		f.cooldown = f.minSamples
+	}
+	f.durs[f.durNext] = ev.Dur
+	f.durNext++
+	if f.durNext == len(f.durs) {
+		f.durNext = 0
+		f.durWrap = true
+	}
+}
+
+// p99Locked computes the window's 99th percentile over its first n
+// filled slots. Called with f.mu held; compiles are rare enough that
+// the copy+sort is negligible next to the compile itself.
+func (f *FlightRecorder) p99Locked(n int) int64 {
+	w := make([]int64, n)
+	copy(w, f.durs[:n])
+	sort.Slice(w, func(i, j int) bool { return w[i] < w[j] })
+	return w[(n-1)*99/100]
+}
+
+// TriggerEpisode declares an external anomaly episode and dumps the
+// current ring. Returns the dump path ("" on a nil recorder or failed
+// write). Never debounced: one call, one episode.
+func (f *FlightRecorder) TriggerEpisode(reason, detail string) string {
+	if f == nil {
+		return ""
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.episodeLocked(reason, detail)
+}
+
+// episodeLocked records an episode and dumps the ring to disk. Called
+// with f.mu held.
+func (f *FlightRecorder) episodeLocked(reason, detail string) string {
+	f.seq++
+	ep := Episode{Seq: f.seq, Reason: reason, Detail: detail}
+	evs := f.eventsLocked()
+	ep.Events = len(evs)
+	path := filepath.Join(f.dir, fmt.Sprintf("ep%04d-%s.trace.json", f.seq, sanitizeReason(reason)))
+	if err := SaveChromeTrace(path, evs); err != nil {
+		f.dumpErr = err
+	} else {
+		ep.Path = path
+	}
+	f.episodes = append(f.episodes, ep)
+	if len(f.episodes) > 4096 {
+		f.episodes = f.episodes[len(f.episodes)-4096:]
+	}
+	f.enforceBoundsLocked()
+	return ep.Path
+}
+
+// eventsLocked returns the retained ring contents in recording order.
+func (f *FlightRecorder) eventsLocked() []Event {
+	if !f.wrap {
+		out := make([]Event, f.next)
+		copy(out, f.ring[:f.next])
+		return out
+	}
+	out := make([]Event, 0, len(f.ring))
+	out = append(out, f.ring[f.next:]...)
+	out = append(out, f.ring[:f.next]...)
+	return out
+}
+
+// enforceBoundsLocked deletes oldest dump files until both the count
+// and total-byte bounds hold.
+func (f *FlightRecorder) enforceBoundsLocked() {
+	type onDisk struct {
+		idx  int
+		size int64
+	}
+	var files []onDisk
+	var total int64
+	for i := range f.episodes {
+		if f.episodes[i].Path == "" {
+			continue
+		}
+		st, err := os.Stat(f.episodes[i].Path)
+		if err != nil {
+			f.episodes[i].Path = ""
+			continue
+		}
+		files = append(files, onDisk{i, st.Size()})
+		total += st.Size()
+	}
+	for len(files) > 0 && (len(files) > f.maxDumps || total > f.maxBytes) {
+		victim := files[0]
+		os.Remove(f.episodes[victim.idx].Path)
+		f.episodes[victim.idx].Path = ""
+		total -= victim.size
+		files = files[1:]
+	}
+}
+
+// Episodes returns every declared episode in order.
+func (f *FlightRecorder) Episodes() []Episode {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Episode, len(f.episodes))
+	copy(out, f.episodes)
+	return out
+}
+
+// Err returns the most recent dump failure, if any.
+func (f *FlightRecorder) Err() error {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dumpErr
+}
+
+// sanitizeReason maps an episode reason into a safe filename fragment.
+func sanitizeReason(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') || r == '-' || r == '_' {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "episode"
+	}
+	return b.String()
+}
+
+// MultiSink fans one event stream out to several sinks — e.g. a Ring
+// for always-on tail export plus a FlightRecorder for episode dumps.
+type MultiSink []Sink
+
+// Record implements Sink.
+func (m MultiSink) Record(ev Event) {
+	for _, s := range m {
+		if s != nil {
+			s.Record(ev)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tier-journey stages. Each one is a waypoint in a function's life under
+// the tiering engine; the ordered stream of stages for one function is
+// its "journey" — the after-the-fact answer to "why is this function in
+// this tier, and what happened to it along the way?".
+const (
+	StageInterp      = "interp"      // first execution in the interpreter
+	StageWarm        = "warm"        // crossed the baseline threshold
+	StageEnqueued    = "enqueued"    // compile request handed to the jitqueue
+	StageCompiled    = "compiled"    // pipeline produced an artifact (or failed)
+	StageInstalled   = "installed"   // artifact installed at a safe point
+	StageOSREntry    = "osr-entry"   // mid-loop transfer onto compiled code
+	StageDeopt       = "deopt"       // guard failure, back to a lower tier
+	StageRequalified = "requalified" // quarantine/storm lifted, eligible again
+	StageQuarantined = "quarantined" // supervisor quarantined the function
+	StagePermanent   = "permanent"   // permanently pinned to the interpreter
+	StageCacheHit    = "cache-hit"   // artifact served from the in-memory cache
+	StageStoreHit    = "store-hit"   // artifact served from the persistent store
+	StageBailout     = "bailout"     // runtime bailout during JIT execution
+)
+
+// JourneyEvent is one recorded waypoint. TS is nanoseconds since the
+// journal's epoch, monotonic.
+type JourneyEvent struct {
+	Seq   uint64 `json:"seq"`
+	TS    int64  `json:"ts_ns"`
+	Func  string `json:"func"`
+	Stage string `json:"stage"`
+	Tier  string `json:"tier,omitempty"`  // tier after this event
+	Cause string `json:"cause,omitempty"` // free-form cause/detail
+}
+
+// funcJourney is one function's bounded event history: a drop-oldest
+// ring so a deopt-storming function cannot grow the journal unboundedly.
+type funcJourney struct {
+	evs     []JourneyEvent // ring storage, cap = Journal cap
+	next    int            // next write slot
+	wrapped bool
+	dropped int64
+}
+
+func (f *funcJourney) ordered() []JourneyEvent {
+	if !f.wrapped {
+		out := make([]JourneyEvent, len(f.evs))
+		copy(out, f.evs)
+		return out
+	}
+	out := make([]JourneyEvent, 0, len(f.evs))
+	out = append(out, f.evs[f.next:]...)
+	out = append(out, f.evs[:f.next]...)
+	return out
+}
+
+// Journal records per-function tier-journey events. A nil *Journal is
+// the disabled journal: Record costs one nil check, matching the
+// package's nil-is-off convention. All methods are safe for concurrent
+// use; recording takes one mutex (journey waypoints are rare events —
+// tier transitions, not per-call work).
+type Journal struct {
+	mu    sync.Mutex
+	epoch time.Time
+	funcs map[string]*funcJourney
+	capPF int
+	seq   uint64
+	total int64
+}
+
+// DefaultJourneyCap is the per-function event retention bound.
+const DefaultJourneyCap = 256
+
+// NewJournal returns a journal retaining at most capPerFunc events per
+// function (oldest dropped first); capPerFunc <= 0 uses the default.
+func NewJournal(capPerFunc int) *Journal {
+	if capPerFunc <= 0 {
+		capPerFunc = DefaultJourneyCap
+	}
+	return &Journal{epoch: time.Now(), funcs: map[string]*funcJourney{}, capPF: capPerFunc}
+}
+
+// Record appends one waypoint for fn. Safe on a nil journal.
+func (j *Journal) Record(fn, stage, tier, cause string) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	f := j.funcs[fn]
+	if f == nil {
+		f = &funcJourney{}
+		j.funcs[fn] = f
+	}
+	j.seq++
+	j.total++
+	ev := JourneyEvent{Seq: j.seq, TS: int64(time.Since(j.epoch)), Func: fn, Stage: stage, Tier: tier, Cause: cause}
+	if len(f.evs) < j.capPF {
+		f.evs = append(f.evs, ev)
+		return
+	}
+	f.evs[f.next] = ev
+	f.next = (f.next + 1) % len(f.evs)
+	f.wrapped = true
+	f.dropped++
+}
+
+// Total returns the number of events ever recorded.
+func (j *Journal) Total() int64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.total
+}
+
+// Funcs returns the journaled function names, sorted.
+func (j *Journal) Funcs() []string {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]string, 0, len(j.funcs))
+	for fn := range j.funcs {
+		out = append(out, fn)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Events returns fn's retained waypoints in order (nil if unknown).
+func (j *Journal) Events(fn string) []JourneyEvent {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	f := j.funcs[fn]
+	if f == nil {
+		return nil
+	}
+	return f.ordered()
+}
+
+// Dropped returns how many of fn's oldest events were evicted by the
+// per-function retention bound.
+func (j *Journal) Dropped(fn string) int64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if f := j.funcs[fn]; f != nil {
+		return f.dropped
+	}
+	return 0
+}
+
+// journeyJSON is the wire shape of WriteJSON.
+type journeyJSON struct {
+	Funcs map[string][]JourneyEvent `json:"funcs"`
+	Total int64                     `json:"total"`
+}
+
+// WriteJSON encodes every function's retained journey as one JSON object.
+func (j *Journal) WriteJSON(w io.Writer) error {
+	if j == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	j.mu.Lock()
+	out := journeyJSON{Funcs: make(map[string][]JourneyEvent, len(j.funcs)), Total: j.total}
+	for fn, f := range j.funcs {
+		out.Funcs[fn] = f.ordered()
+	}
+	j.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// DecodeJourney parses a WriteJSON dump back into a render-capable
+// Journal: Funcs/Events/Render* work on the decoded copy. Per-function
+// drop counts are not part of the wire shape and read as zero.
+func DecodeJourney(r io.Reader) (*Journal, error) {
+	var in journeyJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("decode journey: %w", err)
+	}
+	j := &Journal{epoch: time.Now(), funcs: make(map[string]*funcJourney, len(in.Funcs)), capPF: DefaultJourneyCap, total: in.Total}
+	for fn, evs := range in.Funcs {
+		if len(evs) > j.capPF {
+			j.capPF = len(evs)
+		}
+		j.funcs[fn] = &funcJourney{evs: evs}
+		for _, ev := range evs {
+			if ev.Seq > j.seq {
+				j.seq = ev.Seq
+			}
+		}
+	}
+	return j, nil
+}
+
+// RenderTimeline renders fn's journey as an aligned ASCII timeline:
+//
+//	hot — 7 event(s)
+//	      0.000ms  interp       tier=interp    first call
+//	      0.412ms  warm         tier=baseline  calls=4
+//	      ...
+//
+// Returns "" when fn has no retained events.
+func (j *Journal) RenderTimeline(fn string) string {
+	evs := j.Events(fn)
+	if len(evs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %d event(s)", fn, len(evs))
+	if d := j.Dropped(fn); d > 0 {
+		fmt.Fprintf(&b, " (+%d dropped)", d)
+	}
+	b.WriteByte('\n')
+	base := evs[0].TS
+	for _, ev := range evs {
+		tier := ev.Tier
+		if tier == "" {
+			tier = "-"
+		}
+		fmt.Fprintf(&b, "  %10.3fms  %-12s tier=%-9s %s\n",
+			float64(ev.TS-base)/1e6, ev.Stage, tier, ev.Cause)
+	}
+	return b.String()
+}
+
+// RenderAll renders every journaled function's timeline, names sorted.
+func (j *Journal) RenderAll() string {
+	var b strings.Builder
+	for _, fn := range j.Funcs() {
+		b.WriteString(j.RenderTimeline(fn))
+	}
+	return b.String()
+}

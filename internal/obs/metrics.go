@@ -58,11 +58,31 @@ func (g *Gauge) Value() int64 {
 
 // Histogram is a fixed-bucket atomic histogram: counts[i] holds
 // observations <= bounds[i]; the final bucket is the +Inf overflow.
+// Each bucket additionally retains one exemplar — the span ID and value
+// of its most recent extreme (maximal) observation — so an operator
+// looking at a p99 bucket can jump straight to the retained trace span
+// that landed there.
 type Histogram struct {
 	bounds []int64
 	counts []atomic.Int64
+	ex     []bucketExemplar // len(counts); per-bucket extreme observation
 	sum    atomic.Int64
 	n      atomic.Int64
+}
+
+// bucketExemplar holds one bucket's exemplar. The two fields are updated
+// without a lock: a torn read can at worst pair a span ID with a
+// same-bucket value from a racing observation, which is still a valid
+// exemplar for operators (both point at a real extreme in that bucket).
+type bucketExemplar struct {
+	id atomic.Uint64 // span ID of the exemplar observation (0 = none)
+	v  atomic.Int64  // observed value
+}
+
+// HistExemplar is the encodable form of one bucket's exemplar.
+type HistExemplar struct {
+	SpanID uint64 `json:"span_id"`
+	Value  int64  `json:"value"`
 }
 
 // LatencyBucketsNs are the default bounds for nanosecond latencies:
@@ -80,11 +100,21 @@ func newHistogram(bounds []int64) *Histogram {
 	own := make([]int64, len(bounds))
 	copy(own, bounds)
 	sort.Slice(own, func(i, j int) bool { return own[i] < own[j] })
-	return &Histogram{bounds: own, counts: make([]atomic.Int64, len(own)+1)}
+	return &Histogram{
+		bounds: own,
+		counts: make([]atomic.Int64, len(own)+1),
+		ex:     make([]bucketExemplar, len(own)+1),
+	}
 }
 
 // Observe records one sample. Safe on a nil histogram.
-func (h *Histogram) Observe(v int64) {
+func (h *Histogram) Observe(v int64) { h.ObserveEx(v, 0) }
+
+// ObserveEx records one sample linked to a trace span. When spanID is
+// non-zero and v is at least as large as the bucket's current exemplar,
+// the bucket's exemplar is replaced (ties refresh recency, so the
+// exemplar is always the *most recent* extreme). Safe on a nil histogram.
+func (h *Histogram) ObserveEx(v int64, spanID uint64) {
 	if h == nil {
 		return
 	}
@@ -92,6 +122,10 @@ func (h *Histogram) Observe(v int64) {
 	h.counts[i].Add(1)
 	h.sum.Add(v)
 	h.n.Add(1)
+	if spanID != 0 && (h.ex[i].id.Load() == 0 || v >= h.ex[i].v.Load()) {
+		h.ex[i].v.Store(v)
+		h.ex[i].id.Store(spanID)
+	}
 }
 
 // Count returns the number of observations.
@@ -121,17 +155,28 @@ func (h *Histogram) Mean() float64 {
 
 // HistSnapshot is a consistent-enough read of a histogram for encoding.
 type HistSnapshot struct {
-	Bounds []int64 `json:"bounds"`
-	Counts []int64 `json:"counts"` // len(Bounds)+1; last is +Inf overflow
-	Sum    int64   `json:"sum"`
-	Count  int64   `json:"count"`
+	Bounds    []int64        `json:"bounds"`
+	Counts    []int64        `json:"counts"` // len(Bounds)+1; last is +Inf overflow
+	Sum       int64          `json:"sum"`
+	Count     int64          `json:"count"`
+	Exemplars []HistExemplar `json:"exemplars,omitempty"` // len(Counts); SpanID 0 = none
 }
 
 // Snapshot reads the histogram's current state.
 func (h *Histogram) Snapshot() HistSnapshot {
 	s := HistSnapshot{Bounds: h.bounds, Counts: make([]int64, len(h.counts)), Sum: h.sum.Load(), Count: h.n.Load()}
+	any := false
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
+		if h.ex[i].id.Load() != 0 {
+			any = true
+		}
+	}
+	if any {
+		s.Exemplars = make([]HistExemplar, len(h.counts))
+		for i := range h.ex {
+			s.Exemplars[i] = HistExemplar{SpanID: h.ex[i].id.Load(), Value: h.ex[i].v.Load()}
+		}
 	}
 	return s
 }

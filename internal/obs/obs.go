@@ -52,6 +52,7 @@ const (
 	CatPolicy  = "jitbull" // go/no-go decision
 	CatEngine  = "engine"  // tiering, dispatch, bailouts
 	CatFault   = "fault"   // fault-injection framework events
+	CatStore   = "store"   // persistent artifact store I/O
 )
 
 // MaxArgs is the fixed per-event argument capacity. Events carry their
@@ -79,8 +80,9 @@ type Event struct {
 	Kind  Kind
 	Cat   string
 	Name  string
-	TS    int64 // start time, ns since tracer epoch
-	Dur   int64 // span duration in ns (0 for instants)
+	ID    uint64 // span ID (0 for instants and pre-ID traces)
+	TS    int64  // start time, ns since tracer epoch
+	Dur   int64  // span duration in ns (0 for instants)
 	NArgs int
 	Args  [MaxArgs]Arg
 }
@@ -97,7 +99,8 @@ type Sink interface {
 type Tracer struct {
 	sink  Sink
 	epoch time.Time
-	drops atomic.Int64 // events discarded because the sink was nil
+	seq   atomic.Uint64 // span ID sequence; IDs are unique per tracer
+	drops atomic.Int64  // events discarded because the sink was nil
 }
 
 // NewTracer returns a tracer recording into sink with its epoch at now.
@@ -127,6 +130,7 @@ type Span struct {
 	t     *Tracer
 	cat   string
 	name  string
+	id    uint64
 	start int64
 }
 
@@ -135,11 +139,16 @@ func (t *Tracer) Begin(cat, name string) Span {
 	if t == nil {
 		return Span{}
 	}
-	return Span{t: t, cat: cat, name: name, start: t.now()}
+	return Span{t: t, cat: cat, name: name, id: t.seq.Add(1), start: t.now()}
 }
 
 // Active reports whether the span will record on End.
 func (s Span) Active() bool { return s.t != nil }
+
+// ID returns the span's tracer-unique ID (0 for the inert zero Span).
+// Exemplar-linked histograms store this ID so a p99 outlier bucket can
+// be followed back to the retained trace event that produced it.
+func (s Span) ID() uint64 { return s.id }
 
 // End closes the span and records it with up to MaxArgs annotations
 // (extras are dropped). Safe on the zero Span.
@@ -147,7 +156,7 @@ func (s Span) End(args ...Arg) {
 	if s.t == nil {
 		return
 	}
-	ev := Event{Kind: KindSpan, Cat: s.cat, Name: s.name, TS: s.start, Dur: s.t.now() - s.start}
+	ev := Event{Kind: KindSpan, Cat: s.cat, Name: s.name, ID: s.id, TS: s.start, Dur: s.t.now() - s.start}
 	for _, a := range args {
 		if ev.NArgs == MaxArgs {
 			break

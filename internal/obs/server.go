@@ -7,32 +7,73 @@ import (
 	"net/http/pprof"
 )
 
-// NewDebugMux builds the debug HTTP handler: metrics in text and JSON
-// form, the recent audit events, and the full net/http/pprof suite. reg
-// and audit may be nil (the corresponding endpoints then serve empty
-// documents).
+// OpsState bundles everything the operational HTTP surface can serve.
+// Any field may be nil; the corresponding endpoint then serves an empty
+// document (or, for /healthz without a watchdog, unconditional ready).
+type OpsState struct {
+	Reg      *Registry
+	Audit    *AuditLog
+	Watchdog *Watchdog
+	Journal  *Journal
+	Flight   *FlightRecorder
+}
+
+// NewDebugMux builds the classic debug handler (metrics, audit, pprof).
+// Kept for callers that predate the ops surface; equivalent to
+// NewOpsMux with only Reg and Audit set.
+func NewDebugMux(reg *Registry, audit *AuditLog) *http.ServeMux {
+	return NewOpsMux(OpsState{Reg: reg, Audit: audit})
+}
+
+// NewOpsMux builds the full operational HTTP handler:
 //
 //	/metrics        expvar-style "name value" text
 //	/metrics.json   one JSON object of every metric
+//	/metrics.prom   Prometheus/OpenMetrics text exposition with exemplars
+//	/healthz        200 "ready" / 503 "degraded" from the anomaly watchdog
 //	/audit.json     recorded audit events as a JSON array
+//	/journey.json   per-function tier-journey timelines
+//	/flight.json    declared flight-recorder episodes and dump paths
 //	/debug/pprof/   CPU/heap/goroutine/... profiles
-func NewDebugMux(reg *Registry, audit *AuditLog) *http.ServeMux {
+func NewOpsMux(s OpsState) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		reg.WriteText(w)
+		s.Reg.WriteText(w)
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		if reg == nil {
+		if s.Reg == nil {
 			w.Write([]byte("{}\n"))
 			return
 		}
-		reg.WriteJSON(w)
+		s.Reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/metrics.prom", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.Reg.WriteProm(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		state, why := s.Watchdog.Health()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if state != HealthReady {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(state + "\n" + why + "\n"))
+			return
+		}
+		w.Write([]byte(state + "\n"))
 	})
 	mux.HandleFunc("/audit.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(audit.Events())
+		json.NewEncoder(w).Encode(s.Audit.Events())
+	})
+	mux.HandleFunc("/journey.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s.Journal.WriteJSON(w)
+	})
+	mux.HandleFunc("/flight.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.Flight.Episodes())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -47,11 +88,17 @@ func NewDebugMux(reg *Registry, audit *AuditLog) *http.ServeMux {
 // (useful with ":0"). The pprof endpoints make any long jitbull run
 // profileable with the stock `go tool pprof` workflow.
 func StartDebugServer(addr string, reg *Registry, audit *AuditLog) (*http.Server, net.Addr, error) {
+	return StartOpsServer(addr, OpsState{Reg: reg, Audit: audit})
+}
+
+// StartOpsServer listens on addr and serves the full operational mux in
+// a background goroutine.
+func StartOpsServer(addr string, s OpsState) (*http.Server, net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
-	srv := &http.Server{Handler: NewDebugMux(reg, audit)}
+	srv := &http.Server{Handler: NewOpsMux(s)}
 	go srv.Serve(ln)
 	return srv, ln.Addr(), nil
 }

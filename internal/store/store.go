@@ -111,6 +111,13 @@ type Options struct {
 	Retries int
 	// Sleep is the backoff sleeper, injectable for tests (nil = time.Sleep).
 	Sleep func(time.Duration)
+	// Watchdog, when non-nil, receives one SigStoreCorrupt signal per
+	// quarantined record — the anomaly watchdog's view of disk rot.
+	Watchdog *obs.Watchdog
+	// Tracer records one span per Get/Put (nil = no tracing); the span
+	// IDs seed the store.{get,put}_ns histogram exemplars so an outlier
+	// bucket can be followed back to the retained trace event.
+	Tracer *obs.Tracer
 }
 
 // Store is the persistent second tier. It implements jitqueue.SecondTier
@@ -133,6 +140,8 @@ type Store struct {
 	mQuarantined *obs.Counter
 	mRetries     *obs.Counter
 	mFaults      *obs.Counter
+	hGet         *obs.Histogram
+	hPut         *obs.Histogram
 }
 
 var _ jitqueue.SecondTier = (*Store)(nil)
@@ -169,6 +178,8 @@ func Open(dir string, opts Options) (*Store, error) {
 	s.mQuarantined = reg.Counter("store.quarantined")
 	s.mRetries = reg.Counter("store.retries")
 	s.mFaults = reg.Counter("store.faults_injected")
+	s.hGet = reg.Histogram("store.get_ns", obs.LatencyBucketsNs)
+	s.hPut = reg.Histogram("store.put_ns", obs.LatencyBucketsNs)
 	return s, nil
 }
 
@@ -304,6 +315,12 @@ func writeAtomic(path string, data []byte) error {
 // transient EIO is absorbed by the bounded retry loop.
 func (s *Store) Put(k jitqueue.Key, data []byte) {
 	key := keyHex(k)
+	sp := s.opts.Tracer.Begin(obs.CatStore, "store.put")
+	start := time.Now()
+	defer func() {
+		s.hPut.ObserveEx(int64(time.Since(start)), sp.ID())
+		sp.End(obs.S("key", key))
+	}()
 	env, err := encodeRecord(key, data)
 	if err != nil {
 		s.dropPut(key, err.Error())
@@ -385,6 +402,12 @@ func (s *Store) dropPut(key, reason string) {
 func (s *Store) Get(k jitqueue.Key) ([]byte, bool) {
 	key := keyHex(k)
 	path := s.recordPath(k)
+	sp := s.opts.Tracer.Begin(obs.CatStore, "store.get")
+	start := time.Now()
+	defer func() {
+		s.hGet.ObserveEx(int64(time.Since(start)), sp.ID())
+		sp.End(obs.S("key", key))
+	}()
 
 	for attempt := 0; ; attempt++ {
 		f, fired := s.checkFault(faults.PointStoreGet, key)
@@ -473,6 +496,7 @@ func (s *Store) quarantine(path, key string, cause error) {
 		Stage:   "store",
 		Reason:  fmt.Sprintf("record quarantined to %s: %v", dst, cause),
 	})
+	s.opts.Watchdog.Signal(obs.Signal{Kind: obs.SigStoreCorrupt, Func: key, Cause: cause.Error()})
 }
 
 // Len reports how many record files the store currently holds (corrupt

@@ -30,6 +30,7 @@ import (
 
 	"github.com/jitbull/jitbull/internal/core"
 	"github.com/jitbull/jitbull/internal/engine"
+	"github.com/jitbull/jitbull/internal/faults"
 	"github.com/jitbull/jitbull/internal/jitqueue"
 	"github.com/jitbull/jitbull/internal/obs"
 	"github.com/jitbull/jitbull/internal/octane"
@@ -99,6 +100,48 @@ type (
 	Verdict = obs.Verdict
 )
 
+// Observability v2 types (see internal/obs): the tier-journey journal,
+// the tail-sampling flight recorder, and the anomaly watchdog, wired
+// through Config.Journal and Config.Watchdog (and the tracer's sink for
+// the flight recorder).
+type (
+	// Journal records each function's tier journey (interp → warm →
+	// compiled → installed → OSR/deopt/quarantine ...) as a compact,
+	// bounded event stream; a nil *Journal records nothing.
+	Journal = obs.Journal
+	// JourneyEvent is one step of a function's tier journey.
+	JourneyEvent = obs.JourneyEvent
+	// FlightRecorder is a tail-sampling trace sink: it retains every span
+	// in a ring but dumps a Chrome-trace episode file only around
+	// anomalies (p99 compile outliers, injected faults, watchdog
+	// triggers), under a bounded disk budget.
+	FlightRecorder = obs.FlightRecorder
+	// FlightOptions bounds a FlightRecorder (ring size, dump count/bytes).
+	FlightOptions = obs.FlightOptions
+	// FlightEpisode describes one dumped anomaly episode.
+	FlightEpisode = obs.Episode
+	// Watchdog turns engine/store signals into anomaly verdicts through
+	// pluggable detectors, driving /healthz and the audit log. A nil
+	// *Watchdog ignores every signal.
+	Watchdog = obs.Watchdog
+	// WatchdogOptions configures the watchdog (detectors, registry,
+	// audit log, flight recorder, recovery threshold).
+	WatchdogOptions = obs.WatchdogOptions
+	// WatchdogSignal is one observation fed to the watchdog's detectors.
+	WatchdogSignal = obs.Signal
+	// Anomaly is one detector verdict (detector name, function, cause).
+	Anomaly = obs.Anomaly
+	// OpsState bundles what the ops endpoints serve (/metrics.prom,
+	// /healthz, /journey.json, /flight.json, ...).
+	OpsState = obs.OpsState
+	// MultiSink fans trace events out to several sinks (e.g. a Ring for
+	// -trace plus a FlightRecorder).
+	MultiSink = obs.MultiSink
+	// FaultInjector is the deterministic chaos injector (see
+	// internal/faults), wired through Config.Faults.
+	FaultInjector = faults.Injector
+)
+
 // Off-thread compilation & shared-cache types (see internal/jitqueue):
 // wired through Config.Queue and Config.Cache. Both are optional and
 // concurrency-safe; a nil pointer means the feature is off and the engine
@@ -152,6 +195,9 @@ type (
 	// recomputed bit-identically on load) and JITBULL verdicts through the
 	// detector's own verdict codec.
 	CacheCodec = engine.CacheCodec
+	// StoreOptions configures an ArtifactStore (metrics, audit, chaos
+	// injector, retry budget, watchdog, tracer).
+	StoreOptions = store.Options
 )
 
 // OpenStore opens (creating if needed) a persistent artifact store rooted
@@ -159,6 +205,14 @@ type (
 // metrics and a quarantine/degradation audit trail.
 func OpenStore(dir string, reg *Registry, audit *AuditLog) (*ArtifactStore, error) {
 	return store.Open(dir, store.Options{Metrics: reg, Audit: audit})
+}
+
+// OpenStoreWith is OpenStore with the full option surface: chaos
+// injector, retry budget, anomaly watchdog (one SigStoreCorrupt per
+// quarantined record) and tracer (store.get/store.put spans feeding the
+// store.{get,put}_ns histogram exemplars).
+func OpenStoreWith(dir string, opts StoreOptions) (*ArtifactStore, error) {
+	return store.Open(dir, opts)
 }
 
 // NewCacheCodec builds the store codec for a fleet protected by detector
@@ -206,6 +260,37 @@ func ReadAuditFile(path string) ([]AuditEvent, error) { return obs.ReadAuditFile
 // be nil. It returns the running server and its bound address.
 func StartDebugServer(addr string, reg *Registry, audit *AuditLog) (*http.Server, net.Addr, error) {
 	return obs.StartDebugServer(addr, reg, audit)
+}
+
+// NewJournal returns a tier-journey journal keeping at most capPerFunc
+// events per function (<= 0 uses the default, 256).
+func NewJournal(capPerFunc int) *Journal { return obs.NewJournal(capPerFunc) }
+
+// NewFlightRecorder returns a tail-sampling flight recorder dumping
+// anomaly episodes as Chrome-trace files under dir. Use it as the
+// tracer's sink (alone or in a MultiSink beside a Ring).
+func NewFlightRecorder(dir string, opts FlightOptions) *FlightRecorder {
+	return obs.NewFlightRecorder(dir, opts)
+}
+
+// NewWatchdog returns an anomaly watchdog running the default detector
+// set unless opts.Detectors overrides it.
+func NewWatchdog(opts WatchdogOptions) *Watchdog { return obs.NewWatchdog(opts) }
+
+// StartOpsServer serves the full operating surface — /metrics,
+// /metrics.json, /metrics.prom, /healthz, /audit.json, /journey.json,
+// /flight.json and /debug/pprof/* — on addr. Any OpsState field may be
+// nil; the matching endpoints degrade gracefully.
+func StartOpsServer(addr string, s OpsState) (*http.Server, net.Addr, error) {
+	return obs.StartOpsServer(addr, s)
+}
+
+// WatchdogProbe adapts a fault injector into a Watchdog seed probe
+// (see Watchdog.SetSeedProbe): each watchdog signal evaluates one hit of
+// the "watchdog" fault point, letting the chaos campaign seed anomalies
+// with the injector's own 1:1 accounting.
+func WatchdogProbe(in *FaultInjector) func(detail string) error {
+	return faults.WatchdogProbe(in)
 }
 
 // New parses, compiles and prepares a nanojs script for execution.
