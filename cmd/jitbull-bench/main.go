@@ -18,10 +18,71 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
+	"strings"
 	"testing"
 
 	"github.com/jitbull/jitbull/internal/experiments"
 )
+
+// benchMeta is the provenance header stamped into every BENCH_*.json file:
+// which revision produced the numbers and under what configuration, so a
+// committed baseline is never compared against measurements from a
+// different tree or scale.
+type benchMeta struct {
+	Git       string `json:"git"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	Scale     int    `json:"scale"`
+	Repeats   int    `json:"repeats"`
+	Threshold int    `json:"threshold"`
+}
+
+// benchFile is the on-disk shape of every BENCH_*.json: a meta header plus
+// the benchmark-specific payload. Readers of older headerless files (a
+// bare array or report object) must keep accepting both shapes — see
+// obsGate.
+type benchFile struct {
+	Meta    benchMeta `json:"meta"`
+	Results any       `json:"results"`
+}
+
+// gitDescribe resolves the working tree's revision; "unknown" when git is
+// unavailable (e.g. running from an exported tarball).
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty", "--tags").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// writeBench stamps the provenance header and writes path.
+func writeBench(path string, results any, cfg experiments.Config) error {
+	f := benchFile{
+		Meta: benchMeta{
+			Git:       gitDescribe(),
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			Scale:     cfg.Scale,
+			Repeats:   cfg.Repeats,
+			Threshold: cfg.IonThreshold,
+		},
+		Results: results,
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%s)\n", path, f.Meta.Git)
+	return nil
+}
 
 func main() {
 	var (
@@ -39,12 +100,14 @@ func main() {
 		nativeB   = flag.Bool("native", false, "run the superinstruction-tier benchmark with its regression gates")
 		osrB      = flag.Bool("osr", false, "run the loop-header OSR tier-up benchmark with its regression gates")
 		warmB     = flag.Bool("warmstart", false, "run the persistent-store warm-start benchmark with its regression gates")
+		mcB       = flag.Bool("mc", false, "run the machine-code-tier benchmark with its regression gates")
 		benchout  = flag.String("benchout", "BENCH_core.json", "output file for -core results")
 		obsout    = flag.String("obsout", "BENCH_obs.json", "output file for -obs results")
 		jitqout   = flag.String("jitqueueout", "BENCH_jitqueue.json", "output file for -jitqueue results")
 		nativeout = flag.String("nativeout", "BENCH_native.json", "output file for -native results")
 		osrout    = flag.String("osrout", "BENCH_osr.json", "output file for -osr results")
 		warmout   = flag.String("warmstartout", "BENCH_warmstart.json", "output file for -warmstart results")
+		mcout     = flag.String("mcout", "BENCH_mc.json", "output file for -mc results")
 		corebase  = flag.String("corebase", "BENCH_core.json", "recorded core baseline the -obs regression gate compares against ('' disables the gate)")
 		scale     = flag.Int("scale", 4, "benchmark iteration scale for timing experiments")
 		repeats   = flag.Int("repeats", 3, "timing repetitions (minimum reported)")
@@ -52,7 +115,7 @@ func main() {
 		workers   = flag.Int("workers", 1, "worker pool size for corpus experiments (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	all := !(*table1 || *table2 || *window || *security || *fig4 || *fig5 || *fig6 || *ablation || *coreB || *obsB || *jitqB || *nativeB || *osrB || *warmB)
+	all := !(*table1 || *table2 || *window || *security || *fig4 || *fig5 || *fig6 || *ablation || *coreB || *obsB || *jitqB || *nativeB || *osrB || *warmB || *mcB)
 	cfg := experiments.Config{IonThreshold: *thr, Repeats: *repeats, Scale: *scale, Workers: *workers}
 
 	if err := run(all, *table1, *table2, *window, *security, *fig4, *fig5, *fig6, *ablation, cfg); err != nil {
@@ -60,13 +123,13 @@ func main() {
 		os.Exit(1)
 	}
 	if *coreB {
-		if err := runCore(*benchout); err != nil {
+		if err := runCore(*benchout, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "jitbull-bench:", err)
 			os.Exit(1)
 		}
 	}
 	if *obsB {
-		if err := runObs(*obsout, *corebase); err != nil {
+		if err := runObs(*obsout, *corebase, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "jitbull-bench:", err)
 			os.Exit(1)
 		}
@@ -95,6 +158,63 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *mcB {
+		if err := runMC(*mcout, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "jitbull-bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// mcGateKernelSpeedup is the primary -mc regression gate: real machine
+// code must beat the fused threaded dispatch loop by this geomean factor
+// at the executor boundary, on the same kernels the fused tier itself is
+// gated on. Anything lower means the tier is not paying for its W^X pages.
+const mcGateKernelSpeedup = 2.0
+
+// mcGateOctaneSpeedup is the engine-level -mc gate: whole-run wall clock
+// on the octane-analogue corpus (interpreter warm-up, compile pipeline and
+// hook traffic included) must still improve by this geomean factor.
+const mcGateOctaneSpeedup = 1.4
+
+// runMC runs the machine-code-tier benchmark, writes BENCH_mc.json, and
+// enforces its gates: kernel geomean mc-vs-fused speedup >= 2.0x, engine
+// octane geomean >= 1.4x, bit-identical behavior (value, result global,
+// output, VM steps, policy verdicts) between the mc and NoMC cells, and a
+// divergence-free generated-program sweep. On platforms without the tier
+// the report records Supported=false and the gates do not apply.
+func runMC(path string, cfg experiments.Config) error {
+	rep, err := experiments.MCBench(cfg)
+	if err != nil {
+		return fmt.Errorf("mc bench: %w", err)
+	}
+	fmt.Print(experiments.RenderMC(rep))
+	if err := writeBench(path, rep, cfg); err != nil {
+		return err
+	}
+	if !rep.Supported {
+		fmt.Printf("mc gate: tier unsupported on %s; gates skipped\n", rep.Arch)
+		return nil
+	}
+	if !rep.Identical {
+		return fmt.Errorf("mc gate: mc/nomc behavior diverged: %s", rep.Mismatch)
+	}
+	if rep.SweepDiverged > 0 {
+		return fmt.Errorf("mc gate: %d/%d generated programs diverged (%s)",
+			rep.SweepDiverged, rep.SweepPrograms, rep.SweepFirstDiver)
+	}
+	if rep.KernelMismatch != "" {
+		return fmt.Errorf("mc gate: kernel behavior diverged: %s", rep.KernelMismatch)
+	}
+	if rep.KernelGeomean < mcGateKernelSpeedup {
+		return fmt.Errorf("mc gate: kernel geomean machine-code speedup %.2fx below the %.1fx budget",
+			rep.KernelGeomean, mcGateKernelSpeedup)
+	}
+	if rep.GeomeanSpeedup < mcGateOctaneSpeedup {
+		return fmt.Errorf("mc gate: octane geomean speedup %.2fx below the %.1fx budget",
+			rep.GeomeanSpeedup, mcGateOctaneSpeedup)
+	}
+	return nil
 }
 
 // warmStartGateSpeedup is the -warmstart regression gate: replaying a
@@ -117,14 +237,9 @@ func runWarmStart(path string, cfg experiments.Config) error {
 		return fmt.Errorf("warmstart bench: %w", err)
 	}
 	fmt.Print(experiments.RenderWarmStart(rep))
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
+	if err := writeBench(path, rep, cfg); err != nil {
 		return err
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s\n", path)
 	if rep.WarmCompiles != 0 {
 		return fmt.Errorf("warmstart gate: warm process ran %d pipeline(s), want 0", rep.WarmCompiles)
 	}
@@ -154,14 +269,9 @@ func runOSR(path string, cfg experiments.Config) error {
 		return fmt.Errorf("osr bench: %w", err)
 	}
 	fmt.Print(experiments.RenderOSR(rep))
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
+	if err := writeBench(path, rep, cfg); err != nil {
 		return err
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s\n", path)
 	if !rep.Identical {
 		return fmt.Errorf("osr gate: boundary/osr behavior diverged: %s", rep.Mismatch)
 	}
@@ -195,14 +305,9 @@ func runNative(path string, cfg experiments.Config) error {
 		return fmt.Errorf("native bench: %w", err)
 	}
 	fmt.Print(experiments.RenderNative(rep))
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
+	if err := writeBench(path, rep, cfg); err != nil {
 		return err
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s\n", path)
 	if !rep.Identical {
 		return fmt.Errorf("native gate: fused/unfused behavior diverged: %s", rep.Mismatch)
 	}
@@ -232,14 +337,9 @@ func runJitQueue(path, corebase string, cfg experiments.Config) error {
 		return fmt.Errorf("jitqueue bench: %w", err)
 	}
 	fmt.Print(experiments.RenderJitQueue(rep))
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
+	if err := writeBench(path, rep, cfg); err != nil {
 		return err
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s\n", path)
 	if !rep.VerdictsIdentical {
 		return fmt.Errorf("jitqueue gate: policy verdicts diverged across modes: %s", rep.VerdictMismatch)
 	}
@@ -274,7 +374,7 @@ type coreResult struct {
 
 // runCore measures every experiments.CoreBenchmarks entry via
 // testing.Benchmark and writes the results to path as JSON.
-func runCore(path string) error {
+func runCore(path string, cfg experiments.Config) error {
 	var results []coreResult
 	for _, cb := range experiments.CoreBenchmarks() {
 		r := testing.Benchmark(cb.Bench)
@@ -288,15 +388,8 @@ func runCore(path string) error {
 			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
 		results = append(results, res)
 	}
-	data, err := json.MarshalIndent(results, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("\nwrote %s\n", path)
-	return nil
+	fmt.Println()
+	return writeBench(path, results, cfg)
 }
 
 // obsGateBench is the BENCH_core.json entry the -obs regression gate
@@ -312,7 +405,7 @@ const obsGateTolerance = 1.05
 // results to path, and — when corebase names a readable BENCH_core.json —
 // re-measures the gate benchmark and fails if the disabled-probe compile
 // path regressed beyond the tolerance.
-func runObs(path, corebase string) error {
+func runObs(path, corebase string, cfg experiments.Config) error {
 	var results []coreResult
 	for _, cb := range experiments.ObsBenchmarks() {
 		r := testing.Benchmark(cb.Bench)
@@ -334,14 +427,9 @@ func runObs(path, corebase string) error {
 		fmt.Printf("\ntracing overhead on the compile-heavy run: %.1f%% (off %.0f ns/op, traced %.0f ns/op)\n",
 			100*(traced.NsPerOp/off.NsPerOp-1), off.NsPerOp, traced.NsPerOp)
 	}
-	data, err := json.MarshalIndent(results, "", "  ")
-	if err != nil {
+	if err := writeBench(path, results, cfg); err != nil {
 		return err
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s\n", path)
 	if corebase == "" {
 		return nil
 	}
@@ -356,9 +444,17 @@ func obsGate(corebase string) error {
 	if err != nil {
 		return fmt.Errorf("obs gate: read baseline: %w", err)
 	}
+	// Accept both baseline shapes: the current {meta, results} wrapper and
+	// the pre-header bare array.
 	var baseline []coreResult
 	if err := json.Unmarshal(data, &baseline); err != nil {
-		return fmt.Errorf("obs gate: parse baseline: %w", err)
+		var wrapped struct {
+			Results []coreResult `json:"results"`
+		}
+		if werr := json.Unmarshal(data, &wrapped); werr != nil || wrapped.Results == nil {
+			return fmt.Errorf("obs gate: parse baseline: %w", err)
+		}
+		baseline = wrapped.Results
 	}
 	var base *coreResult
 	for i := range baseline {

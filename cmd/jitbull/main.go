@@ -62,7 +62,7 @@ func run(args []string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  jitbull run [-nojit] [-nofuse] [-osr] [-speculate] [-threshold N] [-bugs CVE,...]
+  jitbull run [-nojit] [-nofuse] [-nomc] [-osr] [-speculate] [-threshold N] [-bugs CVE,...]
               [-db file] [-stats] [-async [-jit-workers N]] [-cache] [-store dir]
               [-trace file] [-audit file] [-metrics] [-metrics-addr addr]
               [-journey file] [-flight dir] [-watchdog]
@@ -105,6 +105,7 @@ func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	noJIT := fs.Bool("nojit", false, "disable the JIT (interpreter only)")
 	noFuse := fs.Bool("nofuse", false, "disable superinstruction fusion: Ion runs on the unfused per-op native tier")
+	noMC := fs.Bool("nomc", false, "disable the machine-code tier: Ion stays on the threaded dispatch tiers (default off on supported amd64 hosts)")
 	threshold := fs.Int("threshold", 0, "Ion compilation threshold (default 1500)")
 	bugsFlag := fs.String("bugs", "", "comma-separated CVE ids of injected bugs to activate")
 	dbPath := fs.String("db", "", "VDC DNA database to protect with")
@@ -151,6 +152,7 @@ func cmdRun(args []string) error {
 	cfg := jitbull.Config{
 		DisableJIT:   *noJIT,
 		NoFuse:       *noFuse,
+		NoMC:         *noMC,
 		IonThreshold: *threshold,
 		OSR:          *osr,
 		Speculate:    *speculate,
@@ -278,6 +280,10 @@ func cmdRun(args []string) error {
 			sink.Counter("native.fused_ops").Value(),
 			sink.Counter("native.fuse_supers").Value(),
 			sink.Counter("native.block_budget_checks").Value())
+		fmt.Fprintf(os.Stderr, "top-tier attribution: mc=%d fused=%d switch=%d (functions by installed executor)\n",
+			sink.Counter("native.tier.mc").Value(),
+			sink.Counter("native.tier.fused").Value(),
+			sink.Counter("native.tier.switch").Value())
 		if jitReg != nil {
 			fmt.Fprintf(os.Stderr, "jit queue/cache: cache.hits=%d cache.misses=%d jit.queue_depth_hwm=%d jit.queue_enqueued=%d\n",
 				jitReg.Counter("cache.hits").Value(), jitReg.Counter("cache.misses").Value(),

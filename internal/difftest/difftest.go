@@ -106,6 +106,19 @@ type Options struct {
 	// unfused artifacts apart). Fusion changes dispatch, never semantics,
 	// so every cell must stay at zero divergence.
 	Fusion bool
+	// MC adds the machine-code-tier contrast cells. On supported platforms
+	// the tier is on by default, so the plain jit cells already execute
+	// real machine code; these cells run with NoMC set — jit+nomc (fused
+	// threaded top tier), jit+nomc+nofuse (the unfused switch loop),
+	// jit+nomc+jitbull (with JITBULL), jit+nomc+osr+deopt (with OSR: both
+	// tier transitions against the threaded tiers), and jit+nomc+cached
+	// (with Async, sharing the cached cells' cache so the machine-code
+	// arch byte in the cache key is what keeps mc-tier and threaded-tier
+	// verdict replays apart). Machine code changes instruction dispatch,
+	// never semantics, so every cell must stay at zero divergence. On
+	// platforms without the tier the cells degenerate to duplicates of
+	// their NoMC-free counterparts and still must not diverge.
+	MC bool
 	// OSR adds the tier-transition contrast cells: jit+osr (loop-header
 	// on-stack replacement, back-edge-triggered compilation), jit+deopt
 	// (type speculation with guard-based deoptimization), jit+osr+deopt
@@ -270,6 +283,28 @@ func Matrix(o Options) []Config {
 				Config{Name: "jit+jitbull+osr", Engine: osr, Policy: jitbullPolicy},
 				Config{Name: "jit+jitbull+deopt", Engine: deopt, Policy: jitbullPolicy},
 			)
+		}
+	}
+	if o.MC {
+		nomc := base
+		nomc.NoMC = true
+		cfgs = append(cfgs, Config{Name: "jit+nomc", Engine: nomc})
+		nomcNofuse := nomc
+		nomcNofuse.NoFuse = true
+		cfgs = append(cfgs, Config{Name: "jit+nomc+nofuse", Engine: nomcNofuse})
+		if o.JITBULL {
+			cfgs = append(cfgs, Config{Name: "jit+nomc+jitbull", Engine: nomc, Policy: jitbullPolicy})
+		}
+		if o.OSR {
+			nomcBoth := nomc
+			nomcBoth.OSR = true
+			nomcBoth.Speculate = true
+			cfgs = append(cfgs, Config{Name: "jit+nomc+osr+deopt", Engine: nomcBoth})
+		}
+		if cache != nil {
+			nomcCached := nomc
+			nomcCached.Cache = cache
+			cfgs = append(cfgs, Config{Name: "jit+nomc+cached", Engine: nomcCached, Prewarm: true})
 		}
 	}
 	return cfgs

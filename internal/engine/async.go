@@ -272,6 +272,15 @@ func (e *Engine) cacheKey(st *fnState, params, gtypes, rets []value.Type, disabl
 	} else {
 		h.Write([]byte{0})
 	}
+	// The machine-code tier attaches per-engine (units never ride the
+	// cached artifact), but an mc engine's entries are still keyed apart,
+	// tagged with the architecture that would lower them, so any future
+	// side-table rider can never be installed cross-tier or cross-arch.
+	if e.mcActive() {
+		ws("mc/" + runtime.GOARCH)
+	} else {
+		ws("")
+	}
 	ws(pkey)
 	var k jitqueue.Key
 	h.Sum(k[:0])
@@ -482,6 +491,22 @@ func (e *Engine) applyOutcome(st *fnState, o *compileOutcome) {
 	// deopt count judged the discarded code, not this one.
 	st.osrCooldown = nil
 	st.deopts = 0
+	// A fresh artifact gets a fresh machine-code attach: the unit (or the
+	// quarantined attempt) belonged to the discarded code. This is the
+	// single attach site for every install path — sync, async, cache,
+	// store — so top-tier selection cannot depend on how the artifact
+	// arrived.
+	st.mcu, st.mcTried = nil, false
+	e.attachMC(st)
+	switch topTierName(st) {
+	case "mc":
+		e.m.tierMC.Inc()
+	case "fused":
+		e.m.tierFused.Inc()
+	default:
+		e.m.tierSwitch.Inc()
+	}
+	e.journey(st, obs.StageTier, "top=%s", topTierName(st))
 	if wasQuarantined {
 		// A quarantined function compiled cleanly on retry: requalify.
 		st.quar = qNone

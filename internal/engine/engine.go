@@ -23,6 +23,7 @@ import (
 	"github.com/jitbull/jitbull/internal/interp"
 	"github.com/jitbull/jitbull/internal/jitqueue"
 	"github.com/jitbull/jitbull/internal/lir"
+	"github.com/jitbull/jitbull/internal/mc"
 	"github.com/jitbull/jitbull/internal/native"
 	"github.com/jitbull/jitbull/internal/obs"
 	"github.com/jitbull/jitbull/internal/parser"
@@ -129,6 +130,13 @@ type Config struct {
 	// difftest matrix pins it); this is the escape hatch and the baseline
 	// side of the native-tier benchmark.
 	NoFuse bool
+	// NoMC disables the machine-code tier: installed Ion artifacts stop at
+	// the fused direct-threaded executor instead of being lowered to real
+	// amd64 code in W^X pages. On platforms without machine-code support
+	// the tier is off regardless, so semantics never depend on the flag —
+	// the difftest matrix pins mc and threaded execution bit-identical
+	// (Result, Steps, bailout points, deopt frames, policy verdicts).
+	NoMC bool
 
 	// OSR enables loop-header on-stack replacement: the interpreter counts
 	// back edges, triggers compilation from a hot loop (not just a hot call
@@ -220,6 +228,12 @@ type Stats struct {
 	OSREntries       int // successful mid-loop transfers into Ion code
 	DeoptExits       int // speculation-guard failures reconstructed into the interpreter
 	LoopsRequalified int // deopt storms that requalified the function without speculation
+
+	// Top-tier attribution: which executor serves each installed artifact
+	// (one count per install event, not per call).
+	TierMC     int // real machine code in W^X pages
+	TierFused  int // fused direct-threaded executor
+	TierSwitch int // unfused switch loop (NoFuse artifacts)
 }
 
 // statCounter is one engine counter: always present in the engine's
@@ -244,6 +258,7 @@ type engineMetrics struct {
 	asyncCompiles, asyncInstalls   statCounter
 	osrEntries, deoptExits         statCounter
 	loopsRequalified               statCounter
+	tierMC, tierFused, tierSwitch  statCounter
 }
 
 func newEngineMetrics(local, shared *obs.Registry) engineMetrics {
@@ -272,6 +287,10 @@ func newEngineMetrics(local, shared *obs.Registry) engineMetrics {
 		osrEntries:       pair("osr.entries"),
 		deoptExits:       pair("deopt.exits"),
 		loopsRequalified: pair("deopt.loops_requalified"),
+
+		tierMC:     pair("native.tier.mc"),
+		tierFused:  pair("native.tier.fused"),
+		tierSwitch: pair("native.tier.switch"),
 	}
 }
 
@@ -307,7 +326,13 @@ type fnState struct {
 	retType    value.Type
 	retBad     bool
 
-	code           *lir.Code
+	code *lir.Code
+	// mcu is the machine-code unit attached to code (nil when the tier is
+	// off, unsupported, or the attach was quarantined); mcTried latches
+	// one attach attempt per installed artifact. Both always track code:
+	// install resets them, discard clears them.
+	mcu            *mc.Unit
+	mcTried        bool
 	jitEligible    bool // mirbuild succeeded at least once
 	disabledPasses map[string]bool
 	bailouts       int
@@ -493,6 +518,10 @@ func (e *Engine) Stats() Stats {
 		OSREntries:       v(e.m.osrEntries),
 		DeoptExits:       v(e.m.deoptExits),
 		LoopsRequalified: v(e.m.loopsRequalified),
+
+		TierMC:     v(e.m.tierMC),
+		TierFused:  v(e.m.tierFused),
+		TierSwitch: v(e.m.tierSwitch),
 	}
 }
 
@@ -534,6 +563,12 @@ func (e *Engine) GlobalGet(slot int) value.Value { return e.VM.Globals[slot] }
 
 // GlobalSet implements native.Hooks.
 func (e *Engine) GlobalSet(slot int, v value.Value) { e.VM.Globals[slot] = v }
+
+// Globals exposes the global-slot backing array to the machine-code tier's
+// inline KLoadGlobal / KStoreGlobalNum fast paths (the optional hooks
+// capability; see mc's globalWindow). Semantics are defined by GlobalGet /
+// GlobalSet — the window is only a faster route to the same slots.
+func (e *Engine) Globals() []value.Value { return e.VM.Globals }
 
 // Random implements native.Hooks.
 func (e *Engine) Random() float64 { return e.VM.Random() }

@@ -103,7 +103,20 @@ func (e *Engine) OnBackEdge(fn *bytecode.Function, targetPC int, locals []value.
 	sp := e.tracer.Begin(obs.CatEngine, "osr.enter")
 	start := time.Now()
 	budget := e.VM.MaxSteps - e.VM.Steps()
-	res, status, err, entered := native.ExecOSR(st.code, entryIdx, locals, e, budget, &e.pool, e.cfg.NoFuse)
+	var (
+		res     native.Result
+		status  native.Status
+		err     error
+		entered bool
+	)
+	if st.mcu != nil {
+		// Machine-code tier: same frame-map materialization, same strict
+		// refusal policy; budget/guard exits delegate to the switch tier so
+		// the observable activation is bit-identical to the native path.
+		res, status, err, entered = st.mcu.ExecOSR(entryIdx, locals, e, budget, &e.pool)
+	} else {
+		res, status, err, entered = native.ExecOSR(st.code, entryIdx, locals, e, budget, &e.pool, e.cfg.NoFuse)
+	}
 	if !entered {
 		// Materialization refused (a local's runtime type contradicted the
 		// frame map's static kind). Cool this entry down: the types that
@@ -160,6 +173,10 @@ func (e *Engine) OnBackEdge(fn *bytecode.Function, targetPC int, locals []value.
 // exists.
 func (e *Engine) discardArtifact(st *fnState) {
 	st.code = nil
+	// The machine-code unit is compiled from the discarded code; drop it
+	// with the artifact (the W^X mapping itself is retired by GC, never
+	// unmapped, so a racing stale pointer can't execute unmapped memory).
+	st.mcu, st.mcTried = nil, false
 	st.osrCooldown = nil
 	st.deopts = 0
 }

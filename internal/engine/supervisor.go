@@ -14,6 +14,7 @@ import (
 
 	"github.com/jitbull/jitbull/internal/faults"
 	"github.com/jitbull/jitbull/internal/lir"
+	"github.com/jitbull/jitbull/internal/mc"
 	"github.com/jitbull/jitbull/internal/mirbuild"
 	"github.com/jitbull/jitbull/internal/native"
 	"github.com/jitbull/jitbull/internal/obs"
@@ -31,6 +32,7 @@ const (
 	StageLower    = "lir"      // LIR lowering
 	StageRegalloc = "regalloc" // register allocation
 	StageFuse     = "fuse"     // superinstruction fusion
+	StageMC       = "mc"       // machine-code lowering and W^X install
 	StageNative   = "native"   // native-code dispatch
 	StageOSR      = "osr"      // loop-header on-stack replacement entry
 	StageDeopt    = "deopt"    // speculation-guard deoptimization exit
@@ -413,14 +415,123 @@ func (e *Engine) compileAttempt(req *compileRequest) (o *compileOutcome) {
 	return o
 }
 
-// execNative dispatches one call into the function's Ion code with fault
-// containment: an injected dispatch failure — error or panic — is recorded
-// as a typed native-stage CompileError and degraded to a bailout, so the
-// caller falls back to the interpreter for this call with identical
-// semantics. Non-injected panics are genuine engine bugs and propagate.
+// mcActive reports whether the machine-code tier is in play for this
+// engine: supported by the build and platform, not disabled by
+// configuration.
+func (e *Engine) mcActive() bool {
+	return mc.Supported() && !e.cfg.NoMC && !e.cfg.DisableJIT
+}
+
+// topTierName attributes the executor that serves st's installed
+// artifact: "mc" (real machine code), "fused" (direct-threaded
+// superinstructions), or "switch" (the unfused reference loop).
+func topTierName(st *fnState) string {
+	switch {
+	case st.mcu != nil:
+		return "mc"
+	case st.code != nil && st.code.Fused != nil:
+		return "fused"
+	default:
+		return "switch"
+	}
+}
+
+// attachMC lowers st's freshly installed artifact to machine code and
+// installs it into W^X pages, making mc the function's top tier. It runs
+// once per installed artifact (mcTried latches), on the owner goroutine,
+// for every install path — sync compile, async mailbox, shared cache,
+// persistent store.
+//
+// Failure containment mirrors execNative, with one deliberate difference:
+// the Ion artifact is already installed and correct, so a fault here —
+// injected at mc.emit/mc.install or genuine — must never fail the
+// function. The attach is quarantined (recorded as an mc-stage
+// CompileError plus a quarantine verdict on the audit log) and the
+// function degrades to the threaded tier. mc.ErrUnsupported is legitimate
+// tiering, not a failure: silent fallback.
+func (e *Engine) attachMC(st *fnState) {
+	if st.mcTried || st.code == nil || !e.mcActive() {
+		return
+	}
+	st.mcTried = true
+	fctx := &faults.CompileCtx{
+		Inj:   e.cfg.Faults,
+		Meter: &faults.Meter{Limit: e.compileStepBudget()},
+		Func:  st.fn.Name,
+		Trace: e.tracer,
+	}
+	var cerr *CompileError
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				f, ok := faults.FromPanic(r)
+				if !ok {
+					panic(r) // genuine engine bug: propagate
+				}
+				cerr = &CompileError{
+					Func:     st.fn.Name,
+					Stage:    StageMC,
+					Err:      &faults.InjectedError{Fault: f},
+					Panicked: true,
+					Injected: true,
+				}
+			}
+		}()
+		if err := fctx.Step(faults.PointMCEmit, st.fn.Name, 0); err != nil {
+			cerr = newCompileError(st.fn.Name, StageMC, err)
+			return
+		}
+		prog, err := mc.Lower(st.code)
+		if err != nil {
+			if !errors.Is(err, mc.ErrUnsupported) {
+				cerr = newCompileError(st.fn.Name, StageMC, err)
+			}
+			return
+		}
+		if err := fctx.Step(faults.PointMCInstall, st.fn.Name, 0); err != nil {
+			cerr = newCompileError(st.fn.Name, StageMC, err)
+			return
+		}
+		unit, err := mc.Install(prog)
+		if err != nil {
+			if !errors.Is(err, mc.ErrUnsupported) {
+				cerr = newCompileError(st.fn.Name, StageMC, err)
+			}
+			return
+		}
+		st.mcu = unit
+	}()
+	if cerr != nil {
+		st.mcu = nil
+		e.recordCompileError(cerr)
+		e.audit.Record(obs.AuditEvent{
+			Func:    st.fn.Name,
+			Verdict: obs.VerdictQuarantine,
+			Stage:   StageMC,
+			Reason:  "machine-code tier quarantined for this artifact: " + cerr.Err.Error(),
+		})
+		e.journey(st, obs.StageQuarantined, "mc tier: %s", cerr.Err.Error())
+	}
+}
+
+// execNative dispatches one call into the function's top native tier —
+// machine code when a unit is attached, else the threaded/unfused
+// executor — with fault containment: an injected dispatch failure (error
+// or panic) is recorded as a typed native-stage CompileError and degraded
+// to a bailout, so the caller falls back to the interpreter for this call
+// with identical semantics. Non-injected panics are genuine engine bugs
+// and propagate.
 func (e *Engine) execNative(st *fnState, args []value.Value) (res native.Result, status native.Status, err error) {
 	budget := e.VM.MaxSteps - e.VM.Steps()
 	if e.cfg.Faults == nil {
+		if st.mcu != nil {
+			res, status, err = st.mcu.Exec(args, e, budget, &e.pool)
+			if status == native.StatusBail && err == nil {
+				e.tracer.Instant(obs.CatEngine, "native.bail",
+					obs.S("fn", st.fn.Name), obs.I("steps", res.Steps))
+			}
+			return res, status, err
+		}
 		if !e.tracer.Enabled() {
 			// Only injected faults are contained here (genuine panics propagate
 			// either way), so without an injector skip the recovery frame — this
@@ -447,7 +558,22 @@ func (e *Engine) execNative(st *fnState, args []value.Value) (res native.Result,
 			res, status, err = native.Result{}, native.StatusBail, nil
 		}
 	}()
-	res, status, err = native.ExecWith(st.code, args, e, budget, &e.pool, e.cfg.Faults, e.tracer)
+	if st.mcu != nil {
+		// The machine-code dispatch path evaluates the same native-point
+		// injection ExecWith performs for the threaded tiers, then runs the
+		// unit; containment below is shared.
+		if ferr := e.cfg.Faults.Check(faults.PointNative, st.fn.Name); ferr != nil {
+			err = ferr
+		} else {
+			res, status, err = st.mcu.Exec(args, e, budget, &e.pool)
+			if status == native.StatusBail && err == nil {
+				e.tracer.Instant(obs.CatEngine, "native.bail",
+					obs.S("fn", st.fn.Name), obs.I("steps", res.Steps))
+			}
+		}
+	} else {
+		res, status, err = native.ExecWith(st.code, args, e, budget, &e.pool, e.cfg.Faults, e.tracer)
+	}
 	if err != nil && faults.IsInjected(err) {
 		e.recordCompileError(newCompileError(st.fn.Name, StageNative, err))
 		return native.Result{}, native.StatusBail, nil

@@ -1,0 +1,264 @@
+package experiments
+
+// Machine-code-tier benchmark: the acceptance measurements of the real
+// amd64 tier below LIR, recorded by cmd/jitbull-bench -mc into
+// BENCH_mc.json.
+//
+//  (a) wall-clock of the octane-analogue corpus, machine-code (default)
+//      vs NoMC (fused threaded) engines, interleaved best-of-Repeats per
+//      benchmark; the gate is the geometric-mean speedup;
+//  (b) semantic identity: run value, `result` global, output, VM step
+//      count and policy verdicts must be bit-identical between the mc and
+//      NoMC cells — the tier may only change how fast the answer arrives;
+//  (c) a generated-program divergence sweep (mc vs NoMC, full engine
+//      observation) as a second, corpus-independent identity check;
+//  (d) kernel-level dispatch measurements at the executor boundary: the
+//      same production-pipeline kernels the fused tier is gated on, timed
+//      mc vs fused, with bit-identical results and steps required.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/jitbull/jitbull/internal/engine"
+	"github.com/jitbull/jitbull/internal/heap"
+	"github.com/jitbull/jitbull/internal/mc"
+	"github.com/jitbull/jitbull/internal/native"
+	"github.com/jitbull/jitbull/internal/octane"
+	"github.com/jitbull/jitbull/internal/progen"
+	"github.com/jitbull/jitbull/internal/value"
+)
+
+// MCBenchEntry is one engine-level benchmark's mc-vs-threaded measurement.
+type MCBenchEntry struct {
+	Name    string  `json:"name"`
+	NoMCNs  int64   `json:"nomc_ns"`
+	MCNs    int64   `json:"mc_ns"`
+	Speedup float64 `json:"speedup"`
+	Steps   int64   `json:"steps"` // total VM steps, identical across cells
+}
+
+// MCKernelEntry is one kernel's measurement at the executor boundary:
+// machine code vs the fused threaded dispatch loop.
+type MCKernelEntry struct {
+	Name    string  `json:"name"`
+	FusedNs int64   `json:"fused_ns"`
+	MCNs    int64   `json:"mc_ns"`
+	Speedup float64 `json:"speedup"`
+	Steps   int64   `json:"steps"` // identical across cells
+}
+
+// MCBenchReport is the BENCH_mc.json payload.
+type MCBenchReport struct {
+	// Supported is false on platforms without the tier; all other fields
+	// are zero and the gates do not apply.
+	Supported bool   `json:"supported"`
+	Arch      string `json:"arch"`
+
+	// Engine-level corpus: whole-run wall clock plus identity.
+	Benches        []MCBenchEntry `json:"benches"`
+	GeomeanSpeedup float64        `json:"geomean_speedup"`
+
+	// Executor-boundary kernels: the dispatch speedup the perf gate holds
+	// to >= 2.0x over the fused tier.
+	Kernels        []MCKernelEntry `json:"kernels"`
+	KernelGeomean  float64         `json:"kernel_geomean_speedup"`
+	KernelMismatch string          `json:"kernel_mismatch,omitempty"`
+
+	// Identity across the mc/NoMC cells (measurement b).
+	Identical bool   `json:"identical"`
+	Mismatch  string `json:"mismatch,omitempty"`
+
+	// Generated-program sweep (measurement c).
+	SweepPrograms   int    `json:"sweep_programs"`
+	SweepDiverged   int    `json:"sweep_diverged"`
+	SweepFirstDiver string `json:"sweep_first_divergence,omitempty"`
+}
+
+// MCBench produces the full report. Timing runs are strictly serial and
+// interleaved (NoMC, mc, NoMC, mc, ...) so slow host drift lands on both
+// cells; the minimum per cell is compared.
+func MCBench(cfg Config) (*MCBenchReport, error) {
+	rep := &MCBenchReport{Supported: mc.Supported(), Arch: runtime.GOARCH, Identical: true}
+	if !rep.Supported {
+		return rep, nil
+	}
+	cfg = cfg.withDefaults()
+	db, bugs, err := BuildDB(4, cfg.IonThreshold)
+	if err != nil {
+		return nil, err
+	}
+	// Both cells run the engine's full configuration — OSR so main loops
+	// tier up mid-flight instead of idling in the interpreter, speculation
+	// for the guarded fast paths — differing only in NoMC. That makes the
+	// comparison executor-vs-executor rather than interpreter-vs-
+	// interpreter, and exercises the deopt/OSR bridges under timing load.
+	mcCfg := engine.Config{IonThreshold: cfg.IonThreshold, Bugs: bugs, OSR: true, Speculate: true}
+	nomcCfg := mcCfg
+	nomcCfg.NoMC = true
+
+	var logSum float64
+	for _, b := range octane.All() {
+		src := b.Source(cfg.Scale)
+		entry := MCBenchEntry{Name: b.Name}
+		var refN, refM nativeObservation
+		for r := 0; r < cfg.Repeats; r++ {
+			obsN, durN, _, err := observeNative(src, nomcCfg, db)
+			if err != nil {
+				return nil, fmt.Errorf("%s nomc: %w", b.Name, err)
+			}
+			obsM, durM, _, err := observeNative(src, mcCfg, db)
+			if err != nil {
+				return nil, fmt.Errorf("%s mc: %w", b.Name, err)
+			}
+			if entry.NoMCNs == 0 || durN.Nanoseconds() < entry.NoMCNs {
+				entry.NoMCNs = durN.Nanoseconds()
+			}
+			if entry.MCNs == 0 || durM.Nanoseconds() < entry.MCNs {
+				entry.MCNs = durM.Nanoseconds()
+			}
+			refN, refM = obsN, obsM
+		}
+		entry.Steps = refM.steps
+		if d := refN.diff(refM); d != "" && rep.Identical {
+			rep.Identical = false
+			rep.Mismatch = fmt.Sprintf("%s: %s", b.Name, d)
+		}
+		if entry.MCNs > 0 {
+			entry.Speedup = float64(entry.NoMCNs) / float64(entry.MCNs)
+			logSum += math.Log(entry.Speedup)
+		}
+		rep.Benches = append(rep.Benches, entry)
+	}
+	if n := len(rep.Benches); n > 0 {
+		rep.GeomeanSpeedup = math.Exp(logSum / float64(n))
+	}
+
+	// (c) generated-program sweep: behavior-only, no timing.
+	const sweep = 40
+	rep.SweepPrograms = sweep
+	for seed := int64(0); seed < sweep; seed++ {
+		src := progen.Generate(seed, progen.Options{})
+		obsN, _, _, err := observeNative(src, nomcCfg, db)
+		if err != nil {
+			return nil, fmt.Errorf("sweep seed %d nomc: %w", seed, err)
+		}
+		obsM, _, _, err := observeNative(src, mcCfg, db)
+		if err != nil {
+			return nil, fmt.Errorf("sweep seed %d mc: %w", seed, err)
+		}
+		if d := obsN.diff(obsM); d != "" {
+			rep.SweepDiverged++
+			if rep.SweepFirstDiver == "" {
+				rep.SweepFirstDiver = fmt.Sprintf("seed %d: %s", seed, d)
+			}
+		}
+	}
+
+	// Kernel section (the perf gate): machine code vs fused dispatch at
+	// the executor boundary, same production-pipeline kernels as -native.
+	const kernelBudget = int64(1) << 60
+	for _, k := range nativeKernels {
+		code, err := compileKernel(k.src)
+		if err != nil {
+			return nil, fmt.Errorf("kernel %s: %w", k.name, err)
+		}
+		unit, err := mc.Compile(code)
+		if err != nil {
+			return nil, fmt.Errorf("kernel %s: mc compile: %w", k.name, err)
+		}
+		args := make([]value.Value, len(k.args))
+		for i, a := range k.args {
+			args[i] = value.Num(a)
+		}
+		entry := MCKernelEntry{Name: k.name}
+		var pool native.Pool
+		for r := 0; r < cfg.Repeats; r++ {
+			hf := &kernelHooks{arena: heap.New(1 << 16)}
+			hm := &kernelHooks{arena: heap.New(1 << 16)}
+			t0 := time.Now()
+			rf, sf, ef := native.Exec(code, args, hf, kernelBudget, &pool)
+			df := time.Since(t0)
+			t0 = time.Now()
+			rm, sm, em := unit.Exec(args, hm, kernelBudget, &pool)
+			dm := time.Since(t0)
+			if ef != nil || sf != native.StatusOK {
+				return nil, fmt.Errorf("kernel %s fused: status %v err %v", k.name, sf, ef)
+			}
+			if em != nil || sm != native.StatusOK {
+				return nil, fmt.Errorf("kernel %s mc: status %v err %v", k.name, sm, em)
+			}
+			if rf.Kind != rm.Kind || math.Float64bits(rf.Val) != math.Float64bits(rm.Val) ||
+				rf.Steps != rm.Steps || rf.Checks != rm.Checks {
+				if rep.KernelMismatch == "" {
+					rep.KernelMismatch = fmt.Sprintf("%s: fused %+v vs mc %+v", k.name, rf, rm)
+				}
+			}
+			if entry.FusedNs == 0 || df.Nanoseconds() < entry.FusedNs {
+				entry.FusedNs = df.Nanoseconds()
+			}
+			if entry.MCNs == 0 || dm.Nanoseconds() < entry.MCNs {
+				entry.MCNs = dm.Nanoseconds()
+			}
+			entry.Steps = rm.Steps
+		}
+		if entry.MCNs > 0 {
+			entry.Speedup = float64(entry.FusedNs) / float64(entry.MCNs)
+		}
+		rep.Kernels = append(rep.Kernels, entry)
+	}
+	var klogSum float64
+	for _, e := range rep.Kernels {
+		klogSum += math.Log(e.Speedup)
+	}
+	if n := len(rep.Kernels); n > 0 {
+		rep.KernelGeomean = math.Exp(klogSum / float64(n))
+	}
+	return rep, nil
+}
+
+// RenderMC renders the report for the terminal.
+func RenderMC(r *MCBenchReport) string {
+	var sb strings.Builder
+	sb.WriteString("Machine-code tier (real amd64 below LIR, W^X install)\n")
+	if !r.Supported {
+		sb.WriteString(fmt.Sprintf("  not supported on %s: tier disabled, gates do not apply\n", r.Arch))
+		return sb.String()
+	}
+	sb.WriteString("  mc and NoMC cells run the same programs through the same pipeline;\n")
+	sb.WriteString("  only the top-tier executor differs. Steps and verdicts must be\n")
+	sb.WriteString("  identical — speed is the only permitted difference.\n")
+	sb.WriteString(fmt.Sprintf("  %-14s %12s %12s %9s %12s\n", "benchmark", "nomc", "mc", "speedup", "steps"))
+	for _, e := range r.Benches {
+		sb.WriteString(fmt.Sprintf("  %-14s %12s %12s %8.2fx %12d\n",
+			e.Name, time.Duration(e.NoMCNs).Round(time.Microsecond),
+			time.Duration(e.MCNs).Round(time.Microsecond), e.Speedup, e.Steps))
+	}
+	sb.WriteString(fmt.Sprintf("  geomean speedup: %.2fx\n", r.GeomeanSpeedup))
+	if r.Identical {
+		sb.WriteString("  mc/nomc behavior: identical on every benchmark\n")
+	} else {
+		sb.WriteString(fmt.Sprintf("  mc/nomc behavior: MISMATCH (%s)\n", r.Mismatch))
+	}
+	sb.WriteString(fmt.Sprintf("  generated-program sweep: %d programs, %d diverged",
+		r.SweepPrograms, r.SweepDiverged))
+	if r.SweepFirstDiver != "" {
+		sb.WriteString(fmt.Sprintf(" (%s)", r.SweepFirstDiver))
+	}
+	sb.WriteString("\n")
+	sb.WriteString("\nExecutor-boundary kernels (machine code vs fused threaded dispatch)\n")
+	sb.WriteString(fmt.Sprintf("  %-14s %12s %12s %9s %12s\n", "kernel", "fused", "mc", "speedup", "steps"))
+	for _, e := range r.Kernels {
+		sb.WriteString(fmt.Sprintf("  %-14s %12s %12s %8.2fx %12d\n",
+			e.Name, time.Duration(e.FusedNs).Round(time.Microsecond),
+			time.Duration(e.MCNs).Round(time.Microsecond), e.Speedup, e.Steps))
+	}
+	sb.WriteString(fmt.Sprintf("  kernel geomean speedup: %.2fx (the perf gate)\n", r.KernelGeomean))
+	if r.KernelMismatch != "" {
+		sb.WriteString(fmt.Sprintf("  kernel behavior: MISMATCH (%s)\n", r.KernelMismatch))
+	}
+	return sb.String()
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/mc"
+)
+
+// TestMCBenchIdentity runs the full -mc measurement once (single repeat —
+// the timing numbers are noise at this setting, but every identity field
+// is deterministic) and asserts the report's acceptance structure: mc and
+// NoMC cells bit-identical on the whole corpus, a clean generated-program
+// sweep, and bit-identical kernels at the executor boundary. The speedup
+// gates themselves are enforced by cmd/jitbull-bench -mc, where repeats
+// make the timing meaningful.
+func TestMCBenchIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-corpus measurement; skipped in -short")
+	}
+	rep, err := MCBench(Config{Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Supported {
+		if mc.Supported() {
+			t.Fatal("report says unsupported on a supported platform")
+		}
+		t.Skip("machine-code tier not supported on this platform")
+	}
+	if !rep.Identical {
+		t.Errorf("mc/nomc corpus mismatch: %s", rep.Mismatch)
+	}
+	if rep.SweepDiverged != 0 {
+		t.Errorf("generated-program sweep diverged %d/%d: %s",
+			rep.SweepDiverged, rep.SweepPrograms, rep.SweepFirstDiver)
+	}
+	if rep.KernelMismatch != "" {
+		t.Errorf("kernel mismatch: %s", rep.KernelMismatch)
+	}
+	if len(rep.Benches) == 0 || len(rep.Kernels) == 0 {
+		t.Fatalf("empty report: %d benches, %d kernels", len(rep.Benches), len(rep.Kernels))
+	}
+}

@@ -38,8 +38,15 @@ const (
 	PointRegalloc Point = "regalloc" // register allocation
 	PointFuse     Point = "fuse"     // superinstruction fusion
 	PointNative   Point = "native"   // native-code dispatch (detail: function)
-	PointDBSave   Point = "db.save"  // VDC database save
-	PointDBLoad   Point = "db.load"  // VDC database load
+	// PointMCEmit and PointMCInstall gate the machine-code tier attach:
+	// emit is hit before the LIR→amd64 lowering runs, install before the
+	// W^X page install. A fault at either point must degrade the function
+	// to the threaded tier (the artifact stays installed) with a
+	// quarantine verdict on the audit log — never fail the whole compile.
+	PointMCEmit    Point = "mc.emit"    // machine-code lowering (detail: function)
+	PointMCInstall Point = "mc.install" // W^X page install (detail: function)
+	PointDBSave    Point = "db.save"    // VDC database save
+	PointDBLoad    Point = "db.load"    // VDC database load
 	// PointQueue is hit once per background compile job at startup (detail:
 	// function). It is not part of CompilePoints(): randomized chaos
 	// schedules run synchronous engines, where the point is never reached;
@@ -96,7 +103,7 @@ func StorePoints() []Point {
 // persistence points are exercised separately (they are not part of a
 // compilation and have their own fail-safe semantics).
 func CompilePoints() []Point {
-	return []Point{PointMIRBuild, PointPass, PointLower, PointRegalloc, PointFuse, PointNative}
+	return []Point{PointMIRBuild, PointPass, PointLower, PointRegalloc, PointFuse, PointMCEmit, PointMCInstall, PointNative}
 }
 
 // KnownPoints lists every registered injection point — the compile path,

@@ -119,6 +119,23 @@ func (a *Arena) Size() int { return len(a.cells) }
 // Top returns the current allocation top (exclusive end of mapped heap).
 func (a *Arena) Top() int { return a.top }
 
+// Cells exposes the raw cell array for the machine-code tier, which
+// compiles RawLoad/RawStore-equivalent accesses (including the memory-map
+// check) inline instead of calling through this package. The slice header
+// is stable for the arena's lifetime — cells never reallocates.
+func (a *Arena) Cells() []float64 { return a.cells }
+
+// Handles exposes the handle table for the machine-code tier's inline
+// KElemsHandle/KAddrOf lowering. Unlike Cells, the backing array moves
+// when allocation appends, so callers must re-read this after any
+// operation that can allocate.
+func (a *Arena) Handles() []int { return a.handles }
+
+// HeaderCells is the per-array header size (length, capacity) — the
+// elements-pointer bias the machine-code tier bakes into its inline
+// handle-dereference sequence.
+const HeaderCells = headerCells
+
 // CodeIntegrityViolation returns the index of the first corrupted
 // code-pointer cell, or -1 if the code region is intact.
 func (a *Arena) CodeIntegrityViolation() int {

@@ -1,0 +1,28 @@
+//go:build amd64 && (linux || darwin)
+
+#include "textflag.h"
+
+// func enter(entry uintptr, f *mcframe) int32
+//
+// The bridge between Go and generated code. Register convention for
+// generated code (see lower.go):
+//
+//	RDI = &mcframe (exit record + environment; preserved by generated code)
+//	RBX = &regs[0]   R13 = &tags[0]   R12 = &cells[0]   R15 = steps
+//	scratch: RAX RCX RDX R8, XMM0-XMM1
+//
+// Generated code never touches R14 (Go's g register), X15 (Go's zero
+// register), RBP, or RSP beyond the CALL/RET pair, makes no calls, and
+// uses no stack — so NOSPLIT with a zero frame is sound: the only stack
+// cost below the guard is the 8-byte return address.
+TEXT ·enter(SB), NOSPLIT, $0-20
+	MOVQ f+8(FP), DI
+	MOVQ 64(DI), BX  // frame.regs
+	MOVQ 72(DI), R13 // frame.tags
+	MOVQ 80(DI), R12 // frame.cells
+	MOVQ 8(DI), R15  // frame.steps
+	MOVQ entry+0(FP), AX
+	CALL AX
+	MOVQ R15, 8(DI)  // flush steps back; exitpc/checks were written in memory
+	MOVL AX, ret+16(FP)
+	RET

@@ -1,0 +1,662 @@
+//go:build amd64 && (linux || darwin)
+
+// Differential parity: every program here runs on the machine-code tier,
+// the fused threaded tier and the unfused switch loop with identical fresh
+// environments, and the observable activation — result kind, exact value
+// bits, step count, status, error, deopt frame — must be bit-identical.
+// The machine-code tier additionally matches the fused tier's block-check
+// count, because it copies that tier's one-budget-check-per-block
+// discipline instruction for instruction.
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"github.com/jitbull/jitbull/internal/bytecode"
+	"github.com/jitbull/jitbull/internal/heap"
+	"github.com/jitbull/jitbull/internal/lir"
+	"github.com/jitbull/jitbull/internal/native"
+	"github.com/jitbull/jitbull/internal/value"
+)
+
+// stubHooks mirrors the native package's test stub: a private arena, a
+// flat global table, a deterministic callee.
+type stubHooks struct {
+	arena   *heap.Arena
+	globals []value.Value
+	callFn  func(idx int, args []value.Value) (value.Value, error)
+}
+
+func (s *stubHooks) Arena() *heap.Arena                { return s.arena }
+func (s *stubHooks) GlobalGet(slot int) value.Value    { return s.globals[slot] }
+func (s *stubHooks) GlobalSet(slot int, v value.Value) { s.globals[slot] = v }
+func (s *stubHooks) Random() float64                   { return 0.5 }
+func (s *stubHooks) CallFunction(idx int, args []value.Value) (value.Value, error) {
+	if s.callFn != nil {
+		return s.callFn(idx, args)
+	}
+	return value.Num(42), nil
+}
+
+func newStub() *stubHooks {
+	return &stubHooks{arena: heap.New(1 << 10), globals: make([]value.Value, 8)}
+}
+
+// tierRun is everything observable about one activation.
+type tierRun struct {
+	kind   native.ResultKind
+	bits   uint64 // exact result payload bits (catches -0 and NaN drift)
+	steps  int64
+	status native.Status
+	errStr string
+	deopt  *native.DeoptState
+	checks int64
+}
+
+func observe(res native.Result, status native.Status, err error) tierRun {
+	r := tierRun{kind: res.Kind, bits: math.Float64bits(res.Val), steps: res.Steps,
+		status: status, deopt: res.Deopt, checks: res.Checks}
+	if err != nil {
+		r.errStr = err.Error()
+	}
+	return r
+}
+
+func sameRun(a, b tierRun) bool {
+	if a.kind != b.kind || a.bits != b.bits || a.steps != b.steps ||
+		a.status != b.status || a.errStr != b.errStr {
+		return false
+	}
+	if (a.deopt == nil) != (b.deopt == nil) {
+		return false
+	}
+	if a.deopt != nil {
+		if a.deopt.Exit != b.deopt.Exit || len(a.deopt.Locals) != len(b.deopt.Locals) {
+			return false
+		}
+		for i := range a.deopt.Locals {
+			if a.deopt.Locals[i] != b.deopt.Locals[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// checkParity executes code on all three tiers under one budget. mk builds
+// a fresh, identical environment per tier (RT ops mutate heap and globals,
+// so tiers must not share one).
+func checkParity(t *testing.T, code *lir.Code, args []value.Value, mk func() *stubHooks, maxOps int64) {
+	t.Helper()
+	if code.Fused == nil {
+		code.Fused = lir.Fuse(code)
+	}
+	u, err := Compile(code)
+	if err != nil {
+		t.Fatalf("mc compile: %v", err)
+	}
+	mcr := observe(u.Exec(args, mk(), maxOps, nil))
+	fur := observe(native.Exec(code, args, mk(), maxOps, nil))
+	unr := observe(native.ExecUnfused(code, args, mk(), maxOps, nil))
+	if !sameRun(mcr, fur) {
+		t.Errorf("maxOps=%d: mc %+v != fused %+v", maxOps, mcr, fur)
+	}
+	if !sameRun(mcr, unr) {
+		t.Errorf("maxOps=%d: mc %+v != unfused %+v", maxOps, mcr, unr)
+	}
+	// The block-check count is a tier implementation detail shared by mc
+	// and fused (one check per taken jump); the switch loop counts per-op
+	// budget checks instead, so it is excluded from this comparison.
+	if mcr.checks != fur.checks {
+		t.Errorf("maxOps=%d: mc checks %d != fused checks %d", maxOps, mcr.checks, fur.checks)
+	}
+}
+
+// sweepBudgets drives the same program through every budget from 1 up to
+// past its full cost, pinning the exact op at which each tier gives up.
+func sweepBudgets(t *testing.T, code *lir.Code, args []value.Value, mk func() *stubHooks, upTo int64) {
+	t.Helper()
+	for maxOps := int64(1); maxOps <= upTo; maxOps++ {
+		checkParity(t, code, args, mk, maxOps)
+	}
+	checkParity(t, code, args, mk, 0) // unlimited
+}
+
+func numArgs(xs ...float64) []value.Value {
+	out := make([]value.Value, len(xs))
+	for i, x := range xs {
+		out[i] = value.Num(x)
+	}
+	return out
+}
+
+func TestParityArith(t *testing.T) {
+	code := &lir.Code{
+		Name: "arith", NumParams: 2, NumRegs: 10,
+		Ops: []lir.Op{
+			{Kind: lir.KUnbox, Dst: 2, A: 0},
+			{Kind: lir.KUnbox, Dst: 3, A: 1},
+			{Kind: lir.KAdd, Dst: 4, A: 2, B: 3},
+			{Kind: lir.KSub, Dst: 5, A: 4, B: 3},
+			{Kind: lir.KMul, Dst: 6, A: 5, B: 4},
+			{Kind: lir.KDiv, Dst: 7, A: 6, B: 3},
+			{Kind: lir.KConst, Dst: 8, Imm: -0.5},
+			{Kind: lir.KAdd, Dst: 7, A: 7, B: 8},
+			{Kind: lir.KNeg, Dst: 7, A: 7},
+			{Kind: lir.KMove, Dst: 9, A: 7},
+			{Kind: lir.KRetNum, A: 9},
+		},
+	}
+	for _, args := range [][]value.Value{
+		numArgs(6, 7),
+		numArgs(-0.0, 0.0),
+		numArgs(math.NaN(), 1),
+		numArgs(math.Inf(1), math.Inf(-1)),
+		numArgs(1e308, 1e-308),
+	} {
+		sweepBudgets(t, code, args, newStub, 13)
+	}
+}
+
+func TestParityCompare(t *testing.T) {
+	// Sum all six comparison results so one return pins every condition
+	// code path (including the NaN quadrant of each).
+	ops := []lir.Op{
+		{Kind: lir.KUnbox, Dst: 2, A: 0},
+		{Kind: lir.KUnbox, Dst: 3, A: 1},
+		{Kind: lir.KConst, Dst: 4, Imm: 0},
+	}
+	for aux := int32(1); aux <= 6; aux++ {
+		ops = append(ops,
+			lir.Op{Kind: lir.KCmp, Dst: 5, A: 2, B: 3, Aux: aux},
+			lir.Op{Kind: lir.KConst, Dst: 6, Imm: float64(int(1) << aux)},
+			lir.Op{Kind: lir.KMul, Dst: 5, A: 5, B: 6},
+			lir.Op{Kind: lir.KAdd, Dst: 4, A: 4, B: 5},
+		)
+	}
+	ops = append(ops, lir.Op{Kind: lir.KRetNum, A: 4})
+	code := &lir.Code{Name: "cmp", NumParams: 2, NumRegs: 7, Ops: ops}
+	for _, pair := range [][2]float64{
+		{1, 2}, {2, 1}, {3, 3}, {math.NaN(), 1}, {1, math.NaN()},
+		{math.NaN(), math.NaN()}, {-0.0, 0.0}, {math.Inf(-1), math.Inf(1)},
+	} {
+		checkParity(t, code, numArgs(pair[0], pair[1]), newStub, 0)
+	}
+}
+
+func TestParityNotAndBranch(t *testing.T) {
+	// KNot and KBranchFalse share the truthiness predicate
+	// (v != 0 && v == v); pin both over the tricky inputs.
+	code := &lir.Code{
+		Name: "not", NumParams: 1, NumRegs: 5,
+		Ops: []lir.Op{
+			{Kind: lir.KUnbox, Dst: 2, A: 0},
+			{Kind: lir.KNot, Dst: 3, A: 2},
+			{Kind: lir.KBranchFalse, A: 2, Target: 5},
+			{Kind: lir.KConst, Dst: 4, Imm: 100},
+			{Kind: lir.KAdd, Dst: 3, A: 3, B: 4},
+			{Kind: lir.KRetNum, A: 3},
+		},
+	}
+	for _, x := range []float64{0, -0.0, math.NaN(), 1, -1, 0.5, math.Inf(1), 5e-324} {
+		sweepBudgets(t, code, numArgs(x), newStub, 8)
+	}
+}
+
+func TestParityBitOps(t *testing.T) {
+	code := &lir.Code{
+		Name: "bits", NumParams: 2, NumRegs: 11,
+		Ops: []lir.Op{
+			{Kind: lir.KUnbox, Dst: 2, A: 0},
+			{Kind: lir.KUnbox, Dst: 3, A: 1},
+			{Kind: lir.KBitAnd, Dst: 4, A: 2, B: 3},
+			{Kind: lir.KBitOr, Dst: 5, A: 2, B: 3},
+			{Kind: lir.KBitXor, Dst: 6, A: 2, B: 3},
+			{Kind: lir.KShl, Dst: 7, A: 2, B: 3},
+			{Kind: lir.KShr, Dst: 8, A: 2, B: 3},
+			{Kind: lir.KUshr, Dst: 9, A: 2, B: 3},
+			{Kind: lir.KAdd, Dst: 10, A: 4, B: 5},
+			{Kind: lir.KAdd, Dst: 10, A: 10, B: 6},
+			{Kind: lir.KAdd, Dst: 10, A: 10, B: 7},
+			{Kind: lir.KAdd, Dst: 10, A: 10, B: 8},
+			{Kind: lir.KAdd, Dst: 10, A: 10, B: 9},
+			{Kind: lir.KRetNum, A: 10},
+		},
+	}
+	for _, pair := range [][2]float64{
+		{5.7, 3}, {-2147483648, 33}, {1e99, -1}, {math.NaN(), 2.5},
+		{-1, 31}, {4294967295, 1}, {-0.0, 0}, {2147483647.9, -31.5},
+		{8589934593, 2}, // 2^33+1: ToInt32 wraps, not saturates
+	} {
+		checkParity(t, code, numArgs(pair[0], pair[1]), newStub, 0)
+	}
+}
+
+func TestParityMod(t *testing.T) {
+	code := &lir.Code{
+		Name: "mod", NumParams: 2, NumRegs: 5,
+		Ops: []lir.Op{
+			{Kind: lir.KUnbox, Dst: 2, A: 0},
+			{Kind: lir.KUnbox, Dst: 3, A: 1},
+			{Kind: lir.KMod, Dst: 4, A: 2, B: 3},
+			{Kind: lir.KRetNum, A: 4},
+		},
+	}
+	for _, pair := range [][2]float64{
+		{7, 3}, {-7, 3}, {7, -3}, {-7, -3}, // fast path, all sign quadrants
+		{7.5, 2}, {7, 2.5}, // non-integral → slow path
+		{7, 0}, {-7, 0}, {0, 0}, // zero divisor → NaN via slow path
+		{7, -0.0}, {-0.0, 3}, // signed zeros (divisor -0 truncates to 0)
+		{9007199254740994, 3}, {3, 9007199254740994}, // beyond 2^53 → slow path
+		{9007199254740991, 7}, {-9007199254740991, 7}, // exactly at the bound's edge
+		{math.NaN(), 2}, {2, math.NaN()},
+		{math.Inf(1), 7}, {7, math.Inf(1)},
+		{-9.223372036854776e18, -1}, // INT64_MIN/-1 would #DE in idiv; must take the slow path
+	} {
+		checkParity(t, code, numArgs(pair[0], pair[1]), newStub, 0)
+	}
+}
+
+// loopCode sums 1..n with a backward KJump: the canonical budget-discipline
+// program (entry check + one check per taken back edge).
+func loopCode() *lir.Code {
+	return &lir.Code{
+		Name: "loop", NumParams: 1, NumRegs: 7,
+		Ops: []lir.Op{
+			{Kind: lir.KUnbox, Dst: 2, A: 0},
+			{Kind: lir.KConst, Dst: 3, Imm: 0}, // sum
+			{Kind: lir.KConst, Dst: 4, Imm: 0}, // i
+			{Kind: lir.KConst, Dst: 5, Imm: 1},
+			{Kind: lir.KOSRPoint, Aux: 0}, // pc 4: loop header
+			{Kind: lir.KCmp, Dst: 6, A: 4, B: 2, Aux: 1},
+			{Kind: lir.KBranchFalse, A: 6, Target: 10},
+			{Kind: lir.KAdd, Dst: 3, A: 3, B: 4},
+			{Kind: lir.KAdd, Dst: 4, A: 4, B: 5},
+			{Kind: lir.KJump, Target: 4},
+			{Kind: lir.KRetNum, A: 3},
+		},
+	}
+}
+
+func TestParityLoopBudget(t *testing.T) {
+	code := loopCode()
+	for _, n := range []float64{0, 1, 5, 13} {
+		sweepBudgets(t, code, numArgs(n), newStub, 90)
+	}
+}
+
+func TestParityGuards(t *testing.T) {
+	for _, aux := range []int32{0, 1} {
+		code := &lir.Code{
+			Name: "guard", NumParams: 1, NumRegs: 3,
+			Ops: []lir.Op{
+				{Kind: lir.KUnbox, Dst: 1, A: 0, Aux: aux},
+				{Kind: lir.KGuardType, Dst: 2, A: 1, Aux: aux},
+				{Kind: lir.KRetNum, A: 2},
+			},
+		}
+		args := [][]value.Value{numArgs(3), {value.Bool(true)}, {value.Undef()}}
+		for _, a := range args {
+			sweepBudgets(t, code, a, newStub, 5)
+		}
+	}
+}
+
+// arrayStub builds an arena with one 4-element array, identically per tier.
+func arrayStub() *stubHooks {
+	s := newStub()
+	h, _ := s.arena.Alloc(4)
+	for i := 0; i < 4; i++ {
+		s.arena.Set(h, i, float64(10*i))
+	}
+	s.globals[2] = value.ArrayRef(h)
+	return s
+}
+
+func TestParityArrays(t *testing.T) {
+	code := &lir.Code{
+		Name: "arr", NumParams: 2, NumRegs: 9,
+		Ops: []lir.Op{
+			{Kind: lir.KUnbox, Dst: 2, A: 0, Aux: 1},
+			{Kind: lir.KElemsHandle, Dst: 3, A: 2},
+			{Kind: lir.KInitLen, Dst: 4, A: 3},
+			{Kind: lir.KUnbox, Dst: 5, A: 1},
+			{Kind: lir.KBoundsCheck, A: 5, B: 4},
+			{Kind: lir.KLoadElem, Dst: 6, A: 3, B: 5},
+			{Kind: lir.KConst, Dst: 7, Imm: 1},
+			{Kind: lir.KAdd, Dst: 6, A: 6, B: 7},
+			{Kind: lir.KStoreElem, A: 3, B: 5, C: 6},
+			{Kind: lir.KLoadElem, Dst: 8, A: 3, B: 5},
+			{Kind: lir.KRetNum, A: 8},
+		},
+	}
+	mkArgs := func(s *stubHooks, idx float64) []value.Value {
+		return []value.Value{s.globals[2], value.Num(idx)}
+	}
+	for _, idx := range []float64{0, 3, 4, -1, 1.5, math.NaN(), math.Inf(1), 2147483648} {
+		// The handle is deterministic across fresh stubs, so capture it once.
+		probe := arrayStub()
+		args := mkArgs(probe, idx)
+		sweepBudgets(t, code, args, arrayStub, 13)
+	}
+}
+
+func TestParityLoadElemOffset(t *testing.T) {
+	// KLoadElem/KStoreElem carry a constant displacement in Aux.
+	code := &lir.Code{
+		Name: "arr-disp", NumParams: 1, NumRegs: 6,
+		Ops: []lir.Op{
+			{Kind: lir.KUnbox, Dst: 2, A: 0, Aux: 1},
+			{Kind: lir.KElemsHandle, Dst: 3, A: 2},
+			{Kind: lir.KConst, Dst: 4, Imm: 1},
+			{Kind: lir.KLoadElem, Dst: 5, A: 3, B: 4, Aux: 2}, // elems[1+2]
+			{Kind: lir.KRetNum, A: 5},
+		},
+	}
+	probe := arrayStub()
+	sweepBudgets(t, code, []value.Value{probe.globals[2]}, arrayStub, 7)
+}
+
+func TestParityAddrOfCodeBase(t *testing.T) {
+	code := &lir.Code{
+		Name: "addr", NumParams: 1, NumRegs: 6,
+		Ops: []lir.Op{
+			{Kind: lir.KUnbox, Dst: 2, A: 0, Aux: 1},
+			{Kind: lir.KAddrOf, Dst: 3, A: 2},
+			{Kind: lir.KCodeBase, Dst: 4},
+			{Kind: lir.KAdd, Dst: 5, A: 3, B: 4},
+			{Kind: lir.KRetNum, A: 5},
+		},
+	}
+	probe := arrayStub()
+	sweepBudgets(t, code, []value.Value{probe.globals[2]}, arrayStub, 7)
+}
+
+func TestParityRuntimeOps(t *testing.T) {
+	// Every host-delegated op in one program: allocation, push/pop,
+	// length mutation, raw elems, globals, math builtins, pow.
+	code := &lir.Code{
+		Name: "rt", NumParams: 1, NumRegs: 12,
+		Ops: []lir.Op{
+			{Kind: lir.KUnbox, Dst: 2, A: 0},
+			{Kind: lir.KNewArr, Dst: 3, A: 2},
+			{Kind: lir.KConst, Dst: 4, Imm: 7},
+			{Kind: lir.KPush, Dst: 5, A: 3, B: 4},
+			{Kind: lir.KPop, Dst: 6, A: 3},
+			{Kind: lir.KSetLen, A: 3, B: 2},
+			{Kind: lir.KElemsRaw, Dst: 7, A: 3},
+			{Kind: lir.KStoreGlobalNum, A: 6, Aux: 1},
+			{Kind: lir.KStoreGlobalObj, A: 3, Aux: 3},
+			{Kind: lir.KLoadGlobal, Dst: 8, Aux: 1},
+			{Kind: lir.KMath, Dst: 9, A: 8, Aux: int32(bytecode.BMathSqrt)},
+			{Kind: lir.KMath, Dst: 10, A: 9, B: 2, Aux: int32(bytecode.BMathMax)},
+			{Kind: lir.KPow, Dst: 11, A: 10, B: 4},
+			{Kind: lir.KRetNum, A: 11},
+		},
+	}
+	for _, n := range []float64{3, 0, -1, 2.5} { // negative/fractional KNewArr bails
+		sweepBudgets(t, code, numArgs(n), newStub, 16)
+	}
+}
+
+func TestParityCalls(t *testing.T) {
+	mkCall := func() *stubHooks {
+		s := newStub()
+		s.callFn = func(idx int, args []value.Value) (value.Value, error) {
+			sum := float64(idx)
+			for _, a := range args {
+				if a.IsArray() {
+					sum += 1000 * float64(a.Handle())
+				} else {
+					sum += a.ToNumber()
+				}
+			}
+			return value.Num(sum), nil
+		}
+		return s
+	}
+	code := &lir.Code{
+		Name: "call", NumParams: 2, NumRegs: 7,
+		Ops: []lir.Op{
+			{Kind: lir.KUnbox, Dst: 2, A: 0},
+			{Kind: lir.KUnbox, Dst: 3, A: 1},
+			{Kind: lir.KCall, Dst: 4, A: 0, Aux: 5},             // args (r2, r3) as numbers
+			{Kind: lir.KCall, Dst: 5, A: 1, B: 0, C: 1, Aux: 2}, // first arg boxed as array ref
+			{Kind: lir.KAdd, Dst: 6, A: 4, B: 5},
+			{Kind: lir.KRetNum, A: 6},
+		},
+		ArgLists: [][]int32{{2, 3}, {2}},
+	}
+	sweepBudgets(t, code, numArgs(6, 7), mkCall, 8)
+}
+
+func TestParityCallExpectObject(t *testing.T) {
+	for _, ret := range []value.Value{value.Num(5), value.Bool(true), value.Undef()} {
+		ret := ret
+		mk := func() *stubHooks {
+			s := newStub()
+			h, _ := s.arena.Alloc(2)
+			s.callFn = func(idx int, args []value.Value) (value.Value, error) {
+				if idx == 9 {
+					return value.ArrayRef(h), nil
+				}
+				return ret, nil
+			}
+			return s
+		}
+		code := &lir.Code{
+			Name: "callobj", NumParams: 0, NumRegs: 5,
+			Ops: []lir.Op{
+				{Kind: lir.KCall, Dst: 2, A: 0, B: 1, Aux: 9}, // expect object: ok
+				{Kind: lir.KCall, Dst: 3, A: 0, B: 1, Aux: 1}, // expect object: ret decides
+				{Kind: lir.KAdd, Dst: 4, A: 2, B: 3},
+				{Kind: lir.KRetNum, A: 4},
+			},
+			ArgLists: [][]int32{{}},
+		}
+		sweepBudgets(t, code, nil, mk, 6)
+	}
+}
+
+func TestParityCallSpecDeopt(t *testing.T) {
+	for _, ret := range []value.Value{value.Num(5), value.Bool(true), value.Undef()} {
+		ret := ret
+		mk := func() *stubHooks {
+			s := newStub()
+			s.callFn = func(idx int, args []value.Value) (value.Value, error) { return ret, nil }
+			return s
+		}
+		code := &lir.Code{
+			Name: "callspec", NumParams: 1, NumRegs: 4,
+			Ops: []lir.Op{
+				{Kind: lir.KUnbox, Dst: 2, A: 0},
+				{Kind: lir.KCallSpec, Dst: 3, A: 0, Aux: 1, Target: 0},
+				{Kind: lir.KAdd, Dst: 3, A: 3, B: 2},
+				{Kind: lir.KRetNum, A: 3},
+			},
+			ArgLists: [][]int32{{2}},
+			DeoptExits: []lir.DeoptExit{{
+				Ordinal: 0, ResultSlot: 1,
+				Slots: []lir.FrameSlot{{Slot: 0, Reg: 2, Kind: lir.SlotNum}},
+			}},
+		}
+		sweepBudgets(t, code, numArgs(8), mk, 6)
+	}
+}
+
+func TestParityCallSpecOrphanGuard(t *testing.T) {
+	mk := func() *stubHooks {
+		s := newStub()
+		s.callFn = func(idx int, args []value.Value) (value.Value, error) { return value.Undef(), nil }
+		return s
+	}
+	code := &lir.Code{
+		Name: "orphan", NumParams: 0, NumRegs: 3,
+		Ops: []lir.Op{
+			{Kind: lir.KCallSpec, Dst: 2, A: 0, Aux: 1, Target: -1},
+			{Kind: lir.KRetNum, A: 2},
+		},
+		ArgLists: [][]int32{{}},
+	}
+	sweepBudgets(t, code, nil, mk, 4)
+}
+
+func TestParityReturnsAndFallOff(t *testing.T) {
+	probe := arrayStub()
+	cases := []struct {
+		name string
+		ops  []lir.Op
+		args []value.Value
+	}{
+		{"retobj", []lir.Op{
+			{Kind: lir.KUnbox, Dst: 1, A: 0, Aux: 1},
+			{Kind: lir.KRetObj, A: 1},
+		}, []value.Value{probe.globals[2]}},
+		{"retundef", []lir.Op{
+			{Kind: lir.KNop},
+			{Kind: lir.KRetUndef},
+		}, nil},
+		{"fall-off", []lir.Op{
+			{Kind: lir.KConst, Dst: 1, Imm: 3},
+			{Kind: lir.KAdd, Dst: 1, A: 1, B: 1},
+		}, nil},
+	}
+	for _, tc := range cases {
+		code := &lir.Code{Name: tc.name, NumParams: len(tc.args), NumRegs: 3, Ops: tc.ops}
+		sweepBudgets(t, code, tc.args, arrayStub, 4)
+	}
+}
+
+// TestParitySpillPressure pins the memory-resident register file: with far
+// more than 14 simultaneously-live values, every slot must round-trip
+// bit-identically between the machine-code tier and both threaded tiers
+// (a hardware-register-mapped design would have to spill here; this design
+// makes every LIR register a spill slot by construction).
+func TestParitySpillPressure(t *testing.T) {
+	const live = 24
+	ops := []lir.Op{{Kind: lir.KUnbox, Dst: 2, A: 0}}
+	// r3..r3+live-1 ← distinct values derived from the parameter, all live
+	// until the final reduction.
+	for i := 0; i < live; i++ {
+		ops = append(ops,
+			lir.Op{Kind: lir.KConst, Dst: int32(3 + live), Imm: float64(i) + 0.25},
+			lir.Op{Kind: lir.KMul, Dst: int32(3 + i), A: 2, B: int32(3 + live)},
+		)
+	}
+	acc := int32(3 + live + 1)
+	ops = append(ops, lir.Op{Kind: lir.KConst, Dst: acc, Imm: 0})
+	for i := 0; i < live; i++ {
+		ops = append(ops, lir.Op{Kind: lir.KAdd, Dst: acc, A: acc, B: int32(3 + i)})
+	}
+	ops = append(ops, lir.Op{Kind: lir.KRetNum, A: acc})
+	code := &lir.Code{Name: "spill", NumParams: 1, NumRegs: int(acc) + 1, Ops: ops}
+	if code.NumRegs <= 14 {
+		t.Fatalf("test must exceed 14 live values, got %d regs", code.NumRegs)
+	}
+	for _, x := range []float64{1.5, -3, math.Pi, 1e15} {
+		checkParity(t, code, numArgs(x), newStub, 0)
+	}
+	sweepBudgets(t, code, numArgs(2), newStub, int64(len(ops))+2)
+}
+
+// windowStub adds the engine's optional global-window capability to the
+// stub, turning on the inline fast path of the global ops in the mc tier.
+type windowStub struct{ *stubHooks }
+
+func (w windowStub) Globals() []value.Value { return w.globals }
+
+// checkWindowParity runs code through three cells — mc with the window
+// (inline fast path), mc without it (runtime-exit slow path) and the fused
+// reference — and requires identical observations plus identical final
+// global tables, compared by strict equality and rendering (the two ways
+// any consumer reads a slot).
+func checkWindowParity(t *testing.T, code *lir.Code, args []value.Value, mk func() *stubHooks, maxOps int64) {
+	t.Helper()
+	if code.Fused == nil {
+		code.Fused = lir.Fuse(code)
+	}
+	u, err := Compile(code)
+	if err != nil {
+		t.Fatalf("mc compile: %v", err)
+	}
+	hw, hp, hf := mk(), mk(), mk()
+	win := observe(u.Exec(args, windowStub{hw}, maxOps, nil))
+	plain := observe(u.Exec(args, hp, maxOps, nil))
+	ref := observe(native.Exec(code, args, hf, maxOps, nil))
+	if !sameRun(win, plain) {
+		t.Errorf("maxOps=%d: mc window %+v != mc slow-path %+v", maxOps, win, plain)
+	}
+	if !sameRun(win, ref) || win.checks != ref.checks {
+		t.Errorf("maxOps=%d: mc window %+v != fused %+v", maxOps, win, ref)
+	}
+	for i := range hw.globals {
+		if !value.StrictEquals(hw.globals[i], hf.globals[i]) ||
+			hw.globals[i].ToString() != hf.globals[i].ToString() {
+			t.Errorf("maxOps=%d: global %d: window %v != fused %v",
+				maxOps, i, hw.globals[i], hf.globals[i])
+		}
+	}
+}
+
+func TestParityGlobalWindow(t *testing.T) {
+	// One load per value type — Number and Boolean carry their payload,
+	// Array boxes the handle, String/Undefined/Null land as NaN/TagOther —
+	// plus a number store over the String slot: the case where the inline
+	// store leaves a stale str payload behind the Number type byte.
+	mk := func() *stubHooks {
+		s := newStub()
+		h, _ := s.arena.Alloc(2)
+		s.arena.Set(h, 0, 5)
+		s.globals[0] = value.Num(6.25)
+		s.globals[1] = value.Bool(true)
+		s.globals[2] = value.ArrayRef(h)
+		s.globals[3] = value.Str("shadowed")
+		s.globals[5] = value.NullV()
+		return s
+	}
+	code := &lir.Code{
+		Name: "gwin", NumParams: 1, NumRegs: 12,
+		Ops: []lir.Op{
+			{Kind: lir.KUnbox, Dst: 2, A: 0},
+			{Kind: lir.KLoadGlobal, Dst: 3, Aux: 0},
+			{Kind: lir.KLoadGlobal, Dst: 4, Aux: 1},
+			{Kind: lir.KLoadGlobal, Dst: 5, Aux: 2},
+			{Kind: lir.KAdd, Dst: 6, A: 3, B: 4},
+			{Kind: lir.KAdd, Dst: 6, A: 6, B: 5},
+			{Kind: lir.KAdd, Dst: 6, A: 6, B: 2},
+			{Kind: lir.KStoreGlobalNum, A: 6, Aux: 3}, // overwrite the String slot
+			{Kind: lir.KLoadGlobal, Dst: 7, Aux: 3},   // read the stored number back
+			{Kind: lir.KLoadGlobal, Dst: 8, Aux: 4},   // Undefined → NaN/TagOther
+			{Kind: lir.KLoadGlobal, Dst: 9, Aux: 5},   // Null → NaN/TagOther
+			{Kind: lir.KRetNum, A: 7},
+		},
+	}
+	for maxOps := int64(1); maxOps <= 14; maxOps++ {
+		checkWindowParity(t, code, numArgs(2.5), mk, maxOps)
+	}
+	checkWindowParity(t, code, numArgs(2.5), mk, 0)
+}
+
+func TestParityElemsRawEdges(t *testing.T) {
+	// The inline KElemsRaw fast path covers integral, in-range handles;
+	// everything else — fractional, NaN, infinite, huge, negative, dangling
+	// — must take the slow exit and reproduce the reference fallbacks,
+	// including crash errors and the int32 handle wrap.
+	code := &lir.Code{
+		Name: "elemsraw", NumParams: 1, NumRegs: 4,
+		Ops: []lir.Op{
+			{Kind: lir.KUnbox, Dst: 2, A: 0},
+			{Kind: lir.KElemsRaw, Dst: 3, A: 2},
+			{Kind: lir.KRetNum, A: 3},
+		},
+	}
+	for _, h := range []float64{
+		0, 1, -1, 0.5, math.NaN(), math.Inf(1), 1e300,
+		-9.223372036854776e18, // -2^63: int64-exact, wraps to handle 0
+		2147483648,            // 2^31: wraps negative, invalid
+		4294967296,            // 2^32: wraps to handle 0, valid again
+	} {
+		sweepBudgets(t, code, numArgs(h), arrayStub, 5)
+	}
+}

@@ -1,0 +1,336 @@
+//go:build amd64 && (linux || darwin)
+
+package mc
+
+import (
+	"math"
+	"runtime"
+	"unsafe"
+
+	"github.com/jitbull/jitbull/internal/bytecode"
+	"github.com/jitbull/jitbull/internal/lir"
+	"github.com/jitbull/jitbull/internal/native"
+	"github.com/jitbull/jitbull/internal/value"
+)
+
+// mcframe is the exit-record / environment block generated code addresses
+// off RDI. Field offsets are baked into both the lowering (the f* consts
+// in lower.go) and the trampoline (enter_amd64.s); TestFrameOffsets pins
+// them with unsafe.Offsetof.
+//
+// The base pointers are typed unsafe.Pointer, not uintptr, so the frame
+// stays a precisely-scanned GC root for the register file and arena
+// backing arrays while generated code runs.
+type mcframe struct {
+	exitpc    int64
+	steps     int64
+	checks    int64
+	maxOps    int64
+	top       int64
+	codeBase  int64
+	codeLen   int64
+	handleLen int64
+	regs      unsafe.Pointer
+	tags      unsafe.Pointer
+	cells     unsafe.Pointer
+	handles   unsafe.Pointer
+
+	// Global window (zero when the hooks don't expose one; all global ops
+	// then take the runtime-exit slow path).
+	globalsLen int64
+	globals    unsafe.Pointer
+}
+
+// globalWindow is the optional hooks capability the inline global ops
+// need: direct access to the backing []value.Value behind GlobalGet /
+// GlobalSet. The engine implements it; test stubs generally don't, which
+// keeps the slow path exercised.
+type globalWindow interface {
+	Globals() []value.Value
+}
+
+// enter (enter_amd64.s) loads the pinned registers (RBX=regs, R13=tags,
+// R12=cells, R15=steps, RDI=frame) from f, calls the generated code at
+// entry, stores the step counter back, and returns the exit kind.
+//
+//go:noescape
+func enter(entry uintptr, f *mcframe) int32
+
+// Exec runs the unit from the top with the executor-standard frame
+// lifecycle: lease registers, box parameters, run, release.
+func (u *Unit) Exec(args []value.Value, h native.Hooks, maxOps int64, pool *native.Pool) (native.Result, native.Status, error) {
+	code := u.prog.Code
+	if maxOps <= 0 {
+		maxOps = 1 << 40
+	}
+	regs, tags := pool.GetRegs(code.NumRegs)
+	defer pool.PutRegs(regs, tags)
+	native.BoxParams(code, args, regs, tags)
+	return u.run(code, regs, tags, h, maxOps, pool, 0, 0)
+}
+
+// ExecOSR transfers execution into the unit at OSR entry entryIdx. The
+// frame is materialized by the same strict native.MaterializeOSR the
+// reference tier uses; entered=false means the transfer was refused and
+// nothing has run.
+func (u *Unit) ExecOSR(entryIdx int, locals []value.Value, h native.Hooks, maxOps int64, pool *native.Pool) (native.Result, native.Status, error, bool) {
+	code := u.prog.Code
+	if maxOps <= 0 {
+		maxOps = 1 << 40
+	}
+	regs, tags := pool.GetRegs(code.NumRegs)
+	defer pool.PutRegs(regs, tags)
+	pc, ok := native.MaterializeOSR(code, entryIdx, locals, h.Arena(), regs, tags)
+	if !ok {
+		return native.Result{}, native.StatusOK, nil, false
+	}
+	res, st, err := u.run(code, regs, tags, h, maxOps, pool, int(pc), 0)
+	return res, st, err, true
+}
+
+// run is the host half of the machine-code executor: it performs the
+// fused-style entry budget check, re-enters generated code, and services
+// exits. Delegate exits hand the activation to the reference loop at the
+// recorded pc (always semantics-preserving); runtime exits execute the
+// single op at the recorded pc with reference semantics and re-enter at
+// the next op.
+func (u *Unit) run(code *lir.Code, regs []float64, tags []native.Tag, h native.Hooks, maxOps int64, pool *native.Pool, pc int, steps int64) (native.Result, native.Status, error) {
+	defer runtime.KeepAlive(u.mem)
+	arena := h.Arena()
+	ops := code.Ops
+	checks := int64(1)
+	// Entry check, exactly the fused executor's: if the straight-line cost
+	// from the entry op could exceed the budget, the whole run delegates
+	// and the reference loop trips (or completes) bit-identically.
+	if steps+int64(u.prog.Cost[pc]) > maxOps {
+		dres, dst, derr := native.Resume(code, regs, tags, h, maxOps, pool, pc, steps)
+		dres.Checks += checks
+		return dres, dst, derr
+	}
+	cells := arena.Cells()
+	var f mcframe
+	f.maxOps = maxOps
+	f.codeBase = int64(arena.CodeBase())
+	f.codeLen = int64(len(cells)) - f.codeBase
+	f.regs = unsafe.Pointer(unsafe.SliceData(regs))
+	f.tags = unsafe.Pointer(unsafe.SliceData(tags))
+	f.cells = unsafe.Pointer(unsafe.SliceData(cells))
+	// The global window is stable for the whole activation: the slot count
+	// is fixed at compile time and runtime ops mutate slots in place, so one
+	// fetch suffices (unlike the handle table, which reallocates).
+	if gw, ok := h.(globalWindow); ok {
+		if g := gw.Globals(); len(g) > 0 {
+			f.globalsLen = int64(len(g))
+			f.globals = unsafe.Pointer(unsafe.SliceData(g))
+		}
+	}
+	for {
+		// Refresh the volatile arena state: the handle table's backing
+		// array moves when a runtime op allocates, and the mapped-heap top
+		// advances.
+		handles := arena.Handles()
+		f.top = int64(arena.Top())
+		f.handleLen = int64(len(handles))
+		if len(handles) > 0 {
+			f.handles = unsafe.Pointer(unsafe.SliceData(handles))
+		} else {
+			f.handles = nil
+		}
+		f.steps, f.checks = steps, checks
+		kind := enter(u.base+uintptr(u.prog.Off[pc]), &f)
+		steps, checks = f.steps, f.checks
+		pc = int(f.exitpc)
+		switch kind {
+		case exitRet:
+			op := &ops[pc]
+			res := native.Result{Steps: steps, Checks: checks}
+			switch op.Kind {
+			case lir.KRetNum:
+				res.Kind, res.Val = native.ResNum, regs[op.A]
+			case lir.KRetObj:
+				res.Kind, res.Val = native.ResObject, regs[op.A]
+			default:
+				res.Kind = native.ResUndef
+			}
+			return res, native.StatusOK, nil
+		case exitDelegate:
+			dres, dst, derr := native.Resume(code, regs, tags, h, maxOps, pool, pc, steps)
+			dres.Checks += checks
+			return dres, dst, derr
+		case exitRuntime:
+			// Execute the op at pc in Go, then keep going in Go while the
+			// following ops are also runtime ops (no point bouncing through
+			// the trampoline between consecutive calls). Steps are charged
+			// fused-style — no per-op budget check; the block's entry check
+			// already covered the whole straight line.
+			for {
+				charged := u.prog.HostStep[pc]
+				if charged {
+					steps++
+				}
+				res, status, err, done := u.hostOp(code, &ops[pc], regs, tags, h, pool, steps, checks)
+				if done {
+					if !charged {
+						// Hybrid op whose step sits in a downstream flush
+						// we will never reach: a terminal outcome (crash,
+						// bail, deopt) still owes the op's own step,
+						// exactly as the reference loop charges it.
+						res.Steps++
+					}
+					return res, status, err
+				}
+				pc++
+				if pc >= len(ops) {
+					return native.Result{Kind: native.ResUndef, Steps: steps, Checks: checks}, native.StatusOK, nil
+				}
+				if !u.prog.RT[pc] {
+					break
+				}
+			}
+		default:
+			// Unknown exit kind: impossible by construction; delegate so
+			// even a bug here cannot diverge semantics.
+			dres, dst, derr := native.Resume(code, regs, tags, h, maxOps, pool, pc, steps)
+			dres.Checks += checks
+			return dres, dst, derr
+		}
+	}
+}
+
+// hostOp executes one runtime op with semantics copied line-for-line from
+// the reference loop (native.execSwitch). done=true carries a terminal
+// outcome (bail, crash, error, deopt); done=false means fall through to
+// the next op.
+func (u *Unit) hostOp(code *lir.Code, op *lir.Op, regs []float64, tags []native.Tag, h native.Hooks, pool *native.Pool, steps, checks int64) (native.Result, native.Status, error, bool) {
+	arena := h.Arena()
+	fail := func(status native.Status, err error) (native.Result, native.Status, error, bool) {
+		return native.Result{Steps: steps, Checks: checks}, status, err, true
+	}
+	switch op.Kind {
+	case lir.KMod:
+		// Reached only via the inline fast path's slow exit; value.Mod is
+		// the single definition of the semantics either way.
+		regs[op.Dst] = value.Mod(regs[op.A], regs[op.B])
+	case lir.KPow:
+		regs[op.Dst] = math.Pow(regs[op.A], regs[op.B])
+	case lir.KMath:
+		regs[op.Dst] = native.MathFunc(bytecode.Builtin(op.Aux), regs[op.A], regs[op.B], h)
+	case lir.KElemsRaw:
+		hnd := int64(math.Trunc(regs[op.A]))
+		elems, ok := arena.Elems(int32(hnd))
+		if !ok || regs[op.A] != math.Trunc(regs[op.A]) {
+			_, crash := arena.RawLoad(int(hnd))
+			if crash != nil {
+				return fail(native.StatusOK, crash)
+			}
+			regs[op.Dst] = math.Trunc(regs[op.A])
+			break
+		}
+		regs[op.Dst] = float64(elems)
+	case lir.KSetLen:
+		n := regs[op.B]
+		if n < 0 || n != math.Trunc(n) || n > float64(math.MaxInt32) {
+			return fail(native.StatusBail, nil)
+		}
+		if err := arena.SetLength(int32(regs[op.A]), int(n)); err != nil {
+			return fail(native.StatusOK, err)
+		}
+	case lir.KPush:
+		n, err := arena.Push(int32(regs[op.A]), regs[op.B])
+		if err != nil {
+			return fail(native.StatusOK, err)
+		}
+		regs[op.Dst] = float64(n)
+	case lir.KPop:
+		v, ok := arena.Pop(int32(regs[op.A]))
+		if !ok {
+			return fail(native.StatusBail, nil)
+		}
+		regs[op.Dst] = v
+	case lir.KNewArr:
+		n := regs[op.A]
+		if n < 0 || n != math.Trunc(n) || n > float64(math.MaxInt32) {
+			return fail(native.StatusBail, nil)
+		}
+		hnd, err := arena.Alloc(int(n))
+		if err != nil {
+			return fail(native.StatusOK, err)
+		}
+		regs[op.Dst] = float64(hnd)
+	case lir.KLoadGlobal:
+		v := h.GlobalGet(int(op.Aux))
+		switch v.Type() {
+		case value.Number:
+			regs[op.Dst], tags[op.Dst] = v.AsNumber(), native.TagNumber
+		case value.Boolean:
+			regs[op.Dst], tags[op.Dst] = v.AsNumber(), native.TagBoolean
+		case value.Array:
+			regs[op.Dst], tags[op.Dst] = float64(v.Handle()), native.TagObject
+		default:
+			regs[op.Dst], tags[op.Dst] = math.NaN(), native.TagOther
+		}
+	case lir.KStoreGlobalNum:
+		h.GlobalSet(int(op.Aux), value.Num(regs[op.A]))
+	case lir.KStoreGlobalObj:
+		h.GlobalSet(int(op.Aux), value.ArrayRef(int32(regs[op.A])))
+	case lir.KCall:
+		argRegs := code.ArgLists[op.A]
+		mark, callArgs := pool.AllocArgs(len(argRegs))
+		for i, ar := range argRegs {
+			if op.C&(1<<i) != 0 {
+				callArgs[i] = value.ArrayRef(int32(regs[ar]))
+			} else {
+				callArgs[i] = value.Num(regs[ar])
+			}
+		}
+		res, err := h.CallFunction(int(op.Aux), callArgs)
+		pool.ReleaseArgs(mark)
+		if err != nil {
+			return fail(native.StatusOK, err)
+		}
+		if op.B == 1 { // expect object
+			if !res.IsArray() {
+				return fail(native.StatusBail, nil)
+			}
+			regs[op.Dst], tags[op.Dst] = float64(res.Handle()), native.TagObject
+		} else {
+			switch res.Type() {
+			case value.Number, value.Boolean:
+				regs[op.Dst], tags[op.Dst] = res.ToNumber(), native.TagNumber
+			case value.Undefined:
+				regs[op.Dst], tags[op.Dst] = math.NaN(), native.TagNumber
+			default:
+				return fail(native.StatusBail, nil)
+			}
+		}
+	case lir.KCallSpec:
+		argRegs := code.ArgLists[op.A]
+		mark, callArgs := pool.AllocArgs(len(argRegs))
+		for i, ar := range argRegs {
+			if op.C&(1<<i) != 0 {
+				callArgs[i] = value.ArrayRef(int32(regs[ar]))
+			} else {
+				callArgs[i] = value.Num(regs[ar])
+			}
+		}
+		cres, err := h.CallFunction(int(op.Aux), callArgs)
+		pool.ReleaseArgs(mark)
+		if err != nil {
+			return fail(native.StatusOK, err)
+		}
+		if cres.Type() == value.Number {
+			regs[op.Dst], tags[op.Dst] = cres.AsNumber(), native.TagNumber
+			break
+		}
+		if op.Target < 0 || int(op.Target) >= len(code.DeoptExits) {
+			return fail(native.StatusBail, nil) // orphan guard; treat as bail
+		}
+		return native.Result{Deopt: native.BuildDeopt(code, op.Target, regs, cres), Steps: steps, Checks: checks},
+			native.StatusDeopt, nil, true
+	default:
+		// Non-runtime kinds never reach here (the lowering compiles them
+		// inline); delegate-equivalent hard stop to keep this total.
+		return fail(native.StatusBail, nil)
+	}
+	return native.Result{}, native.StatusOK, nil, false
+}

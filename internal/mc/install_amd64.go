@@ -1,0 +1,88 @@
+//go:build amd64 && (linux || darwin)
+
+package mc
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+
+	"github.com/jitbull/jitbull/internal/lir"
+)
+
+// Supported reports whether this build can execute machine code. The
+// lowering and encoder work everywhere; execution needs amd64 plus an OS
+// with the mmap/mprotect install path.
+func Supported() bool { return true }
+
+// Unit is installed, executable machine code for one function. The
+// mapping is never writable and executable at the same time: Install maps
+// RW, copies, then flips to RX (strict W^X), and the unit is immutable
+// afterwards. Units are retired by dropping the reference — the mapping
+// is intentionally not unmapped on artifact discard, so a stale pointer
+// can never execute unmapped memory; Release exists for tests.
+type Unit struct {
+	prog *Program
+	mem  []byte
+	base uintptr
+	prot []string
+}
+
+// Install copies prog into a fresh page-aligned mapping with a strict
+// W^X lifecycle and returns the executable unit.
+func Install(prog *Program) (*Unit, error) {
+	page := os.Getpagesize()
+	n := (len(prog.Buf) + page - 1) &^ (page - 1)
+	if n == 0 {
+		n = page
+	}
+	mem, err := syscall.Mmap(-1, 0, n,
+		syscall.PROT_READ|syscall.PROT_WRITE,
+		syscall.MAP_ANON|syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, fmt.Errorf("mc: mmap: %w", err)
+	}
+	copy(mem, prog.Buf)
+	if err := syscall.Mprotect(mem, syscall.PROT_READ|syscall.PROT_EXEC); err != nil {
+		_ = syscall.Munmap(mem)
+		return nil, fmt.Errorf("mc: mprotect: %w", err)
+	}
+	return &Unit{
+		prog: prog,
+		mem:  mem,
+		base: uintptr(unsafe.Pointer(unsafe.SliceData(mem))),
+		prot: []string{"mmap:rw-", "mprotect:r-x"},
+	}, nil
+}
+
+// Compile lowers and installs code in one step — the engine's entry point.
+func Compile(code *lir.Code) (*Unit, error) {
+	prog, err := Lower(code)
+	if err != nil {
+		return nil, err
+	}
+	return Install(prog)
+}
+
+// Transitions returns the recorded page-permission lifecycle, in order.
+// There is never an rwx state to record.
+func (u *Unit) Transitions() []string { return u.prot }
+
+// Base returns the executable mapping's start address (for tests that
+// cross-check /proc/self/maps).
+func (u *Unit) Base() uintptr { return u.base }
+
+// MappedLen returns the length of the executable mapping.
+func (u *Unit) MappedLen() int { return len(u.mem) }
+
+// Program returns the lowered program backing this unit.
+func (u *Unit) Program() *Program { return u.prog }
+
+// Release unmaps the unit. Only for tests — the engine retires units by
+// dropping the reference.
+func (u *Unit) Release() error {
+	mem := u.mem
+	u.mem, u.base = nil, 0
+	return syscall.Munmap(mem)
+}

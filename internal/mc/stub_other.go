@@ -1,0 +1,42 @@
+//go:build !(amd64 && (linux || darwin))
+
+package mc
+
+import (
+	"github.com/jitbull/jitbull/internal/lir"
+	"github.com/jitbull/jitbull/internal/native"
+	"github.com/jitbull/jitbull/internal/value"
+)
+
+// Supported reports whether this build can execute machine code. The
+// lowering and encoder still compile and test on every platform; only
+// install/execute are gated.
+func Supported() bool { return false }
+
+// Unit exists so the engine's wiring typechecks on unsupported platforms;
+// no value of this type is ever created (Install always fails), so the
+// methods are unreachable.
+type Unit struct{}
+
+// Install refuses on unsupported platforms; the engine degrades to the
+// threaded tier silently.
+func Install(prog *Program) (*Unit, error) { return nil, ErrUnsupported }
+
+// Compile refuses on unsupported platforms.
+func Compile(code *lir.Code) (*Unit, error) { return nil, ErrUnsupported }
+
+// Exec is unreachable (no Unit is ever constructed here).
+func (u *Unit) Exec(args []value.Value, h native.Hooks, maxOps int64, pool *native.Pool) (native.Result, native.Status, error) {
+	return native.Result{}, native.StatusOK, ErrUnsupported
+}
+
+// ExecOSR is unreachable (no Unit is ever constructed here).
+func (u *Unit) ExecOSR(entryIdx int, locals []value.Value, h native.Hooks, maxOps int64, pool *native.Pool) (native.Result, native.Status, error, bool) {
+	return native.Result{}, native.StatusOK, nil, false
+}
+
+// Transitions is unreachable.
+func (u *Unit) Transitions() []string { return nil }
+
+// Release is unreachable.
+func (u *Unit) Release() error { return nil }

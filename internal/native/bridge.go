@@ -1,0 +1,140 @@
+// The sub-LIR tier bridge: the exported surface a lower tier (the
+// machine-code backend in internal/mc) uses to stay bit-identical with
+// this package's executors. The contract is delegation: whenever native
+// code reaches a rare path — budget within reach, guard about to fail,
+// unmapped access, an op it does not compile — it exits with the current
+// LIR pc and step count and Resume finishes the activation in the unfused
+// reference loop over the same register file. Because the reference loop
+// IS the semantics, every delegated path is correct by construction.
+package native
+
+import (
+	"github.com/jitbull/jitbull/internal/bytecode"
+	"github.com/jitbull/jitbull/internal/heap"
+	"github.com/jitbull/jitbull/internal/lir"
+	"github.com/jitbull/jitbull/internal/value"
+)
+
+// Resume continues an activation in the unfused reference loop at pc with
+// steps already charged, over a register file the caller has been
+// mutating. It is exactly the delegation the fused tier performs at its
+// block-level budget checks; Result.Checks is NOT accumulated here — the
+// caller merges its own check count, as execFused does.
+func Resume(code *lir.Code, regs []float64, tags []Tag, h Hooks, maxOps int64, pool *Pool, pc int, steps int64) (Result, Status, error) {
+	return execSwitch(code, regs, tags, h, maxOps, pool, pc, steps)
+}
+
+// BoxParams exposes parameter boxing so a lower tier's entry sequence
+// populates the register file identically.
+func BoxParams(code *lir.Code, args []value.Value, regs []float64, tags []Tag) {
+	boxParams(code, args, regs, tags)
+}
+
+// BuildDeopt exposes deopt-frame reconstruction for a lower tier's
+// KCallSpec guard exits.
+func BuildDeopt(code *lir.Code, exitIdx int32, regs []float64, result value.Value) *DeoptState {
+	return buildDeopt(code, exitIdx, regs, result)
+}
+
+// MathFunc exposes the KMath builtin dispatch (including the hook-backed
+// deterministic RNG).
+func MathFunc(b bytecode.Builtin, a, c float64, h Hooks) float64 {
+	return mathFunc(b, a, c, h)
+}
+
+// GetRegs leases a register file of n slots from the pool (contents are
+// NOT zeroed, same as every internal lease).
+func (p *Pool) GetRegs(n int) ([]float64, []Tag) { return p.getRegs(n) }
+
+// PutRegs returns a leased register file.
+func (p *Pool) PutRegs(f []float64, t []Tag) { p.putRegs(f, t) }
+
+// AllocArgs reserves n slots in the pool's LIFO call-argument arena,
+// returning the release mark and the slice to fill. With a nil pool the
+// mark is -1 and the slice is freshly allocated (ReleaseArgs ignores -1),
+// mirroring the executors' own KCall paths.
+func (p *Pool) AllocArgs(n int) (int, []value.Value) {
+	if p == nil {
+		return -1, make([]value.Value, n)
+	}
+	base := len(p.args)
+	for i := 0; i < n; i++ {
+		p.args = append(p.args, value.Value{})
+	}
+	return base, p.args[base : base+n]
+}
+
+// ReleaseArgs pops an AllocArgs reservation.
+func (p *Pool) ReleaseArgs(mark int) {
+	if p != nil && mark >= 0 {
+		p.args = p.args[:mark]
+	}
+}
+
+// MaterializeOSR populates a register file for an OSR entry exactly as
+// ExecOSR does: zero the (recycled, unzeroed) frame, strictly materialize
+// the frame-map slots (a number slot accepts exactly a Number, a boolean
+// slot exactly a Boolean, an object slot exactly an Array), rematerialize
+// hoisted constants, and re-derive preheader-cached elems/length values in
+// dependency order. ok=false refuses the transfer; nothing has run and the
+// register file contents are unspecified. On success pc is the loop-header
+// op index to enter at.
+func MaterializeOSR(code *lir.Code, entryIdx int, locals []value.Value, arena *heap.Arena, regs []float64, tags []Tag) (int32, bool) {
+	if entryIdx < 0 || entryIdx >= len(code.OSREntries) {
+		return 0, false
+	}
+	e := &code.OSREntries[entryIdx]
+	if !e.Eligible {
+		return 0, false
+	}
+	for i := range regs {
+		regs[i], tags[i] = 0, TagOther
+	}
+	for _, s := range e.Slots {
+		var v value.Value
+		if int(s.Slot) < len(locals) {
+			v = locals[s.Slot]
+		}
+		switch s.Kind {
+		case lir.SlotNum:
+			if v.Type() != value.Number {
+				return 0, false
+			}
+			regs[s.Reg], tags[s.Reg] = v.AsNumber(), TagNumber
+		case lir.SlotBool:
+			if v.Type() != value.Boolean {
+				return 0, false
+			}
+			regs[s.Reg], tags[s.Reg] = v.AsNumber(), TagBoolean
+		case lir.SlotObj:
+			if !v.IsArray() {
+				return 0, false
+			}
+			regs[s.Reg], tags[s.Reg] = float64(v.Handle()), TagObject
+		default:
+			return 0, false
+		}
+	}
+	for _, cs := range e.Consts {
+		regs[cs.Reg], tags[cs.Reg] = cs.Imm, TagNumber
+	}
+	for _, ro := range e.Remats {
+		switch ro.Kind {
+		case lir.RematElems:
+			elems, ok := arena.Elems(int32(regs[ro.Src]))
+			if !ok {
+				return 0, false
+			}
+			regs[ro.Reg] = float64(elems)
+		case lir.RematLen:
+			v, crash := arena.LengthAt(int(regs[ro.Src]))
+			if crash != nil {
+				return 0, false
+			}
+			regs[ro.Reg] = v
+		default:
+			return 0, false
+		}
+	}
+	return e.PC, true
+}

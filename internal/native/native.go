@@ -589,65 +589,11 @@ func ExecOSR(code *lir.Code, entryIdx int, locals []value.Value, h Hooks, maxOps
 	}
 	regs, tags := pool.getRegs(code.NumRegs)
 	defer pool.putRegs(regs, tags)
-	// The pool does not zero recycled frames; a mid-loop entry must not
-	// observe a previous call's registers through any non-frame-map slot.
-	for i := range regs {
-		regs[i], tags[i] = 0, TagOther
-	}
-	for _, s := range e.Slots {
-		var v value.Value
-		if int(s.Slot) < len(locals) {
-			v = locals[s.Slot]
-		}
-		switch s.Kind {
-		case lir.SlotNum:
-			if v.Type() != value.Number {
-				return Result{}, StatusOK, nil, false
-			}
-			regs[s.Reg], tags[s.Reg] = v.AsNumber(), TagNumber
-		case lir.SlotBool:
-			if v.Type() != value.Boolean {
-				return Result{}, StatusOK, nil, false
-			}
-			regs[s.Reg], tags[s.Reg] = v.AsNumber(), TagBoolean
-		case lir.SlotObj:
-			if !v.IsArray() {
-				return Result{}, StatusOK, nil, false
-			}
-			regs[s.Reg], tags[s.Reg] = float64(v.Handle()), TagObject
-		default:
-			return Result{}, StatusOK, nil, false
-		}
-	}
-	// Rematerialize hoisted loop-invariant constants: their KConst defs sit
-	// before the header (GVN single-def shape), so entering mid-loop skips
-	// them — regalloc recorded the immediates in the entry for exactly this.
-	for _, cs := range e.Consts {
-		regs[cs.Reg], tags[cs.Reg] = cs.Imm, TagNumber
-	}
-	// Re-derive preheader-cached values the frame map cannot carry: elements
-	// addresses (KElemsHandle) and lengths (KInitLen) of loop-invariant
-	// arrays, recomputed from the array handles just materialized — the same
-	// computations the skipped preheader ops performed. The list is in
-	// dependency order (a length's source elems register is re-derived
-	// first). Any failure refuses the transfer; nothing has run yet.
-	for _, ro := range e.Remats {
-		switch ro.Kind {
-		case lir.RematElems:
-			elems, ok := h.Arena().Elems(int32(regs[ro.Src]))
-			if !ok {
-				return Result{}, StatusOK, nil, false
-			}
-			regs[ro.Reg] = float64(elems)
-		case lir.RematLen:
-			v, crash := h.Arena().LengthAt(int(regs[ro.Src]))
-			if crash != nil {
-				return Result{}, StatusOK, nil, false
-			}
-			regs[ro.Reg] = v
-		default:
-			return Result{}, StatusOK, nil, false
-		}
+	// Zeroing, strict slot materialization, hoisted-constant and
+	// preheader-value rematerialization are shared with the machine-code
+	// tier's OSR entry (see bridge.go) so the two can never diverge.
+	if _, ok := MaterializeOSR(code, entryIdx, locals, h.Arena(), regs, tags); !ok {
+		return Result{}, StatusOK, nil, false
 	}
 	if code.Fused != nil && !unfused {
 		if fi := fusedIdxForPC(code.Fused, e.PC); fi >= 0 {

@@ -20,6 +20,7 @@ const (
 	StageEnqueued    = "enqueued"    // compile request handed to the jitqueue
 	StageCompiled    = "compiled"    // pipeline produced an artifact (or failed)
 	StageInstalled   = "installed"   // artifact installed at a safe point
+	StageTier        = "tier"        // top-tier attribution: which executor serves the artifact
 	StageOSREntry    = "osr-entry"   // mid-loop transfer onto compiled code
 	StageDeopt       = "deopt"       // guard failure, back to a lower tier
 	StageRequalified = "requalified" // quarantine/storm lifted, eligible again

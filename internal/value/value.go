@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"unsafe"
 )
 
 // Type is the runtime type tag of a Value.
@@ -52,6 +53,17 @@ type Value struct {
 	num float64 // Number payload; Boolean stores 0/1; Array stores nothing
 	ref int32   // Array handle
 	str string  // String payload
+}
+
+// Layout reports Value's size and the byte offsets of the typ, num and
+// ref fields. The machine-code tier reads (and, for number stores,
+// writes) global slots directly; publishing the layout from the owning
+// package keeps that consumer correct if the struct ever changes. The str
+// field is deliberately not exposed: generated code must never touch the
+// pointer-carrying field (no write barriers outside Go).
+func Layout() (size, typ, num, ref uintptr) {
+	var v Value
+	return unsafe.Sizeof(v), unsafe.Offsetof(v.typ), unsafe.Offsetof(v.num), unsafe.Offsetof(v.ref)
 }
 
 // Undef is the undefined value.
